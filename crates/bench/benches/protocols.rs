@@ -1,0 +1,72 @@
+//! Per-operation cost of the checkpointing protocols.
+//!
+//! The paper's scalability argument is about *bytes*, but the index-based
+//! protocols are also computationally O(1) per message while TP manipulates
+//! O(n) vectors; these benchmarks make that visible.
+
+use cic::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_send(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_send");
+    group.bench_function("bcs", |b| {
+        let mut p = Bcs::new();
+        b.iter(|| black_box(p.on_send(1)))
+    });
+    group.bench_function("qbc", |b| {
+        let mut p = Qbc::new();
+        b.iter(|| black_box(p.on_send(1)))
+    });
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("tp", n), &n, |b, &n| {
+            let mut p = Tp::new(0, n, 0);
+            b.iter(|| black_box(p.on_send(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_receive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_receive");
+    group.bench_function("bcs", |b| {
+        let mut p = Bcs::new();
+        let pb = Piggyback::Index { sn: 0 };
+        b.iter(|| black_box(p.on_receive(1, &pb)))
+    });
+    group.bench_function("qbc", |b| {
+        let mut p = Qbc::new();
+        let pb = Piggyback::Index { sn: 0 };
+        b.iter(|| black_box(p.on_receive(1, &pb)))
+    });
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("tp", n), &n, |b, &n| {
+            let mut p = Tp::new(0, n, 0);
+            let pb = Piggyback::Vectors {
+                ckpt: vec![0; n],
+                loc: vec![0; n],
+            };
+            b.iter(|| black_box(p.on_receive(1, &pb)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_basic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_basic");
+    group.bench_function("bcs", |b| {
+        let mut p = Bcs::new();
+        b.iter(|| black_box(p.on_basic(BasicReason::CellSwitch)))
+    });
+    group.bench_function("qbc", |b| {
+        let mut p = Qbc::new();
+        b.iter(|| black_box(p.on_basic(BasicReason::CellSwitch)))
+    });
+    group.bench_function("tp_n10", |b| {
+        let mut p = Tp::new(0, 10, 0);
+        b.iter(|| black_box(p.on_basic(BasicReason::CellSwitch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_send, bench_receive, bench_basic);
+criterion_main!(benches);

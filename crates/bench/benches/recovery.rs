@@ -1,0 +1,94 @@
+//! Cost of the offline analyses: recovery lines, consistency checking and
+//! Z-cycle detection over recorded traces.
+
+use causality::cut::{is_consistent, latest_recovery_line, Cut};
+use causality::recovery::recovery_line_after_failure;
+use causality::trace::{ProcId, Trace};
+use causality::zpath::ZigzagGraph;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mck::prelude::*;
+
+/// A recorded trace from a real simulation run.
+fn traced(horizon: f64) -> Trace {
+    let cfg = SimConfig {
+        protocol: ProtocolChoice::Cic(CicKind::Qbc),
+        t_switch: 150.0,
+        p_switch: 0.8,
+        horizon,
+        record_trace: true,
+        ..Default::default()
+    };
+    Simulation::run(cfg).trace.expect("trace requested")
+}
+
+fn bench_recovery_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_line");
+    for &horizon in &[500.0, 2000.0] {
+        let trace = traced(horizon);
+        group.bench_with_input(
+            BenchmarkId::new("latest", horizon as u64),
+            &trace,
+            |b, trace| b.iter(|| black_box(latest_recovery_line(trace))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("after_failure", horizon as u64),
+            &trace,
+            |b, trace| {
+                b.iter(|| black_box(recovery_line_after_failure(trace, &[ProcId(0)])))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_consistency_check(c: &mut Criterion) {
+    let trace = traced(2000.0);
+    let cut = Cut::latest(&trace);
+    c.bench_function("is_consistent_full_trace", |b| {
+        b.iter(|| black_box(is_consistent(&trace, &cut)))
+    });
+}
+
+fn bench_zigzag(c: &mut Criterion) {
+    // Z-cycle analysis is quadratic in delivered messages; keep it small.
+    let trace = traced(100.0);
+    c.bench_function("zigzag_build_small", |b| {
+        b.iter(|| black_box(ZigzagGraph::build(&trace).useless_checkpoints().len()))
+    });
+}
+
+fn bench_rgraph(c: &mut Criterion) {
+    use causality::rgraph::RGraph;
+    let trace = traced(2000.0);
+    c.bench_function("rgraph_build", |b| {
+        b.iter(|| black_box(RGraph::build(&trace).n_nodes()))
+    });
+    let graph = RGraph::build(&trace);
+    c.bench_function("rgraph_recovery_line", |b| {
+        b.iter(|| black_box(graph.recovery_line_after_failure(&[ProcId(0)])))
+    });
+}
+
+fn bench_gc(c: &mut Criterion) {
+    use mck::gc::{occupancy_series, retained_at};
+    let trace = traced(2000.0);
+    c.bench_function("gc_retained_at", |b| {
+        b.iter(|| black_box(retained_at(&trace, 1500.0, true)))
+    });
+    let mut group = c.benchmark_group("gc_occupancy_series");
+    group.sample_size(20);
+    group.bench_function("16_samples", |b| {
+        b.iter(|| black_box(occupancy_series(&trace, 2000.0, 16, true).mean_retained))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recovery_line,
+    bench_consistency_check,
+    bench_zigzag,
+    bench_rgraph,
+    bench_gc
+);
+criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! Regenerates every figure and quantitative claim of the paper, plus the
+//! extension experiments.
+//!
+//! ```text
+//! cargo run --release -p mck-bench --bin figures -- all          # figures 1-6
+//! cargo run --release -p mck-bench --bin figures -- fig 2
+//! cargo run --release -p mck-bench --bin figures -- claims
+//! cargo run --release -p mck-bench --bin figures -- ablation
+//! cargo run --release -p mck-bench --bin figures -- control-bytes
+//! cargo run --release -p mck-bench --bin figures -- classes
+//! cargo run --release -p mck-bench --bin figures -- rollback
+//! cargo run --release -p mck-bench --bin figures -- storage
+//! cargo run --release -p mck-bench --bin figures -- recovery-time
+//! cargo run --release -p mck-bench --bin figures -- topologies
+//! cargo run --release -p mck-bench --bin figures -- contention
+//! cargo run --release -p mck-bench --bin figures -- everything  # the lot
+//! ```
+//!
+//! Options: `--reps N` (default 5), `--seed S` (default 1), `--csv`,
+//! `--plot` (render each figure as a log-log terminal chart too).
+//! Output shape matches the paper: one row per `T_switch`, one column per
+//! protocol, with the derived gain columns the text quotes.
+
+use mck::experiments::{
+    ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_recovery_time, ext_rollback, ext_storage,
+    ext_topologies,
+    figure,
+    run_figure,
+};
+use mck::table::{fmt_estimate, Table};
+
+struct Opts {
+    reps: usize,
+    seed: u64,
+    csv: bool,
+    plot: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        reps: 5,
+        seed: 1,
+        csv: false,
+        plot: false,
+    };
+    let mut cmd: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => opts.reps = it.next().expect("--reps N").parse().expect("number"),
+            "--seed" => opts.seed = it.next().expect("--seed S").parse().expect("number"),
+            "--csv" => opts.csv = true,
+            "--plot" => opts.plot = true,
+            other => cmd.push(other.to_string()),
+        }
+    }
+    let cmd: Vec<&str> = cmd.iter().map(String::as_str).collect();
+    match cmd.as_slice() {
+        [] | ["all"] => figures(&opts, &[1, 2, 3, 4, 5, 6]),
+        ["fig", n] => figures(&opts, &[n.parse().expect("figure number")]),
+        ["claims"] => print_claims(&opts),
+        ["ablation"] => ablation(&opts),
+        ["control-bytes"] => control_bytes(&opts),
+        ["classes"] => classes(&opts),
+        ["rollback"] => rollback(&opts),
+        ["storage"] => storage(&opts),
+        ["recovery-time"] => recovery_time_cmd(&opts),
+        ["topologies"] => topologies(&opts),
+        ["contention"] => contention(&opts),
+        ["everything"] => {
+            figures(&opts, &[1, 2, 3, 4, 5, 6]);
+            print_claims(&opts);
+            ablation(&opts);
+            control_bytes(&opts);
+            classes(&opts);
+            rollback(&opts);
+            storage(&opts);
+            recovery_time_cmd(&opts);
+            topologies(&opts);
+            contention(&opts);
+        }
+        other => {
+            eprintln!("unknown command {other:?}; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit(opts: &Opts, t: &Table) {
+    if opts.csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!();
+}
+
+fn figures(opts: &Opts, ids: &[usize]) {
+    for &id in ids {
+        let spec = figure(id);
+        eprintln!("running {} ({} reps/point)...", spec.caption(), opts.reps);
+        let res = run_figure(&spec, opts.seed, opts.reps);
+        println!("{}", spec.caption());
+        emit(opts, &res.table());
+        if opts.plot {
+            println!("{}", res.plot());
+        }
+    }
+}
+
+fn print_claims(opts: &Opts) {
+    eprintln!("running figures 1, 2, 5, 6 for the claim checks...");
+    let figs: Vec<_> = [1, 2, 5, 6]
+        .iter()
+        .map(|&n| run_figure(&figure(n), opts.seed, opts.reps))
+        .collect();
+    let mut t = Table::new(vec!["claim", "paper statement", "measured", "holds"]);
+    for c in claims(&figs) {
+        t.push_row(vec![
+            c.id.to_string(),
+            c.paper.to_string(),
+            c.measured,
+            if c.holds { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("In-text claims");
+    emit(opts, &t);
+}
+
+fn ablation(opts: &Opts) {
+    eprintln!("running checkpoint-duration ablation (claim C4)...");
+    let rows = ablation_ckpt_time(opts.seed, opts.reps, &[0.0, 0.1, 0.5, 1.0]);
+    let mut t = Table::new(vec!["ckpt duration", "TP", "BCS", "QBC"]);
+    for (d, per_proto) in rows {
+        let mut row = vec![format!("{d}")];
+        for (_, e) in per_proto {
+            row.push(fmt_estimate(e.mean, e.ci95));
+        }
+        t.push_row(row);
+    }
+    println!("Ablation C4: N_tot vs checkpoint duration (T_switch=1000, P_switch=0.8)");
+    emit(opts, &t);
+}
+
+fn control_bytes(opts: &Opts) {
+    eprintln!("running control-byte scalability sweep (extension E1)...");
+    let rows = ext_control_bytes(opts.seed, opts.reps.min(3), &[5, 10, 20, 40]);
+    let mut t = Table::new(vec!["hosts", "TP B/msg", "BCS B/msg", "QBC B/msg"]);
+    for (n, per_proto) in rows {
+        let mut row = vec![n.to_string()];
+        for (_, bytes) in per_proto {
+            row.push(format!("{bytes:.1}"));
+        }
+        t.push_row(row);
+    }
+    println!("Extension E1: piggybacked control bytes per message vs number of hosts");
+    emit(opts, &t);
+}
+
+fn classes(opts: &Opts) {
+    eprintln!("running protocol-class comparison (extension E3)...");
+    let rows = ext_classes(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "protocol",
+        "N_tot",
+        "ctl msgs",
+        "searches",
+        "piggyback B",
+        "blocked sends",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.protocol,
+            format!("{:.0}", r.n_tot),
+            format!("{:.0}", r.control_msgs),
+            format!("{:.0}", r.searches),
+            format!("{:.0}", r.piggyback_bytes),
+            format!("{:.0}", r.blocked_sends),
+        ]);
+    }
+    println!("Extension E3: protocol classes (T_switch=1000, P_switch=0.8, rounds every 100)");
+    emit(opts, &t);
+}
+
+fn rollback(opts: &Opts) {
+    eprintln!("running rollback analysis (extension E2, paper future work)...");
+    let rows = ext_rollback(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "protocol",
+        "mean undone (t.u.)",
+        "mean max undone",
+        "ckpts discarded",
+        "worst",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.protocol,
+            format!("{:.1}", r.mean_total_undone),
+            format!("{:.1}", r.mean_max_undone),
+            format!("{:.1}", r.mean_ckpts_undone),
+            format!("{:.1}", r.worst_total_undone),
+        ]);
+    }
+    println!("Extension E2: rollback after a single-host failure (horizon 2000)");
+    emit(opts, &t);
+}
+
+fn storage(opts: &Opts) {
+    eprintln!("running stable-storage occupancy analysis (extension E4)...");
+    let rows = ext_storage(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec!["protocol", "ckpts taken", "mean retained", "max retained"]);
+    for r in rows {
+        t.push_row(vec![
+            r.protocol,
+            format!("{:.0}", r.taken),
+            format!("{:.1}", r.mean_retained),
+            format!("{:.0}", r.max_retained),
+        ]);
+    }
+    println!("Extension E4: stable-storage occupancy after GC (T_switch=300, P_switch=0.8)");
+    emit(opts, &t);
+}
+
+fn recovery_time_cmd(opts: &Opts) {
+    eprintln!("running recovery-time analysis (extension E5)...");
+    let rows = ext_recovery_time(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "protocol",
+        "mean waves",
+        "max waves",
+        "latency (t.u.)",
+        "ctl msgs",
+        "MiB fetched",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.protocol,
+            format!("{:.2}", r.mean_waves),
+            r.max_waves.to_string(),
+            format!("{:.4}", r.mean_latency),
+            format!("{:.0}", r.mean_msgs),
+            format!("{:.1}", r.mean_bytes / (1 << 20) as f64),
+        ]);
+    }
+    println!("Extension E5: recovery-line collection cost (T_switch=500, P_switch=0.8)");
+    emit(opts, &t);
+}
+
+fn topologies(opts: &Opts) {
+    eprintln!("running cell-topology ablation (extension E6)...");
+    let rows = ext_topologies(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "cell graph",
+        "TP",
+        "BCS",
+        "QBC",
+        "QBC fetches",
+        "QBC wired hops",
+    ]);
+    for r in rows {
+        let mut row = vec![r.graph.to_string()];
+        for (_, e) in &r.n_tot {
+            row.push(fmt_estimate(e.mean, e.ci95));
+        }
+        row.push(format!("{:.0}", r.qbc_ckpt_fetches));
+        row.push(format!("{:.0}", r.qbc_wired_hops));
+        t.push_row(row);
+    }
+    println!("Extension E6: N_tot per cell-adjacency graph (T_switch=500, P_switch=0.8)");
+    emit(opts, &t);
+}
+
+fn contention(opts: &Opts) {
+    eprintln!("running wireless channel-contention analysis (extension E7)...");
+    let rows = ext_contention(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "protocol",
+        "N_tot",
+        "channel util",
+        "queueing (t.u.)",
+        "ckpt MiB",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.protocol,
+            format!("{:.0}", r.n_tot),
+            format!("{:.1}%", r.utilization * 100.0),
+            format!("{:.1}", r.queueing_delay),
+            format!("{:.1}", r.ckpt_mib),
+        ]);
+    }
+    println!("Extension E7: channel contention at 50 kB/t.u. (T_switch=1000, P_switch=0.8)");
+    emit(opts, &t);
+}

@@ -1,0 +1,2 @@
+//! Benchmark-only crate; see `benches/` and `src/bin/figures.rs`.
+#![forbid(unsafe_code)]

@@ -1,0 +1,242 @@
+//! Logical clocks.
+//!
+//! Consistency of a global checkpoint is defined through Lamport's
+//! happened-before relation: a global checkpoint is consistent iff no local
+//! checkpoint in the set happened before another one (equivalently, no
+//! message is *orphan* across the cut). This module provides the two
+//! standard clock mechanisms used to track happened-before:
+//!
+//! * [`LamportClock`] — scalar clocks, consistent with causality;
+//! * [`VectorClock`] — vector clocks, *characterizing* causality: `a → b`
+//!   iff `V(a) < V(b)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Scalar Lamport clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LamportClock(u64);
+
+impl LamportClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        LamportClock(0)
+    }
+
+    /// Advances for a local or send event and returns the new value.
+    pub fn tick(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Advances past a received timestamp and returns the new value.
+    pub fn observe(&mut self, received: u64) -> u64 {
+        self.0 = self.0.max(received) + 1;
+        self.0
+    }
+
+    /// Current value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Result of comparing two vector clocks under the causal partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalOrder {
+    /// Left happened before right (`V_l < V_r`).
+    Before,
+    /// Right happened before left.
+    After,
+    /// Identical vectors.
+    Equal,
+    /// Causally concurrent.
+    Concurrent,
+}
+
+/// Fixed-width vector clock over `n` processes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    v: Vec<u64>,
+}
+
+impl VectorClock {
+    /// All-zeros clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock { v: vec![0; n] }
+    }
+
+    /// Builds a clock from explicit components.
+    pub fn from_components(v: Vec<u64>) -> Self {
+        VectorClock { v }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True when tracking zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Component for process `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.v[i]
+    }
+
+    /// Advances process `i`'s own component (local/send/receive event).
+    pub fn tick(&mut self, i: usize) {
+        self.v[i] += 1;
+    }
+
+    /// Componentwise maximum with a received clock.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.v.len(), other.v.len(), "vector clock width mismatch");
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compares under the causal partial order.
+    pub fn causal_cmp(&self, other: &VectorClock) -> CausalOrder {
+        assert_eq!(self.v.len(), other.v.len(), "vector clock width mismatch");
+        let mut le = true; // self <= other
+        let mut ge = true; // self >= other
+        for (a, b) in self.v.iter().zip(&other.v) {
+            if a > b {
+                le = false;
+            }
+            if a < b {
+                ge = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Before,
+            (false, true) => CausalOrder::After,
+            (false, false) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// `self` happened strictly before `other`.
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other) == CausalOrder::Before
+    }
+
+    /// Neither clock happened before the other.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other) == CausalOrder::Concurrent
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[u64] {
+        &self.v
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.v)
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// Partial order matching causality: `Some(Less)` iff happened-before.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.causal_cmp(other) {
+            CausalOrder::Before => Some(Ordering::Less),
+            CausalOrder::After => Some(Ordering::Greater),
+            CausalOrder::Equal => Some(Ordering::Equal),
+            CausalOrder::Concurrent => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_tick_monotone() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn lamport_observe_jumps_ahead() {
+        let mut c = LamportClock::new();
+        c.tick();
+        assert_eq!(c.observe(10), 11);
+        assert_eq!(c.observe(3), 12); // never goes backwards
+    }
+
+    #[test]
+    fn vector_clock_basic_order() {
+        let mut a = VectorClock::new(3);
+        a.tick(0); // a = [1,0,0]
+        let mut b = a.clone();
+        b.tick(1); // b = [1,1,0]
+        assert!(a.happened_before(&b));
+        assert_eq!(b.causal_cmp(&a), CausalOrder::After);
+        assert_eq!(a.causal_cmp(&a), CausalOrder::Equal);
+    }
+
+    #[test]
+    fn vector_clock_concurrency() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = VectorClock::new(2);
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::from_components(vec![3, 0, 5]);
+        let b = VectorClock::from_components(vec![1, 7, 2]);
+        a.merge(&b);
+        assert_eq!(a.components(), &[3, 7, 5]);
+    }
+
+    #[test]
+    fn message_chain_creates_happened_before() {
+        // p0 sends to p1, p1 sends to p2: p0's send → p2's receive.
+        let n = 3;
+        let mut p0 = VectorClock::new(n);
+        let mut p1 = VectorClock::new(n);
+        let mut p2 = VectorClock::new(n);
+
+        p0.tick(0); // send event at p0
+        let m1 = p0.clone();
+        p1.merge(&m1);
+        p1.tick(1); // receive at p1
+        p1.tick(1); // send at p1
+        let m2 = p1.clone();
+        p2.merge(&m2);
+        p2.tick(2); // receive at p2
+
+        assert!(m1.happened_before(&p2));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn partial_ord_is_consistent_with_causal_cmp() {
+        let a = VectorClock::from_components(vec![1, 2]);
+        let b = VectorClock::from_components(vec![2, 2]);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+    }
+}

@@ -1,0 +1,401 @@
+//! Global checkpoints (cuts) and consistency.
+//!
+//! A *global checkpoint* is one local checkpoint per process — here
+//! represented by a [`Cut`]: for each process, the ordinal of the chosen
+//! checkpoint. The computation is imagined rolled back so that each process
+//! restarts from its chosen checkpoint; everything after it is undone.
+//!
+//! A message is **orphan** with respect to a cut when its *receive* survives
+//! the rollback (it happened before the receiver's chosen checkpoint) but
+//! its *send* does not (the sender's chosen checkpoint precedes the send).
+//! A cut is **consistent** iff it has no orphan message — the paper's
+//! Section 3 definition. In-transit messages (sent before the cut, received
+//! after) do not violate consistency; the at-least-once transport re-delivers
+//! them on recovery.
+
+use crate::trace::{MsgRecord, ProcId, Trace};
+
+/// One checkpoint ordinal per process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    ordinals: Vec<usize>,
+}
+
+impl Cut {
+    /// Builds a cut from explicit ordinals (one per process).
+    pub fn new(ordinals: Vec<usize>) -> Self {
+        Cut { ordinals }
+    }
+
+    /// The cut selecting every process's initial checkpoint.
+    pub fn initial(n: usize) -> Self {
+        Cut {
+            ordinals: vec![0; n],
+        }
+    }
+
+    /// The cut selecting every process's latest recorded checkpoint.
+    pub fn latest(trace: &Trace) -> Self {
+        Cut {
+            ordinals: trace
+                .procs()
+                .map(|p| trace.checkpoints(p).len() - 1)
+                .collect(),
+        }
+    }
+
+    /// Ordinal chosen for process `p`.
+    pub fn ordinal(&self, p: ProcId) -> usize {
+        self.ordinals[p.idx()]
+    }
+
+    /// Sets the ordinal chosen for process `p` (used by rollback propagation
+    /// and by callers constraining a starting cut, e.g. pinning a failed
+    /// process to its last stable checkpoint).
+    pub fn set_ordinal(&mut self, p: ProcId, v: usize) {
+        self.ordinals[p.idx()] = v;
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.ordinals.len()
+    }
+
+    /// True for a zero-process cut.
+    pub fn is_empty(&self) -> bool {
+        self.ordinals.is_empty()
+    }
+
+    /// Raw ordinals.
+    pub fn ordinals(&self) -> &[usize] {
+        &self.ordinals
+    }
+
+    /// Componentwise `<=` (this cut does not survive past `other` anywhere).
+    pub fn dominated_by(&self, other: &Cut) -> bool {
+        self.ordinals
+            .iter()
+            .zip(&other.ordinals)
+            .all(|(a, b)| a <= b)
+    }
+}
+
+/// Is `m` orphan with respect to `cut`?
+///
+/// Undelivered messages are never orphan.
+#[inline]
+pub fn is_orphan(m: &MsgRecord, cut: &Cut) -> bool {
+    match m.recv_interval {
+        None => false,
+        Some(recv_interval) => {
+            // Receive survives: it precedes the receiver's chosen checkpoint.
+            // Send is undone: it follows the sender's chosen checkpoint.
+            recv_interval < cut.ordinal(m.to) && m.send_interval >= cut.ordinal(m.from)
+        }
+    }
+}
+
+/// All orphan messages of `cut` in `trace`.
+pub fn orphans<'t>(trace: &'t Trace, cut: &Cut) -> Vec<&'t MsgRecord> {
+    trace
+        .messages()
+        .iter()
+        .filter(|m| is_orphan(m, cut))
+        .collect()
+}
+
+/// True iff `cut` is a consistent global checkpoint of `trace`.
+pub fn is_consistent(trace: &Trace, cut: &Cut) -> bool {
+    trace.messages().iter().all(|m| !is_orphan(m, cut))
+}
+
+/// Computes the **maximum consistent cut** that is componentwise `<= start`,
+/// by rollback propagation: every orphan message forces the receiver back to
+/// (at most) the interval of the receive, repeated to a fixpoint.
+///
+/// Because consistent cuts closed below a bound form a lattice, the fixpoint
+/// is the unique maximum; the initial cut (all zeros) is always consistent,
+/// so the algorithm always terminates with an answer.
+pub fn max_consistent_cut_below(trace: &Trace, start: &Cut) -> Cut {
+    max_consistent_cut_below_counting(trace, start).0
+}
+
+/// Like [`max_consistent_cut_below`], additionally returning the number of
+/// **rollback propagation rounds** the fixpoint needed: the number of full
+/// passes that still lowered some component.
+///
+/// The round count models the message waves of an actual distributed
+/// recovery: each round corresponds to "fetch the candidate checkpoints,
+/// discover orphans, announce further rollbacks". Domino-prone histories
+/// need many rounds; the paper's protocols are built so one round suffices.
+pub fn max_consistent_cut_below_counting(trace: &Trace, start: &Cut) -> (Cut, usize) {
+    let mut cut = start.clone();
+    let mut rounds = 0;
+    // Iterate synchronous (Jacobi) passes to the fixpoint: each pass lowers
+    // components based on the cut at the START of the pass, so the round
+    // count is a property of the trace, not of message storage order. Each
+    // pass only ever lowers ordinals, which are bounded below by zero, so
+    // this terminates — at the same unique maximal fixpoint as any
+    // chaotic-iteration order.
+    loop {
+        let mut next = cut.clone();
+        let mut changed = false;
+        for m in trace.messages() {
+            if let Some(recv_interval) = m.recv_interval {
+                if recv_interval < cut.ordinal(m.to) && m.send_interval >= cut.ordinal(m.from) {
+                    // Roll the receiver back so the receive is undone.
+                    if recv_interval < next.ordinal(m.to) {
+                        next.set_ordinal(m.to, recv_interval);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return (cut, rounds);
+        }
+        cut = next;
+        rounds += 1;
+    }
+}
+
+/// The most recent consistent global checkpoint of the whole trace (the
+/// *recovery line* if every process failed right now and only on-stable-store
+/// checkpoints survive).
+pub fn latest_recovery_line(trace: &Trace) -> Cut {
+    max_consistent_cut_below(trace, &Cut::latest(trace))
+}
+
+/// The maximum consistent cut whose `p`-th component is **exactly**
+/// `ordinal`, if one exists.
+///
+/// This answers "which consistent global checkpoint does local checkpoint
+/// `C_{p,ordinal}` belong to?" — the property all three of the paper's
+/// protocols guarantee for every checkpoint they take. Other processes may
+/// contribute their *volatile* end-of-trace state (ordinal
+/// `n_checkpoints`), matching the Netzer–Xu notion: a checkpoint is useless
+/// only if no consistent global checkpoint can contain it in **any**
+/// extension of the computation, and a process's volatile state stands in
+/// for the checkpoint it could take next. Returns `None` exactly when the
+/// checkpoint is *useless* (it lies on a Z-cycle).
+pub fn max_consistent_cut_containing(trace: &Trace, p: ProcId, ordinal: usize) -> Option<Cut> {
+    assert!(
+        ordinal < trace.checkpoints(p).len(),
+        "process {p} has no checkpoint with ordinal {ordinal}"
+    );
+    let mut start = Cut::new(
+        trace
+            .procs()
+            .map(|q| trace.checkpoints(q).len())
+            .collect(),
+    );
+    start.set_ordinal(p, ordinal);
+    loop {
+        let mut changed = false;
+        for m in trace.messages() {
+            if let Some(recv_interval) = m.recv_interval {
+                if recv_interval < start.ordinal(m.to) && m.send_interval >= start.ordinal(m.from)
+                {
+                    if m.to == p && recv_interval < ordinal {
+                        // The pinned checkpoint itself would have to roll
+                        // back: no consistent cut contains it.
+                        return None;
+                    }
+                    start.set_ordinal(m.to, recv_interval);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Some(start);
+        }
+    }
+}
+
+/// Brute-force consistency reference: checks every message pairwise.
+/// Identical to [`is_consistent`]; kept separate so property tests can
+/// cross-validate optimized analyses against an obviously correct oracle.
+pub fn is_consistent_bruteforce(trace: &Trace, cut: &Cut) -> bool {
+    for m in trace.messages() {
+        let (Some(ri), Some(_)) = (m.recv_interval, m.recv_time) else {
+            continue;
+        };
+        let send_undone = m.send_interval >= cut.ordinal(m.from);
+        let recv_kept = ri < cut.ordinal(m.to);
+        if send_undone && recv_kept {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CkptKind, MsgId, TraceBuilder};
+
+    /// p0 sends m after its checkpoint; p1 receives m before its checkpoint.
+    /// The cut (1, 1) is then inconsistent (m is orphan).
+    fn orphan_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch); // C0,1
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0); // sent in interval 1
+        b.recv(MsgId(1), 3.0); // received in interval 0
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::CellSwitch); // C1,1
+        b.finish()
+    }
+
+    #[test]
+    fn initial_cut_is_always_consistent() {
+        let t = orphan_trace();
+        assert!(is_consistent(&t, &Cut::initial(2)));
+    }
+
+    #[test]
+    fn orphan_detection() {
+        let t = orphan_trace();
+        let bad = Cut::new(vec![1, 1]);
+        assert!(!is_consistent(&t, &bad));
+        assert_eq!(orphans(&t, &bad).len(), 1);
+        // Rolling back the receiver fixes it.
+        let good = Cut::new(vec![1, 0]);
+        assert!(is_consistent(&t, &good));
+        // Rolling back the sender also fixes it.
+        let good2 = Cut::new(vec![0, 1]);
+        assert!(!is_consistent(&t, &good2), "send in interval 1 >= 0 is still undone...");
+    }
+
+    #[test]
+    fn orphan_semantics_exact() {
+        // send_interval >= cut[from] means the send is undone.
+        let t = orphan_trace();
+        // cut[from]=2 keeps the send (interval 1 < 2) => not orphan.
+        // p0 has only ckpts 0,1 so ordinal 2 is out of range for a real line,
+        // but is_orphan is a pure predicate on numbers.
+        let cut = Cut::new(vec![2, 1]);
+        assert!(is_consistent(&t, &cut));
+    }
+
+    #[test]
+    fn in_transit_is_not_orphan() {
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 1.0);
+        b.checkpoint(ProcId(0), 2.0, 1, CkptKind::CellSwitch);
+        // Never received.
+        let t = b.finish();
+        assert!(is_consistent(&t, &Cut::new(vec![1, 0])));
+    }
+
+    #[test]
+    fn max_cut_rolls_back_receiver() {
+        let t = orphan_trace();
+        let line = latest_recovery_line(&t);
+        assert_eq!(line.ordinals(), &[1, 0]);
+        assert!(is_consistent(&t, &line));
+    }
+
+    #[test]
+    fn rollback_propagates_transitively() {
+        // p0 ckpt; p0 -> p1 (orphan for p1's ckpt); p1 -> p2 after p1's ckpt,
+        // received before p2's ckpt. Rolling p1 back makes its send orphan,
+        // which must roll p2 back too... construct carefully:
+        // p1 receives m1 in interval 0, then ckpts (C1,1), then sends m2.
+        // p2 receives m2 in interval 0, then ckpts (C2,1).
+        // m1 is orphan wrt (1,1,_): p1 rolls to 0. Then m2's send (interval 1
+        // >= 0) is undone while p2's receive (interval 0 < 1) survives: p2
+        // rolls to 0.
+        let mut b = TraceBuilder::new(3);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        b.send(MsgId(2), ProcId(1), ProcId(2), 5.0);
+        b.recv(MsgId(2), 6.0);
+        b.checkpoint(ProcId(2), 7.0, 1, CkptKind::Forced);
+        let t = b.finish();
+
+        let line = latest_recovery_line(&t);
+        assert_eq!(line.ordinals(), &[1, 0, 0]);
+        assert!(is_consistent(&t, &line));
+    }
+
+    #[test]
+    fn consistent_trace_keeps_latest() {
+        // Message fully inside matching intervals: latest cut is consistent.
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 1.0);
+        b.recv(MsgId(1), 2.0);
+        b.checkpoint(ProcId(0), 3.0, 1, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(1), 3.5, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        let line = latest_recovery_line(&t);
+        assert_eq!(line.ordinals(), &[1, 1]);
+    }
+
+    #[test]
+    fn containing_cut_for_useful_checkpoint() {
+        let t = orphan_trace();
+        // C1,1 (p1's checkpoint) received m in interval 0 while m was sent
+        // after C0,1. No *stable* p0 checkpoint covers the send, but p0's
+        // volatile state (virtual ordinal 2) does — C1,1 is not useless, it
+        // just needs p0's next checkpoint.
+        let cut = max_consistent_cut_containing(&t, ProcId(1), 1).unwrap();
+        assert_eq!(cut.ordinals(), &[2, 1]);
+        assert!(is_consistent(&t, &cut));
+        // C0,1 belongs to the line [1, 0]: pinning it forces p1's receive of
+        // m (an orphan otherwise) to be undone.
+        let cut = max_consistent_cut_containing(&t, ProcId(0), 1).unwrap();
+        assert_eq!(cut.ordinals(), &[1, 0]);
+        assert!(is_consistent(&t, &cut));
+    }
+
+    #[test]
+    fn containing_cut_recovers_after_later_checkpoint() {
+        // Like orphan_trace, but p0 takes another checkpoint after the send;
+        // then C1,1 pairs with C0,2.
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.checkpoint(ProcId(0), 2.5, 2, CkptKind::CellSwitch);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        let t = b.finish();
+        let cut = max_consistent_cut_containing(&t, ProcId(1), 1).unwrap();
+        // The *maximum* containing cut pairs C1,1 with p0's volatile state
+        // (ordinal 3); the stable cut [2, 1] is also consistent but smaller.
+        assert_eq!(cut.ordinals(), &[3, 1]);
+        assert!(is_consistent(&t, &cut));
+        assert!(is_consistent(&t, &Cut::new(vec![2, 1])));
+    }
+
+    #[test]
+    fn bruteforce_agrees_on_examples() {
+        let t = orphan_trace();
+        for c0 in 0..2 {
+            for c1 in 0..2 {
+                let cut = Cut::new(vec![c0, c1]);
+                assert_eq!(
+                    is_consistent(&t, &cut),
+                    is_consistent_bruteforce(&t, &cut),
+                    "cut {cut:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_domination() {
+        let a = Cut::new(vec![1, 2]);
+        let b = Cut::new(vec![2, 2]);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert!(a.dominated_by(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "no checkpoint")]
+    fn containing_rejects_bad_ordinal() {
+        let t = orphan_trace();
+        let _ = max_consistent_cut_containing(&t, ProcId(0), 5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Online dependency-vector tracking.
+//!
+//! The offline analyses in [`crate::cut`] scan a recorded trace. Running
+//! systems need the *online* equivalent: each process maintains a
+//! **checkpoint dependency vector** `D_p` where `D_p[q]` is the smallest
+//! ordinal `k` such that process `p`'s current state does **not** depend on
+//! anything `q` did at or after its `k`-th checkpoint (equivalently: one
+//! more than the largest checkpoint interval of `q` that causally reaches
+//! `p`). The vector piggybacks on messages and merges by componentwise
+//! maximum — this is exactly the mechanism behind TP's `CKPT[]` vector
+//! (Acharya–Badrinath prove it necessary for building global checkpoints
+//! on the fly).
+//!
+//! **Characterization** (verified against the orphan-scan oracle by
+//! property tests): a cut `(k_1, …, k_n)` is consistent iff for every
+//! process `p`, the dependency vector recorded at `p`'s cut checkpoint is
+//! componentwise `<=` the cut. Intuitively: nothing the surviving states
+//! depend on gets rolled back.
+
+use crate::cut::Cut;
+use crate::trace::ProcId;
+
+/// Per-system online dependency tracker (simulates all processes; a real
+/// deployment would shard this per host, as TP does).
+#[derive(Debug, Clone)]
+pub struct DependencyTracker {
+    n: usize,
+    /// `dep[p][q]` = minimum cut component for `q` required by `p`'s
+    /// current state (0 = no dependency).
+    dep: Vec<Vec<usize>>,
+    /// Checkpoints taken per process (ordinal of the next checkpoint).
+    counts: Vec<usize>,
+    /// Dependency vector snapshot recorded at each checkpoint:
+    /// `at_ckpt[p][k]` = vector stored with `C_{p,k}`.
+    at_ckpt: Vec<Vec<Vec<usize>>>,
+}
+
+impl DependencyTracker {
+    /// A tracker for `n` processes, each with its implicit initial
+    /// checkpoint (ordinal 0, empty dependencies).
+    pub fn new(n: usize) -> Self {
+        DependencyTracker {
+            n,
+            dep: vec![vec![0; n]; n],
+            counts: vec![1; n], // ordinal 0 exists
+            at_ckpt: (0..n).map(|_| vec![vec![0; n]]).collect(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n
+    }
+
+    /// Process `p` takes a checkpoint; returns its ordinal. The stored
+    /// snapshot is the dependency vector of the state being saved.
+    pub fn on_checkpoint(&mut self, p: ProcId) -> usize {
+        let ordinal = self.counts[p.idx()];
+        self.counts[p.idx()] += 1;
+        let snapshot = self.dep[p.idx()].clone();
+        self.at_ckpt[p.idx()].push(snapshot);
+        ordinal
+    }
+
+    /// Process `p` sends a message: returns the vector to piggyback. The
+    /// receiver additionally depends on everything after `p`'s latest
+    /// checkpoint, so the sender's own component is bumped to its current
+    /// interval + 1.
+    pub fn on_send(&mut self, p: ProcId) -> Vec<usize> {
+        let mut v = self.dep[p.idx()].clone();
+        // The message carries state from p's current interval, which starts
+        // at checkpoint counts-1: the receiver must keep that checkpoint.
+        v[p.idx()] = v[p.idx()].max(self.counts[p.idx()]);
+        v
+    }
+
+    /// Process `p` receives a message carrying `piggyback`.
+    pub fn on_receive(&mut self, p: ProcId, piggyback: &[usize]) {
+        assert_eq!(piggyback.len(), self.n, "piggyback width");
+        for (mine, theirs) in self.dep[p.idx()].iter_mut().zip(piggyback) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// The dependency vector stored with checkpoint `(p, ordinal)`.
+    pub fn vector_at(&self, p: ProcId, ordinal: usize) -> &[usize] {
+        &self.at_ckpt[p.idx()][ordinal]
+    }
+
+    /// Checkpoints taken by `p` (including the initial one).
+    pub fn n_checkpoints(&self, p: ProcId) -> usize {
+        self.counts[p.idx()]
+    }
+
+    /// The online consistency test: is `cut` consistent according to the
+    /// recorded dependency vectors? (`cut` components beyond the stable
+    /// checkpoints — volatile states — use the live vectors.)
+    pub fn cut_is_consistent(&self, cut: &Cut) -> bool {
+        for p in 0..self.n {
+            let k = cut.ordinal(ProcId(p));
+            let vector = if k < self.counts[p] {
+                &self.at_ckpt[p][k]
+            } else {
+                // Volatile state: live dependencies.
+                &self.dep[p]
+            };
+            for (q, &required) in vector.iter().enumerate() {
+                if cut.ordinal(ProcId(q)) < required {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The smallest consistent cut containing checkpoint `(p, k)` according
+    /// to the vectors: start from that checkpoint's requirements and close
+    /// transitively (each added checkpoint brings its own requirements).
+    pub fn minimal_cut_containing(&self, p: ProcId, k: usize) -> Cut {
+        let mut need: Vec<usize> = vec![0; self.n];
+        need[p.idx()] = k;
+        loop {
+            let mut changed = false;
+            for q in 0..self.n {
+                // A volatile component keeps everything q received, so its
+                // requirements are the live vector; a stable component's
+                // requirements are the snapshot stored with it.
+                let vec_q = if need[q] < self.counts[q] {
+                    &self.at_ckpt[q][need[q]]
+                } else {
+                    &self.dep[q]
+                };
+                for (r, &req) in vec_q.iter().enumerate() {
+                    if need[r] < req {
+                        need[r] = req;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Cut::new(need);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_has_no_dependencies() {
+        let t = DependencyTracker::new(3);
+        assert!(t.cut_is_consistent(&Cut::new(vec![0, 0, 0])));
+        assert_eq!(t.vector_at(ProcId(0), 0), &[0, 0, 0]);
+        assert_eq!(t.n_checkpoints(ProcId(0)), 1);
+    }
+
+    #[test]
+    fn send_bumps_own_component() {
+        let mut t = DependencyTracker::new(2);
+        let pb = t.on_send(ProcId(0));
+        // Receiver must keep p0's checkpoint 1 (which doesn't exist yet →
+        // requirement on the volatile/next checkpoint).
+        assert_eq!(pb, vec![1, 0]);
+    }
+
+    #[test]
+    fn orphan_is_detected_via_vectors() {
+        // p0 checkpoints (C0,1), sends; p1 receives then checkpoints (C1,1).
+        let mut t = DependencyTracker::new(2);
+        assert_eq!(t.on_checkpoint(ProcId(0)), 1);
+        let pb = t.on_send(ProcId(0)); // requires cut0 >= 2
+        t.on_receive(ProcId(1), &pb);
+        assert_eq!(t.on_checkpoint(ProcId(1)), 1);
+        // Cut (1, 1): C1,1 requires cut0 >= 2 → inconsistent (orphan).
+        assert!(!t.cut_is_consistent(&Cut::new(vec![1, 1])));
+        // Cut (1, 0) and (2=volatile, 1) are fine.
+        assert!(t.cut_is_consistent(&Cut::new(vec![1, 0])));
+        assert!(t.cut_is_consistent(&Cut::new(vec![2, 1])));
+    }
+
+    #[test]
+    fn transitive_dependencies_propagate() {
+        // p0 → p1 → p2; p2's checkpoint transitively requires p0's interval.
+        let mut t = DependencyTracker::new(3);
+        t.on_checkpoint(ProcId(0)); // C0,1
+        let m1 = t.on_send(ProcId(0));
+        t.on_receive(ProcId(1), &m1);
+        let m2 = t.on_send(ProcId(1));
+        t.on_receive(ProcId(2), &m2);
+        t.on_checkpoint(ProcId(2)); // C2,1
+        // C2,1 depends on p0's interval after C0,1 AND p1's interval 0.
+        assert_eq!(t.vector_at(ProcId(2), 1), &[2, 1, 0]);
+        assert!(!t.cut_is_consistent(&Cut::new(vec![1, 1, 1])));
+        // Volatile p0 and p1 fix it.
+        assert!(t.cut_is_consistent(&Cut::new(vec![2, 1, 1])));
+    }
+
+    #[test]
+    fn minimal_containing_cut_closes_transitively() {
+        let mut t = DependencyTracker::new(3);
+        t.on_checkpoint(ProcId(0));
+        let m1 = t.on_send(ProcId(0));
+        t.on_receive(ProcId(1), &m1);
+        let k1 = t.on_checkpoint(ProcId(1));
+        let cut = t.minimal_cut_containing(ProcId(1), k1);
+        // C1,1 needs p0's volatile (ordinal 2); p2 stays at 0.
+        assert_eq!(cut.ordinals(), &[2, 1, 0]);
+        assert!(t.cut_is_consistent(&cut));
+    }
+}

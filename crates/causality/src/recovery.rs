@@ -1,0 +1,309 @@
+//! Recovery lines and rollback measurement.
+//!
+//! The paper's protocols exist to make recovery cheap: after a failure the
+//! application must restart from a consistent global checkpoint that undoes
+//! as little computation as possible. This module computes that line and
+//! quantifies the *undone computation* (the paper lists both as future work;
+//! we implement them as an extension).
+//!
+//! Processes that did **not** fail may restart from their current volatile
+//! state, which acts as a *virtual checkpoint* at the end of the trace
+//! (ordinal `n_checkpoints`). Failed processes must fall back to their last
+//! stable checkpoint. Rollback propagation (see
+//! [`crate::cut::max_consistent_cut_below`]) then yields the unique maximal
+//! consistent line.
+
+use crate::cut::{max_consistent_cut_below, Cut};
+use crate::trace::{ProcId, Trace};
+
+/// The cut in which every process keeps its volatile state (virtual final
+/// checkpoint). Always consistent on its own.
+pub fn volatile_cut(trace: &Trace) -> Cut {
+    Cut::new(
+        trace
+            .procs()
+            .map(|p| trace.checkpoints(p).len())
+            .collect(),
+    )
+}
+
+/// The recovery line after the given processes fail at the end of the trace.
+///
+/// Failed processes restart from their last stable checkpoint; the others
+/// start from volatile state and are rolled back only as far as orphan
+/// messages force them.
+pub fn recovery_line_after_failure(trace: &Trace, failed: &[ProcId]) -> Cut {
+    let mut start = volatile_cut(trace);
+    for &p in failed {
+        let stable = trace.checkpoints(p).len() - 1;
+        start.set_ordinal(p, stable);
+    }
+    max_consistent_cut_below(trace, &start)
+}
+
+/// Per-process and aggregate rollback cost of restarting from `line` at
+/// wall-clock `at_time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollbackCost {
+    /// For each process, simulated time undone (`at_time` minus the restart
+    /// checkpoint's timestamp; zero when restarting from volatile state).
+    pub time_undone: Vec<f64>,
+    /// For each process, number of local checkpoints discarded.
+    pub checkpoints_undone: Vec<usize>,
+}
+
+impl RollbackCost {
+    /// Total simulated time undone across processes — the paper's "amount of
+    /// undone computation due to a failure".
+    pub fn total_time_undone(&self) -> f64 {
+        self.time_undone.iter().sum()
+    }
+
+    /// Largest single-process rollback.
+    pub fn max_time_undone(&self) -> f64 {
+        self.time_undone.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total checkpoints discarded.
+    pub fn total_checkpoints_undone(&self) -> usize {
+        self.checkpoints_undone.iter().sum()
+    }
+}
+
+/// Measures the rollback cost of restarting from `line` at time `at_time`.
+pub fn rollback_cost(trace: &Trace, line: &Cut, at_time: f64) -> RollbackCost {
+    let mut time_undone = Vec::with_capacity(trace.n_procs());
+    let mut checkpoints_undone = Vec::with_capacity(trace.n_procs());
+    for p in trace.procs() {
+        let ckpts = trace.checkpoints(p);
+        let ord = line.ordinal(p);
+        if ord >= ckpts.len() {
+            // Volatile state: nothing undone.
+            time_undone.push(0.0);
+            checkpoints_undone.push(0);
+        } else {
+            let restart = &ckpts[ord];
+            time_undone.push((at_time - restart.time).max(0.0));
+            checkpoints_undone.push(ckpts.len() - 1 - ord);
+        }
+    }
+    RollbackCost {
+        time_undone,
+        checkpoints_undone,
+    }
+}
+
+/// Convenience: recovery line and its cost for a single failed process.
+pub fn single_failure_rollback(trace: &Trace, failed: ProcId, at_time: f64) -> (Cut, RollbackCost) {
+    let line = recovery_line_after_failure(trace, &[failed]);
+    let cost = rollback_cost(trace, &line, at_time);
+    (line, cost)
+}
+
+/// The most recent **stable** consistent global checkpoint as of time `t`:
+/// only checkpoints taken by `t` participate, and only messages *received*
+/// by `t` can be orphan (later receives have not happened yet; in-transit
+/// messages never violate consistency).
+///
+/// This is the line a garbage collector may rely on at time `t`: every
+/// checkpoint strictly older than its component on some process can never
+/// again be needed for recovery.
+pub fn recovery_line_at_time(trace: &Trace, t: f64) -> Cut {
+    let mut cut = Cut::new(
+        trace
+            .procs()
+            .map(|p| {
+                trace
+                    .checkpoints(p)
+                    .iter()
+                    .rev()
+                    .find(|c| c.time <= t)
+                    .map(|c| c.ordinal)
+                    .unwrap_or(0)
+            })
+            .collect(),
+    );
+    loop {
+        let mut changed = false;
+        for m in trace.messages() {
+            let (Some(recv_interval), Some(recv_time)) = (m.recv_interval, m.recv_time) else {
+                continue;
+            };
+            if recv_time > t {
+                continue;
+            }
+            if recv_interval < cut.ordinal(m.to) && m.send_interval >= cut.ordinal(m.from) {
+                cut.set_ordinal(m.to, recv_interval);
+                changed = true;
+            }
+        }
+        if !changed {
+            return cut;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::is_consistent;
+    use crate::trace::{CkptKind, MsgId, TraceBuilder};
+
+    /// p0: C0 --m1--> C1 ... p1: C0 .. recv m1 .. C1
+    /// A failure of p0 rolls it back to C0,1; m1 was sent in interval 0,
+    /// received in interval 0: not orphan for (1, volatile). No propagation.
+    #[test]
+    fn failure_of_sender_without_orphans() {
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 1.0);
+        b.checkpoint(ProcId(0), 2.0, 1, CkptKind::CellSwitch);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+
+        let line = recovery_line_after_failure(&t, &[ProcId(0)]);
+        // p0 back to stable ckpt 1; p1 keeps volatile state (ordinal 2).
+        assert_eq!(line.ordinals(), &[1, 2]);
+        assert!(is_consistent(&t, &line));
+    }
+
+    /// The failed process's lost volatile send orphans the receiver, which
+    /// must roll back past its own checkpoint.
+    #[test]
+    fn failure_propagates_to_receiver() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0); // interval 1: undone
+        b.recv(MsgId(1), 3.0); // interval 0
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        let t = b.finish();
+
+        let line = recovery_line_after_failure(&t, &[ProcId(0)]);
+        // p0 → ckpt 1; message from interval 1 is undone; p1's receive in
+        // interval 0 must be undone: p1 → ordinal 0.
+        assert_eq!(line.ordinals(), &[1, 0]);
+        assert!(is_consistent(&t, &line));
+    }
+
+    #[test]
+    fn volatile_cut_keeps_everything() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        let v = volatile_cut(&t);
+        assert_eq!(v.ordinals(), &[2, 1]);
+        assert!(is_consistent(&t, &v));
+        let cost = rollback_cost(&t, &v, 10.0);
+        assert_eq!(cost.total_time_undone(), 0.0);
+        assert_eq!(cost.total_checkpoints_undone(), 0);
+    }
+
+    #[test]
+    fn rollback_cost_measures_undone_time() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 2.0, 1, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(0), 6.0, 2, CkptKind::CellSwitch);
+        let t = b.finish();
+        // Roll p0 to ordinal 1 (time 2.0) at time 10: 8 units undone, one
+        // checkpoint discarded.
+        let line = Cut::new(vec![1, 1]);
+        let cost = rollback_cost(&t, &line, 10.0);
+        assert_eq!(cost.time_undone[0], 8.0);
+        assert_eq!(cost.checkpoints_undone[0], 1);
+        // p1 has one (initial) checkpoint, so ordinal 1 is its volatile
+        // state: nothing undone there.
+        assert_eq!(cost.time_undone[1], 0.0);
+        assert_eq!(cost.max_time_undone(), 8.0);
+        assert_eq!(cost.total_time_undone(), 8.0);
+    }
+
+    #[test]
+    fn multi_failure_rolls_all_failed() {
+        let mut b = TraceBuilder::new(3);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(1), 1.0, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        let line = recovery_line_after_failure(&t, &[ProcId(0), ProcId(1)]);
+        assert_eq!(line.ordinals(), &[1, 1, 1]); // p2 volatile (1 = n_ckpts)
+    }
+
+    #[test]
+    fn single_failure_helper() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 5.0, 1, CkptKind::Disconnect);
+        let t = b.finish();
+        let (line, cost) = single_failure_rollback(&t, ProcId(0), 7.0);
+        assert_eq!(line.ordinal(ProcId(0)), 1);
+        assert!((cost.time_undone[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_at_time_uses_only_past_checkpoints() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 5.0, 1, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(1), 8.0, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        assert_eq!(recovery_line_at_time(&t, 1.0).ordinals(), &[0, 0]);
+        assert_eq!(recovery_line_at_time(&t, 6.0).ordinals(), &[1, 0]);
+        assert_eq!(recovery_line_at_time(&t, 9.0).ordinals(), &[1, 1]);
+    }
+
+    #[test]
+    fn line_at_time_ignores_future_receives() {
+        // Orphan-creating message whose receive happens after t: at t the
+        // line may keep both checkpoints, later it must roll back.
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0); // interval 1
+        b.recv(MsgId(1), 10.0); // interval 0 at p1
+        b.checkpoint(ProcId(1), 11.0, 1, CkptKind::Forced);
+        let t = b.finish();
+        assert_eq!(recovery_line_at_time(&t, 5.0).ordinals(), &[1, 0]);
+        // After the receive and p1's checkpoint, the line rolls p1 back.
+        assert_eq!(recovery_line_at_time(&t, 12.0).ordinals(), &[1, 0]);
+        assert!(is_consistent(&t, &recovery_line_at_time(&t, 12.0)));
+    }
+
+    /// Domino effect: uncoordinated ping-pong pattern where a single failure
+    /// cascades nearly all the way back to the initial states.
+    #[test]
+    fn domino_effect_cascades() {
+        // Per round r: p0 checkpoints, then sends; p1 receives, checkpoints,
+        // then replies; p0 receives. Every message is thus sent *after* a
+        // checkpoint and received *before* the peer's next one — the classic
+        // domino-prone pattern for uncoordinated checkpointing.
+        let mut b = TraceBuilder::new(2);
+        let mut t_clock = 1.0;
+        let mut mid = 0;
+        for round in 0..3u64 {
+            b.checkpoint(ProcId(0), t_clock, round + 1, CkptKind::Periodic);
+            t_clock += 1.0;
+            mid += 1;
+            b.send(MsgId(mid), ProcId(0), ProcId(1), t_clock);
+            t_clock += 1.0;
+            b.recv(MsgId(mid), t_clock);
+            t_clock += 1.0;
+            b.checkpoint(ProcId(1), t_clock, round + 1, CkptKind::Periodic);
+            t_clock += 1.0;
+            mid += 1;
+            b.send(MsgId(mid), ProcId(1), ProcId(0), t_clock);
+            t_clock += 1.0;
+            b.recv(MsgId(mid), t_clock);
+            t_clock += 1.0;
+        }
+        let t = b.finish();
+        // Sanity: keeping everything latest-stable is wildly inconsistent.
+        assert!(!is_consistent(&t, &Cut::latest(&t)));
+        let line = recovery_line_after_failure(&t, &[ProcId(0)]);
+        assert!(is_consistent(&t, &line));
+        // The cascade alternates p0/p1 rollbacks down to (1, 0): 5 of the 6
+        // non-initial checkpoints are lost to the domino effect.
+        assert_eq!(line.ordinals(), &[1, 0]);
+        let cost = rollback_cost(&t, &line, t_clock);
+        assert_eq!(cost.total_checkpoints_undone(), 2 + 3);
+        // ...and a p1 failure cascades too.
+        let line1 = recovery_line_after_failure(&t, &[ProcId(1)]);
+        assert!(is_consistent(&t, &line1));
+        assert!(line1.ordinal(ProcId(0)) <= 1);
+    }
+}

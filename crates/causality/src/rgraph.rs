@@ -1,0 +1,198 @@
+//! The rollback-dependency graph (R-graph, Y.-M. Wang).
+//!
+//! Nodes are **checkpoint intervals**: `I(p, k)` is the span of process `p`
+//! between its `k`-th and `k+1`-th checkpoints (the last interval of each
+//! process is its *volatile* interval). Edges capture "rolling back the
+//! source forces rolling back the target":
+//!
+//! * `I(p, k) → I(p, k+1)` — undoing an interval undoes its successors;
+//! * `I(p, s) → I(q, r)` for every message sent in `I(p, s)` and received
+//!   in `I(q, r)` — undoing the send orphans the receive.
+//!
+//! Recovery is reachability: mark the intervals lost to a failure, close
+//! under edges, and each process restarts from the checkpoint that *opens*
+//! its earliest marked interval. This is an independent formulation of the
+//! rollback-propagation fixpoint in [`crate::cut`]; the property tests
+//! check the two agree on arbitrary traces, so each validates the other.
+
+use crate::cut::Cut;
+use crate::trace::{ProcId, Trace};
+
+/// The rollback-dependency graph of a trace.
+pub struct RGraph<'t> {
+    trace: &'t Trace,
+    /// `offset[p]` = index of `I(p, 0)` in the flat node numbering.
+    offset: Vec<usize>,
+    /// Adjacency list over flat node ids.
+    adj: Vec<Vec<usize>>,
+}
+
+impl<'t> RGraph<'t> {
+    /// Builds the R-graph (O(nodes + messages) time and space).
+    pub fn build(trace: &'t Trace) -> Self {
+        let n = trace.n_procs();
+        let mut offset = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for p in trace.procs() {
+            offset.push(total);
+            // A process with `len` checkpoints has real intervals
+            // 0 .. len-1 (interval k is opened by checkpoint k; the last
+            // one is volatile), plus one *phantom* node at index `len`
+            // representing "nothing rolled back": a process whose earliest
+            // marked node is the phantom keeps its volatile state, which is
+            // exactly the Cut convention of ordinal = n_checkpoints.
+            total += trace.checkpoints(p).len() + 1;
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+        // Intra-process succession edges.
+        for p in trace.procs() {
+            let base = offset[p.idx()];
+            let intervals = trace.checkpoints(p).len() + 1;
+            for k in 0..intervals - 1 {
+                adj[base + k].push(base + k + 1);
+            }
+        }
+        // Message edges: send interval → receive interval.
+        for m in trace.messages() {
+            if let Some(r) = m.recv_interval {
+                let from = offset[m.from.idx()] + m.send_interval;
+                let to = offset[m.to.idx()] + r;
+                adj[from].push(to);
+            }
+        }
+        RGraph { trace, offset, adj }
+    }
+
+    /// Flat node id of interval `k` of process `p`.
+    fn node(&self, p: ProcId, k: usize) -> usize {
+        debug_assert!(k <= self.trace.checkpoints(p).len());
+        self.offset[p.idx()] + k
+    }
+
+    /// Number of interval nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Computes the recovery line when, for each process in `lost`, every
+    /// interval from the given index onward is lost (e.g. a failed
+    /// process's volatile interval).
+    ///
+    /// Returns the cut of restart checkpoints: for each process, the
+    /// ordinal of the checkpoint opening its earliest rolled-back interval
+    /// (or the volatile frontier `n_checkpoints` when nothing rolled back).
+    pub fn recovery_line(&self, lost: &[(ProcId, usize)]) -> Cut {
+        let mut marked = vec![false; self.adj.len()];
+        let mut stack = Vec::new();
+        for &(p, k) in lost {
+            let id = self.node(p, k);
+            if !marked[id] {
+                marked[id] = true;
+                stack.push(id);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &w in &self.adj[v] {
+                if !marked[w] {
+                    marked[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        Cut::new(
+            self.trace
+                .procs()
+                .map(|p| {
+                    let base = self.offset[p.idx()];
+                    let intervals = self.trace.checkpoints(p).len() + 1;
+                    (0..intervals)
+                        .find(|&k| marked[base + k])
+                        .unwrap_or(intervals - 1)
+                })
+                .collect(),
+        )
+    }
+
+    /// The recovery line after the given processes fail: each loses its
+    /// volatile interval (the one opened by its last checkpoint). Agrees
+    /// with [`crate::recovery::recovery_line_after_failure`].
+    pub fn recovery_line_after_failure(&self, failed: &[ProcId]) -> Cut {
+        let lost: Vec<(ProcId, usize)> = failed
+            .iter()
+            .map(|&p| (p, self.trace.checkpoints(p).len() - 1))
+            .collect();
+        self.recovery_line(&lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::is_consistent;
+    use crate::recovery::recovery_line_after_failure;
+    use crate::trace::{CkptKind, MsgId, TraceBuilder};
+
+    fn orphan_trace() -> Trace {
+        // p0: C1 then send; p1: receive then C1 — failure of p0 cascades.
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        b.finish()
+    }
+
+    #[test]
+    fn node_count_includes_volatile_intervals() {
+        let t = orphan_trace();
+        let g = RGraph::build(&t);
+        // p0: ckpts {0,1} → 3 intervals; p1: ckpts {0,1} → 3 intervals.
+        assert_eq!(g.n_nodes(), 6);
+    }
+
+    #[test]
+    fn failure_line_matches_fixpoint() {
+        let t = orphan_trace();
+        let g = RGraph::build(&t);
+        for failed in t.procs() {
+            let via_graph = g.recovery_line_after_failure(&[failed]);
+            let via_fixpoint = recovery_line_after_failure(&t, &[failed]);
+            assert_eq!(
+                via_graph.ordinals(),
+                via_fixpoint.ordinals(),
+                "failed = {failed}"
+            );
+            assert!(is_consistent(&t, &via_graph));
+        }
+    }
+
+    #[test]
+    fn losing_an_old_interval_cascades_forward_and_across() {
+        let t = orphan_trace();
+        let g = RGraph::build(&t);
+        // Losing p0's interval 1 (where the send happened) rolls p0 to
+        // checkpoint 1 and drags p1's receive (interval 0) down too.
+        let line = g.recovery_line(&[(ProcId(0), 1)]);
+        assert_eq!(line.ordinals(), &[1, 0]);
+    }
+
+    #[test]
+    fn no_loss_keeps_volatile_frontier() {
+        let t = orphan_trace();
+        let g = RGraph::build(&t);
+        let line = g.recovery_line(&[]);
+        assert_eq!(line.ordinals(), &[2, 2]); // volatile intervals
+    }
+
+    #[test]
+    fn multi_failure_union() {
+        let mut b = TraceBuilder::new(3);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(1), 1.5, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        let g = RGraph::build(&t);
+        let line = g.recovery_line_after_failure(&[ProcId(0), ProcId(1)]);
+        let reference = recovery_line_after_failure(&t, &[ProcId(0), ProcId(1)]);
+        assert_eq!(line.ordinals(), reference.ordinals());
+    }
+}

@@ -1,0 +1,369 @@
+//! Plain-text serialization of traces.
+//!
+//! Recorded traces are the interface between the simulator and offline
+//! analysis (or other tools entirely); this module gives them a stable,
+//! diff-friendly text form:
+//!
+//! ```text
+//! trace v1 procs 3
+//! ckpt <proc> <ordinal> <time> <index> <kind>
+//! msg <id> <from> <to> <send_interval> <send_time> [<recv_interval> <recv_time>]
+//! ```
+//!
+//! Deserialization **replays** the events through a [`TraceBuilder`]: the
+//! per-process order is reconstructed from the interval structure and the
+//! cross-process send-before-receive constraints are honoured by a
+//! smallest-time-first topological merge, so a parsed trace satisfies every
+//! invariant the builder enforces. The round trip is exact (verified by
+//! property tests).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
+
+/// Parse/validation failure with a line-anchored message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError(pub String);
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+fn kind_str(k: CkptKind) -> &'static str {
+    match k {
+        CkptKind::Initial => "initial",
+        CkptKind::CellSwitch => "cell-switch",
+        CkptKind::Disconnect => "disconnect",
+        CkptKind::Forced => "forced",
+        CkptKind::Periodic => "periodic",
+        CkptKind::Coordinated => "coordinated",
+    }
+}
+
+fn kind_parse(s: &str) -> Option<CkptKind> {
+    Some(match s {
+        "initial" => CkptKind::Initial,
+        "cell-switch" => CkptKind::CellSwitch,
+        "disconnect" => CkptKind::Disconnect,
+        "forced" => CkptKind::Forced,
+        "periodic" => CkptKind::Periodic,
+        "coordinated" => CkptKind::Coordinated,
+        _ => return None,
+    })
+}
+
+/// Serializes a trace to the v1 text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = format!("trace v1 procs {}\n", trace.n_procs());
+    for p in trace.procs() {
+        for c in trace.checkpoints(p) {
+            if c.kind == CkptKind::Initial {
+                continue; // implicit
+            }
+            out.push_str(&format!(
+                "ckpt {} {} {} {} {}\n",
+                p.idx(),
+                c.ordinal,
+                c.time,
+                c.index,
+                kind_str(c.kind)
+            ));
+        }
+    }
+    for m in trace.messages() {
+        match (m.recv_interval, m.recv_time) {
+            (Some(r), Some(rt)) => out.push_str(&format!(
+                "msg {} {} {} {} {} {} {}\n",
+                m.id.0,
+                m.from.idx(),
+                m.to.idx(),
+                m.send_interval,
+                m.send_time,
+                r,
+                rt
+            )),
+            _ => out.push_str(&format!(
+                "msg {} {} {} {} {}\n",
+                m.id.0,
+                m.from.idx(),
+                m.to.idx(),
+                m.send_interval,
+                m.send_time
+            )),
+        }
+    }
+    out
+}
+
+/// One replayable event during deserialization.
+#[derive(Debug, Clone)]
+enum Ev {
+    Ckpt {
+        time: f64,
+        index: u64,
+        kind: CkptKind,
+    },
+    Send {
+        time: f64,
+        id: u64,
+        to: usize,
+    },
+    Recv {
+        time: f64,
+        id: u64,
+    },
+}
+
+impl Ev {
+    fn time(&self) -> f64 {
+        match self {
+            Ev::Ckpt { time, .. } | Ev::Send { time, .. } | Ev::Recv { time, .. } => *time,
+        }
+    }
+
+    /// Receives sort after sends/checkpoints at equal times, which makes
+    /// the greedy merge deadlock-free (a receive's send can never be stuck
+    /// behind it).
+    fn tie_rank(&self) -> u8 {
+        match self {
+            Ev::Recv { .. } => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// Parses the v1 text format back into a [`Trace`].
+pub fn from_text(text: &str) -> Result<Trace, TextError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| TextError("empty input".into()))?;
+    let n_procs: usize = match header.split_whitespace().collect::<Vec<_>>()[..] {
+        ["trace", "v1", "procs", n] => n
+            .parse()
+            .map_err(|_| TextError(format!("bad proc count '{n}'")))?,
+        _ => return Err(TextError(format!("bad header: '{header}'"))),
+    };
+
+    // Per-process interval-ordered event streams.
+    struct PerProc {
+        ckpts: Vec<(usize, Ev)>,         // (ordinal, event)
+        by_interval: Vec<Vec<Ev>>,       // interval -> events within it
+    }
+    let mut procs: Vec<PerProc> = (0..n_procs)
+        .map(|_| PerProc {
+            ckpts: Vec::new(),
+            by_interval: vec![Vec::new()],
+        })
+        .collect();
+    let check = |cond: bool, lineno: usize, msg: &str| {
+        if cond {
+            Ok(())
+        } else {
+            Err(TextError(format!("line {}: {msg}", lineno + 1)))
+        }
+    };
+    let slot = |procs: &mut Vec<PerProc>, p: usize, interval: usize| {
+        let per = &mut procs[p];
+        while per.by_interval.len() <= interval {
+            per.by_interval.push(Vec::new());
+        }
+    };
+
+    for (lineno, line) in lines {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.is_empty() {
+            continue;
+        }
+        let num = |s: &str| -> Result<f64, TextError> {
+            s.parse()
+                .map_err(|_| TextError(format!("line {}: bad number '{s}'", lineno + 1)))
+        };
+        match parts[0] {
+            "ckpt" => {
+                check(parts.len() == 6, lineno, "ckpt needs 5 fields")?;
+                let p = num(parts[1])? as usize;
+                check(p < n_procs, lineno, "proc out of range")?;
+                let ordinal = num(parts[2])? as usize;
+                let time = num(parts[3])?;
+                let index = num(parts[4])? as u64;
+                let kind = kind_parse(parts[5])
+                    .ok_or_else(|| TextError(format!("line {}: bad kind", lineno + 1)))?;
+                procs[p].ckpts.push((ordinal, Ev::Ckpt { time, index, kind }));
+            }
+            "msg" => {
+                check(parts.len() == 6 || parts.len() == 8, lineno, "msg needs 5 or 7 fields")?;
+                let id = num(parts[1])? as u64;
+                let from = num(parts[2])? as usize;
+                let to = num(parts[3])? as usize;
+                check(from < n_procs && to < n_procs, lineno, "proc out of range")?;
+                let send_interval = num(parts[4])? as usize;
+                let send_time = num(parts[5])?;
+                slot(&mut procs, from, send_interval);
+                procs[from].by_interval[send_interval].push(Ev::Send {
+                    time: send_time,
+                    id,
+                    to,
+                });
+                if parts.len() == 8 {
+                    let recv_interval = num(parts[6])? as usize;
+                    let recv_time = num(parts[7])?;
+                    slot(&mut procs, to, recv_interval);
+                    procs[to].by_interval[recv_interval].push(Ev::Recv {
+                        time: recv_time,
+                        id,
+                    });
+                }
+            }
+            other => {
+                return Err(TextError(format!(
+                    "line {}: unknown record '{other}'",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+
+    // Flatten each process into its replay order: interval 0 events, ckpt 1,
+    // interval 1 events, ...
+    let mut streams: Vec<std::collections::VecDeque<Ev>> = Vec::with_capacity(n_procs);
+    for per in &mut procs {
+        per.ckpts.sort_by_key(|(ord, _)| *ord);
+        let mut stream = std::collections::VecDeque::new();
+        let n_intervals = per.by_interval.len().max(per.ckpts.len() + 1);
+        for k in 0..n_intervals {
+            if k > 0 {
+                // Checkpoint k opens interval k.
+                let found = per.ckpts.iter().find(|(ord, _)| *ord == k);
+                let (_, ev) = found.ok_or_else(|| {
+                    TextError(format!("missing checkpoint ordinal {k} for a process"))
+                })?;
+                stream.push_back(ev.clone());
+            }
+            if let Some(evs) = per.by_interval.get_mut(k) {
+                evs.sort_by(|a, b| {
+                    (a.time(), a.tie_rank())
+                        .partial_cmp(&(b.time(), b.tie_rank()))
+                        .expect("finite times")
+                });
+                for ev in evs.drain(..) {
+                    stream.push_back(ev.clone());
+                }
+            }
+        }
+        streams.push(stream);
+    }
+
+    // Greedy smallest-time merge honouring send-before-receive.
+    let mut b = TraceBuilder::new(n_procs);
+    let mut sent: HashMap<u64, bool> = HashMap::new();
+    loop {
+        let mut best: Option<(usize, f64, u8)> = None;
+        for (p, stream) in streams.iter().enumerate() {
+            if let Some(head) = stream.front() {
+                if let Ev::Recv { id, .. } = head {
+                    if !sent.get(id).copied().unwrap_or(false) {
+                        continue; // blocked on its send
+                    }
+                }
+                let key = (head.time(), head.tie_rank());
+                if best.is_none_or(|(_, t, r)| key < (t, r)) {
+                    best = Some((p, key.0, key.1));
+                }
+            }
+        }
+        let Some((p, _, _)) = best else {
+            if streams.iter().any(|s| !s.is_empty()) {
+                return Err(TextError("unsatisfiable event ordering".into()));
+            }
+            break;
+        };
+        match streams[p].pop_front().expect("head exists") {
+            Ev::Ckpt { time, index, kind } => {
+                b.checkpoint(ProcId(p), time, index, kind);
+            }
+            Ev::Send { time, id, to } => {
+                b.send(MsgId(id), ProcId(p), ProcId(to), time);
+                sent.insert(id, true);
+            }
+            Ev::Recv { time, id } => {
+                b.recv(MsgId(id), time);
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(7), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(7), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        b.send(MsgId(8), ProcId(1), ProcId(0), 5.0); // in transit
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_trace();
+        let text = to_text(&t);
+        let back = from_text(&text).expect("parses");
+        assert_eq!(back.n_procs(), t.n_procs());
+        for p in t.procs() {
+            assert_eq!(back.checkpoints(p), t.checkpoints(p), "{p}");
+        }
+        assert_eq!(back.messages().len(), t.messages().len());
+        for (a, b) in t.messages().iter().zip(back.messages()) {
+            // Message order may differ; match by id.
+            let b = back.messages().iter().find(|m| m.id == a.id).unwrap_or(b);
+            assert_eq!(a.send_interval, b.send_interval);
+            assert_eq!(a.recv_interval, b.recv_interval);
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+        }
+    }
+
+    #[test]
+    fn text_is_human_readable() {
+        let text = to_text(&sample_trace());
+        assert!(text.starts_with("trace v1 procs 2\n"));
+        assert!(text.contains("ckpt 0 1 1 1 cell-switch"));
+        assert!(text.contains("msg 7 0 1 1 2 0 3"), "send in interval 1 (after C0,1)");
+        assert!(text.contains("msg 8 1 0 1 5\n"), "in-transit has 5 fields");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_text("").is_err());
+        assert!(from_text("not a trace\n").is_err());
+        assert!(from_text("trace v1 procs 2\nfrob 1 2 3\n").is_err());
+        assert!(from_text("trace v1 procs 2\nckpt 9 1 1.0 1 forced\n").is_err());
+        assert!(from_text("trace v1 procs 2\nckpt 0 1 1.0 1 bogus\n").is_err());
+    }
+
+    #[test]
+    fn missing_checkpoint_ordinal_detected() {
+        // Message claims interval 2 but only checkpoint 1 exists.
+        let text = "trace v1 procs 2\nckpt 0 1 1.0 1 forced\nmsg 1 0 1 2 5.0\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.0.contains("missing checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = TraceBuilder::new(3).finish();
+        let back = from_text(&to_text(&t)).expect("parses");
+        assert_eq!(back.n_procs(), 3);
+        assert_eq!(back.total_checkpoints(), 0);
+    }
+}

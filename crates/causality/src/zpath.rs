@@ -1,0 +1,252 @@
+//! Z-paths, Z-cycles and useless checkpoints (Netzer–Xu theory).
+//!
+//! A **Z-path** from checkpoint `A` (of process `p`) to checkpoint `B` (of
+//! process `q`) is a sequence of messages `m1, …, mk` such that `m1` is sent
+//! by `p` after `A`, `mk` is received by `q` before `B`, and each `m(l+1)` is
+//! sent in the **same or a later** checkpoint interval as the one in which
+//! `m(l)` is received (the send may causally precede the receive inside that
+//! interval — that is what makes Z-paths strictly more general than causal
+//! paths).
+//!
+//! The Netzer–Xu theorem states that a local checkpoint belongs to **no**
+//! consistent global checkpoint iff it lies on a **Z-cycle** (a Z-path from
+//! itself to itself). Such checkpoints are *useless*: they cost a stable-
+//! storage write but can never appear in a recovery line. The paper's three
+//! protocols all prevent useless checkpoints; the analyses here let tests
+//! verify that claim against an independent formalization (the consistency
+//! fixpoint in [`crate::cut`]).
+
+use crate::trace::{ProcId, Trace};
+
+/// Message-level zigzag reachability for a trace.
+///
+/// Node `i` is the `i`-th *delivered* message; there is an edge `i → j` when
+/// message `j` is sent by the receiver of `i` in an interval `>=` the
+/// interval in which `i` was received. Z-path existence between checkpoints
+/// reduces to reachability in this graph.
+pub struct ZigzagGraph<'t> {
+    trace: &'t Trace,
+    /// Indices into `trace.messages()` of delivered messages.
+    delivered: Vec<usize>,
+    /// `reach[a]` = bitset (as Vec<bool>) of delivered-message positions
+    /// reachable from position `a` (including `a` itself).
+    reach: Vec<Vec<bool>>,
+}
+
+impl<'t> ZigzagGraph<'t> {
+    /// Builds the zigzag reachability relation (O(m²) space/time over
+    /// delivered messages; intended for analysis and testing, not the hot
+    /// simulation path).
+    pub fn build(trace: &'t Trace) -> Self {
+        let delivered: Vec<usize> = trace
+            .messages()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.delivered())
+            .map(|(i, _)| i)
+            .collect();
+        let k = delivered.len();
+        let msgs = trace.messages();
+
+        // Direct edges.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (a, &ia) in delivered.iter().enumerate() {
+            let ma = &msgs[ia];
+            let ra = ma.recv_interval.expect("delivered");
+            for (b, &ib) in delivered.iter().enumerate() {
+                let mb = &msgs[ib];
+                if mb.from == ma.to && mb.send_interval >= ra {
+                    adj[a].push(b);
+                }
+            }
+        }
+
+        // Transitive closure by DFS from each node.
+        let mut reach = vec![vec![false; k]; k];
+        for (start, row) in reach.iter_mut().enumerate() {
+            let mut stack = vec![start];
+            row[start] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    if !row[w] {
+                        row[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+
+        ZigzagGraph {
+            trace,
+            delivered,
+            reach,
+        }
+    }
+
+    /// Is there a Z-path from checkpoint `(p, a)` to checkpoint `(q, b)`?
+    pub fn z_path_exists(&self, p: ProcId, a: usize, q: ProcId, b: usize) -> bool {
+        let msgs = self.trace.messages();
+        for (s, &is_) in self.delivered.iter().enumerate() {
+            let first = &msgs[is_];
+            if first.from != p || first.send_interval < a {
+                continue;
+            }
+            for (e, &ie) in self.delivered.iter().enumerate() {
+                if !self.reach[s][e] {
+                    continue;
+                }
+                let last = &msgs[ie];
+                if last.to == q && last.recv_interval.expect("delivered") < b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Is checkpoint `(p, ordinal)` on a Z-cycle?
+    pub fn on_z_cycle(&self, p: ProcId, ordinal: usize) -> bool {
+        self.z_path_exists(p, ordinal, p, ordinal)
+    }
+
+    /// All useless checkpoints of the trace: `(process, ordinal)` pairs that
+    /// lie on a Z-cycle and hence belong to no consistent global checkpoint.
+    pub fn useless_checkpoints(&self) -> Vec<(ProcId, usize)> {
+        let mut out = Vec::new();
+        for p in self.trace.procs() {
+            for c in self.trace.checkpoints(p) {
+                if self.on_z_cycle(p, c.ordinal) {
+                    out.push((p, c.ordinal));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::max_consistent_cut_containing;
+    use crate::trace::{CkptKind, MsgId, TraceBuilder};
+
+    /// The textbook Z-cycle: m2 received by p1 before m1 is sent by p1, both
+    /// inside the same interval, with p1's checkpoint in the middle of the
+    /// zigzag.
+    ///
+    ///   p0: ---- r(m1) C(0,1) s(m2) ----
+    ///   p1: s(m1) ---- r(m2) ----        (p1 checkpoints between? no)
+    ///
+    /// Classic 3-process formulation is clearer; build the 2-process one:
+    ///   p1 sends m1; p0 receives m1, checkpoints C, sends m2; p1 receives
+    ///   m2 *before* it sent m1? impossible in 2 procs. Use 3 processes:
+    ///
+    ///   p0: C(0,1) between r(m1) and s(m2)
+    ///   p1: sends m1 in interval 0 ... receives m3 in interval 0, and m1 is
+    ///       sent AFTER that receive (same interval, later in time)
+    ///   p2: receives m2, then sends m3
+    ///
+    /// Z-path C(0,1) → C(0,1): m2 (sent after C), m3 (sent by p2 in the
+    /// interval where m2 was received), m1 (sent by p1 in the interval where
+    /// m3 was received — m1's send is after m3's receive in real time, which
+    /// even makes it a causal chain back into p0's pre-C past? No: m1 is
+    /// received by p0 BEFORE C. So the cycle closes.)
+    fn z_cycle_trace() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        // p2 must send m3 after receiving m2; p1 must send m1 after
+        // receiving m3; p0 receives m1 before taking C and sending m2.
+        // That ordering is causally impossible in real time (m2 is sent
+        // after C which is after r(m1)) — which is exactly why Z-paths are
+        // defined on *intervals*, not real-time causality. Reorder sends
+        // within intervals: p1 sends m1 early in its interval 0 and receives
+        // m3 later in the SAME interval; zigzag condition only needs
+        // send_interval(m1) >= recv_interval(m3).
+        b.send(MsgId(1), ProcId(1), ProcId(0), 1.0); // m1: p1 → p0, interval 0
+        b.recv(MsgId(1), 2.0); // p0 receives in interval 0
+        b.checkpoint(ProcId(0), 3.0, 1, CkptKind::Periodic); // C(0,1)
+        b.send(MsgId(2), ProcId(0), ProcId(2), 4.0); // m2 sent after C, interval 1
+        b.recv(MsgId(2), 5.0); // p2 interval 0
+        b.send(MsgId(3), ProcId(2), ProcId(1), 6.0); // m3 interval 0
+        b.recv(MsgId(3), 7.0); // p1 interval 0 — same interval m1 was sent in
+        b.finish()
+    }
+
+    #[test]
+    fn detects_z_cycle() {
+        let t = z_cycle_trace();
+        let g = ZigzagGraph::build(&t);
+        assert!(g.on_z_cycle(ProcId(0), 1), "C(0,1) must be on a Z-cycle");
+        // Initial checkpoints are never on Z-cycles here.
+        assert!(!g.on_z_cycle(ProcId(0), 0));
+        assert!(!g.on_z_cycle(ProcId(1), 0));
+    }
+
+    #[test]
+    fn z_cycle_agrees_with_consistency_fixpoint() {
+        let t = z_cycle_trace();
+        let g = ZigzagGraph::build(&t);
+        for p in t.procs() {
+            for c in t.checkpoints(p) {
+                let useless_by_zcycle = g.on_z_cycle(p, c.ordinal);
+                let useless_by_fixpoint =
+                    max_consistent_cut_containing(&t, p, c.ordinal).is_none();
+                assert_eq!(
+                    useless_by_zcycle, useless_by_fixpoint,
+                    "disagreement at ({p}, {})",
+                    c.ordinal
+                );
+            }
+        }
+        assert_eq!(g.useless_checkpoints(), vec![(ProcId(0), 1)]);
+    }
+
+    #[test]
+    fn causal_path_is_a_z_path() {
+        // p0 sends after C(0,1); p1 receives before C(1,1): a plain causal
+        // Z-path from C(0,1) to C(1,1).
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::Periodic);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Periodic);
+        let t = b.finish();
+        let g = ZigzagGraph::build(&t);
+        assert!(g.z_path_exists(ProcId(0), 1, ProcId(1), 1));
+        assert!(!g.z_path_exists(ProcId(1), 1, ProcId(0), 1));
+        assert!(g.useless_checkpoints().is_empty());
+    }
+
+    #[test]
+    fn multi_hop_z_path() {
+        // p0 → p1 → p2 causal chain: Z-path from C(0,1) to C(2,1).
+        let mut b = TraceBuilder::new(3);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::Periodic);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        b.send(MsgId(2), ProcId(1), ProcId(2), 4.0);
+        b.recv(MsgId(2), 5.0);
+        b.checkpoint(ProcId(2), 6.0, 1, CkptKind::Periodic);
+        let t = b.finish();
+        let g = ZigzagGraph::build(&t);
+        assert!(g.z_path_exists(ProcId(0), 1, ProcId(2), 1));
+        assert!(g.useless_checkpoints().is_empty());
+    }
+
+    #[test]
+    fn empty_trace_has_no_z_paths() {
+        let t = TraceBuilder::new(2).finish();
+        let g = ZigzagGraph::build(&t);
+        assert!(!g.z_path_exists(ProcId(0), 0, ProcId(1), 0));
+        assert!(g.useless_checkpoints().is_empty());
+    }
+
+    #[test]
+    fn undelivered_messages_are_ignored() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::Periodic);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0); // in transit forever
+        let t = b.finish();
+        let g = ZigzagGraph::build(&t);
+        assert!(!g.z_path_exists(ProcId(0), 1, ProcId(1), 1));
+    }
+}

@@ -1,0 +1,146 @@
+//! The BCS index-based protocol (Briatico–Ciuffoletti–Simoncini).
+//!
+//! Every host `h_i` keeps a sequence number `sn_i` (0 at start) and stamps
+//! it on every outgoing message. The rules, verbatim from the paper:
+//!
+//! * **receive** of `m` with `m.sn > sn_i`: set `sn_i := m.sn` and take a
+//!   *forced* checkpoint (before delivering `m`);
+//! * **cell switch / disconnect**: `sn_i := sn_i + 1`, take the basic
+//!   checkpoint.
+//!
+//! Consistency: the set of first checkpoints with sequence number `>= k`
+//! (one per host) is a consistent global checkpoint, for any `k`. Because
+//! the only piggyback is one integer, BCS scales with the number of hosts.
+
+use crate::piggyback::{Piggyback, INT_BYTES};
+use crate::protocol::{BasicCkpt, BasicReason, Protocol, ReceiveOutcome};
+
+/// Per-host BCS state.
+#[derive(Debug, Clone)]
+pub struct Bcs {
+    sn: u64,
+}
+
+impl Bcs {
+    /// A fresh instance (`sn = 0`).
+    pub fn new() -> Self {
+        Bcs { sn: 0 }
+    }
+
+    /// Current sequence number.
+    pub fn sn(&self) -> u64 {
+        self.sn
+    }
+}
+
+impl Default for Bcs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for Bcs {
+    fn name(&self) -> &'static str {
+        "BCS"
+    }
+
+    fn on_send(&mut self, _to: usize) -> Piggyback {
+        Piggyback::Index { sn: self.sn }
+    }
+
+    fn on_receive(&mut self, _from: usize, pb: &Piggyback) -> ReceiveOutcome {
+        let m_sn = pb
+            .index()
+            .expect("BCS requires Index piggybacks on all messages");
+        if m_sn > self.sn {
+            self.sn = m_sn;
+            ReceiveOutcome::forced(self.sn)
+        } else {
+            ReceiveOutcome::NONE
+        }
+    }
+
+    fn on_basic(&mut self, _reason: BasicReason) -> BasicCkpt {
+        self.sn += 1;
+        BasicCkpt {
+            index: self.sn,
+            replaces_predecessor: false,
+        }
+    }
+
+    fn piggyback_bytes(&self) -> usize {
+        INT_BYTES
+    }
+
+    fn current_index(&self) -> u64 {
+        self.sn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let b = Bcs::new();
+        assert_eq!(b.sn(), 0);
+        assert_eq!(b.current_index(), 0);
+        assert_eq!(b.name(), "BCS");
+    }
+
+    #[test]
+    fn send_stamps_current_sn() {
+        let mut b = Bcs::new();
+        assert_eq!(b.on_send(1), Piggyback::Index { sn: 0 });
+        b.on_basic(BasicReason::CellSwitch);
+        assert_eq!(b.on_send(1), Piggyback::Index { sn: 1 });
+    }
+
+    #[test]
+    fn higher_sn_forces_checkpoint() {
+        let mut b = Bcs::new();
+        let out = b.on_receive(0, &Piggyback::Index { sn: 3 });
+        assert_eq!(out.forced, Some(3));
+        assert_eq!(b.sn(), 3);
+    }
+
+    #[test]
+    fn equal_or_lower_sn_does_not_force() {
+        let mut b = Bcs::new();
+        b.on_basic(BasicReason::CellSwitch); // sn = 1
+        assert_eq!(b.on_receive(0, &Piggyback::Index { sn: 1 }).forced, None);
+        assert_eq!(b.on_receive(0, &Piggyback::Index { sn: 0 }).forced, None);
+        assert_eq!(b.sn(), 1);
+    }
+
+    #[test]
+    fn basic_checkpoint_increments_sn() {
+        let mut b = Bcs::new();
+        let c1 = b.on_basic(BasicReason::CellSwitch);
+        assert_eq!(c1.index, 1);
+        assert!(!c1.replaces_predecessor);
+        let c2 = b.on_basic(BasicReason::Disconnect);
+        assert_eq!(c2.index, 2);
+    }
+
+    #[test]
+    fn forced_checkpoint_jumps_to_message_sn() {
+        let mut b = Bcs::new();
+        b.on_receive(0, &Piggyback::Index { sn: 10 });
+        // A subsequent basic checkpoint continues from the jumped value.
+        assert_eq!(b.on_basic(BasicReason::CellSwitch).index, 11);
+    }
+
+    #[test]
+    fn piggyback_is_one_integer() {
+        let b = Bcs::new();
+        assert_eq!(b.piggyback_bytes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Index piggybacks")]
+    fn rejects_wrong_piggyback() {
+        Bcs::new().on_receive(0, &Piggyback::None);
+    }
+}

@@ -1,0 +1,730 @@
+//! Coordinated checkpointing baselines.
+//!
+//! The paper's Section 2 discusses the coordinated class through two
+//! representatives, both implemented here as explicit state machines driven
+//! by the simulator:
+//!
+//! * [`ChandyLamport`] — the classic distributed-snapshot protocol: an
+//!   initiator checkpoints and floods *markers*; every process checkpoints
+//!   on its first marker of a round and relays markers on all its outgoing
+//!   channels, recording channel states in between. Simple, but in a mobile
+//!   setting every marker is a control message that must *locate* a mobile
+//!   host, drains batteries and contends for the wireless channel, and
+//!   every process checkpoints whether it needs to or not.
+//!
+//! * [`PrakashSinghal`] — minimal-process coordination: only processes that
+//!   acquired causal dependencies since the last round are asked to
+//!   checkpoint. Dependencies are tracked with a piggybacked bit-vector
+//!   (which is precisely the O(n) data structure the paper holds against
+//!   it).
+//!
+//! Unlike the communication-induced protocols, these need *control
+//! messages*; the output of each handler lists the messages to transmit so
+//! the simulator can charge them to the network and energy models.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A coordination control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Chandy–Lamport channel marker for a snapshot round.
+    Marker {
+        /// Snapshot round number.
+        round: u64,
+    },
+    /// Prakash–Singhal checkpoint request for a round.
+    CkptRequest {
+        /// Coordination round number.
+        round: u64,
+    },
+    /// Koo–Toueg checkpoint request (tentative phase).
+    KtRequest {
+        /// Coordination round number.
+        round: u64,
+    },
+    /// Koo–Toueg acknowledgement, carrying the subtree's participant set.
+    KtAck {
+        /// Coordination round number.
+        round: u64,
+        /// Every process that took a tentative checkpoint in the sender's
+        /// request subtree (including the sender).
+        participants: Vec<usize>,
+    },
+    /// Koo–Toueg commit: tentative checkpoints become permanent, blocking
+    /// ends.
+    KtCommit {
+        /// Coordination round number.
+        round: u64,
+    },
+}
+
+/// What a coordination event asks the host/simulator to do.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoordAction {
+    /// Take a (coordinated) checkpoint now, with this protocol index.
+    pub checkpoint: Option<u64>,
+    /// Control messages to send: `(destination, message)`.
+    pub send: Vec<(usize, ControlMsg)>,
+}
+
+// ---------------------------------------------------------------------------
+// Chandy–Lamport
+// ---------------------------------------------------------------------------
+
+/// Per-process Chandy–Lamport snapshot state.
+///
+/// Channels are the ordered process pairs of a fully connected network. The
+/// mobile substrate delivers same-pair messages in FIFO order (constant hop
+/// latencies), satisfying the protocol's channel assumption.
+#[derive(Debug, Clone)]
+pub struct ChandyLamport {
+    me: usize,
+    n: usize,
+    /// Rounds for which this process has already checkpointed.
+    taken: BTreeSet<u64>,
+    /// Per round, the channels (peer ids) whose marker has arrived.
+    markers_seen: BTreeMap<u64, BTreeSet<usize>>,
+    /// Per round, recorded in-channel messages `(from, payload id)` received
+    /// after our checkpoint but before that channel's marker.
+    channel_state: BTreeMap<u64, Vec<(usize, u64)>>,
+    /// Checkpoints taken so far (protocol index).
+    count: u64,
+}
+
+impl ChandyLamport {
+    /// A fresh instance for process `me` of `n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n);
+        ChandyLamport {
+            me,
+            n,
+            taken: BTreeSet::new(),
+            markers_seen: BTreeMap::new(),
+            channel_state: BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    fn others(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&j| j != self.me)
+    }
+
+    fn snapshot_now(&mut self, round: u64) -> CoordAction {
+        self.taken.insert(round);
+        self.count += 1;
+        self.channel_state.entry(round).or_default();
+        CoordAction {
+            checkpoint: Some(self.count),
+            send: self
+                .others()
+                .map(|j| (j, ControlMsg::Marker { round }))
+                .collect(),
+        }
+    }
+
+    /// This process initiates snapshot `round`: checkpoint and send markers
+    /// on every outgoing channel.
+    pub fn initiate(&mut self, round: u64) -> CoordAction {
+        assert!(
+            !self.taken.contains(&round),
+            "round {round} already initiated or joined"
+        );
+        self.snapshot_now(round)
+    }
+
+    /// A marker for `round` arrived on the channel from `from`.
+    pub fn on_marker(&mut self, from: usize, round: u64) -> CoordAction {
+        let mut action = if self.taken.contains(&round) {
+            CoordAction::default()
+        } else {
+            // First marker of the round: checkpoint and relay.
+            self.snapshot_now(round)
+        };
+        let seen = self.markers_seen.entry(round).or_default();
+        let fresh = seen.insert(from);
+        if !fresh {
+            // Duplicate marker (at-least-once transport): idempotent.
+            action.send.clear();
+            action.checkpoint = None;
+        }
+        action
+    }
+
+    /// An application message arrived (for channel-state recording): if any
+    /// round is open on the `from` channel (our checkpoint taken, its marker
+    /// not yet received), the message belongs to that channel's state.
+    pub fn on_app_message(&mut self, from: usize, payload_id: u64) {
+        let open_rounds: Vec<u64> = self
+            .taken
+            .iter()
+            .copied()
+            .filter(|r| {
+                !self
+                    .markers_seen
+                    .get(r)
+                    .is_some_and(|s| s.contains(&from))
+            })
+            .collect();
+        for r in open_rounds {
+            self.channel_state
+                .entry(r)
+                .or_default()
+                .push((from, payload_id));
+        }
+    }
+
+    /// True when all n−1 markers for `round` have arrived (local snapshot
+    /// complete, channel states closed).
+    pub fn round_complete(&self, round: u64) -> bool {
+        self.taken.contains(&round)
+            && self
+                .markers_seen
+                .get(&round)
+                .is_some_and(|s| s.len() == self.n - 1)
+    }
+
+    /// Messages recorded as the state of incoming channels for `round`.
+    pub fn channel_state(&self, round: u64) -> &[(usize, u64)] {
+        self.channel_state
+            .get(&round)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Checkpoints taken so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prakash–Singhal-style minimal coordination
+// ---------------------------------------------------------------------------
+
+/// Per-process minimal-coordination state.
+#[derive(Debug, Clone)]
+pub struct PrakashSinghal {
+    me: usize,
+    /// Transitive dependency set since the last coordinated checkpoint:
+    /// `deps[j]` means our current interval causally depends on process `j`.
+    deps: Vec<bool>,
+    /// Rounds already checkpointed.
+    taken: BTreeSet<u64>,
+    count: u64,
+}
+
+impl PrakashSinghal {
+    /// A fresh instance for process `me` of `n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n);
+        PrakashSinghal {
+            me,
+            deps: vec![false; n],
+            taken: BTreeSet::new(),
+            count: 0,
+        }
+    }
+
+    /// The dependency bit-vector to piggyback on an outgoing application
+    /// message (the O(n) control information the paper criticizes).
+    pub fn piggyback(&self) -> Vec<bool> {
+        self.deps.clone()
+    }
+
+    /// An application message from `from` carrying the sender's dependency
+    /// set arrived: merge it and add the direct dependency.
+    pub fn on_app_message(&mut self, from: usize, sender_deps: &[bool]) {
+        assert_eq!(sender_deps.len(), self.deps.len(), "dep vector width");
+        for (mine, theirs) in self.deps.iter_mut().zip(sender_deps) {
+            *mine |= *theirs;
+        }
+        self.deps[from] = true;
+    }
+
+    /// Current dependency set (indices of processes we depend on).
+    pub fn dependency_set(&self) -> Vec<usize> {
+        self.deps
+            .iter()
+            .enumerate()
+            .filter(|&(j, &d)| d && j != self.me)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    fn checkpoint_and_fan_out(&mut self, round: u64) -> CoordAction {
+        self.taken.insert(round);
+        self.count += 1;
+        let targets = self.dependency_set();
+        // A checkpoint closes the interval: dependencies reset.
+        self.deps.iter_mut().for_each(|d| *d = false);
+        CoordAction {
+            checkpoint: Some(self.count),
+            send: targets
+                .into_iter()
+                .map(|j| (j, ControlMsg::CkptRequest { round }))
+                .collect(),
+        }
+    }
+
+    /// Initiate coordination round `round`: checkpoint and ask exactly the
+    /// processes we causally depend on to do the same (transitively).
+    pub fn initiate(&mut self, round: u64) -> CoordAction {
+        assert!(!self.taken.contains(&round), "round {round} already run");
+        self.checkpoint_and_fan_out(round)
+    }
+
+    /// A checkpoint request for `round` arrived.
+    pub fn on_request(&mut self, round: u64) -> CoordAction {
+        if self.taken.contains(&round) {
+            CoordAction::default() // idempotent under duplicates/cycles
+        } else {
+            self.checkpoint_and_fan_out(round)
+        }
+    }
+
+    /// Checkpoints taken so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Koo–Toueg blocking minimal coordination
+// ---------------------------------------------------------------------------
+
+/// Per-round Koo–Toueg session state.
+#[derive(Debug, Clone)]
+struct KtRound {
+    /// Who asked us to join (None at the initiator).
+    parent: Option<usize>,
+    /// Children we are still waiting on.
+    waiting: BTreeSet<usize>,
+    /// Participants gathered from acked subtrees (plus ourselves).
+    participants: BTreeSet<usize>,
+    /// Tentative checkpoint committed?
+    committed: bool,
+    /// Are we the initiator?
+    initiator: bool,
+}
+
+/// Koo–Toueg two-phase **blocking** minimal-process coordination.
+///
+/// The initiator takes a *tentative* checkpoint, blocks its application
+/// sends, and asks the processes it causally depends on to do the same;
+/// requests propagate transitively (a tree), acknowledgements flow back up
+/// carrying the participant sets, and the initiator finally *commits*,
+/// unblocking everyone. Blocking is the price of its simplicity — the
+/// simulator measures the sends suppressed while blocked, the cost the
+/// paper's non-blocking alternatives avoid.
+#[derive(Debug, Clone)]
+pub struct KooToueg {
+    me: usize,
+    deps: Vec<bool>,
+    rounds: BTreeMap<u64, KtRound>,
+    count: u64,
+}
+
+impl KooToueg {
+    /// A fresh instance for process `me` of `n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n);
+        KooToueg {
+            me,
+            deps: vec![false; n],
+            rounds: BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// Dependency bit-vector to piggyback on outgoing application messages.
+    pub fn piggyback(&self) -> Vec<bool> {
+        self.deps.clone()
+    }
+
+    /// Merge a received message's dependency information.
+    pub fn on_app_message(&mut self, from: usize, sender_deps: &[bool]) {
+        assert_eq!(sender_deps.len(), self.deps.len(), "dep vector width");
+        for (mine, theirs) in self.deps.iter_mut().zip(sender_deps) {
+            *mine |= *theirs;
+        }
+        self.deps[from] = true;
+    }
+
+    /// True while some session holds a tentative, uncommitted checkpoint:
+    /// the process must not send application messages.
+    pub fn is_blocked(&self) -> bool {
+        self.rounds.values().any(|r| !r.committed)
+    }
+
+    /// Checkpoints taken (tentative ones count; we model no aborts).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn dependency_targets(&self, exclude: Option<usize>) -> Vec<usize> {
+        self.deps
+            .iter()
+            .enumerate()
+            .filter(|&(j, &d)| d && j != self.me && Some(j) != exclude)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Start a session: tentative checkpoint, block, fan out requests.
+    pub fn initiate(&mut self, round: u64) -> CoordAction {
+        assert!(!self.rounds.contains_key(&round), "round {round} already run");
+        self.count += 1;
+        let targets = self.dependency_targets(None);
+        self.deps.iter_mut().for_each(|d| *d = false);
+        let mut participants = BTreeSet::new();
+        participants.insert(self.me);
+        let committed = targets.is_empty();
+        self.rounds.insert(
+            round,
+            KtRound {
+                parent: None,
+                waiting: targets.iter().copied().collect(),
+                participants,
+                committed, // nobody to wait for ⇒ trivially committed
+                initiator: true,
+            },
+        );
+        CoordAction {
+            checkpoint: Some(self.count),
+            send: targets
+                .into_iter()
+                .map(|j| (j, ControlMsg::KtRequest { round }))
+                .collect(),
+        }
+    }
+
+    /// A request arrived from `from`.
+    pub fn on_request(&mut self, from: usize, round: u64) -> CoordAction {
+        if self.rounds.contains_key(&round) {
+            // Already participating (cycle in the dependency graph): ack
+            // immediately without a second tentative checkpoint.
+            return CoordAction {
+                checkpoint: None,
+                send: vec![(
+                    from,
+                    ControlMsg::KtAck {
+                        round,
+                        participants: vec![],
+                    },
+                )],
+            };
+        }
+        self.count += 1;
+        let targets = self.dependency_targets(Some(from));
+        self.deps.iter_mut().for_each(|d| *d = false);
+        let mut participants = BTreeSet::new();
+        participants.insert(self.me);
+        self.rounds.insert(
+            round,
+            KtRound {
+                parent: Some(from),
+                waiting: targets.iter().copied().collect(),
+                participants,
+                committed: false,
+                initiator: false,
+            },
+        );
+        if targets.is_empty() {
+            // Leaf: ack the parent straight away.
+            CoordAction {
+                checkpoint: Some(self.count),
+                send: vec![(
+                    from,
+                    ControlMsg::KtAck {
+                        round,
+                        participants: vec![self.me],
+                    },
+                )],
+            }
+        } else {
+            CoordAction {
+                checkpoint: Some(self.count),
+                send: targets
+                    .into_iter()
+                    .map(|j| (j, ControlMsg::KtRequest { round }))
+                    .collect(),
+            }
+        }
+    }
+
+    /// A child's acknowledgement arrived.
+    pub fn on_ack(&mut self, from: usize, round: u64, participants: &[usize]) -> CoordAction {
+        let Some(state) = self.rounds.get_mut(&round) else {
+            return CoordAction::default(); // stale ack after commit
+        };
+        state.waiting.remove(&from);
+        state.participants.extend(participants.iter().copied());
+        if !state.waiting.is_empty() {
+            return CoordAction::default();
+        }
+        if state.initiator {
+            // Phase 2: commit to every participant (except ourselves).
+            state.committed = true;
+            let me = self.me;
+            let targets: Vec<usize> = state
+                .participants
+                .iter()
+                .copied()
+                .filter(|&j| j != me)
+                .collect();
+            CoordAction {
+                checkpoint: None,
+                send: targets
+                    .into_iter()
+                    .map(|j| (j, ControlMsg::KtCommit { round }))
+                    .collect(),
+            }
+        } else {
+            // Subtree complete: ack our parent with the gathered set.
+            let parent = state.parent.expect("non-initiator has a parent");
+            let participants: Vec<usize> = state.participants.iter().copied().collect();
+            CoordAction {
+                checkpoint: None,
+                send: vec![(
+                    parent,
+                    ControlMsg::KtAck {
+                        round,
+                        participants,
+                    },
+                )],
+            }
+        }
+    }
+
+    /// The initiator's commit arrived: unblock.
+    pub fn on_commit(&mut self, round: u64) -> CoordAction {
+        if let Some(state) = self.rounds.get_mut(&round) {
+            state.committed = true;
+        }
+        CoordAction::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cl_initiator_checkpoints_and_floods() {
+        let mut p = ChandyLamport::new(0, 4);
+        let a = p.initiate(1);
+        assert_eq!(a.checkpoint, Some(1));
+        assert_eq!(a.send.len(), 3);
+        assert!(a
+            .send
+            .iter()
+            .all(|(_, m)| *m == ControlMsg::Marker { round: 1 }));
+    }
+
+    #[test]
+    fn cl_first_marker_checkpoints_and_relays() {
+        let mut p = ChandyLamport::new(1, 3);
+        let a = p.on_marker(0, 1);
+        assert_eq!(a.checkpoint, Some(1));
+        assert_eq!(a.send.len(), 2); // relays to 0 and 2
+        let b = p.on_marker(2, 1);
+        assert_eq!(b.checkpoint, None);
+        assert!(b.send.is_empty());
+        assert!(p.round_complete(1));
+    }
+
+    #[test]
+    fn cl_duplicate_marker_is_idempotent() {
+        let mut p = ChandyLamport::new(1, 3);
+        p.on_marker(0, 1);
+        let dup = p.on_marker(0, 1);
+        assert_eq!(dup, CoordAction::default());
+        assert_eq!(p.count(), 1);
+        assert!(!p.round_complete(1));
+    }
+
+    #[test]
+    fn cl_channel_state_captures_in_flight() {
+        let mut p = ChandyLamport::new(1, 3);
+        p.on_app_message(0, 100); // before any round: not recorded
+        p.on_marker(0, 1); // round 1 open; channel 0 closed immediately
+        p.on_app_message(0, 101); // channel 0 already closed: not recorded
+        p.on_app_message(2, 102); // channel 2 still open: recorded
+        let mk = p.on_marker(2, 1);
+        assert!(mk.checkpoint.is_none());
+        p.on_app_message(2, 103); // after marker: not recorded
+        assert_eq!(p.channel_state(1), &[(2, 102)]);
+        assert!(p.round_complete(1));
+    }
+
+    #[test]
+    fn cl_rounds_are_independent() {
+        let mut p = ChandyLamport::new(0, 2);
+        p.initiate(1);
+        p.initiate(2);
+        assert_eq!(p.count(), 2);
+        assert!(!p.round_complete(1));
+        p.on_marker(1, 1);
+        assert!(p.round_complete(1));
+        assert!(!p.round_complete(2));
+    }
+
+    #[test]
+    fn ps_initiator_without_deps_checkpoints_alone() {
+        let mut p = PrakashSinghal::new(0, 4);
+        let a = p.initiate(1);
+        assert_eq!(a.checkpoint, Some(1));
+        assert!(a.send.is_empty(), "no dependencies ⇒ nobody else asked");
+    }
+
+    #[test]
+    fn ps_requests_exactly_the_dependency_set() {
+        let mut p = PrakashSinghal::new(0, 4);
+        p.on_app_message(2, &[false, false, false, false]);
+        p.on_app_message(3, &[false, true, false, false]); // 3 depends on 1
+        assert_eq!(p.dependency_set(), vec![1, 2, 3]);
+        let a = p.initiate(1);
+        let mut targets: Vec<usize> = a.send.iter().map(|(j, _)| *j).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![1, 2, 3]);
+        // Dependencies cleared by the checkpoint.
+        assert!(p.dependency_set().is_empty());
+    }
+
+    #[test]
+    fn ps_request_is_idempotent_per_round() {
+        let mut p = PrakashSinghal::new(1, 3);
+        let a = p.on_request(7);
+        assert_eq!(a.checkpoint, Some(1));
+        let b = p.on_request(7);
+        assert_eq!(b, CoordAction::default());
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn ps_transitive_fan_out() {
+        // p1 depends on p2; when p1 gets a request it forwards to p2.
+        let mut p1 = PrakashSinghal::new(1, 3);
+        p1.on_app_message(2, &[false, false, false]);
+        let a = p1.on_request(1);
+        assert_eq!(a.send, vec![(2, ControlMsg::CkptRequest { round: 1 })]);
+    }
+
+    #[test]
+    fn ps_own_bit_is_ignored_in_dependency_set() {
+        let mut p = PrakashSinghal::new(0, 2);
+        // A message whose dep vector claims dependency on ourselves.
+        p.on_app_message(1, &[true, false]);
+        assert_eq!(p.dependency_set(), vec![1]);
+    }
+
+    // -- Koo–Toueg ----------------------------------------------------------
+
+    #[test]
+    fn kt_lonely_initiator_commits_immediately() {
+        let mut p = KooToueg::new(0, 3);
+        let a = p.initiate(1);
+        assert_eq!(a.checkpoint, Some(1));
+        assert!(a.send.is_empty());
+        assert!(!p.is_blocked(), "no participants ⇒ nothing to wait for");
+    }
+
+    #[test]
+    fn kt_initiator_blocks_until_all_acks() {
+        let mut p = KooToueg::new(0, 3);
+        p.on_app_message(1, &[false, false, false]);
+        p.on_app_message(2, &[false, false, false]);
+        let a = p.initiate(1);
+        assert_eq!(a.send.len(), 2);
+        assert!(p.is_blocked());
+        p.on_ack(1, 1, &[1]);
+        assert!(p.is_blocked(), "still waiting for 2");
+        let fin = p.on_ack(2, 1, &[2]);
+        assert!(!p.is_blocked());
+        // Commit goes to both participants.
+        let mut targets: Vec<usize> = fin.send.iter().map(|(j, _)| *j).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![1, 2]);
+        assert!(fin
+            .send
+            .iter()
+            .all(|(_, m)| *m == ControlMsg::KtCommit { round: 1 }));
+    }
+
+    #[test]
+    fn kt_leaf_acks_parent_and_blocks_until_commit() {
+        let mut p = KooToueg::new(1, 3);
+        let a = p.on_request(0, 7);
+        assert_eq!(a.checkpoint, Some(1));
+        assert_eq!(
+            a.send,
+            vec![(
+                0,
+                ControlMsg::KtAck {
+                    round: 7,
+                    participants: vec![1]
+                }
+            )]
+        );
+        assert!(p.is_blocked());
+        p.on_commit(7);
+        assert!(!p.is_blocked());
+    }
+
+    #[test]
+    fn kt_transitive_tree_gathers_participants() {
+        // 0 depends on 1; 1 depends on 2. Requests flow 0→1→2, acks 2→1→0.
+        let mut p1 = KooToueg::new(1, 3);
+        p1.on_app_message(2, &[false, false, false]);
+        let a = p1.on_request(0, 1);
+        assert_eq!(a.checkpoint, Some(1));
+        assert_eq!(a.send, vec![(2, ControlMsg::KtRequest { round: 1 })]);
+        // p2 (leaf) acks p1; p1 then acks p0 with {1, 2}.
+        let up = p1.on_ack(2, 1, &[2]);
+        match &up.send[..] {
+            [(0, ControlMsg::KtAck { round: 1, participants })] => {
+                let mut ps = participants.clone();
+                ps.sort_unstable();
+                assert_eq!(ps, vec![1, 2]);
+            }
+            other => panic!("unexpected ack {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kt_cycle_acks_without_second_checkpoint() {
+        let mut p = KooToueg::new(1, 3);
+        p.on_request(0, 1);
+        assert_eq!(p.count(), 1);
+        let again = p.on_request(2, 1);
+        assert_eq!(again.checkpoint, None);
+        assert_eq!(p.count(), 1);
+        assert_eq!(
+            again.send,
+            vec![(
+                2,
+                ControlMsg::KtAck {
+                    round: 1,
+                    participants: vec![]
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn kt_stale_ack_is_ignored() {
+        let mut p = KooToueg::new(0, 2);
+        assert_eq!(p.on_ack(1, 99, &[1]), CoordAction::default());
+    }
+
+    #[test]
+    fn kt_dependencies_reset_after_checkpoint() {
+        let mut p = KooToueg::new(0, 3);
+        p.on_app_message(1, &[false, false, false]);
+        p.initiate(1);
+        // New session sees a clean slate.
+        p.on_ack(1, 1, &[1]);
+        let a2 = p.initiate(2);
+        assert!(a2.send.is_empty(), "dependencies were reset");
+    }
+}

@@ -1,0 +1,323 @@
+//! The two-phase-based protocol TP (Acharya–Badrinath).
+//!
+//! TP adapts Russell's protocol to mobile systems. Each host keeps a
+//! `phase` flag:
+//!
+//! * **send**: `phase := SEND`;
+//! * **receive**: if `phase = SEND`, take a *forced* checkpoint (before
+//!   delivery) and set `phase := RECV`.
+//!
+//! A checkpoint therefore separates every "burst of sends" from the next
+//! receive, which is exactly the pattern that prevents orphan messages:
+//! no message can be received in a state that causally precedes its send's
+//! checkpoint interval.
+//!
+//! To associate each checkpoint with a consistent global checkpoint on the
+//! fly, TP piggybacks two vectors of `n` integers on **every** application
+//! message (Acharya and Badrinath prove the vector is necessary for this
+//! protocol):
+//!
+//! * `CKPT[]` — transitive dependency vector over checkpoint indices:
+//!   `CKPT_i[j] = p` means the current state of `h_i` depends on the `p`-th
+//!   checkpoint of `h_j`;
+//! * `LOC[]`  — `LOC_i[j] = q` means that checkpoint is stored at MSS `q`,
+//!   enabling efficient retrieval over the wired network.
+//!
+//! The vector piggyback is TP's scalability weakness: control information
+//! grows linearly with the number of hosts (the paper's point (3)/(f)).
+
+use crate::piggyback::{Piggyback, INT_BYTES};
+use crate::protocol::{BasicCkpt, BasicReason, Protocol, ReceiveOutcome};
+
+/// The two phases of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The host has sent since its last checkpoint/receive: the next receive
+    /// forces a checkpoint.
+    Send,
+    /// Safe to receive without checkpointing.
+    Recv,
+}
+
+/// Per-host TP state.
+#[derive(Debug, Clone)]
+pub struct Tp {
+    /// This host's flat index.
+    me: usize,
+    phase: Phase,
+    /// Checkpoints taken so far (the index of the latest checkpoint);
+    /// doubles as `ckpt[me]`.
+    count: u64,
+    /// Transitive dependency vector on checkpoint indices.
+    ckpt: Vec<u64>,
+    /// MSS locations of the checkpoints in `ckpt`.
+    loc: Vec<u32>,
+    /// Current MSS of this host.
+    here: u32,
+    /// Ablation switch: reset `phase` to RECV when a basic checkpoint is
+    /// taken. The paper's pseudo-code does **not** do this (only a receive
+    /// resets the phase), so the faithful default is `false`; resetting is
+    /// safe (a checkpoint protects the preceding sends just as well) and
+    /// strictly reduces forced checkpoints, making it a natural ablation.
+    reset_phase_on_basic: bool,
+}
+
+impl Tp {
+    /// A fresh instance for host `me` of `n` hosts, currently at MSS `mss`,
+    /// with the paper-faithful basic-checkpoint behaviour.
+    pub fn new(me: usize, n: usize, mss: u32) -> Self {
+        Self::with_options(me, n, mss, false)
+    }
+
+    /// Like [`Tp::new`], optionally enabling the phase-reset-on-basic
+    /// ablation.
+    pub fn with_options(me: usize, n: usize, mss: u32, reset_phase_on_basic: bool) -> Self {
+        assert!(me < n, "host index {me} out of range for {n} hosts");
+        let mut loc = vec![0; n];
+        loc[me] = mss;
+        Tp {
+            me,
+            phase: Phase::Recv, // the paper's init: phase := RECV
+            count: 0,
+            ckpt: vec![0; n],
+            loc,
+            here: mss,
+            reset_phase_on_basic,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Number of checkpoints taken (index of the latest one).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The transitive dependency vector (`CKPT[]`).
+    pub fn ckpt_vector(&self) -> &[u64] {
+        &self.ckpt
+    }
+
+    /// The location vector (`LOC[]`).
+    pub fn loc_vector(&self) -> &[u32] {
+        &self.loc
+    }
+
+    fn take_checkpoint(&mut self) -> u64 {
+        self.count += 1;
+        self.ckpt[self.me] = self.count;
+        self.loc[self.me] = self.here;
+        self.count
+    }
+
+    /// Merges an incoming message's dependency vectors (after any forced
+    /// checkpoint; the checkpoint snapshots the pre-merge vectors, exactly
+    /// as recording them on stable storage *at checkpoint time* requires).
+    fn merge(&mut self, ckpt: &[u64], loc: &[u32]) {
+        assert_eq!(ckpt.len(), self.ckpt.len(), "CKPT vector width mismatch");
+        assert_eq!(loc.len(), self.loc.len(), "LOC vector width mismatch");
+        for j in 0..self.ckpt.len() {
+            if j != self.me && ckpt[j] > self.ckpt[j] {
+                self.ckpt[j] = ckpt[j];
+                self.loc[j] = loc[j];
+            }
+        }
+    }
+}
+
+impl Protocol for Tp {
+    fn name(&self) -> &'static str {
+        "TP"
+    }
+
+    fn on_send(&mut self, _to: usize) -> Piggyback {
+        self.phase = Phase::Send;
+        Piggyback::Vectors {
+            ckpt: self.ckpt.clone(),
+            loc: self.loc.clone(),
+        }
+    }
+
+    fn on_receive(&mut self, _from: usize, pb: &Piggyback) -> ReceiveOutcome {
+        let Piggyback::Vectors { ckpt, loc } = pb else {
+            panic!("TP requires Vectors piggybacks on all messages");
+        };
+        let outcome = if self.phase == Phase::Send {
+            let idx = self.take_checkpoint();
+            self.phase = Phase::Recv;
+            ReceiveOutcome::forced(idx)
+        } else {
+            ReceiveOutcome::NONE
+        };
+        self.merge(ckpt, loc);
+        outcome
+    }
+
+    fn on_basic(&mut self, _reason: BasicReason) -> BasicCkpt {
+        let index = self.take_checkpoint();
+        if self.reset_phase_on_basic {
+            self.phase = Phase::Recv;
+        }
+        BasicCkpt {
+            index,
+            replaces_predecessor: false,
+        }
+    }
+
+    fn on_relocate(&mut self, mss: u32) {
+        self.here = mss;
+    }
+
+    fn piggyback_bytes(&self) -> usize {
+        2 * self.ckpt.len() * INT_BYTES
+    }
+
+    fn current_index(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pb(ckpt: Vec<u64>, loc: Vec<u32>) -> Piggyback {
+        Piggyback::Vectors { ckpt, loc }
+    }
+
+    #[test]
+    fn initial_phase_is_recv() {
+        let t = Tp::new(0, 3, 7);
+        assert_eq!(t.phase(), Phase::Recv);
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.loc_vector()[0], 7);
+        assert_eq!(t.name(), "TP");
+    }
+
+    #[test]
+    fn receive_in_recv_phase_takes_no_checkpoint() {
+        let mut t = Tp::new(0, 2, 0);
+        let out = t.on_receive(1, &pb(vec![0, 0], vec![0, 0]));
+        assert_eq!(out.forced, None);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn receive_after_send_forces_checkpoint() {
+        let mut t = Tp::new(0, 2, 0);
+        t.on_send(1);
+        assert_eq!(t.phase(), Phase::Send);
+        let out = t.on_receive(1, &pb(vec![0, 0], vec![0, 0]));
+        assert_eq!(out.forced, Some(1));
+        assert_eq!(t.phase(), Phase::Recv);
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn send_burst_costs_one_checkpoint() {
+        let mut t = Tp::new(0, 2, 0);
+        for _ in 0..5 {
+            t.on_send(1);
+        }
+        let out = t.on_receive(1, &pb(vec![0, 0], vec![0, 0]));
+        assert_eq!(out.forced, Some(1));
+        // Next receive without intervening send: free.
+        let out2 = t.on_receive(1, &pb(vec![0, 0], vec![0, 0]));
+        assert_eq!(out2.forced, None);
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn basic_checkpoint_keeps_send_phase_by_default() {
+        // Paper-faithful behaviour: only a receive resets the phase, so the
+        // receive after the basic checkpoint still forces one.
+        let mut t = Tp::new(0, 2, 0);
+        t.on_send(1);
+        let c = t.on_basic(BasicReason::CellSwitch);
+        assert_eq!(c.index, 1);
+        assert!(!c.replaces_predecessor);
+        assert_eq!(t.phase(), Phase::Send);
+        assert_eq!(
+            t.on_receive(1, &pb(vec![0, 0], vec![0, 0])).forced,
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn reset_phase_ablation_skips_redundant_forced_checkpoint() {
+        let mut t = Tp::with_options(0, 2, 0, true);
+        t.on_send(1);
+        t.on_basic(BasicReason::CellSwitch);
+        assert_eq!(t.phase(), Phase::Recv);
+        assert_eq!(t.on_receive(1, &pb(vec![0, 0], vec![0, 0])).forced, None);
+    }
+
+    #[test]
+    fn vectors_track_own_checkpoints_and_location() {
+        let mut t = Tp::new(1, 3, 4);
+        t.on_relocate(9);
+        t.on_basic(BasicReason::CellSwitch);
+        assert_eq!(t.ckpt_vector(), &[0, 1, 0]);
+        assert_eq!(t.loc_vector()[1], 9);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max_with_locations() {
+        let mut t = Tp::new(0, 3, 0);
+        t.on_receive(1, &pb(vec![5, 2, 7], vec![11, 12, 13]));
+        // Own component (index 0) is never overwritten by a merge.
+        assert_eq!(t.ckpt_vector(), &[0, 2, 7]);
+        assert_eq!(t.loc_vector(), &[0, 12, 13]);
+        // A later message with smaller entries changes nothing.
+        t.on_receive(2, &pb(vec![9, 1, 3], vec![21, 22, 23]));
+        assert_eq!(t.ckpt_vector(), &[0, 2, 7]);
+        assert_eq!(t.loc_vector(), &[0, 12, 13]);
+    }
+
+    #[test]
+    fn forced_checkpoint_snapshots_before_merge() {
+        // The forced checkpoint belongs to the state BEFORE the incoming
+        // message is delivered, so the message's dependencies must not leak
+        // into it. We can observe this through the outcome index (1) while
+        // the merge still happens for the post-delivery state.
+        let mut t = Tp::new(0, 2, 0);
+        t.on_send(1);
+        let out = t.on_receive(1, &pb(vec![0, 3], vec![0, 8]));
+        assert_eq!(out.forced, Some(1));
+        assert_eq!(t.ckpt_vector(), &[1, 3]); // post-delivery state depends on both
+    }
+
+    #[test]
+    fn piggyback_scales_with_n() {
+        assert_eq!(Tp::new(0, 10, 0).piggyback_bytes(), 80);
+        assert_eq!(Tp::new(0, 50, 0).piggyback_bytes(), 400);
+    }
+
+    #[test]
+    fn send_piggybacks_current_vectors() {
+        let mut t = Tp::new(0, 2, 3);
+        t.on_basic(BasicReason::CellSwitch);
+        match t.on_send(1) {
+            Piggyback::Vectors { ckpt, loc } => {
+                assert_eq!(ckpt, vec![1, 0]);
+                assert_eq!(loc[0], 3);
+            }
+            other => panic!("expected vectors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Vectors piggybacks")]
+    fn rejects_wrong_piggyback() {
+        Tp::new(0, 2, 0).on_receive(1, &Piggyback::Index { sn: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        Tp::new(0, 2, 0).on_receive(1, &pb(vec![0, 0, 0], vec![0, 0, 0]));
+    }
+}

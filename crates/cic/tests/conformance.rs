@@ -1,0 +1,217 @@
+//! Conformance walk-throughs of the paper's pseudo-code.
+//!
+//! Each test executes one protocol through an explicit event script and
+//! checks every intermediate state transition against the procedures
+//! printed in the paper (Section 4). These are deliberately verbose,
+//! step-by-step vectors: when an implementation detail drifts from the
+//! paper, the failing step names the exact rule that broke.
+
+use cic::prelude::*;
+
+/// Shorthand for an index piggyback.
+fn sn(v: u64) -> Piggyback {
+    Piggyback::Index { sn: v }
+}
+
+// ---------------------------------------------------------------------------
+// BCS: "Procedures executed at an MH h_i" (paper §4.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bcs_paper_walkthrough() {
+    let mut h = Bcs::new();
+    // Procedure init: sn_i := 0.
+    assert_eq!(h.sn(), 0);
+
+    // When sending a message m: m.sn := sn_i.
+    assert_eq!(h.on_send(1), sn(0));
+
+    // Upon receipt of m with m.sn = 0: NOT (m.sn > sn_i) ⇒ no checkpoint.
+    assert_eq!(h.on_receive(2, &sn(0)).forced, None);
+    assert_eq!(h.sn(), 0);
+
+    // Upon receipt of m with m.sn = 2 > 0: sn_i := 2; forced checkpoint
+    // C_{i,2}.
+    let out = h.on_receive(2, &sn(2));
+    assert_eq!(out.forced, Some(2));
+    assert_eq!(h.sn(), 2);
+
+    // When switching cell: sn_i := sn_i + 1; take C_{i,3}.
+    let c = h.on_basic(BasicReason::CellSwitch);
+    assert_eq!(c.index, 3);
+    assert!(!c.replaces_predecessor);
+
+    // When disconnecting: sn_i := sn_i + 1; take C_{i,4}.
+    let c = h.on_basic(BasicReason::Disconnect);
+    assert_eq!(c.index, 4);
+
+    // Subsequent send carries the new number.
+    assert_eq!(h.on_send(0), sn(4));
+}
+
+// ---------------------------------------------------------------------------
+// QBC: "Procedures executed at an MH h_i" (paper §4.2, QBC variant)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn qbc_paper_walkthrough() {
+    let mut h = Qbc::new();
+    // init: sn_i := 0; rn_i := -1 (⊥).
+    assert_eq!(h.sn(), 0);
+    assert_eq!(h.rn(), None);
+
+    // Switching cell with rn_i ≠ sn_i: sequence number NOT incremented;
+    // C_{i,0} replaces its predecessor (the initial checkpoint).
+    let c = h.on_basic(BasicReason::CellSwitch);
+    assert_eq!((c.index, c.replaces_predecessor), (0, true));
+    assert_eq!(h.sn(), 0);
+
+    // Receive m.sn = 0: rn_i := max(0, ⊥) = 0; 0 > 0 false ⇒ no forced.
+    assert_eq!(h.on_receive(1, &sn(0)).forced, None);
+    assert_eq!(h.rn(), Some(0));
+
+    // Now rn_i = sn_i = 0: the next basic checkpoint increments to 1.
+    let c = h.on_basic(BasicReason::Disconnect);
+    assert_eq!((c.index, c.replaces_predecessor), (1, false));
+    assert_eq!(h.sn(), 1);
+
+    // Receive m.sn = 3 > 1: rn_i := 3; sn_i := 3; forced C_{i,3}.
+    let out = h.on_receive(2, &sn(3));
+    assert_eq!(out.forced, Some(3));
+    assert_eq!((h.sn(), h.rn()), (3, Some(3)));
+
+    // rn = sn again ⇒ next basic increments to 4.
+    assert_eq!(h.on_basic(BasicReason::CellSwitch).index, 4);
+    // ...and with no further receives, the one after replaces at 4.
+    let c = h.on_basic(BasicReason::CellSwitch);
+    assert_eq!((c.index, c.replaces_predecessor), (4, true));
+}
+
+// ---------------------------------------------------------------------------
+// TP: "Procedures executed at an MH h_i" (paper §4.1)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tp_paper_walkthrough() {
+    let n = 3;
+    let mut h = Tp::new(0, n, 7); // h_0 at MSS 7
+    let vec0 = |ckpt: Vec<u64>, loc: Vec<u32>| Piggyback::Vectors { ckpt, loc };
+
+    // init: phase := RECV.
+    assert_eq!(h.phase(), Phase::Recv);
+
+    // Receive in RECV phase: no checkpoint (phase stays RECV).
+    assert_eq!(
+        h.on_receive(1, &vec0(vec![0, 0, 0], vec![0, 0, 0])).forced,
+        None
+    );
+    assert_eq!(h.phase(), Phase::Recv);
+
+    // Send: phase := SEND; vectors piggybacked.
+    match h.on_send(1) {
+        Piggyback::Vectors { ckpt, loc } => {
+            assert_eq!(ckpt, vec![0, 0, 0]);
+            assert_eq!(loc[0], 7);
+        }
+        other => panic!("TP must piggyback vectors, got {other:?}"),
+    }
+    assert_eq!(h.phase(), Phase::Send);
+
+    // Another send keeps SEND (no checkpoint between sends).
+    h.on_send(2);
+    assert_eq!(h.phase(), Phase::Send);
+
+    // Receive while phase = SEND: forced checkpoint, phase := RECV.
+    let out = h.on_receive(2, &vec0(vec![0, 0, 5], vec![0, 0, 9]));
+    assert_eq!(out.forced, Some(1));
+    assert_eq!(h.phase(), Phase::Recv);
+    // Dependency merge happened after the checkpoint: h now knows h_2's
+    // 5th checkpoint sits at MSS 9.
+    assert_eq!(h.ckpt_vector(), &[1, 0, 5]);
+    assert_eq!(h.loc_vector()[2], 9);
+
+    // Paper pseudo-code: cell switch runs the checkpointing procedure (no
+    // phase manipulation is listed). The checkpoint increments the count.
+    h.on_send(1); // phase := SEND
+    let c = h.on_basic(BasicReason::CellSwitch);
+    assert_eq!(c.index, 2);
+    assert_eq!(h.phase(), Phase::Send, "faithful TP keeps the phase");
+    // Hence the next receive still forces a checkpoint.
+    assert_eq!(
+        h.on_receive(1, &vec0(vec![0, 2, 0], vec![0, 4, 0])).forced,
+        Some(3)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-host scenario: the BCS consistency rule end to end.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bcs_same_index_scenario_three_hosts() {
+    // h0 switches twice (sn: 1 then 2), sending after each; sn propagates
+    // through h1 to h2; every host ends with sn = 2 and the forced
+    // checkpoints carry exactly the indices the rule dictates.
+    let mut h0 = Bcs::new();
+    let mut h1 = Bcs::new();
+    let mut h2 = Bcs::new();
+
+    h0.on_basic(BasicReason::CellSwitch); // C_{0,1}
+    let m1 = h0.on_send(1);
+    assert_eq!(h1.on_receive(0, &m1).forced, Some(1)); // C_{1,1} forced
+
+    h0.on_basic(BasicReason::CellSwitch); // C_{0,2}
+    let m2 = h0.on_send(2);
+    assert_eq!(h2.on_receive(0, &m2).forced, Some(2)); // C_{2,2} forced
+
+    // h1 (sn = 1) hears from h2 (sn = 2): forced to 2.
+    let m3 = h2.on_send(1);
+    assert_eq!(h1.on_receive(2, &m3).forced, Some(2)); // C_{1,2} forced
+
+    assert_eq!((h0.sn(), h1.sn(), h2.sn()), (2, 2, 2));
+
+    // And a stale message (sn = 1) from the past forces nobody.
+    assert_eq!(h0.on_receive(1, &sn(1)).forced, None);
+    assert_eq!(h2.on_receive(1, &sn(1)).forced, None);
+}
+
+#[test]
+fn qbc_saves_exactly_where_the_paper_says() {
+    // Two hosts never communicating: QBC takes the same number of
+    // checkpoints as BCS (all basic), but its sequence numbers stay at 0 —
+    // so when communication finally happens, BCS forces and QBC does not.
+    let mut b0 = Bcs::new();
+    let mut b1 = Bcs::new();
+    let mut q0 = Qbc::new();
+    let mut q1 = Qbc::new();
+
+    for _ in 0..5 {
+        b0.on_basic(BasicReason::CellSwitch);
+        q0.on_basic(BasicReason::CellSwitch);
+    }
+    assert_eq!(b0.sn(), 5);
+    assert_eq!(q0.sn(), 0);
+
+    // h0 sends to h1.
+    let mb = b0.on_send(1);
+    let mq = q0.on_send(1);
+    // BCS: m.sn = 5 > 0 forces a checkpoint at h1.
+    assert_eq!(b1.on_receive(0, &mb).forced, Some(5));
+    // QBC: m.sn = 0 forces nothing — five checkpoints' worth of index
+    // pressure simply never existed.
+    assert_eq!(q1.on_receive(0, &mq).forced, None);
+}
+
+// ---------------------------------------------------------------------------
+// Uncoordinated: no rules at all.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn uncoordinated_never_reacts_to_messages() {
+    let mut u = Uncoordinated::new();
+    for i in 0..20 {
+        assert_eq!(u.on_send(1).wire_bytes(), 0);
+        assert_eq!(u.on_receive(1, &Piggyback::None).forced, None, "step {i}");
+    }
+    assert_eq!(u.on_basic(BasicReason::Periodic).index, 1);
+}

@@ -1,0 +1,308 @@
+//! Property tests: protocol executions vs. the causality oracle.
+//!
+//! A miniature zero-latency multi-host harness drives each protocol through
+//! random schedules of sends, receives and basic checkpoints, records a
+//! `causality::Trace`, and then checks the protocols' correctness theorems
+//! against the protocol-agnostic consistency machinery:
+//!
+//! * **BCS/QBC**: every same-index recovery line is consistent;
+//! * **TP/BCS/QBC**: every checkpoint taken belongs to some consistent
+//!   global checkpoint (no useless checkpoints / no Z-cycles);
+//! * **QBC**: a checkpoint flagged as *replacing its predecessor* really is
+//!   equivalent — substituting it into the recovery line keeps consistency.
+
+use causality::cut::{is_consistent, max_consistent_cut_containing, Cut};
+use causality::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
+use cic::coordinated::{ControlMsg, KooToueg};
+use cic::prelude::*;
+use cic::recovery::{all_index_lines, max_index};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Host takes a basic checkpoint (cell switch or disconnect).
+    Basic { host: usize, disconnect: bool },
+    /// Host sends an application message to another host (delivered after
+    /// `delay` further steps, FIFO per pair).
+    Send { from: usize, to_offset: usize, delay: usize },
+}
+
+fn steps(n_hosts: usize, len: usize) -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (0..n_hosts, any::<bool>())
+            .prop_map(|(host, disconnect)| Step::Basic { host, disconnect }),
+        (0..n_hosts, 1..n_hosts, 0..3usize)
+            .prop_map(|(from, to_offset, delay)| Step::Send { from, to_offset, delay }),
+    ];
+    proptest::collection::vec(step, 1..len)
+}
+
+/// Runs a schedule against a set of protocol instances, recording the trace.
+/// Each host's QBC "replacement" flags are returned alongside.
+struct HarnessOut {
+    trace: Trace,
+    /// (host, ordinal, index) of checkpoints flagged replaces_predecessor.
+    replacements: Vec<(usize, usize, u64)>,
+    total_ckpts: usize,
+}
+
+fn run_schedule(mut protos: Vec<Box<dyn Protocol>>, schedule: &[Step]) -> HarnessOut {
+    let n = protos.len();
+    let mut b = TraceBuilder::new(n);
+    let mut time = 1.0;
+    let mut next_id = 0u64;
+    let mut replacements = Vec::new();
+    let mut total = 0usize;
+    // In-flight: (due_step, MsgId, from, to, piggyback). Sorted by insertion;
+    // delivery scans in order → FIFO per pair.
+    let mut in_flight: Vec<(usize, MsgId, usize, usize, Piggyback)> = Vec::new();
+
+    for (step_no, step) in schedule.iter().enumerate() {
+        // Deliver everything due.
+        let mut keep = Vec::new();
+        for (due, id, from, to, pb) in in_flight.drain(..) {
+            if due <= step_no {
+                let out = protos[to].on_receive(from, &pb);
+                if let Some(idx) = out.forced {
+                    b.checkpoint(ProcId(to), time, idx, CkptKind::Forced);
+                    total += 1;
+                    time += 0.25;
+                }
+                b.recv(id, time);
+                time += 0.25;
+            } else {
+                keep.push((due, id, from, to, pb));
+            }
+        }
+        in_flight = keep;
+
+        match *step {
+            Step::Basic { host, disconnect } => {
+                let reason = if disconnect {
+                    BasicReason::Disconnect
+                } else {
+                    BasicReason::CellSwitch
+                };
+                let c = protos[host].on_basic(reason);
+                let ordinal = b.checkpoint(ProcId(host), time, c.index, reason.kind());
+                total += 1;
+                if c.replaces_predecessor {
+                    replacements.push((host, ordinal, c.index));
+                }
+                time += 0.25;
+            }
+            Step::Send { from, to_offset, delay } => {
+                let to = (from + to_offset) % n;
+                debug_assert_ne!(from, to);
+                let pb = protos[from].on_send(to);
+                next_id += 1;
+                b.send(MsgId(next_id), ProcId(from), ProcId(to), time);
+                in_flight.push((step_no + delay, MsgId(next_id), from, to, pb));
+                time += 0.25;
+            }
+        }
+    }
+    // Flush stragglers in order.
+    in_flight.sort_by_key(|(due, id, ..)| (*due, id.0));
+    for (_, id, from, to, pb) in in_flight {
+        let out = protos[to].on_receive(from, &pb);
+        if let Some(idx) = out.forced {
+            b.checkpoint(ProcId(to), time, idx, CkptKind::Forced);
+            total += 1;
+            time += 0.25;
+        }
+        b.recv(id, time);
+        time += 0.25;
+    }
+
+    HarnessOut {
+        trace: b.finish(),
+        replacements,
+        total_ckpts: total,
+    }
+}
+
+fn make_protocols(kind: CicKind, n: usize) -> Vec<Box<dyn Protocol>> {
+    (0..n).map(|i| kind.instantiate(i, n, 0)).collect()
+}
+
+const N_HOSTS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BCS theorem: every same-index line is a consistent global checkpoint.
+    #[test]
+    fn bcs_index_lines_consistent(schedule in steps(N_HOSTS, 80)) {
+        let out = run_schedule(make_protocols(CicKind::Bcs, N_HOSTS), &schedule);
+        for (k, line) in all_index_lines(&out.trace) {
+            prop_assert!(
+                is_consistent(&out.trace, &line),
+                "BCS line k={k} inconsistent: {:?}", line.ordinals()
+            );
+        }
+    }
+
+    /// QBC inherits the BCS consistency rule.
+    #[test]
+    fn qbc_index_lines_consistent(schedule in steps(N_HOSTS, 80)) {
+        let out = run_schedule(make_protocols(CicKind::Qbc, N_HOSTS), &schedule);
+        for (k, line) in all_index_lines(&out.trace) {
+            prop_assert!(
+                is_consistent(&out.trace, &line),
+                "QBC line k={k} inconsistent: {:?}", line.ordinals()
+            );
+        }
+    }
+
+    /// QBC's refinement: selecting the LAST checkpoint of each index (the
+    /// replacement survivor) instead of the first also yields consistent
+    /// lines — the equivalence relation of [6,14] in action.
+    #[test]
+    fn qbc_replacement_lines_consistent(schedule in steps(N_HOSTS, 80)) {
+        let out = run_schedule(make_protocols(CicKind::Qbc, N_HOSTS), &schedule);
+        let t = &out.trace;
+        for k in 0..=max_index(t) {
+            let line = Cut::new(
+                t.procs()
+                    .map(|p| {
+                        let ckpts = t.checkpoints(p);
+                        // Last checkpoint with index == k, else first with
+                        // index >= k, else volatile.
+                        ckpts
+                            .iter()
+                            .filter(|c| c.index == k)
+                            .map(|c| c.ordinal)
+                            .next_back()
+                            .or_else(|| {
+                                ckpts.iter().find(|c| c.index >= k).map(|c| c.ordinal)
+                            })
+                            .unwrap_or(ckpts.len())
+                    })
+                    .collect(),
+            );
+            prop_assert!(
+                is_consistent(t, &line),
+                "QBC replacement line k={k} inconsistent: {:?}", line.ordinals()
+            );
+        }
+    }
+
+    /// No protocol ever takes a useless checkpoint: each one belongs to some
+    /// consistent global checkpoint (allowing volatile completions).
+    #[test]
+    fn no_useless_checkpoints(schedule in steps(N_HOSTS, 60), kind_sel in 0usize..3) {
+        let kind = CicKind::PAPER[kind_sel];
+        let out = run_schedule(make_protocols(kind, N_HOSTS), &schedule);
+        let t = &out.trace;
+        for p in t.procs() {
+            for c in t.checkpoints(p) {
+                prop_assert!(
+                    max_consistent_cut_containing(t, p, c.ordinal).is_some(),
+                    "{kind}: checkpoint ({p}, ord {}) is useless", c.ordinal
+                );
+            }
+        }
+    }
+
+    /// QBC replacement flags are truthful: the flagged checkpoint has the
+    /// same index as its predecessor-in-index, and swapping it into the
+    /// line preserves consistency (tested via qbc_replacement_lines too;
+    /// here we check the flag-index agreement).
+    #[test]
+    fn qbc_replacement_flags_truthful(schedule in steps(N_HOSTS, 80)) {
+        let out = run_schedule(make_protocols(CicKind::Qbc, N_HOSTS), &schedule);
+        let t = &out.trace;
+        for (host, ordinal, index) in &out.replacements {
+            let ckpts = t.checkpoints(ProcId(*host));
+            let me = &ckpts[*ordinal];
+            prop_assert_eq!(me.index, *index);
+            // Some earlier checkpoint of the same host carries the same
+            // index (the one being replaced; ordinal 0 carries index 0).
+            prop_assert!(
+                ckpts[..*ordinal].iter().any(|c| c.index == *index),
+                "replacement at ({host}, {ordinal}) has no predecessor with index {index}"
+            );
+        }
+    }
+
+    /// The number of checkpoints in the trace equals the harness count —
+    /// nothing lost, nothing double-recorded (meta-check of the harness).
+    #[test]
+    fn trace_checkpoint_accounting(schedule in steps(N_HOSTS, 60), kind_sel in 0usize..4) {
+        let kind = CicKind::ALL[kind_sel];
+        let out = run_schedule(make_protocols(kind, N_HOSTS), &schedule);
+        prop_assert_eq!(out.trace.total_checkpoints(), out.total_ckpts);
+    }
+
+    /// On send-free schedules all protocols take exactly the basic
+    /// checkpoints (no communication ⇒ nothing induced).
+    #[test]
+    fn no_communication_no_forced(hosts in proptest::collection::vec(0..N_HOSTS, 1..40)) {
+        let schedule: Vec<Step> = hosts
+            .into_iter()
+            .map(|host| Step::Basic { host, disconnect: false })
+            .collect();
+        for kind in CicKind::PAPER {
+            let out = run_schedule(make_protocols(kind, N_HOSTS), &schedule);
+            prop_assert_eq!(out.trace.total_checkpoints(), schedule.len(), "{}", kind);
+        }
+    }
+}
+
+proptest! {
+    /// Koo–Toueg liveness: for any dependency pattern and any delivery
+    /// order of its control messages, every session terminates with all
+    /// participants unblocked and exactly one checkpoint per participant.
+    #[test]
+    fn koo_toueg_sessions_always_terminate(
+        msgs in proptest::collection::vec((0usize..5, 1usize..5), 0..25),
+        initiator in 0usize..5,
+        delivery_picks in proptest::collection::vec(any::<u16>(), 0..200),
+    ) {
+        let n = 5;
+        let mut procs: Vec<KooToueg> = (0..n).map(|i| KooToueg::new(i, n)).collect();
+        // Build random transitive dependencies from an app-message pattern.
+        for &(from, off) in &msgs {
+            let to = (from + off) % n;
+            let pb = procs[from].piggyback();
+            procs[to].on_app_message(from, &pb);
+        }
+        // Initiate one session and pump its control messages to quiescence,
+        // choosing the next delivery pseudo-randomly from the picks.
+        let mut pending: Vec<(usize, usize, ControlMsg)> = Vec::new(); // (from, to, msg)
+        let act0 = procs[initiator].initiate(1);
+        let mut ckpts = u64::from(act0.checkpoint.is_some());
+        for (to, m) in act0.send {
+            pending.push((initiator, to, m));
+        }
+        let mut pick_iter = delivery_picks.iter().copied().chain(std::iter::repeat(0));
+        let mut steps = 0;
+        while !pending.is_empty() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "session did not quiesce");
+            let idx = (pick_iter.next().unwrap() as usize) % pending.len();
+            let (from, to, msg) = pending.swap_remove(idx);
+            let action = match msg {
+                ControlMsg::KtRequest { round } => procs[to].on_request(from, round),
+                ControlMsg::KtAck { round, ref participants } => {
+                    procs[to].on_ack(from, round, participants)
+                }
+                ControlMsg::KtCommit { round } => procs[to].on_commit(round),
+                other => panic!("unexpected message {other:?}"),
+            };
+            ckpts += u64::from(action.checkpoint.is_some());
+            for (dest, m) in action.send {
+                pending.push((to, dest, m));
+            }
+        }
+        // Liveness: nobody remains blocked.
+        for (i, p) in procs.iter().enumerate() {
+            prop_assert!(!p.is_blocked(), "process {i} still blocked");
+        }
+        // Each participant checkpointed exactly once this session.
+        let participated = procs.iter().filter(|p| p.count() > 0).count() as u64;
+        prop_assert_eq!(ckpts, participated);
+        prop_assert!(ckpts >= 1, "at least the initiator checkpoints");
+    }
+}

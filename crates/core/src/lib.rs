@@ -1,0 +1,64 @@
+//! `mck` — a simulator for checkpointing protocols in distributed systems
+//! with mobile hosts.
+//!
+//! This crate composes the workspace substrates into the system evaluated by
+//! Quaglia, Ciciani and Baldoni, *"Checkpointing Protocols in Distributed
+//! Systems with Mobile Hosts: a Performance Analysis"* (IPPS/SPDP 1998):
+//! a discrete-event simulation of mobile hosts roaming between wireless
+//! cells, disconnecting and reconnecting, while running a
+//! communication-induced checkpointing protocol (TP, BCS or QBC) or one of
+//! the baseline classes (uncoordinated, Chandy–Lamport, Prakash–Singhal).
+//!
+//! * [`config`] — every model parameter, with the paper's defaults;
+//! * [`simulation`] — the composed event-driven system;
+//! * [`report`] — per-run outputs (`N_tot`, breakdowns, network/energy);
+//! * [`runner`] — parallel multi-seed replication with confidence
+//!   intervals;
+//! * [`experiments`] — the paper's Figures 1–6, the in-text claims, and the
+//!   extension experiments, each as a reproducible spec;
+//! * [`failure`] — failure injection and rollback-cost measurement (the
+//!   paper's future work);
+//! * [`table`] — plain-text/CSV rendering of result series.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mck::prelude::*;
+//!
+//! // One run of the paper's homogeneous environment with QBC.
+//! let cfg = SimConfig {
+//!     protocol: ProtocolChoice::Cic(CicKind::Qbc),
+//!     t_switch: 500.0,
+//!     horizon: 2_000.0,
+//!     ..Default::default()
+//! };
+//! let report = Simulation::run(cfg);
+//! assert!(report.n_tot() > 0);
+//! println!("QBC took {} checkpoints ({} basic, {} forced)",
+//!          report.n_tot(), report.ckpts.basic(), report.ckpts.forced);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+mod coord;
+pub mod experiments;
+pub mod failure;
+pub mod gc;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod simulation;
+pub mod table;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::config::{ProtocolChoice, SimConfig};
+    pub use crate::experiments::{self, FigureSpec};
+    pub use crate::failure;
+    pub use crate::report::{CkptBreakdown, RunReport};
+    pub use crate::runner::{run_replications, summarize_point, PointSummary};
+    pub use crate::simulation::Simulation;
+    pub use cic::CicKind;
+}

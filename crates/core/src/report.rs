@@ -1,0 +1,187 @@
+//! Per-run results.
+//!
+//! [`RunReport`] is what one simulation run produces: the paper's `N_tot`
+//! with its basic/forced breakdown, mobility and network counters, and
+//! (optionally) the full causality trace for recovery analysis.
+
+use causality::trace::Trace;
+use mobnet::NetMetrics;
+
+/// Checkpoint counts by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptBreakdown {
+    /// Basic checkpoints on cell switches.
+    pub cell_switch: u64,
+    /// Basic checkpoints on voluntary disconnections.
+    pub disconnect: u64,
+    /// Protocol-forced checkpoints on message receipt.
+    pub forced: u64,
+    /// Timer-driven checkpoints (uncoordinated baseline).
+    pub periodic: u64,
+    /// Coordination-round checkpoints (coordinated baselines).
+    pub coordinated: u64,
+}
+
+impl CkptBreakdown {
+    /// Total checkpoints — the paper's `N_tot`.
+    pub fn total(&self) -> u64 {
+        self.cell_switch + self.disconnect + self.forced + self.periodic + self.coordinated
+    }
+
+    /// Mobility-mandated (basic) checkpoints.
+    pub fn basic(&self) -> u64 {
+        self.cell_switch + self.disconnect
+    }
+}
+
+/// The complete outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Protocol name (as in the figures).
+    pub protocol: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Checkpoint counts.
+    pub ckpts: CkptBreakdown,
+    /// Per-host checkpoint totals.
+    pub per_mh_ckpts: Vec<u64>,
+    /// QBC checkpoints that replaced their predecessor in the recovery line
+    /// (stable-storage slots that could be reclaimed).
+    pub replacements: u64,
+    /// Hand-offs performed.
+    pub handoffs: u64,
+    /// Voluntary disconnections.
+    pub disconnects: u64,
+    /// Reconnections.
+    pub reconnects: u64,
+    /// Application messages sent.
+    pub msgs_sent: u64,
+    /// Application messages delivered (received by hosts).
+    pub msgs_delivered: u64,
+    /// Network / energy counters.
+    pub net: NetMetrics,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Simulated time actually covered.
+    pub end_time: f64,
+    /// Completion latencies of coordinated snapshot rounds (Chandy–Lamport
+    /// runs only; disconnections inflate these, which is the paper's
+    /// "global checkpoint collection latency" issue).
+    pub coord_round_latencies: Vec<f64>,
+    /// Application sends suppressed while a blocking coordination session
+    /// (Koo–Toueg) was in progress.
+    pub blocked_sends: u64,
+    /// Mean wireless-channel utilization across cells (0 when the
+    /// pure-latency channel model is in use).
+    pub channel_utilization: f64,
+    /// Total time transmissions spent queueing for cell channels.
+    pub channel_queueing_delay: f64,
+    /// Full causality trace, when recording was enabled.
+    pub trace: Option<Trace>,
+    /// Debugging event log (empty unless `log_capacity > 0`).
+    pub log: simkit::log::EventLog,
+}
+
+impl RunReport {
+    /// The paper's headline metric.
+    pub fn n_tot(&self) -> u64 {
+        self.ckpts.total()
+    }
+
+    /// Checkpoints per simulated time unit.
+    pub fn ckpt_rate(&self) -> f64 {
+        if self.end_time == 0.0 {
+            0.0
+        } else {
+            self.n_tot() as f64 / self.end_time
+        }
+    }
+
+    /// Forced-to-total ratio: how much of the overhead the protocol itself
+    /// induced (as opposed to mobility-mandated checkpoints).
+    pub fn forced_fraction(&self) -> f64 {
+        let total = self.n_tot();
+        if total == 0 {
+            0.0
+        } else {
+            self.ckpts.forced as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> CkptBreakdown {
+        CkptBreakdown {
+            cell_switch: 10,
+            disconnect: 2,
+            forced: 8,
+            periodic: 0,
+            coordinated: 0,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = breakdown();
+        assert_eq!(b.total(), 20);
+        assert_eq!(b.basic(), 12);
+    }
+
+    #[test]
+    fn report_derived_metrics() {
+        let r = RunReport {
+            protocol: "QBC".into(),
+            seed: 1,
+            ckpts: breakdown(),
+            per_mh_ckpts: vec![2; 10],
+            replacements: 3,
+            handoffs: 10,
+            disconnects: 2,
+            reconnects: 2,
+            msgs_sent: 100,
+            msgs_delivered: 95,
+            net: NetMetrics::new(10),
+            events: 1000,
+            end_time: 100.0,
+            coord_round_latencies: vec![],
+            blocked_sends: 0,
+            channel_utilization: 0.0,
+            channel_queueing_delay: 0.0,
+            trace: None,
+            log: simkit::log::EventLog::disabled(),
+        };
+        assert_eq!(r.n_tot(), 20);
+        assert!((r.ckpt_rate() - 0.2).abs() < 1e-12);
+        assert!((r.forced_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_rate_is_zero() {
+        let r = RunReport {
+            protocol: "BCS".into(),
+            seed: 0,
+            ckpts: CkptBreakdown::default(),
+            per_mh_ckpts: vec![],
+            replacements: 0,
+            handoffs: 0,
+            disconnects: 0,
+            reconnects: 0,
+            msgs_sent: 0,
+            msgs_delivered: 0,
+            net: NetMetrics::new(0),
+            events: 0,
+            end_time: 0.0,
+            coord_round_latencies: vec![],
+            blocked_sends: 0,
+            channel_utilization: 0.0,
+            channel_queueing_delay: 0.0,
+            trace: None,
+            log: simkit::log::EventLog::disabled(),
+        };
+        assert_eq!(r.ckpt_rate(), 0.0);
+        assert_eq!(r.forced_fraction(), 0.0);
+    }
+}

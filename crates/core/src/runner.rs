@@ -1,0 +1,130 @@
+//! Multi-replication experiment runner.
+//!
+//! The paper reports each point as the aggregate of "several simulation
+//! runs with different seeds" (results within 4 % of each other). The
+//! runner executes `R` independent replications — in parallel across OS
+//! threads, since runs share nothing — and summarizes any scalar output
+//! with a mean and a 95 % Student-t confidence interval.
+
+use simkit::stats::Estimate;
+
+use crate::config::SimConfig;
+use crate::report::RunReport;
+use crate::simulation::Simulation;
+
+/// Runs `replications` copies of `cfg` with seeds `base_seed..`, in
+/// parallel, returning the reports in seed order.
+pub fn run_replications(cfg: &SimConfig, base_seed: u64, replications: usize) -> Vec<RunReport> {
+    assert!(replications > 0, "need at least one replication");
+    let configs: Vec<SimConfig> = (0..replications)
+        .map(|r| {
+            let mut c = cfg.clone();
+            c.seed = base_seed + r as u64;
+            c
+        })
+        .collect();
+    // A simulation run is CPU-bound and shares nothing: spawn one scoped
+    // thread per replication (replication counts are small).
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|c| scope.spawn(move || Simulation::run(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication thread panicked"))
+            .collect()
+    })
+}
+
+/// Summary of one experimental point: per-metric estimates over seeds.
+#[derive(Debug, Clone)]
+pub struct PointSummary {
+    /// Protocol name.
+    pub protocol: String,
+    /// `N_tot` over replications.
+    pub n_tot: Estimate,
+    /// Basic checkpoints.
+    pub n_basic: Estimate,
+    /// Forced checkpoints.
+    pub n_forced: Estimate,
+    /// Piggybacked control bytes.
+    pub piggyback_bytes: Estimate,
+    /// Messages delivered.
+    pub msgs_delivered: Estimate,
+    /// Raw reports (for further analysis).
+    pub reports: Vec<RunReport>,
+}
+
+/// Runs and summarizes one experimental point.
+pub fn summarize_point(cfg: &SimConfig, base_seed: u64, replications: usize) -> PointSummary {
+    let reports = run_replications(cfg, base_seed, replications);
+    let collect = |f: &dyn Fn(&RunReport) -> f64| {
+        Estimate::from_samples(&reports.iter().map(f).collect::<Vec<_>>())
+    };
+    PointSummary {
+        protocol: cfg.protocol.name().to_string(),
+        n_tot: collect(&|r| r.n_tot() as f64),
+        n_basic: collect(&|r| r.ckpts.basic() as f64),
+        n_forced: collect(&|r| r.ckpts.forced as f64),
+        piggyback_bytes: collect(&|r| r.net.piggyback_bytes as f64),
+        msgs_delivered: collect(&|r| r.msgs_delivered as f64),
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolChoice;
+    use cic::CicKind;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            horizon: 200.0,
+            t_switch: 50.0,
+            protocol: ProtocolChoice::Cic(CicKind::Bcs),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let reports = run_replications(&small_cfg(), 10, 3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].seed, 10);
+        assert_eq!(reports[2].seed, 12);
+        // Different seeds ⇒ (almost surely) different trajectories.
+        assert_ne!(reports[0].msgs_sent, 0);
+        assert!(
+            reports[0].n_tot() != reports[1].n_tot()
+                || reports[0].msgs_sent != reports[1].msgs_sent
+        );
+    }
+
+    #[test]
+    fn replications_are_reproducible() {
+        let a = run_replications(&small_cfg(), 42, 2);
+        let b = run_replications(&small_cfg(), 42, 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.n_tot(), y.n_tot());
+            assert_eq!(x.msgs_sent, y.msgs_sent);
+            assert_eq!(x.events, y.events);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = summarize_point(&small_cfg(), 1, 4);
+        assert_eq!(s.reports.len(), 4);
+        assert_eq!(s.n_tot.n, 4);
+        assert!(s.n_tot.mean > 0.0);
+        assert_eq!(s.protocol, "BCS");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        run_replications(&small_cfg(), 1, 0);
+    }
+}

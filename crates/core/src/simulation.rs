@@ -1,0 +1,545 @@
+//! The composed mobile-checkpointing simulation.
+//!
+//! One [`Simulation`] run wires together the full stack:
+//!
+//! * **workload** — each connected host alternates internal computation
+//!   (Exp-distributed) with communication operations: a send with
+//!   probability `P_s` (uniform destination), otherwise a receive that pops
+//!   the oldest message queued at its MSS;
+//! * **mobility** — on entering a cell the host commits to either roaming
+//!   (probability `P_switch`, dwell `Exp(T_switch_i)`) or disconnecting
+//!   (dwell `Exp(T_switch_i / 3)`, offline for `Exp(1000)`), taking the
+//!   mandatory *basic* checkpoint at each transition;
+//! * **network** — messages hop MH→MSS (wireless), MSS→MSS (wired),
+//!   MSS→MH (wireless) at the configured latencies; the location directory
+//!   is consulted per send; the at-least-once transport may duplicate, the
+//!   receiver deduplicates;
+//! * **protocol** — a [`cic::protocol::Protocol`] instance per host decides
+//!   forced checkpoints and piggybacks (or a coordinated driver runs rounds
+//!   through the internal `coord` module);
+//! * **storage** — every checkpoint is shipped (incrementally) to the
+//!   current MSS's stable storage, fetching the base across the backbone
+//!   after a cell switch.
+//!
+//! The run optionally records a full [`causality::Trace`] so the recovery
+//! analyses can verify protocol guarantees and measure rollback costs.
+
+use causality::trace::{CkptKind, MsgId, ProcId, TraceBuilder};
+use cic::coordinated::ControlMsg;
+use cic::piggyback::Piggyback;
+use cic::protocol::{BasicReason, Protocol};
+use mobnet::{
+    AttachmentTable, CellChannels, CkptStore, Dedup, LocationService, Mailboxes, MhId, MssId,
+    NetMetrics, PacketId, Queued, Topology,
+};
+use simkit::prelude::*;
+
+use crate::config::{ProtocolChoice, SimConfig};
+use crate::coord::CoordDriver;
+use crate::report::{CkptBreakdown, RunReport};
+
+/// Wire size charged for a mobility/coordination control message.
+pub(crate) const CONTROL_BYTES: u64 = 16;
+
+/// Payload carried by an application message.
+#[derive(Debug, Clone)]
+pub struct AppPayload {
+    /// Checkpointing control information.
+    pub(crate) pb: Piggyback,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// A host finishes an internal-computation step and communicates.
+    Activity {
+        /// The acting host.
+        mh: MhId,
+        /// Workload generation (stale events from before a disconnection
+        /// carry an old generation and are ignored).
+        gen: u32,
+    },
+    /// An application message reaches the destination host's MSS.
+    Deliver {
+        /// Destination host.
+        to: MhId,
+        /// The queued message.
+        q: Queued<AppPayload>,
+    },
+    /// A host's cell dwell expires (decision fixed at cell entry).
+    Mobility {
+        /// The moving host.
+        mh: MhId,
+        /// `true` = switch cells, `false` = disconnect.
+        switch: bool,
+    },
+    /// A disconnected host reconnects.
+    Reconnect {
+        /// The reconnecting host.
+        mh: MhId,
+    },
+    /// Periodic checkpoint timer (uncoordinated baseline).
+    Periodic {
+        /// The checkpointing host.
+        mh: MhId,
+    },
+    /// A coordination round starts (coordinated baselines).
+    CoordRound,
+    /// A coordination control message reaches a host.
+    DeliverCtl {
+        /// Destination host.
+        to: MhId,
+        /// Sending host.
+        from: MhId,
+        /// The marker / request.
+        msg: ControlMsg,
+    },
+}
+
+/// The full simulation state (the `simkit` model).
+pub struct Simulation {
+    cfg: SimConfig,
+    topo: Topology,
+    attach: AttachmentTable,
+    mailboxes: Mailboxes<AppPayload>,
+    dedup: Dedup,
+    loc: LocationService,
+    store: CkptStore,
+    channels: CellChannels,
+    pub(crate) metrics: NetMetrics,
+    pub(crate) protos: Vec<Box<dyn Protocol>>,
+    pub(crate) coord: CoordDriver,
+    trace: Option<TraceBuilder>,
+    log: simkit::log::EventLog,
+    // Per-host RNG substreams keep runs insensitive to event interleaving
+    // details of other hosts.
+    workload_rng: Vec<SimRng>,
+    mobility_rng: Vec<SimRng>,
+    net_rng: SimRng,
+    pub(crate) coord_rng: SimRng,
+    activity_gen: Vec<u32>,
+    pub(crate) ckpts: CkptBreakdown,
+    per_mh_ckpts: Vec<u64>,
+    replacements: u64,
+    next_packet: u64,
+    msgs_sent: u64,
+    msgs_delivered: u64,
+    blocked_sends: u64,
+}
+
+impl Simulation {
+    /// Builds the initial state and schedules the bootstrap events.
+    pub fn new(cfg: SimConfig) -> (Simulation, Scheduler<Ev>) {
+        cfg.validate();
+        let root = SimRng::new(cfg.seed);
+        let n = cfg.n_mhs;
+        let mut placement_rng = root.fork(1);
+        let initial: Vec<MssId> = (0..n)
+            .map(|_| MssId(placement_rng.index(cfg.n_mss)))
+            .collect();
+
+        let protos: Vec<Box<dyn Protocol>> = match cfg.protocol {
+            ProtocolChoice::Cic(kind) => (0..n)
+                .map(|i| kind.instantiate(i, n, initial[i].idx() as u32))
+                .collect(),
+            // Coordinated runs still take the mobility-mandated basic
+            // checkpoints; a bare counter protocol does that bookkeeping.
+            _ => (0..n)
+                .map(|i| cic::CicKind::Uncoordinated.instantiate(i, n, initial[i].idx() as u32))
+                .collect(),
+        };
+        let coord = CoordDriver::new(&cfg);
+
+        let mut sim = Simulation {
+            topo: Topology::with_latencies(cfg.n_mss, cfg.latencies),
+            attach: AttachmentTable::new(initial.clone()),
+            mailboxes: Mailboxes::new(&initial),
+            dedup: Dedup::new(n),
+            loc: LocationService::new(initial),
+            store: CkptStore::new(n, cfg.incremental),
+            channels: CellChannels::new(cfg.n_mss, cfg.wireless_bandwidth),
+            metrics: NetMetrics::new(n),
+            protos,
+            coord,
+            trace: cfg.record_trace.then(|| TraceBuilder::new(n)),
+            log: simkit::log::EventLog::new(cfg.log_capacity),
+            workload_rng: (0..n).map(|i| root.fork(1000 + i as u64)).collect(),
+            mobility_rng: (0..n).map(|i| root.fork(2000 + i as u64)).collect(),
+            net_rng: root.fork(3000),
+            coord_rng: root.fork(4000),
+            activity_gen: vec![0; n],
+            ckpts: CkptBreakdown::default(),
+            per_mh_ckpts: vec![0; n],
+            replacements: 0,
+            next_packet: 0,
+            msgs_sent: 0,
+            msgs_delivered: 0,
+            blocked_sends: 0,
+            cfg,
+        };
+
+        let mut sched = Scheduler::new();
+        for i in 0..n {
+            let mh = MhId(i);
+            let first = sim.workload_rng[i].exp(sim.cfg.internal_mean);
+            sched.schedule_in(first, Ev::Activity { mh, gen: 0 });
+            sim.enter_cell(&mut sched, mh);
+            if matches!(sim.cfg.protocol, ProtocolChoice::Cic(cic::CicKind::Uncoordinated)) {
+                let d = sim.mobility_rng[i].exp(sim.cfg.periodic_mean);
+                sched.schedule_in(d, Ev::Periodic { mh });
+            }
+        }
+        if let Some(interval) = sim.coord.interval() {
+            sched.schedule_in(interval, Ev::CoordRound);
+        }
+        (sim, sched)
+    }
+
+    /// Runs to the configured horizon and produces the report.
+    pub fn run(cfg: SimConfig) -> RunReport {
+        let horizon = SimTime::new(cfg.horizon);
+        let seed = cfg.seed;
+        let protocol = cfg.protocol.name().to_string();
+        let (mut sim, mut sched) = Simulation::new(cfg);
+        let out = run_until(&mut sim, &mut sched, horizon);
+        sim.into_report(protocol, seed, out)
+    }
+
+    fn into_report(self, protocol: String, seed: u64, out: RunOutcome) -> RunReport {
+        let coord_round_latencies = self.coord.round_latencies().to_vec();
+        let horizon = out.end_time.as_f64().max(f64::MIN_POSITIVE);
+        let channel_utilization = if self.channels.is_unlimited() {
+            0.0
+        } else {
+            self.channels.mean_utilization(horizon)
+        };
+        let channel_queueing_delay = self.channels.total_queueing_delay();
+        RunReport {
+            protocol,
+            seed,
+            ckpts: self.ckpts,
+            per_mh_ckpts: self.per_mh_ckpts,
+            replacements: self.replacements,
+            handoffs: self.attach.handoffs(),
+            disconnects: self.attach.disconnects(),
+            reconnects: self.attach.reconnects(),
+            msgs_sent: self.msgs_sent,
+            msgs_delivered: self.msgs_delivered,
+            net: self.metrics,
+            events: out.events_handled,
+            end_time: out.end_time.as_f64(),
+            coord_round_latencies,
+            blocked_sends: self.blocked_sends,
+            channel_utilization,
+            channel_queueing_delay,
+            trace: self.trace.map(TraceBuilder::finish),
+            log: self.log,
+        }
+    }
+
+    // -- checkpoint bookkeeping ---------------------------------------------
+
+    /// Takes one checkpoint of `mh` right now: counts it, records it in the
+    /// trace and ships it to the responsible MSS's stable storage.
+    pub(crate) fn take_checkpoint(
+        &mut self,
+        now: SimTime,
+        mh: MhId,
+        index: u64,
+        kind: CkptKind,
+        replaces: bool,
+    ) {
+        match kind {
+            CkptKind::CellSwitch => self.ckpts.cell_switch += 1,
+            CkptKind::Disconnect => self.ckpts.disconnect += 1,
+            CkptKind::Forced => self.ckpts.forced += 1,
+            CkptKind::Periodic => self.ckpts.periodic += 1,
+            CkptKind::Coordinated => self.ckpts.coordinated += 1,
+            CkptKind::Initial => unreachable!("initial checkpoints are implicit"),
+        }
+        self.per_mh_ckpts[mh.idx()] += 1;
+        if replaces {
+            self.replacements += 1;
+        }
+        if !self.log.is_disabled() {
+            self.log.record(
+                now,
+                simkit::log::Level::Info,
+                "ckpt",
+                format!("{mh} takes {kind:?} checkpoint index {index} (replaces={replaces})"),
+            );
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.checkpoint(ProcId(mh.idx()), now.as_f64(), index, kind);
+        }
+        let mss = self.attach.attachment(mh).responsible_mss();
+        let transfer = self.store.checkpoint(mh, mss, now.as_f64());
+        // Shipping the checkpoint increment occupies the cell channel.
+        self.channels.admit(mss, transfer.wireless_bytes, now.as_f64());
+        self.metrics.ckpt_wireless_bytes += transfer.wireless_bytes;
+        self.metrics.ckpt_fetch_bytes += transfer.wired_fetch_bytes;
+        self.metrics.charge_wireless(mh, transfer.wireless_bytes);
+        if transfer.fetched_from.is_some() {
+            self.metrics.wired_hops += 1;
+            self.metrics.ckpt_fetches += 1;
+        }
+    }
+
+    fn basic_checkpoint(&mut self, now: SimTime, mh: MhId, reason: BasicReason) {
+        let c = self.protos[mh.idx()].on_basic(reason);
+        self.take_checkpoint(now, mh, c.index, reason.kind(), c.replaces_predecessor);
+    }
+
+    // -- mobility ------------------------------------------------------------
+
+    /// On entering a cell: commit to the next mobility action and schedule
+    /// its dwell (the paper's model).
+    fn enter_cell(&mut self, sched: &mut Scheduler<Ev>, mh: MhId) {
+        let i = mh.idx();
+        let t_i = self.cfg.t_switch_of(i);
+        let rng = &mut self.mobility_rng[i];
+        let switch = rng.bernoulli(self.cfg.p_switch);
+        let dwell = if switch {
+            rng.exp(t_i)
+        } else {
+            rng.exp(t_i / self.cfg.disc_divisor)
+        };
+        sched.schedule_in(dwell, Ev::Mobility { mh, switch });
+    }
+
+    fn on_mobility(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId, switch: bool) {
+        if switch {
+            // Basic checkpoint, then hand off to a uniformly chosen other cell.
+            self.basic_checkpoint(now, mh, BasicReason::CellSwitch);
+            if !self.log.is_disabled() {
+                self.log.record(
+                    now,
+                    simkit::log::Level::Info,
+                    "mobility",
+                    format!("{mh} hands off"),
+                );
+            }
+            let cur = self
+                .attach
+                .cell_of(mh)
+                .expect("mobility fires only while connected");
+            let neighbors = self.cfg.cell_graph.neighbors(cur, self.cfg.n_mss);
+            let new_cell = *self.mobility_rng[mh.idx()].choose(&neighbors);
+            let handoff = self.attach.handoff(mh, new_cell);
+            // Two wireless control messages (old MSS, new MSS).
+            self.metrics.control_msgs += u64::from(handoff.control_msgs);
+            for _ in 0..handoff.control_msgs {
+                self.metrics.charge_wireless(mh, CONTROL_BYTES);
+            }
+            self.loc.update(mh, new_cell);
+            self.metrics.wired_hops += self.mailboxes.relocate(mh, new_cell);
+            self.protos[mh.idx()].on_relocate(new_cell.idx() as u32);
+            self.enter_cell(sched, mh);
+        } else {
+            // Basic checkpoint, then voluntary disconnection.
+            self.basic_checkpoint(now, mh, BasicReason::Disconnect);
+            if !self.log.is_disabled() {
+                self.log.record(
+                    now,
+                    simkit::log::Level::Info,
+                    "mobility",
+                    format!("{mh} disconnects"),
+                );
+            }
+            self.attach.disconnect(mh);
+            self.metrics.control_msgs += 1;
+            self.metrics.charge_wireless(mh, CONTROL_BYTES);
+            // Pause the workload: outstanding activities become stale.
+            self.activity_gen[mh.idx()] += 1;
+            let off = self.mobility_rng[mh.idx()].exp(self.cfg.reconnect_mean);
+            sched.schedule_in(off, Ev::Reconnect { mh });
+        }
+    }
+
+    fn on_reconnect(&mut self, sched: &mut Scheduler<Ev>, mh: MhId) {
+        let i = mh.idx();
+        let cell = MssId(self.mobility_rng[i].index(self.cfg.n_mss));
+        let was_buffering = self.attach.reconnect(mh, cell);
+        self.metrics.control_msgs += 1;
+        self.metrics.charge_wireless(mh, CONTROL_BYTES);
+        self.loc.update(mh, cell);
+        if was_buffering != cell {
+            self.metrics.wired_hops += self.mailboxes.relocate(mh, cell);
+        }
+        self.protos[i].on_relocate(cell.idx() as u32);
+        // Resume the workload under a fresh generation.
+        let gen = self.activity_gen[i];
+        let next = self.workload_rng[i].exp(self.cfg.internal_mean);
+        sched.schedule_in(next, Ev::Activity { mh, gen });
+        // Flush buffered coordination traffic (see coord module).
+        self.coord_flush_buffered(sched, mh);
+        self.enter_cell(sched, mh);
+    }
+
+    // -- workload -------------------------------------------------------------
+
+    fn on_activity(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId, gen: u32) {
+        let i = mh.idx();
+        if gen != self.activity_gen[i] || !self.attach.attachment(mh).is_connected() {
+            return; // stale event from before a disconnection
+        }
+        let send = self.workload_rng[i].bernoulli(self.cfg.p_send);
+        let mut ckpt_pause = 0.0;
+        if send {
+            if self.coord.is_blocked(mh) {
+                // A blocking coordination session (Koo-Toueg) suppresses
+                // application sends until commit.
+                self.blocked_sends += 1;
+            } else {
+                self.do_send(sched, now, mh);
+            }
+        } else if self.do_receive(now, mh) {
+            ckpt_pause = self.cfg.ckpt_duration;
+        }
+        let next = self.workload_rng[i].exp(self.cfg.internal_mean) + ckpt_pause;
+        sched.schedule_in(next, Ev::Activity { mh, gen });
+    }
+
+    fn do_send(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
+        let i = mh.idx();
+        let n = self.cfg.n_mhs;
+        let dest = MhId(self.workload_rng[i].index_excluding(n, i));
+        let pb = match self.cfg.protocol {
+            ProtocolChoice::Cic(_) => self.protos[i].on_send(dest.idx()),
+            ProtocolChoice::ChandyLamport { .. } => Piggyback::None,
+            ProtocolChoice::PrakashSinghal { .. } | ProtocolChoice::KooToueg { .. } => {
+                self.coord.ps_piggyback(mh)
+            }
+        };
+        self.next_packet += 1;
+        let packet = PacketId(self.next_packet);
+        self.msgs_sent += 1;
+        self.metrics.app_msgs_sent += 1;
+
+        let bytes = self.cfg.payload_bytes + pb.wire_bytes() as u64;
+        self.metrics.payload_bytes += self.cfg.payload_bytes;
+        self.metrics.piggyback_bytes += pb.wire_bytes() as u64;
+        // Uplink: MH → current MSS.
+        self.metrics.charge_wireless(mh, bytes);
+
+        if let Some(trace) = &mut self.trace {
+            trace.send(MsgId(packet.0), ProcId(i), ProcId(dest.idx()), now.as_f64());
+        }
+
+        // The current MSS locates the recipient, then forwards.
+        let src_mss = self.attach.cell_of(mh).expect("sender is connected");
+        let dst_mss = self.loc.lookup(dest);
+        self.metrics.searches += 1;
+        // Uplink airtime: the cell channel serializes same-cell senders
+        // when a finite wireless bandwidth is configured.
+        let admission = self.channels.admit(src_mss, bytes, now.as_f64());
+        let mut latency = self.topo.wireless_latency() + admission.completion_delay;
+        if src_mss != dst_mss {
+            latency += self.topo.wired_latency(src_mss, dst_mss);
+            self.metrics.wired_hops += 1;
+        }
+        let q = Queued {
+            packet,
+            from: mh,
+            payload: AppPayload { pb },
+        };
+        // At-least-once: the transport may deliver twice.
+        if self.cfg.dup_prob > 0.0 && self.net_rng.bernoulli(self.cfg.dup_prob) {
+            self.metrics.duplicates_injected += 1;
+            sched.schedule_in(
+                latency + self.topo.wired_latency(src_mss, dst_mss).max(self.topo.wireless_latency()),
+                Ev::Deliver {
+                    to: dest,
+                    q: q.clone(),
+                },
+            );
+        }
+        sched.schedule_in(latency, Ev::Deliver { to: dest, q });
+    }
+
+    /// Executes a receive operation; returns `true` if a forced checkpoint
+    /// was taken.
+    fn do_receive(&mut self, now: SimTime, mh: MhId) -> bool {
+        // The MSS filters duplicates server-side; the receive operation
+        // consumes the first fresh message, if any.
+        loop {
+            let Some(q) = self.mailboxes.pop(mh) else {
+                return false; // nothing pending: the operation is a no-op
+            };
+            if !self.dedup.accept(mh, q.packet) {
+                self.metrics.duplicates_suppressed += 1;
+                continue;
+            }
+            // Downlink: MSS → MH.
+            let bytes = self.cfg.payload_bytes + q.payload.pb.wire_bytes() as u64;
+            self.metrics.charge_wireless(mh, bytes);
+            self.msgs_delivered += 1;
+            self.metrics.app_msgs_delivered += 1;
+
+            let mut forced = false;
+            match self.cfg.protocol {
+                ProtocolChoice::Cic(_) => {
+                    let out = self.protos[mh.idx()].on_receive(q.from.idx(), &q.payload.pb);
+                    if let Some(index) = out.forced {
+                        // Forced checkpoint precedes delivery.
+                        self.take_checkpoint(now, mh, index, CkptKind::Forced, false);
+                        forced = true;
+                    }
+                }
+                _ => self.coord.on_app_message(mh, q.from, q.packet, &q.payload.pb),
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.recv(MsgId(q.packet.0), now.as_f64());
+            }
+            return forced;
+        }
+    }
+
+    // -- accessors used by tests and the coord module -------------------------
+
+    /// Simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn is_connected(&self, mh: MhId) -> bool {
+        self.attach.attachment(mh).is_connected()
+    }
+
+    pub(crate) fn cell_of(&self, mh: MhId) -> Option<MssId> {
+        self.attach.cell_of(mh)
+    }
+
+    pub(crate) fn locate(&mut self, mh: MhId) -> MssId {
+        self.metrics.searches += 1;
+        self.loc.lookup(mh)
+    }
+
+    pub(crate) fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl Model for Simulation {
+    type Event = Ev;
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, fired: Fired<Ev>) -> Control {
+        let now = fired.time;
+        match fired.event {
+            Ev::Activity { mh, gen } => self.on_activity(sched, now, mh, gen),
+            Ev::Deliver { to, q } => self.mailboxes.enqueue(to, q),
+            Ev::Mobility { mh, switch } => self.on_mobility(sched, now, mh, switch),
+            Ev::Reconnect { mh } => self.on_reconnect(sched, mh),
+            Ev::Periodic { mh } => {
+                if self.attach.attachment(mh).is_connected() {
+                    self.basic_checkpoint(now, mh, BasicReason::Periodic);
+                }
+                let d = self.mobility_rng[mh.idx()].exp(self.cfg.periodic_mean);
+                sched.schedule_in(d, Ev::Periodic { mh });
+            }
+            Ev::CoordRound => self.on_coord_round(sched, now),
+            Ev::DeliverCtl { to, from, msg } => self.on_deliver_ctl(sched, now, to, from, msg),
+        }
+        Control::Continue
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text and CSV rendering of result series.
+//!
+//! The benchmark harness prints each figure as rows of `T_switch` against
+//! per-protocol `N_tot` (the same series the paper plots); this module does
+//! the formatting.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV (comma-separated, headers first; cells containing commas
+    /// or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a mean ± half-CI pair compactly.
+pub fn fmt_estimate(mean: f64, ci: f64) -> String {
+    if ci == 0.0 {
+        format!("{mean:.1}")
+    } else {
+        format!("{mean:.1}±{ci:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["100", "20000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].starts_with('-'));
+        // All rows align to the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_round_trip_simple() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push_row(vec!["1", "hello"]);
+        assert_eq!(t.to_csv(), "x,y\n1,hello\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["v"]);
+        t.push_row(vec!["a,b"]);
+        t.push_row(vec!["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn estimate_formatting() {
+        assert_eq!(fmt_estimate(10.0, 0.0), "10.0");
+        assert_eq!(fmt_estimate(10.0, 1.25), "10.0±1.2");
+    }
+}

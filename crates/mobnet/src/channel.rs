@@ -1,0 +1,162 @@
+//! Wireless channel contention (paper point (b): "low bandwidth and high
+//! channel contention").
+//!
+//! Each cell has one shared wireless channel. With the paper's default
+//! model a hop is a fixed latency; enabling a finite bandwidth makes
+//! transmissions *occupy* the channel for `bytes / bandwidth` time units
+//! and serializes concurrent transmissions in the same cell — so a
+//! protocol that piggybacks more control bytes (TP's `2n` integers) pays
+//! in queueing delay and channel utilization, not just in an abstract byte
+//! counter.
+//!
+//! [`CellChannels`] tracks per-cell busy horizons and accumulates the two
+//! observables: total busy time (utilization) and total queueing delay.
+
+use crate::ids::MssId;
+
+/// Per-cell wireless channel state.
+#[derive(Debug, Clone)]
+pub struct CellChannels {
+    /// Bytes per time unit; `f64::INFINITY` disables occupancy (the
+    /// paper's pure-latency model).
+    bandwidth: f64,
+    /// Per cell: the time until which the channel is busy.
+    busy_until: Vec<f64>,
+    /// Per cell: accumulated transmission (busy) time.
+    busy_time: Vec<f64>,
+    /// Total time transmissions spent queueing behind the channel.
+    queueing_delay: f64,
+    transmissions: u64,
+}
+
+/// Outcome of admitting one transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Delay from "now" until the transmission completes (queueing +
+    /// airtime), to be added to the hop latency.
+    pub completion_delay: f64,
+    /// The queueing component alone.
+    pub queued_for: f64,
+}
+
+impl CellChannels {
+    /// Channels for `n_cells` cells at the given bandwidth
+    /// (`f64::INFINITY` = no occupancy).
+    pub fn new(n_cells: usize, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        CellChannels {
+            bandwidth,
+            busy_until: vec![0.0; n_cells],
+            busy_time: vec![0.0; n_cells],
+            queueing_delay: 0.0,
+            transmissions: 0,
+        }
+    }
+
+    /// True when the channel model is pure latency (infinite bandwidth).
+    pub fn is_unlimited(&self) -> bool {
+        self.bandwidth.is_infinite()
+    }
+
+    /// Admits a `bytes`-long transmission on `cell`'s channel at time
+    /// `now`, serializing behind any transmission still in the air.
+    pub fn admit(&mut self, cell: MssId, bytes: u64, now: f64) -> Admission {
+        self.transmissions += 1;
+        if self.is_unlimited() {
+            return Admission {
+                completion_delay: 0.0,
+                queued_for: 0.0,
+            };
+        }
+        let airtime = bytes as f64 / self.bandwidth;
+        let start = self.busy_until[cell.idx()].max(now);
+        let queued_for = start - now;
+        self.busy_until[cell.idx()] = start + airtime;
+        self.busy_time[cell.idx()] += airtime;
+        self.queueing_delay += queued_for;
+        Admission {
+            completion_delay: queued_for + airtime,
+            queued_for,
+        }
+    }
+
+    /// Utilization of `cell`'s channel over `[0, horizon]`.
+    pub fn utilization(&self, cell: MssId, horizon: f64) -> f64 {
+        assert!(horizon > 0.0);
+        (self.busy_time[cell.idx()] / horizon).min(1.0)
+    }
+
+    /// Mean utilization across cells.
+    pub fn mean_utilization(&self, horizon: f64) -> f64 {
+        let n = self.busy_time.len() as f64;
+        self.busy_time.iter().map(|b| (b / horizon).min(1.0)).sum::<f64>() / n
+    }
+
+    /// Total queueing delay accumulated by all transmissions.
+    pub fn total_queueing_delay(&self) -> f64 {
+        self.queueing_delay
+    }
+
+    /// Transmissions admitted.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_bandwidth_is_free() {
+        let mut ch = CellChannels::new(2, f64::INFINITY);
+        assert!(ch.is_unlimited());
+        let a = ch.admit(MssId(0), 1_000_000, 5.0);
+        assert_eq!(a.completion_delay, 0.0);
+        assert_eq!(ch.total_queueing_delay(), 0.0);
+        assert_eq!(ch.transmissions(), 1);
+    }
+
+    #[test]
+    fn airtime_is_bytes_over_bandwidth() {
+        let mut ch = CellChannels::new(1, 100.0);
+        let a = ch.admit(MssId(0), 50, 0.0);
+        assert!((a.completion_delay - 0.5).abs() < 1e-12);
+        assert_eq!(a.queued_for, 0.0);
+        assert!((ch.utilization(MssId(0), 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_transmissions_serialize() {
+        let mut ch = CellChannels::new(1, 100.0);
+        ch.admit(MssId(0), 100, 0.0); // busy until 1.0
+        let second = ch.admit(MssId(0), 100, 0.5); // queues 0.5, airs 1.0
+        assert!((second.queued_for - 0.5).abs() < 1e-12);
+        assert!((second.completion_delay - 1.5).abs() < 1e-12);
+        assert!((ch.total_queueing_delay() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_busy() {
+        let mut ch = CellChannels::new(1, 100.0);
+        ch.admit(MssId(0), 100, 0.0);
+        let later = ch.admit(MssId(0), 100, 10.0); // channel long idle
+        assert_eq!(later.queued_for, 0.0);
+        assert!((ch.utilization(MssId(0), 20.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_are_independent() {
+        let mut ch = CellChannels::new(2, 100.0);
+        ch.admit(MssId(0), 1000, 0.0);
+        let other = ch.admit(MssId(1), 100, 0.0);
+        assert_eq!(other.queued_for, 0.0);
+        assert!((ch.mean_utilization(10.0) - (1.0 + 0.1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        CellChannels::new(1, 0.0);
+    }
+}

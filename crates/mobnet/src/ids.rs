@@ -1,0 +1,74 @@
+//! Entity identifiers for the mobile network.
+
+use std::fmt;
+
+/// A mobile host (the paper's `h_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MhId(pub usize);
+
+impl MhId {
+    /// Index into per-host arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MhId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A mobile support station; each MSS serves exactly one wireless cell, so
+/// `MssId` doubles as the cell identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MssId(pub usize);
+
+impl MssId {
+    /// Index into per-station arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MssId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mss{}", self.0)
+    }
+}
+
+/// A transport-level packet identity (unique per transmission intent;
+/// retransmitted duplicates share it, which is what receiver-side
+/// deduplication keys on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", MhId(3)), "h3");
+        assert_eq!(format!("{}", MssId(1)), "mss1");
+        assert_eq!(format!("{}", PacketId(9)), "pkt9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(MhId(1));
+        assert!(s.contains(&MhId(1)));
+        assert!(MhId(1) < MhId(2));
+        assert_eq!(MssId(4).idx(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! `mobnet` — the mobile-network substrate of the `mck` simulator.
+//!
+//! Implements the infrastructure the paper's system model assumes (Section
+//! 3): `n` mobile hosts attached to `r` mobile support stations, one
+//! wireless cell per station, a fully connected wired backbone, hand-off and
+//! voluntary disconnection protocols, a location directory, per-host
+//! mailboxes with at-least-once delivery and receiver-side deduplication,
+//! and stable-storage checkpoint stores with incremental checkpointing.
+//!
+//! Everything here is *scheduler-free* state with explicit cost accounting:
+//! the `mck` crate owns simulated time and charges each operation's latency
+//! and energy through these types, which keeps every mechanism unit-testable
+//! in isolation.
+//!
+//! | Concern | Module |
+//! |---------|--------|
+//! | identities | [`ids`] |
+//! | cells, backbone, latencies | [`topology`] |
+//! | attachment, hand-off, disconnection | [`attachment`] |
+//! | wireless channel contention | [`channel`] |
+//! | mailboxes, at-least-once, dedup | [`delivery`] |
+//! | location directory & search cost | [`location`] |
+//! | stable storage & incremental checkpoints | [`storage`] |
+//! | counters & energy model | [`metrics`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attachment;
+pub mod channel;
+pub mod delivery;
+pub mod ids;
+pub mod location;
+pub mod metrics;
+pub mod storage;
+pub mod topology;
+
+pub use attachment::{Attachment, AttachmentTable, Handoff};
+pub use channel::{Admission, CellChannels};
+pub use delivery::{Dedup, Mailboxes, Queued};
+pub use ids::{MhId, MssId, PacketId};
+pub use location::LocationService;
+pub use metrics::{EnergyModel, NetMetrics};
+pub use storage::{CkptStore, CkptTransfer, IncrementalModel, StoredCkpt};
+pub use topology::{CellGraph, Latencies, Topology};

@@ -1,0 +1,250 @@
+//! Stable-storage checkpoint store with incremental checkpointing.
+//!
+//! MH local storage is limited and vulnerable (paper point (a)), so every
+//! checkpoint is transferred to the current MSS's stable storage. The
+//! transfer itself is expensive — battery and wireless channel (points (b)
+//! and (e)) — which motivates **incremental checkpointing** (paper §2.2):
+//! only the state that changed since the last checkpoint crosses the
+//! wireless link; the MSS reconstructs the full checkpoint by patching its
+//! stored copy. If, because of a cell switch, the previous checkpoint lives
+//! at a *different* MSS, the current MSS first fetches it over the wired
+//! network.
+//!
+//! The dirty-state model is exponential saturation: after `dt` time units
+//! of computation, `full_bytes × (1 − exp(−dt/tau))` bytes have changed.
+//! Short checkpoint intervals therefore ship small increments; long
+//! intervals degrade to (almost) full transfers, exactly the qualitative
+//! behaviour incremental checkpointing is designed around.
+
+use crate::ids::{MhId, MssId};
+
+/// Parameters of the per-host state-dirtying model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalModel {
+    /// Full process-state size in bytes.
+    pub full_bytes: u64,
+    /// Time constant of state dirtying: after `tau` time units roughly 63 %
+    /// of the state has changed.
+    pub tau: f64,
+}
+
+impl Default for IncrementalModel {
+    /// 1 MiB of state dirtying with a 100-time-unit constant.
+    fn default() -> Self {
+        IncrementalModel {
+            full_bytes: 1 << 20,
+            tau: 100.0,
+        }
+    }
+}
+
+impl IncrementalModel {
+    /// Bytes that changed after `dt` time units since the last checkpoint.
+    pub fn dirty_bytes(&self, dt: f64) -> u64 {
+        assert!(dt >= 0.0, "negative interval");
+        assert!(self.tau > 0.0, "tau must be positive");
+        let frac = 1.0 - (-dt / self.tau).exp();
+        (self.full_bytes as f64 * frac).round() as u64
+    }
+}
+
+/// Metadata of the latest stored checkpoint of one host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredCkpt {
+    /// Station whose stable storage holds it.
+    pub mss: MssId,
+    /// When it was taken.
+    pub time: f64,
+    /// How many checkpoints this host has stored in total (1-based ordinal).
+    pub ordinal: u64,
+}
+
+/// Byte accounting for one checkpoint operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptTransfer {
+    /// Bytes shipped MH → MSS over the wireless link (the increment, or the
+    /// full state for a first checkpoint).
+    pub wireless_bytes: u64,
+    /// Bytes fetched MSS ← MSS over the wired network to migrate the
+    /// previous checkpoint (0 when it was already local).
+    pub wired_fetch_bytes: u64,
+    /// The station the previous checkpoint was fetched from, if any.
+    pub fetched_from: Option<MssId>,
+}
+
+/// The distributed checkpoint store (one stable storage per MSS, viewed
+/// globally for accounting).
+#[derive(Debug, Clone)]
+pub struct CkptStore {
+    model: IncrementalModel,
+    last: Vec<Option<StoredCkpt>>,
+    total_wireless_bytes: u64,
+    total_fetch_bytes: u64,
+    fetches: u64,
+    stored: u64,
+}
+
+impl CkptStore {
+    /// A store for `n` hosts under the given incremental model.
+    pub fn new(n: usize, model: IncrementalModel) -> Self {
+        CkptStore {
+            model,
+            last: vec![None; n],
+            total_wireless_bytes: 0,
+            total_fetch_bytes: 0,
+            fetches: 0,
+            stored: 0,
+        }
+    }
+
+    /// Records a checkpoint of `mh` taken at `mss` at time `now`, returning
+    /// the transfer costs.
+    pub fn checkpoint(&mut self, mh: MhId, mss: MssId, now: f64) -> CkptTransfer {
+        let slot = &mut self.last[mh.idx()];
+        let transfer = match slot {
+            None => CkptTransfer {
+                // First checkpoint: the whole state crosses the wireless link.
+                wireless_bytes: self.model.full_bytes,
+                wired_fetch_bytes: 0,
+                fetched_from: None,
+            },
+            Some(prev) => {
+                let increment = self.model.dirty_bytes(now - prev.time);
+                if prev.mss == mss {
+                    CkptTransfer {
+                        wireless_bytes: increment,
+                        wired_fetch_bytes: 0,
+                        fetched_from: None,
+                    }
+                } else {
+                    // The base checkpoint lives elsewhere: the current MSS
+                    // fetches it (full size) over the wired network first.
+                    CkptTransfer {
+                        wireless_bytes: increment,
+                        wired_fetch_bytes: self.model.full_bytes,
+                        fetched_from: Some(prev.mss),
+                    }
+                }
+            }
+        };
+        let ordinal = slot.map_or(1, |p| p.ordinal + 1);
+        *slot = Some(StoredCkpt {
+            mss,
+            time: now,
+            ordinal,
+        });
+        self.total_wireless_bytes += transfer.wireless_bytes;
+        self.total_fetch_bytes += transfer.wired_fetch_bytes;
+        if transfer.fetched_from.is_some() {
+            self.fetches += 1;
+        }
+        self.stored += 1;
+        transfer
+    }
+
+    /// Latest stored checkpoint of `mh`.
+    pub fn latest(&self, mh: MhId) -> Option<StoredCkpt> {
+        self.last[mh.idx()]
+    }
+
+    /// Total bytes shipped over wireless links for checkpointing.
+    pub fn total_wireless_bytes(&self) -> u64 {
+        self.total_wireless_bytes
+    }
+
+    /// Total bytes moved between stations to migrate base checkpoints.
+    pub fn total_fetch_bytes(&self) -> u64 {
+        self.total_fetch_bytes
+    }
+
+    /// Number of cross-MSS base fetches.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Total checkpoints stored.
+    pub fn stored(&self) -> u64 {
+        self.stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IncrementalModel {
+        IncrementalModel {
+            full_bytes: 1000,
+            tau: 10.0,
+        }
+    }
+
+    #[test]
+    fn dirty_bytes_saturate() {
+        let m = model();
+        assert_eq!(m.dirty_bytes(0.0), 0);
+        let short = m.dirty_bytes(1.0);
+        let long = m.dirty_bytes(100.0);
+        assert!(short < long);
+        assert!(long <= 1000);
+        assert!(long >= 999, "after 10·tau the state is essentially all dirty");
+    }
+
+    #[test]
+    fn first_checkpoint_ships_full_state() {
+        let mut s = CkptStore::new(1, model());
+        let t = s.checkpoint(MhId(0), MssId(0), 5.0);
+        assert_eq!(t.wireless_bytes, 1000);
+        assert_eq!(t.wired_fetch_bytes, 0);
+        assert_eq!(s.latest(MhId(0)).unwrap().ordinal, 1);
+    }
+
+    #[test]
+    fn same_station_increment_is_small() {
+        let mut s = CkptStore::new(1, model());
+        s.checkpoint(MhId(0), MssId(0), 0.0);
+        let t = s.checkpoint(MhId(0), MssId(0), 1.0);
+        assert!(t.wireless_bytes < 1000 / 2, "short interval ⇒ small delta");
+        assert_eq!(t.fetched_from, None);
+        assert_eq!(s.fetches(), 0);
+    }
+
+    #[test]
+    fn cross_station_checkpoint_fetches_base() {
+        let mut s = CkptStore::new(1, model());
+        s.checkpoint(MhId(0), MssId(0), 0.0);
+        let t = s.checkpoint(MhId(0), MssId(2), 1.0);
+        assert_eq!(t.fetched_from, Some(MssId(0)));
+        assert_eq!(t.wired_fetch_bytes, 1000);
+        assert!(t.wireless_bytes < 1000);
+        assert_eq!(s.fetches(), 1);
+        // The base now lives at MSS 2: a further checkpoint there is local.
+        let t2 = s.checkpoint(MhId(0), MssId(2), 2.0);
+        assert_eq!(t2.fetched_from, None);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut s = CkptStore::new(2, model());
+        s.checkpoint(MhId(0), MssId(0), 0.0);
+        s.checkpoint(MhId(1), MssId(1), 0.0);
+        s.checkpoint(MhId(0), MssId(1), 50.0);
+        assert_eq!(s.stored(), 3);
+        assert!(s.total_wireless_bytes() >= 2000);
+        assert_eq!(s.total_fetch_bytes(), 1000);
+    }
+
+    #[test]
+    fn long_interval_degenerates_to_full_transfer() {
+        let mut s = CkptStore::new(1, model());
+        s.checkpoint(MhId(0), MssId(0), 0.0);
+        let t = s.checkpoint(MhId(0), MssId(0), 1000.0);
+        assert_eq!(t.wireless_bytes, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative interval")]
+    fn negative_interval_rejected() {
+        model().dirty_bytes(-1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Network topology and latency model.
+//!
+//! The paper's model is deliberately simple: "the sending and the receiving
+//! of a message over the wireless cell and the message transfer between
+//! adjacent MSSs takes 0.01 time units". [`Topology`] encodes that model
+//! (every MSS pair is adjacent over the wired backbone) while allowing the
+//! latencies to be varied for sensitivity experiments.
+
+use crate::ids::MssId;
+
+/// Latency parameters of the fixed + wireless network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Latencies {
+    /// One wireless hop (MH → MSS or MSS → MH), in time units.
+    pub wireless: f64,
+    /// One wired hop between two MSSs.
+    pub wired: f64,
+}
+
+impl Default for Latencies {
+    /// The paper's values: 0.01 time units per hop.
+    fn default() -> Self {
+        Latencies {
+            wireless: 0.01,
+            wired: 0.01,
+        }
+    }
+}
+
+/// The wired backbone of `r` support stations, fully connected (any MSS can
+/// forward to any other in one wired hop, per the paper's model).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n_mss: usize,
+    latencies: Latencies,
+}
+
+impl Topology {
+    /// A backbone of `n_mss` stations with the paper's default latencies.
+    pub fn new(n_mss: usize) -> Self {
+        Self::with_latencies(n_mss, Latencies::default())
+    }
+
+    /// A backbone with explicit latencies.
+    pub fn with_latencies(n_mss: usize, latencies: Latencies) -> Self {
+        assert!(n_mss > 0, "need at least one MSS");
+        assert!(latencies.wireless >= 0.0 && latencies.wired >= 0.0);
+        Topology { n_mss, latencies }
+    }
+
+    /// Number of support stations (= cells).
+    pub fn n_mss(&self) -> usize {
+        self.n_mss
+    }
+
+    /// All station ids.
+    pub fn stations(&self) -> impl Iterator<Item = MssId> {
+        (0..self.n_mss).map(MssId)
+    }
+
+    /// Latency of one wireless hop.
+    pub fn wireless_latency(&self) -> f64 {
+        self.latencies.wireless
+    }
+
+    /// Wired latency from `a` to `b` (zero when `a == b`).
+    pub fn wired_latency(&self, a: MssId, b: MssId) -> f64 {
+        assert!(a.idx() < self.n_mss && b.idx() < self.n_mss, "unknown MSS");
+        if a == b {
+            0.0
+        } else {
+            self.latencies.wired
+        }
+    }
+
+    /// End-to-end latency of an MH→MH application message: wireless up,
+    /// wired transfer (if the peers sit in different cells), wireless down.
+    pub fn end_to_end(&self, src: MssId, dst: MssId) -> f64 {
+        self.latencies.wireless + self.wired_latency(src, dst) + self.latencies.wireless
+    }
+
+    /// True when `mss` is a valid station of this topology.
+    pub fn contains(&self, mss: MssId) -> bool {
+        mss.idx() < self.n_mss
+    }
+}
+
+/// Shape of the cell-adjacency graph: which cells a roaming host can enter
+/// from its current one.
+///
+/// The paper's model lets a host switch to any other cell (complete graph);
+/// physical deployments are closer to rings (highway coverage) or grids
+/// (urban coverage), where hand-offs only reach geographic neighbours.
+/// Used by the mobility-model ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellGraph {
+    /// Any cell is reachable from any other (the paper's model).
+    Complete,
+    /// Cells form a cycle; neighbours are the two adjacent cells.
+    Ring,
+    /// Cells form a `cols`-wide grid; neighbours are up/down/left/right.
+    Grid {
+        /// Number of columns (must divide the cell count).
+        cols: usize,
+    },
+}
+
+impl CellGraph {
+    /// The cells reachable by one hand-off from `cell`, in a system of
+    /// `n_mss` cells. Never empty and never contains `cell` itself for
+    /// `n_mss >= 2`.
+    pub fn neighbors(self, cell: MssId, n_mss: usize) -> Vec<MssId> {
+        assert!(cell.idx() < n_mss, "unknown cell");
+        assert!(n_mss >= 2, "need at least two cells");
+        match self {
+            CellGraph::Complete => (0..n_mss)
+                .filter(|&j| j != cell.idx())
+                .map(MssId)
+                .collect(),
+            CellGraph::Ring => {
+                let i = cell.idx();
+                let prev = (i + n_mss - 1) % n_mss;
+                let next = (i + 1) % n_mss;
+                if prev == next {
+                    vec![MssId(prev)] // n_mss == 2
+                } else {
+                    vec![MssId(prev), MssId(next)]
+                }
+            }
+            CellGraph::Grid { cols } => {
+                assert!(cols >= 1 && n_mss.is_multiple_of(cols), "grid must be rectangular");
+                let rows = n_mss / cols;
+                let (r, c) = (cell.idx() / cols, cell.idx() % cols);
+                let mut out = Vec::with_capacity(4);
+                if r > 0 {
+                    out.push(MssId((r - 1) * cols + c));
+                }
+                if r + 1 < rows {
+                    out.push(MssId((r + 1) * cols + c));
+                }
+                if c > 0 {
+                    out.push(MssId(r * cols + c - 1));
+                }
+                if c + 1 < cols {
+                    out.push(MssId(r * cols + c + 1));
+                }
+                assert!(
+                    !out.is_empty(),
+                    "degenerate grid: cell {cell} has no neighbours"
+                );
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_reaches_everyone_else() {
+        let nb = CellGraph::Complete.neighbors(MssId(2), 5);
+        assert_eq!(nb.len(), 4);
+        assert!(!nb.contains(&MssId(2)));
+    }
+
+    #[test]
+    fn ring_has_two_neighbors() {
+        let nb = CellGraph::Ring.neighbors(MssId(0), 5);
+        assert_eq!(nb, vec![MssId(4), MssId(1)]);
+        let nb = CellGraph::Ring.neighbors(MssId(4), 5);
+        assert_eq!(nb, vec![MssId(3), MssId(0)]);
+    }
+
+    #[test]
+    fn two_cell_ring_deduplicates() {
+        let nb = CellGraph::Ring.neighbors(MssId(0), 2);
+        assert_eq!(nb, vec![MssId(1)]);
+    }
+
+    #[test]
+    fn grid_neighbors_respect_edges() {
+        // 2x3 grid: cells 0 1 2 / 3 4 5.
+        let g = CellGraph::Grid { cols: 3 };
+        let corner = g.neighbors(MssId(0), 6);
+        assert_eq!(corner, vec![MssId(3), MssId(1)]);
+        let middle = g.neighbors(MssId(4), 6);
+        assert_eq!(middle, vec![MssId(1), MssId(3), MssId(5)]);
+    }
+
+    #[test]
+    fn grid_is_symmetric() {
+        let g = CellGraph::Grid { cols: 3 };
+        for i in 0..6 {
+            for nb in g.neighbors(MssId(i), 6) {
+                assert!(
+                    g.neighbors(nb, 6).contains(&MssId(i)),
+                    "asymmetric edge {i} -> {nb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_grid_rejected() {
+        CellGraph::Grid { cols: 4 }.neighbors(MssId(0), 6);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let t = Topology::new(5);
+        assert_eq!(t.n_mss(), 5);
+        assert_eq!(t.wireless_latency(), 0.01);
+        assert_eq!(t.wired_latency(MssId(0), MssId(1)), 0.01);
+    }
+
+    #[test]
+    fn same_station_wired_hop_is_free() {
+        let t = Topology::new(3);
+        assert_eq!(t.wired_latency(MssId(2), MssId(2)), 0.0);
+        assert!((t.end_to_end(MssId(2), MssId(2)) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_crosses_backbone() {
+        let t = Topology::new(3);
+        assert!((t.end_to_end(MssId(0), MssId(2)) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_latencies() {
+        let t = Topology::with_latencies(
+            2,
+            Latencies {
+                wireless: 0.1,
+                wired: 1.0,
+            },
+        );
+        assert!((t.end_to_end(MssId(0), MssId(1)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stations_iterates_all() {
+        let t = Topology::new(4);
+        let ids: Vec<_> = t.stations().collect();
+        assert_eq!(ids.len(), 4);
+        assert!(t.contains(MssId(3)));
+        assert!(!t.contains(MssId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_stations_rejected() {
+        Topology::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown MSS")]
+    fn unknown_station_rejected() {
+        Topology::new(2).wired_latency(MssId(0), MssId(5));
+    }
+}

@@ -1,0 +1,172 @@
+//! Generic simulation driver.
+//!
+//! A simulation is a [`Model`] (the state and event-handling logic) plus a
+//! [`Scheduler`] (the pending-event set). [`run_until`] executes the standard
+//! event loop: pop, dispatch, repeat, stopping at a time horizon or when the
+//! event set drains. Models can also stop early by returning
+//! [`Control::Stop`].
+
+use crate::event::{Fired, Scheduler};
+use crate::time::SimTime;
+
+/// Whether the event loop should continue after handling an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep processing events.
+    Continue,
+    /// Terminate the run immediately.
+    Stop,
+}
+
+/// A discrete-event model: owns state, reacts to events, schedules more.
+pub trait Model {
+    /// The event payload type this model understands.
+    type Event;
+
+    /// Handles one fired event, scheduling any follow-ups on `sched`.
+    fn handle(&mut self, sched: &mut Scheduler<Self::Event>, fired: Fired<Self::Event>)
+        -> Control;
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Number of events dispatched to the model.
+    pub events_handled: u64,
+    /// Simulation clock when the loop exited.
+    pub end_time: SimTime,
+    /// True when the loop exited because the horizon was reached (an event
+    /// beyond the horizon remained pending), as opposed to draining or an
+    /// explicit stop.
+    pub hit_horizon: bool,
+}
+
+/// Runs the event loop until `horizon` (exclusive), the event set drains, or
+/// the model requests a stop.
+///
+/// Events timestamped exactly at the horizon are *not* processed, matching
+/// the usual "simulate T time units" convention: the measurement window is
+/// `[0, T)`.
+pub fn run_until<M: Model>(
+    model: &mut M,
+    sched: &mut Scheduler<M::Event>,
+    horizon: SimTime,
+) -> RunOutcome {
+    let mut handled = 0;
+    loop {
+        match sched.peek_time() {
+            None => {
+                return RunOutcome {
+                    events_handled: handled,
+                    end_time: sched.now(),
+                    hit_horizon: false,
+                }
+            }
+            Some(t) if t >= horizon => {
+                return RunOutcome {
+                    events_handled: handled,
+                    end_time: sched.now(),
+                    hit_horizon: true,
+                }
+            }
+            Some(_) => {}
+        }
+        let fired = sched.pop().expect("peeked event exists");
+        handled += 1;
+        if model.handle(sched, fired) == Control::Stop {
+            return RunOutcome {
+                events_handled: handled,
+                end_time: sched.now(),
+                hit_horizon: false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that spawns a chain of `n` events spaced 1.0 apart.
+    struct Chain {
+        remaining: u32,
+        stop_at: Option<u32>,
+        seen: Vec<f64>,
+    }
+
+    impl Model for Chain {
+        type Event = ();
+
+        fn handle(&mut self, sched: &mut Scheduler<()>, fired: Fired<()>) -> Control {
+            self.seen.push(fired.time.as_f64());
+            if let Some(s) = self.stop_at {
+                if self.seen.len() as u32 >= s {
+                    return Control::Stop;
+                }
+            }
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.schedule_in(1.0, ());
+            }
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn drains_when_no_more_events() {
+        let mut m = Chain {
+            remaining: 4,
+            stop_at: None,
+            seen: vec![],
+        };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::ZERO, ());
+        let out = run_until(&mut m, &mut s, SimTime::new(100.0));
+        assert_eq!(out.events_handled, 5);
+        assert!(!out.hit_horizon);
+        assert_eq!(m.seen, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut m = Chain {
+            remaining: u32::MAX,
+            stop_at: None,
+            seen: vec![],
+        };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::ZERO, ());
+        let out = run_until(&mut m, &mut s, SimTime::new(3.0));
+        assert!(out.hit_horizon);
+        // Events at 0,1,2 run; the one at 3.0 does not.
+        assert_eq!(m.seen, vec![0.0, 1.0, 2.0]);
+        assert_eq!(out.end_time, SimTime::new(2.0));
+    }
+
+    #[test]
+    fn model_can_stop_early() {
+        let mut m = Chain {
+            remaining: u32::MAX,
+            stop_at: Some(2),
+            seen: vec![],
+        };
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::ZERO, ());
+        let out = run_until(&mut m, &mut s, SimTime::new(100.0));
+        assert_eq!(out.events_handled, 2);
+        assert!(!out.hit_horizon);
+    }
+
+    #[test]
+    fn empty_schedule_returns_immediately() {
+        let mut m = Chain {
+            remaining: 0,
+            stop_at: None,
+            seen: vec![],
+        };
+        let mut s = Scheduler::new();
+        let out = run_until(&mut m, &mut s, SimTime::new(10.0));
+        assert_eq!(out.events_handled, 0);
+        assert_eq!(out.end_time, SimTime::ZERO);
+    }
+}

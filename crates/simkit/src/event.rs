@@ -1,0 +1,307 @@
+//! Pending-event set.
+//!
+//! [`Scheduler`] is the heart of the discrete-event engine: a priority queue
+//! of `(time, payload)` pairs with three guarantees the rest of the system
+//! relies on:
+//!
+//! 1. **Monotonicity** — events are popped in non-decreasing time order and
+//!    the simulation clock never moves backwards.
+//! 2. **Determinism** — simultaneous events are popped in the order they were
+//!    scheduled (FIFO tie-breaking by an insertion sequence number), so a run
+//!    is a pure function of its inputs and RNG seed.
+//! 3. **No past scheduling** — scheduling an event before the current clock
+//!    panics; time travel is always a model bug.
+//!
+//! Events may be cancelled through the [`EventHandle`] returned at schedule
+//! time; cancelled entries are dropped lazily when they reach the head of the
+//! heap, which keeps cancellation O(1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying one scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// A `(time, payload)` pair as returned by [`Scheduler::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fired<E> {
+    /// When the event fired; equal to the scheduler clock at pop time.
+    pub time: SimTime,
+    /// The scheduled payload.
+    pub event: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic pending-event set with lazy cancellation.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+    scheduled: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` after a non-negative `delay` from the current clock.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: f64, event: E) -> EventHandle {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and non-negative, got {delay}"
+        );
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    /// Cancelling an already-fired handle returns `false` and is harmless.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false; // never issued by this scheduler
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its time.
+    ///
+    /// Returns `None` when the event set is exhausted. Cancelled events are
+    /// skipped transparently.
+    pub fn pop(&mut self) -> Option<Fired<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "heap produced out-of-order event");
+            self.now = entry.time;
+            self.popped += 1;
+            return Some(Fired {
+                time: entry.time,
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge dead entries at the head so the answer reflects a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = self.heap.pop().expect("peeked entry exists").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events popped so far (a throughput counter for benchmarks).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(3.0), "c");
+        s.schedule_at(SimTime::new(1.0), "a");
+        s.schedule_at(SimTime::new(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|f| f.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::new(3.0));
+    }
+
+    #[test]
+    fn fifo_within_ties() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::new(5.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|f| f.event).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_in(1.5, ());
+        s.schedule_in(0.5, ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::new(0.5));
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::new(1.5));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(1.0, "first");
+        s.pop().unwrap();
+        s.schedule_in(1.0, "second");
+        let fired = s.pop().unwrap();
+        assert_eq!(fired.time, SimTime::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(2.0), ());
+        s.pop().unwrap();
+        s.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut s = Scheduler::new();
+        let h1 = s.schedule_at(SimTime::new(1.0), "a");
+        s.schedule_at(SimTime::new(2.0), "b");
+        assert_eq!(s.len(), 2);
+        assert!(s.cancel(h1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().event, "b");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(SimTime::new(1.0), ());
+        assert!(s.cancel(h));
+        assert!(!s.cancel(h));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(SimTime::new(1.0), "dead");
+        s.schedule_at(SimTime::new(2.0), "live");
+        s.cancel(h);
+        assert_eq!(s.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(s.pop().unwrap().event, "live");
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut s = Scheduler::new();
+        s.schedule_in(1.0, ());
+        s.schedule_in(2.0, ());
+        s.pop();
+        assert_eq!(s.scheduled(), 2);
+        assert_eq!(s.popped(), 1);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_scheduler_behaves() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.peek_time(), None);
+        assert!(s.pop().is_none());
+    }
+}

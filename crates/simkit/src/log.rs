@@ -1,0 +1,205 @@
+//! Bounded simulation event log.
+//!
+//! Debugging a discrete-event simulation without a record of what happened
+//! is guesswork. [`EventLog`] is a fixed-capacity ring of timestamped,
+//! tagged entries: cheap enough to leave compiled in (a disabled log is a
+//! no-op), bounded so a multi-million-event run cannot exhaust memory, and
+//! filterable by tag for post-mortem inspection in tests.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity of a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume tracing.
+    Debug,
+    /// Notable state transitions.
+    Info,
+    /// Suspicious but non-fatal conditions.
+    Warn,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+        })
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// Severity.
+    pub level: Level,
+    /// Static category tag (e.g. `"mobility"`, `"ckpt"`).
+    pub tag: &'static str,
+    /// Free-form description.
+    pub message: String,
+}
+
+/// Fixed-capacity ring of [`LogEntry`] values.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    entries: VecDeque<LogEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` entries (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled log: every record call is a cheap no-op.
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// True when recording is off.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Records an entry, evicting the oldest when full.
+    pub fn record(&mut self, time: SimTime, level: Level, tag: &'static str, message: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(LogEntry {
+            time,
+            level,
+            tag,
+            message,
+        });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries with the given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a LogEntry> + 'a {
+        self.entries.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained entries as text, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "[{:>12.4}] {:<5} {:<10} {}\n",
+                e.time.as_f64(),
+                e.level,
+                e.tag,
+                e.message
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... ({} earlier entries dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = EventLog::new(10);
+        log.record(t(1.0), Level::Info, "a", "first".into());
+        log.record(t(2.0), Level::Warn, "b", "second".into());
+        let msgs: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["first", "second"]);
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = EventLog::new(2);
+        for i in 0..5 {
+            log.record(t(i as f64), Level::Debug, "x", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let msgs: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m3", "m4"]);
+    }
+
+    #[test]
+    fn disabled_log_is_noop() {
+        let mut log = EventLog::disabled();
+        assert!(log.is_disabled());
+        log.record(t(1.0), Level::Info, "a", "ignored".into());
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn tag_filtering() {
+        let mut log = EventLog::new(10);
+        log.record(t(1.0), Level::Info, "ckpt", "c1".into());
+        log.record(t(2.0), Level::Info, "mobility", "m1".into());
+        log.record(t(3.0), Level::Info, "ckpt", "c2".into());
+        assert_eq!(log.with_tag("ckpt").count(), 2);
+        assert_eq!(log.with_tag("mobility").count(), 1);
+        assert_eq!(log.with_tag("nope").count(), 0);
+    }
+
+    #[test]
+    fn dump_mentions_drops() {
+        let mut log = EventLog::new(1);
+        log.record(t(1.0), Level::Info, "a", "one".into());
+        log.record(t(2.0), Level::Info, "a", "two".into());
+        let d = log.dump();
+        assert!(d.contains("two"));
+        assert!(d.contains("1 earlier entries dropped"));
+        assert!(d.contains("INFO"));
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert_eq!(format!("{}", Level::Warn), "WARN");
+    }
+}

@@ -1,0 +1,303 @@
+//! Seedable random-number substrate.
+//!
+//! Every stochastic decision in a simulation run flows through a [`SimRng`],
+//! which wraps a fast non-cryptographic generator seeded from a single `u64`.
+//! Runs are therefore exactly reproducible: same seed, same trajectory.
+//!
+//! Independent *substreams* can be split off with [`SimRng::fork`], so that,
+//! e.g., each mobile host's mobility process consumes its own stream and
+//! adding a host does not perturb the others' draws. Substream seeds are
+//! derived with a SplitMix64 mix of `(seed, stream-id)`, the standard way to
+//! decorrelate lanes from one master seed.
+//!
+//! The distributions needed by the paper's model are implemented directly
+//! (inverse-transform exponential, Bernoulli, discrete uniform) to keep the
+//! dependency surface at just `rand`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finalizer; decorrelates derived seeds.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic simulation RNG with substream support.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// The master seed this generator (or its parent) was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Splits off an independent substream identified by `stream`.
+    ///
+    /// Forking is a pure function of `(master seed, stream)`: it does not
+    /// consume randomness from `self`, so the order in which substreams are
+    /// created cannot change their contents.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let derived = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(1)));
+        SimRng {
+            inner: SmallRng::seed_from_u64(derived),
+            seed: derived,
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`; panics if the range is empty or not finite.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite());
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Exponential draw with the given `mean` (inverse-transform sampling).
+    ///
+    /// # Panics
+    /// Panics unless `mean` is finite and strictly positive.
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        // 1 - u is in (0, 1], so ln() is finite and the result non-negative.
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Bernoulli trial with success probability `p ∈ [0, 1]`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // Handle the endpoints exactly so p=1.0 never fails and p=0.0 never
+        // succeeds regardless of float rounding.
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.uniform() < p
+    }
+
+    /// Uniform index in `[0, n)`; panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform index in `[0, n)` excluding `not`; panics if `n < 2`.
+    ///
+    /// This is the paper's "destination of each message is a uniformly
+    /// distributed random variable" over the *other* hosts.
+    #[inline]
+    pub fn index_excluding(&mut self, n: usize, not: usize) -> usize {
+        assert!(n >= 2, "need at least two elements to exclude one");
+        assert!(not < n, "excluded index {not} out of range {n}");
+        let raw = self.inner.random_range(0..n - 1);
+        if raw >= not {
+            raw + 1
+        } else {
+            raw
+        }
+    }
+
+    /// Uniformly chooses an element of a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Raw `u64` draw (for deriving ids, shuffling, etc.).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_order_independent() {
+        let root = SimRng::new(7);
+        let mut a1 = root.fork(10);
+        let mut _b = root.fork(20);
+        let mut a2 = root.fork(10);
+        for _ in 0..50 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_distinct() {
+        let root = SimRng::new(7);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_does_not_consume_parent() {
+        let mut a = SimRng::new(3);
+        let mut b = SimRng::new(3);
+        let _ = a.fork(99);
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::new(11);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.1,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut rng = SimRng::new(13);
+        assert!((0..10_000).all(|_| rng.exp(0.001) >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        SimRng::new(1).exp(0.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SimRng::new(17);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.4)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.4).abs() < 0.01, "frequency {freq} too far from 0.4");
+    }
+
+    #[test]
+    fn bernoulli_endpoints_exact() {
+        let mut rng = SimRng::new(19);
+        assert!((0..1000).all(|_| rng.bernoulli(1.0)));
+        assert!((0..1000).all(|_| !rng.bernoulli(0.0)));
+    }
+
+    #[test]
+    fn index_excluding_never_returns_excluded() {
+        let mut rng = SimRng::new(23);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let i = rng.index_excluding(10, 4);
+            assert_ne!(i, 4);
+            seen[i] = true;
+        }
+        // Every non-excluded index is reachable.
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(*s, i != 4, "index {i}");
+        }
+    }
+
+    #[test]
+    fn index_excluding_is_roughly_uniform() {
+        let mut rng = SimRng::new(29);
+        let n = 90_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[rng.index_excluding(10, 0)] += 1;
+        }
+        let expect = n as f64 / 9.0;
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "index {i}: count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = SimRng::new(31);
+        for _ in 0..10_000 {
+            let x = rng.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SimRng::new(37);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(*rng.choose(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(41);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

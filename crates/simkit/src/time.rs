@@ -1,0 +1,194 @@
+//! Simulation time.
+//!
+//! Time in the simulator is a non-negative, finite `f64` measured in abstract
+//! *time units* (the paper's experiments use a mean internal-event duration of
+//! 1.0 time units and message hops of 0.01 time units). [`SimTime`] wraps the
+//! raw value to provide a total order (NaN is rejected at construction) so it
+//! can key the pending-event set.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+///
+/// `SimTime` is totally ordered; constructing one from a NaN or negative
+/// value panics, which turns model bugs (e.g. negative delays from a broken
+/// distribution) into loud failures instead of silent heap corruption.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point, panicking on NaN or negative input.
+    #[inline]
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "SimTime must be finite, got {t}");
+        assert!(t >= 0.0, "SimTime must be non-negative, got {t}");
+        SimTime(t)
+    }
+
+    /// Raw value in time units.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`; panics if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        assert!(
+            earlier.0 <= self.0,
+            "since: {earlier} is later than {self}"
+        );
+        self.0 - earlier.0
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn add(self, delay: f64) -> SimTime {
+        SimTime::new(self.0 + delay)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, delay: f64) {
+        *self = *self + delay;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    #[inline]
+    fn sub(self, other: SimTime) -> f64 {
+        self.since(other)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    #[inline]
+    fn from(t: f64) -> Self {
+        SimTime::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_origin() {
+        assert_eq!(SimTime::ZERO.as_f64(), 0.0);
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimTime::new(1.5);
+        let b = a + 2.5;
+        assert_eq!(b.as_f64(), 4.0);
+        assert_eq!(b - a, 2.5);
+        assert_eq!(b.since(a), 2.5);
+        let mut c = a;
+        c += 0.5;
+        assert_eq!(c.as_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn since_rejects_future() {
+        let _ = SimTime::new(1.0).since(SimTime::new(2.0));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = SimTime::new(1.25);
+        assert_eq!(format!("{t}"), "1.2500");
+        assert_eq!(format!("{t:?}"), "t=1.250000");
+    }
+
+    #[test]
+    fn from_f64() {
+        let t: SimTime = 3.0.into();
+        assert_eq!(t.as_f64(), 3.0);
+    }
+}

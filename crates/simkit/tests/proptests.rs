@@ -1,0 +1,211 @@
+//! Property-based tests for the simkit engine invariants.
+
+use proptest::prelude::*;
+use simkit::prelude::*;
+
+proptest! {
+    /// Events are always popped in non-decreasing time order, regardless of
+    /// the insertion order, and FIFO within equal timestamps.
+    #[test]
+    fn scheduler_orders_events(times in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+        let mut sched = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            sched.schedule_at(SimTime::new(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = vec![];
+        while let Some(f) = sched.pop() {
+            prop_assert!(f.time >= last_time, "time went backwards");
+            if f.time > last_time {
+                seen_at_time.clear();
+            }
+            // FIFO within ties: insertion indices at equal time are increasing.
+            if let Some(&prev) = seen_at_time.last() {
+                if f.time == last_time {
+                    prop_assert!(f.event > prev, "tie broken out of FIFO order");
+                }
+            }
+            seen_at_time.push(f.event);
+            last_time = f.time;
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0.0f64..100.0, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sched = Scheduler::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, sched.schedule_at(SimTime::new(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = vec![];
+        for (i, h) in &handles {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(sched.cancel(*h));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = vec![];
+        while let Some(f) = sched.pop() {
+            popped.push(f.event);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The exponential sampler is non-negative and scales with its mean.
+    #[test]
+    fn exponential_scales(seed in any::<u64>(), mean in 0.001f64..1000.0) {
+        let mut rng = SimRng::new(seed);
+        let n = 2000;
+        let sum: f64 = (0..n).map(|_| {
+            let x = rng.exp(mean);
+            assert!(x >= 0.0);
+            x
+        }).sum();
+        let sample_mean = sum / n as f64;
+        // Loose 4-sigma-ish bound: sd of the mean is mean/sqrt(n).
+        prop_assert!((sample_mean - mean).abs() < 5.0 * mean / (n as f64).sqrt() + 1e-9,
+            "sample mean {} for mean {}", sample_mean, mean);
+    }
+
+    /// Forked substreams are reproducible and order-independent.
+    #[test]
+    fn fork_reproducibility(seed in any::<u64>(), streams in proptest::collection::vec(any::<u64>(), 1..10)) {
+        let root = SimRng::new(seed);
+        let first: Vec<Vec<u64>> = streams
+            .iter()
+            .map(|&s| {
+                let mut r = root.fork(s);
+                (0..10).map(|_| r.next_u64()).collect()
+            })
+            .collect();
+        // Re-fork in reverse order; identical streams must match.
+        for (i, &s) in streams.iter().enumerate().rev() {
+            let mut r = root.fork(s);
+            let again: Vec<u64> = (0..10).map(|_| r.next_u64()).collect();
+            prop_assert_eq!(&again, &first[i]);
+        }
+    }
+
+    /// Tally::merge is equivalent to recording sequentially, at any split.
+    #[test]
+    fn tally_merge_any_split(xs in proptest::collection::vec(-1e6f64..1e6, 2..200), split_frac in 0.0f64..1.0) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..split] {
+            a.record(x);
+        }
+        for &x in &xs[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
+    }
+
+    /// index_excluding is a bijection-respecting remap: never the excluded
+    /// index, always in range.
+    #[test]
+    fn index_excluding_in_range(seed in any::<u64>(), n in 2usize..50, k in 0usize..49) {
+        let not = k % n;
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let i = rng.index_excluding(n, not);
+            prop_assert!(i < n);
+            prop_assert_ne!(i, not);
+        }
+    }
+}
+
+/// A deterministic end-to-end check: two identical models with the same seed
+/// produce identical event counts and end times.
+#[test]
+fn runs_are_deterministic() {
+    struct M {
+        rng: SimRng,
+        hops: u64,
+    }
+    impl Model for M {
+        type Event = u32;
+        fn handle(&mut self, sched: &mut Scheduler<u32>, fired: Fired<u32>) -> Control {
+            self.hops = self.hops.wrapping_mul(31).wrapping_add(fired.event as u64);
+            if self.rng.bernoulli(0.7) {
+                sched.schedule_in(self.rng.exp(1.0), fired.event.wrapping_add(1));
+            }
+            if self.rng.bernoulli(0.5) {
+                sched.schedule_in(self.rng.exp(2.0), fired.event.wrapping_mul(3));
+            }
+            Control::Continue
+        }
+    }
+
+    let run = |seed: u64| {
+        let mut m = M {
+            rng: SimRng::new(seed),
+            hops: 0,
+        };
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::new(i as f64 * 0.1), i);
+        }
+        let out = run_until(&mut m, &mut s, SimTime::new(50.0));
+        (m.hops, out.events_handled, out.end_time)
+    };
+
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99).0, run(100).0);
+}
+
+proptest! {
+    /// The calendar queue and the binary-heap scheduler agree exactly on
+    /// any interleaving of schedules and pops (same times, same FIFO
+    /// tie-breaking) — two pending-event-set implementations validating
+    /// each other.
+    #[test]
+    fn calendar_queue_matches_heap(
+        ops in proptest::collection::vec((any::<bool>(), 0.0f64..500.0), 1..300),
+    ) {
+        use simkit::calendar::CalendarQueue;
+        let mut heap = Scheduler::new();
+        let mut cal = CalendarQueue::new();
+        let mut next_id = 0u64;
+        let mut frontier = 0.0f64; // latest popped time: schedule at/after it
+        for (is_pop, raw_t) in ops {
+            if is_pop {
+                let from_heap = heap.pop().map(|f| (f.time, f.event));
+                let from_cal = cal.pop();
+                prop_assert_eq!(&from_heap, &from_cal);
+                if let Some((t, _)) = from_heap {
+                    frontier = t.as_f64();
+                }
+            } else {
+                let at = SimTime::new(frontier + raw_t);
+                next_id += 1;
+                heap.schedule_at(at, next_id);
+                cal.schedule_at(at, next_id);
+            }
+        }
+        // Drain both.
+        loop {
+            let a = heap.pop().map(|f| (f.time, f.event));
+            let b = cal.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

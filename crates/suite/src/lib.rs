@@ -1,0 +1,4 @@
+//! `mck-suite` hosts the repository-level integration tests (`tests/`)
+//! and runnable examples (`examples/`) as Cargo targets; it contains no
+//! library code of its own.
+#![forbid(unsafe_code)]

@@ -1,0 +1,53 @@
+//! Heterogeneous-mobility study (the paper's Figures 3–6 scenario).
+//!
+//! ```text
+//! cargo run --release -p mck-suite --example heterogeneity
+//! ```
+//!
+//! A fraction `H` of the hosts is "fast" (cell permanence `T_switch / 10`);
+//! the rest are slow. Fast hosts take basic checkpoints often, which under
+//! BCS drags *everyone's* sequence numbers up and forces checkpoints across
+//! the system. QBC's equivalence rule absorbs most of those increments, so
+//! its advantage grows with heterogeneity — the paper's headline QBC
+//! result. This example sweeps `H` at a fixed `T_switch` and prints the
+//! per-protocol totals and the QBC gain.
+
+use mck::prelude::*;
+use mck::table::Table;
+
+fn main() {
+    let t_switch = 200.0;
+    let replications = 3;
+    println!("Heterogeneity sweep: T_switch(slow)={t_switch}, P_switch=0.8, {replications} seeds\n");
+
+    let mut table = Table::new(vec!["H %", "TP", "BCS", "QBC", "QBC gain vs BCS"]);
+    for h in [0.0, 0.1, 0.3, 0.5, 0.7] {
+        let mut means = Vec::new();
+        for kind in CicKind::PAPER {
+            let cfg = SimConfig {
+                protocol: ProtocolChoice::Cic(kind),
+                t_switch,
+                p_switch: 0.8,
+                heterogeneity: h,
+                ..Default::default()
+            };
+            let s = summarize_point(&cfg, 7, replications);
+            means.push(s.n_tot.mean);
+        }
+        let gain = if means[1] > 0.0 {
+            (means[1] - means[2]) / means[1] * 100.0
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            format!("{:.0}", h * 100.0),
+            format!("{:.0}", means[0]),
+            format!("{:.0}", means[1]),
+            format!("{:.0}", means[2]),
+            format!("{gain:.1}%"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Fast hosts multiply basic checkpoints; QBC's replacement rule keeps");
+    println!("sequence numbers from diverging, cutting the induced checkpoints.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: one simulation run per protocol at a paper configuration.
+//!
+//! ```text
+//! cargo run --release -p mck-suite --example quickstart
+//! ```
+//!
+//! Simulates the paper's mobile environment (10 mobile hosts, 5 support
+//! stations, P_s = 0.4) with disconnections enabled (P_switch = 0.8) and
+//! prints, for each protocol, the paper's headline metric `N_tot` plus the
+//! basic/forced breakdown and a few substrate counters.
+
+use mck::prelude::*;
+use mck::table::Table;
+
+fn main() {
+    let t_switch = 1000.0;
+    println!("Mobile checkpointing quickstart");
+    println!("10 MHs, 5 MSSs, P_s=0.4, P_switch=0.8, T_switch={t_switch}, horizon=10000\n");
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "N_tot",
+        "basic",
+        "forced",
+        "handoffs",
+        "disconnects",
+        "msgs",
+        "piggyback B",
+        "searches",
+    ]);
+
+    for kind in CicKind::PAPER {
+        let cfg = SimConfig {
+            protocol: ProtocolChoice::Cic(kind),
+            t_switch,
+            p_switch: 0.8,
+            seed: 42,
+            ..Default::default()
+        };
+        let r = Simulation::run(cfg);
+        table.push_row(vec![
+            r.protocol.clone(),
+            r.n_tot().to_string(),
+            r.ckpts.basic().to_string(),
+            r.ckpts.forced.to_string(),
+            r.handoffs.to_string(),
+            r.disconnects.to_string(),
+            r.msgs_delivered.to_string(),
+            r.net.piggyback_bytes.to_string(),
+            r.net.searches.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Note how TP's forced checkpoints dwarf the index-based protocols',");
+    println!("and how TP piggybacks 20x the control bytes (2*n integers vs 1).");
+}

@@ -1,0 +1,73 @@
+//! Failure injection and recovery-line demonstration (the paper's future
+//! work, implemented).
+//!
+//! ```text
+//! cargo run --release -p mck-suite --example recovery_demo
+//! ```
+//!
+//! Runs each protocol with full trace recording, then fails every host (one
+//! at a time) at the end of each run and measures how much computation the
+//! recovery line discards, averaged over several seeds. The
+//! communication-induced protocols roll back a bounded amount (their
+//! recovery lines are built on the fly); the uncoordinated baseline suffers
+//! the domino effect — and the *worst case* column shows its signature:
+//! cascades are all-or-nothing, so some failure scenarios unwind nearly the
+//! whole computation.
+
+use causality::cut::is_consistent;
+use mck::failure::{failure_rollback, rollback_summary};
+use mck::prelude::*;
+use mck::table::Table;
+
+fn main() {
+    println!("Failure injection: T_switch=500, P_switch=0.8, horizon=2000, 4 seeds\n");
+    let mut table = Table::new(vec![
+        "protocol",
+        "mean rollback (t.u.)",
+        "worst rollback",
+        "ckpts discarded",
+    ]);
+
+    for kind in CicKind::ALL {
+        let cfg = SimConfig {
+            protocol: ProtocolChoice::Cic(kind),
+            t_switch: 500.0,
+            p_switch: 0.8,
+            horizon: 2000.0,
+            periodic_mean: 100.0, // uncoordinated baseline checkpoints often
+            ..Default::default()
+        };
+        let s = rollback_summary(&cfg, 1, 4);
+        table.push_row(vec![
+            kind.name().to_string(),
+            format!("{:.1}", s.mean_total_undone),
+            format!("{:.1}", s.worst_total_undone),
+            format!("{:.1}", s.mean_ckpts_undone),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Verify every recovery line is genuinely consistent on one trace.
+    let cfg = SimConfig {
+        protocol: ProtocolChoice::Cic(CicKind::Qbc),
+        t_switch: 500.0,
+        p_switch: 0.8,
+        horizon: 2000.0,
+        record_trace: true,
+        seed: 7,
+        ..Default::default()
+    };
+    let report = Simulation::run(cfg);
+    let trace = report.trace.as_ref().expect("trace recorded");
+    for failed in trace.procs() {
+        let (line, _) = failure_rollback(trace, failed, report.end_time);
+        assert!(is_consistent(trace, &line));
+    }
+    println!("Every QBC recovery line verified consistent (no orphan messages).");
+    println!();
+    println!("The uncoordinated baseline checkpoints as often as anyone, yet its");
+    println!("checkpoints are not coordinated with the communication pattern, so");
+    println!("orphan messages cascade: the domino effect shows up as a huge gap");
+    println!("between its mean rollback and the CIC protocols', and per-seed");
+    println!("results swing by an order of magnitude (cascades are all-or-nothing).");
+}

@@ -1,0 +1,58 @@
+//! Stable-storage occupancy under checkpoint garbage collection
+//! (extension of the paper's point (a): MSS stable storage is shared and
+//! finite, so obsolete checkpoints must be reclaimed).
+//!
+//! ```text
+//! cargo run --release -p mck-suite --example storage_gc
+//! ```
+//!
+//! For each protocol, runs the mobile workload with trace recording and
+//! replays the trace through the GC analysis: a checkpoint may be discarded
+//! once it falls behind the most recent *stable* consistent global
+//! checkpoint (QBC additionally discards replaced equal-index
+//! predecessors). Prints the retained-checkpoint profile over time.
+
+use mck::gc::occupancy_series;
+use mck::prelude::*;
+use mck::table::Table;
+
+fn main() {
+    println!("Stable-storage occupancy: T_switch=300, P_switch=0.8, horizon=2000\n");
+    let mut summary = Table::new(vec!["protocol", "taken", "mean retained", "max retained"]);
+
+    for kind in CicKind::ALL {
+        let cfg = SimConfig {
+            protocol: ProtocolChoice::Cic(kind),
+            t_switch: 300.0,
+            p_switch: 0.8,
+            horizon: 2000.0,
+            periodic_mean: 100.0,
+            record_trace: true,
+            seed: 11,
+            ..Default::default()
+        };
+        let report = Simulation::run(cfg);
+        let trace = report.trace.as_ref().expect("trace recorded");
+        let collapse = kind == CicKind::Qbc;
+        let occ = occupancy_series(trace, report.end_time, 8, collapse);
+
+        summary.push_row(vec![
+            kind.name().to_string(),
+            occ.total_taken.to_string(),
+            format!("{:.1}", occ.mean_retained),
+            occ.max_retained.to_string(),
+        ]);
+
+        let profile: Vec<String> = occ
+            .samples
+            .iter()
+            .map(|(t, r)| format!("t={t:.0}:{r}"))
+            .collect();
+        println!("{:<8} retention profile  {}", kind.name(), profile.join("  "));
+    }
+
+    println!("\n{}", summary.render());
+    println!("The CIC protocols keep a near-constant ~n checkpoints on stable");
+    println!("storage no matter how many they take; the uncoordinated baseline");
+    println!("cannot establish recent consistent lines and must hoard history.");
+}

@@ -1,0 +1,185 @@
+//! End-to-end behaviour of the coordinated baselines in the mobile setting.
+
+use mck::prelude::*;
+
+fn cfg(protocol: ProtocolChoice, p_switch: f64) -> SimConfig {
+    SimConfig {
+        protocol,
+        t_switch: 300.0,
+        p_switch,
+        horizon: 2000.0,
+        seed: 17,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chandy_lamport_checkpoints_everyone_per_round() {
+    let interval = 200.0;
+    let r = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval }, 1.0));
+    // ~10 rounds × 10 hosts coordinated checkpoints (plus basic ones).
+    assert!(r.ckpts.coordinated > 0);
+    let rounds = (2000.0 / interval) as u64;
+    // Every connected host checkpoints each round; with P_switch=1 everyone
+    // stays connected, so expect close to rounds × n.
+    let expect = rounds * 10;
+    assert!(
+        r.ckpts.coordinated >= expect - 10 && r.ckpts.coordinated <= expect,
+        "coordinated={} expected ≈{expect}",
+        r.ckpts.coordinated
+    );
+    // Marker flood: n(n-1) control messages per round, plus mobility msgs.
+    assert!(r.net.control_msgs as f64 >= 0.8 * (rounds * 90) as f64);
+}
+
+#[test]
+fn chandy_lamport_rounds_complete_without_disconnections() {
+    let r = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval: 200.0 }, 1.0));
+    assert!(
+        !r.coord_round_latencies.is_empty(),
+        "rounds should complete while everyone stays connected"
+    );
+    // Latencies are short when nobody is disconnected (a few hops).
+    let mean: f64 =
+        r.coord_round_latencies.iter().sum::<f64>() / r.coord_round_latencies.len() as f64;
+    assert!(mean < 10.0, "mean round latency {mean} unexpectedly high");
+}
+
+#[test]
+fn disconnections_stall_round_completion() {
+    // With voluntary disconnections, markers for offline hosts wait out the
+    // disconnection: round latency inflates or rounds stop completing —
+    // the paper's "global checkpoint collection latency" point.
+    let connected = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval: 300.0 }, 1.0));
+    let disconnecting =
+        Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval: 300.0 }, 0.5));
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::INFINITY // no round ever completed: worst case
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let m_conn = mean(&connected.coord_round_latencies);
+    let m_disc = mean(&disconnecting.coord_round_latencies);
+    assert!(
+        m_disc > m_conn,
+        "disconnections should inflate round latency: {m_conn} vs {m_disc}"
+    );
+}
+
+#[test]
+fn prakash_singhal_never_coordinates_more_than_chandy_lamport() {
+    // Under the paper's dense uniform traffic the transitive dependency
+    // sets saturate, so PS degenerates to CL — but it must never exceed it.
+    let interval = 200.0;
+    let cl = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval }, 1.0));
+    let ps = Simulation::run(cfg(ProtocolChoice::PrakashSinghal { interval }, 1.0));
+    assert!(
+        ps.ckpts.coordinated <= cl.ckpts.coordinated,
+        "PS={} CL={}",
+        ps.ckpts.coordinated,
+        cl.ckpts.coordinated
+    );
+    assert!(ps.net.control_msgs <= cl.net.control_msgs);
+}
+
+#[test]
+fn prakash_singhal_wins_under_sparse_communication() {
+    // With rare communication, dependency sets stay small between rounds,
+    // so minimal-process coordination checkpoints strictly fewer processes
+    // and sends strictly fewer control messages than the CL marker flood.
+    let sparse = |protocol| SimConfig {
+        protocol,
+        t_switch: 500.0,
+        p_switch: 1.0,
+        p_send: 0.05,
+        horizon: 1000.0,
+        seed: 19,
+        ..Default::default()
+    };
+    let cl = Simulation::run(sparse(ProtocolChoice::ChandyLamport { interval: 25.0 }));
+    let ps = Simulation::run(sparse(ProtocolChoice::PrakashSinghal { interval: 25.0 }));
+    assert!(
+        ps.ckpts.coordinated < cl.ckpts.coordinated,
+        "sparse traffic: PS={} should be < CL={}",
+        ps.ckpts.coordinated,
+        cl.ckpts.coordinated
+    );
+    assert!(
+        ps.net.control_msgs < cl.net.control_msgs,
+        "sparse traffic: PS ctl={} should be < CL ctl={}",
+        ps.net.control_msgs,
+        cl.net.control_msgs
+    );
+}
+
+#[test]
+fn prakash_singhal_piggybacks_dependency_bits() {
+    let r = Simulation::run(cfg(ProtocolChoice::PrakashSinghal { interval: 200.0 }, 1.0));
+    // 10 hosts ⇒ 2 bytes of dependency bits per sent message.
+    assert!(r.net.piggyback_bytes > 0);
+    let per_sent = r.net.piggyback_bytes as f64 / r.msgs_sent as f64;
+    assert!((per_sent - 2.0).abs() < 1e-9, "per-sent piggyback {per_sent}");
+}
+
+#[test]
+fn coordinated_control_messages_pay_location_searches() {
+    // Every marker must locate its mobile destination: searches grow far
+    // beyond the app-message count, the paper's point (1) against
+    // coordinated checkpointing with MHs.
+    let cl = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval: 100.0 }, 1.0));
+    let cic = Simulation::run(cfg(ProtocolChoice::Cic(CicKind::Qbc), 1.0));
+    let cl_searches_per_app = cl.net.searches as f64 / cl.msgs_sent as f64;
+    let cic_searches_per_app = cic.net.searches as f64 / cic.msgs_sent as f64;
+    assert!(
+        cl_searches_per_app > cic_searches_per_app,
+        "CL should need extra searches: {cl_searches_per_app:.3} vs {cic_searches_per_app:.3}"
+    );
+    assert!((cic_searches_per_app - 1.0).abs() < 1e-9, "CIC: one search per send");
+}
+
+#[test]
+fn coordinated_runs_still_take_basic_checkpoints() {
+    let r = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval: 500.0 }, 0.8));
+    assert!(r.ckpts.basic() > 0, "mobility still mandates checkpoints");
+    assert_eq!(r.ckpts.cell_switch, r.handoffs);
+}
+
+#[test]
+fn koo_toueg_blocks_sends_during_sessions() {
+    let r = Simulation::run(cfg(ProtocolChoice::KooToueg { interval: 50.0 }, 1.0));
+    assert!(r.ckpts.coordinated > 0, "KT sessions must checkpoint");
+    assert!(
+        r.blocked_sends > 0,
+        "dense traffic + frequent sessions must block some sends"
+    );
+    // Non-blocking protocols never suppress sends.
+    let cl = Simulation::run(cfg(ProtocolChoice::ChandyLamport { interval: 50.0 }, 1.0));
+    assert_eq!(cl.blocked_sends, 0);
+    let ps = Simulation::run(cfg(ProtocolChoice::PrakashSinghal { interval: 50.0 }, 1.0));
+    assert_eq!(ps.blocked_sends, 0);
+}
+
+#[test]
+fn koo_toueg_coordinates_at_most_everyone_per_round() {
+    let interval = 200.0;
+    let kt = Simulation::run(cfg(ProtocolChoice::KooToueg { interval }, 1.0));
+    let rounds = (2000.0 / interval) as u64;
+    assert!(
+        kt.ckpts.coordinated <= rounds * 10,
+        "KT={} exceeds everyone-every-round",
+        kt.ckpts.coordinated
+    );
+    assert!(kt.ckpts.coordinated >= rounds.saturating_sub(2), "sessions ran");
+}
+
+#[test]
+fn koo_toueg_sessions_survive_disconnections() {
+    // Sessions whose participants disconnect stall until reconnection (the
+    // requests are buffered), but the run must stay live and blocked hosts
+    // must eventually unblock enough to keep sending.
+    let r = Simulation::run(cfg(ProtocolChoice::KooToueg { interval: 300.0 }, 0.6));
+    assert!(r.msgs_sent > 100, "workload stalled: {} sends", r.msgs_sent);
+    assert!(r.ckpts.coordinated > 0);
+}

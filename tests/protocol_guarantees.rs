@@ -1,0 +1,166 @@
+//! The protocols' correctness theorems, verified on full simulator traces.
+//!
+//! These are the paper's central safety claims: every checkpoint taken by a
+//! communication-induced protocol belongs to a consistent global checkpoint
+//! *built on the fly* — same-index lines for BCS/QBC, dependency-vector
+//! lines for TP. We run the real mobile simulation (hand-offs,
+//! disconnections, duplicated deliveries and all) and check the recorded
+//! trace against the protocol-agnostic consistency oracle.
+
+use causality::cut::{is_consistent, max_consistent_cut_containing, Cut};
+use causality::trace::Trace;
+use cic::recovery::{all_index_lines, index_line, max_index};
+use mck::prelude::*;
+
+fn traced_run(kind: CicKind, seed: u64, dup_prob: f64) -> Trace {
+    let cfg = SimConfig {
+        protocol: ProtocolChoice::Cic(kind),
+        t_switch: 150.0,
+        p_switch: 0.8,
+        horizon: 1200.0,
+        record_trace: true,
+        dup_prob,
+        seed,
+        ..Default::default()
+    };
+    Simulation::run(cfg).trace.expect("trace requested")
+}
+
+#[test]
+fn bcs_same_index_lines_are_consistent() {
+    for seed in [1, 2, 3] {
+        let trace = traced_run(CicKind::Bcs, seed, 0.0);
+        assert!(max_index(&trace) > 0, "no indices advanced");
+        for (k, line) in all_index_lines(&trace) {
+            assert!(
+                is_consistent(&trace, &line),
+                "seed {seed}: BCS line {k} has an orphan message"
+            );
+        }
+    }
+}
+
+#[test]
+fn qbc_same_index_lines_are_consistent() {
+    for seed in [1, 2, 3] {
+        let trace = traced_run(CicKind::Qbc, seed, 0.0);
+        for (k, line) in all_index_lines(&trace) {
+            assert!(
+                is_consistent(&trace, &line),
+                "seed {seed}: QBC line {k} has an orphan message"
+            );
+        }
+    }
+}
+
+#[test]
+fn qbc_replacement_survivor_lines_are_consistent() {
+    // QBC's refinement: for each index, the LAST checkpoint with that index
+    // (the replacement survivor) can stand in for the first.
+    let trace = traced_run(CicKind::Qbc, 5, 0.0);
+    for k in 0..=max_index(&trace) {
+        let line = Cut::new(
+            trace
+                .procs()
+                .map(|p| {
+                    let ckpts = trace.checkpoints(p);
+                    ckpts
+                        .iter()
+                        .filter(|c| c.index == k)
+                        .map(|c| c.ordinal)
+                        .next_back()
+                        .or_else(|| ckpts.iter().find(|c| c.index >= k).map(|c| c.ordinal))
+                        .unwrap_or(ckpts.len())
+                })
+                .collect(),
+        );
+        assert!(
+            is_consistent(&trace, &line),
+            "QBC survivor line {k} inconsistent"
+        );
+    }
+}
+
+#[test]
+fn tp_checkpoints_all_belong_to_consistent_cuts() {
+    let trace = traced_run(CicKind::Tp, 4, 0.0);
+    for p in trace.procs() {
+        for c in trace.checkpoints(p) {
+            assert!(
+                max_consistent_cut_containing(&trace, p, c.ordinal).is_some(),
+                "TP checkpoint ({p}, ord {}) is useless",
+                c.ordinal
+            );
+        }
+    }
+}
+
+#[test]
+fn index_protocol_checkpoints_are_never_useless() {
+    for kind in [CicKind::Bcs, CicKind::Qbc] {
+        let trace = traced_run(kind, 6, 0.0);
+        for p in trace.procs() {
+            for c in trace.checkpoints(p) {
+                assert!(
+                    max_consistent_cut_containing(&trace, p, c.ordinal).is_some(),
+                    "{kind}: checkpoint ({p}, ord {}) is useless",
+                    c.ordinal
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn guarantees_survive_duplicated_deliveries() {
+    // The at-least-once transport may duplicate; dedup must keep the
+    // protocol's view exactly-once, preserving every guarantee.
+    for kind in CicKind::PAPER {
+        let trace = traced_run(kind, 8, 0.4);
+        match kind {
+            CicKind::Bcs | CicKind::Qbc => {
+                for (k, line) in all_index_lines(&trace) {
+                    assert!(
+                        is_consistent(&trace, &line),
+                        "{kind} with duplicates: line {k} inconsistent"
+                    );
+                }
+            }
+            _ => {
+                for p in trace.procs() {
+                    for c in trace.checkpoints(p) {
+                        assert!(
+                            max_consistent_cut_containing(&trace, p, c.ordinal).is_some(),
+                            "{kind} with duplicates: useless checkpoint"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn index_lines_use_volatile_fallback_correctly() {
+    // A host that never reached index k contributes its volatile state; the
+    // line must still be consistent (it never received anything at >= k).
+    let trace = traced_run(CicKind::Bcs, 11, 0.0);
+    let k = max_index(&trace);
+    let line = index_line(&trace, k);
+    assert!(is_consistent(&trace, &line));
+}
+
+#[test]
+fn recovery_after_every_single_failure_is_consistent() {
+    use causality::recovery::recovery_line_after_failure;
+    for kind in CicKind::PAPER {
+        let trace = traced_run(kind, 13, 0.0);
+        for failed in trace.procs() {
+            let line = recovery_line_after_failure(&trace, &[failed]);
+            assert!(
+                is_consistent(&trace, &line),
+                "{kind}: recovery line after {failed} failure inconsistent"
+            );
+        }
+    }
+}
