@@ -1,94 +1,76 @@
 //! Microbenchmarks of the discrete-event engine.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mck_bench::{black_box, Bench};
 use simkit::prelude::*;
 
 /// Schedule/pop churn with a bounded pending set (the simulator's steady
 /// state: every popped event schedules a successor).
-fn bench_scheduler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler");
+fn bench_scheduler(b: &mut Bench) {
     for &pending in &[64usize, 1024, 16384] {
-        group.bench_with_input(
-            BenchmarkId::new("hold_churn", pending),
-            &pending,
-            |b, &pending| {
-                b.iter(|| {
-                    let mut s = Scheduler::new();
-                    let mut rng = SimRng::new(1);
-                    for i in 0..pending {
-                        s.schedule_in(rng.exp(1.0), i as u64);
-                    }
-                    // 10k hold operations.
-                    for _ in 0..10_000 {
-                        let ev = s.pop().expect("non-empty");
-                        s.schedule_in(rng.exp(1.0), ev.event + 1);
-                    }
-                    black_box(s.now())
-                })
-            },
-        );
+        b.bench(&format!("scheduler/hold_churn/{pending}"), || {
+            let mut s = Scheduler::new();
+            let mut rng = SimRng::new(1);
+            for i in 0..pending {
+                s.schedule_in(rng.exp(1.0), i as u64);
+            }
+            // 10k hold operations.
+            for _ in 0..10_000 {
+                let ev = s.pop().expect("non-empty");
+                s.schedule_in(rng.exp(1.0), ev.event + 1);
+            }
+            black_box(s.now())
+        });
     }
-    group.finish();
 }
 
 /// Same hold pattern on the calendar queue, for a heap-vs-calendar
 /// comparison at each pending-set size.
-fn bench_calendar(c: &mut Criterion) {
+fn bench_calendar(b: &mut Bench) {
     use simkit::calendar::CalendarQueue;
-    let mut group = c.benchmark_group("calendar_queue");
     for &pending in &[64usize, 1024, 16384] {
-        group.bench_with_input(
-            BenchmarkId::new("hold_churn", pending),
-            &pending,
-            |b, &pending| {
-                b.iter(|| {
-                    let mut q = CalendarQueue::new();
-                    let mut rng = SimRng::new(1);
-                    let mut now = 0.0;
-                    for i in 0..pending {
-                        q.schedule_at(SimTime::new(rng.exp(1.0)), i as u64);
-                    }
-                    for _ in 0..10_000 {
-                        let (t, e) = q.pop().expect("non-empty");
-                        now = t.as_f64();
-                        q.schedule_at(SimTime::new(now + rng.exp(1.0)), e + 1);
-                    }
-                    black_box(now)
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_rng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng");
-    group.bench_function("exp", |b| {
-        let mut rng = SimRng::new(7);
-        b.iter(|| black_box(rng.exp(1.0)))
-    });
-    group.bench_function("bernoulli", |b| {
-        let mut rng = SimRng::new(7);
-        b.iter(|| black_box(rng.bernoulli(0.4)))
-    });
-    group.bench_function("index_excluding", |b| {
-        let mut rng = SimRng::new(7);
-        b.iter(|| black_box(rng.index_excluding(10, 3)))
-    });
-    group.finish();
-}
-
-fn bench_stats(c: &mut Criterion) {
-    c.bench_function("tally_record_1k", |b| {
-        b.iter(|| {
-            let mut t = Tally::new();
-            for i in 0..1000 {
-                t.record(i as f64 * 0.001);
+        b.bench(&format!("calendar_queue/hold_churn/{pending}"), || {
+            let mut q = CalendarQueue::new();
+            let mut rng = SimRng::new(1);
+            let mut now = 0.0;
+            for i in 0..pending {
+                q.schedule_at(SimTime::new(rng.exp(1.0)), i as u64);
             }
-            black_box(t.mean())
-        })
+            for _ in 0..10_000 {
+                let (t, e) = q.pop().expect("non-empty");
+                now = t.as_f64();
+                q.schedule_at(SimTime::new(now + rng.exp(1.0)), e + 1);
+            }
+            black_box(now)
+        });
+    }
+}
+
+fn bench_rng(b: &mut Bench) {
+    let mut rng = SimRng::new(7);
+    b.bench("rng/exp", move || black_box(rng.exp(1.0)));
+    let mut rng = SimRng::new(7);
+    b.bench("rng/bernoulli", move || black_box(rng.bernoulli(0.4)));
+    let mut rng = SimRng::new(7);
+    b.bench("rng/index_excluding", move || {
+        black_box(rng.index_excluding(10, 3))
     });
 }
 
-criterion_group!(benches, bench_scheduler, bench_calendar, bench_rng, bench_stats);
-criterion_main!(benches);
+fn bench_stats(b: &mut Bench) {
+    b.bench("stats/tally_record_1k", || {
+        let mut t = Tally::new();
+        for i in 0..1000 {
+            t.record(i as f64 * 0.001);
+        }
+        black_box(t.mean())
+    });
+}
+
+fn main() {
+    let mut b = Bench::from_args("engine");
+    bench_scheduler(&mut b);
+    bench_calendar(&mut b);
+    bench_rng(&mut b);
+    bench_stats(&mut b);
+    b.finish();
+}

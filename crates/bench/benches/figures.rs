@@ -1,12 +1,12 @@
 //! End-to-end cost of regenerating each paper figure's data points.
 //!
-//! One Criterion benchmark per figure (1–6) runs a reduced version of the
-//! figure's sweep — two `T_switch` points, one seed, all three protocols —
-//! so `cargo bench` exercises the exact code path behind every figure. The
+//! One benchmark per figure (1–6) runs a reduced version of the figure's
+//! sweep — two `T_switch` points, one seed, all three protocols — so
+//! `cargo bench` exercises the exact code path behind every figure. The
 //! full-scale series are produced by the `figures` binary.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mck::experiments::{figure, run_figure, FigureSpec};
+use mck_bench::{black_box, Bench};
 
 fn reduced(spec: &FigureSpec) -> FigureSpec {
     let mut s = spec.clone();
@@ -14,44 +14,36 @@ fn reduced(spec: &FigureSpec) -> FigureSpec {
     s
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure");
-    group.sample_size(10);
+fn bench_figures(b: &mut Bench) {
     for id in 1..=6usize {
         let spec = reduced(&figure(id));
-        group.bench_with_input(BenchmarkId::from_parameter(id), &spec, |b, spec| {
-            b.iter(|| black_box(run_figure(spec, 1, 1)))
+        b.bench(&format!("figure/{id}"), move || {
+            black_box(run_figure(&spec, 1, 1))
         });
     }
-    group.finish();
 }
 
 /// Single full-horizon run per protocol at the paper's base point — the
 /// unit of work every figure point multiplies.
-fn bench_single_runs(c: &mut Criterion) {
+fn bench_single_runs(b: &mut Bench) {
     use mck::prelude::*;
-    let mut group = c.benchmark_group("single_run");
-    group.sample_size(10);
     for kind in CicKind::PAPER {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let cfg = SimConfig {
-                        protocol: ProtocolChoice::Cic(kind),
-                        t_switch: 1000.0,
-                        p_switch: 0.8,
-                        horizon: 10_000.0,
-                        ..Default::default()
-                    };
-                    black_box(Simulation::run(cfg))
-                })
-            },
-        );
+        b.bench(&format!("single_run/{}", kind.name()), move || {
+            let cfg = SimConfig {
+                protocol: ProtocolChoice::Cic(kind),
+                t_switch: 1000.0,
+                p_switch: 0.8,
+                horizon: 10_000.0,
+                ..Default::default()
+            };
+            black_box(Simulation::run(cfg))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_single_runs);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args("figures");
+    bench_figures(&mut b);
+    bench_single_runs(&mut b);
+    b.finish();
+}

@@ -5,68 +5,57 @@
 //! O(n) vectors; these benchmarks make that visible.
 
 use cic::prelude::*;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mck_bench::{black_box, Bench};
 
-fn bench_send(c: &mut Criterion) {
-    let mut group = c.benchmark_group("on_send");
-    group.bench_function("bcs", |b| {
-        let mut p = Bcs::new();
-        b.iter(|| black_box(p.on_send(1)))
-    });
-    group.bench_function("qbc", |b| {
-        let mut p = Qbc::new();
-        b.iter(|| black_box(p.on_send(1)))
-    });
+fn bench_send(b: &mut Bench) {
+    let mut p = Bcs::new();
+    b.bench("on_send/bcs", move || black_box(p.on_send(1)));
+    let mut p = Qbc::new();
+    b.bench("on_send/qbc", move || black_box(p.on_send(1)));
     for &n in &[10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::new("tp", n), &n, |b, &n| {
-            let mut p = Tp::new(0, n, 0);
-            b.iter(|| black_box(p.on_send(1)))
+        let mut p = Tp::new(0, n, 0);
+        b.bench(&format!("on_send/tp/{n}"), move || black_box(p.on_send(1)));
+    }
+}
+
+fn bench_receive(b: &mut Bench) {
+    let mut p = Bcs::new();
+    let pb = Piggyback::Index { sn: 0 };
+    b.bench("on_receive/bcs", move || black_box(p.on_receive(1, &pb)));
+    let mut p = Qbc::new();
+    let pb = Piggyback::Index { sn: 0 };
+    b.bench("on_receive/qbc", move || black_box(p.on_receive(1, &pb)));
+    for &n in &[10usize, 100, 1000] {
+        let mut p = Tp::new(0, n, 0);
+        let pb = Piggyback::Vectors {
+            ckpt: vec![0; n],
+            loc: vec![0; n],
+        };
+        b.bench(&format!("on_receive/tp/{n}"), move || {
+            black_box(p.on_receive(1, &pb))
         });
     }
-    group.finish();
 }
 
-fn bench_receive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("on_receive");
-    group.bench_function("bcs", |b| {
-        let mut p = Bcs::new();
-        let pb = Piggyback::Index { sn: 0 };
-        b.iter(|| black_box(p.on_receive(1, &pb)))
+fn bench_basic(b: &mut Bench) {
+    let mut p = Bcs::new();
+    b.bench("on_basic/bcs", move || {
+        black_box(p.on_basic(BasicReason::CellSwitch))
     });
-    group.bench_function("qbc", |b| {
-        let mut p = Qbc::new();
-        let pb = Piggyback::Index { sn: 0 };
-        b.iter(|| black_box(p.on_receive(1, &pb)))
+    let mut p = Qbc::new();
+    b.bench("on_basic/qbc", move || {
+        black_box(p.on_basic(BasicReason::CellSwitch))
     });
-    for &n in &[10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::new("tp", n), &n, |b, &n| {
-            let mut p = Tp::new(0, n, 0);
-            let pb = Piggyback::Vectors {
-                ckpt: vec![0; n],
-                loc: vec![0; n],
-            };
-            b.iter(|| black_box(p.on_receive(1, &pb)))
-        });
-    }
-    group.finish();
+    let mut p = Tp::new(0, 10, 0);
+    b.bench("on_basic/tp_n10", move || {
+        black_box(p.on_basic(BasicReason::CellSwitch))
+    });
 }
 
-fn bench_basic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("on_basic");
-    group.bench_function("bcs", |b| {
-        let mut p = Bcs::new();
-        b.iter(|| black_box(p.on_basic(BasicReason::CellSwitch)))
-    });
-    group.bench_function("qbc", |b| {
-        let mut p = Qbc::new();
-        b.iter(|| black_box(p.on_basic(BasicReason::CellSwitch)))
-    });
-    group.bench_function("tp_n10", |b| {
-        let mut p = Tp::new(0, 10, 0);
-        b.iter(|| black_box(p.on_basic(BasicReason::CellSwitch)))
-    });
-    group.finish();
+fn main() {
+    let mut b = Bench::from_args("protocols");
+    bench_send(&mut b);
+    bench_receive(&mut b);
+    bench_basic(&mut b);
+    b.finish();
 }
-
-criterion_group!(benches, bench_send, bench_receive, bench_basic);
-criterion_main!(benches);

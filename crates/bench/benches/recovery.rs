@@ -5,8 +5,8 @@ use causality::cut::{is_consistent, latest_recovery_line, Cut};
 use causality::recovery::recovery_line_after_failure;
 use causality::trace::{ProcId, Trace};
 use causality::zpath::ZigzagGraph;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mck::prelude::*;
+use mck_bench::{black_box, Bench};
 
 /// A recorded trace from a real simulation run.
 fn traced(horizon: f64) -> Trace {
@@ -21,74 +21,67 @@ fn traced(horizon: f64) -> Trace {
     Simulation::run(cfg).trace.expect("trace requested")
 }
 
-fn bench_recovery_line(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recovery_line");
+fn bench_recovery_line(b: &mut Bench) {
     for &horizon in &[500.0, 2000.0] {
         let trace = traced(horizon);
-        group.bench_with_input(
-            BenchmarkId::new("latest", horizon as u64),
-            &trace,
-            |b, trace| b.iter(|| black_box(latest_recovery_line(trace))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("after_failure", horizon as u64),
-            &trace,
-            |b, trace| {
-                b.iter(|| black_box(recovery_line_after_failure(trace, &[ProcId(0)])))
-            },
+        let t2 = trace.clone();
+        b.bench(&format!("recovery_line/latest/{}", horizon as u64), move || {
+            black_box(latest_recovery_line(&trace))
+        });
+        b.bench(
+            &format!("recovery_line/after_failure/{}", horizon as u64),
+            move || black_box(recovery_line_after_failure(&t2, &[ProcId(0)])),
         );
     }
-    group.finish();
 }
 
-fn bench_consistency_check(c: &mut Criterion) {
+fn bench_consistency_check(b: &mut Bench) {
     let trace = traced(2000.0);
     let cut = Cut::latest(&trace);
-    c.bench_function("is_consistent_full_trace", |b| {
-        b.iter(|| black_box(is_consistent(&trace, &cut)))
+    b.bench("is_consistent_full_trace", move || {
+        black_box(is_consistent(&trace, &cut))
     });
 }
 
-fn bench_zigzag(c: &mut Criterion) {
+fn bench_zigzag(b: &mut Bench) {
     // Z-cycle analysis is quadratic in delivered messages; keep it small.
     let trace = traced(100.0);
-    c.bench_function("zigzag_build_small", |b| {
-        b.iter(|| black_box(ZigzagGraph::build(&trace).useless_checkpoints().len()))
+    b.bench("zigzag_build_small", move || {
+        black_box(ZigzagGraph::build(&trace).useless_checkpoints().len())
     });
 }
 
-fn bench_rgraph(c: &mut Criterion) {
+fn bench_rgraph(b: &mut Bench) {
     use causality::rgraph::RGraph;
     let trace = traced(2000.0);
-    c.bench_function("rgraph_build", |b| {
-        b.iter(|| black_box(RGraph::build(&trace).n_nodes()))
+    let t2 = trace.clone();
+    b.bench("rgraph_build", move || {
+        black_box(RGraph::build(&t2).n_nodes())
     });
     let graph = RGraph::build(&trace);
-    c.bench_function("rgraph_recovery_line", |b| {
-        b.iter(|| black_box(graph.recovery_line_after_failure(&[ProcId(0)])))
+    b.bench("rgraph_recovery_line", move || {
+        black_box(graph.recovery_line_after_failure(&[ProcId(0)]))
     });
 }
 
-fn bench_gc(c: &mut Criterion) {
+fn bench_gc(b: &mut Bench) {
     use mck::gc::{occupancy_series, retained_at};
     let trace = traced(2000.0);
-    c.bench_function("gc_retained_at", |b| {
-        b.iter(|| black_box(retained_at(&trace, 1500.0, true)))
+    let t2 = trace.clone();
+    b.bench("gc_retained_at", move || {
+        black_box(retained_at(&trace, 1500.0, true))
     });
-    let mut group = c.benchmark_group("gc_occupancy_series");
-    group.sample_size(20);
-    group.bench_function("16_samples", |b| {
-        b.iter(|| black_box(occupancy_series(&trace, 2000.0, 16, true).mean_retained))
+    b.bench("gc_occupancy_series/16_samples", move || {
+        black_box(occupancy_series(&t2, 2000.0, 16, true).mean_retained)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_recovery_line,
-    bench_consistency_check,
-    bench_zigzag,
-    bench_rgraph,
-    bench_gc
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args("recovery");
+    bench_recovery_line(&mut b);
+    bench_consistency_check(&mut b);
+    bench_zigzag(&mut b);
+    bench_rgraph(&mut b);
+    bench_gc(&mut b);
+    b.finish();
+}

@@ -17,23 +17,35 @@
 //! ```
 //!
 //! Options: `--reps N` (default 5), `--seed S` (default 1), `--csv`,
-//! `--plot` (render each figure as a log-log terminal chart too).
+//! `--plot` (render each figure as a log-log terminal chart too),
+//! `--json PATH` (additionally write a machine-readable
+//! `mck.bench_figures/v1` artifact — conventionally `BENCH_figures.json` —
+//! with per-protocol `N_tot` estimates and wall-clock timings; applies to
+//! the figure commands).
 //! Output shape matches the paper: one row per `T_switch`, one column per
 //! protocol, with the derived gain columns the text quotes.
 
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mck::artifact;
+use mck::config::{ProtocolChoice, SimConfig};
 use mck::experiments::{
     ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_recovery_time, ext_rollback, ext_storage,
     ext_topologies,
     figure,
-    run_figure,
+    run_figure, FigureResult, FigureSpec,
 };
+use mck::simulation::{Instrumentation, Simulation};
 use mck::table::{fmt_estimate, Table};
+use simkit::json::Json;
 
 struct Opts {
     reps: usize,
     seed: u64,
     csv: bool,
     plot: bool,
+    json: Option<PathBuf>,
 }
 
 fn main() {
@@ -43,6 +55,7 @@ fn main() {
         seed: 1,
         csv: false,
         plot: false,
+        json: None,
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -52,6 +65,7 @@ fn main() {
             "--seed" => opts.seed = it.next().expect("--seed S").parse().expect("number"),
             "--csv" => opts.csv = true,
             "--plot" => opts.plot = true,
+            "--json" => opts.json = Some(PathBuf::from(it.next().expect("--json PATH"))),
             other => cmd.push(other.to_string()),
         }
     }
@@ -97,16 +111,78 @@ fn emit(opts: &Opts, t: &Table) {
 }
 
 fn figures(opts: &Opts, ids: &[usize]) {
+    let mut fig_entries: Vec<Json> = Vec::new();
     for &id in ids {
         let spec = figure(id);
         eprintln!("running {} ({} reps/point)...", spec.caption(), opts.reps);
+        let t0 = Instant::now();
         let res = run_figure(&spec, opts.seed, opts.reps);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         println!("{}", spec.caption());
         emit(opts, &res.table());
         if opts.plot {
             println!("{}", res.plot());
         }
+        if opts.json.is_some() {
+            fig_entries.push(figure_entry(opts, &spec, &res, wall_ms));
+        }
     }
+    if let Some(path) = &opts.json {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str(artifact::BENCH_SCHEMA)),
+            ("version".into(), Json::str(artifact::version())),
+            ("base_seed".into(), Json::uint(opts.seed)),
+            ("replications".into(), Json::uint(opts.reps as u64)),
+            ("figures".into(), Json::Arr(fig_entries)),
+        ]);
+        match artifact::write(path, &doc) {
+            Ok(()) => eprintln!("bench artifact -> {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// One figure's entry of the bench artifact: the full `mck.figure/v1`
+/// result, the figure's total wall time, and a per-protocol profiled run at
+/// the figure's middle `T_switch` point (wall clock, dispatch throughput,
+/// `N_tot` of that single run).
+fn figure_entry(opts: &Opts, spec: &FigureSpec, res: &FigureResult, wall_ms: f64) -> Json {
+    let t_switch = spec.t_switch_values[spec.t_switch_values.len() / 2];
+    let timings: Vec<Json> = spec
+        .protocols
+        .iter()
+        .map(|&proto| {
+            let cfg = SimConfig::paper(
+                ProtocolChoice::Cic(proto),
+                t_switch,
+                spec.p_switch,
+                spec.heterogeneity,
+            );
+            let report = Simulation::run_with(
+                cfg,
+                Instrumentation {
+                    profile: true,
+                    ..Instrumentation::off()
+                },
+            );
+            let p = report.profile.as_ref().expect("profiled run");
+            Json::Obj(vec![
+                ("protocol".into(), Json::str(proto.name())),
+                ("t_switch".into(), Json::Num(t_switch)),
+                ("n_tot".into(), Json::uint(report.n_tot())),
+                ("events".into(), Json::uint(report.events)),
+                ("wall_ms".into(), Json::Num(p.wall_ns as f64 / 1e6)),
+                ("events_per_sec".into(), Json::Num(p.events_per_sec())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("id".into(), Json::uint(spec.id as u64)),
+        ("caption".into(), Json::str(spec.caption())),
+        ("wall_ms".into(), Json::Num(wall_ms)),
+        ("result".into(), artifact::figure_artifact(res, opts.seed, opts.reps)),
+        ("timings".into(), Json::Arr(timings)),
+    ])
 }
 
 fn print_claims(opts: &Opts) {

@@ -1,14 +1,19 @@
-//! Property tests over randomly generated computation traces.
+//! Property-style tests over randomly generated computation traces.
+//!
+//! Cases are generated deterministically with `SimRng` (an internal
+//! dev-dependency), so the suite is reproducible and dependency-free.
 
 use causality::cut::{
     is_consistent, is_consistent_bruteforce, latest_recovery_line, max_consistent_cut_below,
     max_consistent_cut_containing, Cut,
 };
 use causality::recovery::{recovery_line_after_failure, rollback_cost, volatile_cut};
-use causality::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
 use causality::rgraph::RGraph;
+use causality::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
 use causality::zpath::ZigzagGraph;
-use proptest::prelude::*;
+use simkit::prelude::SimRng;
+
+const CASES: u64 = 64;
 
 /// A random-trace action: either a checkpoint or a message hop.
 #[derive(Debug, Clone)]
@@ -17,14 +22,20 @@ enum Action {
     Msg { from: usize, to: usize },
 }
 
-fn actions(n_procs: usize, len: usize) -> impl Strategy<Value = Vec<Action>> {
-    let act = prop_oneof![
-        (0..n_procs).prop_map(|proc| Action::Ckpt { proc }),
-        (0..n_procs, 0..n_procs).prop_filter_map("self-send", move |(from, to)| {
-            (from != to).then_some(Action::Msg { from, to })
-        }),
-    ];
-    proptest::collection::vec(act, 1..len)
+/// Deterministic random action list with 1..len entries.
+fn gen_actions(gen: &mut SimRng, n_procs: usize, len: usize) -> Vec<Action> {
+    let n = 1 + gen.index(len - 1);
+    (0..n)
+        .map(|_| {
+            if gen.bernoulli(0.5) {
+                Action::Ckpt { proc: gen.index(n_procs) }
+            } else {
+                let from = gen.index(n_procs);
+                let to = gen.index_excluding(n_procs, from);
+                Action::Msg { from, to }
+            }
+        })
+        .collect()
 }
 
 /// Materializes a trace: messages are delivered after a short delay, so the
@@ -68,25 +79,29 @@ fn build_trace(n_procs: usize, acts: &[Action]) -> Trace {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The rollback-propagation fixpoint always produces a consistent cut,
-    /// dominated by its starting point.
-    #[test]
-    fn fixpoint_is_consistent_and_dominated(acts in actions(4, 60)) {
+/// The rollback-propagation fixpoint always produces a consistent cut,
+/// dominated by its starting point.
+#[test]
+fn fixpoint_is_consistent_and_dominated() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0001 ^ case);
+        let acts = gen_actions(&mut gen, 4, 60);
         let t = build_trace(4, &acts);
         let start = Cut::latest(&t);
         let line = max_consistent_cut_below(&t, &start);
-        prop_assert!(line.dominated_by(&start));
-        prop_assert!(is_consistent(&t, &line));
-        prop_assert!(is_consistent_bruteforce(&t, &line));
+        assert!(line.dominated_by(&start));
+        assert!(is_consistent(&t, &line));
+        assert!(is_consistent_bruteforce(&t, &line));
     }
+}
 
-    /// The fixpoint is MAXIMAL: raising any single component by one breaks
-    /// consistency (or exceeds the starting bound).
-    #[test]
-    fn fixpoint_is_maximal(acts in actions(3, 50)) {
+/// The fixpoint is MAXIMAL: raising any single component by one breaks
+/// consistency (or exceeds the starting bound).
+#[test]
+fn fixpoint_is_maximal() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0002 ^ case);
+        let acts = gen_actions(&mut gen, 3, 50);
         let t = build_trace(3, &acts);
         let start = Cut::latest(&t);
         let line = max_consistent_cut_below(&t, &start);
@@ -96,76 +111,93 @@ proptest! {
                 let mut bumped: Vec<usize> = line.ordinals().to_vec();
                 bumped[p.idx()] += 1;
                 let bumped = Cut::new(bumped);
-                prop_assert!(
+                assert!(
                     !is_consistent(&t, &bumped),
                     "bumping {p} from {cur} kept consistency — line was not maximal"
                 );
             }
         }
     }
+}
 
-    /// Netzer–Xu: a checkpoint belongs to no consistent global checkpoint
-    /// iff it is on a Z-cycle. Cross-validates two independent analyses.
-    #[test]
-    fn z_cycle_iff_useless(acts in actions(3, 40)) {
+/// Netzer–Xu: a checkpoint belongs to no consistent global checkpoint iff
+/// it is on a Z-cycle. Cross-validates two independent analyses.
+#[test]
+fn z_cycle_iff_useless() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0003 ^ case);
+        let acts = gen_actions(&mut gen, 3, 40);
         let t = build_trace(3, &acts);
         let g = ZigzagGraph::build(&t);
         for p in t.procs() {
             for c in t.checkpoints(p) {
                 let by_cycle = g.on_z_cycle(p, c.ordinal);
                 let by_fixpoint = max_consistent_cut_containing(&t, p, c.ordinal).is_none();
-                prop_assert_eq!(
+                assert_eq!(
                     by_cycle, by_fixpoint,
-                    "Netzer–Xu disagreement at ({}, ord {})", p, c.ordinal
+                    "Netzer–Xu disagreement at ({}, ord {})",
+                    p, c.ordinal
                 );
             }
         }
     }
+}
 
-    /// The all-volatile cut is always consistent (every delivered message's
-    /// send survives), and recovery after any failure yields a consistent
-    /// line dominated by the volatile cut.
-    #[test]
-    fn recovery_line_is_consistent(acts in actions(4, 60), failed in 0usize..4) {
+/// The all-volatile cut is always consistent (every delivered message's
+/// send survives), and recovery after any failure yields a consistent line
+/// dominated by the volatile cut.
+#[test]
+fn recovery_line_is_consistent() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0004 ^ case);
+        let acts = gen_actions(&mut gen, 4, 60);
+        let failed = gen.index(4);
         let t = build_trace(4, &acts);
-        prop_assert!(is_consistent(&t, &volatile_cut(&t)));
+        assert!(is_consistent(&t, &volatile_cut(&t)));
         let line = recovery_line_after_failure(&t, &[ProcId(failed)]);
-        prop_assert!(is_consistent(&t, &line));
-        prop_assert!(line.dominated_by(&volatile_cut(&t)));
+        assert!(is_consistent(&t, &line));
+        assert!(line.dominated_by(&volatile_cut(&t)));
         // The failed process can never keep volatile state.
-        prop_assert!(line.ordinal(ProcId(failed)) < t.checkpoints(ProcId(failed)).len());
+        assert!(line.ordinal(ProcId(failed)) < t.checkpoints(ProcId(failed)).len());
         // Costs are well-formed.
         let cost = rollback_cost(&t, &line, 1e6);
-        prop_assert!(cost.total_time_undone() >= 0.0);
-        prop_assert_eq!(cost.time_undone.len(), 4);
+        assert!(cost.total_time_undone() >= 0.0);
+        assert_eq!(cost.time_undone.len(), 4);
     }
+}
 
-    /// The R-graph reachability formulation and the rollback-propagation
-    /// fixpoint compute the SAME recovery line after any failure — two
-    /// independent algorithms validating each other.
-    #[test]
-    fn rgraph_agrees_with_fixpoint(acts in actions(4, 60), failed in 0usize..4) {
+/// The R-graph reachability formulation and the rollback-propagation
+/// fixpoint compute the SAME recovery line after any failure — two
+/// independent algorithms validating each other.
+#[test]
+fn rgraph_agrees_with_fixpoint() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0005 ^ case);
+        let acts = gen_actions(&mut gen, 4, 60);
+        let failed = gen.index(4);
         let t = build_trace(4, &acts);
         let g = RGraph::build(&t);
         let via_graph = g.recovery_line_after_failure(&[ProcId(failed)]);
         let via_fixpoint = recovery_line_after_failure(&t, &[ProcId(failed)]);
-        prop_assert_eq!(via_graph.ordinals(), via_fixpoint.ordinals());
+        assert_eq!(via_graph.ordinals(), via_fixpoint.ordinals());
         // And for multi-failures.
         let all: Vec<ProcId> = t.procs().collect();
         let g_all = g.recovery_line_after_failure(&all);
         let f_all = recovery_line_after_failure(&t, &all);
-        prop_assert_eq!(g_all.ordinals(), f_all.ordinals());
+        assert_eq!(g_all.ordinals(), f_all.ordinals());
     }
+}
 
-    /// The ONLINE dependency-vector consistency test agrees with the
-    /// offline orphan scan on arbitrary cuts of arbitrary traces — the
-    /// vector characterization behind TP's CKPT[] mechanism.
-    #[test]
-    fn online_vectors_agree_with_orphan_scan(
-        acts in actions(3, 60),
-        cut_fracs in proptest::collection::vec(0.0f64..=1.0, 3),
-    ) {
-        use causality::online::DependencyTracker;
+/// The ONLINE dependency-vector consistency test agrees with the offline
+/// orphan scan on arbitrary cuts of arbitrary traces — the vector
+/// characterization behind TP's CKPT[] mechanism.
+#[test]
+fn online_vectors_agree_with_orphan_scan() {
+    use causality::online::DependencyTracker;
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0006 ^ case);
+        let acts = gen_actions(&mut gen, 3, 60);
+        let cut_fracs: Vec<f64> = (0..3).map(|_| gen.uniform()).collect();
         // Drive the tracker and the trace builder through the SAME event
         // sequence (mirroring build_trace's delivery discipline).
         let n = 3;
@@ -215,61 +247,84 @@ proptest! {
                 })
                 .collect(),
         );
-        prop_assert_eq!(
+        assert_eq!(
             tr.cut_is_consistent(&cut),
             is_consistent(&t, &cut),
-            "vector test disagrees with orphan scan on cut {:?}", cut.ordinals()
+            "vector test disagrees with orphan scan on cut {:?}",
+            cut.ordinals()
         );
         // And the minimal containing cut really is consistent.
         for p in t.procs() {
             for k in 0..t.checkpoints(p).len() {
                 let minimal = tr.minimal_cut_containing(p, k);
-                prop_assert!(is_consistent(&t, &minimal),
-                    "minimal cut for ({}, {}) inconsistent: {:?}", p, k, minimal.ordinals());
+                assert!(
+                    is_consistent(&t, &minimal),
+                    "minimal cut for ({}, {}) inconsistent: {:?}",
+                    p,
+                    k,
+                    minimal.ordinals()
+                );
             }
         }
     }
+}
 
-    /// Text serialization round-trips arbitrary traces exactly.
-    #[test]
-    fn textio_round_trip(acts in actions(4, 80)) {
-        use causality::textio::{from_text, to_text};
+/// Text serialization round-trips arbitrary traces exactly.
+#[test]
+fn textio_round_trip() {
+    use causality::textio::{from_text, to_text};
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0007 ^ case);
+        let acts = gen_actions(&mut gen, 4, 80);
         let t = build_trace(4, &acts);
         let back = from_text(&to_text(&t)).expect("round trip parses");
-        prop_assert_eq!(back.n_procs(), t.n_procs());
+        assert_eq!(back.n_procs(), t.n_procs());
         for p in t.procs() {
-            prop_assert_eq!(back.checkpoints(p), t.checkpoints(p));
+            assert_eq!(back.checkpoints(p), t.checkpoints(p));
         }
-        prop_assert_eq!(back.messages().len(), t.messages().len());
+        assert_eq!(back.messages().len(), t.messages().len());
         for a in t.messages() {
-            let b = back.messages().iter().find(|m| m.id == a.id)
+            let b = back
+                .messages()
+                .iter()
+                .find(|m| m.id == a.id)
                 .expect("message survives");
-            prop_assert_eq!(a.send_interval, b.send_interval);
-            prop_assert_eq!(a.recv_interval, b.recv_interval);
-            prop_assert_eq!(a.from, b.from);
-            prop_assert_eq!(a.to, b.to);
+            assert_eq!(a.send_interval, b.send_interval);
+            assert_eq!(a.recv_interval, b.recv_interval);
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
         }
         // Analyses agree on the reconstructed trace.
-        prop_assert_eq!(
+        assert_eq!(
             latest_recovery_line(&back).ordinals().to_vec(),
             latest_recovery_line(&t).ordinals().to_vec()
         );
     }
+}
 
-    /// latest_recovery_line equals the fixpoint from the latest stable cut.
-    #[test]
-    fn latest_line_definition(acts in actions(3, 50)) {
+/// latest_recovery_line equals the fixpoint from the latest stable cut.
+#[test]
+fn latest_line_definition() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0008 ^ case);
+        let acts = gen_actions(&mut gen, 3, 50);
         let t = build_trace(3, &acts);
         let a = latest_recovery_line(&t);
         let b = max_consistent_cut_below(&t, &Cut::latest(&t));
-        prop_assert_eq!(a.ordinals(), b.ordinals());
+        assert_eq!(a.ordinals(), b.ordinals());
     }
+}
 
-    /// Consistency is monotone under intersection-like lattice meet: the
-    /// componentwise minimum of two consistent cuts is consistent.
-    /// (Consistent cuts form a lattice.)
-    #[test]
-    fn consistent_cuts_closed_under_min(acts in actions(3, 50), seed_a in 0usize..3, seed_b in 0usize..3) {
+/// Consistency is monotone under intersection-like lattice meet: the
+/// componentwise minimum of two consistent cuts is consistent.
+/// (Consistent cuts form a lattice.)
+#[test]
+fn consistent_cuts_closed_under_min() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xCA_0009 ^ case);
+        let acts = gen_actions(&mut gen, 3, 50);
+        let seed_a = gen.index(3);
+        let seed_b = gen.index(3);
         let t = build_trace(3, &acts);
         // Derive two consistent cuts by pinning different processes' last
         // checkpoints and fixpointing.
@@ -286,6 +341,6 @@ proptest! {
                 .map(|(x, y)| *x.min(y))
                 .collect(),
         );
-        prop_assert!(is_consistent(&t, &meet), "meet of consistent cuts must be consistent");
+        assert!(is_consistent(&t, &meet), "meet of consistent cuts must be consistent");
     }
 }

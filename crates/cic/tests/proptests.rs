@@ -1,4 +1,4 @@
-//! Property tests: protocol executions vs. the causality oracle.
+//! Property-style tests: protocol executions vs. the causality oracle.
 //!
 //! A miniature zero-latency multi-host harness drives each protocol through
 //! random schedules of sends, receives and basic checkpoints, records a
@@ -10,13 +10,16 @@
 //!   global checkpoint (no useless checkpoints / no Z-cycles);
 //! * **QBC**: a checkpoint flagged as *replacing its predecessor* really is
 //!   equivalent — substituting it into the recovery line keeps consistency.
+//!
+//! Random cases are generated deterministically with `SimRng` (no external
+//! test dependencies).
 
 use causality::cut::{is_consistent, max_consistent_cut_containing, Cut};
 use causality::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
 use cic::coordinated::{ControlMsg, KooToueg};
 use cic::prelude::*;
 use cic::recovery::{all_index_lines, max_index};
-use proptest::prelude::*;
+use simkit::prelude::SimRng;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -27,14 +30,25 @@ enum Step {
     Send { from: usize, to_offset: usize, delay: usize },
 }
 
-fn steps(n_hosts: usize, len: usize) -> impl Strategy<Value = Vec<Step>> {
-    let step = prop_oneof![
-        (0..n_hosts, any::<bool>())
-            .prop_map(|(host, disconnect)| Step::Basic { host, disconnect }),
-        (0..n_hosts, 1..n_hosts, 0..3usize)
-            .prop_map(|(from, to_offset, delay)| Step::Send { from, to_offset, delay }),
-    ];
-    proptest::collection::vec(step, 1..len)
+/// Deterministic random schedule of at most `len - 1` steps.
+fn gen_steps(gen: &mut SimRng, n_hosts: usize, len: usize) -> Vec<Step> {
+    let n = 1 + gen.index(len - 1);
+    (0..n)
+        .map(|_| {
+            if gen.bernoulli(0.5) {
+                Step::Basic {
+                    host: gen.index(n_hosts),
+                    disconnect: gen.bernoulli(0.5),
+                }
+            } else {
+                Step::Send {
+                    from: gen.index(n_hosts),
+                    to_offset: 1 + gen.index(n_hosts - 1),
+                    delay: gen.index(3),
+                }
+            }
+        })
+        .collect()
 }
 
 /// Runs a schedule against a set of protocol instances, recording the trace.
@@ -127,39 +141,50 @@ fn make_protocols(kind: CicKind, n: usize) -> Vec<Box<dyn Protocol>> {
 }
 
 const N_HOSTS: usize = 4;
+const CASES: u64 = 48;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// BCS theorem: every same-index line is a consistent global checkpoint.
-    #[test]
-    fn bcs_index_lines_consistent(schedule in steps(N_HOSTS, 80)) {
+/// BCS theorem: every same-index line is a consistent global checkpoint.
+#[test]
+fn bcs_index_lines_consistent() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0001 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 80);
         let out = run_schedule(make_protocols(CicKind::Bcs, N_HOSTS), &schedule);
         for (k, line) in all_index_lines(&out.trace) {
-            prop_assert!(
+            assert!(
                 is_consistent(&out.trace, &line),
-                "BCS line k={k} inconsistent: {:?}", line.ordinals()
+                "BCS line k={k} inconsistent: {:?}",
+                line.ordinals()
             );
         }
     }
+}
 
-    /// QBC inherits the BCS consistency rule.
-    #[test]
-    fn qbc_index_lines_consistent(schedule in steps(N_HOSTS, 80)) {
+/// QBC inherits the BCS consistency rule.
+#[test]
+fn qbc_index_lines_consistent() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0002 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 80);
         let out = run_schedule(make_protocols(CicKind::Qbc, N_HOSTS), &schedule);
         for (k, line) in all_index_lines(&out.trace) {
-            prop_assert!(
+            assert!(
                 is_consistent(&out.trace, &line),
-                "QBC line k={k} inconsistent: {:?}", line.ordinals()
+                "QBC line k={k} inconsistent: {:?}",
+                line.ordinals()
             );
         }
     }
+}
 
-    /// QBC's refinement: selecting the LAST checkpoint of each index (the
-    /// replacement survivor) instead of the first also yields consistent
-    /// lines — the equivalence relation of [6,14] in action.
-    #[test]
-    fn qbc_replacement_lines_consistent(schedule in steps(N_HOSTS, 80)) {
+/// QBC's refinement: selecting the LAST checkpoint of each index (the
+/// replacement survivor) instead of the first also yields consistent lines —
+/// the equivalence relation of [6,14] in action.
+#[test]
+fn qbc_replacement_lines_consistent() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0003 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 80);
         let out = run_schedule(make_protocols(CicKind::Qbc, N_HOSTS), &schedule);
         let t = &out.trace;
         for k in 0..=max_index(t) {
@@ -174,114 +199,131 @@ proptest! {
                             .filter(|c| c.index == k)
                             .map(|c| c.ordinal)
                             .next_back()
-                            .or_else(|| {
-                                ckpts.iter().find(|c| c.index >= k).map(|c| c.ordinal)
-                            })
+                            .or_else(|| ckpts.iter().find(|c| c.index >= k).map(|c| c.ordinal))
                             .unwrap_or(ckpts.len())
                     })
                     .collect(),
             );
-            prop_assert!(
+            assert!(
                 is_consistent(t, &line),
-                "QBC replacement line k={k} inconsistent: {:?}", line.ordinals()
+                "QBC replacement line k={k} inconsistent: {:?}",
+                line.ordinals()
             );
         }
     }
+}
 
-    /// No protocol ever takes a useless checkpoint: each one belongs to some
-    /// consistent global checkpoint (allowing volatile completions).
-    #[test]
-    fn no_useless_checkpoints(schedule in steps(N_HOSTS, 60), kind_sel in 0usize..3) {
-        let kind = CicKind::PAPER[kind_sel];
+/// No protocol ever takes a useless checkpoint: each one belongs to some
+/// consistent global checkpoint (allowing volatile completions).
+#[test]
+fn no_useless_checkpoints() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0004 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 60);
+        let kind = CicKind::PAPER[gen.index(CicKind::PAPER.len())];
         let out = run_schedule(make_protocols(kind, N_HOSTS), &schedule);
         let t = &out.trace;
         for p in t.procs() {
             for c in t.checkpoints(p) {
-                prop_assert!(
+                assert!(
                     max_consistent_cut_containing(t, p, c.ordinal).is_some(),
-                    "{kind}: checkpoint ({p}, ord {}) is useless", c.ordinal
+                    "{kind}: checkpoint ({p}, ord {}) is useless",
+                    c.ordinal
                 );
             }
         }
     }
+}
 
-    /// QBC replacement flags are truthful: the flagged checkpoint has the
-    /// same index as its predecessor-in-index, and swapping it into the
-    /// line preserves consistency (tested via qbc_replacement_lines too;
-    /// here we check the flag-index agreement).
-    #[test]
-    fn qbc_replacement_flags_truthful(schedule in steps(N_HOSTS, 80)) {
+/// QBC replacement flags are truthful: the flagged checkpoint has the same
+/// index as its predecessor-in-index, and swapping it into the line
+/// preserves consistency (tested via qbc_replacement_lines too; here we
+/// check the flag-index agreement).
+#[test]
+fn qbc_replacement_flags_truthful() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0005 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 80);
         let out = run_schedule(make_protocols(CicKind::Qbc, N_HOSTS), &schedule);
         let t = &out.trace;
         for (host, ordinal, index) in &out.replacements {
             let ckpts = t.checkpoints(ProcId(*host));
             let me = &ckpts[*ordinal];
-            prop_assert_eq!(me.index, *index);
+            assert_eq!(me.index, *index);
             // Some earlier checkpoint of the same host carries the same
             // index (the one being replaced; ordinal 0 carries index 0).
-            prop_assert!(
+            assert!(
                 ckpts[..*ordinal].iter().any(|c| c.index == *index),
                 "replacement at ({host}, {ordinal}) has no predecessor with index {index}"
             );
         }
     }
+}
 
-    /// The number of checkpoints in the trace equals the harness count —
-    /// nothing lost, nothing double-recorded (meta-check of the harness).
-    #[test]
-    fn trace_checkpoint_accounting(schedule in steps(N_HOSTS, 60), kind_sel in 0usize..4) {
-        let kind = CicKind::ALL[kind_sel];
+/// The number of checkpoints in the trace equals the harness count —
+/// nothing lost, nothing double-recorded (meta-check of the harness).
+#[test]
+fn trace_checkpoint_accounting() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0006 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 60);
+        let kind = CicKind::ALL[gen.index(CicKind::ALL.len())];
         let out = run_schedule(make_protocols(kind, N_HOSTS), &schedule);
-        prop_assert_eq!(out.trace.total_checkpoints(), out.total_ckpts);
+        assert_eq!(out.trace.total_checkpoints(), out.total_ckpts);
     }
+}
 
-    /// On send-free schedules all protocols take exactly the basic
-    /// checkpoints (no communication ⇒ nothing induced).
-    #[test]
-    fn no_communication_no_forced(hosts in proptest::collection::vec(0..N_HOSTS, 1..40)) {
-        let schedule: Vec<Step> = hosts
-            .into_iter()
-            .map(|host| Step::Basic { host, disconnect: false })
+/// On send-free schedules all protocols take exactly the basic checkpoints
+/// (no communication ⇒ nothing induced).
+#[test]
+fn no_communication_no_forced() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0007 ^ case);
+        let n = 1 + gen.index(39);
+        let schedule: Vec<Step> = (0..n)
+            .map(|_| Step::Basic {
+                host: gen.index(N_HOSTS),
+                disconnect: false,
+            })
             .collect();
         for kind in CicKind::PAPER {
             let out = run_schedule(make_protocols(kind, N_HOSTS), &schedule);
-            prop_assert_eq!(out.trace.total_checkpoints(), schedule.len(), "{}", kind);
+            assert_eq!(out.trace.total_checkpoints(), schedule.len(), "{kind}");
         }
     }
 }
 
-proptest! {
-    /// Koo–Toueg liveness: for any dependency pattern and any delivery
-    /// order of its control messages, every session terminates with all
-    /// participants unblocked and exactly one checkpoint per participant.
-    #[test]
-    fn koo_toueg_sessions_always_terminate(
-        msgs in proptest::collection::vec((0usize..5, 1usize..5), 0..25),
-        initiator in 0usize..5,
-        delivery_picks in proptest::collection::vec(any::<u16>(), 0..200),
-    ) {
+/// Koo–Toueg liveness: for any dependency pattern and any delivery order of
+/// its control messages, every session terminates with all participants
+/// unblocked and exactly one checkpoint per participant.
+#[test]
+fn koo_toueg_sessions_always_terminate() {
+    for case in 0..256u64 {
+        let mut gen = SimRng::new(0xC1C_0008 ^ case);
         let n = 5;
+        let n_msgs = gen.index(25);
+        let initiator = gen.index(n);
         let mut procs: Vec<KooToueg> = (0..n).map(|i| KooToueg::new(i, n)).collect();
         // Build random transitive dependencies from an app-message pattern.
-        for &(from, off) in &msgs {
-            let to = (from + off) % n;
+        for _ in 0..n_msgs {
+            let from = gen.index(n);
+            let to = (from + 1 + gen.index(n - 1)) % n;
             let pb = procs[from].piggyback();
             procs[to].on_app_message(from, &pb);
         }
         // Initiate one session and pump its control messages to quiescence,
-        // choosing the next delivery pseudo-randomly from the picks.
+        // choosing the next delivery pseudo-randomly.
         let mut pending: Vec<(usize, usize, ControlMsg)> = Vec::new(); // (from, to, msg)
         let act0 = procs[initiator].initiate(1);
         let mut ckpts = u64::from(act0.checkpoint.is_some());
         for (to, m) in act0.send {
             pending.push((initiator, to, m));
         }
-        let mut pick_iter = delivery_picks.iter().copied().chain(std::iter::repeat(0));
         let mut steps = 0;
         while !pending.is_empty() {
             steps += 1;
-            prop_assert!(steps < 10_000, "session did not quiesce");
-            let idx = (pick_iter.next().unwrap() as usize) % pending.len();
+            assert!(steps < 10_000, "session did not quiesce");
+            let idx = gen.index(pending.len());
             let (from, to, msg) = pending.swap_remove(idx);
             let action = match msg {
                 ControlMsg::KtRequest { round } => procs[to].on_request(from, round),
@@ -298,11 +340,11 @@ proptest! {
         }
         // Liveness: nobody remains blocked.
         for (i, p) in procs.iter().enumerate() {
-            prop_assert!(!p.is_blocked(), "process {i} still blocked");
+            assert!(!p.is_blocked(), "process {i} still blocked");
         }
         // Each participant checkpointed exactly once this session.
         let participated = procs.iter().filter(|p| p.count() > 0).count() as u64;
-        prop_assert_eq!(ckpts, participated);
-        prop_assert!(ckpts >= 1, "at least the initiator checkpoints");
+        assert_eq!(ckpts, participated);
+        assert!(ckpts >= 1, "at least the initiator checkpoints");
     }
 }

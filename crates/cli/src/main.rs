@@ -35,7 +35,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv]\n  mck fig N   [--reps R] [--seed S] [--csv]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S]\n  mck list\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S]\n  mck inspect <artifact.json>\n  mck list\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -49,6 +49,9 @@ const KNOWN: &[&str] = &[
     "reps",
     "ps",
     "dup",
+    "trace",
+    "metrics",
+    "out-dir",
 ];
 const BOOLEAN: &[&str] = &["csv"];
 
@@ -66,6 +69,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         Some("recovery-time") => cmd_recovery_time(&args),
         Some("topologies") => cmd_topologies(&args),
         Some("contention") => cmd_contention(&args),
+        Some("inspect") => cmd_inspect(&args),
         Some("list") => Ok(cmd_list()),
         Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
         None => Err(ArgError("no command given".into())),
@@ -95,24 +99,40 @@ fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
 
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
     let cfg = config_of(args)?;
-    let r = Simulation::run(cfg);
-    let mut out = String::new();
-    out += &format!("protocol        {}\n", r.protocol);
-    out += &format!("seed            {}\n", r.seed);
-    out += &format!("N_tot           {}\n", r.n_tot());
-    out += &format!("  cell-switch   {}\n", r.ckpts.cell_switch);
-    out += &format!("  disconnect    {}\n", r.ckpts.disconnect);
-    out += &format!("  forced        {}\n", r.ckpts.forced);
-    out += &format!("replacements    {}\n", r.replacements);
-    out += &format!("handoffs        {}\n", r.handoffs);
-    out += &format!("disconnects     {}\n", r.disconnects);
-    out += &format!("msgs sent/dlv   {}/{}\n", r.msgs_sent, r.msgs_delivered);
-    out += &format!("piggyback bytes {}\n", r.net.piggyback_bytes);
-    out += &format!("searches        {}\n", r.net.searches);
-    out += &format!("ckpt bytes (wl) {}\n", r.net.ckpt_wireless_bytes);
-    out += &format!("ckpt fetches    {} ({} bytes)\n", r.net.ckpt_fetches, r.net.ckpt_fetch_bytes);
-    out += &format!("events          {}\n", r.events);
+    let trace_path = args.get("trace").map(std::path::PathBuf::from);
+    let metrics_path = args.get("metrics").map(std::path::PathBuf::from);
+
+    let mut instr = Instrumentation::off();
+    if let Some(path) = &trace_path {
+        let sink = simkit::trace::JsonlSink::create(path)
+            .map_err(|e| ArgError(format!("--trace {}: {e}", path.display())))?;
+        instr.tracer = simkit::trace::Tracer::disabled().with_jsonl(sink);
+    }
+    if metrics_path.is_some() {
+        instr.metrics = true;
+        instr.profile = true;
+    }
+
+    let r = Simulation::run_with(cfg.clone(), instr);
+    let mut out = r.summary_table().render();
+    if let Some(path) = &metrics_path {
+        let art = mck::artifact::run_artifact(&cfg, &r);
+        mck::artifact::write(path, &art)
+            .map_err(|e| ArgError(format!("--metrics {}: {e}", path.display())))?;
+        out += &format!("metrics artifact -> {}\n", path.display());
+    }
+    if let Some(path) = &trace_path {
+        out += &format!("trace ({} events) -> {}\n", r.trace_emitted, path.display());
+    }
     Ok(out)
+}
+
+fn cmd_inspect(args: &Args) -> Result<String, ArgError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("inspect needs an artifact path".into()))?;
+    let v = mck::artifact::read(std::path::Path::new(path)).map_err(ArgError)?;
+    mck::artifact::describe(&v).map_err(ArgError)
 }
 
 fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
@@ -121,6 +141,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let ts = args.get_f64_list("t-switch-list", &T_SWITCH_SWEEP)?;
     let base = config_of(args)?;
     let mut table = Table::new(vec!["T_switch", "N_tot", "basic", "forced"]);
+    let mut points = Vec::new();
     for t in ts {
         let mut cfg = base.clone();
         cfg.t_switch = t;
@@ -131,8 +152,18 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
             fmt_estimate(s.n_basic.mean, s.n_basic.ci95),
             fmt_estimate(s.n_forced.mean, s.n_forced.ci95),
         ]);
+        points.push((t, s));
     }
-    Ok(render(args, &table, &format!("{} sweep", base.protocol.name())))
+    let mut out = render(args, &table, &format!("{} sweep", base.protocol.name()));
+    if let Some(dir) = args.get("out-dir") {
+        let path = std::path::Path::new(dir)
+            .join(format!("SWEEP_{}.json", base.protocol.name()));
+        let art = mck::artifact::sweep_artifact(&base, seed, reps, &points);
+        mck::artifact::write(&path, &art)
+            .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
+        out += &format!("sweep artifact -> {}\n", path.display());
+    }
+    Ok(out)
 }
 
 fn cmd_fig(args: &Args) -> Result<String, ArgError> {
@@ -157,6 +188,13 @@ fn cmd_fig(args: &Args) -> Result<String, ArgError> {
         let res = experiments::run_figure(&spec, seed, reps);
         out += &format!("{}\n", spec.caption());
         out += &render(args, &res.table(), "");
+        if let Some(dir) = args.get("out-dir") {
+            let path = std::path::Path::new(dir).join(format!("FIG{id}.json"));
+            let art = mck::artifact::figure_artifact(&res, seed, reps);
+            mck::artifact::write(&path, &art)
+                .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
+            out += &format!("figure artifact -> {}\n", path.display());
+        }
         out += "\n";
     }
     Ok(out)
@@ -312,6 +350,7 @@ fn cmd_list() -> String {
     out += "  recovery-time: recovery-line collection cost per protocol\n";
     out += "  topologies: cell-adjacency graph ablation\n";
     out += "  contention: wireless channel contention at finite bandwidth\n";
+    out += "  inspect:  summarize a JSON artifact written by run/sweep/fig\n";
     out
 }
 
@@ -357,7 +396,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("N_tot"));
-        assert!(out.contains("protocol        BCS"));
+        assert!(out.contains("BCS"));
     }
 
     #[test]
@@ -386,6 +425,46 @@ mod tests {
         assert!(dispatch(&raw(&["frobnicate"])).is_err());
         assert!(dispatch(&raw(&[])).is_err());
         assert!(dispatch(&raw(&["run", "--protocol", "XXX"])).is_err());
+    }
+
+    #[test]
+    fn run_writes_artifacts_and_inspect_reads_them() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join("mck_cli_test_metrics.json");
+        let trace = dir.join("mck_cli_test_trace.jsonl");
+        let out = dispatch(&raw(&[
+            "run",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "300",
+            "--t-switch",
+            "100",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics artifact ->"));
+        assert!(out.contains("trace ("));
+
+        // The metrics artifact parses and inspects.
+        let inspected = dispatch(&raw(&["inspect", metrics.to_str().unwrap()])).unwrap();
+        assert!(inspected.contains("mck.run/v1"));
+        assert!(inspected.contains("n_tot"));
+
+        // The trace stream is non-empty JSONL.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.lines().count() > 0);
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn inspect_rejects_missing_file() {
+        assert!(dispatch(&raw(&["inspect"])).is_err());
+        assert!(dispatch(&raw(&["inspect", "/nonexistent/x.json"])).is_err());
     }
 
     #[test]

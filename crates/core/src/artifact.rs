@@ -1,0 +1,524 @@
+//! Machine-readable experiment artifacts.
+//!
+//! Every artifact is a self-describing JSON document: a `schema` tag, the
+//! `mck` version that produced it, the full configuration (including seeds),
+//! and the results — metric snapshots for single runs, per-point means with
+//! 95 % confidence intervals for sweeps and figures. `mck inspect` and
+//! `scripts/ci.sh` consume these; so can any external plotting tool.
+//!
+//! Schemas (the leading path segment identifies the document kind):
+//!
+//! * `mck.run/v1` — one simulation run ([`run_artifact`]);
+//! * `mck.sweep/v1` — a `T_switch` sweep of one protocol
+//!   ([`sweep_artifact`]);
+//! * `mck.figure/v1` — one of the paper's figures ([`figure_artifact`]);
+//! * `mck.bench_figures/v1` — the bench suite's multi-figure document with
+//!   per-protocol wall-clock timings (written by `figures --json`).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use simkit::json::{self, Json};
+use simkit::stats::Estimate;
+
+use crate::config::SimConfig;
+use crate::experiments::FigureResult;
+use crate::report::RunReport;
+use crate::runner::PointSummary;
+
+/// Schema tag of single-run artifacts.
+pub const RUN_SCHEMA: &str = "mck.run/v1";
+/// Schema tag of sweep artifacts.
+pub const SWEEP_SCHEMA: &str = "mck.sweep/v1";
+/// Schema tag of figure artifacts.
+pub const FIGURE_SCHEMA: &str = "mck.figure/v1";
+/// Schema tag of the bench suite's multi-figure artifact
+/// (`figures --json BENCH_figures.json`).
+pub const BENCH_SCHEMA: &str = "mck.bench_figures/v1";
+
+/// The simulator version stamped into every artifact.
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+fn header(schema: &str) -> Vec<(String, Json)> {
+    vec![
+        ("schema".into(), Json::str(schema)),
+        ("version".into(), Json::str(version())),
+    ]
+}
+
+/// Serializes the full configuration of a run.
+pub fn config_json(cfg: &SimConfig) -> Json {
+    Json::Obj(vec![
+        ("protocol".into(), Json::str(cfg.protocol.name())),
+        ("n_mhs".into(), Json::uint(cfg.n_mhs as u64)),
+        ("n_mss".into(), Json::uint(cfg.n_mss as u64)),
+        ("p_send".into(), Json::Num(cfg.p_send)),
+        ("internal_mean".into(), Json::Num(cfg.internal_mean)),
+        ("p_switch".into(), Json::Num(cfg.p_switch)),
+        ("t_switch".into(), Json::Num(cfg.t_switch)),
+        ("heterogeneity".into(), Json::Num(cfg.heterogeneity)),
+        ("fast_factor".into(), Json::Num(cfg.fast_factor)),
+        ("disc_divisor".into(), Json::Num(cfg.disc_divisor)),
+        ("reconnect_mean".into(), Json::Num(cfg.reconnect_mean)),
+        ("wireless_latency".into(), Json::Num(cfg.latencies.wireless)),
+        ("wired_latency".into(), Json::Num(cfg.latencies.wired)),
+        ("wireless_bandwidth".into(), Json::Num(cfg.wireless_bandwidth)),
+        ("ckpt_duration".into(), Json::Num(cfg.ckpt_duration)),
+        ("dup_prob".into(), Json::Num(cfg.dup_prob)),
+        ("periodic_mean".into(), Json::Num(cfg.periodic_mean)),
+        ("payload_bytes".into(), Json::uint(cfg.payload_bytes)),
+        ("horizon".into(), Json::Num(cfg.horizon)),
+        ("seed".into(), Json::uint(cfg.seed)),
+        ("record_trace".into(), Json::Bool(cfg.record_trace)),
+    ])
+}
+
+fn estimate_json(e: &Estimate) -> Json {
+    Json::Obj(vec![
+        ("mean".into(), Json::Num(e.mean)),
+        ("ci95".into(), Json::Num(e.ci95)),
+        ("n".into(), Json::uint(e.n)),
+    ])
+}
+
+/// The single-run artifact: configuration, outcome, metric snapshot, and
+/// (when profiled) engine wall-clock statistics.
+pub fn run_artifact(cfg: &SimConfig, report: &RunReport) -> Json {
+    let mut members = header(RUN_SCHEMA);
+    members.push(("config".into(), config_json(cfg)));
+    members.push((
+        "outcome".into(),
+        Json::Obj(vec![
+            ("n_tot".into(), Json::uint(report.n_tot())),
+            ("ckpt_cell_switch".into(), Json::uint(report.ckpts.cell_switch)),
+            ("ckpt_disconnect".into(), Json::uint(report.ckpts.disconnect)),
+            ("ckpt_forced".into(), Json::uint(report.ckpts.forced)),
+            ("ckpt_periodic".into(), Json::uint(report.ckpts.periodic)),
+            ("ckpt_coordinated".into(), Json::uint(report.ckpts.coordinated)),
+            ("replacements".into(), Json::uint(report.replacements)),
+            ("handoffs".into(), Json::uint(report.handoffs)),
+            ("disconnects".into(), Json::uint(report.disconnects)),
+            ("reconnects".into(), Json::uint(report.reconnects)),
+            ("msgs_sent".into(), Json::uint(report.msgs_sent)),
+            ("msgs_delivered".into(), Json::uint(report.msgs_delivered)),
+            ("events".into(), Json::uint(report.events)),
+            ("end_time".into(), Json::Num(report.end_time)),
+            ("trace_emitted".into(), Json::uint(report.trace_emitted)),
+        ]),
+    ));
+    members.push(("metrics".into(), report.metrics.to_json()));
+    if let Some(p) = &report.profile {
+        members.push((
+            "profile".into(),
+            Json::Obj(vec![
+                ("wall_ns".into(), Json::uint(p.wall_ns)),
+                ("events_handled".into(), Json::uint(p.events_handled)),
+                ("events_per_sec".into(), Json::Num(p.events_per_sec())),
+                ("dispatch_p50_ns".into(), Json::Num(p.dispatch_ns.quantile(0.5))),
+                ("dispatch_p99_ns".into(), Json::Num(p.dispatch_ns.quantile(0.99))),
+                ("mean_queue_depth".into(), Json::Num(p.queue_depth.mean())),
+                ("max_queue_depth".into(), Json::Num(p.queue_depth.max().unwrap_or(0.0))),
+            ]),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// The sweep artifact: one protocol, `N_tot`/basic/forced estimates per
+/// swept `T_switch` value.
+pub fn sweep_artifact(
+    cfg: &SimConfig,
+    base_seed: u64,
+    replications: usize,
+    points: &[(f64, PointSummary)],
+) -> Json {
+    let mut members = header(SWEEP_SCHEMA);
+    members.push(("config".into(), config_json(cfg)));
+    members.push(("base_seed".into(), Json::uint(base_seed)));
+    members.push(("replications".into(), Json::uint(replications as u64)));
+    members.push((
+        "points".into(),
+        Json::Arr(
+            points
+                .iter()
+                .map(|(t_switch, s)| {
+                    Json::Obj(vec![
+                        ("t_switch".into(), Json::Num(*t_switch)),
+                        ("n_tot".into(), estimate_json(&s.n_tot)),
+                        ("n_basic".into(), estimate_json(&s.n_basic)),
+                        ("n_forced".into(), estimate_json(&s.n_forced)),
+                        ("piggyback_bytes".into(), estimate_json(&s.piggyback_bytes)),
+                        ("msgs_delivered".into(), estimate_json(&s.msgs_delivered)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
+/// The figure artifact: the paper-figure spec plus per-point, per-protocol
+/// `N_tot` estimates with confidence intervals.
+pub fn figure_artifact(res: &FigureResult, base_seed: u64, replications: usize) -> Json {
+    let mut members = header(FIGURE_SCHEMA);
+    members.push(("figure".into(), Json::uint(res.spec.id as u64)));
+    members.push(("caption".into(), Json::str(res.spec.caption())));
+    members.push(("p_switch".into(), Json::Num(res.spec.p_switch)));
+    members.push(("heterogeneity".into(), Json::Num(res.spec.heterogeneity)));
+    members.push(("base_seed".into(), Json::uint(base_seed)));
+    members.push(("replications".into(), Json::uint(replications as u64)));
+    members.push((
+        "points".into(),
+        Json::Arr(
+            res.points
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("t_switch".into(), Json::Num(p.t_switch)),
+                        (
+                            "n_tot".into(),
+                            Json::Obj(
+                                p.n_tot
+                                    .iter()
+                                    .map(|(name, e)| (name.clone(), estimate_json(e)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
+/// Writes an artifact as pretty-printed JSON with a trailing newline.
+pub fn write(path: &Path, artifact: &Json) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(artifact.to_pretty().as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Reads and parses an artifact file.
+pub fn read(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Validates the self-describing envelope; returns the schema tag.
+pub fn validate(v: &Json) -> Result<&str, String> {
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema' field")?;
+    v.get("version")
+        .and_then(Json::as_str)
+        .ok_or("missing 'version' field")?;
+    match schema {
+        RUN_SCHEMA => {
+            for key in ["config", "outcome", "metrics"] {
+                v.get(key).ok_or_else(|| format!("run artifact missing '{key}'"))?;
+            }
+            v.get("outcome")
+                .and_then(|o| o.get("n_tot"))
+                .and_then(Json::as_u64)
+                .ok_or("run artifact missing outcome.n_tot")?;
+        }
+        SWEEP_SCHEMA | FIGURE_SCHEMA => {
+            let points = v
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("artifact missing 'points' array")?;
+            if points.is_empty() {
+                return Err("artifact has no points".into());
+            }
+        }
+        BENCH_SCHEMA => {
+            let figs = v
+                .get("figures")
+                .and_then(Json::as_arr)
+                .ok_or("bench artifact missing 'figures' array")?;
+            if figs.is_empty() {
+                return Err("bench artifact has no figures".into());
+            }
+        }
+        other => return Err(format!("unknown schema '{other}'")),
+    }
+    Ok(schema)
+}
+
+/// Renders a human summary of an artifact (the `mck inspect` view).
+pub fn describe(v: &Json) -> Result<String, String> {
+    let schema = validate(v)?;
+    let version = v.get("version").and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!("schema   {schema}\nversion  {version}\n");
+    match schema {
+        RUN_SCHEMA => {
+            let cfg = v.get("config").expect("validated");
+            let outcome = v.get("outcome").expect("validated");
+            let s = |j: &Json, k: &str| j.get(k).map(|x| x.to_compact()).unwrap_or_default();
+            out += &format!(
+                "protocol {}\nseed     {}\n",
+                cfg.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+                s(cfg, "seed"),
+            );
+            let mut t = crate::table::Table::new(vec!["outcome", "value"]);
+            if let Some(members) = outcome.as_obj() {
+                for (k, val) in members {
+                    t.push_row(vec![k.clone(), val.to_compact()]);
+                }
+            }
+            out += &t.render();
+            if let Some(counters) = v.get("metrics").and_then(|m| m.get("counters")).and_then(Json::as_obj)
+            {
+                out += &format!("metrics  {} counters", counters.len());
+                if let Some(gauges) = v.get("metrics").and_then(|m| m.get("gauges")).and_then(Json::as_obj) {
+                    out += &format!(", {} gauges", gauges.len());
+                }
+                out.push('\n');
+            }
+            if let Some(p) = v.get("profile") {
+                out += &format!(
+                    "profile  {} events in {:.1} ms ({:.0} events/sec)\n",
+                    p.get("events_handled").and_then(Json::as_u64).unwrap_or(0),
+                    p.get("wall_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                    p.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+        SWEEP_SCHEMA | FIGURE_SCHEMA => {
+            if let Some(caption) = v.get("caption").and_then(Json::as_str) {
+                out += &format!("caption  {caption}\n");
+            }
+            let points = v.get("points").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec!["t_switch", "n_tot (mean ± ci95)"]);
+            for p in points {
+                let ts = p
+                    .get("t_switch")
+                    .and_then(Json::as_f64)
+                    .map(|x| format!("{x:.0}"))
+                    .unwrap_or_else(|| "?".into());
+                let cell = match p.get("n_tot") {
+                    // A sweep point's n_tot is itself an estimate object;
+                    // a figure point's is a per-protocol map of estimates.
+                    Some(e) if e.get("mean").is_some() => crate::table::fmt_estimate(
+                        e.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+                        e.get("ci95").and_then(Json::as_f64).unwrap_or(0.0),
+                    ),
+                    Some(Json::Obj(series)) => series
+                        .iter()
+                        .map(|(name, e)| {
+                            format!(
+                                "{name}={}",
+                                crate::table::fmt_estimate(
+                                    e.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+                                    e.get("ci95").and_then(Json::as_f64).unwrap_or(0.0),
+                                )
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    Some(e) => crate::table::fmt_estimate(
+                        e.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+                        e.get("ci95").and_then(Json::as_f64).unwrap_or(0.0),
+                    ),
+                    None => "?".into(),
+                };
+                t.push_row(vec![ts, cell]);
+            }
+            out += &t.render();
+        }
+        BENCH_SCHEMA => {
+            let figs = v.get("figures").and_then(Json::as_arr).expect("validated");
+            let mut t =
+                crate::table::Table::new(vec!["figure", "points", "wall (ms)", "protocols timed"]);
+            for f in figs {
+                let id = f
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "?".into());
+                let points = f
+                    .get("result")
+                    .and_then(|r| r.get("points"))
+                    .and_then(Json::as_arr)
+                    .map_or(0, <[Json]>::len);
+                let wall = f
+                    .get("wall_ms")
+                    .and_then(Json::as_f64)
+                    .map(|x| format!("{x:.0}"))
+                    .unwrap_or_else(|| "?".into());
+                let timed = f
+                    .get("timings")
+                    .and_then(Json::as_arr)
+                    .map_or_else(String::new, |ts| {
+                        ts.iter()
+                            .filter_map(|t| t.get("protocol").and_then(Json::as_str))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    });
+                t.push_row(vec![id, points.to_string(), wall, timed]);
+            }
+            out += &t.render();
+        }
+        _ => unreachable!("validate admits only known schemas"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolChoice;
+    use crate::simulation::{Instrumentation, Simulation};
+    use cic::CicKind;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            protocol: ProtocolChoice::Cic(CicKind::Qbc),
+            t_switch: 100.0,
+            horizon: 300.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_artifact_validates_and_describes() {
+        let cfg = small_cfg();
+        let report = Simulation::run_with(
+            cfg.clone(),
+            Instrumentation {
+                metrics: true,
+                profile: true,
+                ..Instrumentation::off()
+            },
+        );
+        let art = run_artifact(&cfg, &report);
+        assert_eq!(validate(&art).unwrap(), RUN_SCHEMA);
+        let text = describe(&art).unwrap();
+        assert!(text.contains("QBC"));
+        assert!(text.contains("n_tot"));
+        // Round trip through the serialized form.
+        let parsed = json::parse(&art.to_pretty()).unwrap();
+        assert_eq!(validate(&parsed).unwrap(), RUN_SCHEMA);
+        assert_eq!(
+            parsed.get("outcome").and_then(|o| o.get("n_tot")).and_then(Json::as_u64),
+            Some(report.n_tot()),
+        );
+        // The metric snapshot made it into the artifact intact.
+        let metrics = simkit::metrics::MetricsSnapshot::from_json(parsed.get("metrics").unwrap());
+        assert_eq!(metrics.unwrap().counter("ckpt.total"), Some(report.n_tot()));
+    }
+
+    #[test]
+    fn figure_artifact_carries_cis() {
+        use crate::experiments::{run_figure, FigureSpec};
+        let spec = FigureSpec {
+            id: 2,
+            p_switch: 0.8,
+            heterogeneity: 0.0,
+            t_switch_values: vec![100.0],
+            protocols: vec![CicKind::Bcs, CicKind::Qbc],
+        };
+        let res = run_figure(&spec, 1, 2);
+        let art = figure_artifact(&res, 1, 2);
+        assert_eq!(validate(&art).unwrap(), FIGURE_SCHEMA);
+        let point = &art.get("points").and_then(Json::as_arr).unwrap()[0];
+        let bcs = point.get("n_tot").and_then(|n| n.get("BCS")).unwrap();
+        assert!(bcs.get("mean").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(bcs.get("n").and_then(Json::as_u64), Some(2));
+        assert!(describe(&art).unwrap().contains("BCS="));
+    }
+
+    #[test]
+    fn write_and_read_round_trip() {
+        let cfg = small_cfg();
+        let report = Simulation::run(cfg.clone());
+        let art = run_artifact(&cfg, &report);
+        let path = std::env::temp_dir().join("mck_artifact_test.json");
+        write(&path, &art).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(validate(&back).unwrap(), RUN_SCHEMA);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_artifact_describe_shows_estimates() {
+        use crate::runner::summarize_point;
+        let mut cfg = small_cfg();
+        let mut points = Vec::new();
+        for t_switch in [100.0, 200.0] {
+            cfg.t_switch = t_switch;
+            points.push((t_switch, summarize_point(&cfg, 1, 2)));
+        }
+        let art = sweep_artifact(&cfg, 1, 2, &points);
+        assert_eq!(validate(&art).unwrap(), SWEEP_SCHEMA);
+        let text = describe(&art).unwrap();
+        // The estimate must surface with its real mean, not a zeroed
+        // rendering (the sweep's n_tot is an estimate object, not a
+        // per-protocol map).
+        let e = &points[0].1.n_tot;
+        assert!(e.mean > 0.0);
+        assert!(
+            text.contains(&crate::table::fmt_estimate(e.mean, e.ci95)),
+            "describe must show the sweep estimate: {text}"
+        );
+        assert!(!text.contains("mean=0.0 ci95=0.0"));
+    }
+
+    #[test]
+    fn bench_artifact_validates_and_describes() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str(BENCH_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            (
+                "figures".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("id".into(), Json::uint(2)),
+                    ("wall_ms".into(), Json::Num(12.5)),
+                    (
+                        "timings".into(),
+                        Json::Arr(vec![Json::Obj(vec![
+                            ("protocol".into(), Json::str("QBC")),
+                            ("wall_ms".into(), Json::Num(3.0)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ]);
+        assert_eq!(validate(&doc).unwrap(), BENCH_SCHEMA);
+        let text = describe(&doc).unwrap();
+        assert!(text.contains("QBC"));
+        // An empty figure list is rejected.
+        let empty = Json::Obj(vec![
+            ("schema".into(), Json::str(BENCH_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            ("figures".into(), Json::Arr(vec![])),
+        ]);
+        assert!(validate(&empty).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate(&Json::Null).is_err());
+        let bad = Json::Obj(vec![
+            ("schema".into(), Json::str("mck.nope/v9")),
+            ("version".into(), Json::str("0")),
+        ]);
+        assert!(validate(&bad).is_err());
+        let empty_sweep = Json::Obj(vec![
+            ("schema".into(), Json::str(SWEEP_SCHEMA)),
+            ("version".into(), Json::str("0")),
+            ("points".into(), Json::Arr(vec![])),
+        ]);
+        assert!(validate(&empty_sweep).is_err());
+    }
+}

@@ -18,7 +18,9 @@
 //!   extension experiments, each as a reproducible spec;
 //! * [`failure`] — failure injection and rollback-cost measurement (the
 //!   paper's future work);
-//! * [`table`] — plain-text/CSV rendering of result series.
+//! * [`table`] — plain-text/CSV rendering of result series;
+//! * [`artifact`] — self-describing JSON experiment artifacts (run
+//!   manifests, sweep/figure results with confidence intervals).
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 mod coord;
 pub mod experiments;
@@ -59,6 +62,6 @@ pub mod prelude {
     pub use crate::failure;
     pub use crate::report::{CkptBreakdown, RunReport};
     pub use crate::runner::{run_replications, summarize_point, PointSummary};
-    pub use crate::simulation::Simulation;
+    pub use crate::simulation::{Instrumentation, Simulation};
     pub use cic::CicKind;
 }

@@ -6,6 +6,11 @@
 
 use causality::trace::Trace;
 use mobnet::NetMetrics;
+use simkit::driver::EngineProfile;
+use simkit::metrics::MetricsSnapshot;
+use simkit::trace::MemorySink;
+
+use crate::table::Table;
 
 /// Checkpoint counts by cause.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,6 +85,15 @@ pub struct RunReport {
     pub trace: Option<Trace>,
     /// Debugging event log (empty unless `log_capacity > 0`).
     pub log: simkit::log::EventLog,
+    /// Named metric snapshot (empty unless the run was instrumented with a
+    /// metrics registry — see `Instrumentation`).
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock engine profile (present only for profiled runs).
+    pub profile: Option<EngineProfile>,
+    /// Retained trace records, when a memory sink was attached.
+    pub trace_events: Option<MemorySink>,
+    /// Total structured trace events emitted (0 when tracing was off).
+    pub trace_emitted: u64,
 }
 
 impl RunReport {
@@ -106,6 +120,57 @@ impl RunReport {
         } else {
             self.ckpts.forced as f64 / total as f64
         }
+    }
+
+    /// The run's headline numbers as a two-column table (the `mck run`
+    /// output view).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(vec!["metric", "value"]);
+        let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+        row("protocol", self.protocol.clone());
+        row("seed", self.seed.to_string());
+        row("N_tot", self.n_tot().to_string());
+        row("  cell-switch", self.ckpts.cell_switch.to_string());
+        row("  disconnect", self.ckpts.disconnect.to_string());
+        row("  forced", self.ckpts.forced.to_string());
+        if self.ckpts.periodic > 0 {
+            row("  periodic", self.ckpts.periodic.to_string());
+        }
+        if self.ckpts.coordinated > 0 {
+            row("  coordinated", self.ckpts.coordinated.to_string());
+        }
+        row("replacements", self.replacements.to_string());
+        row("handoffs", self.handoffs.to_string());
+        row("disconnects", self.disconnects.to_string());
+        row(
+            "msgs sent/dlv",
+            format!("{}/{}", self.msgs_sent, self.msgs_delivered),
+        );
+        row("piggyback bytes", self.net.piggyback_bytes.to_string());
+        row("searches", self.net.searches.to_string());
+        row("ckpt bytes (wl)", self.net.ckpt_wireless_bytes.to_string());
+        row(
+            "ckpt fetches",
+            format!("{} ({} bytes)", self.net.ckpt_fetches, self.net.ckpt_fetch_bytes),
+        );
+        row("events", self.events.to_string());
+        if self.trace_emitted > 0 {
+            row("trace events", self.trace_emitted.to_string());
+        }
+        if let Some(p) = &self.profile {
+            row("wall time", format!("{:.1} ms", p.wall_ns as f64 / 1e6));
+            row("events/sec", format!("{:.0}", p.events_per_sec()));
+            row(
+                "dispatch p50/p99",
+                format!(
+                    "{:.0}/{:.0} ns",
+                    p.dispatch_ns.quantile(0.5),
+                    p.dispatch_ns.quantile(0.99)
+                ),
+            );
+            row("mean queue depth", format!("{:.1}", p.queue_depth.mean()));
+        }
+        t
     }
 }
 
@@ -152,10 +217,16 @@ mod tests {
             channel_queueing_delay: 0.0,
             trace: None,
             log: simkit::log::EventLog::disabled(),
+            metrics: MetricsSnapshot::default(),
+            profile: None,
+            trace_events: None,
+            trace_emitted: 0,
         };
         assert_eq!(r.n_tot(), 20);
         assert!((r.ckpt_rate() - 0.2).abs() < 1e-12);
         assert!((r.forced_fraction() - 0.4).abs() < 1e-12);
+        let table = r.summary_table();
+        assert!(table.render().contains("N_tot"));
     }
 
     #[test]
@@ -180,6 +251,10 @@ mod tests {
             channel_queueing_delay: 0.0,
             trace: None,
             log: simkit::log::EventLog::disabled(),
+            metrics: MetricsSnapshot::default(),
+            profile: None,
+            trace_events: None,
+            trace_emitted: 0,
         };
         assert_eq!(r.ckpt_rate(), 0.0);
         assert_eq!(r.forced_fraction(), 0.0);

@@ -32,7 +32,9 @@ use mobnet::{
     AttachmentTable, CellChannels, CkptStore, Dedup, LocationService, Mailboxes, MhId, MssId,
     NetMetrics, PacketId, Queued, Topology,
 };
+use simkit::metrics::GaugeId;
 use simkit::prelude::*;
+use simkit::trace::CkptClass;
 
 use crate::config::{ProtocolChoice, SimConfig};
 use crate::coord::CoordDriver;
@@ -40,6 +42,40 @@ use crate::report::{CkptBreakdown, RunReport};
 
 /// Wire size charged for a mobility/coordination control message.
 pub(crate) const CONTROL_BYTES: u64 = 16;
+
+/// Observability attachments for one run: a structured trace stream, the
+/// metrics registry, and wall-clock profiling of the event loop.
+///
+/// The default is fully off — [`Simulation::run`] behaves exactly as before
+/// observability existed, with near-zero overhead on the hot path.
+#[derive(Default)]
+pub struct Instrumentation {
+    /// Trace stream subscriber(s); an inert tracer disables tracing.
+    pub tracer: Tracer,
+    /// Enable the named metrics registry.
+    pub metrics: bool,
+    /// Profile the event loop (wall-clock dispatch histogram, queue depth).
+    pub profile: bool,
+}
+
+impl Instrumentation {
+    /// Everything off (the behavior of a plain [`Simulation::run`]).
+    pub fn off() -> Self {
+        Instrumentation::default()
+    }
+
+    /// Maps a causality-trace checkpoint kind onto the trace-stream class.
+    fn class_of(kind: CkptKind) -> CkptClass {
+        match kind {
+            CkptKind::CellSwitch => CkptClass::CellSwitch,
+            CkptKind::Disconnect => CkptClass::Disconnect,
+            CkptKind::Forced => CkptClass::Forced,
+            CkptKind::Periodic => CkptClass::Periodic,
+            CkptKind::Coordinated => CkptClass::Coordinated,
+            CkptKind::Initial => unreachable!("initial checkpoints are implicit"),
+        }
+    }
+}
 
 /// Payload carried by an application message.
 #[derive(Debug, Clone)]
@@ -111,6 +147,13 @@ pub struct Simulation {
     pub(crate) coord: CoordDriver,
     trace: Option<TraceBuilder>,
     log: simkit::log::EventLog,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    mailbox_depth: GaugeId,
+    // Latest checkpoint index per host and their minimum, for emitting
+    // recovery-line-advance trace events.
+    ckpt_line: Vec<u64>,
+    ckpt_line_min: u64,
     // Per-host RNG substreams keep runs insensitive to event interleaving
     // details of other hosts.
     workload_rng: Vec<SimRng>,
@@ -163,6 +206,11 @@ impl Simulation {
             coord,
             trace: cfg.record_trace.then(|| TraceBuilder::new(n)),
             log: simkit::log::EventLog::new(cfg.log_capacity),
+            tracer: Tracer::disabled(),
+            registry: MetricsRegistry::disabled(),
+            mailbox_depth: MetricsRegistry::disabled().gauge("mailbox.max_depth"),
+            ckpt_line: vec![0; n],
+            ckpt_line_min: 0,
             workload_rng: (0..n).map(|i| root.fork(1000 + i as u64)).collect(),
             mobility_rng: (0..n).map(|i| root.fork(2000 + i as u64)).collect(),
             net_rng: root.fork(3000),
@@ -195,17 +243,45 @@ impl Simulation {
         (sim, sched)
     }
 
-    /// Runs to the configured horizon and produces the report.
+    /// Runs to the configured horizon and produces the report
+    /// (observability off).
     pub fn run(cfg: SimConfig) -> RunReport {
+        Simulation::run_with(cfg, Instrumentation::off())
+    }
+
+    /// Runs with the given observability attachments.
+    pub fn run_with(cfg: SimConfig, instr: Instrumentation) -> RunReport {
         let horizon = SimTime::new(cfg.horizon);
         let seed = cfg.seed;
         let protocol = cfg.protocol.name().to_string();
+        let profile = instr.profile;
         let (mut sim, mut sched) = Simulation::new(cfg);
-        let out = run_until(&mut sim, &mut sched, horizon);
-        sim.into_report(protocol, seed, out)
+        sim.attach(instr);
+        if profile {
+            let (out, prof) = run_until_profiled(&mut sim, &mut sched, horizon);
+            sim.into_report(protocol, seed, out, Some(prof))
+        } else {
+            let out = run_until(&mut sim, &mut sched, horizon);
+            sim.into_report(protocol, seed, out, None)
+        }
     }
 
-    fn into_report(self, protocol: String, seed: u64, out: RunOutcome) -> RunReport {
+    /// Installs the trace stream and metrics registry (call before running).
+    pub fn attach(&mut self, instr: Instrumentation) {
+        self.tracer = instr.tracer;
+        if instr.metrics {
+            self.registry = MetricsRegistry::new();
+            self.mailbox_depth = self.registry.gauge("mailbox.max_depth");
+        }
+    }
+
+    fn into_report(
+        mut self,
+        protocol: String,
+        seed: u64,
+        out: RunOutcome,
+        profile: Option<EngineProfile>,
+    ) -> RunReport {
         let coord_round_latencies = self.coord.round_latencies().to_vec();
         let horizon = out.end_time.as_f64().max(f64::MIN_POSITIVE);
         let channel_utilization = if self.channels.is_unlimited() {
@@ -214,6 +290,11 @@ impl Simulation {
             self.channels.mean_utilization(horizon)
         };
         let channel_queueing_delay = self.channels.total_queueing_delay();
+        self.finalize_metrics(&out, channel_utilization, channel_queueing_delay);
+        let metrics = self.registry.snapshot();
+        let tracer = std::mem::take(&mut self.tracer);
+        let trace_emitted = tracer.emitted();
+        let (trace_events, _jsonl) = tracer.finish();
         RunReport {
             protocol,
             seed,
@@ -234,6 +315,99 @@ impl Simulation {
             channel_queueing_delay,
             trace: self.trace.map(TraceBuilder::finish),
             log: self.log,
+            metrics,
+            profile,
+            trace_events,
+            trace_emitted,
+        }
+    }
+
+    /// Reports the run's aggregate counters into the metrics registry so the
+    /// snapshot is a complete, named view of the run. No-op when metrics are
+    /// disabled.
+    fn finalize_metrics(&mut self, out: &RunOutcome, channel_util: f64, channel_queueing: f64) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let counters: [(&str, u64); 24] = [
+            ("ckpt.cell_switch", self.ckpts.cell_switch),
+            ("ckpt.disconnect", self.ckpts.disconnect),
+            ("ckpt.forced", self.ckpts.forced),
+            ("ckpt.periodic", self.ckpts.periodic),
+            ("ckpt.coordinated", self.ckpts.coordinated),
+            ("ckpt.total", self.ckpts.total()),
+            ("ckpt.basic", self.ckpts.basic()),
+            ("ckpt.replaced", self.replacements),
+            ("run.events", out.events_handled),
+            ("run.handoffs", self.attach.handoffs()),
+            ("run.disconnects", self.attach.disconnects()),
+            ("run.reconnects", self.attach.reconnects()),
+            ("run.blocked_sends", self.blocked_sends),
+            ("msg.sent", self.msgs_sent),
+            ("msg.delivered", self.msgs_delivered),
+            ("net.control_msgs", self.metrics.control_msgs),
+            ("net.wireless_transmissions", self.metrics.wireless_transmissions),
+            ("net.wired_hops", self.metrics.wired_hops),
+            ("net.payload_bytes", self.metrics.payload_bytes),
+            ("net.piggyback_bytes", self.metrics.piggyback_bytes),
+            ("net.ckpt_wireless_bytes", self.metrics.ckpt_wireless_bytes),
+            ("net.ckpt_fetch_bytes", self.metrics.ckpt_fetch_bytes),
+            ("net.ckpt_fetches", self.metrics.ckpt_fetches),
+            ("net.searches", self.metrics.searches),
+        ];
+        for (name, value) in counters {
+            let id = self.registry.counter(name);
+            self.registry.add(id, value);
+        }
+        let gauges: [(&str, f64); 3] = [
+            ("run.end_time", out.end_time.as_f64()),
+            ("channel.mean_utilization", channel_util),
+            ("channel.total_queueing_delay", channel_queueing),
+        ];
+        for (name, value) in gauges {
+            let id = self.registry.gauge(name);
+            self.registry.set(id, value);
+        }
+        let energy = mobnet::EnergyModel::default();
+        for i in 0..self.cfg.n_mhs {
+            let mh = MhId(i);
+            let pairs: [(String, u64); 3] = [
+                (format!("mh.{i}.ckpts"), self.per_mh_ckpts[i]),
+                (
+                    format!("mh.{i}.wireless_transmissions"),
+                    self.metrics.per_mh_wireless[i],
+                ),
+                (format!("mh.{i}.wireless_bytes"), self.metrics.per_mh_bytes[i]),
+            ];
+            for (name, value) in pairs {
+                let id = self.registry.counter(&name);
+                self.registry.add(id, value);
+            }
+            let g = self.registry.gauge(&format!("mh.{i}.energy"));
+            self.registry.set(g, self.metrics.energy_of(mh, energy));
+        }
+    }
+
+    /// Emits a checkpoint trace event and, when the globally consistent
+    /// recovery line advanced, a recovery-line event too.
+    fn trace_checkpoint(&mut self, now: SimTime, mh: MhId, index: u64, kind: CkptKind, replaced: bool) {
+        self.tracer.emit(
+            now,
+            TraceEvent::Checkpoint {
+                mh: mh.idx(),
+                index,
+                class: Instrumentation::class_of(kind),
+                replaced,
+            },
+        );
+        let i = mh.idx();
+        if index > self.ckpt_line[i] {
+            self.ckpt_line[i] = index;
+            let min = *self.ckpt_line.iter().min().expect("at least one host");
+            if min > self.ckpt_line_min {
+                self.ckpt_line_min = min;
+                self.tracer.emit(now, TraceEvent::RecoveryLine { index: min });
+            }
         }
     }
 
@@ -271,6 +445,9 @@ impl Simulation {
         }
         if let Some(trace) = &mut self.trace {
             trace.checkpoint(ProcId(mh.idx()), now.as_f64(), index, kind);
+        }
+        if self.tracer.is_active() {
+            self.trace_checkpoint(now, mh, index, kind, replaces);
         }
         let mss = self.attach.attachment(mh).responsible_mss();
         let transfer = self.store.checkpoint(mh, mss, now.as_f64());
@@ -325,6 +502,16 @@ impl Simulation {
                 .expect("mobility fires only while connected");
             let neighbors = self.cfg.cell_graph.neighbors(cur, self.cfg.n_mss);
             let new_cell = *self.mobility_rng[mh.idx()].choose(&neighbors);
+            if self.tracer.is_active() {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Handoff {
+                        mh: mh.idx(),
+                        from_cell: cur.idx(),
+                        to_cell: new_cell.idx(),
+                    },
+                );
+            }
             let handoff = self.attach.handoff(mh, new_cell);
             // Two wireless control messages (old MSS, new MSS).
             self.metrics.control_msgs += u64::from(handoff.control_msgs);
@@ -346,6 +533,16 @@ impl Simulation {
                     format!("{mh} disconnects"),
                 );
             }
+            if self.tracer.is_active() {
+                let cell = self.attach.cell_of(mh).expect("disconnecting host is connected");
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Disconnect {
+                        mh: mh.idx(),
+                        cell: cell.idx(),
+                    },
+                );
+            }
             self.attach.disconnect(mh);
             self.metrics.control_msgs += 1;
             self.metrics.charge_wireless(mh, CONTROL_BYTES);
@@ -356,9 +553,18 @@ impl Simulation {
         }
     }
 
-    fn on_reconnect(&mut self, sched: &mut Scheduler<Ev>, mh: MhId) {
+    fn on_reconnect(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
         let i = mh.idx();
         let cell = MssId(self.mobility_rng[i].index(self.cfg.n_mss));
+        if self.tracer.is_active() {
+            self.tracer.emit(
+                now,
+                TraceEvent::Reconnect {
+                    mh: i,
+                    cell: cell.idx(),
+                },
+            );
+        }
         let was_buffering = self.attach.reconnect(mh, cell);
         self.metrics.control_msgs += 1;
         self.metrics.charge_wireless(mh, CONTROL_BYTES);
@@ -425,6 +631,17 @@ impl Simulation {
         if let Some(trace) = &mut self.trace {
             trace.send(MsgId(packet.0), ProcId(i), ProcId(dest.idx()), now.as_f64());
         }
+        if self.tracer.is_active() {
+            self.tracer.emit(
+                now,
+                TraceEvent::Send {
+                    msg: packet.0,
+                    from: i,
+                    to: dest.idx(),
+                    bytes,
+                },
+            );
+        }
 
         // The current MSS locates the recipient, then forwards.
         let src_mss = self.attach.cell_of(mh).expect("sender is connected");
@@ -468,6 +685,15 @@ impl Simulation {
             };
             if !self.dedup.accept(mh, q.packet) {
                 self.metrics.duplicates_suppressed += 1;
+                if self.tracer.is_active() {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::Dedup {
+                            msg: q.packet.0,
+                            to: mh.idx(),
+                        },
+                    );
+                }
                 continue;
             }
             // Downlink: MSS → MH.
@@ -490,6 +716,16 @@ impl Simulation {
             }
             if let Some(trace) = &mut self.trace {
                 trace.recv(MsgId(q.packet.0), now.as_f64());
+            }
+            if self.tracer.is_active() {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Deliver {
+                        msg: q.packet.0,
+                        from: q.from.idx(),
+                        to: mh.idx(),
+                    },
+                );
             }
             return forced;
         }
@@ -527,9 +763,16 @@ impl Model for Simulation {
         let now = fired.time;
         match fired.event {
             Ev::Activity { mh, gen } => self.on_activity(sched, now, mh, gen),
-            Ev::Deliver { to, q } => self.mailboxes.enqueue(to, q),
+            Ev::Deliver { to, q } => {
+                self.mailboxes.enqueue(to, q);
+                if self.registry.is_enabled() {
+                    let depth = self.mailboxes.pending(to) as f64;
+                    let id = self.mailbox_depth;
+                    self.registry.set_max(id, depth);
+                }
+            }
             Ev::Mobility { mh, switch } => self.on_mobility(sched, now, mh, switch),
-            Ev::Reconnect { mh } => self.on_reconnect(sched, mh),
+            Ev::Reconnect { mh } => self.on_reconnect(sched, now, mh),
             Ev::Periodic { mh } => {
                 if self.attach.attachment(mh).is_connected() {
                     self.basic_checkpoint(now, mh, BasicReason::Periodic);

@@ -1,90 +1,101 @@
-//! Property tests for the mobile-network substrate.
+//! Property-style tests for the mobile-network substrate, expressed as plain
+//! tests over deterministically generated random cases (generated with
+//! `SimRng`, so no external test dependencies are needed).
 
 use mobnet::{
     AttachmentTable, CellGraph, CkptStore, Dedup, IncrementalModel, Mailboxes, MhId, MssId,
     PacketId, Queued,
 };
-use proptest::prelude::*;
+use simkit::prelude::SimRng;
 
-#[derive(Debug, Clone)]
-enum MailOp {
-    Enqueue { to: usize, id: u64 },
-    Pop { mh: usize },
-    Relocate { mh: usize, mss: usize },
-}
+const CASES: u64 = 64;
 
-fn mail_ops(n_mh: usize, n_mss: usize, len: usize) -> impl Strategy<Value = Vec<MailOp>> {
-    let op = prop_oneof![
-        (0..n_mh, any::<u64>()).prop_map(|(to, id)| MailOp::Enqueue { to, id }),
-        (0..n_mh).prop_map(|mh| MailOp::Pop { mh }),
-        (0..n_mh, 0..n_mss).prop_map(|(mh, mss)| MailOp::Relocate { mh, mss }),
-    ];
-    proptest::collection::vec(op, 1..len)
-}
-
-proptest! {
-    /// Mailboxes deliver each host's messages in FIFO order regardless of
-    /// interleaved relocations, and never lose or duplicate anything.
-    #[test]
-    fn mailboxes_are_fifo_and_lossless(ops in mail_ops(4, 3, 200)) {
+/// Mailboxes deliver each host's messages in FIFO order regardless of
+/// interleaved relocations, and never lose or duplicate anything.
+#[test]
+fn mailboxes_are_fifo_and_lossless() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x0B0E_0001 ^ case);
+        let n_ops = 1 + gen.index(200);
         let mut mb: Mailboxes<u64> = Mailboxes::new(&[MssId(0); 4]);
-        let mut reference: Vec<std::collections::VecDeque<u64>> =
-            vec![Default::default(); 4];
+        let mut reference: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); 4];
         let mut next_unique = 0u64;
-        for op in ops {
-            match op {
-                MailOp::Enqueue { to, id } => {
+        for _ in 0..n_ops {
+            match gen.index(3) {
+                0 => {
+                    let to = gen.index(4);
+                    let id = gen.next_u64();
                     // Make packet ids unique while keeping payload arbitrary.
                     next_unique += 1;
                     mb.enqueue(
                         MhId(to),
-                        Queued { packet: PacketId(next_unique), from: MhId((to + 1) % 4), payload: id },
+                        Queued {
+                            packet: PacketId(next_unique),
+                            from: MhId((to + 1) % 4),
+                            payload: id,
+                        },
                     );
                     reference[to].push_back(id);
                 }
-                MailOp::Pop { mh } => {
+                1 => {
+                    let mh = gen.index(4);
                     let got = mb.pop(MhId(mh)).map(|q| q.payload);
                     let want = reference[mh].pop_front();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
-                MailOp::Relocate { mh, mss } => {
+                _ => {
+                    let mh = gen.index(4);
+                    let mss = gen.index(3);
                     mb.relocate(MhId(mh), MssId(mss));
-                    prop_assert_eq!(mb.holder(MhId(mh)), MssId(mss));
+                    assert_eq!(mb.holder(MhId(mh)), MssId(mss));
                 }
             }
         }
         // Drain everything; contents must match the reference exactly.
         for (mh, queue) in reference.iter_mut().enumerate() {
             while let Some(want) = queue.pop_front() {
-                prop_assert_eq!(mb.pop(MhId(mh)).map(|q| q.payload), Some(want));
+                assert_eq!(mb.pop(MhId(mh)).map(|q| q.payload), Some(want));
             }
-            prop_assert!(mb.pop(MhId(mh)).is_none());
+            assert!(mb.pop(MhId(mh)).is_none());
         }
     }
+}
 
-    /// Dedup admits each (host, packet) exactly once under arbitrary
-    /// duplication patterns.
-    #[test]
-    fn dedup_is_exactly_once(deliveries in proptest::collection::vec((0..3usize, 0..20u64), 1..300)) {
+/// Dedup admits each (host, packet) exactly once under arbitrary duplication
+/// patterns.
+#[test]
+fn dedup_is_exactly_once() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x0B0E_0002 ^ case);
+        let n = 1 + gen.index(300);
         let mut d = Dedup::new(3);
         let mut seen = std::collections::HashSet::new();
         let mut accepted = 0u64;
-        for (mh, pkt) in deliveries {
+        for _ in 0..n {
+            let mh = gen.index(3);
+            let pkt = gen.index(20) as u64;
             let fresh = d.accept(MhId(mh), PacketId(pkt));
-            prop_assert_eq!(fresh, seen.insert((mh, pkt)));
+            assert_eq!(fresh, seen.insert((mh, pkt)));
             if fresh {
                 accepted += 1;
             }
         }
-        prop_assert_eq!(accepted as usize, seen.len());
+        assert_eq!(accepted as usize, seen.len());
     }
+}
 
-    /// Checkpoint-store accounting: totals equal the sum of per-operation
-    /// transfers, fetches happen exactly on station changes, and ordinals
-    /// count up per host.
-    #[test]
-    fn ckpt_store_accounting(moves in proptest::collection::vec((0..3usize, 0..4usize, 0.0f64..10.0), 1..100)) {
-        let model = IncrementalModel { full_bytes: 1000, tau: 5.0 };
+/// Checkpoint-store accounting: totals equal the sum of per-operation
+/// transfers, fetches happen exactly on station changes, and ordinals count
+/// up per host.
+#[test]
+fn ckpt_store_accounting() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x0B0E_0003 ^ case);
+        let n_moves = 1 + gen.index(100);
+        let model = IncrementalModel {
+            full_bytes: 1000,
+            tau: 5.0,
+        };
         let mut store = CkptStore::new(3, model);
         let mut t = 0.0;
         let mut wireless = 0u64;
@@ -92,42 +103,54 @@ proptest! {
         let mut fetches = 0u64;
         let mut last_mss: [Option<usize>; 3] = [None; 3];
         let mut counts = [0u64; 3];
-        for (mh, mss, dt) in moves {
-            t += dt;
+        for _ in 0..n_moves {
+            let mh = gen.index(3);
+            let mss = gen.index(4);
+            t += gen.uniform_in(0.0, 10.0);
             let tr = store.checkpoint(MhId(mh), MssId(mss), t);
             wireless += tr.wireless_bytes;
             fetched += tr.wired_fetch_bytes;
             match last_mss[mh] {
                 Some(prev) if prev != mss => {
-                    prop_assert_eq!(tr.fetched_from, Some(MssId(prev)));
+                    assert_eq!(tr.fetched_from, Some(MssId(prev)));
                     fetches += 1;
                 }
-                _ => prop_assert_eq!(tr.fetched_from, None),
+                _ => assert_eq!(tr.fetched_from, None),
             }
             last_mss[mh] = Some(mss);
             counts[mh] += 1;
-            prop_assert_eq!(store.latest(MhId(mh)).unwrap().ordinal, counts[mh]);
+            assert_eq!(store.latest(MhId(mh)).unwrap().ordinal, counts[mh]);
         }
-        prop_assert_eq!(store.total_wireless_bytes(), wireless);
-        prop_assert_eq!(store.total_fetch_bytes(), fetched);
-        prop_assert_eq!(store.fetches(), fetches);
-        prop_assert_eq!(store.stored(), counts.iter().sum::<u64>());
+        assert_eq!(store.total_wireless_bytes(), wireless);
+        assert_eq!(store.total_fetch_bytes(), fetched);
+        assert_eq!(store.fetches(), fetches);
+        assert_eq!(store.stored(), counts.iter().sum::<u64>());
     }
+}
 
-    /// Attachment state machine: connected count is consistent with the
-    /// history of operations; control messages are 2 per hand-off and 1
-    /// per disconnect/reconnect.
-    #[test]
-    fn attachment_control_message_accounting(ops in proptest::collection::vec((0..4usize, any::<bool>(), 0..5usize), 1..120)) {
+/// Attachment state machine: connected count is consistent with the history
+/// of operations; control messages are 2 per hand-off and 1 per
+/// disconnect/reconnect.
+#[test]
+fn attachment_control_message_accounting() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x0B0E_0004 ^ case);
+        let n_ops = 1 + gen.index(120);
         let mut t = AttachmentTable::new(vec![MssId(0); 4]);
         let mut expected_ctl = 0u64;
-        for (mh, reconnect_or_handoff, cell) in ops {
-            let mh = MhId(mh);
+        for _ in 0..n_ops {
+            let mh = MhId(gen.index(4));
+            let reconnect_or_handoff = gen.bernoulli(0.5);
+            let cell = gen.index(5);
             if t.attachment(mh).is_connected() {
                 if reconnect_or_handoff {
                     // Hand-off to a different cell.
                     let cur = t.cell_of(mh).unwrap();
-                    let target = if MssId(cell) == cur { MssId((cell + 1) % 5) } else { MssId(cell) };
+                    let target = if MssId(cell) == cur {
+                        MssId((cell + 1) % 5)
+                    } else {
+                        MssId(cell)
+                    };
                     t.handoff(mh, target);
                     expected_ctl += 2;
                 } else {
@@ -138,21 +161,26 @@ proptest! {
                 t.reconnect(mh, MssId(cell));
                 expected_ctl += 1;
             }
-            prop_assert_eq!(t.control_msgs(), expected_ctl);
+            assert_eq!(t.control_msgs(), expected_ctl);
         }
-        prop_assert_eq!(
+        assert_eq!(
             t.connected_count(),
             (0..4).filter(|&i| t.attachment(MhId(i)).is_connected()).count()
         );
-        prop_assert_eq!(t.disconnects() - (4 - t.connected_count() as u64), t.reconnects());
+        assert_eq!(t.disconnects() - (4 - t.connected_count() as u64), t.reconnects());
     }
+}
 
-    /// Cell graphs: neighbours are always valid, never self, and symmetric.
-    #[test]
-    fn cell_graphs_are_sane(n in 2usize..12, cell in 0usize..12, cols in 1usize..4) {
-        let cell = cell % n;
+/// Cell graphs: neighbours are always valid, never self, and symmetric.
+#[test]
+fn cell_graphs_are_sane() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x0B0E_0005 ^ case);
+        let n = 2 + gen.index(10);
+        let cell = gen.index(n);
+        let cols = 1 + gen.index(3);
         let mut graphs = vec![CellGraph::Complete, CellGraph::Ring];
-        if n % cols == 0 && n / cols >= 1 && (cols > 1 || n > 1) {
+        if n.is_multiple_of(cols) && n / cols >= 1 && (cols > 1 || n > 1) {
             graphs.push(CellGraph::Grid { cols });
         }
         for g in graphs {
@@ -164,11 +192,11 @@ proptest! {
                 }
             }
             let nb = g.neighbors(MssId(cell), n);
-            prop_assert!(!nb.is_empty());
+            assert!(!nb.is_empty());
             for x in &nb {
-                prop_assert!(x.idx() < n);
-                prop_assert_ne!(*x, MssId(cell));
-                prop_assert!(
+                assert!(x.idx() < n);
+                assert_ne!(*x, MssId(cell));
+                assert!(
                     g.neighbors(*x, n).contains(&MssId(cell)),
                     "asymmetric edge in {g:?}"
                 );

@@ -1,0 +1,566 @@
+//! Minimal JSON value, writer and parser.
+//!
+//! The observability layer ships machine-readable artifacts (metric
+//! snapshots, run manifests, JSONL trace streams) without pulling in serde:
+//! this module hand-rolls the small JSON subset those artifacts need.
+//!
+//! Properties that matter here:
+//!
+//! * **Deterministic output** — object members keep insertion order and
+//!   numbers use Rust's shortest-round-trip `f64` formatting (integers are
+//!   written without a fractional part), so identical data serializes to
+//!   identical bytes;
+//! * **Round-trip** — `parse(&v.to_string()) == v` for every value this
+//!   module can produce;
+//! * **Small** — no comments, no trailing commas, UTF-8 only; exactly the
+//!   JSON grammar.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve member insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience number constructor (also accepts integer types).
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// A `u64` preserved exactly when possible (above 2^53 precision is
+    /// capped by the f64 payload; simulation counters stay far below that).
+    pub fn uint(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object members, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(x) => write_number(out, *x),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+            write_value(out, &items[i], indent, d)
+        }),
+        Json::Obj(members) => write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
+            let (k, val) = &members[i];
+            write_string(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, val, indent, d);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/inf; null is the conventional stand-in.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        // Integral values print without a fractional part (and -0.0 as 0).
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        // Rust's default Display for f64 is the shortest round-trip form.
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document; the whole input must be one value (surrounding
+/// whitespace allowed).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for non-BMP characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("bad code point"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("short \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, v) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Num(0.0)),
+            ("-17", Json::Num(-17.0)),
+            ("3.25", Json::Num(3.25)),
+            ("\"hi\"", Json::str("hi")),
+        ] {
+            assert_eq!(parse(text).unwrap(), v, "{text}");
+            assert_eq!(parse(&v.to_compact()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(5.0).to_compact(), "5");
+        assert_eq!(Json::Num(-0.0).to_compact(), "0");
+        assert_eq!(Json::Num(0.5).to_compact(), "0.5");
+        assert_eq!(Json::uint(123456789).to_compact(), "123456789");
+    }
+
+    #[test]
+    fn non_finite_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("run")),
+            ("n".into(), Json::Num(3.0)),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Num(1.5), Json::Null, Json::Bool(false)]),
+            ),
+            ("nested".into(), Json::Obj(vec![("k".into(), Json::str("v"))])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" backslash\\ newline\n tab\t control\u{1} unicode\u{1F600}é";
+        let v = Json::str(s);
+        let parsed = parse(&v.to_compact()).unwrap();
+        assert_eq!(parsed.as_str(), Some(s));
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"a": 1, "b": "x", "c": [true], "d": 2.5}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_arr().unwrap()[0].as_bool(), Some(true));
+        assert_eq!(v.get("d").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("d").unwrap().as_u64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_obj().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let text = r#"{"z":1,"a":2,"m":3}"#;
+        assert_eq!(parse(text).unwrap().to_compact(), text);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 123456.789012345, 2.5e20] {
+            let s = Json::Num(x).to_compact();
+            assert_eq!(parse(&s).unwrap().as_f64(), Some(x), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "[1 2]", "1 2",
+            "{\"a\":}", "nul", "\"\\q\"", "--1",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = parse(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

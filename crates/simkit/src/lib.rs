@@ -9,13 +9,20 @@
 //! * [`calendar::CalendarQueue`] — the classic O(1)-amortized alternative
 //!   pending-event structure, equivalence-tested against the heap;
 //! * [`driver`] — the generic pop/dispatch event loop;
-//! * [`rng::SimRng`] — a seedable RNG with order-independent substreams and
-//!   the distributions the paper's model needs (exponential, Bernoulli,
-//!   discrete uniform);
+//! * [`rng::SimRng`] — a self-contained xoshiro256++ RNG with
+//!   order-independent substreams and the distributions the paper's model
+//!   needs (exponential, Bernoulli, discrete uniform);
 //! * [`stats`] — counters, Welford tallies, time-weighted averages,
 //!   log-binned histograms, batch means, and Student-t confidence
 //!   intervals for replication summaries;
-//! * [`log`] — a bounded, taggable event log for post-mortem debugging.
+//! * [`log`] — a bounded, taggable event log for post-mortem debugging;
+//! * [`metrics`] — a named counter/gauge/histogram registry, near-zero
+//!   cost when disabled, snapshotable to JSON;
+//! * [`trace`] — a typed, deterministic event stream with pluggable sinks
+//!   (bounded memory ring, JSON Lines);
+//! * [`json`] — a dependency-free JSON value type, writer, and parser with
+//!   deterministic output, used by metrics snapshots, trace streams, and
+//!   experiment artifacts.
 //!
 //! Everything is `forbid(unsafe_code)`, allocation-light, and exactly
 //! reproducible given a seed.
@@ -55,18 +62,28 @@
 pub mod calendar;
 pub mod driver;
 pub mod event;
+pub mod json;
 pub mod log;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::calendar::CalendarQueue;
-    pub use crate::driver::{run_until, Control, Model, RunOutcome};
+    pub use crate::driver::{
+        run_until, run_until_profiled, Control, EngineProfile, Model, RunOutcome,
+    };
     pub use crate::event::{EventHandle, Fired, Scheduler};
+    pub use crate::json::Json;
     pub use crate::log::{EventLog, Level, LogEntry};
+    pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use crate::rng::SimRng;
     pub use crate::stats::{BatchMeans, Counter, Estimate, LogHistogram, Tally, TimeWeighted};
     pub use crate::time::SimTime;
+    pub use crate::trace::{
+        CkptClass, JsonlSink, MemorySink, TraceEvent, TraceRecord, TraceSink, Tracer,
+    };
 }

@@ -175,6 +175,35 @@ mod tests {
     }
 
     #[test]
+    fn exact_capacity_drops_nothing() {
+        // The boundary case: filling the ring to exactly its capacity must
+        // not evict — eviction starts only on the (capacity+1)-th record.
+        let mut log = EventLog::new(3);
+        for i in 0..3 {
+            log.record(t(i as f64), Level::Debug, "x", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 0);
+        log.record(t(3.0), Level::Debug, "x", "m3".into());
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.entries().next().unwrap().message, "m1");
+    }
+
+    #[test]
+    fn capacity_zero_never_counts_drops() {
+        // A disabled log discards silently: nothing retained, nothing
+        // counted as dropped, and dump() stays empty.
+        let mut log = EventLog::new(0);
+        for i in 0..10 {
+            log.record(t(i as f64), Level::Warn, "x", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.dropped(), 0);
+        assert!(log.dump().is_empty());
+    }
+
+    #[test]
     fn tag_filtering() {
         let mut log = EventLog::new(10);
         log.record(t(1.0), Level::Info, "ckpt", "c1".into());

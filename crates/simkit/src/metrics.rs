@@ -1,0 +1,458 @@
+//! Named-metric registry.
+//!
+//! A [`MetricsRegistry`] is the single place a simulation reports its
+//! accounting: monotone **counters** (checkpoints, messages, bytes),
+//! last-value **gauges** (queue depths, channel occupancy) and log-scale
+//! **histograms** (latencies, dispatch times). Components register a metric
+//! once by static name and keep the returned typed handle; the hot-path
+//! update through a handle is an array index — and on a *disabled* registry
+//! registration returns a sentinel handle whose updates are a branch and a
+//! return, so instrumentation can stay compiled in unconditionally.
+//!
+//! A registry can be frozen into a [`MetricsSnapshot`] — a plain, sorted,
+//! serializable view used by reports, artifacts and the CLI's table views.
+
+use crate::json::Json;
+use crate::stats::LogHistogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+const DISABLED: usize = usize::MAX;
+
+/// Registry of named counters, gauges and log-scale histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, LogHistogram)>,
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// A disabled registry: registration hands out sentinel handles and all
+    /// updates are near-zero-cost no-ops.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or re-fetches) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if !self.enabled {
+            return CounterId(DISABLED);
+        }
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if id.0 == DISABLED {
+            return;
+        }
+        self.counters[id.0].1 += n;
+    }
+
+    /// Adds one to a counter.
+    #[inline]
+    pub fn incr(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter (0 on a disabled registry).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        if id.0 == DISABLED {
+            0
+        } else {
+            self.counters[id.0].1
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if !self.enabled {
+            return GaugeId(DISABLED);
+        }
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge to `value`.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if id.0 == DISABLED {
+            return;
+        }
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Sets a gauge to `value` if it exceeds the current reading (high-water
+    /// mark tracking).
+    #[inline]
+    pub fn set_max(&mut self, id: GaugeId, value: f64) {
+        if id.0 == DISABLED {
+            return;
+        }
+        let g = &mut self.gauges[id.0].1;
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Current value of a gauge (0 on a disabled registry).
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        if id.0 == DISABLED {
+            0.0
+        } else {
+            self.gauges[id.0].1
+        }
+    }
+
+    /// Registers (or re-fetches) a log-scale histogram by name.
+    pub fn histogram(&mut self, name: &str, first_edge: f64, growth: f64, bins: usize) -> HistogramId {
+        if !self.enabled {
+            return HistogramId(DISABLED);
+        }
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), LogHistogram::new(first_edge, growth, bins)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Records one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, x: f64) {
+        if id.0 == DISABLED {
+            return;
+        }
+        self.histograms[id.0].1.record(x);
+    }
+
+    /// Freezes the current state into a sorted, serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges = self.gauges.clone();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                count: h.count(),
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+                bins: h.iter().filter(|(_, c)| *c > 0).collect(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One histogram frozen for reporting: quantiles plus non-empty bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Approximate median (a bin upper edge).
+    pub p50: f64,
+    /// Approximate 99th percentile (a bin upper edge).
+    pub p99: f64,
+    /// `(upper_edge, count)` for bins with at least one observation.
+    pub bins: Vec<(f64, u64)>,
+}
+
+/// An immutable, name-sorted view of a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::uint(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&h.name)),
+                                ("count".into(), Json::uint(h.count)),
+                                ("p50".into(), Json::Num(h.p50)),
+                                ("p99".into(), Json::Num(h.p99)),
+                                (
+                                    "bins".into(),
+                                    Json::Arr(
+                                        h.bins
+                                            .iter()
+                                            .map(|(edge, c)| {
+                                                Json::Arr(vec![
+                                                    Json::Num(*edge),
+                                                    Json::uint(*c),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a snapshot from its [`MetricsSnapshot::to_json`] form.
+    pub fn from_json(v: &Json) -> Option<MetricsSnapshot> {
+        let counters = v
+            .get("counters")?
+            .as_obj()?
+            .iter()
+            .map(|(n, val)| Some((n.clone(), val.as_u64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        let gauges = v
+            .get("gauges")?
+            .as_obj()?
+            .iter()
+            .map(|(n, val)| Some((n.clone(), val.as_f64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        let histograms = v
+            .get("histograms")?
+            .as_arr()?
+            .iter()
+            .map(|h| {
+                Some(HistogramSnapshot {
+                    name: h.get("name")?.as_str()?.to_string(),
+                    count: h.get("count")?.as_u64()?,
+                    p50: h.get("p50")?.as_f64()?,
+                    p99: h.get("p99")?.as_f64()?,
+                    bins: h
+                        .get("bins")?
+                        .as_arr()?
+                        .iter()
+                        .map(|b| {
+                            let pair = b.as_arr()?;
+                            Some((pair.first()?.as_f64()?, pair.get(1)?.as_u64()?))
+                        })
+                        .collect::<Option<Vec<_>>>()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_arithmetic() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("ckpt.total");
+        let b = r.counter("msgs.sent");
+        r.incr(a);
+        r.add(a, 4);
+        r.incr(b);
+        assert_eq!(r.counter_value(a), 5);
+        assert_eq!(r.counter_value(b), 1);
+        // Re-registration returns the same handle and value.
+        let a2 = r.counter("ckpt.total");
+        assert_eq!(a, a2);
+        assert_eq!(r.counter_value(a2), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let mut r = MetricsRegistry::new();
+        let g = r.gauge("queue.depth");
+        r.set(g, 3.0);
+        assert_eq!(r.gauge_value(g), 3.0);
+        r.set_max(g, 2.0);
+        assert_eq!(r.gauge_value(g), 3.0);
+        r.set_max(g, 7.5);
+        assert_eq!(r.gauge_value(g), 7.5);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("lat", 1.0, 2.0, 8);
+        for x in [0.5, 1.5, 3.0, 3.5, 100.0] {
+            r.observe(h, x);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.p50, 4.0);
+        let total: u64 = hs.bins.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn disabled_registry_is_noop() {
+        let mut r = MetricsRegistry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x");
+        let g = r.gauge("y");
+        let h = r.histogram("z", 1.0, 2.0, 4);
+        r.incr(c);
+        r.set(g, 9.0);
+        r.set_max(g, 10.0);
+        r.observe(h, 1.0);
+        assert_eq!(r.counter_value(c), 0);
+        assert_eq!(r.gauge_value(g), 0.0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let mut r = MetricsRegistry::new();
+        let z = r.counter("zz");
+        let a = r.counter("aa");
+        r.add(z, 2);
+        r.incr(a);
+        let g = r.gauge("gg");
+        r.set(g, 1.25);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "aa");
+        assert_eq!(snap.counters[1].0, "zz");
+        assert_eq!(snap.counter("zz"), Some(2));
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("gg"), Some(1.25));
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn prefix_queries() {
+        let mut r = MetricsRegistry::new();
+        for (name, n) in [("mh.0.ckpts", 3), ("mh.1.ckpts", 5), ("net.bytes", 7)] {
+            let c = r.counter(name);
+            r.add(c, n);
+        }
+        let snap = r.snapshot();
+        let per_mh: Vec<_> = snap.counters_with_prefix("mh.").collect();
+        assert_eq!(per_mh, vec![("mh.0.ckpts", 3), ("mh.1.ckpts", 5)]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("n_tot");
+        r.add(c, 42);
+        let g = r.gauge("occupancy");
+        r.set(g, 0.75);
+        let h = r.histogram("lat", 1.0, 2.0, 6);
+        r.observe(h, 2.5);
+        r.observe(h, 40.0);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_json(&crate::json::parse(&snap.to_json().to_compact()).unwrap())
+            .unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -10,12 +10,10 @@
 //! derived with a SplitMix64 mix of `(seed, stream-id)`, the standard way to
 //! decorrelate lanes from one master seed.
 //!
-//! The distributions needed by the paper's model are implemented directly
-//! (inverse-transform exponential, Bernoulli, discrete uniform) to keep the
-//! dependency surface at just `rand`.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna), and the
+//! distributions needed by the paper's model are implemented directly
+//! (inverse-transform exponential, Bernoulli, discrete uniform), so this
+//! module has **zero** external dependencies.
 
 /// SplitMix64 finalizer; decorrelates derived seeds.
 #[inline]
@@ -26,10 +24,54 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// xoshiro256++ core: 256 bits of state, never all-zero.
+///
+/// Reference implementation: <https://prng.di.unimi.it/xoshiro256plusplus.c>.
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the full state with a SplitMix64 stream,
+    /// the seeding procedure recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // SplitMix64 cannot emit four consecutive zeros, but keep the
+        // invariant explicit: an all-zero state is a fixed point.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Xoshiro256PlusPlus { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
 /// Deterministic simulation RNG with substream support.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
     seed: u64,
 }
 
@@ -37,7 +79,7 @@ impl SimRng {
     /// Creates a generator from a master seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256PlusPlus::seed_from_u64(splitmix64(seed)),
             seed,
         }
     }
@@ -55,7 +97,7 @@ impl SimRng {
     pub fn fork(&self, stream: u64) -> SimRng {
         let derived = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(1)));
         SimRng {
-            inner: SmallRng::seed_from_u64(derived),
+            inner: Xoshiro256PlusPlus::seed_from_u64(derived),
             seed: derived,
         }
     }
@@ -63,7 +105,8 @@ impl SimRng {
     /// Uniform draw in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits -> uniform double in [0, 1) with full mantissa.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`; panics if the range is empty or not finite.
@@ -106,7 +149,23 @@ impl SimRng {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
-        self.inner.random_range(0..n)
+        self.bounded(n as u64) as usize
+    }
+
+    /// Unbiased draw in `[0, n)` by rejection sampling on the top of the
+    /// 64-bit range (the classic "modulo with rejection zone" scheme).
+    #[inline]
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Largest multiple of n that fits in u64; draws at or above it would
+        // bias the low residues, so reject and redraw (expected < 2 draws).
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let x = self.inner.next_u64();
+            if x < zone {
+                return x % n;
+            }
+        }
     }
 
     /// Uniform index in `[0, n)` excluding `not`; panics if `n < 2`.
@@ -117,7 +176,7 @@ impl SimRng {
     pub fn index_excluding(&mut self, n: usize, not: usize) -> usize {
         assert!(n >= 2, "need at least two elements to exclude one");
         assert!(not < n, "excluded index {not} out of range {n}");
-        let raw = self.inner.random_range(0..n - 1);
+        let raw = self.bounded((n - 1) as u64) as usize;
         if raw >= not {
             raw + 1
         } else {
@@ -134,7 +193,7 @@ impl SimRng {
     /// Raw `u64` draw (for deriving ids, shuffling, etc.).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        self.inner.next_u64()
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -195,6 +254,24 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..100_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = SimRng::new(9);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.uniform()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean} too far from 0.5");
     }
 
     #[test]
@@ -263,6 +340,23 @@ mod tests {
         }
         let expect = n as f64 / 9.0;
         for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "index {i}: count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_is_roughly_uniform() {
+        let mut rng = SimRng::new(43);
+        let n = 70_000;
+        let mut counts = [0u32; 7];
+        for _ in 0..n {
+            counts[rng.index(7)] += 1;
+        }
+        let expect = n as f64 / 7.0;
+        for (i, &c) in counts.iter().enumerate() {
             assert!(
                 (c as f64 - expect).abs() < expect * 0.05,
                 "index {i}: count {c} vs expected {expect}"

@@ -1,13 +1,23 @@
-//! Property-based tests for the simkit engine invariants.
+//! Property-style tests for the simkit engine invariants.
+//!
+//! These were originally `proptest` properties; they are now expressed as
+//! plain tests iterating over deterministically generated random cases (the
+//! generator is `SimRng` itself, so the whole suite stays dependency-free and
+//! exactly reproducible).
 
-use proptest::prelude::*;
 use simkit::prelude::*;
 
-proptest! {
-    /// Events are always popped in non-decreasing time order, regardless of
-    /// the insertion order, and FIFO within equal timestamps.
-    #[test]
-    fn scheduler_orders_events(times in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+/// Number of random cases per property.
+const CASES: u64 = 64;
+
+/// Events are always popped in non-decreasing time order, regardless of the
+/// insertion order, and FIFO within equal timestamps.
+#[test]
+fn scheduler_orders_events() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0001 ^ case);
+        let n = 1 + gen.index(200);
+        let times: Vec<f64> = (0..n).map(|_| gen.uniform_in(0.0, 1000.0)).collect();
         let mut sched = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             sched.schedule_at(SimTime::new(t), i);
@@ -15,27 +25,30 @@ proptest! {
         let mut last_time = SimTime::ZERO;
         let mut seen_at_time: Vec<usize> = vec![];
         while let Some(f) = sched.pop() {
-            prop_assert!(f.time >= last_time, "time went backwards");
+            assert!(f.time >= last_time, "time went backwards");
             if f.time > last_time {
                 seen_at_time.clear();
             }
             // FIFO within ties: insertion indices at equal time are increasing.
             if let Some(&prev) = seen_at_time.last() {
                 if f.time == last_time {
-                    prop_assert!(f.event > prev, "tie broken out of FIFO order");
+                    assert!(f.event > prev, "tie broken out of FIFO order");
                 }
             }
             seen_at_time.push(f.event);
             last_time = f.time;
         }
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn cancellation_removes_exactly_the_cancelled(
-        times in proptest::collection::vec(0.0f64..100.0, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn cancellation_removes_exactly_the_cancelled() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0002 ^ case);
+        let n = 1 + gen.index(100);
+        let times: Vec<f64> = (0..n).map(|_| gen.uniform_in(0.0, 100.0)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| gen.bernoulli(0.5)).collect();
         let mut sched = Scheduler::new();
         let handles: Vec<_> = times
             .iter()
@@ -44,8 +57,8 @@ proptest! {
             .collect();
         let mut expected: Vec<usize> = vec![];
         for (i, h) in &handles {
-            if cancel_mask.get(*i).copied().unwrap_or(false) {
-                prop_assert!(sched.cancel(*h));
+            if cancel_mask[*i] {
+                assert!(sched.cancel(*h));
             } else {
                 expected.push(*i);
             }
@@ -56,28 +69,43 @@ proptest! {
         }
         popped.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(popped, expected);
+        assert_eq!(popped, expected);
     }
+}
 
-    /// The exponential sampler is non-negative and scales with its mean.
-    #[test]
-    fn exponential_scales(seed in any::<u64>(), mean in 0.001f64..1000.0) {
+/// The exponential sampler is non-negative and scales with its mean.
+#[test]
+fn exponential_scales() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0003 ^ case);
+        let seed = gen.next_u64();
+        let mean = gen.uniform_in(0.001, 1000.0);
         let mut rng = SimRng::new(seed);
         let n = 2000;
-        let sum: f64 = (0..n).map(|_| {
-            let x = rng.exp(mean);
-            assert!(x >= 0.0);
-            x
-        }).sum();
+        let sum: f64 = (0..n)
+            .map(|_| {
+                let x = rng.exp(mean);
+                assert!(x >= 0.0);
+                x
+            })
+            .sum();
         let sample_mean = sum / n as f64;
-        // Loose 4-sigma-ish bound: sd of the mean is mean/sqrt(n).
-        prop_assert!((sample_mean - mean).abs() < 5.0 * mean / (n as f64).sqrt() + 1e-9,
-            "sample mean {} for mean {}", sample_mean, mean);
+        // Loose 5-sigma bound: sd of the mean is mean/sqrt(n).
+        assert!(
+            (sample_mean - mean).abs() < 5.0 * mean / (n as f64).sqrt() + 1e-9,
+            "sample mean {sample_mean} for mean {mean} (case {case})"
+        );
     }
+}
 
-    /// Forked substreams are reproducible and order-independent.
-    #[test]
-    fn fork_reproducibility(seed in any::<u64>(), streams in proptest::collection::vec(any::<u64>(), 1..10)) {
+/// Forked substreams are reproducible and order-independent.
+#[test]
+fn fork_reproducibility() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0004 ^ case);
+        let seed = gen.next_u64();
+        let n = 1 + gen.index(10);
+        let streams: Vec<u64> = (0..n).map(|_| gen.next_u64()).collect();
         let root = SimRng::new(seed);
         let first: Vec<Vec<u64>> = streams
             .iter()
@@ -90,14 +118,19 @@ proptest! {
         for (i, &s) in streams.iter().enumerate().rev() {
             let mut r = root.fork(s);
             let again: Vec<u64> = (0..10).map(|_| r.next_u64()).collect();
-            prop_assert_eq!(&again, &first[i]);
+            assert_eq!(again, first[i]);
         }
     }
+}
 
-    /// Tally::merge is equivalent to recording sequentially, at any split.
-    #[test]
-    fn tally_merge_any_split(xs in proptest::collection::vec(-1e6f64..1e6, 2..200), split_frac in 0.0f64..1.0) {
-        let split = ((xs.len() as f64) * split_frac) as usize;
+/// Tally::merge is equivalent to recording sequentially, at any split.
+#[test]
+fn tally_merge_any_split() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0005 ^ case);
+        let n = 2 + gen.index(198);
+        let xs: Vec<f64> = (0..n).map(|_| gen.uniform_in(-1e6, 1e6)).collect();
+        let split = gen.index(n + 1);
         let mut whole = Tally::new();
         for &x in &xs {
             whole.record(x);
@@ -111,21 +144,26 @@ proptest! {
             b.record(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
     }
+}
 
-    /// index_excluding is a bijection-respecting remap: never the excluded
-    /// index, always in range.
-    #[test]
-    fn index_excluding_in_range(seed in any::<u64>(), n in 2usize..50, k in 0usize..49) {
-        let not = k % n;
+/// index_excluding is a bijection-respecting remap: never the excluded
+/// index, always in range.
+#[test]
+fn index_excluding_in_range() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0006 ^ case);
+        let seed = gen.next_u64();
+        let n = 2 + gen.index(48);
+        let not = gen.index(n);
         let mut rng = SimRng::new(seed);
         for _ in 0..200 {
             let i = rng.index_excluding(n, not);
-            prop_assert!(i < n);
-            prop_assert_ne!(i, not);
+            assert!(i < n);
+            assert_ne!(i, not);
         }
     }
 }
@@ -169,30 +207,29 @@ fn runs_are_deterministic() {
     assert_ne!(run(99).0, run(100).0);
 }
 
-proptest! {
-    /// The calendar queue and the binary-heap scheduler agree exactly on
-    /// any interleaving of schedules and pops (same times, same FIFO
-    /// tie-breaking) — two pending-event-set implementations validating
-    /// each other.
-    #[test]
-    fn calendar_queue_matches_heap(
-        ops in proptest::collection::vec((any::<bool>(), 0.0f64..500.0), 1..300),
-    ) {
-        use simkit::calendar::CalendarQueue;
+/// The calendar queue and the binary-heap scheduler agree exactly on any
+/// interleaving of schedules and pops (same times, same FIFO tie-breaking)
+/// — two pending-event-set implementations validating each other.
+#[test]
+fn calendar_queue_matches_heap() {
+    use simkit::calendar::CalendarQueue;
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0007 ^ case);
+        let n_ops = 1 + gen.index(300);
         let mut heap = Scheduler::new();
         let mut cal = CalendarQueue::new();
         let mut next_id = 0u64;
         let mut frontier = 0.0f64; // latest popped time: schedule at/after it
-        for (is_pop, raw_t) in ops {
-            if is_pop {
+        for _ in 0..n_ops {
+            if gen.bernoulli(0.5) {
                 let from_heap = heap.pop().map(|f| (f.time, f.event));
                 let from_cal = cal.pop();
-                prop_assert_eq!(&from_heap, &from_cal);
+                assert_eq!(from_heap, from_cal);
                 if let Some((t, _)) = from_heap {
                     frontier = t.as_f64();
                 }
             } else {
-                let at = SimTime::new(frontier + raw_t);
+                let at = SimTime::new(frontier + gen.uniform_in(0.0, 500.0));
                 next_id += 1;
                 heap.schedule_at(at, next_id);
                 cal.schedule_at(at, next_id);
@@ -202,7 +239,7 @@ proptest! {
         loop {
             let a = heap.pop().map(|f| (f.time, f.event));
             let b = cal.pop();
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b);
             if a.is_none() {
                 break;
             }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint, and a smoke run that proves the
+# observability pipeline produces a valid machine-readable artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> smoke: mck run --metrics"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+    --metrics "$out_dir/run.json" --trace "$out_dir/trace.jsonl" >/dev/null
+
+# The artifact must parse and validate (mck inspect does both).
+./target/release/mck inspect "$out_dir/run.json" | grep -q "mck.run/v1"
+# The trace stream must be non-empty JSONL.
+[ -s "$out_dir/trace.jsonl" ]
+
+echo "ci: all green"

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/causality-1939453d29938b4c.d: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+/root/repo/target/debug/deps/causality-1939453d29938b4c: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+crates/causality/src/lib.rs:
+crates/causality/src/clock.rs:
+crates/causality/src/cut.rs:
+crates/causality/src/online.rs:
+crates/causality/src/recovery.rs:
+crates/causality/src/rgraph.rs:
+crates/causality/src/textio.rs:
+crates/causality/src/trace.rs:
+crates/causality/src/zpath.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/causality-4acd91e1623a7ead.d: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+/root/repo/target/debug/deps/libcausality-4acd91e1623a7ead.rlib: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+/root/repo/target/debug/deps/libcausality-4acd91e1623a7ead.rmeta: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+crates/causality/src/lib.rs:
+crates/causality/src/clock.rs:
+crates/causality/src/cut.rs:
+crates/causality/src/online.rs:
+crates/causality/src/recovery.rs:
+crates/causality/src/rgraph.rs:
+crates/causality/src/textio.rs:
+crates/causality/src/trace.rs:
+crates/causality/src/zpath.rs:

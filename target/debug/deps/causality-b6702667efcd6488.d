@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/causality-b6702667efcd6488.d: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausality-b6702667efcd6488.rmeta: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs Cargo.toml
+
+crates/causality/src/lib.rs:
+crates/causality/src/clock.rs:
+crates/causality/src/cut.rs:
+crates/causality/src/online.rs:
+crates/causality/src/recovery.rs:
+crates/causality/src/rgraph.rs:
+crates/causality/src/textio.rs:
+crates/causality/src/trace.rs:
+crates/causality/src/zpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cic-aa8e5e015231a732.d: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+/root/repo/target/debug/deps/libcic-aa8e5e015231a732.rlib: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+/root/repo/target/debug/deps/libcic-aa8e5e015231a732.rmeta: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+crates/cic/src/lib.rs:
+crates/cic/src/bcs.rs:
+crates/cic/src/coordinated.rs:
+crates/cic/src/piggyback.rs:
+crates/cic/src/protocol.rs:
+crates/cic/src/qbc.rs:
+crates/cic/src/recovery.rs:
+crates/cic/src/tp.rs:
+crates/cic/src/uncoordinated.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cic-b56d26a2b3e98802.d: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcic-b56d26a2b3e98802.rmeta: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs Cargo.toml
+
+crates/cic/src/lib.rs:
+crates/cic/src/bcs.rs:
+crates/cic/src/coordinated.rs:
+crates/cic/src/piggyback.rs:
+crates/cic/src/protocol.rs:
+crates/cic/src/qbc.rs:
+crates/cic/src/recovery.rs:
+crates/cic/src/tp.rs:
+crates/cic/src/uncoordinated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

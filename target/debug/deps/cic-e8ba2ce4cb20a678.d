@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cic-e8ba2ce4cb20a678.d: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+/root/repo/target/debug/deps/cic-e8ba2ce4cb20a678: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+crates/cic/src/lib.rs:
+crates/cic/src/bcs.rs:
+crates/cic/src/coordinated.rs:
+crates/cic/src/piggyback.rs:
+crates/cic/src/protocol.rs:
+crates/cic/src/qbc.rs:
+crates/cic/src/recovery.rs:
+crates/cic/src/tp.rs:
+crates/cic/src/uncoordinated.rs:

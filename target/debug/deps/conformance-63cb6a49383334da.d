@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conformance-63cb6a49383334da.d: crates/cic/tests/conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconformance-63cb6a49383334da.rmeta: crates/cic/tests/conformance.rs Cargo.toml
+
+crates/cic/tests/conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

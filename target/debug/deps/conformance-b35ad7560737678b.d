@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conformance-b35ad7560737678b.d: crates/cic/tests/conformance.rs
+
+/root/repo/target/debug/deps/conformance-b35ad7560737678b: crates/cic/tests/conformance.rs
+
+crates/cic/tests/conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coordinated_baselines-05ab5ee3dff1968d.d: crates/suite/../../tests/coordinated_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoordinated_baselines-05ab5ee3dff1968d.rmeta: crates/suite/../../tests/coordinated_baselines.rs Cargo.toml
+
+crates/suite/../../tests/coordinated_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coordinated_baselines-f9a76edc5f7eb43d.d: crates/suite/../../tests/coordinated_baselines.rs
+
+/root/repo/target/debug/deps/coordinated_baselines-f9a76edc5f7eb43d: crates/suite/../../tests/coordinated_baselines.rs
+
+crates/suite/../../tests/coordinated_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-4208399da27b6d0e.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-4208399da27b6d0e.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

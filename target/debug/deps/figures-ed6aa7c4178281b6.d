@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ed6aa7c4178281b6.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ed6aa7c4178281b6: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

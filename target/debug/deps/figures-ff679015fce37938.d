@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ff679015fce37938.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ff679015fce37938: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

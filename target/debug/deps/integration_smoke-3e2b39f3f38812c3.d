@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_smoke-3e2b39f3f38812c3.d: crates/suite/../../tests/integration_smoke.rs
+
+/root/repo/target/debug/deps/integration_smoke-3e2b39f3f38812c3: crates/suite/../../tests/integration_smoke.rs
+
+crates/suite/../../tests/integration_smoke.rs:

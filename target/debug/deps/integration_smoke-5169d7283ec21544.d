@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_smoke-5169d7283ec21544.d: crates/suite/../../tests/integration_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_smoke-5169d7283ec21544.rmeta: crates/suite/../../tests/integration_smoke.rs Cargo.toml
+
+crates/suite/../../tests/integration_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

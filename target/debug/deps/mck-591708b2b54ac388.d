@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mck-591708b2b54ac388.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/mck-591708b2b54ac388: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mck-6abb6e11706ab982.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/mck-6abb6e11706ab982: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mck-6f2d828ce3d88657.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/libmck-6f2d828ce3d88657.rlib: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/libmck-6f2d828ce3d88657.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/config.rs:
+crates/core/src/coord.rs:
+crates/core/src/experiments.rs:
+crates/core/src/failure.rs:
+crates/core/src/gc.rs:
+crates/core/src/plot.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/simulation.rs:
+crates/core/src/table.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

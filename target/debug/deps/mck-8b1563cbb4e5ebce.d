@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mck-8b1563cbb4e5ebce.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/mck-8b1563cbb4e5ebce: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mck-d288e4ebc6cab2f9.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmck-d288e4ebc6cab2f9.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/config.rs:
+crates/core/src/coord.rs:
+crates/core/src/experiments.rs:
+crates/core/src/failure.rs:
+crates/core/src/gc.rs:
+crates/core/src/plot.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/simulation.rs:
+crates/core/src/table.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mck-fe3aaf1c7659e721.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/mck-fe3aaf1c7659e721: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

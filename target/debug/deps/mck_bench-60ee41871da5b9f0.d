@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mck_bench-60ee41871da5b9f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mck_bench-60ee41871da5b9f0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

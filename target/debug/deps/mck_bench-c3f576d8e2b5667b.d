@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mck_bench-c3f576d8e2b5667b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmck_bench-c3f576d8e2b5667b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmck_bench-c3f576d8e2b5667b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

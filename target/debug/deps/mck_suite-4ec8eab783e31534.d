@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mck_suite-4ec8eab783e31534.d: crates/suite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmck_suite-4ec8eab783e31534.rmeta: crates/suite/src/lib.rs Cargo.toml
+
+crates/suite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

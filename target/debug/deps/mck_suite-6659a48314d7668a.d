@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mck_suite-6659a48314d7668a.d: crates/suite/src/lib.rs
+
+/root/repo/target/debug/deps/libmck_suite-6659a48314d7668a.rlib: crates/suite/src/lib.rs
+
+/root/repo/target/debug/deps/libmck_suite-6659a48314d7668a.rmeta: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

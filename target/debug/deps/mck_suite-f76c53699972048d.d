@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mck_suite-f76c53699972048d.d: crates/suite/src/lib.rs
+
+/root/repo/target/debug/deps/mck_suite-f76c53699972048d: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

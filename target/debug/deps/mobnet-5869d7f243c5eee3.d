@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mobnet-5869d7f243c5eee3.d: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobnet-5869d7f243c5eee3.rmeta: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs Cargo.toml
+
+crates/mobnet/src/lib.rs:
+crates/mobnet/src/attachment.rs:
+crates/mobnet/src/channel.rs:
+crates/mobnet/src/delivery.rs:
+crates/mobnet/src/ids.rs:
+crates/mobnet/src/location.rs:
+crates/mobnet/src/metrics.rs:
+crates/mobnet/src/storage.rs:
+crates/mobnet/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobnet-cd1741b43fe18cdc.d: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+/root/repo/target/debug/deps/mobnet-cd1741b43fe18cdc: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+crates/mobnet/src/lib.rs:
+crates/mobnet/src/attachment.rs:
+crates/mobnet/src/channel.rs:
+crates/mobnet/src/delivery.rs:
+crates/mobnet/src/ids.rs:
+crates/mobnet/src/location.rs:
+crates/mobnet/src/metrics.rs:
+crates/mobnet/src/storage.rs:
+crates/mobnet/src/topology.rs:

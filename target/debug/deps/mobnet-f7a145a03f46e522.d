@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mobnet-f7a145a03f46e522.d: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+/root/repo/target/debug/deps/libmobnet-f7a145a03f46e522.rlib: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+/root/repo/target/debug/deps/libmobnet-f7a145a03f46e522.rmeta: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+crates/mobnet/src/lib.rs:
+crates/mobnet/src/attachment.rs:
+crates/mobnet/src/channel.rs:
+crates/mobnet/src/delivery.rs:
+crates/mobnet/src/ids.rs:
+crates/mobnet/src/location.rs:
+crates/mobnet/src/metrics.rs:
+crates/mobnet/src/storage.rs:
+crates/mobnet/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-1323522e4472aca6.d: crates/suite/../../tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-1323522e4472aca6.rmeta: crates/suite/../../tests/observability.rs Cargo.toml
+
+crates/suite/../../tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

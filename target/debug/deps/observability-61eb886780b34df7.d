@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-61eb886780b34df7.d: crates/suite/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-61eb886780b34df7: crates/suite/../../tests/observability.rs
+
+crates/suite/../../tests/observability.rs:

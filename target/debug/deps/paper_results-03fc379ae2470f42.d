@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-03fc379ae2470f42.d: crates/suite/../../tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-03fc379ae2470f42: crates/suite/../../tests/paper_results.rs
+
+crates/suite/../../tests/paper_results.rs:

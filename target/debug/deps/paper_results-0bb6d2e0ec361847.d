@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_results-0bb6d2e0ec361847.d: crates/suite/../../tests/paper_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_results-0bb6d2e0ec361847.rmeta: crates/suite/../../tests/paper_results.rs Cargo.toml
+
+crates/suite/../../tests/paper_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0a709c65a8ba088a.d: crates/cic/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0a709c65a8ba088a: crates/cic/tests/proptests.rs
+
+crates/cic/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1552c66c3cd2766e.d: crates/cic/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1552c66c3cd2766e.rmeta: crates/cic/tests/proptests.rs Cargo.toml
+
+crates/cic/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

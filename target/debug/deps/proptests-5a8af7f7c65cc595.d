@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5a8af7f7c65cc595.d: crates/simkit/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5a8af7f7c65cc595: crates/simkit/tests/proptests.rs
+
+crates/simkit/tests/proptests.rs:

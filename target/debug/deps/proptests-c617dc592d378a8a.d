@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c617dc592d378a8a.d: crates/mobnet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c617dc592d378a8a: crates/mobnet/tests/proptests.rs
+
+crates/mobnet/tests/proptests.rs:

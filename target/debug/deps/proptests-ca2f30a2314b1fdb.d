@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ca2f30a2314b1fdb.d: crates/causality/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ca2f30a2314b1fdb: crates/causality/tests/proptests.rs
+
+crates/causality/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d177aac7c6447dc2.d: crates/mobnet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d177aac7c6447dc2.rmeta: crates/mobnet/tests/proptests.rs Cargo.toml
+
+crates/mobnet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d9f7328df9e9ad6f.d: crates/simkit/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d9f7328df9e9ad6f.rmeta: crates/simkit/tests/proptests.rs Cargo.toml
+
+crates/simkit/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f9d2de4a9e5e5dc2.d: crates/causality/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f9d2de4a9e5e5dc2.rmeta: crates/causality/tests/proptests.rs Cargo.toml
+
+crates/causality/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

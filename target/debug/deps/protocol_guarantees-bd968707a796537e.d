@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_guarantees-bd968707a796537e.d: crates/suite/../../tests/protocol_guarantees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_guarantees-bd968707a796537e.rmeta: crates/suite/../../tests/protocol_guarantees.rs Cargo.toml
+
+crates/suite/../../tests/protocol_guarantees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

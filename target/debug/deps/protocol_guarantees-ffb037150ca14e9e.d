@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_guarantees-ffb037150ca14e9e.d: crates/suite/../../tests/protocol_guarantees.rs
+
+/root/repo/target/debug/deps/protocol_guarantees-ffb037150ca14e9e: crates/suite/../../tests/protocol_guarantees.rs
+
+crates/suite/../../tests/protocol_guarantees.rs:

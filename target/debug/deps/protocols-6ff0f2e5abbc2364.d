@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocols-6ff0f2e5abbc2364.d: crates/bench/benches/protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocols-6ff0f2e5abbc2364.rmeta: crates/bench/benches/protocols.rs Cargo.toml
+
+crates/bench/benches/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-a61d93c528e7ed4d.d: crates/bench/benches/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-a61d93c528e7ed4d.rmeta: crates/bench/benches/recovery.rs Cargo.toml
+
+crates/bench/benches/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-633c2661746e698e.d: crates/suite/../../tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-633c2661746e698e: crates/suite/../../tests/sim_properties.rs
+
+crates/suite/../../tests/sim_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_properties-d851d9c520742985.d: crates/suite/../../tests/sim_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_properties-d851d9c520742985.rmeta: crates/suite/../../tests/sim_properties.rs Cargo.toml
+
+crates/suite/../../tests/sim_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

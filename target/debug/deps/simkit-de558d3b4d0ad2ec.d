@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/simkit-de558d3b4d0ad2ec.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimkit-de558d3b4d0ad2ec.rmeta: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/calendar.rs:
+crates/simkit/src/driver.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/log.rs:
+crates/simkit/src/metrics.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/class_comparison-090eb78567ed82d0.d: crates/suite/../../examples/class_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclass_comparison-090eb78567ed82d0.rmeta: crates/suite/../../examples/class_comparison.rs Cargo.toml
+
+crates/suite/../../examples/class_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

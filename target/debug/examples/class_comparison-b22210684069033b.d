@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/class_comparison-b22210684069033b.d: crates/suite/../../examples/class_comparison.rs
+
+/root/repo/target/debug/examples/class_comparison-b22210684069033b: crates/suite/../../examples/class_comparison.rs
+
+crates/suite/../../examples/class_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure2_mini-19547761bc920880.d: crates/suite/../../examples/figure2_mini.rs
+
+/root/repo/target/debug/examples/figure2_mini-19547761bc920880: crates/suite/../../examples/figure2_mini.rs
+
+crates/suite/../../examples/figure2_mini.rs:

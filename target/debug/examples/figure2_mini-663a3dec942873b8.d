@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure2_mini-663a3dec942873b8.d: crates/suite/../../examples/figure2_mini.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure2_mini-663a3dec942873b8.rmeta: crates/suite/../../examples/figure2_mini.rs Cargo.toml
+
+crates/suite/../../examples/figure2_mini.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneity-1926034863551111.d: crates/suite/../../examples/heterogeneity.rs
+
+/root/repo/target/debug/examples/heterogeneity-1926034863551111: crates/suite/../../examples/heterogeneity.rs
+
+crates/suite/../../examples/heterogeneity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneity-e18c4c29f1465be8.d: crates/suite/../../examples/heterogeneity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneity-e18c4c29f1465be8.rmeta: crates/suite/../../examples/heterogeneity.rs Cargo.toml
+
+crates/suite/../../examples/heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-49f30d73114fb7cc.d: crates/suite/../../examples/observability.rs
+
+/root/repo/target/debug/examples/observability-49f30d73114fb7cc: crates/suite/../../examples/observability.rs
+
+crates/suite/../../examples/observability.rs:

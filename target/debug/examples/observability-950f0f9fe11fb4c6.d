@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/observability-950f0f9fe11fb4c6.d: crates/suite/../../examples/observability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libobservability-950f0f9fe11fb4c6.rmeta: crates/suite/../../examples/observability.rs Cargo.toml
+
+crates/suite/../../examples/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

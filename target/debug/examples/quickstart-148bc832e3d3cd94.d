@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-148bc832e3d3cd94.d: crates/suite/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-148bc832e3d3cd94: crates/suite/../../examples/quickstart.rs
+
+crates/suite/../../examples/quickstart.rs:

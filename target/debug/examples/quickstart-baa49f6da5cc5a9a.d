@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-baa49f6da5cc5a9a.d: crates/suite/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-baa49f6da5cc5a9a.rmeta: crates/suite/../../examples/quickstart.rs Cargo.toml
+
+crates/suite/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recovery_demo-491ee3775e53f08d.d: crates/suite/../../examples/recovery_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecovery_demo-491ee3775e53f08d.rmeta: crates/suite/../../examples/recovery_demo.rs Cargo.toml
+
+crates/suite/../../examples/recovery_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recovery_demo-786866a7d5590590.d: crates/suite/../../examples/recovery_demo.rs
+
+/root/repo/target/debug/examples/recovery_demo-786866a7d5590590: crates/suite/../../examples/recovery_demo.rs
+
+crates/suite/../../examples/recovery_demo.rs:

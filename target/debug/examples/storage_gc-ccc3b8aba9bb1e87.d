@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_gc-ccc3b8aba9bb1e87.d: crates/suite/../../examples/storage_gc.rs
+
+/root/repo/target/debug/examples/storage_gc-ccc3b8aba9bb1e87: crates/suite/../../examples/storage_gc.rs
+
+crates/suite/../../examples/storage_gc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_gc-ed3a659208094e94.d: crates/suite/../../examples/storage_gc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_gc-ed3a659208094e94.rmeta: crates/suite/../../examples/storage_gc.rs Cargo.toml
+
+crates/suite/../../examples/storage_gc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-4b99ac8d5d7aee3e.d: crates/suite/../../examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-4b99ac8d5d7aee3e: crates/suite/../../examples/trace_export.rs
+
+crates/suite/../../examples/trace_export.rs:

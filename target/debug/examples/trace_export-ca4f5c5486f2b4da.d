@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_export-ca4f5c5486f2b4da.d: crates/suite/../../examples/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_export-ca4f5c5486f2b4da.rmeta: crates/suite/../../examples/trace_export.rs Cargo.toml
+
+crates/suite/../../examples/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

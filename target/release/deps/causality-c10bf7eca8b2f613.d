@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/causality-c10bf7eca8b2f613.d: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+/root/repo/target/release/deps/libcausality-c10bf7eca8b2f613.rlib: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+/root/repo/target/release/deps/libcausality-c10bf7eca8b2f613.rmeta: crates/causality/src/lib.rs crates/causality/src/clock.rs crates/causality/src/cut.rs crates/causality/src/online.rs crates/causality/src/recovery.rs crates/causality/src/rgraph.rs crates/causality/src/textio.rs crates/causality/src/trace.rs crates/causality/src/zpath.rs
+
+crates/causality/src/lib.rs:
+crates/causality/src/clock.rs:
+crates/causality/src/cut.rs:
+crates/causality/src/online.rs:
+crates/causality/src/recovery.rs:
+crates/causality/src/rgraph.rs:
+crates/causality/src/textio.rs:
+crates/causality/src/trace.rs:
+crates/causality/src/zpath.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cic-19b2e8e69db84aae.d: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+/root/repo/target/release/deps/libcic-19b2e8e69db84aae.rlib: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+/root/repo/target/release/deps/libcic-19b2e8e69db84aae.rmeta: crates/cic/src/lib.rs crates/cic/src/bcs.rs crates/cic/src/coordinated.rs crates/cic/src/piggyback.rs crates/cic/src/protocol.rs crates/cic/src/qbc.rs crates/cic/src/recovery.rs crates/cic/src/tp.rs crates/cic/src/uncoordinated.rs
+
+crates/cic/src/lib.rs:
+crates/cic/src/bcs.rs:
+crates/cic/src/coordinated.rs:
+crates/cic/src/piggyback.rs:
+crates/cic/src/protocol.rs:
+crates/cic/src/qbc.rs:
+crates/cic/src/recovery.rs:
+crates/cic/src/tp.rs:
+crates/cic/src/uncoordinated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-304ccf76be122e4f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-304ccf76be122e4f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mck-76760ed17b9a9834.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/mck-76760ed17b9a9834: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/mck-a6b0c86acade02f4.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs
+
+/root/repo/target/release/deps/libmck-a6b0c86acade02f4.rlib: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs
+
+/root/repo/target/release/deps/libmck-a6b0c86acade02f4.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/config.rs crates/core/src/coord.rs crates/core/src/experiments.rs crates/core/src/failure.rs crates/core/src/gc.rs crates/core/src/plot.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/simulation.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/config.rs:
+crates/core/src/coord.rs:
+crates/core/src/experiments.rs:
+crates/core/src/failure.rs:
+crates/core/src/gc.rs:
+crates/core/src/plot.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/simulation.rs:
+crates/core/src/table.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mck-fea0b8dff273738e.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/mck-fea0b8dff273738e: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mck_bench-da8393013d7176a1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmck_bench-da8393013d7176a1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmck_bench-da8393013d7176a1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

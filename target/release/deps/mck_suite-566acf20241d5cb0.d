@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mck_suite-566acf20241d5cb0.d: crates/suite/src/lib.rs
+
+/root/repo/target/release/deps/libmck_suite-566acf20241d5cb0.rlib: crates/suite/src/lib.rs
+
+/root/repo/target/release/deps/libmck_suite-566acf20241d5cb0.rmeta: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

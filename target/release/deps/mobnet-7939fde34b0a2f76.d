@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mobnet-7939fde34b0a2f76.d: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+/root/repo/target/release/deps/libmobnet-7939fde34b0a2f76.rlib: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+/root/repo/target/release/deps/libmobnet-7939fde34b0a2f76.rmeta: crates/mobnet/src/lib.rs crates/mobnet/src/attachment.rs crates/mobnet/src/channel.rs crates/mobnet/src/delivery.rs crates/mobnet/src/ids.rs crates/mobnet/src/location.rs crates/mobnet/src/metrics.rs crates/mobnet/src/storage.rs crates/mobnet/src/topology.rs
+
+crates/mobnet/src/lib.rs:
+crates/mobnet/src/attachment.rs:
+crates/mobnet/src/channel.rs:
+crates/mobnet/src/delivery.rs:
+crates/mobnet/src/ids.rs:
+crates/mobnet/src/location.rs:
+crates/mobnet/src/metrics.rs:
+crates/mobnet/src/storage.rs:
+crates/mobnet/src/topology.rs:

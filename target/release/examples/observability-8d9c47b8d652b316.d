@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/observability-8d9c47b8d652b316.d: crates/suite/../../examples/observability.rs
+
+/root/repo/target/release/examples/observability-8d9c47b8d652b316: crates/suite/../../examples/observability.rs
+
+crates/suite/../../examples/observability.rs:

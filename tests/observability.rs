@@ -1,0 +1,163 @@
+//! End-to-end checks of the observability layer: structured traces, the
+//! metrics registry, and machine-readable artifacts, all driven through the
+//! composed simulator.
+
+use std::path::Path;
+
+use mck::artifact;
+use mck::prelude::*;
+use simkit::json::{self, Json};
+use simkit::trace::{JsonlSink, Tracer};
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        protocol: ProtocolChoice::Cic(CicKind::Qbc),
+        t_switch: 200.0,
+        p_switch: 0.8,
+        horizon: 1000.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn traced_run(cfg: SimConfig, path: &Path) -> RunReport {
+    let sink = JsonlSink::create(path).expect("create trace file");
+    let instr = Instrumentation {
+        tracer: Tracer::disabled().with_jsonl(sink),
+        metrics: true,
+        profile: false,
+    };
+    Simulation::run_with(cfg, instr)
+}
+
+#[test]
+fn trace_streams_are_byte_identical_across_same_seed_runs() {
+    let dir = std::env::temp_dir();
+    let a_path = dir.join("mck_obs_trace_a.jsonl");
+    let b_path = dir.join("mck_obs_trace_b.jsonl");
+    let a = traced_run(cfg(7), &a_path);
+    let b = traced_run(cfg(7), &b_path);
+    assert_eq!(a.n_tot(), b.n_tot());
+    let a_bytes = std::fs::read(&a_path).unwrap();
+    let b_bytes = std::fs::read(&b_path).unwrap();
+    assert!(!a_bytes.is_empty(), "trace stream is empty");
+    assert_eq!(a_bytes, b_bytes, "same seed must yield identical traces");
+
+    // A different seed yields a different stream.
+    let c_path = dir.join("mck_obs_trace_c.jsonl");
+    let _c = traced_run(cfg(8), &c_path);
+    assert_ne!(a_bytes, std::fs::read(&c_path).unwrap());
+    for p in [&a_path, &b_path, &c_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn checkpoint_trace_events_match_n_tot() {
+    let path = std::env::temp_dir().join("mck_obs_trace_count.jsonl");
+    let r = traced_run(cfg(11), &path);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut checkpoints = 0u64;
+    let mut last_seq = None;
+    let mut lines = 0u64;
+    for line in text.lines() {
+        let v = json::parse(line).expect("every line parses as JSON");
+        let ev = v.get("ev").and_then(Json::as_str).expect("has 'ev'");
+        let seq = v.get("seq").and_then(Json::as_u64).expect("has 'seq'");
+        if let Some(prev) = last_seq {
+            assert_eq!(seq, prev + 1, "sequence numbers must be contiguous");
+        }
+        last_seq = Some(seq);
+        lines += 1;
+        if ev == "checkpoint" {
+            checkpoints += 1;
+        }
+    }
+    assert_eq!(
+        checkpoints,
+        r.n_tot(),
+        "one checkpoint trace event per counted checkpoint"
+    );
+    assert_eq!(lines, r.trace_emitted);
+    assert!(r.trace_emitted > r.n_tot(), "there are also send/deliver events");
+}
+
+#[test]
+fn memory_sink_retains_tail_of_stream() {
+    let instr = Instrumentation {
+        tracer: Tracer::disabled().with_memory(64),
+        metrics: false,
+        profile: false,
+    };
+    let r = Simulation::run_with(cfg(3), instr);
+    let mem = r.trace_events.as_ref().expect("memory sink retained");
+    assert_eq!(mem.len(), 64);
+    assert_eq!(mem.len() as u64 + mem.dropped(), r.trace_emitted);
+    // The ring keeps the newest 64 records of the stream, in order.
+    for (i, rec) in mem.records().enumerate() {
+        assert_eq!(rec.seq, mem.dropped() + i as u64);
+    }
+}
+
+#[test]
+fn metrics_snapshot_agrees_with_report() {
+    let c = cfg(5);
+    let r = Simulation::run_with(
+        c,
+        Instrumentation {
+            metrics: true,
+            ..Instrumentation::off()
+        },
+    );
+    let m = &r.metrics;
+    assert_eq!(m.counter("ckpt.total"), Some(r.n_tot()));
+    assert_eq!(m.counter("ckpt.forced"), Some(r.ckpts.forced));
+    assert_eq!(m.counter("ckpt.basic"), Some(r.ckpts.basic()));
+    assert_eq!(m.counter("msg.sent"), Some(r.msgs_sent));
+    assert_eq!(m.counter("msg.delivered"), Some(r.msgs_delivered));
+    assert_eq!(m.counter("run.handoffs"), Some(r.handoffs));
+    assert_eq!(
+        m.counter("net.piggyback_bytes"),
+        Some(r.net.piggyback_bytes)
+    );
+    // Per-MH checkpoint counters sum to the total.
+    let per_mh: u64 = (0..10)
+        .map(|i| m.counter(&format!("mh.{i}.ckpts")).unwrap_or(0))
+        .sum();
+    assert_eq!(per_mh, r.n_tot());
+    // An uninstrumented run produces an empty snapshot.
+    let plain = Simulation::run(cfg(5));
+    assert!(plain.metrics.is_empty());
+}
+
+#[test]
+fn run_artifact_round_trips_through_disk() {
+    let c = cfg(13);
+    let r = Simulation::run_with(
+        c.clone(),
+        Instrumentation {
+            metrics: true,
+            profile: true,
+            ..Instrumentation::off()
+        },
+    );
+    let art = artifact::run_artifact(&c, &r);
+    let path = std::env::temp_dir().join("mck_obs_artifact.json");
+    artifact::write(&path, &art).unwrap();
+    let back = artifact::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(artifact::validate(&back).unwrap(), artifact::RUN_SCHEMA);
+    assert_eq!(
+        back.get("outcome").and_then(|o| o.get("n_tot")).and_then(Json::as_u64),
+        Some(r.n_tot())
+    );
+    assert_eq!(
+        back.get("config").and_then(|cf| cf.get("seed")).and_then(Json::as_u64),
+        Some(13)
+    );
+    assert!(back.get("profile").is_some(), "profiled run carries a profile");
+    let text = artifact::describe(&back).unwrap();
+    assert!(text.contains("QBC"));
+}

@@ -1,109 +1,135 @@
-//! Property tests over the full simulator: invariants that must hold for
-//! *any* configuration, protocol, seed and mobility pattern.
+//! Property-style tests over the full simulator: invariants that must hold
+//! for *any* configuration, protocol, seed and mobility pattern. Cases are
+//! generated deterministically with `SimRng`.
 
 use causality::cut::is_consistent;
 use cic::recovery::all_index_lines;
 use mck::prelude::*;
-use proptest::prelude::*;
+use simkit::prelude::SimRng;
 
-fn arb_config() -> impl Strategy<Value = SimConfig> {
-    (
-        0usize..4,                       // protocol selector
-        100.0f64..2000.0,                // t_switch
-        prop_oneof![Just(1.0), 0.5f64..1.0], // p_switch
-        prop_oneof![Just(0.0), 0.0f64..0.6], // heterogeneity
-        any::<u64>(),                    // seed
-        prop_oneof![Just(0.0), 0.0f64..0.4], // dup_prob
-        2usize..12,                      // n_mhs
-        2usize..6,                       // n_mss
-    )
-        .prop_map(
-            |(proto, t_switch, p_switch, h, seed, dup_prob, n_mhs, n_mss)| SimConfig {
-                protocol: ProtocolChoice::Cic(CicKind::ALL[proto]),
-                t_switch,
-                p_switch,
-                heterogeneity: h,
-                seed,
-                dup_prob,
-                n_mhs,
-                n_mss,
-                horizon: 400.0,
-                record_trace: true,
-                ..Default::default()
-            },
-        )
+const CASES: u64 = 24;
+
+/// Deterministic random configuration mirroring the old proptest strategy.
+fn gen_config(gen: &mut SimRng) -> SimConfig {
+    let protocol = ProtocolChoice::Cic(CicKind::ALL[gen.index(4)]);
+    let t_switch = gen.uniform_in(100.0, 2000.0);
+    let p_switch = if gen.bernoulli(0.5) {
+        1.0
+    } else {
+        gen.uniform_in(0.5, 1.0)
+    };
+    let heterogeneity = if gen.bernoulli(0.5) {
+        0.0
+    } else {
+        gen.uniform_in(0.0, 0.6)
+    };
+    let seed = gen.next_u64();
+    let dup_prob = if gen.bernoulli(0.5) {
+        0.0
+    } else {
+        gen.uniform_in(0.0, 0.4)
+    };
+    let n_mhs = 2 + gen.index(10);
+    let n_mss = 2 + gen.index(4);
+    SimConfig {
+        protocol,
+        t_switch,
+        p_switch,
+        heterogeneity,
+        seed,
+        dup_prob,
+        n_mhs,
+        n_mss,
+        horizon: 400.0,
+        record_trace: true,
+        ..Default::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Structural invariants of every run.
-    #[test]
-    fn run_invariants(cfg in arb_config()) {
+/// Structural invariants of every run.
+#[test]
+fn run_invariants() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x51A1_0001 ^ case);
+        let cfg = gen_config(&mut gen);
         let n = cfg.n_mhs;
         let r = Simulation::run(cfg.clone());
         // Conservation and consistency of counters.
-        prop_assert_eq!(r.per_mh_ckpts.iter().sum::<u64>(), r.n_tot());
-        prop_assert_eq!(r.ckpts.cell_switch, r.handoffs);
-        prop_assert_eq!(r.ckpts.disconnect, r.disconnects);
-        prop_assert!(r.reconnects <= r.disconnects);
-        prop_assert!(r.msgs_delivered <= r.msgs_sent);
-        prop_assert!(r.net.duplicates_suppressed <= r.net.duplicates_injected);
-        prop_assert_eq!(r.net.app_msgs_sent, r.msgs_sent);
-        prop_assert_eq!(r.net.app_msgs_delivered, r.msgs_delivered);
-        prop_assert_eq!(r.per_mh_ckpts.len(), n);
+        assert_eq!(r.per_mh_ckpts.iter().sum::<u64>(), r.n_tot());
+        assert_eq!(r.ckpts.cell_switch, r.handoffs);
+        assert_eq!(r.ckpts.disconnect, r.disconnects);
+        assert!(r.reconnects <= r.disconnects);
+        assert!(r.msgs_delivered <= r.msgs_sent);
+        assert!(r.net.duplicates_suppressed <= r.net.duplicates_injected);
+        assert_eq!(r.net.app_msgs_sent, r.msgs_sent);
+        assert_eq!(r.net.app_msgs_delivered, r.msgs_delivered);
+        assert_eq!(r.per_mh_ckpts.len(), n);
         // The trace agrees with the counters.
         let trace = r.trace.as_ref().expect("trace recorded");
-        prop_assert_eq!(trace.total_checkpoints() as u64, r.n_tot());
-        prop_assert_eq!(trace.messages().len() as u64, r.msgs_sent);
+        assert_eq!(trace.total_checkpoints() as u64, r.n_tot());
+        assert_eq!(trace.messages().len() as u64, r.msgs_sent);
         // Replacements only ever come from QBC.
         if !matches!(cfg.protocol, ProtocolChoice::Cic(CicKind::Qbc)) {
-            prop_assert_eq!(r.replacements, 0);
+            assert_eq!(r.replacements, 0);
         }
     }
+}
 
-    /// Determinism: the same config yields the identical run.
-    #[test]
-    fn determinism(cfg in arb_config()) {
+/// Determinism: the same config yields the identical run.
+#[test]
+fn determinism() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x51A1_0002 ^ case);
+        let cfg = gen_config(&mut gen);
         let a = Simulation::run(cfg.clone());
         let b = Simulation::run(cfg);
-        prop_assert_eq!(a.n_tot(), b.n_tot());
-        prop_assert_eq!(a.events, b.events);
-        prop_assert_eq!(a.msgs_sent, b.msgs_sent);
-        prop_assert_eq!(a.per_mh_ckpts, b.per_mh_ckpts);
-        prop_assert_eq!(a.net.wireless_transmissions, b.net.wireless_transmissions);
-        prop_assert_eq!(a.net.piggyback_bytes, b.net.piggyback_bytes);
+        assert_eq!(a.n_tot(), b.n_tot());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.msgs_sent, b.msgs_sent);
+        assert_eq!(a.per_mh_ckpts, b.per_mh_ckpts);
+        assert_eq!(a.net.wireless_transmissions, b.net.wireless_transmissions);
+        assert_eq!(a.net.piggyback_bytes, b.net.piggyback_bytes);
     }
+}
 
-    /// Index-protocol safety on arbitrary configurations: every same-index
-    /// recovery line of a BCS/QBC run is consistent, even with duplicated
-    /// deliveries, heterogeneity and arbitrary system sizes.
-    #[test]
-    fn index_lines_consistent_everywhere(mut cfg in arb_config(), qbc in any::<bool>()) {
+/// Index-protocol safety on arbitrary configurations: every same-index
+/// recovery line of a BCS/QBC run is consistent, even with duplicated
+/// deliveries, heterogeneity and arbitrary system sizes.
+#[test]
+fn index_lines_consistent_everywhere() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x51A1_0003 ^ case);
+        let mut cfg = gen_config(&mut gen);
+        let qbc = gen.bernoulli(0.5);
         cfg.protocol = ProtocolChoice::Cic(if qbc { CicKind::Qbc } else { CicKind::Bcs });
         let r = Simulation::run(cfg);
         let trace = r.trace.as_ref().expect("trace recorded");
         for (k, line) in all_index_lines(trace) {
-            prop_assert!(
+            assert!(
                 is_consistent(trace, &line),
                 "line {k} inconsistent (protocol {})",
                 r.protocol
             );
         }
     }
+}
 
-    /// Recovery lines after any single failure are consistent and dominated
-    /// by the volatile frontier, for every protocol.
-    #[test]
-    fn failure_recovery_consistent_everywhere(cfg in arb_config(), failed_sel in 0usize..12) {
+/// Recovery lines after any single failure are consistent and dominated by
+/// the volatile frontier, for every protocol.
+#[test]
+fn failure_recovery_consistent_everywhere() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x51A1_0004 ^ case);
+        let cfg = gen_config(&mut gen);
+        let failed_sel = gen.index(12);
         let n = cfg.n_mhs;
         let r = Simulation::run(cfg);
         let trace = r.trace.as_ref().expect("trace recorded");
         let failed = causality::trace::ProcId(failed_sel % n);
         let line = causality::recovery::recovery_line_after_failure(trace, &[failed]);
-        prop_assert!(is_consistent(trace, &line));
+        assert!(is_consistent(trace, &line));
         let cost = causality::recovery::rollback_cost(trace, &line, r.end_time);
-        prop_assert!(cost.total_time_undone() >= 0.0);
-        prop_assert!(cost.time_undone[failed.idx()] <= r.end_time + 1e-9);
+        assert!(cost.total_time_undone() >= 0.0);
+        assert!(cost.time_undone[failed.idx()] <= r.end_time + 1e-9);
     }
 }
