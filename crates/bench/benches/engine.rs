@@ -4,22 +4,25 @@ use mck_bench::{black_box, Bench};
 use simkit::prelude::*;
 
 /// Schedule/pop churn with a bounded pending set (the simulator's steady
-/// state: every popped event schedules a successor).
+/// state: every popped event schedules a successor), on both pending-set
+/// backends. This head-to-head decides `SimConfig.queue`'s default.
 fn bench_scheduler(b: &mut Bench) {
-    for &pending in &[64usize, 1024, 16384] {
-        b.bench(&format!("scheduler/hold_churn/{pending}"), || {
-            let mut s = Scheduler::new();
-            let mut rng = SimRng::new(1);
-            for i in 0..pending {
-                s.schedule_in(rng.exp(1.0), i as u64);
-            }
-            // 10k hold operations.
-            for _ in 0..10_000 {
-                let ev = s.pop().expect("non-empty");
-                s.schedule_in(rng.exp(1.0), ev.event + 1);
-            }
-            black_box(s.now())
-        });
+    for &backend in &[QueueBackend::Heap, QueueBackend::Calendar] {
+        for &pending in &[64usize, 1024, 16384] {
+            b.bench(&format!("scheduler/hold_churn/{backend}/{pending}"), move || {
+                let mut s = Scheduler::with_backend(backend);
+                let mut rng = SimRng::new(1);
+                for i in 0..pending {
+                    s.schedule_in(rng.exp(1.0), i as u64);
+                }
+                // 10k hold operations.
+                for _ in 0..10_000 {
+                    let ev = s.pop().expect("non-empty");
+                    s.schedule_in(rng.exp(1.0), ev.event + 1);
+                }
+                black_box(s.now())
+            });
+        }
     }
 }
 

@@ -28,8 +28,8 @@ fn bench_receive(b: &mut Bench) {
     for &n in &[10usize, 100, 1000] {
         let mut p = Tp::new(0, n, 0);
         let pb = Piggyback::Vectors {
-            ckpt: vec![0; n],
-            loc: vec![0; n],
+            ckpt: vec![0; n].into(),
+            loc: vec![0; n].into(),
         };
         b.bench(&format!("on_receive/tp/{n}"), move || {
             black_box(p.on_receive(1, &pb))

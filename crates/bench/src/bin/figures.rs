@@ -13,15 +13,20 @@
 //! cargo run --release -p mck-bench --bin figures -- recovery-time
 //! cargo run --release -p mck-bench --bin figures -- topologies
 //! cargo run --release -p mck-bench --bin figures -- contention
+//! cargo run --release -p mck-bench --bin figures -- sweep-bench
 //! cargo run --release -p mck-bench --bin figures -- everything  # the lot
 //! ```
 //!
 //! Options: `--reps N` (default 5), `--seed S` (default 1), `--csv`,
 //! `--plot` (render each figure as a log-log terminal chart too),
+//! `--jobs N` (worker threads for the parallel sweep executor),
 //! `--json PATH` (additionally write a machine-readable
 //! `mck.bench_figures/v1` artifact — conventionally `BENCH_figures.json` —
 //! with per-protocol `N_tot` estimates and wall-clock timings; applies to
 //! the figure commands).
+//! `sweep-bench` times the full figure grid at 1 worker and at full
+//! parallelism and writes a `mck.bench_sweep/v1` artifact (default
+//! `BENCH_sweep.json`) with runs-per-second and per-protocol wall-clock.
 //! Output shape matches the paper: one row per `T_switch`, one column per
 //! protocol, with the derived gain columns the text quotes.
 
@@ -34,7 +39,7 @@ use mck::experiments::{
     ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_recovery_time, ext_rollback, ext_storage,
     ext_topologies,
     figure,
-    run_figure, FigureResult, FigureSpec,
+    run_figure, run_figures, FigureResult, FigureSpec,
 };
 use mck::simulation::{Instrumentation, Simulation};
 use mck::table::{fmt_estimate, Table};
@@ -46,6 +51,7 @@ struct Opts {
     csv: bool,
     plot: bool,
     json: Option<PathBuf>,
+    jobs: Option<usize>,
 }
 
 fn main() {
@@ -56,6 +62,7 @@ fn main() {
         csv: false,
         plot: false,
         json: None,
+        jobs: None,
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -66,13 +73,20 @@ fn main() {
             "--csv" => opts.csv = true,
             "--plot" => opts.plot = true,
             "--json" => opts.json = Some(PathBuf::from(it.next().expect("--json PATH"))),
+            "--jobs" => {
+                opts.jobs = Some(it.next().expect("--jobs N").parse().expect("number"));
+            }
             other => cmd.push(other.to_string()),
         }
+    }
+    if let Some(j) = opts.jobs {
+        mck::runner::set_jobs(j);
     }
     let cmd: Vec<&str> = cmd.iter().map(String::as_str).collect();
     match cmd.as_slice() {
         [] | ["all"] => figures(&opts, &[1, 2, 3, 4, 5, 6]),
         ["fig", n] => figures(&opts, &[n.parse().expect("figure number")]),
+        ["sweep-bench"] => sweep_bench(&opts),
         ["claims"] => print_claims(&opts),
         ["ablation"] => ablation(&opts),
         ["control-bytes"] => control_bytes(&opts),
@@ -139,6 +153,100 @@ fn figures(opts: &Opts, ids: &[usize]) {
             Ok(()) => eprintln!("bench artifact -> {}", path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
+    }
+}
+
+/// Times the full figure grid (`fig all`: every figure × `T_switch` ×
+/// protocol × replication as one flattened job list) at 1 worker and at
+/// full parallelism, and writes a `mck.bench_sweep/v1` artifact with
+/// wall-clock, runs-per-second, the jobs-1-vs-N speedup, and a
+/// per-protocol profiled single run.
+fn sweep_bench(opts: &Opts) {
+    let host = simkit::pool::default_workers();
+    let parallel = opts.jobs.unwrap_or(host).max(1);
+    let settings: Vec<usize> = if parallel > 1 { vec![1, parallel] } else { vec![1] };
+    let specs: Vec<FigureSpec> = (1..=6).map(figure).collect();
+    let total_runs: u64 = specs
+        .iter()
+        .map(|s| (s.t_switch_values.len() * s.protocols.len() * opts.reps) as u64)
+        .sum();
+
+    let mut sweeps: Vec<Json> = Vec::new();
+    let mut walls: Vec<f64> = Vec::new();
+    for &n in &settings {
+        mck::runner::set_jobs(n);
+        eprintln!("sweep-bench: figure grid ({total_runs} runs, {n} job(s))...");
+        let t0 = Instant::now();
+        let results = run_figures(&specs, opts.seed, opts.reps);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(results.len(), specs.len());
+        let timing = artifact::SweepTiming {
+            wall_ms,
+            runs: total_runs,
+            jobs: n,
+        };
+        eprintln!(
+            "sweep-bench: {n} job(s): {wall_ms:.0} ms, {:.1} runs/sec",
+            timing.runs_per_sec()
+        );
+        walls.push(wall_ms);
+        sweeps.push(Json::Obj(vec![
+            ("label".into(), Json::str("figures 1-6 grid")),
+            ("queue".into(), Json::str("heap")),
+            ("timing".into(), timing.to_json()),
+        ]));
+    }
+    mck::runner::set_jobs(opts.jobs.unwrap_or(0));
+
+    // Per-protocol single-run wall clock at the paper's base point, so the
+    // artifact also answers "which protocol dominates the grid's runtime".
+    let mut seen: Vec<&str> = Vec::new();
+    let mut protocols: Vec<Json> = Vec::new();
+    for spec in &specs {
+        for &proto in &spec.protocols {
+            if seen.contains(&proto.name()) {
+                continue;
+            }
+            seen.push(proto.name());
+            let cfg = SimConfig::paper(ProtocolChoice::Cic(proto), 1000.0, 0.8, 0.0);
+            let report = Simulation::run_with(
+                cfg,
+                Instrumentation {
+                    profile: true,
+                    ..Instrumentation::off()
+                },
+            );
+            let p = report.profile.as_ref().expect("profiled run");
+            protocols.push(Json::Obj(vec![
+                ("protocol".into(), Json::str(proto.name())),
+                ("wall_ms".into(), Json::Num(p.wall_ns as f64 / 1e6)),
+                ("events".into(), Json::uint(report.events)),
+                ("events_per_sec".into(), Json::Num(p.events_per_sec())),
+            ]));
+        }
+    }
+
+    let speedup = walls[0] / walls.last().copied().unwrap_or(walls[0]).max(1e-9);
+    let mut members = vec![
+        ("schema".into(), Json::str(artifact::BENCH_SWEEP_SCHEMA)),
+        ("version".into(), Json::str(artifact::version())),
+        ("host_parallelism".into(), Json::uint(host as u64)),
+        ("base_seed".into(), Json::uint(opts.seed)),
+        ("replications".into(), Json::uint(opts.reps as u64)),
+        ("sweeps".into(), Json::Arr(sweeps)),
+        ("protocols".into(), Json::Arr(protocols)),
+    ];
+    if settings.len() > 1 {
+        members.push(("speedup".into(), Json::Num(speedup)));
+    }
+    let doc = Json::Obj(members);
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    match artifact::write(&path, &doc) {
+        Ok(()) => eprintln!("sweep-bench artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 

@@ -12,6 +12,15 @@
 //!   (`CKPT[]`, the transitive dependency vector on checkpoint intervals,
 //!   and `LOC[]`, the MSS locations of those checkpoints), so its overhead
 //!   grows linearly with the number of hosts.
+//!
+//! In the simulator the TP vectors are shared `Arc` slices: the protocol
+//! state caches one frozen copy and every send clones the `Arc` (a
+//! refcount bump) instead of the two `Vec`s, invalidating the cache only
+//! when a checkpoint or merge actually changes the vectors. The *modelled*
+//! wire size is unchanged — [`Piggyback::wire_bytes`] still charges the
+//! full `2n` integers.
+
+use std::sync::Arc;
 
 /// Control data attached to one application message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,13 +32,13 @@ pub enum Piggyback {
         /// Sequence number `sn` of the sender at send time.
         sn: u64,
     },
-    /// TP's transitive dependency vectors.
+    /// TP's transitive dependency vectors (shared, copy-on-write).
     Vectors {
         /// `CKPT[]`: for each host, the latest checkpoint index of that host
         /// the sender's state transitively depends on.
-        ckpt: Vec<u64>,
+        ckpt: Arc<[u64]>,
         /// `LOC[]`: for each host, the MSS holding that checkpoint.
-        loc: Vec<u32>,
+        loc: Arc<[u32]>,
     },
     /// Dependency bit set (Prakash–Singhal-style minimal coordination):
     /// which hosts the sender has causal dependencies on since its last
@@ -88,15 +97,31 @@ mod tests {
     #[test]
     fn tp_vectors_scale_with_hosts() {
         let pb = Piggyback::Vectors {
-            ckpt: vec![0; 10],
-            loc: vec![0; 10],
+            ckpt: vec![0; 10].into(),
+            loc: vec![0; 10].into(),
         };
         assert_eq!(pb.wire_bytes(), 80); // 2 × 10 × 4 bytes
         let pb_large = Piggyback::Vectors {
-            ckpt: vec![0; 100],
-            loc: vec![0; 100],
+            ckpt: vec![0; 100].into(),
+            loc: vec![0; 100].into(),
         };
         assert_eq!(pb_large.wire_bytes(), 800);
+    }
+
+    #[test]
+    fn cloning_vectors_shares_storage() {
+        let pb = Piggyback::Vectors {
+            ckpt: vec![1, 2, 3].into(),
+            loc: vec![4, 5, 6].into(),
+        };
+        let copy = pb.clone();
+        assert_eq!(pb, copy);
+        let (Piggyback::Vectors { ckpt: a, .. }, Piggyback::Vectors { ckpt: b, .. }) =
+            (&pb, &copy)
+        else {
+            unreachable!()
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must be a refcount bump, not a copy");
     }
 
     #[test]

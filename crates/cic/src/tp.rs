@@ -26,6 +26,8 @@
 //! The vector piggyback is TP's scalability weakness: control information
 //! grows linearly with the number of hosts (the paper's point (3)/(f)).
 
+use std::sync::Arc;
+
 use crate::piggyback::{Piggyback, INT_BYTES};
 use crate::protocol::{BasicCkpt, BasicReason, Protocol, ReceiveOutcome};
 
@@ -38,6 +40,10 @@ pub enum Phase {
     /// Safe to receive without checkpointing.
     Recv,
 }
+
+/// The frozen on-the-wire form of `(ckpt, loc)`: cheaply cloneable shared
+/// slices handed to every outgoing message.
+type WireVectors = (Arc<[u64]>, Arc<[u32]>);
 
 /// Per-host TP state.
 #[derive(Debug, Clone)]
@@ -54,6 +60,11 @@ pub struct Tp {
     loc: Vec<u32>,
     /// Current MSS of this host.
     here: u32,
+    /// Frozen copy of `(ckpt, loc)` for the wire, shared by every send
+    /// until a checkpoint or merge changes the vectors (copy-on-write:
+    /// sends are far more frequent than checkpoints, so most sends are two
+    /// refcount bumps instead of two `Vec` clones).
+    wire: Option<WireVectors>,
     /// Ablation switch: reset `phase` to RECV when a basic checkpoint is
     /// taken. The paper's pseudo-code does **not** do this (only a receive
     /// resets the phase), so the faithful default is `false`; resetting is
@@ -82,6 +93,7 @@ impl Tp {
             ckpt: vec![0; n],
             loc,
             here: mss,
+            wire: None,
             reset_phase_on_basic,
         }
     }
@@ -110,6 +122,7 @@ impl Tp {
         self.count += 1;
         self.ckpt[self.me] = self.count;
         self.loc[self.me] = self.here;
+        self.wire = None;
         self.count
     }
 
@@ -123,6 +136,7 @@ impl Tp {
             if j != self.me && ckpt[j] > self.ckpt[j] {
                 self.ckpt[j] = ckpt[j];
                 self.loc[j] = loc[j];
+                self.wire = None;
             }
         }
     }
@@ -135,9 +149,16 @@ impl Protocol for Tp {
 
     fn on_send(&mut self, _to: usize) -> Piggyback {
         self.phase = Phase::Send;
+        if self.wire.is_none() {
+            self.wire = Some((
+                self.ckpt.as_slice().into(),
+                self.loc.as_slice().into(),
+            ));
+        }
+        let (ckpt, loc) = self.wire.as_ref().expect("cache just filled");
         Piggyback::Vectors {
-            ckpt: self.ckpt.clone(),
-            loc: self.loc.clone(),
+            ckpt: Arc::clone(ckpt),
+            loc: Arc::clone(loc),
         }
     }
 
@@ -185,7 +206,10 @@ mod tests {
     use super::*;
 
     fn pb(ckpt: Vec<u64>, loc: Vec<u32>) -> Piggyback {
-        Piggyback::Vectors { ckpt, loc }
+        Piggyback::Vectors {
+            ckpt: ckpt.into(),
+            loc: loc.into(),
+        }
     }
 
     #[test]
@@ -302,11 +326,39 @@ mod tests {
         t.on_basic(BasicReason::CellSwitch);
         match t.on_send(1) {
             Piggyback::Vectors { ckpt, loc } => {
-                assert_eq!(ckpt, vec![1, 0]);
+                assert_eq!(&ckpt[..], &[1, 0]);
                 assert_eq!(loc[0], 3);
             }
             other => panic!("expected vectors, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeated_sends_share_wire_vectors() {
+        let mut t = Tp::new(0, 4, 0);
+        let (a, b) = match (t.on_send(1), t.on_send(2)) {
+            (Piggyback::Vectors { ckpt: a, .. }, Piggyback::Vectors { ckpt: b, .. }) => (a, b),
+            other => panic!("expected vectors, got {other:?}"),
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "sends between checkpoints must share one frozen copy"
+        );
+        // A checkpoint changes the vectors, so the cache must refresh.
+        t.on_basic(BasicReason::CellSwitch);
+        let c = match t.on_send(1) {
+            Piggyback::Vectors { ckpt, .. } => ckpt,
+            other => panic!("expected vectors, got {other:?}"),
+        };
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(&c[..], &[1, 0, 0, 0]);
+        // A receive (forced checkpoint + merge) must refresh the wire copy.
+        t.on_receive(1, &pb(vec![0, 5, 0, 0], vec![0, 9, 0, 0]));
+        let e = match t.on_send(1) {
+            Piggyback::Vectors { ckpt, .. } => ckpt,
+            other => panic!("expected vectors, got {other:?}"),
+        };
+        assert_eq!(&e[..], &[2, 5, 0, 0]);
     }
 
     #[test]

@@ -95,7 +95,10 @@ fn qbc_paper_walkthrough() {
 fn tp_paper_walkthrough() {
     let n = 3;
     let mut h = Tp::new(0, n, 7); // h_0 at MSS 7
-    let vec0 = |ckpt: Vec<u64>, loc: Vec<u32>| Piggyback::Vectors { ckpt, loc };
+    let vec0 = |ckpt: Vec<u64>, loc: Vec<u32>| Piggyback::Vectors {
+        ckpt: ckpt.into(),
+        loc: loc.into(),
+    };
 
     // init: phase := RECV.
     assert_eq!(h.phase(), Phase::Recv);
@@ -110,7 +113,7 @@ fn tp_paper_walkthrough() {
     // Send: phase := SEND; vectors piggybacked.
     match h.on_send(1) {
         Piggyback::Vectors { ckpt, loc } => {
-            assert_eq!(ckpt, vec![0, 0, 0]);
+            assert_eq!(&ckpt[..], &[0, 0, 0]);
             assert_eq!(loc[0], 7);
         }
         other => panic!("TP must piggyback vectors, got {other:?}"),

@@ -35,7 +35,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S]\n  mck inspect <artifact.json>\n  mck list\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S]\n  mck inspect <artifact.json>\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -52,12 +52,17 @@ const KNOWN: &[&str] = &[
     "trace",
     "metrics",
     "out-dir",
+    "jobs",
+    "queue",
 ];
 const BOOLEAN: &[&str] = &["csv"];
 
 /// Routes a raw command line to a handler, returning its printable output.
 fn dispatch(raw: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(raw, KNOWN, BOOLEAN)?;
+    // --jobs applies to every experiment command; 0 (the default) keeps the
+    // MCK_JOBS / available-parallelism resolution.
+    set_jobs(args.get_usize("jobs", 0)?);
     match args.positional(0) {
         Some("run") => cmd_run(&args),
         Some("sweep") => cmd_sweep(&args),
@@ -83,9 +88,18 @@ fn protocol_of(args: &Args) -> Result<ProtocolChoice, ArgError> {
         .ok_or_else(|| ArgError(format!("unknown protocol '{name}'")))
 }
 
+fn queue_of(args: &Args) -> Result<simkit::event::QueueBackend, ArgError> {
+    match args.get("queue") {
+        None => Ok(simkit::event::QueueBackend::default()),
+        Some(name) => simkit::event::QueueBackend::parse(name)
+            .ok_or_else(|| ArgError(format!("unknown queue backend '{name}' (heap|calendar)"))),
+    }
+}
+
 fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
     Ok(SimConfig {
         protocol: protocol_of(args)?,
+        queue: queue_of(args)?,
         t_switch: args.get_f64("t-switch", 1000.0)?,
         p_switch: args.get_f64("p-switch", 1.0)?,
         heterogeneity: args.get_f64("h", 0.0)?,
@@ -140,25 +154,30 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let seed = args.get_u64("seed", 1)?;
     let ts = args.get_f64_list("t-switch-list", &T_SWITCH_SWEEP)?;
     let base = config_of(args)?;
+    // The whole grid (points × replications) runs as one flattened job
+    // list across the pool; the wall clock therefore measures real sweep
+    // throughput and lands in the artifact.
+    let t0 = std::time::Instant::now();
+    let points = experiments::run_sweep(&base, &ts, seed, reps);
+    let timing = mck::artifact::SweepTiming {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        runs: (ts.len() * reps) as u64,
+        jobs: jobs(),
+    };
     let mut table = Table::new(vec!["T_switch", "N_tot", "basic", "forced"]);
-    let mut points = Vec::new();
-    for t in ts {
-        let mut cfg = base.clone();
-        cfg.t_switch = t;
-        let s = summarize_point(&cfg, seed, reps);
+    for (t, s) in &points {
         table.push_row(vec![
             format!("{t:.0}"),
             fmt_estimate(s.n_tot.mean, s.n_tot.ci95),
             fmt_estimate(s.n_basic.mean, s.n_basic.ci95),
             fmt_estimate(s.n_forced.mean, s.n_forced.ci95),
         ]);
-        points.push((t, s));
     }
     let mut out = render(args, &table, &format!("{} sweep", base.protocol.name()));
     if let Some(dir) = args.get("out-dir") {
         let path = std::path::Path::new(dir)
             .join(format!("SWEEP_{}.json", base.protocol.name()));
-        let art = mck::artifact::sweep_artifact(&base, seed, reps, &points);
+        let art = mck::artifact::sweep_artifact(&base, seed, reps, &points, Some(timing));
         mck::artifact::write(&path, &art)
             .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
         out += &format!("sweep artifact -> {}\n", path.display());
@@ -179,13 +198,18 @@ fn cmd_fig(args: &Args) -> Result<String, ArgError> {
             .parse()
             .map_err(|_| ArgError(format!("'{which}' is not a figure number")))?]
     };
-    let mut out = String::new();
-    for id in ids {
+    for &id in &ids {
         if !(1..=6).contains(&id) {
             return Err(ArgError(format!("the paper has figures 1-6, not {id}")));
         }
-        let spec: FigureSpec = experiments::figure(id);
-        let res = experiments::run_figure(&spec, seed, reps);
+    }
+    // All requested figures execute as one flattened job list, so `fig all`
+    // keeps every worker busy across figure boundaries.
+    let specs: Vec<FigureSpec> = ids.iter().map(|&id| experiments::figure(id)).collect();
+    let results = experiments::run_figures(&specs, seed, reps);
+    let mut out = String::new();
+    for (id, res) in ids.iter().copied().zip(results) {
+        let spec = &res.spec;
         out += &format!("{}\n", spec.caption());
         out += &render(args, &res.table(), "");
         if let Some(dir) = args.get("out-dir") {
@@ -203,10 +227,9 @@ fn cmd_fig(args: &Args) -> Result<String, ArgError> {
 fn cmd_claims(args: &Args) -> Result<String, ArgError> {
     let reps = args.get_usize("reps", 5)?;
     let seed = args.get_u64("seed", 1)?;
-    let figs: Vec<_> = [1, 2, 5, 6]
-        .iter()
-        .map(|&n| experiments::run_figure(&experiments::figure(n), seed, reps))
-        .collect();
+    // One flattened batch across all four claim figures.
+    let specs: Vec<FigureSpec> = [1, 2, 5, 6].iter().map(|&n| experiments::figure(n)).collect();
+    let figs = experiments::run_figures(&specs, seed, reps);
     let mut table = Table::new(vec!["claim", "paper", "measured", "holds"]);
     for c in experiments::claims(&figs) {
         table.push_row(vec![
@@ -425,6 +448,26 @@ mod tests {
         assert!(dispatch(&raw(&["frobnicate"])).is_err());
         assert!(dispatch(&raw(&[])).is_err());
         assert!(dispatch(&raw(&["run", "--protocol", "XXX"])).is_err());
+        assert!(dispatch(&raw(&["run", "--queue", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn queue_and_jobs_flags_leave_results_unchanged() {
+        let base = &[
+            "run",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "400",
+            "--t-switch",
+            "100",
+        ];
+        let heap = dispatch(&raw(base)).unwrap();
+        let mut with_flags = raw(base);
+        with_flags.extend(raw(&["--queue", "calendar", "--jobs", "2"]));
+        let calendar = dispatch(&with_flags).unwrap();
+        set_jobs(0); // restore for other tests
+        assert_eq!(heap, calendar, "queue backend must not change results");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   ([`sweep_artifact`]);
 //! * `mck.figure/v1` — one of the paper's figures ([`figure_artifact`]);
 //! * `mck.bench_figures/v1` — the bench suite's multi-figure document with
-//!   per-protocol wall-clock timings (written by `figures --json`).
+//!   per-protocol wall-clock timings (written by `figures --json`);
+//! * `mck.bench_sweep/v1` — the parallel-sweep throughput benchmark
+//!   (written by `figures sweep-bench`): wall-clock and runs-per-second of
+//!   the full figure grid at each worker count, with per-protocol timings.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -35,6 +38,9 @@ pub const FIGURE_SCHEMA: &str = "mck.figure/v1";
 /// Schema tag of the bench suite's multi-figure artifact
 /// (`figures --json BENCH_figures.json`).
 pub const BENCH_SCHEMA: &str = "mck.bench_figures/v1";
+/// Schema tag of the parallel-sweep throughput artifact
+/// (`figures sweep-bench`, conventionally `BENCH_sweep.json`).
+pub const BENCH_SWEEP_SCHEMA: &str = "mck.bench_sweep/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -126,18 +132,56 @@ pub fn run_artifact(cfg: &SimConfig, report: &RunReport) -> Json {
     Json::Obj(members)
 }
 
+/// Wall-clock timing of one sweep execution, recorded alongside the
+/// results so artifacts double as throughput measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepTiming {
+    /// Total wall-clock time of the sweep in milliseconds.
+    pub wall_ms: f64,
+    /// Number of simulation runs executed (points × replications).
+    pub runs: u64,
+    /// Worker count the job pool ran with.
+    pub jobs: usize,
+}
+
+impl SweepTiming {
+    /// Simulation runs completed per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.runs as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// JSON member for embedding in sweep/bench artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("wall_ms".into(), Json::Num(self.wall_ms)),
+            ("runs".into(), Json::uint(self.runs)),
+            ("runs_per_sec".into(), Json::Num(self.runs_per_sec())),
+            ("jobs".into(), Json::uint(self.jobs as u64)),
+        ])
+    }
+}
+
 /// The sweep artifact: one protocol, `N_tot`/basic/forced estimates per
-/// swept `T_switch` value.
+/// swept `T_switch` value, plus (when measured) the sweep's wall-clock
+/// timing.
 pub fn sweep_artifact(
     cfg: &SimConfig,
     base_seed: u64,
     replications: usize,
     points: &[(f64, PointSummary)],
+    timing: Option<SweepTiming>,
 ) -> Json {
     let mut members = header(SWEEP_SCHEMA);
     members.push(("config".into(), config_json(cfg)));
     members.push(("base_seed".into(), Json::uint(base_seed)));
     members.push(("replications".into(), Json::uint(replications as u64)));
+    if let Some(t) = timing {
+        members.push(("timing".into(), t.to_json()));
+    }
     members.push((
         "points".into(),
         Json::Arr(
@@ -250,6 +294,21 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                 return Err("bench artifact has no figures".into());
             }
         }
+        BENCH_SWEEP_SCHEMA => {
+            let sweeps = v
+                .get("sweeps")
+                .and_then(Json::as_arr)
+                .ok_or("bench sweep artifact missing 'sweeps' array")?;
+            if sweeps.is_empty() {
+                return Err("bench sweep artifact has no sweeps".into());
+            }
+            for s in sweeps {
+                s.get("timing")
+                    .and_then(|t| t.get("runs_per_sec"))
+                    .and_then(Json::as_f64)
+                    .ok_or("bench sweep entry missing timing.runs_per_sec")?;
+            }
+        }
         other => return Err(format!("unknown schema '{other}'")),
     }
     Ok(schema)
@@ -297,6 +356,15 @@ pub fn describe(v: &Json) -> Result<String, String> {
         SWEEP_SCHEMA | FIGURE_SCHEMA => {
             if let Some(caption) = v.get("caption").and_then(Json::as_str) {
                 out += &format!("caption  {caption}\n");
+            }
+            if let Some(t) = v.get("timing") {
+                out += &format!(
+                    "timing   {} runs in {:.0} ms ({:.1} runs/sec, {} jobs)\n",
+                    t.get("runs").and_then(Json::as_u64).unwrap_or(0),
+                    t.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                    t.get("runs_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+                    t.get("jobs").and_then(Json::as_u64).unwrap_or(0),
+                );
             }
             let points = v.get("points").and_then(Json::as_arr).expect("validated");
             let mut t = crate::table::Table::new(vec!["t_switch", "n_tot (mean ± ci95)"]);
@@ -368,6 +436,43 @@ pub fn describe(v: &Json) -> Result<String, String> {
                 t.push_row(vec![id, points.to_string(), wall, timed]);
             }
             out += &t.render();
+        }
+        BENCH_SWEEP_SCHEMA => {
+            if let Some(host) = v.get("host_parallelism").and_then(Json::as_u64) {
+                out += &format!("host     {host} hardware threads\n");
+            }
+            let sweeps = v.get("sweeps").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec![
+                "jobs", "queue", "runs", "wall (ms)", "runs/sec",
+            ]);
+            for s in sweeps {
+                let timing = s.get("timing").expect("validated");
+                let num = |j: &Json, k: &str| {
+                    j.get(k)
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.1}"))
+                        .unwrap_or_else(|| "?".into())
+                };
+                t.push_row(vec![
+                    timing
+                        .get("jobs")
+                        .and_then(Json::as_u64)
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                    s.get("queue").and_then(Json::as_str).unwrap_or("?").into(),
+                    timing
+                        .get("runs")
+                        .and_then(Json::as_u64)
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                    num(timing, "wall_ms"),
+                    num(timing, "runs_per_sec"),
+                ]);
+            }
+            out += &t.render();
+            if let Some(speedup) = v.get("speedup").and_then(Json::as_f64) {
+                out += &format!("speedup  {speedup:.2}x (max jobs vs 1)\n");
+            }
         }
         _ => unreachable!("validate admits only known schemas"),
     }
@@ -459,9 +564,19 @@ mod tests {
             cfg.t_switch = t_switch;
             points.push((t_switch, summarize_point(&cfg, 1, 2)));
         }
-        let art = sweep_artifact(&cfg, 1, 2, &points);
+        let timing = SweepTiming {
+            wall_ms: 250.0,
+            runs: 4,
+            jobs: 2,
+        };
+        assert_eq!(timing.runs_per_sec(), 16.0);
+        let art = sweep_artifact(&cfg, 1, 2, &points, Some(timing));
         assert_eq!(validate(&art).unwrap(), SWEEP_SCHEMA);
         let text = describe(&art).unwrap();
+        assert!(
+            text.contains("4 runs in 250 ms (16.0 runs/sec, 2 jobs)"),
+            "describe must surface the sweep timing: {text}"
+        );
         // The estimate must surface with its real mean, not a zeroed
         // rendering (the sweep's n_tot is an estimate object, not a
         // per-protocol map).
@@ -504,6 +619,43 @@ mod tests {
             ("figures".into(), Json::Arr(vec![])),
         ]);
         assert!(validate(&empty).is_err());
+    }
+
+    #[test]
+    fn bench_sweep_artifact_validates_and_describes() {
+        let entry = |jobs: u64, wall_ms: f64| {
+            Json::Obj(vec![
+                ("queue".into(), Json::str("heap")),
+                (
+                    "timing".into(),
+                    SweepTiming {
+                        wall_ms,
+                        runs: 60,
+                        jobs: jobs as usize,
+                    }
+                    .to_json(),
+                ),
+            ])
+        };
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str(BENCH_SWEEP_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            ("host_parallelism".into(), Json::uint(8)),
+            ("sweeps".into(), Json::Arr(vec![entry(1, 1000.0), entry(8, 200.0)])),
+            ("speedup".into(), Json::Num(5.0)),
+        ]);
+        assert_eq!(validate(&doc).unwrap(), BENCH_SWEEP_SCHEMA);
+        let text = describe(&doc).unwrap();
+        assert!(text.contains("8 hardware threads"), "{text}");
+        assert!(text.contains("runs/sec"), "{text}");
+        assert!(text.contains("speedup  5.00x"), "{text}");
+        // An entry without timing.runs_per_sec is rejected.
+        let bad = Json::Obj(vec![
+            ("schema".into(), Json::str(BENCH_SWEEP_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            ("sweeps".into(), Json::Arr(vec![Json::Obj(vec![])])),
+        ]);
+        assert!(validate(&bad).is_err());
     }
 
     #[test]

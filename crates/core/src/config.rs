@@ -19,6 +19,7 @@
 
 use cic::CicKind;
 use mobnet::{CellGraph, IncrementalModel, Latencies};
+use simkit::event::QueueBackend;
 
 /// Which checkpointing protocol a run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +116,10 @@ pub struct SimConfig {
     pub log_capacity: usize,
     /// Application payload size in bytes (for channel/energy accounting).
     pub payload_bytes: u64,
+    /// Pending-event-set implementation backing the engine's scheduler.
+    /// Behaviour (traces, reports) is byte-identical across backends; only
+    /// wall-clock speed differs. The default follows the `engine` bench.
+    pub queue: QueueBackend,
 }
 
 impl Default for SimConfig {
@@ -143,6 +148,7 @@ impl Default for SimConfig {
             record_trace: false,
             log_capacity: 0,
             payload_bytes: 256,
+            queue: QueueBackend::default(),
         }
     }
 }

@@ -23,7 +23,8 @@ use simkit::stats::Estimate;
 
 use crate::config::{ProtocolChoice, SimConfig};
 use crate::failure::{rollback_summary, RollbackSummary};
-use crate::runner::summarize_point;
+use crate::report::RunReport;
+use crate::runner::{run_configs, summarize_point, summarize_reports, PointSummary};
 use crate::table::{fmt_estimate, Table};
 
 /// The `T_switch` sweep used for every figure (the figures' x-axis runs
@@ -175,31 +176,99 @@ impl FigureResult {
 
 /// Runs a figure spec with `replications` seeds per point.
 pub fn run_figure(spec: &FigureSpec, base_seed: u64, replications: usize) -> FigureResult {
-    let points = spec
-        .t_switch_values
-        .iter()
-        .map(|&t_switch| {
-            let n_tot = spec
-                .protocols
-                .iter()
-                .map(|&proto| {
-                    let cfg = SimConfig::paper(
+    run_figures(std::slice::from_ref(spec), base_seed, replications)
+        .into_iter()
+        .next()
+        .expect("one spec in, one result out")
+}
+
+/// Runs several figure specs as **one flattened job list** across the job
+/// pool: every `(figure, T_switch, protocol, replication)` combination
+/// becomes an independent job, so `mck fig --all` keeps every worker busy
+/// to the end instead of paying a join barrier per point.
+///
+/// Results are regrouped in spec order with the same per-point seeds the
+/// sequential path used (`base_seed..base_seed+replications` at every
+/// point), so the output is byte-identical to running each figure alone.
+pub fn run_figures(specs: &[FigureSpec], base_seed: u64, replications: usize) -> Vec<FigureResult> {
+    assert!(replications > 0, "need at least one replication");
+    let mut configs = Vec::new();
+    for spec in specs {
+        for &t_switch in &spec.t_switch_values {
+            for &proto in &spec.protocols {
+                for r in 0..replications {
+                    let mut c = SimConfig::paper(
                         ProtocolChoice::Cic(proto),
                         t_switch,
                         spec.p_switch,
                         spec.heterogeneity,
                     );
-                    let s = summarize_point(&cfg, base_seed, replications);
-                    (proto.name().to_string(), s.n_tot)
+                    c.seed = base_seed + r as u64;
+                    configs.push(c);
+                }
+            }
+        }
+    }
+    let mut reports = run_configs(configs).into_iter();
+    specs
+        .iter()
+        .map(|spec| {
+            let points = spec
+                .t_switch_values
+                .iter()
+                .map(|&t_switch| {
+                    let n_tot = spec
+                        .protocols
+                        .iter()
+                        .map(|&proto| {
+                            let reps: Vec<RunReport> = (0..replications)
+                                .map(|_| reports.next().expect("one report per job"))
+                                .collect();
+                            let s = summarize_reports(proto.name().to_string(), reps);
+                            (proto.name().to_string(), s.n_tot)
+                        })
+                        .collect();
+                    SeriesPoint { t_switch, n_tot }
                 })
                 .collect();
-            SeriesPoint { t_switch, n_tot }
+            FigureResult {
+                spec: spec.clone(),
+                points,
+            }
         })
-        .collect();
-    FigureResult {
-        spec: spec.clone(),
-        points,
+        .collect()
+}
+
+/// Runs one protocol across a `T_switch` sweep as a single flattened job
+/// list (every point × replication in one pool submission). Returns
+/// `(t_switch, summary)` per point, with the same seeds per point as
+/// calling [`summarize_point`] point by point.
+pub fn run_sweep(
+    cfg: &SimConfig,
+    t_switches: &[f64],
+    base_seed: u64,
+    replications: usize,
+) -> Vec<(f64, PointSummary)> {
+    assert!(replications > 0, "need at least one replication");
+    let mut configs = Vec::new();
+    for &t in t_switches {
+        for r in 0..replications {
+            let mut c = cfg.clone();
+            c.t_switch = t;
+            c.seed = base_seed + r as u64;
+            configs.push(c);
+        }
     }
+    let mut reports = run_configs(configs).into_iter();
+    t_switches
+        .iter()
+        .map(|&t| {
+            let reps: Vec<RunReport> = (0..replications)
+                .map(|_| reports.next().expect("one report per job"))
+                .collect();
+            (t, summarize_reports(cfg.protocol.name().to_string(), reps))
+        })
+        .collect()
 }
 
 /// A checked in-text claim of the paper.
@@ -684,6 +753,46 @@ mod tests {
         assert!(p.of("TP").is_none());
         let table = res.table();
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn batched_figures_match_individual_runs() {
+        let mut a = figure(1);
+        a.t_switch_values = vec![100.0];
+        a.protocols = vec![CicKind::Bcs, CicKind::Qbc];
+        let mut b = figure(2);
+        b.t_switch_values = vec![100.0, 200.0];
+        b.protocols = vec![CicKind::Bcs];
+        let batched = run_figures(&[a.clone(), b.clone()], 7, 2);
+        let solo_a = run_figure(&a, 7, 2);
+        let solo_b = run_figure(&b, 7, 2);
+        assert_eq!(batched.len(), 2);
+        for (batch, solo) in batched.iter().zip([&solo_a, &solo_b]) {
+            assert_eq!(batch.points.len(), solo.points.len());
+            for (bp, sp) in batch.points.iter().zip(&solo.points) {
+                assert_eq!(bp.t_switch, sp.t_switch);
+                assert_eq!(bp.n_tot, sp.n_tot);
+            }
+        }
+    }
+
+    #[test]
+    fn flattened_sweep_matches_pointwise_summaries() {
+        let cfg = SimConfig {
+            horizon: 200.0,
+            protocol: ProtocolChoice::Cic(CicKind::Qbc),
+            ..Default::default()
+        };
+        let swept = run_sweep(&cfg, &[50.0, 100.0], 3, 2);
+        assert_eq!(swept.len(), 2);
+        for (t, summary) in &swept {
+            let mut c = cfg.clone();
+            c.t_switch = *t;
+            let expected = summarize_point(&c, 3, 2);
+            assert_eq!(summary.n_tot, expected.n_tot);
+            assert_eq!(summary.msgs_delivered, expected.msgs_delivered);
+            assert_eq!(summary.protocol, expected.protocol);
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub mod prelude {
     pub use crate::experiments::{self, FigureSpec};
     pub use crate::failure;
     pub use crate::report::{CkptBreakdown, RunReport};
-    pub use crate::runner::{run_replications, summarize_point, PointSummary};
+    pub use crate::runner::{
+        jobs, run_configs, run_replications, set_jobs, summarize_point, summarize_reports,
+        PointSummary,
+    };
     pub use crate::simulation::{Instrumentation, Simulation};
     pub use cic::CicKind;
 }

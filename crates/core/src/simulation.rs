@@ -161,6 +161,8 @@ pub struct Simulation {
     net_rng: SimRng,
     pub(crate) coord_rng: SimRng,
     activity_gen: Vec<u32>,
+    /// Scratch buffer for hand-off neighbour lists (reused across events).
+    neighbor_buf: Vec<MssId>,
     pub(crate) ckpts: CkptBreakdown,
     per_mh_ckpts: Vec<u64>,
     replacements: u64,
@@ -197,7 +199,13 @@ impl Simulation {
             topo: Topology::with_latencies(cfg.n_mss, cfg.latencies),
             attach: AttachmentTable::new(initial.clone()),
             mailboxes: Mailboxes::new(&initial),
-            dedup: Dedup::new(n),
+            // A transport that cannot duplicate needs no per-delivery
+            // packet-id tracking (the paper's default configuration).
+            dedup: if cfg.dup_prob > 0.0 {
+                Dedup::new(n)
+            } else {
+                Dedup::passthrough()
+            },
             loc: LocationService::new(initial),
             store: CkptStore::new(n, cfg.incremental),
             channels: CellChannels::new(cfg.n_mss, cfg.wireless_bandwidth),
@@ -216,6 +224,7 @@ impl Simulation {
             net_rng: root.fork(3000),
             coord_rng: root.fork(4000),
             activity_gen: vec![0; n],
+            neighbor_buf: Vec::new(),
             ckpts: CkptBreakdown::default(),
             per_mh_ckpts: vec![0; n],
             replacements: 0,
@@ -226,7 +235,7 @@ impl Simulation {
             cfg,
         };
 
-        let mut sched = Scheduler::new();
+        let mut sched = Scheduler::with_backend(sim.cfg.queue);
         for i in 0..n {
             let mh = MhId(i);
             let first = sim.workload_rng[i].exp(sim.cfg.internal_mean);
@@ -500,8 +509,12 @@ impl Simulation {
                 .attach
                 .cell_of(mh)
                 .expect("mobility fires only while connected");
-            let neighbors = self.cfg.cell_graph.neighbors(cur, self.cfg.n_mss);
+            let mut neighbors = std::mem::take(&mut self.neighbor_buf);
+            self.cfg
+                .cell_graph
+                .neighbors_into(cur, self.cfg.n_mss, &mut neighbors);
             let new_cell = *self.mobility_rng[mh.idx()].choose(&neighbors);
+            self.neighbor_buf = neighbors;
             if self.tracer.is_active() {
                 self.tracer.emit(
                     now,

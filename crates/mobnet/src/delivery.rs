@@ -95,9 +95,17 @@ impl<P> Mailboxes<P> {
 }
 
 /// Receiver-side duplicate suppression for the at-least-once transport.
+///
+/// When the transport is configured so it *cannot* duplicate (duplicate
+/// probability zero — the paper's default), tracking every packet id ever
+/// delivered is pure overhead: one hash insert per delivery and memory
+/// that grows with the message count. [`Dedup::passthrough`] elides both
+/// while keeping the delivery path uniform.
 #[derive(Debug, Clone)]
 pub struct Dedup {
-    seen: Vec<HashSet<PacketId>>,
+    /// `None` in passthrough mode: the transport never duplicates, so every
+    /// packet is trivially fresh.
+    seen: Option<Vec<HashSet<PacketId>>>,
     dropped: u64,
 }
 
@@ -105,15 +113,33 @@ impl Dedup {
     /// Creates suppression state for `n` hosts.
     pub fn new(n: usize) -> Self {
         Dedup {
-            seen: vec![HashSet::new(); n],
+            seen: Some(vec![HashSet::new(); n]),
             dropped: 0,
         }
     }
 
+    /// Suppression for a transport that never duplicates: `accept` is a
+    /// constant `true` with no per-delivery hashing or memory growth.
+    pub fn passthrough() -> Self {
+        Dedup {
+            seen: None,
+            dropped: 0,
+        }
+    }
+
+    /// `true` when this instance actually tracks packet ids.
+    pub fn is_tracking(&self) -> bool {
+        self.seen.is_some()
+    }
+
     /// Returns `true` if `pkt` is fresh for `mh` (deliver it) and records
     /// it; `false` for a duplicate (drop it).
+    #[inline]
     pub fn accept(&mut self, mh: MhId, pkt: PacketId) -> bool {
-        let fresh = self.seen[mh.idx()].insert(pkt);
+        let Some(seen) = &mut self.seen else {
+            return true;
+        };
+        let fresh = seen[mh.idx()].insert(pkt);
         if !fresh {
             self.dropped += 1;
         }
@@ -188,5 +214,15 @@ mod tests {
         assert_eq!(d.dropped(), 2);
         // Same packet id at another host is independent.
         assert!(d.accept(MhId(1), PacketId(1)));
+        assert!(d.is_tracking());
+    }
+
+    #[test]
+    fn passthrough_accepts_everything_without_tracking() {
+        let mut d = Dedup::passthrough();
+        assert!(!d.is_tracking());
+        assert!(d.accept(MhId(0), PacketId(1)));
+        assert!(d.accept(MhId(0), PacketId(1)));
+        assert_eq!(d.dropped(), 0);
     }
 }

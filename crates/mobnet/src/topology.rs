@@ -110,28 +110,35 @@ impl CellGraph {
     /// `n_mss` cells. Never empty and never contains `cell` itself for
     /// `n_mss >= 2`.
     pub fn neighbors(self, cell: MssId, n_mss: usize) -> Vec<MssId> {
+        let mut out = Vec::new();
+        self.neighbors_into(cell, n_mss, &mut out);
+        out
+    }
+
+    /// Like [`CellGraph::neighbors`], but reusing a caller-owned buffer
+    /// (cleared first) so the per-hand-off hot path allocates nothing once
+    /// the buffer has warmed up.
+    pub fn neighbors_into(self, cell: MssId, n_mss: usize, out: &mut Vec<MssId>) {
         assert!(cell.idx() < n_mss, "unknown cell");
         assert!(n_mss >= 2, "need at least two cells");
+        out.clear();
         match self {
-            CellGraph::Complete => (0..n_mss)
-                .filter(|&j| j != cell.idx())
-                .map(MssId)
-                .collect(),
+            CellGraph::Complete => {
+                out.extend((0..n_mss).filter(|&j| j != cell.idx()).map(MssId));
+            }
             CellGraph::Ring => {
                 let i = cell.idx();
                 let prev = (i + n_mss - 1) % n_mss;
                 let next = (i + 1) % n_mss;
-                if prev == next {
-                    vec![MssId(prev)] // n_mss == 2
-                } else {
-                    vec![MssId(prev), MssId(next)]
+                out.push(MssId(prev));
+                if prev != next {
+                    out.push(MssId(next)); // prev == next only when n_mss == 2
                 }
             }
             CellGraph::Grid { cols } => {
                 assert!(cols >= 1 && n_mss.is_multiple_of(cols), "grid must be rectangular");
                 let rows = n_mss / cols;
                 let (r, c) = (cell.idx() / cols, cell.idx() % cols);
-                let mut out = Vec::with_capacity(4);
                 if r > 0 {
                     out.push(MssId((r - 1) * cols + c));
                 }
@@ -148,7 +155,6 @@ impl CellGraph {
                     !out.is_empty(),
                     "degenerate grid: cell {cell} has no neighbours"
                 );
-                out
             }
         }
     }

@@ -79,6 +79,14 @@ impl<E> CalendarQueue<E> {
         self.len == 0
     }
 
+    /// Iterates over all pending events in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|it| (SimTime::new(it.time), &it.event))
+    }
+
     fn bucket_of(&self, time: f64) -> usize {
         ((time / self.width) as usize) & (self.buckets.len() - 1)
     }
@@ -111,30 +119,31 @@ impl<E> CalendarQueue<E> {
             },
         );
         self.len += 1;
+        // If the event lands in a day before the current scan position
+        // (possible after a peek advanced the position past `last_popped`),
+        // walk the position back so the dequeue scan cannot miss it.
+        let event_top = (t / self.width).floor() * self.width + self.width;
+        if event_top < self.bucket_top {
+            self.current = idx;
+            self.bucket_top = event_top;
+        }
         if self.len > 2 * self.buckets.len() {
             self.resize(self.buckets.len() * 2);
         }
     }
 
-    /// Pops the earliest event (FIFO among ties).
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.len == 0 {
-            return None;
-        }
+    /// Advances the scan position (`current`, `bucket_top`) to the bucket
+    /// holding the earliest pending event. Requires `len > 0`. Amortized
+    /// O(1) under the hold pattern: each day is visited once per wrap.
+    fn advance_to_next(&mut self) {
+        debug_assert!(self.len > 0);
         // Scan calendar "days" starting from the current bucket; an event
         // in the current bucket only counts if it falls inside the active
         // year slice (otherwise it belongs to a future wrap-around).
         loop {
-            let bucket = &mut self.buckets[self.current];
-            if let Some(first) = bucket.first() {
+            if let Some(first) = self.buckets[self.current].first() {
                 if first.time < self.bucket_top {
-                    let item = bucket.remove(0);
-                    self.len -= 1;
-                    self.last_popped = item.time;
-                    if self.len < self.buckets.len() / 4 && self.buckets.len() > 8 {
-                        self.resize(self.buckets.len() / 2);
-                    }
-                    return Some((SimTime::new(item.time), item.event));
+                    return;
                 }
             }
             self.current = (self.current + 1) & (self.buckets.len() - 1);
@@ -153,7 +162,57 @@ impl<E> CalendarQueue<E> {
         }
     }
 
-    /// Timestamp of the earliest pending event.
+    /// Pops the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_next();
+        let item = self.buckets[self.current].remove(0);
+        self.len -= 1;
+        self.last_popped = item.time;
+        self.maybe_shrink();
+        Some((SimTime::new(item.time), item.event))
+    }
+
+    /// Removes the earliest event without recording its time as popped.
+    ///
+    /// Used by the scheduler backing to drop lazily cancelled entries: the
+    /// no-time-travel floor (`last_popped`) must track *live* pops only, so
+    /// discarding a cancelled head does not tighten what may be scheduled.
+    pub(crate) fn discard_next(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        self.advance_to_next();
+        self.buckets[self.current].remove(0);
+        self.len -= 1;
+        self.maybe_shrink();
+        true
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > 8 {
+            self.resize(self.buckets.len() / 2);
+        }
+    }
+
+    /// Earliest pending event without removing it, amortized O(1).
+    ///
+    /// Takes `&mut self` because it advances the internal scan position —
+    /// the same work a subsequent [`CalendarQueue::pop`] would do.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_next();
+        let first = self.buckets[self.current]
+            .first()
+            .expect("advance_to_next positioned on a non-empty bucket");
+        Some((SimTime::new(first.time), &first.event))
+    }
+
+    /// Timestamp of the earliest pending event (O(buckets), `&self`).
     pub fn peek_time(&self) -> Option<SimTime> {
         self.min_time().map(SimTime::new)
     }
@@ -278,6 +337,33 @@ mod tests {
         let (pt, _) = q.pop().unwrap();
         assert_eq!(pt, t(1.0));
         assert_eq!(q.peek_time(), Some(t(3.0)));
+    }
+
+    #[test]
+    fn peek_then_schedule_earlier_still_pops_in_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(t(50.0), "far");
+        // Peeking advances the internal scan position to day 50...
+        assert_eq!(q.peek().map(|(tm, _)| tm), Some(t(50.0)));
+        // ...but an insert behind the scan position must still pop first.
+        q.schedule_at(t(2.0), "near");
+        assert_eq!(q.peek().map(|(tm, _)| tm), Some(t(2.0)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn discard_next_drops_head_without_raising_floor() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(t(5.0), "dead");
+        q.schedule_at(t(9.0), "live");
+        assert!(q.discard_next());
+        // The floor tracks live pops only, so t=3.0 is still schedulable.
+        q.schedule_at(t(3.0), "late");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert_eq!(q.pop().unwrap().1, "live");
+        assert!(!q.discard_next());
     }
 
     #[test]

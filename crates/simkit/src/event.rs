@@ -20,7 +20,50 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
+
+/// Which data structure backs the scheduler's pending-event set.
+///
+/// Both backends honour the same contract (non-decreasing pops, FIFO
+/// tie-breaking by insertion order, lazy cancellation), so a run is
+/// byte-identical under either; property tests enforce this. The choice
+/// only affects wall-clock speed: the heap has the better constants at the
+/// simulator's typical pending sizes (tens of events), the calendar queue
+/// wins asymptotically on very large event sets (see the `engine` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueBackend {
+    /// Binary heap — O(log n) per op, excellent constants (default).
+    #[default]
+    Heap,
+    /// Calendar queue — amortized O(1) (R. Brown, CACM 1988).
+    Calendar,
+}
+
+impl QueueBackend {
+    /// Stable lowercase name, as used by config files and `--queue`.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueBackend::Heap => "heap",
+            QueueBackend::Calendar => "calendar",
+        }
+    }
+
+    /// Parses a backend name (`"heap"` or `"calendar"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" => Some(QueueBackend::Heap),
+            "calendar" => Some(QueueBackend::Calendar),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Opaque handle identifying one scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,9 +103,23 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Calendar payload: the scheduler's sequence number rides along so lazy
+/// cancellation can identify entries. The calendar's own insertion counter
+/// advances in lockstep, so FIFO tie-breaking matches the heap exactly.
+struct Tagged<E> {
+    seq: u64,
+    event: E,
+}
+
+enum Backing<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(CalendarQueue<Tagged<E>>),
+}
+
 /// Deterministic pending-event set with lazy cancellation.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backing: Backing<E>,
+    backend: QueueBackend,
     cancelled: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
@@ -77,16 +134,33 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`],
+    /// backed by the default [`QueueBackend`].
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty scheduler backed by the chosen pending-event
+    /// structure. Behaviour is identical across backends; only the
+    /// constant factors differ.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            backing: match backend {
+                QueueBackend::Heap => Backing::Heap(BinaryHeap::new()),
+                QueueBackend::Calendar => Backing::Calendar(CalendarQueue::new()),
+            },
+            backend,
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
             scheduled: 0,
         }
+    }
+
+    /// Which backend this scheduler was built with.
+    pub fn backend(&self) -> QueueBackend {
+        self.backend
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -108,11 +182,14 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            event,
-        });
+        match &mut self.backing {
+            Backing::Heap(heap) => heap.push(Entry {
+                time: at,
+                seq,
+                event,
+            }),
+            Backing::Calendar(cal) => cal.schedule_at(at, Tagged { seq, event }),
+        }
         EventHandle(seq)
     }
 
@@ -130,11 +207,22 @@ impl<E> Scheduler<E> {
     ///
     /// Returns `true` if the event had not yet fired (or been cancelled).
     /// Cancelling an already-fired handle returns `false` and is harmless.
+    ///
+    /// Costs a scan of the pending set (cancellation is rare — nothing in
+    /// the simulator's hot path cancels); in exchange, `schedule`/`pop`
+    /// carry no per-event liveness bookkeeping, and a stale handle can
+    /// never poison the cancelled set (which would corrupt [`len`]).
+    ///
+    /// [`len`]: Scheduler::len
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false; // never issued by this scheduler
+        if handle.0 >= self.next_seq || self.cancelled.contains(&handle.0) {
+            return false;
         }
-        self.cancelled.insert(handle.0)
+        let pending = match &self.backing {
+            Backing::Heap(heap) => heap.iter().any(|e| e.seq == handle.0),
+            Backing::Calendar(cal) => cal.iter().any(|(_, t)| t.seq == handle.0),
+        };
+        pending && self.cancelled.insert(handle.0)
     }
 
     /// Pops the earliest pending event, advancing the clock to its time.
@@ -142,38 +230,77 @@ impl<E> Scheduler<E> {
     /// Returns `None` when the event set is exhausted. Cancelled events are
     /// skipped transparently.
     pub fn pop(&mut self) -> Option<Fired<E>> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now, "heap produced out-of-order event");
-            self.now = entry.time;
-            self.popped += 1;
-            return Some(Fired {
-                time: entry.time,
-                event: entry.event,
-            });
-        }
-        None
+        let fired = match &mut self.backing {
+            Backing::Heap(heap) => loop {
+                let Some(entry) = heap.pop() else { break None };
+                if self.cancelled.remove(&entry.seq) {
+                    continue;
+                }
+                break Some(Fired {
+                    time: entry.time,
+                    event: entry.event,
+                });
+            },
+            Backing::Calendar(cal) => loop {
+                let Some((time, tagged)) = cal.peek() else { break None };
+                let seq = tagged.seq;
+                if self.cancelled.remove(&seq) {
+                    // Drop the dead head without raising the calendar's
+                    // no-time-travel floor (which tracks live pops only,
+                    // mirroring the heap's `now` semantics).
+                    cal.discard_next();
+                    continue;
+                }
+                let (_, tagged) = cal.pop().expect("peeked entry exists");
+                break Some(Fired {
+                    time,
+                    event: tagged.event,
+                });
+            },
+        };
+        let fired = fired?;
+        debug_assert!(fired.time >= self.now, "backing produced out-of-order event");
+        self.now = fired.time;
+        self.popped += 1;
+        Some(fired)
     }
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Purge dead entries at the head so the answer reflects a live event.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = self.heap.pop().expect("peeked entry exists").seq;
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.time);
+        match &mut self.backing {
+            Backing::Heap(heap) => {
+                while let Some(entry) = heap.peek() {
+                    if self.cancelled.contains(&entry.seq) {
+                        let seq = heap.pop().expect("peeked entry exists").seq;
+                        self.cancelled.remove(&seq);
+                    } else {
+                        return Some(entry.time);
+                    }
+                }
+                None
+            }
+            Backing::Calendar(cal) => {
+                while let Some((time, tagged)) = cal.peek() {
+                    let seq = tagged.seq;
+                    if self.cancelled.remove(&seq) {
+                        cal.discard_next();
+                    } else {
+                        return Some(time);
+                    }
+                }
+                None
             }
         }
-        None
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        let raw = match &self.backing {
+            Backing::Heap(heap) => heap.len(),
+            Backing::Calendar(cal) => cal.len(),
+        };
+        raw - self.cancelled.len()
     }
 
     /// `true` when no live events remain.
@@ -276,6 +403,22 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_is_false_and_keeps_len_exact() {
+        // A fired handle must not poison the cancelled set: `len()` would
+        // drift (and eventually underflow) on either backend.
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let mut s = Scheduler::with_backend(backend);
+            let h = s.schedule_at(SimTime::new(1.0), "fires");
+            s.schedule_at(SimTime::new(2.0), "stays");
+            assert_eq!(s.pop().unwrap().event, "fires");
+            assert!(!s.cancel(h), "{backend}: handle already fired");
+            assert_eq!(s.len(), 1, "{backend}");
+            assert_eq!(s.pop().unwrap().event, "stays");
+            assert!(s.pop().is_none());
+        }
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut s = Scheduler::new();
         let h = s.schedule_at(SimTime::new(1.0), "dead");
@@ -303,5 +446,39 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.peek_time(), None);
         assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn backend_roundtrip_and_names() {
+        assert_eq!(QueueBackend::default(), QueueBackend::Heap);
+        for b in [QueueBackend::Heap, QueueBackend::Calendar] {
+            assert_eq!(QueueBackend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(QueueBackend::parse("splay"), None);
+        let s: Scheduler<()> = Scheduler::with_backend(QueueBackend::Calendar);
+        assert_eq!(s.backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn calendar_backend_matches_heap_semantics() {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let mut s = Scheduler::with_backend(backend);
+            // Ties, cancellation mid-stream, peek purging, reschedule after pop.
+            s.schedule_at(SimTime::new(2.0), "b1");
+            s.schedule_at(SimTime::new(2.0), "b2");
+            let dead = s.schedule_at(SimTime::new(1.0), "dead");
+            s.schedule_at(SimTime::new(3.0), "c");
+            assert!(s.cancel(dead));
+            assert_eq!(s.peek_time(), Some(SimTime::new(2.0)), "{backend}");
+            assert_eq!(s.len(), 3);
+            assert_eq!(s.pop().unwrap().event, "b1", "{backend}");
+            assert_eq!(s.now(), SimTime::new(2.0));
+            // Scheduling between now and the next pending event must work
+            // even after a peek advanced the backend's scan position.
+            s.schedule_at(SimTime::new(2.5), "mid");
+            let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|f| f.event).collect();
+            assert_eq!(order, vec!["b2", "mid", "c"], "{backend}");
+        }
     }
 }

@@ -9,6 +9,9 @@
 //! * [`calendar::CalendarQueue`] — the classic O(1)-amortized alternative
 //!   pending-event structure, equivalence-tested against the heap;
 //! * [`driver`] — the generic pop/dispatch event loop;
+//! * [`pool::JobPool`] — a bounded work-stealing job pool that runs
+//!   independent jobs (whole simulation replications) across cores with
+//!   panic capture and deterministic, submission-ordered results;
 //! * [`rng::SimRng`] — a self-contained xoshiro256++ RNG with
 //!   order-independent substreams and the distributions the paper's model
 //!   needs (exponential, Bernoulli, discrete uniform);
@@ -65,6 +68,7 @@ pub mod event;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -76,10 +80,11 @@ pub mod prelude {
     pub use crate::driver::{
         run_until, run_until_profiled, Control, EngineProfile, Model, RunOutcome,
     };
-    pub use crate::event::{EventHandle, Fired, Scheduler};
+    pub use crate::event::{EventHandle, Fired, QueueBackend, Scheduler};
     pub use crate::json::Json;
     pub use crate::log::{EventLog, Level, LogEntry};
     pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use crate::pool::{Job, JobPanic, JobPool};
     pub use crate::rng::SimRng;
     pub use crate::stats::{BatchMeans, Counter, Estimate, LogHistogram, Tally, TimeWeighted};
     pub use crate::time::SimTime;

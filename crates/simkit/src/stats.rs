@@ -404,6 +404,14 @@ impl Estimate {
         for &s in samples {
             t.record(s);
         }
+        Estimate::from_tally(&t)
+    }
+
+    /// Summarizes an already-accumulated [`Tally`]. Numerically identical
+    /// to [`Estimate::from_samples`] over the same observations; lets
+    /// callers fold several metrics in one pass instead of materializing a
+    /// sample `Vec` per metric.
+    pub fn from_tally(t: &Tally) -> Estimate {
         Estimate {
             mean: t.mean(),
             ci95: t.ci95_half_width(),
@@ -571,6 +579,16 @@ mod tests {
     fn estimate_zero_mean_relative_ci() {
         let e = Estimate::from_samples(&[0.0, 0.0]);
         assert_eq!(e.relative_ci(), 0.0);
+    }
+
+    #[test]
+    fn estimate_from_tally_matches_from_samples() {
+        let samples = [10.0, 12.0, 11.0, 9.0, 13.0];
+        let mut t = Tally::new();
+        for &s in &samples {
+            t.record(s);
+        }
+        assert_eq!(Estimate::from_tally(&t), Estimate::from_samples(&samples));
     }
 
     #[test]

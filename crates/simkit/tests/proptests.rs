@@ -207,6 +207,70 @@ fn runs_are_deterministic() {
     assert_ne!(run(99).0, run(100).0);
 }
 
+/// The heap-backed and calendar-backed `Scheduler` produce identical pop
+/// sequences under the simulator's real operation mix: bursts of schedules
+/// (hold pattern, long-tail exponential offsets, exact ties), cancellations
+/// of arbitrary live handles, interleaved `peek_time`, and fill/drain waves
+/// that push the calendar through its resize-grow *and* resize-shrink
+/// boundaries.
+#[test]
+fn scheduler_backends_agree_under_real_mix() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x5EED_0008 ^ case);
+        let mut heap = Scheduler::new();
+        let mut cal = Scheduler::with_backend(QueueBackend::Calendar);
+        assert_eq!(cal.backend(), QueueBackend::Calendar);
+        let mut next_id = 0u64;
+        let mut live: Vec<(simkit::event::EventHandle, simkit::event::EventHandle)> = vec![];
+        // Three waves: grow (schedule-heavy), churn (balanced with cancels
+        // and peeks), drain (pop-heavy, shrinking the calendar back down).
+        for &(p_sched, p_cancel, ops) in
+            &[(0.85, 0.05, 400usize), (0.45, 0.15, 300), (0.10, 0.05, 500)]
+        {
+            for _ in 0..ops {
+                let r = gen.uniform_in(0.0, 1.0);
+                if r < p_sched {
+                    // Ties are common in the simulator (zero-latency hops),
+                    // so schedule exact duplicates with probability 1/4.
+                    let dt = if gen.bernoulli(0.25) {
+                        0.0
+                    } else {
+                        let mean = gen.uniform_in(0.01, 200.0);
+                        gen.exp(mean)
+                    };
+                    let at = SimTime::new(heap.now().as_f64() + dt);
+                    next_id += 1;
+                    let (a, b) = (heap.schedule_at(at, next_id), cal.schedule_at(at, next_id));
+                    live.push((a, b));
+                } else if r < p_sched + p_cancel && !live.is_empty() {
+                    let (a, b) = live.swap_remove(gen.index(live.len()));
+                    assert_eq!(heap.cancel(a), cal.cancel(b));
+                } else {
+                    if gen.bernoulli(0.3) {
+                        assert_eq!(heap.peek_time(), cal.peek_time());
+                    }
+                    let x = heap.pop().map(|f| (f.time, f.event));
+                    let y = cal.pop().map(|f| (f.time, f.event));
+                    assert_eq!(x, y, "backends diverged (case {case})");
+                }
+            }
+            assert_eq!(heap.len(), cal.len(), "live counts diverged (case {case})");
+        }
+        // Drain both to the end.
+        loop {
+            let x = heap.pop().map(|f| (f.time, f.event));
+            let y = cal.pop().map(|f| (f.time, f.event));
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.popped(), cal.popped());
+        assert_eq!(heap.scheduled(), cal.scheduled());
+        assert_eq!(heap.now(), cal.now());
+    }
+}
+
 /// The calendar queue and the binary-heap scheduler agree exactly on any
 /// interleaving of schedules and pops (same times, same FIFO tie-breaking)
 /// — two pending-event-set implementations validating each other.

@@ -24,4 +24,24 @@ trap 'rm -rf "$out_dir"' EXIT
 # The trace stream must be non-empty JSONL.
 [ -s "$out_dir/trace.jsonl" ]
 
+echo "==> smoke: determinism across --jobs and --queue"
+./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+    --jobs 1 > "$out_dir/seq.txt"
+./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+    --jobs 4 --queue calendar > "$out_dir/par.txt"
+diff -q "$out_dir/seq.txt" "$out_dir/par.txt"
+
+# Non-gating bench smoke: time the figure grid through the parallel sweep
+# executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers
+# are host-dependent, so a failure here warns instead of failing CI.
+echo "==> smoke: figures sweep-bench (non-gating)"
+if ./target/release/figures sweep-bench --reps 1 \
+        --json "$out_dir/BENCH_sweep.json" >/dev/null 2>&1 \
+    && ./target/release/mck inspect "$out_dir/BENCH_sweep.json" \
+        | grep -q "mck.bench_sweep/v1"; then
+    ./target/release/mck inspect "$out_dir/BENCH_sweep.json"
+else
+    echo "warning: sweep-bench smoke failed (non-gating)"
+fi
+
 echo "ci: all green"

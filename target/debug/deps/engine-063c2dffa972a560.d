@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-063c2dffa972a560.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-063c2dffa972a560: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0ad1d324a989e795.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-0ad1d324a989e795: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-3442708bf370f2b5.d: crates/suite/../../tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-3442708bf370f2b5.rmeta: crates/suite/../../tests/parallel_determinism.rs Cargo.toml
+
+crates/suite/../../tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-ee40ea84e05e0033.d: crates/suite/../../tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-ee40ea84e05e0033: crates/suite/../../tests/parallel_determinism.rs
+
+crates/suite/../../tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocols-81814f5a5303cb1a.d: crates/bench/benches/protocols.rs
+
+/root/repo/target/debug/deps/protocols-81814f5a5303cb1a: crates/bench/benches/protocols.rs
+
+crates/bench/benches/protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-0b06f421055ce897.d: crates/bench/benches/recovery.rs
+
+/root/repo/target/debug/deps/recovery-0b06f421055ce897: crates/bench/benches/recovery.rs
+
+crates/bench/benches/recovery.rs:

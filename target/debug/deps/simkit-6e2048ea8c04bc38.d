@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/simkit-6e2048ea8c04bc38.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+/root/repo/target/debug/deps/simkit-6e2048ea8c04bc38.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
 
-/root/repo/target/debug/deps/simkit-6e2048ea8c04bc38: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+/root/repo/target/debug/deps/simkit-6e2048ea8c04bc38: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
 
 crates/simkit/src/lib.rs:
 crates/simkit/src/calendar.rs:
@@ -9,6 +9,7 @@ crates/simkit/src/event.rs:
 crates/simkit/src/json.rs:
 crates/simkit/src/log.rs:
 crates/simkit/src/metrics.rs:
+crates/simkit/src/pool.rs:
 crates/simkit/src/rng.rs:
 crates/simkit/src/stats.rs:
 crates/simkit/src/time.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/simkit-de558d3b4d0ad2ec.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/simkit-de558d3b4d0ad2ec.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsimkit-de558d3b4d0ad2ec.rmeta: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libsimkit-de558d3b4d0ad2ec.rmeta: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs Cargo.toml
 
 crates/simkit/src/lib.rs:
 crates/simkit/src/calendar.rs:
@@ -9,6 +9,7 @@ crates/simkit/src/event.rs:
 crates/simkit/src/json.rs:
 crates/simkit/src/log.rs:
 crates/simkit/src/metrics.rs:
+crates/simkit/src/pool.rs:
 crates/simkit/src/rng.rs:
 crates/simkit/src/stats.rs:
 crates/simkit/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-e97f90c6782f0913.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-e97f90c6782f0913: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/simkit-0ee0b21348603cb9.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+/root/repo/target/release/deps/simkit-0ee0b21348603cb9.d: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
 
-/root/repo/target/release/deps/libsimkit-0ee0b21348603cb9.rlib: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+/root/repo/target/release/deps/libsimkit-0ee0b21348603cb9.rlib: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
 
-/root/repo/target/release/deps/libsimkit-0ee0b21348603cb9.rmeta: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+/root/repo/target/release/deps/libsimkit-0ee0b21348603cb9.rmeta: crates/simkit/src/lib.rs crates/simkit/src/calendar.rs crates/simkit/src/driver.rs crates/simkit/src/event.rs crates/simkit/src/json.rs crates/simkit/src/log.rs crates/simkit/src/metrics.rs crates/simkit/src/pool.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
 
 crates/simkit/src/lib.rs:
 crates/simkit/src/calendar.rs:
@@ -11,6 +11,7 @@ crates/simkit/src/event.rs:
 crates/simkit/src/json.rs:
 crates/simkit/src/log.rs:
 crates/simkit/src/metrics.rs:
+crates/simkit/src/pool.rs:
 crates/simkit/src/rng.rs:
 crates/simkit/src/stats.rs:
 crates/simkit/src/time.rs:
