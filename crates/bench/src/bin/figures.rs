@@ -9,6 +9,7 @@
 //! cargo run --release -p mck-bench --bin figures -- control-bytes
 //! cargo run --release -p mck-bench --bin figures -- classes
 //! cargo run --release -p mck-bench --bin figures -- rollback
+//! cargo run --release -p mck-bench --bin figures -- logging
 //! cargo run --release -p mck-bench --bin figures -- storage
 //! cargo run --release -p mck-bench --bin figures -- recovery-time
 //! cargo run --release -p mck-bench --bin figures -- topologies
@@ -36,7 +37,8 @@ use std::time::Instant;
 use mck::artifact;
 use mck::config::{ProtocolChoice, SimConfig};
 use mck::experiments::{
-    ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_recovery_time, ext_rollback, ext_storage,
+    ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_recovery_time, ext_rollback,
+    ext_rollback_logging, ext_storage,
     ext_topologies,
     figure,
     run_figure, run_figures, FigureResult, FigureSpec,
@@ -92,6 +94,7 @@ fn main() {
         ["control-bytes"] => control_bytes(&opts),
         ["classes"] => classes(&opts),
         ["rollback"] => rollback(&opts),
+        ["logging"] => logging_rollback(&opts),
         ["storage"] => storage(&opts),
         ["recovery-time"] => recovery_time_cmd(&opts),
         ["topologies"] => topologies(&opts),
@@ -103,6 +106,7 @@ fn main() {
             control_bytes(&opts);
             classes(&opts);
             rollback(&opts);
+            logging_rollback(&opts);
             storage(&opts);
             recovery_time_cmd(&opts);
             topologies(&opts);
@@ -387,6 +391,33 @@ fn rollback(opts: &Opts) {
         ]);
     }
     println!("Extension E2: rollback after a single-host failure (horizon 2000)");
+    emit(opts, &t);
+}
+
+fn logging_rollback(opts: &Opts) {
+    eprintln!("running replay-recovery analysis (extension E8, pessimistic logging)...");
+    let rows = ext_rollback_logging(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "protocol",
+        "undone w/o log",
+        "undone w/ log",
+        "replayed (t.u.)",
+        "replayed msgs",
+        "log peak (KiB)",
+        "log writes (KiB)",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.protocol,
+            format!("{:.1}", r.mean_undone_off),
+            format!("{:.1}", r.mean_undone_logged),
+            format!("{:.1}", r.mean_replayed_time),
+            format!("{:.1}", r.mean_replayed_receives),
+            format!("{:.1}", r.mean_log_peak_bytes / 1024.0),
+            format!("{:.1}", r.mean_stable_write_bytes / 1024.0),
+        ]);
+    }
+    println!("Extension E8: undone work with vs. without pessimistic message logging (horizon 2000)");
     emit(opts, &t);
 }
 

@@ -132,6 +132,51 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_has_one_line_the_initial_cut() {
+        // No checkpoints, no messages: only line 0 exists and it is the
+        // initial cut; any higher index selects volatile state everywhere.
+        let t = TraceBuilder::new(3).finish();
+        assert_eq!(max_index(&t), 0);
+        assert_eq!(all_index_lines(&t).len(), 1);
+        let line = index_line(&t, 0);
+        assert_eq!(line.ordinals(), &[0, 0, 0]);
+        assert!(is_consistent(&t, &line));
+        let volatile = index_line(&t, 1);
+        assert_eq!(
+            volatile.ordinals(),
+            &[
+                t.checkpoints(ProcId(0)).len(),
+                t.checkpoints(ProcId(1)).len(),
+                t.checkpoints(ProcId(2)).len()
+            ]
+        );
+        assert!(is_consistent(&t, &volatile));
+    }
+
+    #[test]
+    fn host_never_reaching_k_contributes_volatile_state() {
+        // p1 stops at sn=1 while p0 reaches sn=2; p0's pre-C2 send is
+        // delivered into p1's volatile tail. Line 2 must keep p1 volatile,
+        // and the included receive is matched by the included send —
+        // consistent.
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.checkpoint(ProcId(1), 1.5, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 1.8);
+        b.checkpoint(ProcId(0), 2.0, 2, CkptKind::CellSwitch);
+        b.recv(MsgId(1), 3.5);
+        let t = b.finish();
+        let line = index_line(&t, 2);
+        assert_eq!(line.ordinal(ProcId(0)), 2);
+        assert_eq!(line.ordinal(ProcId(1)), t.checkpoints(ProcId(1)).len());
+        assert!(is_consistent(&t, &line));
+        // Beyond every index: the fully volatile cut, also consistent.
+        let beyond = index_line(&t, max_index(&t) + 1);
+        assert_eq!(beyond.ordinal(ProcId(0)), t.checkpoints(ProcId(0)).len());
+        assert!(is_consistent(&t, &beyond));
+    }
+
+    #[test]
     fn tp_line_delegates_to_containing_cut() {
         let mut b = TraceBuilder::new(2);
         b.checkpoint(ProcId(0), 1.0, 1, CkptKind::Forced);

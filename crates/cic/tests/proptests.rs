@@ -213,6 +213,45 @@ fn qbc_replacement_lines_consistent() {
     }
 }
 
+/// `index_line` edge behaviour over random BCS executions: a host that
+/// never reached index `k` contributes its volatile state (ordinal =
+/// checkpoint count), every line — including one past `max_index`, where
+/// every host is volatile — is consistent under `causality::cut`, and the
+/// line's ordinal really selects the first checkpoint with index `>= k`.
+#[test]
+fn index_line_handles_hosts_that_never_reach_k() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0xC1C_0007 ^ case);
+        let schedule = gen_steps(&mut gen, N_HOSTS, 80);
+        let out = run_schedule(make_protocols(CicKind::Bcs, N_HOSTS), &schedule);
+        let t = &out.trace;
+        for k in 0..=max_index(t) + 1 {
+            let line = cic::recovery::index_line(t, k);
+            assert!(
+                is_consistent(t, &line),
+                "case {case}: line k={k} inconsistent: {:?}",
+                line.ordinals()
+            );
+            for p in t.procs() {
+                let ckpts = t.checkpoints(p);
+                match ckpts.iter().find(|c| c.index >= k) {
+                    Some(c) => assert_eq!(line.ordinal(p), c.ordinal),
+                    None => assert_eq!(
+                        line.ordinal(p),
+                        ckpts.len(),
+                        "case {case}: {p} never reached k={k}, must stay volatile"
+                    ),
+                }
+            }
+        }
+        // One past the maximum: the fully volatile cut.
+        let beyond = cic::recovery::index_line(t, max_index(t) + 1);
+        for p in t.procs() {
+            assert_eq!(beyond.ordinal(p), t.checkpoints(p).len());
+        }
+    }
+}
+
 /// No protocol ever takes a useless checkpoint: each one belongs to some
 /// consistent global checkpoint (allowing volatile completions).
 #[test]

@@ -16,7 +16,9 @@
 //!   per-protocol wall-clock timings (written by `figures --json`);
 //! * `mck.bench_sweep/v1` — the parallel-sweep throughput benchmark
 //!   (written by `figures sweep-bench`): wall-clock and runs-per-second of
-//!   the full figure grid at each worker count, with per-protocol timings.
+//!   the full figure grid at each worker count, with per-protocol timings;
+//! * `mck.rollback_logging/v1` — undone work with vs. without pessimistic
+//!   message logging, per protocol ([`rollback_logging_artifact`]).
 
 use std::io::Write as _;
 use std::path::Path;
@@ -41,6 +43,9 @@ pub const BENCH_SCHEMA: &str = "mck.bench_figures/v1";
 /// Schema tag of the parallel-sweep throughput artifact
 /// (`figures sweep-bench`, conventionally `BENCH_sweep.json`).
 pub const BENCH_SWEEP_SCHEMA: &str = "mck.bench_sweep/v1";
+/// Schema tag of the logging-vs-checkpoint-only rollback artifact
+/// (`mck rollback --logging pessimistic`).
+pub const ROLLBACK_LOGGING_SCHEMA: &str = "mck.rollback_logging/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -78,6 +83,7 @@ pub fn config_json(cfg: &SimConfig) -> Json {
         ("horizon".into(), Json::Num(cfg.horizon)),
         ("seed".into(), Json::uint(cfg.seed)),
         ("record_trace".into(), Json::Bool(cfg.record_trace)),
+        ("logging".into(), Json::str(cfg.logging.name())),
     ])
 }
 
@@ -129,6 +135,46 @@ pub fn run_artifact(cfg: &SimConfig, report: &RunReport) -> Json {
             ]),
         ));
     }
+    Json::Obj(members)
+}
+
+/// The rollback-logging artifact: per protocol, mean undone work under
+/// checkpoint-only recovery versus replay recovery over the MSS message
+/// logs, with the replay and storage costs the logging trades for it.
+pub fn rollback_logging_artifact(
+    base_seed: u64,
+    replications: usize,
+    rows: &[crate::failure::LoggingRollbackSummary],
+) -> Json {
+    let mut members = header(ROLLBACK_LOGGING_SCHEMA);
+    members.push(("base_seed".into(), Json::uint(base_seed)));
+    members.push(("replications".into(), Json::uint(replications as u64)));
+    members.push((
+        "protocols".into(),
+        Json::Arr(
+            rows.iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("protocol".into(), Json::str(&s.protocol)),
+                        ("mean_undone_off".into(), Json::Num(s.mean_undone_off)),
+                        ("mean_undone_logged".into(), Json::Num(s.mean_undone_logged)),
+                        ("worst_undone_logged".into(), Json::Num(s.worst_undone_logged)),
+                        ("mean_replayed_time".into(), Json::Num(s.mean_replayed_time)),
+                        (
+                            "mean_replayed_receives".into(),
+                            Json::Num(s.mean_replayed_receives),
+                        ),
+                        ("mean_log_peak_bytes".into(), Json::Num(s.mean_log_peak_bytes)),
+                        (
+                            "mean_stable_write_bytes".into(),
+                            Json::Num(s.mean_stable_write_bytes),
+                        ),
+                        ("scenarios".into(), Json::uint(s.scenarios as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
     Json::Obj(members)
 }
 
@@ -309,6 +355,22 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                     .ok_or("bench sweep entry missing timing.runs_per_sec")?;
             }
         }
+        ROLLBACK_LOGGING_SCHEMA => {
+            let rows = v
+                .get("protocols")
+                .and_then(Json::as_arr)
+                .ok_or("rollback-logging artifact missing 'protocols' array")?;
+            if rows.is_empty() {
+                return Err("rollback-logging artifact has no protocols".into());
+            }
+            for r in rows {
+                for key in ["mean_undone_off", "mean_undone_logged", "mean_replayed_time"] {
+                    r.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("rollback-logging entry missing '{key}'"))?;
+                }
+            }
+        }
         other => return Err(format!("unknown schema '{other}'")),
     }
     Ok(schema)
@@ -473,6 +535,35 @@ pub fn describe(v: &Json) -> Result<String, String> {
             if let Some(speedup) = v.get("speedup").and_then(Json::as_f64) {
                 out += &format!("speedup  {speedup:.2}x (max jobs vs 1)\n");
             }
+        }
+        ROLLBACK_LOGGING_SCHEMA => {
+            let rows = v.get("protocols").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec![
+                "protocol",
+                "undone (off)",
+                "undone (logged)",
+                "replayed",
+                "log peak (KiB)",
+            ]);
+            for r in rows {
+                let num = |k: &str| {
+                    r.get(k)
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.2}"))
+                        .unwrap_or_else(|| "?".into())
+                };
+                t.push_row(vec![
+                    r.get("protocol").and_then(Json::as_str).unwrap_or("?").into(),
+                    num("mean_undone_off"),
+                    num("mean_undone_logged"),
+                    num("mean_replayed_time"),
+                    r.get("mean_log_peak_bytes")
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{:.1}", x / 1024.0))
+                        .unwrap_or_else(|| "?".into()),
+                ]);
+            }
+            out += &t.render();
         }
         _ => unreachable!("validate admits only known schemas"),
     }
@@ -656,6 +747,38 @@ mod tests {
             ("sweeps".into(), Json::Arr(vec![Json::Obj(vec![])])),
         ]);
         assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn rollback_logging_artifact_validates_and_describes() {
+        use crate::failure::LoggingRollbackSummary;
+        let rows = vec![LoggingRollbackSummary {
+            protocol: "QBC".into(),
+            mean_undone_off: 12.5,
+            mean_undone_logged: 0.0,
+            worst_undone_logged: 0.0,
+            mean_replayed_time: 42.0,
+            mean_replayed_receives: 7.5,
+            mean_log_peak_bytes: 2048.0,
+            mean_stable_write_bytes: 8192.0,
+            scenarios: 20,
+        }];
+        let art = rollback_logging_artifact(11, 2, &rows);
+        assert_eq!(validate(&art).unwrap(), ROLLBACK_LOGGING_SCHEMA);
+        let text = describe(&art).unwrap();
+        assert!(text.contains("QBC"), "{text}");
+        assert!(text.contains("undone (logged)"), "{text}");
+        assert!(text.contains("2.0"), "log peak KiB must render: {text}");
+        // Round trip through the serialized form.
+        let parsed = json::parse(&art.to_pretty()).unwrap();
+        assert_eq!(validate(&parsed).unwrap(), ROLLBACK_LOGGING_SCHEMA);
+        // An empty protocol list is rejected.
+        let empty = Json::Obj(vec![
+            ("schema".into(), Json::str(ROLLBACK_LOGGING_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            ("protocols".into(), Json::Arr(vec![])),
+        ]);
+        assert!(validate(&empty).is_err());
     }
 
     #[test]

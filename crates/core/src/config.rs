@@ -57,6 +57,48 @@ impl ProtocolChoice {
     }
 }
 
+/// Message-logging discipline of a run.
+///
+/// Logging is an *overlay*: it adds stable-storage writes at the stations
+/// but never schedules events or consumes randomness, so a run's event
+/// trajectory (and hence its trace, counters and figures) is byte-identical
+/// with logging on or off. Only the log-accounting fields of the report
+/// differ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LoggingMode {
+    /// No message logging (the paper's model).
+    #[default]
+    Off,
+    /// Pessimistic receiver-side logging at the MSS: every message is
+    /// synchronously logged to the responsible station's stable storage
+    /// before delivery to the mobile host (the MSS-proxy scheme).
+    Pessimistic,
+}
+
+impl LoggingMode {
+    /// Display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoggingMode::Off => "off",
+            LoggingMode::Pessimistic => "pessimistic",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(LoggingMode::Off),
+            "pessimistic" => Ok(LoggingMode::Pessimistic),
+            other => Err(format!("unknown logging mode '{other}' (off|pessimistic)")),
+        }
+    }
+
+    /// Whether any logging machinery should be instantiated.
+    pub fn is_enabled(self) -> bool {
+        self != LoggingMode::Off
+    }
+}
+
 /// Full parameter set of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -112,6 +154,9 @@ pub struct SimConfig {
     /// Record a full causality trace (needed for recovery analysis; costs
     /// memory proportional to events).
     pub record_trace: bool,
+    /// Message-logging discipline (off by default; pessimistic logging adds
+    /// MSS-side stable writes without perturbing the trajectory).
+    pub logging: LoggingMode,
     /// Capacity of the debugging event log (0 = disabled, the default).
     pub log_capacity: usize,
     /// Application payload size in bytes (for channel/energy accounting).
@@ -146,6 +191,7 @@ impl Default for SimConfig {
             horizon: 10_000.0,
             seed: 1,
             record_trace: false,
+            logging: LoggingMode::default(),
             log_capacity: 0,
             payload_bytes: 256,
             queue: QueueBackend::default(),
@@ -259,6 +305,17 @@ mod tests {
         assert_eq!(ProtocolChoice::Cic(CicKind::Tp).name(), "TP");
         assert_eq!(ProtocolChoice::ChandyLamport { interval: 100.0 }.name(), "CL");
         assert_eq!(ProtocolChoice::PrakashSinghal { interval: 100.0 }.name(), "PS");
+    }
+
+    #[test]
+    fn logging_mode_names_round_trip() {
+        assert_eq!(LoggingMode::default(), LoggingMode::Off);
+        assert!(!LoggingMode::Off.is_enabled());
+        assert!(LoggingMode::Pessimistic.is_enabled());
+        for mode in [LoggingMode::Off, LoggingMode::Pessimistic] {
+            assert_eq!(LoggingMode::parse(mode.name()), Ok(mode));
+        }
+        assert!(LoggingMode::parse("optimistic").is_err());
     }
 
     #[test]

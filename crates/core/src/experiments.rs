@@ -22,7 +22,9 @@ use cic::CicKind;
 use simkit::stats::Estimate;
 
 use crate::config::{ProtocolChoice, SimConfig};
-use crate::failure::{rollback_summary, RollbackSummary};
+use crate::failure::{
+    rollback_logging_summary, rollback_summary, LoggingRollbackSummary, RollbackSummary,
+};
 use crate::report::RunReport;
 use crate::runner::{run_configs, summarize_point, summarize_reports, PointSummary};
 use crate::table::{fmt_estimate, Table};
@@ -709,6 +711,26 @@ pub fn ext_rollback(base_seed: u64, replications: usize) -> Vec<RollbackSummary>
         cfg.horizon = 2000.0;
         cfg.periodic_mean = 100.0;
         rollback_summary(&cfg, base_seed, replications)
+    })
+    .collect()
+}
+
+/// Extension E8: undone work with vs. without pessimistic message logging,
+/// per protocol, on the same trajectories as [`ext_rollback`] (logging
+/// never perturbs a run, so the comparison is paired per seed).
+pub fn ext_rollback_logging(base_seed: u64, replications: usize) -> Vec<LoggingRollbackSummary> {
+    [
+        ProtocolChoice::Cic(CicKind::Qbc),
+        ProtocolChoice::Cic(CicKind::Bcs),
+        ProtocolChoice::Cic(CicKind::Tp),
+        ProtocolChoice::Cic(CicKind::Uncoordinated),
+    ]
+    .iter()
+    .map(|&protocol| {
+        let mut cfg = SimConfig::paper(protocol, 500.0, 0.8, 0.0);
+        cfg.horizon = 2000.0;
+        cfg.periodic_mean = 100.0;
+        rollback_logging_summary(&cfg, base_seed, replications)
     })
     .collect()
 }

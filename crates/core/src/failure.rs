@@ -15,8 +15,9 @@
 use causality::cut::Cut;
 use causality::recovery::{recovery_line_after_failure, rollback_cost};
 use causality::trace::{ProcId, Trace};
+use relog::ReplayPlan;
 
-use crate::config::SimConfig;
+use crate::config::{LoggingMode, SimConfig};
 use crate::runner::run_replications;
 
 /// Rollback measurement for one protocol configuration.
@@ -71,6 +72,101 @@ pub fn rollback_summary(cfg: &SimConfig, base_seed: u64, replications: usize) ->
         mean_max_undone: max_single / n,
         mean_ckpts_undone: ckpts / n,
         worst_total_undone: worst,
+        scenarios,
+    }
+}
+
+/// Rollback measurement comparing checkpoint-only recovery against
+/// pessimistic-logging replay recovery on the *same* trajectories.
+///
+/// Logging adds no events and draws no randomness, so the trace a logged
+/// run records is byte-identical to the logging-off run of the same seed;
+/// the two recovery models are therefore evaluated on exactly the same
+/// failure scenarios and the comparison is paired, not statistical.
+#[derive(Debug, Clone)]
+pub struct LoggingRollbackSummary {
+    /// Protocol name.
+    pub protocol: String,
+    /// Mean (over seeds × failed hosts) total time undone by
+    /// checkpoint-only recovery (logging off).
+    pub mean_undone_off: f64,
+    /// Mean total time undone by replay recovery over the surviving log.
+    /// Complete pessimistic logging makes this 0: every receive replays.
+    pub mean_undone_logged: f64,
+    /// Largest total undone time replay recovery ever needed.
+    pub worst_undone_logged: f64,
+    /// Mean total time re-executed from logged receives per failure (work
+    /// that is *not* lost but must be redone deterministically).
+    pub mean_replayed_time: f64,
+    /// Mean number of logged receives replayed per failure.
+    pub mean_replayed_receives: f64,
+    /// Mean (over runs) peak bytes of live log across all stations — the
+    /// stable-storage price of the logging, set by the GC frequency and
+    /// hence by the protocol's checkpoint rate.
+    pub mean_log_peak_bytes: f64,
+    /// Mean (over runs) bytes synchronously written to stable storage.
+    pub mean_stable_write_bytes: f64,
+    /// Number of (seed, failed-host) scenarios measured.
+    pub scenarios: usize,
+}
+
+/// Measures rollback with pessimistic message logging for `cfg` (forces
+/// trace recording and `LoggingMode::Pessimistic`) over `replications`
+/// seeds, failing each host once at the end of each run. Each scenario is
+/// evaluated under both recovery models.
+pub fn rollback_logging_summary(
+    cfg: &SimConfig,
+    base_seed: u64,
+    replications: usize,
+) -> LoggingRollbackSummary {
+    let mut cfg = cfg.clone();
+    cfg.record_trace = true;
+    cfg.logging = LoggingMode::Pessimistic;
+    let reports = run_replications(&cfg, base_seed, replications);
+
+    let mut undone_off = 0.0;
+    let mut undone_logged = 0.0;
+    let mut worst_logged: f64 = 0.0;
+    let mut replayed = 0.0;
+    let mut replayed_receives = 0.0;
+    let mut peak_bytes = 0.0;
+    let mut stable_writes = 0.0;
+    let mut scenarios = 0usize;
+    for report in &reports {
+        let trace = report
+            .trace
+            .as_ref()
+            .expect("trace recording was requested");
+        let log = report
+            .message_log
+            .as_ref()
+            .expect("logging was requested");
+        let stats = report.log_stats.as_ref().expect("logging was requested");
+        peak_bytes += stats.peak_bytes as f64;
+        stable_writes += stats.stable_write_bytes as f64;
+        let at = report.end_time;
+        for failed in trace.procs() {
+            let (_, cost) = failure_rollback(trace, failed, at);
+            undone_off += cost.total_time_undone();
+            let plan = ReplayPlan::for_failure(trace, log, &[failed], at);
+            debug_assert_eq!(plan.verify(trace, log), Ok(()));
+            undone_logged += plan.total_undone_time();
+            worst_logged = worst_logged.max(plan.total_undone_time());
+            replayed += plan.total_replayed_time();
+            replayed_receives += plan.total_replayed_receives() as f64;
+            scenarios += 1;
+        }
+    }
+    let n = scenarios as f64;
+    LoggingRollbackSummary {
+        protocol: cfg.protocol.name().to_string(),
+        mean_undone_off: undone_off / n,
+        mean_undone_logged: undone_logged / n,
+        worst_undone_logged: worst_logged,
+        mean_replayed_time: replayed / n,
+        mean_replayed_receives: replayed_receives / n,
+        mean_log_peak_bytes: peak_bytes / reports.len() as f64,
+        mean_stable_write_bytes: stable_writes / reports.len() as f64,
         scenarios,
     }
 }
@@ -245,6 +341,43 @@ mod tests {
         assert_eq!(s.protocol, "BCS");
         assert!(s.mean_total_undone >= 0.0);
         assert!(s.worst_total_undone >= s.mean_total_undone || s.worst_total_undone == 0.0);
+    }
+
+    #[test]
+    fn logging_undoes_nothing_and_never_loses_to_checkpoint_only() {
+        let s = rollback_logging_summary(&cfg(CicKind::Qbc), 5, 2);
+        assert_eq!(s.scenarios, 2 * 10);
+        assert_eq!(s.protocol, "QBC");
+        assert!(s.mean_undone_logged <= s.mean_undone_off + 1e-9);
+        // The simulation logs every delivery, so replay recovery loses
+        // nothing at all; the price shows up as replayed work and log
+        // storage instead.
+        assert_eq!(s.mean_undone_logged, 0.0);
+        assert_eq!(s.worst_undone_logged, 0.0);
+        assert!(s.mean_replayed_time > 0.0);
+        assert!(s.mean_log_peak_bytes > 0.0);
+        assert!(s.mean_stable_write_bytes >= s.mean_log_peak_bytes);
+    }
+
+    #[test]
+    fn logging_does_not_perturb_the_trajectory() {
+        let base = cfg(CicKind::Bcs);
+        let mut logged = base.clone();
+        logged.logging = LoggingMode::Pessimistic;
+        let off = crate::simulation::Simulation::run(base);
+        let on = crate::simulation::Simulation::run(logged);
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.n_tot(), on.n_tot());
+        assert_eq!(off.per_mh_ckpts, on.per_mh_ckpts);
+        assert_eq!(off.msgs_sent, on.msgs_sent);
+        assert_eq!(off.msgs_delivered, on.msgs_delivered);
+        assert_eq!(off.end_time, on.end_time);
+        assert!(off.log_stats.is_none() && off.message_log.is_none());
+        let stats = on.log_stats.unwrap();
+        assert_eq!(stats.appended_entries, on.msgs_delivered);
+        // GC keeps the live log bounded well below everything ever written.
+        assert!(stats.live_bytes <= stats.peak_bytes);
+        assert!(stats.peak_bytes <= stats.stable_write_bytes);
     }
 
     #[test]

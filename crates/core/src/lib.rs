@@ -57,7 +57,7 @@ pub mod table;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::config::{ProtocolChoice, SimConfig};
+    pub use crate::config::{LoggingMode, ProtocolChoice, SimConfig};
     pub use crate::experiments::{self, FigureSpec};
     pub use crate::failure;
     pub use crate::report::{CkptBreakdown, RunReport};

@@ -5,7 +5,8 @@
 //! (optionally) the full causality trace for recovery analysis.
 
 use causality::trace::Trace;
-use mobnet::NetMetrics;
+use mobnet::{LogStoreStats, NetMetrics};
+use relog::MessageLog;
 use simkit::driver::EngineProfile;
 use simkit::metrics::MetricsSnapshot;
 use simkit::trace::MemorySink;
@@ -81,6 +82,12 @@ pub struct RunReport {
     pub channel_utilization: f64,
     /// Total time transmissions spent queueing for cell channels.
     pub channel_queueing_delay: f64,
+    /// Stable-storage accounting of the MSS message logs (present when
+    /// message logging was enabled).
+    pub log_stats: Option<LogStoreStats>,
+    /// The surviving (post-GC) message log, for replay-based recovery
+    /// analysis (present when message logging was enabled).
+    pub message_log: Option<MessageLog>,
     /// Full causality trace, when recording was enabled.
     pub trace: Option<Trace>,
     /// Debugging event log (empty unless `log_capacity > 0`).
@@ -154,6 +161,20 @@ impl RunReport {
             format!("{} ({} bytes)", self.net.ckpt_fetches, self.net.ckpt_fetch_bytes),
         );
         row("events", self.events.to_string());
+        if let Some(s) = &self.log_stats {
+            row(
+                "log entries",
+                format!("{} ({} gc'd)", s.appended_entries, s.gc_entries),
+            );
+            row(
+                "log bytes",
+                format!("{} live / {} peak", s.live_bytes, s.peak_bytes),
+            );
+            row(
+                "log migrations",
+                format!("{} ({} bytes)", s.migrations, s.migration_bytes),
+            );
+        }
         if self.trace_emitted > 0 {
             row("trace events", self.trace_emitted.to_string());
         }
@@ -215,6 +236,8 @@ mod tests {
             blocked_sends: 0,
             channel_utilization: 0.0,
             channel_queueing_delay: 0.0,
+            log_stats: None,
+            message_log: None,
             trace: None,
             log: simkit::log::EventLog::disabled(),
             metrics: MetricsSnapshot::default(),
@@ -249,6 +272,8 @@ mod tests {
             blocked_sends: 0,
             channel_utilization: 0.0,
             channel_queueing_delay: 0.0,
+            log_stats: None,
+            message_log: None,
             trace: None,
             log: simkit::log::EventLog::disabled(),
             metrics: MetricsSnapshot::default(),

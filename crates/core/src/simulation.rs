@@ -29,9 +29,10 @@ use cic::coordinated::ControlMsg;
 use cic::piggyback::Piggyback;
 use cic::protocol::{BasicReason, Protocol};
 use mobnet::{
-    AttachmentTable, CellChannels, CkptStore, Dedup, LocationService, Mailboxes, MhId, MssId,
-    NetMetrics, PacketId, Queued, Topology,
+    AttachmentTable, CellChannels, CkptStore, Dedup, LocationService, LogStore, Mailboxes, MhId,
+    MssId, NetMetrics, PacketId, Queued, Topology,
 };
+use relog::MessageLog;
 use simkit::metrics::GaugeId;
 use simkit::prelude::*;
 use simkit::trace::CkptClass;
@@ -42,6 +43,10 @@ use crate::report::{CkptBreakdown, RunReport};
 
 /// Wire size charged for a mobility/coordination control message.
 pub(crate) const CONTROL_BYTES: u64 = 16;
+
+/// Per-entry stable-storage overhead of a logged message (ids, receive
+/// timestamp, piggyback framing) on top of the payload bytes.
+pub(crate) const LOG_ENTRY_HEADER_BYTES: u64 = 32;
 
 /// Observability attachments for one run: a structured trace stream, the
 /// metrics registry, and wall-clock profiling of the event loop.
@@ -141,6 +146,12 @@ pub struct Simulation {
     dedup: Dedup,
     loc: LocationService,
     store: CkptStore,
+    // Pessimistic message logging (both `Some` iff `cfg.logging` is
+    // enabled). Pure station-side accounting: appends, migrations and GC
+    // never schedule events or consume randomness, so the trajectory is
+    // byte-identical with logging on or off.
+    log_store: Option<LogStore>,
+    msg_log: Option<MessageLog>,
     channels: CellChannels,
     pub(crate) metrics: NetMetrics,
     pub(crate) protos: Vec<Box<dyn Protocol>>,
@@ -208,6 +219,8 @@ impl Simulation {
             },
             loc: LocationService::new(initial),
             store: CkptStore::new(n, cfg.incremental),
+            log_store: cfg.logging.is_enabled().then(|| LogStore::new(n)),
+            msg_log: cfg.logging.is_enabled().then(|| MessageLog::new(n)),
             channels: CellChannels::new(cfg.n_mss, cfg.wireless_bandwidth),
             metrics: NetMetrics::new(n),
             protos,
@@ -322,6 +335,8 @@ impl Simulation {
             blocked_sends: self.blocked_sends,
             channel_utilization,
             channel_queueing_delay,
+            log_stats: self.log_store.as_ref().map(LogStore::stats),
+            message_log: self.msg_log,
             trace: self.trace.map(TraceBuilder::finish),
             log: self.log,
             metrics,
@@ -367,6 +382,21 @@ impl Simulation {
         for (name, value) in counters {
             let id = self.registry.counter(name);
             self.registry.add(id, value);
+        }
+        if let Some(stats) = self.log_store.as_ref().map(LogStore::stats) {
+            let log_counters: [(&str, u64); 7] = [
+                ("log.appended_entries", stats.appended_entries),
+                ("log.stable_write_bytes", stats.stable_write_bytes),
+                ("log.migrations", stats.migrations),
+                ("log.migration_bytes", stats.migration_bytes),
+                ("log.gc_entries", stats.gc_entries),
+                ("log.live_bytes", stats.live_bytes),
+                ("log.peak_bytes", stats.peak_bytes),
+            ];
+            for (name, value) in log_counters {
+                let id = self.registry.counter(name);
+                self.registry.add(id, value);
+            }
         }
         let gauges: [(&str, f64); 3] = [
             ("run.end_time", out.end_time.as_f64()),
@@ -469,6 +499,19 @@ impl Simulation {
             self.metrics.wired_hops += 1;
             self.metrics.ckpt_fetches += 1;
         }
+        // The new stable checkpoint advances this host's recovery point:
+        // log entries strictly older than it can never be replayed again
+        // (pessimistic logging keeps the host at or above its latest
+        // stable checkpoint), so reclaim them.
+        if let Some(log) = &mut self.msg_log {
+            let (entries, bytes) = log.gc_before(ProcId(mh.idx()), now.as_f64());
+            if entries > 0 {
+                self.log_store
+                    .as_mut()
+                    .expect("log stores are created together")
+                    .gc(mh, entries as u64, bytes);
+            }
+        }
     }
 
     fn basic_checkpoint(&mut self, now: SimTime, mh: MhId, reason: BasicReason) {
@@ -533,6 +576,12 @@ impl Simulation {
             }
             self.loc.update(mh, new_cell);
             self.metrics.wired_hops += self.mailboxes.relocate(mh, new_cell);
+            // The surviving log follows the host so a later failure finds
+            // it at the responsible station (accounted in LogStoreStats,
+            // not NetMetrics, to keep counters identical across modes).
+            if let Some(ls) = &mut self.log_store {
+                ls.ensure_at(mh, new_cell);
+            }
             self.protos[mh.idx()].on_relocate(new_cell.idx() as u32);
             self.enter_cell(sched, mh);
         } else {
@@ -584,6 +633,9 @@ impl Simulation {
         self.loc.update(mh, cell);
         if was_buffering != cell {
             self.metrics.wired_hops += self.mailboxes.relocate(mh, cell);
+        }
+        if let Some(ls) = &mut self.log_store {
+            ls.ensure_at(mh, cell);
         }
         self.protos[i].on_relocate(cell.idx() as u32);
         // Resume the workload under a fresh generation.
@@ -726,6 +778,19 @@ impl Simulation {
                     }
                 }
                 _ => self.coord.on_app_message(mh, q.from, q.packet, &q.payload.pb),
+            }
+            // Pessimistic logging: the MSS synchronously writes the message
+            // to stable storage before handing it to the host. This runs
+            // after any forced checkpoint so that checkpoint's GC (strictly
+            // earlier entries only) cannot reclaim the fresh entry.
+            if let Some(log) = &mut self.msg_log {
+                let entry_bytes = bytes + LOG_ENTRY_HEADER_BYTES;
+                let mss = self.attach.attachment(mh).responsible_mss();
+                log.append(ProcId(mh.idx()), MsgId(q.packet.0), now.as_f64(), entry_bytes);
+                self.log_store
+                    .as_mut()
+                    .expect("log stores are created together")
+                    .append(mh, mss, entry_bytes);
             }
             if let Some(trace) = &mut self.trace {
                 trace.recv(MsgId(q.packet.0), now.as_f64());

@@ -41,5 +41,5 @@ pub use delivery::{Dedup, Mailboxes, Queued};
 pub use ids::{MhId, MssId, PacketId};
 pub use location::LocationService;
 pub use metrics::{EnergyModel, NetMetrics};
-pub use storage::{CkptStore, CkptTransfer, IncrementalModel, StoredCkpt};
+pub use storage::{CkptStore, CkptTransfer, IncrementalModel, LogStore, LogStoreStats, StoredCkpt};
 pub use topology::{CellGraph, Latencies, Topology};

@@ -168,6 +168,131 @@ impl CkptStore {
     }
 }
 
+/// Accounting snapshot of the message-log storage (see [`LogStore`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStoreStats {
+    /// Log entries ever appended.
+    pub appended_entries: u64,
+    /// Bytes synchronously written to MSS stable storage by appends.
+    pub stable_write_bytes: u64,
+    /// Hand-offs that moved a non-empty log between stations.
+    pub migrations: u64,
+    /// Bytes moved MSS → MSS over the wired network by those hand-offs.
+    pub migration_bytes: u64,
+    /// Entries reclaimed by garbage collection.
+    pub gc_entries: u64,
+    /// Bytes reclaimed by garbage collection.
+    pub gc_bytes: u64,
+    /// Entries currently live across stations.
+    pub live_entries: u64,
+    /// Bytes currently live across stations.
+    pub live_bytes: u64,
+    /// Peak live bytes ever held across stations.
+    pub peak_bytes: u64,
+}
+
+/// One host's log residence.
+#[derive(Debug, Clone, Copy)]
+struct HostLog {
+    mss: Option<MssId>,
+    entries: u64,
+    bytes: u64,
+}
+
+/// Byte accounting for MSS-resident message logs (pessimistic
+/// receiver-side logging).
+///
+/// Every message delivered to a mobile host is synchronously written to the
+/// stable storage of the MSS it is attached to, *before* delivery; like
+/// checkpoint state, the accumulated log follows the host across hand-offs
+/// over the wired network. This store tracks only the byte flows — which
+/// receives are logged, and the replay semantics, live in the `relog`
+/// crate.
+#[derive(Debug, Clone)]
+pub struct LogStore {
+    per_host: Vec<HostLog>,
+    stats: LogStoreStats,
+}
+
+impl LogStore {
+    /// An empty log store for `n` hosts.
+    pub fn new(n: usize) -> Self {
+        LogStore {
+            per_host: vec![
+                HostLog {
+                    mss: None,
+                    entries: 0,
+                    bytes: 0,
+                };
+                n
+            ],
+            stats: LogStoreStats::default(),
+        }
+    }
+
+    /// Ensures `mh`'s log resides at `mss`, migrating it over the wired
+    /// network if it currently lives elsewhere (the hand-off path).
+    /// Returns the bytes moved.
+    pub fn ensure_at(&mut self, mh: MhId, mss: MssId) -> u64 {
+        let h = &mut self.per_host[mh.idx()];
+        let moved = match h.mss {
+            Some(cur) if cur != mss && h.bytes > 0 => {
+                self.stats.migrations += 1;
+                self.stats.migration_bytes += h.bytes;
+                h.bytes
+            }
+            _ => 0,
+        };
+        h.mss = Some(mss);
+        moved
+    }
+
+    /// Records the synchronous stable-storage write of one log entry for
+    /// `mh` at `mss` (migrating the log there first if needed).
+    pub fn append(&mut self, mh: MhId, mss: MssId, bytes: u64) {
+        self.ensure_at(mh, mss);
+        let h = &mut self.per_host[mh.idx()];
+        h.entries += 1;
+        h.bytes += bytes;
+        self.stats.appended_entries += 1;
+        self.stats.stable_write_bytes += bytes;
+        self.stats.live_entries += 1;
+        self.stats.live_bytes += bytes;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+    }
+
+    /// Records that garbage collection reclaimed `entries`/`bytes` of
+    /// `mh`'s log (the recovery line advanced past them).
+    pub fn gc(&mut self, mh: MhId, entries: u64, bytes: u64) {
+        let h = &mut self.per_host[mh.idx()];
+        assert!(
+            entries <= h.entries && bytes <= h.bytes,
+            "GC reclaimed more than is stored"
+        );
+        h.entries -= entries;
+        h.bytes -= bytes;
+        self.stats.gc_entries += entries;
+        self.stats.gc_bytes += bytes;
+        self.stats.live_entries -= entries;
+        self.stats.live_bytes -= bytes;
+    }
+
+    /// Station currently holding `mh`'s log, if any entry was ever written.
+    pub fn residence(&self, mh: MhId) -> Option<MssId> {
+        self.per_host[mh.idx()].mss
+    }
+
+    /// Live log bytes held for `mh`.
+    pub fn bytes_of(&self, mh: MhId) -> u64 {
+        self.per_host[mh.idx()].bytes
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> LogStoreStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +371,68 @@ mod tests {
     #[should_panic(expected = "negative interval")]
     fn negative_interval_rejected() {
         model().dirty_bytes(-1.0);
+    }
+
+    #[test]
+    fn log_appends_accumulate_and_track_peak() {
+        let mut s = LogStore::new(2);
+        s.append(MhId(0), MssId(0), 100);
+        s.append(MhId(0), MssId(0), 50);
+        s.append(MhId(1), MssId(1), 30);
+        let st = s.stats();
+        assert_eq!(st.appended_entries, 3);
+        assert_eq!(st.stable_write_bytes, 180);
+        assert_eq!(st.live_bytes, 180);
+        assert_eq!(st.peak_bytes, 180);
+        assert_eq!(s.bytes_of(MhId(0)), 150);
+        assert_eq!(s.residence(MhId(0)), Some(MssId(0)));
+    }
+
+    #[test]
+    fn handoff_migrates_log_over_wired() {
+        let mut s = LogStore::new(1);
+        s.append(MhId(0), MssId(0), 100);
+        let moved = s.ensure_at(MhId(0), MssId(2));
+        assert_eq!(moved, 100);
+        assert_eq!(s.stats().migrations, 1);
+        assert_eq!(s.stats().migration_bytes, 100);
+        assert_eq!(s.residence(MhId(0)), Some(MssId(2)));
+        // Already local: no further movement.
+        assert_eq!(s.ensure_at(MhId(0), MssId(2)), 0);
+        assert_eq!(s.stats().migrations, 1);
+        // Appending at a third station migrates implicitly.
+        s.append(MhId(0), MssId(1), 10);
+        assert_eq!(s.stats().migrations, 2);
+        assert_eq!(s.stats().migration_bytes, 200);
+    }
+
+    #[test]
+    fn empty_log_handoff_moves_nothing() {
+        let mut s = LogStore::new(1);
+        assert_eq!(s.ensure_at(MhId(0), MssId(1)), 0);
+        assert_eq!(s.stats().migrations, 0);
+    }
+
+    #[test]
+    fn gc_shrinks_live_but_not_peak() {
+        let mut s = LogStore::new(1);
+        s.append(MhId(0), MssId(0), 100);
+        s.append(MhId(0), MssId(0), 60);
+        s.gc(MhId(0), 1, 100);
+        let st = s.stats();
+        assert_eq!(st.live_bytes, 60);
+        assert_eq!(st.live_entries, 1);
+        assert_eq!(st.gc_bytes, 100);
+        assert_eq!(st.peak_bytes, 160);
+        // GC'd state no longer pays for hand-offs.
+        assert_eq!(s.ensure_at(MhId(0), MssId(1)), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than is stored")]
+    fn overdrawn_gc_rejected() {
+        let mut s = LogStore::new(1);
+        s.append(MhId(0), MssId(0), 10);
+        s.gc(MhId(0), 2, 10);
     }
 }

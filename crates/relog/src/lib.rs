@@ -1,0 +1,59 @@
+//! `relog` — message logging and replay-based recovery for mobile hosts.
+//!
+//! The paper's closing question — "evaluation of the recovery time and of
+//! the amount of undone computation due to a failure" — is answered by the
+//! checkpoint-only rollback machinery in `causality::recovery`. This crate
+//! implements the standard technique for *shrinking* that undone work in
+//! mobile systems: **pessimistic receiver-side message logging at the
+//! support stations** (the MSS-proxy scheme). Every message delivered to a
+//! mobile host is synchronously logged, before delivery, in the stable
+//! storage of the MSS the host is attached to; log state follows the host
+//! across hand-offs like checkpoint state does.
+//!
+//! Under the piecewise-deterministic execution model, a host's run is fully
+//! determined by its start state and the sequence of messages it delivers.
+//! A failed host can therefore restart from its last stable checkpoint and
+//! **replay** forward through its logged receives, deterministically
+//! regenerating all work — including its own sends — up to the *replay
+//! frontier*: the first post-checkpoint receive missing from the log.
+//! Logged receives are never orphan (their content survives in MSS stable
+//! storage regardless of what the sender rolls back), so with a complete
+//! pessimistic log a single failure undoes **nothing** on the other hosts.
+//!
+//! * [`log`] — the per-host [`MessageLog`] kept in MSS stable storage,
+//!   with the recovery-line garbage-collection rule;
+//! * [`replay`] — the [`ReplayPlan`] fixpoint: restore frontiers, residual
+//!   undone work, replayed work, and the induced recovery cut.
+//!
+//! # Example
+//!
+//! ```
+//! use causality::trace::{TraceBuilder, ProcId, MsgId, CkptKind};
+//! use relog::{MessageLog, ReplayPlan};
+//!
+//! // p0 checkpoints, then sends m1; p1 receives it before its own next
+//! // checkpoint. Without logging, a failure of p0 orphans the receive and
+//! // rolls p1 back (the classic cascade).
+//! let mut b = TraceBuilder::new(2);
+//! b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+//! b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+//! b.recv(MsgId(1), 3.0);
+//! let trace = b.finish();
+//!
+//! // With the receive logged at p1's MSS, the cascade disappears: m1 is
+//! // replayable from stable storage, so p1 keeps its volatile state.
+//! let mut log = MessageLog::new(2);
+//! log.append(ProcId(1), MsgId(1), 3.0, 256);
+//! let plan = ReplayPlan::for_failure(&trace, &log, &[ProcId(0)], 5.0);
+//! assert_eq!(plan.undone_time(ProcId(1)), 0.0);
+//! plan.verify(&trace, &log).expect("orphan-free");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod replay;
+
+pub use log::{LogEntry, LogStats, MessageLog};
+pub use replay::ReplayPlan;

@@ -1,0 +1,218 @@
+//! The per-host message log kept in MSS stable storage.
+//!
+//! One [`MessageLog`] models the union of the logs held by all support
+//! stations on behalf of the mobile hosts: for each host, the time-ordered
+//! sequence of receives that were synchronously logged before delivery
+//! (pessimistic receiver-side logging). Where an entry physically resides
+//! (which MSS, moved on hand-off) is a byte-accounting concern handled by
+//! `mobnet::storage`; recovery only needs *whether* a receive is logged,
+//! which is location-independent because MSS stable storage survives mobile
+//! host failures.
+//!
+//! # Garbage collection
+//!
+//! Under pessimistic logging, recovery never rolls a host below its own
+//! latest stable checkpoint (logged receives are replayable without the
+//! sender, so no orphan can force a deeper rollback). An entry whose
+//! receive happened before the host's latest stable checkpoint can thus
+//! never be replayed again and is collectible: [`MessageLog::gc_before`]
+//! implements exactly that rule and is invoked each time the host
+//! checkpoints.
+
+use std::collections::HashSet;
+
+use causality::trace::{MsgId, ProcId};
+
+/// One logged receive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogEntry {
+    /// The delivered message.
+    pub msg: MsgId,
+    /// When it was delivered (and logged — pessimistic logging is
+    /// synchronous, so the two coincide).
+    pub recv_time: f64,
+    /// Stable-storage footprint of the entry (payload + piggyback +
+    /// header).
+    pub bytes: u64,
+}
+
+/// Cumulative log accounting, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStats {
+    /// Entries currently live.
+    pub entries: usize,
+    /// Bytes currently live.
+    pub bytes: u64,
+    /// Entries ever appended.
+    pub appended_entries: usize,
+    /// Bytes ever appended (= stable-storage write volume).
+    pub appended_bytes: u64,
+    /// Entries reclaimed by GC.
+    pub gc_entries: usize,
+    /// Bytes reclaimed by GC.
+    pub gc_bytes: u64,
+}
+
+/// The per-host pessimistic receive log.
+#[derive(Debug, Clone)]
+pub struct MessageLog {
+    entries: Vec<Vec<LogEntry>>,
+    logged: HashSet<MsgId>,
+    appended_entries: usize,
+    appended_bytes: u64,
+    gc_entries: usize,
+    gc_bytes: u64,
+}
+
+impl MessageLog {
+    /// An empty log over `n` hosts.
+    pub fn new(n: usize) -> Self {
+        MessageLog {
+            entries: vec![Vec::new(); n],
+            logged: HashSet::new(),
+            appended_entries: 0,
+            appended_bytes: 0,
+            gc_entries: 0,
+            gc_bytes: 0,
+        }
+    }
+
+    /// Number of hosts the log covers.
+    pub fn n_hosts(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Logs the receive of `msg` by `host` at `recv_time`. Entries of one
+    /// host must be appended in delivery order.
+    pub fn append(&mut self, host: ProcId, msg: MsgId, recv_time: f64, bytes: u64) {
+        let seq = &mut self.entries[host.idx()];
+        if let Some(last) = seq.last() {
+            assert!(
+                recv_time >= last.recv_time,
+                "log entries of {host} must be appended in delivery order"
+            );
+        }
+        assert!(self.logged.insert(msg), "message {msg:?} logged twice");
+        seq.push(LogEntry {
+            msg,
+            recv_time,
+            bytes,
+        });
+        self.appended_entries += 1;
+        self.appended_bytes += bytes;
+    }
+
+    /// True if `msg`'s receive is (still) in the log.
+    pub fn is_logged(&self, msg: MsgId) -> bool {
+        self.logged.contains(&msg)
+    }
+
+    /// The live entries of `host`, in delivery order.
+    pub fn entries(&self, host: ProcId) -> &[LogEntry] {
+        &self.entries[host.idx()]
+    }
+
+    /// Live entries across hosts.
+    pub fn n_entries(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// Live bytes held for `host`.
+    pub fn bytes_of(&self, host: ProcId) -> u64 {
+        self.entries[host.idx()].iter().map(|e| e.bytes).sum()
+    }
+
+    /// Live bytes across hosts.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().flatten().map(|e| e.bytes).sum()
+    }
+
+    /// Reclaims every entry of `host` received strictly before `time`
+    /// (the host's latest stable checkpoint — see the module docs for why
+    /// that is safe). Returns `(entries, bytes)` reclaimed.
+    pub fn gc_before(&mut self, host: ProcId, time: f64) -> (usize, u64) {
+        let seq = &mut self.entries[host.idx()];
+        let keep_from = seq.partition_point(|e| e.recv_time < time);
+        let mut bytes = 0;
+        for e in seq.drain(..keep_from) {
+            self.logged.remove(&e.msg);
+            bytes += e.bytes;
+        }
+        self.gc_entries += keep_from;
+        self.gc_bytes += bytes;
+        (keep_from, bytes)
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> LogStats {
+        LogStats {
+            entries: self.n_entries(),
+            bytes: self.total_bytes(),
+            appended_entries: self.appended_entries,
+            appended_bytes: self.appended_bytes,
+            gc_entries: self.gc_entries,
+            gc_bytes: self.gc_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_query() {
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(0), MsgId(1), 1.0, 100);
+        log.append(ProcId(0), MsgId(2), 2.0, 50);
+        log.append(ProcId(1), MsgId(3), 1.5, 70);
+        assert!(log.is_logged(MsgId(1)));
+        assert!(!log.is_logged(MsgId(9)));
+        assert_eq!(log.entries(ProcId(0)).len(), 2);
+        assert_eq!(log.n_entries(), 3);
+        assert_eq!(log.bytes_of(ProcId(0)), 150);
+        assert_eq!(log.total_bytes(), 220);
+    }
+
+    #[test]
+    fn gc_reclaims_prefix_only() {
+        let mut log = MessageLog::new(1);
+        log.append(ProcId(0), MsgId(1), 1.0, 10);
+        log.append(ProcId(0), MsgId(2), 2.0, 20);
+        log.append(ProcId(0), MsgId(3), 3.0, 30);
+        // Checkpoint at t=2: the entry *at* t=2 is in the post-checkpoint
+        // interval (checkpoints precede same-time deliveries) and must
+        // survive.
+        let (n, b) = log.gc_before(ProcId(0), 2.0);
+        assert_eq!((n, b), (1, 10));
+        assert!(!log.is_logged(MsgId(1)));
+        assert!(log.is_logged(MsgId(2)));
+        assert_eq!(log.stats().gc_bytes, 10);
+        assert_eq!(log.stats().appended_bytes, 60);
+        assert_eq!(log.stats().bytes, 50);
+    }
+
+    #[test]
+    fn gc_of_other_host_is_noop() {
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(0), MsgId(1), 1.0, 10);
+        assert_eq!(log.gc_before(ProcId(1), 100.0), (0, 0));
+        assert!(log.is_logged(MsgId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery order")]
+    fn out_of_order_append_rejected() {
+        let mut log = MessageLog::new(1);
+        log.append(ProcId(0), MsgId(1), 2.0, 10);
+        log.append(ProcId(0), MsgId(2), 1.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "logged twice")]
+    fn duplicate_append_rejected() {
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(0), MsgId(1), 1.0, 10);
+        log.append(ProcId(1), MsgId(1), 2.0, 10);
+    }
+}

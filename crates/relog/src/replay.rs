@@ -1,0 +1,507 @@
+//! Replay plans: how far logged messages carry recovery past the
+//! checkpoints.
+//!
+//! The model is the standard **piecewise-deterministic** (PWD) one: a
+//! host's execution is fully determined by its start state and the sequence
+//! of messages it delivers — receives are the only nondeterministic events.
+//! A host rolled back to a checkpoint therefore re-executes identically
+//! (including its own sends) as long as every receive it encounters is
+//! available in the MSS log; its **replay frontier** is the delivery time
+//! of the first post-checkpoint receive missing from the log (or "the whole
+//! run" when none is missing).
+//!
+//! [`ReplayPlan`] computes, for a set of failed hosts, the greatest
+//! orphan-free assignment of *restore frontiers* `R[h]`:
+//!
+//! * a failed host restarts from its last stable checkpoint and replays to
+//!   its frontier;
+//! * a surviving host keeps its volatile state — unless some message it
+//!   delivered was sent at-or-after the sender's frontier **and** is not
+//!   logged (a logged receive is replayable from MSS stable storage no
+//!   matter what the sender does, so it is never orphan). Such an orphan
+//!   rolls the receiver to the checkpoint opening the receive's interval,
+//!   from where it replays its own log forward; the rollback may cascade.
+//!
+//! The iteration starts from "everyone keeps everything" and only ever
+//! lowers frontiers, each time strictly, over the finite set of event
+//! times: it terminates, and yields the greatest fixpoint — the least
+//! possible rollback. Work between `R[h]` and the failure time is
+//! **undone**; work between the restart checkpoint and `R[h]` is
+//! **replayed** (re-executed, but not lost). The checkpoint-only analysis
+//! in `causality::recovery` is the degenerate case that assumes nothing
+//! replays; [`ReplayPlan`] never undoes more than it does.
+
+use causality::cut::{max_consistent_cut_below, Cut};
+use causality::trace::{MsgRecord, ProcId, Trace};
+
+use crate::log::MessageLog;
+
+/// The outcome of planning recovery for a failure: per-host restart
+/// checkpoints, restore frontiers, and the undone/replayed split.
+#[derive(Debug, Clone)]
+pub struct ReplayPlan {
+    at_time: f64,
+    /// Restart checkpoint ordinal; `n_checkpoints(p)` means "volatile
+    /// state, never rolled back".
+    restart: Vec<usize>,
+    rolled: Vec<bool>,
+    /// Exclusive restore frontier: events strictly before it are
+    /// recovered. `f64::INFINITY` means the host recovers (or keeps) its
+    /// entire run.
+    restore: Vec<f64>,
+    replayed_receives: Vec<usize>,
+    replayed_time: Vec<f64>,
+    undone: Vec<f64>,
+}
+
+/// Mutable solver state shared by the initial rolls and the fixpoint.
+struct Solver<'a> {
+    log: &'a MessageLog,
+    /// Delivered receives per host, in delivery order.
+    recvs: Vec<Vec<&'a MsgRecord>>,
+    restart: Vec<usize>,
+    restore: Vec<f64>,
+}
+
+impl<'a> Solver<'a> {
+    /// Rolls `h` back to checkpoint `ord` and replays its log forward,
+    /// setting the restore frontier at the first unlogged receive at or
+    /// after that checkpoint.
+    fn roll_to(&mut self, h: ProcId, ord: usize) {
+        debug_assert!(ord < self.restart[h.idx()], "rollbacks must deepen");
+        self.restart[h.idx()] = ord;
+        self.restore[h.idx()] = self.recvs[h.idx()]
+            .iter()
+            .filter(|m| m.recv_interval.expect("delivered") >= ord)
+            .find(|m| !self.log.is_logged(m.id))
+            .map(|m| m.recv_time.expect("delivered"))
+            .unwrap_or(f64::INFINITY);
+    }
+}
+
+impl ReplayPlan {
+    /// Plans recovery when `failed` hosts crash at `at_time` (losing their
+    /// volatile state): each restarts from its last stable checkpoint and
+    /// replays from the surviving logs.
+    pub fn for_failure(
+        trace: &Trace,
+        log: &MessageLog,
+        failed: &[ProcId],
+        at_time: f64,
+    ) -> ReplayPlan {
+        let mut init = vec![None; trace.n_procs()];
+        for &f in failed {
+            init[f.idx()] = Some(trace.checkpoints(f).len() - 1);
+        }
+        Self::solve(trace, log, &init, at_time)
+    }
+
+    /// Plans recovery from an explicit restart line (e.g. a protocol's
+    /// index-based recovery line from `cic::recovery`): every host at a
+    /// stable ordinal of `line` restarts there and replays forward; hosts
+    /// at their volatile ordinal keep their state.
+    pub fn from_line(trace: &Trace, log: &MessageLog, line: &Cut, at_time: f64) -> ReplayPlan {
+        let init: Vec<Option<usize>> = trace
+            .procs()
+            .map(|p| {
+                let ord = line.ordinal(p);
+                (ord < trace.checkpoints(p).len()).then_some(ord)
+            })
+            .collect();
+        Self::solve(trace, log, &init, at_time)
+    }
+
+    fn solve(trace: &Trace, log: &MessageLog, init: &[Option<usize>], at_time: f64) -> ReplayPlan {
+        assert_eq!(
+            log.n_hosts(),
+            trace.n_procs(),
+            "log and trace must cover the same hosts"
+        );
+        let n = trace.n_procs();
+        let mut recvs: Vec<Vec<&MsgRecord>> = vec![Vec::new(); n];
+        for m in trace.messages() {
+            if m.delivered() {
+                recvs[m.to.idx()].push(m);
+            }
+        }
+        for seq in &mut recvs {
+            seq.sort_by(|a, b| {
+                a.recv_time
+                    .partial_cmp(&b.recv_time)
+                    .expect("finite times")
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+        let mut s = Solver {
+            log,
+            recvs,
+            restart: trace.procs().map(|p| trace.checkpoints(p).len()).collect(),
+            restore: vec![f64::INFINITY; n],
+        };
+        for (i, ord) in init.iter().enumerate() {
+            if let Some(o) = *ord {
+                s.roll_to(ProcId(i), o);
+            }
+        }
+        // Orphan fixpoint. A delivered, unlogged message whose send lies
+        // at-or-after the sender's frontier but whose receive survives
+        // forces the receiver back; rolling only ever lowers frontiers, so
+        // the loop terminates.
+        loop {
+            let mut changed = false;
+            for m in trace.messages() {
+                let (Some(ri), Some(rt)) = (m.recv_interval, m.recv_time) else {
+                    continue;
+                };
+                if log.is_logged(m.id) {
+                    continue; // replayable from MSS stable storage
+                }
+                if m.send_time >= s.restore[m.from.idx()] && rt < s.restore[m.to.idx()] {
+                    s.roll_to(m.to, ri);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Split each rolled host's lost span into replayed and undone.
+        let mut replayed_receives = vec![0usize; n];
+        let mut replayed_time = vec![0.0; n];
+        let mut undone = vec![0.0; n];
+        for p in trace.procs() {
+            let i = p.idx();
+            let ckpts = trace.checkpoints(p);
+            if s.restart[i] >= ckpts.len() {
+                continue; // untouched volatile state
+            }
+            let restore_t = s.restore[i].min(at_time);
+            replayed_time[i] = (restore_t - ckpts[s.restart[i]].time).max(0.0);
+            undone[i] = (at_time - restore_t).max(0.0);
+            replayed_receives[i] = s.recvs[i]
+                .iter()
+                .filter(|m| {
+                    m.recv_interval.expect("delivered") >= s.restart[i]
+                        && m.recv_time.expect("delivered") < s.restore[i]
+                })
+                .count();
+        }
+        let rolled = trace
+            .procs()
+            .map(|p| s.restart[p.idx()] < trace.checkpoints(p).len())
+            .collect();
+        ReplayPlan {
+            at_time,
+            restart: s.restart,
+            rolled,
+            restore: s.restore,
+            replayed_receives,
+            replayed_time,
+            undone,
+        }
+    }
+
+    /// Number of hosts covered.
+    pub fn n_procs(&self) -> usize {
+        self.restart.len()
+    }
+
+    /// The failure time the plan was computed for.
+    pub fn at_time(&self) -> f64 {
+        self.at_time
+    }
+
+    /// Restart checkpoint ordinal of `p` (`= n_checkpoints` if `p` keeps
+    /// its volatile state).
+    pub fn restart_ordinal(&self, p: ProcId) -> usize {
+        self.restart[p.idx()]
+    }
+
+    /// The restore frontier of `p`: events strictly before it survive or
+    /// are regenerated by replay ([`f64::INFINITY`] = the whole run).
+    pub fn frontier(&self, p: ProcId) -> f64 {
+        self.restore[p.idx()]
+    }
+
+    /// True if `p` is rolled back at all (even if replay then recovers
+    /// everything).
+    pub fn is_rolled_back(&self, p: ProcId) -> bool {
+        self.rolled[p.idx()]
+    }
+
+    /// Simulated time truly lost by `p`: from its restore frontier to the
+    /// failure time.
+    pub fn undone_time(&self, p: ProcId) -> f64 {
+        self.undone[p.idx()]
+    }
+
+    /// Total undone time across hosts — the logging-enabled counterpart of
+    /// `RollbackCost::total_time_undone`.
+    pub fn total_undone_time(&self) -> f64 {
+        self.undone.iter().sum()
+    }
+
+    /// Largest single-host undone time.
+    pub fn max_undone_time(&self) -> f64 {
+        self.undone.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Simulated time `p` re-executes from its restart checkpoint to its
+    /// frontier — work that costs recovery time but is not lost.
+    pub fn replayed_time(&self, p: ProcId) -> f64 {
+        self.replayed_time[p.idx()]
+    }
+
+    /// Total replayed time across hosts.
+    pub fn total_replayed_time(&self) -> f64 {
+        self.replayed_time.iter().sum()
+    }
+
+    /// Logged receives `p` re-delivers from the MSS log during replay.
+    pub fn replayed_receives(&self, p: ProcId) -> usize {
+        self.replayed_receives[p.idx()]
+    }
+
+    /// Total receives replayed from the logs.
+    pub fn total_replayed_receives(&self) -> usize {
+        self.replayed_receives.iter().sum()
+    }
+
+    /// The recovery cut the plan restores: for each host, the highest
+    /// checkpoint ordinal reached again after replay (its volatile ordinal
+    /// when untouched or fully replayed).
+    pub fn cut(&self, trace: &Trace) -> Cut {
+        Cut::new(
+            trace
+                .procs()
+                .map(|p| {
+                    let i = p.idx();
+                    let len = trace.checkpoints(p).len();
+                    if self.restart[i] >= len || self.restore[i].is_infinite() {
+                        len
+                    } else {
+                        let regenerated = trace.checkpoints(p)[self.restart[i] + 1..]
+                            .iter()
+                            .take_while(|c| c.time < self.restore[i])
+                            .count();
+                        self.restart[i] + regenerated
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// The maximal *checkpoint-only* consistent line below [`Self::cut`]:
+    /// what the plan guarantees even to an observer that ignores replay
+    /// (mid-interval frontiers are truncated down to checkpoints). Always
+    /// consistent under `causality::cut::is_consistent`.
+    pub fn conservative_line(&self, trace: &Trace) -> Cut {
+        max_consistent_cut_below(trace, &self.cut(trace))
+    }
+
+    /// Checks the plan's two defining properties against a trace and log,
+    /// returning a description of the first violation:
+    ///
+    /// 1. **the frontier never crosses an unlogged receive** — every
+    ///    surviving post-restart receive of a rolled-back host is in the
+    ///    log;
+    /// 2. **no orphans** — no unlogged delivered message has its send
+    ///    dropped but its receive kept.
+    pub fn verify(&self, trace: &Trace, log: &MessageLog) -> Result<(), String> {
+        for p in trace.procs() {
+            let i = p.idx();
+            let ckpts = trace.checkpoints(p);
+            if self.restart[i] >= ckpts.len() {
+                continue;
+            }
+            if self.restore[i] < ckpts[self.restart[i]].time {
+                return Err(format!(
+                    "{p}: frontier {} below restart checkpoint at {}",
+                    self.restore[i],
+                    ckpts[self.restart[i]].time
+                ));
+            }
+        }
+        for m in trace.messages() {
+            let (Some(ri), Some(rt)) = (m.recv_interval, m.recv_time) else {
+                continue;
+            };
+            if log.is_logged(m.id) {
+                continue;
+            }
+            let replayed_through =
+                ri >= self.restart[m.to.idx()] && rt < self.restore[m.to.idx()];
+            if replayed_through && self.restart[m.to.idx()] < trace.checkpoints(m.to).len() {
+                return Err(format!(
+                    "frontier of {} crosses unlogged receive {:?} at {rt}",
+                    m.to, m.id
+                ));
+            }
+            if m.send_time >= self.restore[m.from.idx()] && rt < self.restore[m.to.idx()] {
+                return Err(format!(
+                    "orphan: {:?} sent by {} at {} (undone) but kept by {} at {rt}",
+                    m.id, m.from, m.send_time, m.to
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality::cut::is_consistent;
+    use causality::recovery::single_failure_rollback;
+    use causality::trace::{CkptKind, MsgId, TraceBuilder};
+
+    /// p0 ckpt → unlogged recv (from p1) → send m1 → p1 recv m1, ckpt.
+    /// The unlogged receive pins p0's frontier, so m1 is lost and p1's
+    /// receive of it is orphan.
+    fn cascade_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(10), ProcId(1), ProcId(0), 1.5);
+        b.recv(MsgId(10), 2.0);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.5);
+        b.recv(MsgId(1), 3.0);
+        b.checkpoint(ProcId(1), 3.5, 1, CkptKind::Forced);
+        b.finish()
+    }
+
+    #[test]
+    fn deterministic_tail_replays_without_log() {
+        // p0's only post-checkpoint events are internal/sends: under PWD it
+        // re-executes them identically, so even an empty log undoes nothing.
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 2.0);
+        b.recv(MsgId(1), 3.0);
+        let t = b.finish();
+        let log = MessageLog::new(2);
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 5.0);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.total_undone_time(), 0.0);
+        assert_eq!(plan.frontier(ProcId(0)), f64::INFINITY);
+        assert_eq!(plan.replayed_time(ProcId(0)), 4.0); // ckpt at 1 → failure at 5
+        assert_eq!(plan.cut(&t).ordinals(), &[2, 1]); // volatile everywhere
+    }
+
+    #[test]
+    fn unlogged_receive_blocks_replay_and_cascades() {
+        let t = cascade_trace();
+        let log = MessageLog::new(2);
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 5.0);
+        plan.verify(&t, &log).unwrap();
+        // p0 restarts at its checkpoint (t=1) and stops at the unlogged
+        // receive (t=2): 1 unit replayed, 3 undone.
+        assert_eq!(plan.restart_ordinal(ProcId(0)), 1);
+        assert_eq!(plan.frontier(ProcId(0)), 2.0);
+        assert_eq!(plan.replayed_time(ProcId(0)), 1.0);
+        assert_eq!(plan.undone_time(ProcId(0)), 3.0);
+        // m1 (sent at 2.5 ≥ frontier) is lost; p1's receive is orphan, so
+        // p1 rolls to its initial checkpoint and stops at its own unlogged
+        // receive of m1 (t=3).
+        assert_eq!(plan.restart_ordinal(ProcId(1)), 0);
+        assert_eq!(plan.frontier(ProcId(1)), 3.0);
+        assert_eq!(plan.undone_time(ProcId(1)), 2.0);
+        assert!(is_consistent(&t, &plan.conservative_line(&t)));
+    }
+
+    #[test]
+    fn logging_the_pivot_receive_kills_the_cascade() {
+        let t = cascade_trace();
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(0), MsgId(10), 2.0, 64);
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 5.0);
+        plan.verify(&t, &log).unwrap();
+        // p0 replays through the logged receive to the end: m1 regenerated,
+        // p1 untouched.
+        assert_eq!(plan.frontier(ProcId(0)), f64::INFINITY);
+        assert_eq!(plan.total_undone_time(), 0.0);
+        assert_eq!(plan.replayed_receives(ProcId(0)), 1);
+        assert_eq!(plan.undone_time(ProcId(1)), 0.0);
+        assert_eq!(plan.cut(&t).ordinals(), &[2, 2]);
+    }
+
+    #[test]
+    fn logged_receive_of_lost_send_is_not_orphan() {
+        // Like the cascade, but p1's receive of m1 is logged: even though
+        // m1's send is undone, p1 replays it from MSS stable storage.
+        let t = cascade_trace();
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(1), MsgId(1), 3.0, 64);
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 5.0);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.frontier(ProcId(0)), 2.0); // still blocked
+        assert_eq!(plan.undone_time(ProcId(1)), 0.0); // but no cascade
+    }
+
+    #[test]
+    fn gc_reclaimed_entry_blocks_like_missing_entry() {
+        let t = cascade_trace();
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(0), MsgId(10), 2.0, 64);
+        log.gc_before(ProcId(0), 10.0); // over-eager GC drops the entry
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 5.0);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.frontier(ProcId(0)), 2.0);
+    }
+
+    #[test]
+    fn never_undoes_more_than_checkpoint_only_recovery() {
+        let t = cascade_trace();
+        let log = MessageLog::new(2);
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 5.0);
+        let (_, cost) = single_failure_rollback(&t, ProcId(0), 5.0);
+        for p in t.procs() {
+            assert!(plan.undone_time(p) <= cost.time_undone[p.idx()] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_line_replays_past_the_line() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(1), ProcId(0), 1.5);
+        b.recv(MsgId(1), 2.0);
+        b.checkpoint(ProcId(0), 3.0, 2, CkptKind::CellSwitch);
+        let t = b.finish();
+        let mut log = MessageLog::new(2);
+        log.append(ProcId(0), MsgId(1), 2.0, 64);
+        // Restart p0 from ordinal 1; the logged receive lets replay walk
+        // through ordinal 2 back to volatile state.
+        let line = Cut::new(vec![1, 1]);
+        let plan = ReplayPlan::from_line(&t, &log, &line, 4.0);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.restart_ordinal(ProcId(0)), 1);
+        assert_eq!(plan.undone_time(ProcId(0)), 0.0);
+        assert_eq!(plan.cut(&t).ordinals(), &[3, 1]);
+    }
+
+    #[test]
+    fn no_failures_is_a_noop_plan() {
+        let t = cascade_trace();
+        let log = MessageLog::new(2);
+        let plan = ReplayPlan::for_failure(&t, &log, &[], 5.0);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.total_undone_time(), 0.0);
+        assert_eq!(plan.total_replayed_time(), 0.0);
+        assert_eq!(plan.cut(&t).ordinals(), &[2, 2]);
+    }
+
+    #[test]
+    fn failed_host_with_only_initial_checkpoint() {
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(1), ProcId(0), 1.0);
+        b.recv(MsgId(1), 2.0);
+        let t = b.finish();
+        let log = MessageLog::new(2);
+        let plan = ReplayPlan::for_failure(&t, &log, &[ProcId(0)], 3.0);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.restart_ordinal(ProcId(0)), 0);
+        assert_eq!(plan.frontier(ProcId(0)), 2.0);
+        assert_eq!(plan.undone_time(ProcId(0)), 1.0);
+        assert_eq!(plan.replayed_time(ProcId(0)), 2.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Property-style tests for replay-based recovery over randomly generated
+//! traces and randomly incomplete logs.
+//!
+//! Cases are generated deterministically with `SimRng` (an internal
+//! dev-dependency), so the suite is reproducible and dependency-free.
+
+use causality::cut::is_consistent;
+use causality::recovery::{recovery_line_after_failure, rollback_cost, volatile_cut};
+use causality::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
+use relog::{MessageLog, ReplayPlan};
+use simkit::prelude::SimRng;
+
+const CASES: u64 = 64;
+
+/// A random-trace action: either a checkpoint or a message hop.
+#[derive(Debug, Clone)]
+enum Action {
+    Ckpt { proc: usize },
+    Msg { from: usize, to: usize },
+}
+
+/// Deterministic random action list with 1..len entries.
+fn gen_actions(gen: &mut SimRng, n_procs: usize, len: usize) -> Vec<Action> {
+    let n = 1 + gen.index(len - 1);
+    (0..n)
+        .map(|_| {
+            if gen.bernoulli(0.4) {
+                Action::Ckpt { proc: gen.index(n_procs) }
+            } else {
+                let from = gen.index(n_procs);
+                let to = gen.index_excluding(n_procs, from);
+                Action::Msg { from, to }
+            }
+        })
+        .collect()
+}
+
+/// Materializes a trace: messages are delivered after a short delay, so the
+/// receive lands wherever later checkpoints put it (same discipline as the
+/// causality proptests).
+fn build_trace(n_procs: usize, acts: &[Action]) -> Trace {
+    let mut b = TraceBuilder::new(n_procs);
+    let mut time = 1.0;
+    let mut next_msg = 0u64;
+    let mut in_flight: Vec<(MsgId, usize)> = Vec::new();
+    for (step, act) in acts.iter().enumerate() {
+        let mut still = Vec::new();
+        for (id, due) in in_flight.drain(..) {
+            if step >= due {
+                b.recv(id, time);
+                time += 0.25;
+            } else {
+                still.push((id, due));
+            }
+        }
+        in_flight = still;
+        match *act {
+            Action::Ckpt { proc } => {
+                let idx = b.n_checkpoints(ProcId(proc)) as u64;
+                b.checkpoint(ProcId(proc), time, idx, CkptKind::Periodic);
+            }
+            Action::Msg { from, to } => {
+                next_msg += 1;
+                b.send(MsgId(next_msg), ProcId(from), ProcId(to), time);
+                in_flight.push((MsgId(next_msg), step + 2));
+            }
+        }
+        time += 0.25;
+    }
+    for (id, _) in in_flight {
+        b.recv(id, time);
+        time += 0.25;
+    }
+    b.finish()
+}
+
+/// End of the trace's activity, for use as the failure time.
+fn end_time(t: &Trace) -> f64 {
+    let mut end: f64 = 0.0;
+    for p in t.procs() {
+        for c in t.checkpoints(p) {
+            end = end.max(c.time);
+        }
+    }
+    for m in t.messages() {
+        end = end.max(m.send_time);
+        if let Some(rt) = m.recv_time {
+            end = end.max(rt);
+        }
+    }
+    end + 1.0
+}
+
+/// Logs each delivered receive with probability `p`.
+fn partial_log(gen: &mut SimRng, t: &Trace, p: f64) -> MessageLog {
+    let mut log = MessageLog::new(t.n_procs());
+    let mut recvs: Vec<&causality::trace::MsgRecord> =
+        t.messages().iter().filter(|m| m.delivered()).collect();
+    recvs.sort_by(|a, b| a.recv_time.partial_cmp(&b.recv_time).unwrap());
+    for m in recvs {
+        if gen.bernoulli(p) {
+            log.append(m.to, m.id, m.recv_time.unwrap(), 64);
+        }
+    }
+    log
+}
+
+/// Logs every delivered receive (complete pessimistic logging).
+fn full_log(t: &Trace) -> MessageLog {
+    let mut gen = SimRng::new(0); // unused at p = 1.0
+    partial_log(&mut gen, t, 1.0)
+}
+
+/// The two defining replay properties hold for arbitrary traces, arbitrary
+/// partial logs and any failed host: the frontier never crosses an
+/// unlogged receive, and the restored state has no orphan messages. The
+/// conservative checkpoint-only projection of the plan is consistent under
+/// `causality::cut`.
+#[test]
+fn frontier_and_orphan_freedom() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x4E_0001 ^ case);
+        let acts = gen_actions(&mut gen, 4, 70);
+        let t = build_trace(4, &acts);
+        let failed = ProcId(gen.index(4));
+        let p_log = gen.uniform();
+        let log = partial_log(&mut gen, &t, p_log);
+        let at = end_time(&t);
+        let plan = ReplayPlan::for_failure(&t, &log, &[failed], at);
+        plan.verify(&t, &log)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(is_consistent(&t, &plan.conservative_line(&t)));
+        // The failed host never keeps volatile state (it may restart even
+        // deeper than its last stable checkpoint if a cascade reaches it).
+        assert!(plan.restart_ordinal(failed) < t.checkpoints(failed).len());
+        // Accounting is well-formed.
+        assert!(plan.total_undone_time() >= 0.0);
+        assert!(plan.total_replayed_time() >= 0.0);
+        assert!(plan.total_replayed_receives() <= log.n_entries());
+    }
+}
+
+/// With a complete pessimistic log a single failure undoes nothing
+/// anywhere: the failed host replays its whole run and every other host
+/// keeps volatile state.
+#[test]
+fn complete_log_undoes_nothing() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x4E_0002 ^ case);
+        let acts = gen_actions(&mut gen, 4, 70);
+        let t = build_trace(4, &acts);
+        let failed = ProcId(gen.index(4));
+        let log = full_log(&t);
+        let at = end_time(&t);
+        let plan = ReplayPlan::for_failure(&t, &log, &[failed], at);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.total_undone_time(), 0.0);
+        assert_eq!(plan.frontier(failed), f64::INFINITY);
+        // The recovered cut is the volatile cut — trivially consistent.
+        assert_eq!(plan.cut(&t).ordinals(), volatile_cut(&t).ordinals());
+        assert!(is_consistent(&t, &plan.cut(&t)));
+        // Only the failed host pays replay.
+        for p in t.procs() {
+            if p != failed {
+                assert_eq!(plan.replayed_time(p), 0.0);
+            }
+        }
+    }
+}
+
+/// Replay recovery never undoes more than checkpoint-only recovery, per
+/// host — even with an empty or arbitrarily incomplete log.
+#[test]
+fn never_worse_than_checkpoint_only() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x4E_0003 ^ case);
+        let acts = gen_actions(&mut gen, 4, 70);
+        let t = build_trace(4, &acts);
+        let failed = ProcId(gen.index(4));
+        let at = end_time(&t);
+        let line = recovery_line_after_failure(&t, &[failed]);
+        let cost = rollback_cost(&t, &line, at);
+        for p_log in [0.0, 0.3, 0.7] {
+            let log = partial_log(&mut gen, &t, p_log);
+            let plan = ReplayPlan::for_failure(&t, &log, &[failed], at);
+            plan.verify(&t, &log).unwrap();
+            for p in t.procs() {
+                assert!(
+                    plan.undone_time(p) <= cost.time_undone[p.idx()] + 1e-9,
+                    "case {case} p_log {p_log}: {p} undoes {} > checkpoint-only {}",
+                    plan.undone_time(p),
+                    cost.time_undone[p.idx()]
+                );
+            }
+        }
+    }
+}
+
+/// Logging is monotone: a strictly larger log never increases any host's
+/// undone time (the fixpoint is the greatest orphan-free frontier
+/// assignment, monotone in the log).
+#[test]
+fn more_logging_never_hurts() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x4E_0004 ^ case);
+        let acts = gen_actions(&mut gen, 3, 60);
+        let t = build_trace(3, &acts);
+        let failed = ProcId(gen.index(3));
+        let at = end_time(&t);
+        // Build nested logs: `bigger` contains every entry of `smaller`.
+        let mut smaller = MessageLog::new(3);
+        let mut bigger = MessageLog::new(3);
+        let mut recvs: Vec<&causality::trace::MsgRecord> =
+            t.messages().iter().filter(|m| m.delivered()).collect();
+        recvs.sort_by(|a, b| a.recv_time.partial_cmp(&b.recv_time).unwrap());
+        for m in recvs {
+            let r = gen.uniform();
+            if r < 0.3 {
+                smaller.append(m.to, m.id, m.recv_time.unwrap(), 64);
+            }
+            if r < 0.6 {
+                bigger.append(m.to, m.id, m.recv_time.unwrap(), 64);
+            }
+        }
+        let plan_s = ReplayPlan::for_failure(&t, &smaller, &[failed], at);
+        let plan_b = ReplayPlan::for_failure(&t, &bigger, &[failed], at);
+        for p in t.procs() {
+            assert!(
+                plan_b.undone_time(p) <= plan_s.undone_time(p) + 1e-9,
+                "case {case}: larger log increased {p}'s undone time"
+            );
+        }
+    }
+}
+
+/// GC up to each host's latest stable checkpoint never changes the plan for
+/// a failure at the end of the trace: the reclaimed entries are exactly the
+/// ones recovery can no longer need.
+#[test]
+fn gc_to_latest_checkpoint_is_invisible() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x4E_0005 ^ case);
+        let acts = gen_actions(&mut gen, 3, 60);
+        let t = build_trace(3, &acts);
+        let failed = ProcId(gen.index(3));
+        let at = end_time(&t);
+        let full = full_log(&t);
+        let mut gced = full_log(&t);
+        for p in t.procs() {
+            let last = t.checkpoints(p).last().unwrap().time;
+            gced.gc_before(p, last);
+        }
+        let plan_full = ReplayPlan::for_failure(&t, &full, &[failed], at);
+        let plan_gced = ReplayPlan::for_failure(&t, &gced, &[failed], at);
+        plan_gced.verify(&t, &gced).unwrap();
+        for p in t.procs() {
+            assert_eq!(plan_full.undone_time(p), plan_gced.undone_time(p));
+            assert_eq!(plan_full.frontier(p), plan_gced.frontier(p));
+        }
+    }
+}
+
+/// `from_line` started at a protocol recovery line is orphan-free and, with
+/// a complete log, replays every host at a stable ordinal back to volatile
+/// state.
+#[test]
+fn from_line_replays_back_to_volatile_with_full_log() {
+    for case in 0..CASES {
+        let mut gen = SimRng::new(0x4E_0006 ^ case);
+        let acts = gen_actions(&mut gen, 3, 60);
+        let t = build_trace(3, &acts);
+        let failed = ProcId(gen.index(3));
+        let at = end_time(&t);
+        let line = recovery_line_after_failure(&t, &[failed]);
+        let log = full_log(&t);
+        let plan = ReplayPlan::from_line(&t, &log, &line, at);
+        plan.verify(&t, &log).unwrap();
+        assert_eq!(plan.total_undone_time(), 0.0);
+        assert_eq!(plan.cut(&t).ordinals(), volatile_cut(&t).ordinals());
+    }
+}

@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The replay-recovery property suite is the correctness gate for the
+# message-logging subsystem; run it explicitly so a filtered workspace
+# test run can never silently skip it.
+echo "==> cargo test -p relog -q (replay proptests)"
+cargo test -p relog -q
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -30,6 +36,19 @@ echo "==> smoke: determinism across --jobs and --queue"
 ./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
     --jobs 4 --queue calendar > "$out_dir/par.txt"
 diff -q "$out_dir/seq.txt" "$out_dir/par.txt"
+
+# Pessimistic logging must be deterministic: two runs of the same seed
+# emit byte-identical mck.rollback_logging/v1 artifacts, and logging must
+# not perturb the trajectory (the report rows match the logging-off run).
+echo "==> smoke: logging determinism (--logging pessimistic)"
+mkdir -p "$out_dir/log1" "$out_dir/log2"
+./target/release/mck rollback --reps 1 --seed 7 --logging pessimistic \
+    --out-dir "$out_dir/log1" >/dev/null
+./target/release/mck rollback --reps 1 --seed 7 --logging pessimistic \
+    --out-dir "$out_dir/log2" >/dev/null
+diff -q "$out_dir/log1/ROLLBACK_LOGGING.json" "$out_dir/log2/ROLLBACK_LOGGING.json"
+./target/release/mck inspect "$out_dir/log1/ROLLBACK_LOGGING.json" \
+    | grep -q "mck.rollback_logging/v1"
 
 # Non-gating bench smoke: time the figure grid through the parallel sweep
 # executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers

@@ -1,0 +1,123 @@
+//! End-to-end: pessimistic MSS message logging and replay-based recovery
+//! on real simulated trajectories.
+//!
+//! These tests drive the full stack — simulation with `LoggingMode::
+//! Pessimistic`, the `relog` replay planner over the recorded trace and the
+//! surviving (post-GC) log — and check the headline claims: replay recovery
+//! never loses to checkpoint-only recovery on the same seeds, a complete
+//! pessimistic log undoes nothing at all, logging never perturbs a
+//! trajectory, and the whole pipeline is deterministic.
+
+use causality::cut::is_consistent;
+use mck::failure::rollback_logging_summary;
+use mck::prelude::*;
+use relog::ReplayPlan;
+
+fn cfg(kind: CicKind) -> SimConfig {
+    SimConfig {
+        protocol: ProtocolChoice::Cic(kind),
+        horizon: 300.0,
+        t_switch: 60.0,
+        p_switch: 0.9,
+        record_trace: true,
+        logging: LoggingMode::Pessimistic,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// For every protocol the paper studies (plus the uncoordinated baseline):
+/// mean undone work under replay recovery never exceeds the checkpoint-only
+/// figure from the same seeds, and with complete pessimistic logging it is
+/// exactly zero — the cost moves into replayed work and log storage.
+#[test]
+fn replay_recovery_never_loses_to_checkpoint_only() {
+    for kind in [
+        CicKind::Tp,
+        CicKind::Bcs,
+        CicKind::Qbc,
+        CicKind::Uncoordinated,
+    ] {
+        let s = rollback_logging_summary(&cfg(kind), 11, 2);
+        assert_eq!(s.scenarios, 2 * 10, "{}", s.protocol);
+        assert!(
+            s.mean_undone_logged <= s.mean_undone_off + 1e-9,
+            "{}: logged recovery undid {} > {}",
+            s.protocol,
+            s.mean_undone_logged,
+            s.mean_undone_off
+        );
+        assert_eq!(s.mean_undone_logged, 0.0, "{}", s.protocol);
+        assert!(s.mean_replayed_time > 0.0, "{}", s.protocol);
+        assert!(s.mean_log_peak_bytes > 0.0, "{}", s.protocol);
+    }
+}
+
+/// The log a real run leaves behind satisfies the replay invariants for
+/// every possible failed host: the plan verifies (frontier never crosses an
+/// unlogged receive, no orphans), its conservative checkpoint projection is
+/// consistent, and nothing is undone.
+#[test]
+fn sim_produced_log_satisfies_replay_invariants() {
+    let report = Simulation::run(cfg(CicKind::Qbc));
+    let trace = report.trace.as_ref().unwrap();
+    let log = report.message_log.as_ref().unwrap();
+    for failed in trace.procs() {
+        let plan = ReplayPlan::for_failure(trace, log, &[failed], report.end_time);
+        plan.verify(trace, log)
+            .unwrap_or_else(|e| panic!("failed {failed}: {e}"));
+        assert!(is_consistent(trace, &plan.conservative_line(trace)));
+        assert_eq!(plan.total_undone_time(), 0.0);
+        assert_eq!(plan.frontier(failed), f64::INFINITY);
+    }
+}
+
+/// Checkpoint-driven GC actually reclaims log space during a run, and what
+/// survives is exactly the suffix of each host's deliveries since its last
+/// stable checkpoint.
+#[test]
+fn gc_keeps_only_the_replayable_suffix() {
+    let report = Simulation::run(cfg(CicKind::Bcs));
+    let trace = report.trace.as_ref().unwrap();
+    let log = report.message_log.as_ref().unwrap();
+    let stats = report.log_stats.unwrap();
+    assert!(stats.gc_entries > 0, "GC never fired: {stats:?}");
+    assert!(stats.live_bytes < stats.stable_write_bytes);
+    for p in trace.procs() {
+        let last_ckpt = trace.checkpoints(p).last().unwrap().time;
+        for e in log.entries(p) {
+            assert!(
+                e.recv_time >= last_ckpt,
+                "{p}: entry at {} predates its last checkpoint at {last_ckpt}",
+                e.recv_time
+            );
+        }
+    }
+}
+
+/// Two runs of the same seed produce byte-identical logs and accounting,
+/// and a logged run's trajectory matches the logging-off run exactly.
+#[test]
+fn logging_is_deterministic_and_invisible_to_the_trajectory() {
+    let a = Simulation::run(cfg(CicKind::Tp));
+    let b = Simulation::run(cfg(CicKind::Tp));
+    assert_eq!(a.log_stats, b.log_stats);
+    let (la, lb) = (a.message_log.as_ref().unwrap(), b.message_log.as_ref().unwrap());
+    for p in a.trace.as_ref().unwrap().procs() {
+        assert_eq!(la.entries(p), lb.entries(p), "{p} log differs across runs");
+    }
+
+    let mut off_cfg = cfg(CicKind::Tp);
+    off_cfg.logging = LoggingMode::Off;
+    let off = Simulation::run(off_cfg);
+    assert!(off.message_log.is_none() && off.log_stats.is_none());
+    assert_eq!(off.events, a.events);
+    assert_eq!(off.n_tot(), a.n_tot());
+    assert_eq!(off.msgs_delivered, a.msgs_delivered);
+    assert_eq!(off.per_mh_ckpts, a.per_mh_ckpts);
+    let (ta, to) = (a.trace.as_ref().unwrap(), off.trace.as_ref().unwrap());
+    for p in ta.procs() {
+        assert_eq!(ta.checkpoints(p), to.checkpoints(p), "{p} trace differs");
+    }
+    assert_eq!(ta.messages(), to.messages());
+}
