@@ -15,6 +15,9 @@
 //! cargo run --release -p mck-bench --bin figures -- topologies
 //! cargo run --release -p mck-bench --bin figures -- contention
 //! cargo run --release -p mck-bench --bin figures -- sweep-bench
+//! cargo run --release -p mck-bench --bin figures -- log-size
+//! cargo run --release -p mck-bench --bin figures -- scenarios
+//! cargo run --release -p mck-bench --bin figures -- scenario scenarios/markov_grid.json
 //! cargo run --release -p mck-bench --bin figures -- everything  # the lot
 //! ```
 //!
@@ -24,7 +27,17 @@
 //! `--json PATH` (additionally write a machine-readable
 //! `mck.bench_figures/v1` artifact — conventionally `BENCH_figures.json` —
 //! with per-protocol `N_tot` estimates and wall-clock timings; applies to
-//! the figure commands).
+//! the figure commands),
+//! `--scenario FILE` (apply a `mck.scenario/v1` environment to the figure
+//! commands; the figure axes `T_switch`/`P_switch`/`H` stay pinned),
+//! `--out-dir DIR` (where `log-size` and `scenario` write their artifacts;
+//! default the working directory).
+//! `log-size` sweeps `T_switch` under pessimistic logging and writes the
+//! peak live log bytes per protocol as a `mck.log_size/v1` artifact
+//! (`BENCH_log_size.json`). `scenarios` compares the protocols under
+//! Markov vs. paper mobility (extension E9). `scenario FILE...` runs a full
+//! `T_switch` sweep per protocol inside each scenario file's environment
+//! and writes one `mck.sweep/v1` artifact per protocol.
 //! `sweep-bench` times the full figure grid at 1 worker and at full
 //! parallelism and writes a `mck.bench_sweep/v1` artifact (default
 //! `BENCH_sweep.json`) with runs-per-second and per-protocol wall-clock.
@@ -37,12 +50,15 @@ use std::time::Instant;
 use mck::artifact;
 use mck::config::{ProtocolChoice, SimConfig};
 use mck::experiments::{
-    ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_recovery_time, ext_rollback,
-    ext_rollback_logging, ext_storage,
+    ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_log_size,
+    ext_recovery_time, ext_rollback,
+    ext_rollback_logging, ext_scenarios, ext_storage,
     ext_topologies,
     figure,
-    run_figure, run_figures, FigureResult, FigureSpec,
+    run_figure, run_figures, run_figures_scenario, run_sweep, FigureResult, FigureSpec,
+    T_SWITCH_SWEEP,
 };
+use mck::scenario::Scenario;
 use mck::simulation::{Instrumentation, Simulation};
 use mck::table::{fmt_estimate, Table};
 use simkit::json::Json;
@@ -54,6 +70,8 @@ struct Opts {
     plot: bool,
     json: Option<PathBuf>,
     jobs: Option<usize>,
+    scenario: Option<Scenario>,
+    out_dir: PathBuf,
 }
 
 fn main() {
@@ -65,6 +83,8 @@ fn main() {
         plot: false,
         json: None,
         jobs: None,
+        scenario: None,
+        out_dir: PathBuf::from("."),
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -78,6 +98,11 @@ fn main() {
             "--jobs" => {
                 opts.jobs = Some(it.next().expect("--jobs N").parse().expect("number"));
             }
+            "--scenario" => {
+                let path = it.next().expect("--scenario FILE");
+                opts.scenario = Some(load_scenario(path));
+            }
+            "--out-dir" => opts.out_dir = PathBuf::from(it.next().expect("--out-dir DIR")),
             other => cmd.push(other.to_string()),
         }
     }
@@ -99,6 +124,9 @@ fn main() {
         ["recovery-time"] => recovery_time_cmd(&opts),
         ["topologies"] => topologies(&opts),
         ["contention"] => contention(&opts),
+        ["log-size"] => log_size(&opts),
+        ["scenarios"] => scenarios_cmd(&opts),
+        ["scenario", files @ ..] if !files.is_empty() => scenario_sweeps(&opts, files),
         ["everything"] => {
             figures(&opts, &[1, 2, 3, 4, 5, 6]);
             print_claims(&opts);
@@ -111,9 +139,21 @@ fn main() {
             recovery_time_cmd(&opts);
             topologies(&opts);
             contention(&opts);
+            log_size(&opts);
+            scenarios_cmd(&opts);
         }
         other => {
             eprintln!("unknown command {other:?}; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load_scenario(path: &str) -> Scenario {
+    match Scenario::load(std::path::Path::new(path)) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("scenario {path}: {e}");
             std::process::exit(2);
         }
     }
@@ -130,11 +170,21 @@ fn emit(opts: &Opts, t: &Table) {
 
 fn figures(opts: &Opts, ids: &[usize]) {
     let mut fig_entries: Vec<Json> = Vec::new();
+    if let Some(sc) = &opts.scenario {
+        eprintln!("figures under scenario '{}' (figure axes stay pinned)", sc.name);
+    }
     for &id in ids {
         let spec = figure(id);
         eprintln!("running {} ({} reps/point)...", spec.caption(), opts.reps);
         let t0 = Instant::now();
-        let res = run_figure(&spec, opts.seed, opts.reps);
+        let res = run_figures_scenario(
+            std::slice::from_ref(&spec),
+            opts.seed,
+            opts.reps,
+            opts.scenario.as_ref(),
+        )
+        .pop()
+        .expect("one result per spec");
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         println!("{}", spec.caption());
         emit(opts, &res.table());
@@ -507,4 +557,100 @@ fn contention(opts: &Opts) {
     }
     println!("Extension E7: channel contention at 50 kB/t.u. (T_switch=1000, P_switch=0.8)");
     emit(opts, &t);
+}
+
+fn log_size(opts: &Opts) {
+    eprintln!("running log-size sweep (pessimistic logging, peak live log per protocol)...");
+    let rows = ext_log_size(opts.seed, opts.reps.min(3), &T_SWITCH_SWEEP);
+    let mut t = Table::new(vec![
+        "T_switch",
+        "TP peak KiB",
+        "BCS peak KiB",
+        "QBC peak KiB",
+        "UNCOORD peak KiB",
+    ]);
+    for row in &rows {
+        let mut cells = vec![format!("{:.0}", row.t_switch)];
+        for (_, s) in &row.series {
+            cells.push(format!("{:.1}", s.mean_peak_bytes / 1024.0));
+        }
+        t.push_row(cells);
+    }
+    println!("Log-size figures: peak live MSS log bytes vs T_switch (P_switch=0.8, horizon 4000)");
+    emit(opts, &t);
+    let path = opts.out_dir.join("BENCH_log_size.json");
+    let art = artifact::log_size_artifact(opts.seed, opts.reps.min(3), &rows);
+    match artifact::write(&path, &art) {
+        Ok(()) => eprintln!("log-size artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn scenarios_cmd(opts: &Opts) {
+    eprintln!("running mobility-scenario comparison (extension E9)...");
+    let rows = ext_scenarios(opts.seed, opts.reps.min(3));
+    let mut t = Table::new(vec![
+        "environment",
+        "TP",
+        "BCS",
+        "QBC",
+        "handoffs/run",
+        "disconnects/run",
+    ]);
+    for r in &rows {
+        let mut cells = vec![r.env.to_string()];
+        for (_, e) in &r.n_tot {
+            cells.push(fmt_estimate(e.mean, e.ci95));
+        }
+        cells.push(format!("{:.0}", r.mean_handoffs));
+        cells.push(format!("{:.0}", r.mean_disconnects));
+        t.push_row(cells);
+    }
+    println!("Extension E9: N_tot under paper vs. Markov mobility (grid 2x3, T_switch=500)");
+    emit(opts, &t);
+}
+
+/// Runs the full `T_switch` sweep per CIC protocol inside each scenario
+/// file's environment, and writes one `mck.sweep/v1` artifact per
+/// protocol (`SWEEP_<scenario>_<protocol>.json`).
+fn scenario_sweeps(opts: &Opts, files: &[&str]) {
+    for path in files {
+        let sc = load_scenario(path);
+        eprintln!("scenario '{}' sweep ({} reps/point)...", sc.name, opts.reps);
+        for proto in cic::CicKind::PAPER {
+            let mut cfg = SimConfig::default();
+            cfg.apply_scenario(&sc);
+            cfg.protocol = ProtocolChoice::Cic(proto);
+            if let Err(e) = cfg.check() {
+                eprintln!("scenario {path}: {e}");
+                std::process::exit(2);
+            }
+            let t0 = Instant::now();
+            let points = run_sweep(&cfg, &T_SWITCH_SWEEP, opts.seed, opts.reps);
+            let timing = artifact::SweepTiming {
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                runs: (T_SWITCH_SWEEP.len() * opts.reps) as u64,
+                jobs: mck::runner::jobs(),
+            };
+            let mut t = Table::new(vec!["T_switch", "N_tot", "basic", "forced"]);
+            for (ts, s) in &points {
+                t.push_row(vec![
+                    format!("{ts:.0}"),
+                    fmt_estimate(s.n_tot.mean, s.n_tot.ci95),
+                    fmt_estimate(s.n_basic.mean, s.n_basic.ci95),
+                    fmt_estimate(s.n_forced.mean, s.n_forced.ci95),
+                ]);
+            }
+            println!("scenario '{}': {} sweep", sc.name, proto.name());
+            emit(opts, &t);
+            let out = opts
+                .out_dir
+                .join(format!("SWEEP_{}_{}.json", sc.name, proto.name()));
+            let art = artifact::sweep_artifact(&cfg, opts.seed, opts.reps, &points, Some(timing));
+            match artifact::write(&out, &art) {
+                Ok(()) => eprintln!("sweep artifact -> {}", out.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+            }
+        }
+    }
 }

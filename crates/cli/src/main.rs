@@ -14,6 +14,11 @@
 //! mck topologies [--reps 3] [--seed 1]
 //! mck list
 //! ```
+//!
+//! `run`, `sweep`, and `fig` additionally take `--scenario FILE`: a
+//! `mck.scenario/v1` JSON file (see `scenarios/`) that swaps the cell
+//! topology, mobility model, and traffic model and may override scalar
+//! parameters. Explicit flags still win over the scenario.
 
 mod args;
 
@@ -35,7 +40,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic] [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic] [--out-dir DIR]\n  mck inspect <artifact.json>\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic] [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json>\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -55,6 +60,7 @@ const KNOWN: &[&str] = &[
     "out-dir",
     "jobs",
     "queue",
+    "scenario",
 ];
 const BOOLEAN: &[&str] = &["csv"];
 
@@ -101,20 +107,36 @@ fn logging_of(args: &Args) -> Result<LoggingMode, ArgError> {
     LoggingMode::parse(args.get("logging").unwrap_or("off")).map_err(ArgError)
 }
 
+/// Loads the `--scenario` file, if given.
+fn scenario_of(args: &Args) -> Result<Option<Scenario>, ArgError> {
+    match args.get("scenario") {
+        None => Ok(None),
+        Some(path) => Scenario::load(std::path::Path::new(path))
+            .map(Some)
+            .map_err(|e| ArgError(format!("--scenario {path}: {e}"))),
+    }
+}
+
 fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
-    Ok(SimConfig {
-        protocol: protocol_of(args)?,
-        queue: queue_of(args)?,
-        logging: logging_of(args)?,
-        t_switch: args.get_f64("t-switch", 1000.0)?,
-        p_switch: args.get_f64("p-switch", 1.0)?,
-        heterogeneity: args.get_f64("h", 0.0)?,
-        horizon: args.get_f64("horizon", 10_000.0)?,
-        seed: args.get_u64("seed", 1)?,
-        p_send: args.get_f64("ps", 0.4)?,
-        dup_prob: args.get_f64("dup", 0.0)?,
-        ..Default::default()
-    })
+    // Precedence: defaults, then the scenario file, then explicit flags.
+    let mut cfg = SimConfig::default();
+    if let Some(sc) = scenario_of(args)? {
+        cfg.apply_scenario(&sc);
+    }
+    cfg.protocol = protocol_of(args)?;
+    cfg.queue = queue_of(args)?;
+    cfg.logging = logging_of(args)?;
+    cfg.t_switch = args.get_f64("t-switch", cfg.t_switch)?;
+    cfg.p_switch = args.get_f64("p-switch", cfg.p_switch)?;
+    cfg.heterogeneity = args.get_f64("h", cfg.heterogeneity)?;
+    cfg.horizon = args.get_f64("horizon", cfg.horizon)?;
+    cfg.seed = args.get_u64("seed", cfg.seed)?;
+    cfg.p_send = args.get_f64("ps", cfg.p_send)?;
+    cfg.dup_prob = args.get_f64("dup", cfg.dup_prob)?;
+    // Typed validation up front: the CLI reports bad inputs as errors
+    // instead of tripping the panicking guard inside the simulation.
+    cfg.check().map_err(|e| ArgError(e.to_string()))?;
+    Ok(cfg)
 }
 
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
@@ -212,7 +234,8 @@ fn cmd_fig(args: &Args) -> Result<String, ArgError> {
     // All requested figures execute as one flattened job list, so `fig all`
     // keeps every worker busy across figure boundaries.
     let specs: Vec<FigureSpec> = ids.iter().map(|&id| experiments::figure(id)).collect();
-    let results = experiments::run_figures(&specs, seed, reps);
+    let scenario = scenario_of(args)?;
+    let results = experiments::run_figures_scenario(&specs, seed, reps, scenario.as_ref());
     let mut out = String::new();
     for (id, res) in ids.iter().copied().zip(results) {
         let spec = &res.spec;
@@ -417,7 +440,9 @@ fn cmd_list() -> String {
     out += "  recovery-time: recovery-line collection cost per protocol\n";
     out += "  topologies: cell-adjacency graph ablation\n";
     out += "  contention: wireless channel contention at finite bandwidth\n";
-    out += "  inspect:  summarize a JSON artifact written by run/sweep/fig\n";
+    out += "  inspect:  summarize a JSON artifact written by run/sweep/fig, or a scenario file\n";
+    out += "scenarios: pass --scenario FILE (mck.scenario/v1) to run/sweep/fig to swap the\n";
+    out += "           cell topology, mobility model, and traffic model; see scenarios/\n";
     out
 }
 
@@ -587,6 +612,65 @@ mod tests {
     fn inspect_rejects_missing_file() {
         assert!(dispatch(&raw(&["inspect"])).is_err());
         assert!(dispatch(&raw(&["inspect", "/nonexistent/x.json"])).is_err());
+    }
+
+    /// Path to a bundled scenario file, resolved relative to the workspace.
+    fn bundled(name: &str) -> String {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../scenarios")
+            .join(name)
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn paper_scenario_is_a_no_op() {
+        let base = &["run", "--protocol", "QBC", "--horizon", "400", "--t-switch", "100"];
+        let plain = dispatch(&raw(base)).unwrap();
+        let mut with = raw(base);
+        with.extend(raw(&["--scenario", &bundled("paper.json")]));
+        let scenario = dispatch(&with).unwrap();
+        assert_eq!(plain, scenario, "paper scenario must not change results");
+    }
+
+    #[test]
+    fn markov_scenario_runs_and_flags_override_it() {
+        let base = raw(&[
+            "run",
+            "--scenario",
+            &bundled("markov_grid.json"),
+            "--horizon",
+            "400",
+            "--t-switch",
+            "100",
+        ]);
+        let out = dispatch(&base).unwrap();
+        assert!(out.contains("N_tot"), "{out}");
+        // Same scenario, same flags -> identical output (determinism).
+        assert_eq!(out, dispatch(&base).unwrap());
+        // A different seed flag overrides the scenario-applied config.
+        let mut reseeded = base.clone();
+        reseeded.extend(raw(&["--seed", "7"]));
+        assert_ne!(out, dispatch(&reseeded).unwrap());
+    }
+
+    #[test]
+    fn scenario_errors_are_reported() {
+        assert!(dispatch(&raw(&["run", "--scenario", "/nonexistent.json"])).is_err());
+        let dir = std::env::temp_dir();
+        let bad = dir.join("mck_cli_bad_scenario.json");
+        std::fs::write(&bad, r#"{"schema":"mck.scenario/v1","params":{"t_switch":-5}}"#).unwrap();
+        let err = dispatch(&raw(&["run", "--scenario", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("t_switch"), "{}", err.0);
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn inspect_reads_scenario_files() {
+        let out = dispatch(&raw(&["inspect", &bundled("hotspot.json")])).unwrap();
+        assert!(out.contains("mck.scenario/v1"), "{out}");
+        assert!(out.contains("hotspot"), "{out}");
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!   (written by `figures sweep-bench`): wall-clock and runs-per-second of
 //!   the full figure grid at each worker count, with per-protocol timings;
 //! * `mck.rollback_logging/v1` — undone work with vs. without pessimistic
-//!   message logging, per protocol ([`rollback_logging_artifact`]).
+//!   message logging, per protocol ([`rollback_logging_artifact`]);
+//! * `mck.log_size/v1` — live log occupancy per protocol across a
+//!   `T_switch` sweep under pessimistic logging ([`log_size_artifact`]).
+//!
+//! Scenario files (`mck.scenario/v1`, see the `scenario` crate) share the
+//! self-describing envelope, so `mck inspect` understands them too.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -46,6 +51,9 @@ pub const BENCH_SWEEP_SCHEMA: &str = "mck.bench_sweep/v1";
 /// Schema tag of the logging-vs-checkpoint-only rollback artifact
 /// (`mck rollback --logging pessimistic`).
 pub const ROLLBACK_LOGGING_SCHEMA: &str = "mck.rollback_logging/v1";
+/// Schema tag of the log-size sweep artifact
+/// (`figures log-size`, conventionally `BENCH_log_size.json`).
+pub const LOG_SIZE_SCHEMA: &str = "mck.log_size/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -84,6 +92,9 @@ pub fn config_json(cfg: &SimConfig) -> Json {
         ("seed".into(), Json::uint(cfg.seed)),
         ("record_trace".into(), Json::Bool(cfg.record_trace)),
         ("logging".into(), Json::str(cfg.logging.name())),
+        ("topology".into(), cfg.env.topology.to_json()),
+        ("mobility".into(), cfg.env.mobility.to_json()),
+        ("traffic".into(), cfg.env.traffic.to_json()),
     ])
 }
 
@@ -170,6 +181,63 @@ pub fn rollback_logging_artifact(
                             Json::Num(s.mean_stable_write_bytes),
                         ),
                         ("scenarios".into(), Json::uint(s.scenarios as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
+/// The log-size artifact: per swept `T_switch`, the mean peak and final
+/// live log bytes per protocol under pessimistic logging, with append/GC
+/// entry counts for context.
+pub fn log_size_artifact(
+    base_seed: u64,
+    replications: usize,
+    rows: &[crate::experiments::LogSizeRow],
+) -> Json {
+    let mut members = header(LOG_SIZE_SCHEMA);
+    members.push(("base_seed".into(), Json::uint(base_seed)));
+    members.push(("replications".into(), Json::uint(replications as u64)));
+    members.push((
+        "points".into(),
+        Json::Arr(
+            rows.iter()
+                .map(|row| {
+                    Json::Obj(vec![
+                        ("t_switch".into(), Json::Num(row.t_switch)),
+                        (
+                            "series".into(),
+                            Json::Obj(
+                                row.series
+                                    .iter()
+                                    .map(|(name, s)| {
+                                        (
+                                            name.clone(),
+                                            Json::Obj(vec![
+                                                (
+                                                    "mean_peak_bytes".into(),
+                                                    Json::Num(s.mean_peak_bytes),
+                                                ),
+                                                (
+                                                    "mean_live_bytes".into(),
+                                                    Json::Num(s.mean_live_bytes),
+                                                ),
+                                                (
+                                                    "mean_appended_entries".into(),
+                                                    Json::Num(s.mean_appended_entries),
+                                                ),
+                                                (
+                                                    "mean_gc_entries".into(),
+                                                    Json::Num(s.mean_gc_entries),
+                                                ),
+                                            ]),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ),
                     ])
                 })
                 .collect(),
@@ -309,9 +377,12 @@ pub fn validate(v: &Json) -> Result<&str, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing 'schema' field")?;
-    v.get("version")
-        .and_then(Json::as_str)
-        .ok_or("missing 'version' field")?;
+    // Scenario files are authored by hand; they carry no producer version.
+    if schema != scenario::SCENARIO_SCHEMA {
+        v.get("version")
+            .and_then(Json::as_str)
+            .ok_or("missing 'version' field")?;
+    }
     match schema {
         RUN_SCHEMA => {
             for key in ["config", "outcome", "metrics"] {
@@ -370,6 +441,32 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                         .ok_or_else(|| format!("rollback-logging entry missing '{key}'"))?;
                 }
             }
+        }
+        LOG_SIZE_SCHEMA => {
+            let points = v
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("log-size artifact missing 'points' array")?;
+            if points.is_empty() {
+                return Err("log-size artifact has no points".into());
+            }
+            for p in points {
+                p.get("t_switch")
+                    .and_then(Json::as_f64)
+                    .ok_or("log-size point missing 't_switch'")?;
+                let series = p
+                    .get("series")
+                    .and_then(Json::as_obj)
+                    .ok_or("log-size point missing 'series' object")?;
+                for (name, s) in series {
+                    s.get("mean_peak_bytes")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("series '{name}' missing mean_peak_bytes"))?;
+                }
+            }
+        }
+        scenario::SCENARIO_SCHEMA => {
+            scenario::Scenario::from_json(v).map_err(|e| e.to_string())?;
         }
         other => return Err(format!("unknown schema '{other}'")),
     }
@@ -564,6 +661,50 @@ pub fn describe(v: &Json) -> Result<String, String> {
                 ]);
             }
             out += &t.render();
+        }
+        LOG_SIZE_SCHEMA => {
+            let points = v.get("points").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec!["t_switch", "peak live log (KiB)"]);
+            for p in points {
+                let ts = p
+                    .get("t_switch")
+                    .and_then(Json::as_f64)
+                    .map(|x| format!("{x:.0}"))
+                    .unwrap_or_else(|| "?".into());
+                let cell = p
+                    .get("series")
+                    .and_then(Json::as_obj)
+                    .map_or_else(String::new, |series| {
+                        series
+                            .iter()
+                            .map(|(name, s)| {
+                                format!(
+                                    "{name}={:.1}",
+                                    s.get("mean_peak_bytes")
+                                        .and_then(Json::as_f64)
+                                        .unwrap_or(0.0)
+                                        / 1024.0
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    });
+                t.push_row(vec![ts, cell]);
+            }
+            out += &t.render();
+        }
+        scenario::SCENARIO_SCHEMA => {
+            let sc = scenario::Scenario::from_json(v).expect("validated");
+            out += &format!("name     {}\n", sc.name);
+            if !sc.description.is_empty() {
+                out += &format!("about    {}\n", sc.description);
+            }
+            out += &format!(
+                "topology {}\nmobility {}\ntraffic  {}\n",
+                sc.env.topology.to_json().to_compact(),
+                sc.env.mobility.to_json().to_compact(),
+                sc.env.traffic.to_json().to_compact(),
+            );
         }
         _ => unreachable!("validate admits only known schemas"),
     }
@@ -779,6 +920,67 @@ mod tests {
             ("protocols".into(), Json::Arr(vec![])),
         ]);
         assert!(validate(&empty).is_err());
+    }
+
+    #[test]
+    fn log_size_artifact_validates_and_describes() {
+        use crate::experiments::{LogSizeRow, LogSizeStats};
+        let rows = vec![LogSizeRow {
+            t_switch: 200.0,
+            series: vec![(
+                "TP".into(),
+                LogSizeStats {
+                    mean_peak_bytes: 4096.0,
+                    mean_live_bytes: 1024.0,
+                    mean_appended_entries: 100.0,
+                    mean_gc_entries: 80.0,
+                },
+            )],
+        }];
+        let art = log_size_artifact(3, 2, &rows);
+        assert_eq!(validate(&art).unwrap(), LOG_SIZE_SCHEMA);
+        let text = describe(&art).unwrap();
+        assert!(text.contains("TP=4.0"), "peak KiB must render: {text}");
+        let parsed = json::parse(&art.to_pretty()).unwrap();
+        assert_eq!(validate(&parsed).unwrap(), LOG_SIZE_SCHEMA);
+        // An empty point list is rejected.
+        let empty = Json::Obj(vec![
+            ("schema".into(), Json::str(LOG_SIZE_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            ("points".into(), Json::Arr(vec![])),
+        ]);
+        assert!(validate(&empty).is_err());
+    }
+
+    #[test]
+    fn scenario_files_inspect_through_the_same_envelope() {
+        let text = r#"{"schema":"mck.scenario/v1","name":"demo","topology":{"kind":"ring"}}"#;
+        let v = json::parse(text).unwrap();
+        assert_eq!(validate(&v).unwrap(), scenario::SCENARIO_SCHEMA);
+        let out = describe(&v).unwrap();
+        assert!(out.contains("demo"), "{out}");
+        assert!(out.contains("ring"), "{out}");
+        // A structurally broken scenario is rejected with its typed error.
+        let bad = json::parse(r#"{"schema":"mck.scenario/v1","params":{"bogus":1}}"#).unwrap();
+        assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn run_artifact_records_the_environment() {
+        let cfg = small_cfg();
+        let j = config_json(&cfg);
+        assert_eq!(
+            j.get("topology").and_then(|t| t.get("kind")).and_then(Json::as_str),
+            Some("complete"),
+        );
+        assert_eq!(
+            j.get("mobility").and_then(|t| t.get("kind")).and_then(Json::as_str),
+            Some("paper"),
+        );
+        assert_eq!(
+            j.get("traffic").and_then(|t| t.get("kind")).and_then(Json::as_str),
+            Some("uniform"),
+        );
     }
 
     #[test]

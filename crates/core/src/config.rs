@@ -18,8 +18,77 @@
 //! * hand-off = 2 control messages, disconnection = 1.
 
 use cic::CicKind;
-use mobnet::{CellGraph, IncrementalModel, Latencies};
+use mobnet::{IncrementalModel, Latencies};
+use scenario::{EnvParams, EnvSpec, Scenario, ScenarioError};
 use simkit::event::QueueBackend;
+
+/// A parameter of [`SimConfig`] outside its valid domain, reported by
+/// [`SimConfig::check`] instead of simulating garbage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Fewer than two mobile hosts: nobody to communicate with.
+    TooFewHosts(usize),
+    /// A probability parameter outside `[0, 1]`.
+    Probability {
+        /// Parameter name (e.g. `"p_switch"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A duration / rate parameter that must be strictly positive.
+    NonPositive {
+        /// Parameter name (e.g. `"t_switch"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must be non-negative (`ckpt_duration`).
+    Negative {
+        /// Parameter name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `fast_factor` below 1 would make "fast" hosts slower than slow ones.
+    FastFactor(f64),
+    /// Wireless bandwidth must be positive (infinity = paper model).
+    Bandwidth(f64),
+    /// The environment spec (topology / mobility / traffic) is invalid —
+    /// includes empty or disconnected topology graphs.
+    Scenario(ScenarioError),
+}
+
+impl From<ScenarioError> for ConfigError {
+    fn from(e: ScenarioError) -> Self {
+        ConfigError::Scenario(e)
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewHosts(n) => {
+                write!(f, "need at least two hosts to communicate (got {n})")
+            }
+            ConfigError::Probability { field, value } => {
+                write!(f, "{field} out of range [0,1] (got {value})")
+            }
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive (got {value})")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be non-negative (got {value})")
+            }
+            ConfigError::FastFactor(v) => {
+                write!(f, "fast_factor must be at least 1 (got {v})")
+            }
+            ConfigError::Bandwidth(v) => write!(f, "bandwidth must be positive (got {v})"),
+            ConfigError::Scenario(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which checkpointing protocol a run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,9 +195,10 @@ pub struct SimConfig {
     pub reconnect_mean: f64,
     /// Network latencies.
     pub latencies: Latencies,
-    /// Cell-adjacency graph constraining hand-off destinations (the paper
-    /// uses the complete graph; ring/grid model geographic coverage).
-    pub cell_graph: CellGraph,
+    /// Environment specification: cell topology, mobility model, and
+    /// traffic model. Defaults to the paper's environment (complete graph,
+    /// exponential dwells with uniform hand-off, uniform traffic).
+    pub env: EnvSpec,
     /// Wireless channel bandwidth in bytes per time unit; infinity (the
     /// default) reproduces the paper's pure-latency model, a finite value
     /// serializes same-cell transmissions (paper point (b): channel
@@ -181,7 +251,7 @@ impl Default for SimConfig {
             disc_divisor: 3.0,
             reconnect_mean: 1000.0,
             latencies: Latencies::default(),
-            cell_graph: CellGraph::Complete,
+            env: EnvSpec::default(),
             wireless_bandwidth: f64::INFINITY,
             ckpt_duration: 0.0,
             dup_prob: 0.0,
@@ -228,26 +298,104 @@ impl SimConfig {
         (self.heterogeneity * self.n_mhs as f64).round() as usize
     }
 
-    /// Panics if any parameter is out of its valid domain.
+    /// The environment parameters scenario models consume, derived from
+    /// the scalar configuration (per-host dwell means already include the
+    /// fast-host split).
+    pub fn env_params(&self) -> EnvParams {
+        EnvParams {
+            n_hosts: self.n_mhs,
+            n_cells: self.n_mss,
+            p_switch: self.p_switch,
+            dwell_means: (0..self.n_mhs).map(|i| self.t_switch_of(i)).collect(),
+            disc_divisor: self.disc_divisor,
+            reconnect_mean: self.reconnect_mean,
+            p_send: self.p_send,
+        }
+    }
+
+    /// Applies a scenario: the environment spec replaces the config's, and
+    /// any scalar overrides the scenario sets are copied in. Callers that
+    /// also take explicit flags should apply them *after* this, so flags
+    /// win over the file.
+    pub fn apply_scenario(&mut self, sc: &Scenario) {
+        self.env = sc.env.clone();
+        let o = &sc.overrides;
+        if let Some(v) = o.n_mhs {
+            self.n_mhs = v;
+        }
+        if let Some(v) = o.n_mss {
+            self.n_mss = v;
+        }
+        if let Some(v) = o.p_send {
+            self.p_send = v;
+        }
+        if let Some(v) = o.p_switch {
+            self.p_switch = v;
+        }
+        if let Some(v) = o.t_switch {
+            self.t_switch = v;
+        }
+        if let Some(v) = o.heterogeneity {
+            self.heterogeneity = v;
+        }
+        if let Some(v) = o.reconnect_mean {
+            self.reconnect_mean = v;
+        }
+        if let Some(v) = o.horizon {
+            self.horizon = v;
+        }
+    }
+
+    /// Checks every parameter against its valid domain, including the
+    /// environment spec (topology connectivity, matrix/trace shape, ...).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.n_mhs < 2 {
+            return Err(ConfigError::TooFewHosts(self.n_mhs));
+        }
+        for (field, value) in [
+            ("p_send", self.p_send),
+            ("p_switch", self.p_switch),
+            ("heterogeneity", self.heterogeneity),
+            ("dup_prob", self.dup_prob),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::Probability { field, value });
+            }
+        }
+        for (field, value) in [
+            ("t_switch", self.t_switch),
+            ("internal_mean", self.internal_mean),
+            ("disc_divisor", self.disc_divisor),
+            ("reconnect_mean", self.reconnect_mean),
+            ("horizon", self.horizon),
+            ("periodic_mean", self.periodic_mean),
+        ] {
+            if value <= 0.0 || value.is_nan() {
+                return Err(ConfigError::NonPositive { field, value });
+            }
+        }
+        if self.fast_factor < 1.0 {
+            return Err(ConfigError::FastFactor(self.fast_factor));
+        }
+        if self.ckpt_duration < 0.0 {
+            return Err(ConfigError::Negative {
+                field: "ckpt_duration",
+                value: self.ckpt_duration,
+            });
+        }
+        if self.wireless_bandwidth <= 0.0 || self.wireless_bandwidth.is_nan() {
+            return Err(ConfigError::Bandwidth(self.wireless_bandwidth));
+        }
+        self.env.validate(&self.env_params())?;
+        Ok(())
+    }
+
+    /// Panics if any parameter is out of its valid domain. Prefer
+    /// [`SimConfig::check`] where an error can be reported.
     pub fn validate(&self) {
-        assert!(self.n_mhs >= 2, "need at least two hosts to communicate");
-        assert!(self.n_mss >= 2, "need at least two cells to switch between");
-        assert!((0.0..=1.0).contains(&self.p_send), "p_send out of range");
-        assert!(
-            (0.0..=1.0).contains(&self.p_switch),
-            "p_switch out of range"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.heterogeneity),
-            "heterogeneity out of range"
-        );
-        assert!(self.t_switch > 0.0 && self.internal_mean > 0.0);
-        assert!(self.fast_factor >= 1.0 && self.disc_divisor > 0.0);
-        assert!(self.reconnect_mean > 0.0 && self.horizon > 0.0);
-        assert!(self.ckpt_duration >= 0.0);
-        assert!(self.wireless_bandwidth > 0.0, "bandwidth must be positive");
-        assert!((0.0..=1.0).contains(&self.dup_prob), "dup_prob out of range");
-        assert!(self.periodic_mean > 0.0);
+        if let Err(e) = self.check() {
+            panic!("invalid config: {e}");
+        }
     }
 }
 
@@ -267,6 +415,115 @@ mod tests {
         assert_eq!(c.fast_factor, 10.0);
         assert_eq!(c.disc_divisor, 3.0);
         c.validate();
+    }
+
+    #[test]
+    fn check_rejects_out_of_range_probabilities() {
+        for (field, value) in [("p_switch", -0.1), ("p_switch", 1.5), ("p_send", 2.0)] {
+            let mut c = SimConfig::default();
+            match field {
+                "p_switch" => c.p_switch = value,
+                _ => c.p_send = value,
+            }
+            match c.check() {
+                Err(ConfigError::Probability { field: f, value: v }) => {
+                    assert_eq!(f, field);
+                    assert_eq!(v, value);
+                }
+                other => panic!("expected Probability error for {field}={value}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn check_rejects_non_positive_durations() {
+        for t_switch in [0.0, -5.0, f64::NAN] {
+            let c = SimConfig {
+                t_switch,
+                ..Default::default()
+            };
+            match c.check() {
+                Err(ConfigError::NonPositive { field, .. }) => assert_eq!(field, "t_switch"),
+                other => panic!("expected NonPositive for t_switch={t_switch}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn check_rejects_too_few_hosts() {
+        let c = SimConfig {
+            n_mhs: 1,
+            ..Default::default()
+        };
+        assert!(matches!(c.check(), Err(ConfigError::TooFewHosts(1))));
+    }
+
+    #[test]
+    fn check_rejects_empty_and_disconnected_topologies() {
+        use scenario::TopologySpec;
+        // An empty adjacency list: zero cells.
+        let mut c = SimConfig::default();
+        c.env.topology = TopologySpec::Custom { adjacency: vec![] };
+        match c.check() {
+            Err(ConfigError::Scenario(e)) => {
+                let msg = e.to_string();
+                assert!(msg.contains("adjacency"), "unexpected message: {msg}");
+            }
+            other => panic!("expected Scenario error for empty topology, got {other:?}"),
+        }
+        // Two weakly-linked islands: 0↔1 and 2↔3 with no bridge.
+        let mut c = SimConfig {
+            n_mss: 4,
+            ..Default::default()
+        };
+        c.env.topology = TopologySpec::Custom {
+            adjacency: vec![vec![1], vec![0], vec![3], vec![2]],
+        };
+        match c.check() {
+            Err(ConfigError::Scenario(e)) => {
+                let msg = e.to_string();
+                assert!(msg.contains("unreachable") || msg.contains("reach"), "{msg}");
+            }
+            other => panic!("expected Scenario error for split topology, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_rejects_malformed_markov_models() {
+        use scenario::MobilitySpec;
+        // Row sums must be 1: this row leaks mass.
+        let mut c = SimConfig {
+            n_mss: 2,
+            ..Default::default()
+        };
+        c.env.mobility = MobilitySpec::Markov {
+            matrix: vec![vec![0.0, 0.5], vec![1.0, 0.0]],
+            cell_dwell_means: None,
+            p_disconnect: 0.0,
+        };
+        assert!(matches!(c.check(), Err(ConfigError::Scenario(_))));
+        // p_disconnect is a probability.
+        let mut c = SimConfig {
+            n_mss: 2,
+            ..Default::default()
+        };
+        c.env.mobility = MobilitySpec::Markov {
+            matrix: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            cell_dwell_means: None,
+            p_disconnect: 1.5,
+        };
+        assert!(matches!(c.check(), Err(ConfigError::Scenario(_))));
+    }
+
+    #[test]
+    fn check_accepts_the_defaults_and_bundled_shapes() {
+        assert!(SimConfig::default().check().is_ok());
+        let mut c = SimConfig {
+            n_mss: 6,
+            ..Default::default()
+        };
+        c.env.topology = scenario::TopologySpec::Grid { cols: 3 };
+        assert!(c.check().is_ok());
     }
 
     #[test]

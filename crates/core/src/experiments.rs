@@ -19,9 +19,10 @@
 //! paper's §2 discussion and future work.
 
 use cic::CicKind;
+use scenario::Scenario;
 use simkit::stats::Estimate;
 
-use crate::config::{ProtocolChoice, SimConfig};
+use crate::config::{LoggingMode, ProtocolChoice, SimConfig};
 use crate::failure::{
     rollback_logging_summary, rollback_summary, LoggingRollbackSummary, RollbackSummary,
 };
@@ -193,18 +194,34 @@ pub fn run_figure(spec: &FigureSpec, base_seed: u64, replications: usize) -> Fig
 /// sequential path used (`base_seed..base_seed+replications` at every
 /// point), so the output is byte-identical to running each figure alone.
 pub fn run_figures(specs: &[FigureSpec], base_seed: u64, replications: usize) -> Vec<FigureResult> {
+    run_figures_scenario(specs, base_seed, replications, None)
+}
+
+/// [`run_figures`] under an optional scenario: the scenario's environment
+/// and overrides are applied first, then each figure's own axes
+/// (`protocol`, `t_switch`, `p_switch`, `heterogeneity`, seed) are pinned
+/// on top — the figure defines what is swept, the scenario defines the
+/// world it is swept in. With `None` this is exactly [`run_figures`].
+pub fn run_figures_scenario(
+    specs: &[FigureSpec],
+    base_seed: u64,
+    replications: usize,
+    scenario: Option<&Scenario>,
+) -> Vec<FigureResult> {
     assert!(replications > 0, "need at least one replication");
     let mut configs = Vec::new();
     for spec in specs {
         for &t_switch in &spec.t_switch_values {
             for &proto in &spec.protocols {
                 for r in 0..replications {
-                    let mut c = SimConfig::paper(
-                        ProtocolChoice::Cic(proto),
-                        t_switch,
-                        spec.p_switch,
-                        spec.heterogeneity,
-                    );
+                    let mut c = SimConfig::default();
+                    if let Some(sc) = scenario {
+                        c.apply_scenario(sc);
+                    }
+                    c.protocol = ProtocolChoice::Cic(proto);
+                    c.t_switch = t_switch;
+                    c.p_switch = spec.p_switch;
+                    c.heterogeneity = spec.heterogeneity;
                     c.seed = base_seed + r as u64;
                     configs.push(c);
                 }
@@ -605,21 +622,22 @@ pub fn ext_recovery_time(base_seed: u64, replications: usize) -> Vec<RecoveryTim
 /// which cell is entered), while substrate costs (checkpoint base fetches)
 /// do shift.
 pub fn ext_topologies(base_seed: u64, replications: usize) -> Vec<TopologyRow> {
-    use mobnet::CellGraph;
-    let graphs: [(&'static str, CellGraph, usize); 3] = [
-        ("complete r=6", CellGraph::Complete, 6),
-        ("ring r=6", CellGraph::Ring, 6),
-        ("grid 2x3", CellGraph::Grid { cols: 3 }, 6),
+    use scenario::TopologySpec;
+    let graphs: [(&'static str, TopologySpec, usize); 3] = [
+        ("complete r=6", TopologySpec::Complete, 6),
+        ("ring r=6", TopologySpec::Ring, 6),
+        ("grid 2x3", TopologySpec::Grid { cols: 3 }, 6),
     ];
     graphs
         .iter()
-        .map(|&(name, graph, n_mss)| {
+        .map(|(name, graph, n_mss)| {
+            let (name, n_mss) = (*name, *n_mss);
             let mut n_tot = Vec::new();
             let mut fetches = 0.0;
             let mut forwarded = 0.0;
             for &proto in &CicKind::PAPER {
                 let mut cfg = SimConfig::paper(ProtocolChoice::Cic(proto), 500.0, 0.8, 0.0);
-                cfg.cell_graph = graph;
+                cfg.env.topology = graph.clone();
                 cfg.n_mss = n_mss;
                 cfg.horizon = 4000.0;
                 let s = summarize_point(&cfg, base_seed, replications);
@@ -735,6 +753,177 @@ pub fn ext_rollback_logging(base_seed: u64, replications: usize) -> Vec<LoggingR
     .collect()
 }
 
+/// Mean log-occupancy statistics for one protocol at one sweep point
+/// (pessimistic logging enabled).
+#[derive(Debug, Clone, Copy)]
+pub struct LogSizeStats {
+    /// Mean peak live log bytes across the stations.
+    pub mean_peak_bytes: f64,
+    /// Mean live log bytes at the end of the run.
+    pub mean_live_bytes: f64,
+    /// Mean entries appended over the run.
+    pub mean_appended_entries: f64,
+    /// Mean entries reclaimed by checkpoint-driven GC.
+    pub mean_gc_entries: f64,
+}
+
+/// One `T_switch` point of the log-size sweep.
+#[derive(Debug, Clone)]
+pub struct LogSizeRow {
+    /// The swept `T_switch` value.
+    pub t_switch: f64,
+    /// `(protocol name, stats)` in [`LOG_SIZE_PROTOCOLS`] order.
+    pub series: Vec<(String, LogSizeStats)>,
+}
+
+/// Protocols compared by the log-size sweep.
+pub const LOG_SIZE_PROTOCOLS: [CicKind; 4] = [
+    CicKind::Tp,
+    CicKind::Bcs,
+    CicKind::Qbc,
+    CicKind::Uncoordinated,
+];
+
+/// Log-size figures (ROADMAP item): sweeps `T_switch` under pessimistic
+/// logging and reports peak live log bytes per protocol. The GC rule ties
+/// log occupancy to checkpoint rate, so protocols that checkpoint less
+/// (larger `T_switch`, laziness of the index protocols) hold more live
+/// log — the curves mirror figures 1–6 inverted.
+pub fn ext_log_size(
+    base_seed: u64,
+    replications: usize,
+    t_switches: &[f64],
+) -> Vec<LogSizeRow> {
+    assert!(replications > 0, "need at least one replication");
+    let mut configs = Vec::new();
+    for &t in t_switches {
+        for &proto in &LOG_SIZE_PROTOCOLS {
+            for r in 0..replications {
+                let mut cfg = SimConfig::paper(ProtocolChoice::Cic(proto), t, 0.8, 0.0);
+                cfg.logging = LoggingMode::Pessimistic;
+                cfg.horizon = 4000.0;
+                cfg.seed = base_seed + r as u64;
+                configs.push(cfg);
+            }
+        }
+    }
+    let mut reports = run_configs(configs).into_iter();
+    t_switches
+        .iter()
+        .map(|&t| {
+            let series = LOG_SIZE_PROTOCOLS
+                .iter()
+                .map(|&proto| {
+                    let reps: Vec<RunReport> = (0..replications)
+                        .map(|_| reports.next().expect("one report per job"))
+                        .collect();
+                    let n = reps.len() as f64;
+                    let mean_of = |f: fn(&mobnet::LogStoreStats) -> u64| {
+                        reps.iter()
+                            .map(|r| {
+                                f(r.log_stats.as_ref().expect("logging enabled")) as f64
+                            })
+                            .sum::<f64>()
+                            / n
+                    };
+                    let stats = LogSizeStats {
+                        mean_peak_bytes: mean_of(|s| s.peak_bytes),
+                        mean_live_bytes: mean_of(|s| s.live_bytes),
+                        mean_appended_entries: mean_of(|s| s.appended_entries),
+                        mean_gc_entries: mean_of(|s| s.gc_entries),
+                    };
+                    (proto.name().to_string(), stats)
+                })
+                .collect();
+            LogSizeRow { t_switch: t, series }
+        })
+        .collect()
+}
+
+/// One environment row of the E9 scenario comparison.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Environment label.
+    pub env: &'static str,
+    /// `N_tot` per protocol.
+    pub n_tot: Vec<(String, Estimate)>,
+    /// Mean hand-offs per run, averaged over the protocols.
+    pub mean_handoffs: f64,
+    /// Mean disconnections per run, averaged over the protocols.
+    pub mean_disconnects: f64,
+}
+
+/// The two environments E9 compares, both on a 2×3 grid of 6 cells: the
+/// paper's uniform-hand-off mobility against a biased Markov walk whose
+/// transition matrix funnels hosts along the grid's middle column and
+/// whose dwell means differ per cell.
+pub fn e9_envs() -> Vec<(&'static str, scenario::EnvSpec, usize)> {
+    use scenario::{EnvSpec, MobilitySpec, TopologySpec};
+    let grid = TopologySpec::Grid { cols: 3 };
+    let paper_env = EnvSpec {
+        topology: grid.clone(),
+        ..EnvSpec::default()
+    };
+    // Row-stochastic over the grid edges (cells 0 1 2 / 3 4 5), biased
+    // toward the middle column (cells 1 and 4).
+    let matrix = vec![
+        vec![0.0, 0.5, 0.0, 0.5, 0.0, 0.0],
+        vec![0.3, 0.0, 0.3, 0.0, 0.4, 0.0],
+        vec![0.0, 0.5, 0.0, 0.0, 0.0, 0.5],
+        vec![0.5, 0.0, 0.0, 0.0, 0.5, 0.0],
+        vec![0.0, 0.3, 0.0, 0.3, 0.0, 0.4],
+        vec![0.0, 0.0, 0.4, 0.0, 0.6, 0.0],
+    ];
+    let markov_env = EnvSpec {
+        topology: grid,
+        mobility: MobilitySpec::Markov {
+            matrix,
+            cell_dwell_means: Some(vec![250.0, 500.0, 250.0, 750.0, 500.0, 750.0]),
+            p_disconnect: 0.2,
+        },
+        ..EnvSpec::default()
+    };
+    vec![
+        ("paper mobility, grid 2x3", paper_env, 6),
+        ("markov mobility, grid 2x3", markov_env, 6),
+    ]
+}
+
+/// Extension E9: protocol comparison under Markov vs. paper mobility on
+/// the same grid topology. The protocol *ranking* should be robust to the
+/// mobility structure (it depends on checkpoint and communication rates),
+/// while the absolute `N_tot` and the hand-off/disconnect mix shift with
+/// the movement model.
+pub fn ext_scenarios(base_seed: u64, replications: usize) -> Vec<ScenarioRow> {
+    e9_envs()
+        .into_iter()
+        .map(|(name, env, n_mss)| {
+            let mut n_tot = Vec::new();
+            let mut handoffs = 0.0;
+            let mut disconnects = 0.0;
+            for &proto in &CicKind::PAPER {
+                let mut cfg = SimConfig::paper(ProtocolChoice::Cic(proto), 500.0, 0.8, 0.0);
+                cfg.n_mss = n_mss;
+                cfg.env = env.clone();
+                cfg.horizon = 4000.0;
+                let s = summarize_point(&cfg, base_seed, replications);
+                let per_run = s.reports.len() as f64;
+                handoffs += s.reports.iter().map(|r| r.handoffs as f64).sum::<f64>() / per_run;
+                disconnects +=
+                    s.reports.iter().map(|r| r.disconnects as f64).sum::<f64>() / per_run;
+                n_tot.push((proto.name().to_string(), s.n_tot));
+            }
+            let protos = CicKind::PAPER.len() as f64;
+            ScenarioRow {
+                env: name,
+                n_tot,
+                mean_handoffs: handoffs / protos,
+                mean_disconnects: disconnects / protos,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +964,31 @@ mod tests {
         assert!(p.of("TP").is_none());
         let table = res.table();
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn log_size_sweep_reports_pessimistic_log_occupancy() {
+        let rows = ext_log_size(5, 1, &[200.0]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].series.len(), LOG_SIZE_PROTOCOLS.len());
+        for (name, s) in &rows[0].series {
+            assert!(!name.is_empty());
+            assert!(s.mean_peak_bytes >= s.mean_live_bytes);
+            assert!(s.mean_appended_entries > 0.0);
+        }
+    }
+
+    #[test]
+    fn scenario_comparison_covers_both_environments() {
+        let rows = ext_scenarios(11, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.n_tot.len(), CicKind::PAPER.len());
+            assert!(row.mean_handoffs > 0.0);
+            for (_, e) in &row.n_tot {
+                assert!(e.mean > 0.0);
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! * [`artifact`] — self-describing JSON experiment artifacts (run
 //!   manifests, sweep/figure results with confidence intervals).
 //!
+//! Environments (cell topology, mobility model, traffic model) come from
+//! the re-exported [`scenario`] crate: a [`config::SimConfig`] embeds a
+//! `scenario::EnvSpec`, and `mck.scenario/v1` files loaded through
+//! [`scenario::Scenario`] override both the environment and the numeric
+//! parameters of a run.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -55,9 +61,12 @@ pub mod runner;
 pub mod simulation;
 pub mod table;
 
+pub use scenario;
+
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::config::{LoggingMode, ProtocolChoice, SimConfig};
+    pub use crate::config::{ConfigError, LoggingMode, ProtocolChoice, SimConfig};
+    pub use ::scenario::{EnvSpec, MobilitySpec, Scenario, TopologySpec, TrafficSpec};
     pub use crate::experiments::{self, FigureSpec};
     pub use crate::failure;
     pub use crate::report::{CkptBreakdown, RunReport};

@@ -3,13 +3,16 @@
 //! One [`Simulation`] run wires together the full stack:
 //!
 //! * **workload** — each connected host alternates internal computation
-//!   (Exp-distributed) with communication operations: a send with
-//!   probability `P_s` (uniform destination), otherwise a receive that pops
-//!   the oldest message queued at its MSS;
-//! * **mobility** — on entering a cell the host commits to either roaming
-//!   (probability `P_switch`, dwell `Exp(T_switch_i)`) or disconnecting
-//!   (dwell `Exp(T_switch_i / 3)`, offline for `Exp(1000)`), taking the
-//!   mandatory *basic* checkpoint at each transition;
+//!   (Exp-distributed) with communication operations: a send whose timing
+//!   and destination come from the configured [`scenario::TrafficModel`]
+//!   (the paper's default: probability `P_s`, uniform destination),
+//!   otherwise a receive that pops the oldest message queued at its MSS;
+//! * **mobility** — movement decisions come from the configured
+//!   [`scenario::MobilityModel`] over the configured topology graph (the
+//!   paper's default: on entering a cell the host commits to either
+//!   roaming with probability `P_switch` after `Exp(T_switch_i)`, or
+//!   disconnecting after `Exp(T_switch_i / 3)` for `Exp(1000)` offline),
+//!   taking the mandatory *basic* checkpoint at each transition;
 //! * **network** — messages hop MH→MSS (wireless), MSS→MSS (wired),
 //!   MSS→MH (wireless) at the configured latencies; the location directory
 //!   is consulted per send; the at-least-once transport may duplicate, the
@@ -29,10 +32,11 @@ use cic::coordinated::ControlMsg;
 use cic::piggyback::Piggyback;
 use cic::protocol::{BasicReason, Protocol};
 use mobnet::{
-    AttachmentTable, CellChannels, CkptStore, Dedup, LocationService, LogStore, Mailboxes, MhId,
-    MssId, NetMetrics, PacketId, Queued, Topology,
+    AdjacencyGraph, AttachmentTable, CellChannels, CkptStore, Dedup, LocationService, LogStore,
+    Mailboxes, MhId, MssId, NetMetrics, PacketId, Queued, Topology,
 };
 use relog::MessageLog;
+use scenario::{BuiltEnv, MobilityModel, TrafficModel};
 use simkit::metrics::GaugeId;
 use simkit::prelude::*;
 use simkit::trace::CkptClass;
@@ -172,8 +176,13 @@ pub struct Simulation {
     net_rng: SimRng,
     pub(crate) coord_rng: SimRng,
     activity_gen: Vec<u32>,
-    /// Scratch buffer for hand-off neighbour lists (reused across events).
-    neighbor_buf: Vec<MssId>,
+    /// The validated cell-adjacency graph hand-offs roam over.
+    graph: AdjacencyGraph,
+    /// Mobility model deciding placement, dwells, hand-off targets and
+    /// reconnection cells (the paper's model by default).
+    mobility: Box<dyn MobilityModel>,
+    /// Traffic model deciding send occurrence and destinations.
+    traffic: Box<dyn TrafficModel>,
     pub(crate) ckpts: CkptBreakdown,
     per_mh_ckpts: Vec<u64>,
     replacements: u64,
@@ -187,11 +196,15 @@ impl Simulation {
     /// Builds the initial state and schedules the bootstrap events.
     pub fn new(cfg: SimConfig) -> (Simulation, Scheduler<Ev>) {
         cfg.validate();
+        let BuiltEnv { graph, mut mobility, traffic } = cfg
+            .env
+            .build(&cfg.env_params())
+            .expect("validate() checked the environment");
         let root = SimRng::new(cfg.seed);
         let n = cfg.n_mhs;
         let mut placement_rng = root.fork(1);
         let initial: Vec<MssId> = (0..n)
-            .map(|_| MssId(placement_rng.index(cfg.n_mss)))
+            .map(|i| MssId(mobility.initial_cell(i, &mut placement_rng)))
             .collect();
 
         let protos: Vec<Box<dyn Protocol>> = match cfg.protocol {
@@ -237,7 +250,9 @@ impl Simulation {
             net_rng: root.fork(3000),
             coord_rng: root.fork(4000),
             activity_gen: vec![0; n],
-            neighbor_buf: Vec::new(),
+            graph,
+            mobility,
+            traffic,
             ckpts: CkptBreakdown::default(),
             per_mh_ckpts: vec![0; n],
             replacements: 0,
@@ -521,19 +536,18 @@ impl Simulation {
 
     // -- mobility ------------------------------------------------------------
 
-    /// On entering a cell: commit to the next mobility action and schedule
-    /// its dwell (the paper's model).
+    /// On entering a cell: ask the mobility model for the dwell outcome and
+    /// schedule it.
     fn enter_cell(&mut self, sched: &mut Scheduler<Ev>, mh: MhId) {
         let i = mh.idx();
-        let t_i = self.cfg.t_switch_of(i);
-        let rng = &mut self.mobility_rng[i];
-        let switch = rng.bernoulli(self.cfg.p_switch);
-        let dwell = if switch {
-            rng.exp(t_i)
-        } else {
-            rng.exp(t_i / self.cfg.disc_divisor)
-        };
-        sched.schedule_in(dwell, Ev::Mobility { mh, switch });
+        let cell = self
+            .attach
+            .cell_of(mh)
+            .expect("entering host is connected");
+        let d = self
+            .mobility
+            .on_enter_cell(i, cell.idx(), &mut self.mobility_rng[i]);
+        sched.schedule_in(d.dwell, Ev::Mobility { mh, switch: d.switch });
     }
 
     fn on_mobility(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId, switch: bool) {
@@ -552,12 +566,12 @@ impl Simulation {
                 .attach
                 .cell_of(mh)
                 .expect("mobility fires only while connected");
-            let mut neighbors = std::mem::take(&mut self.neighbor_buf);
-            self.cfg
-                .cell_graph
-                .neighbors_into(cur, self.cfg.n_mss, &mut neighbors);
-            let new_cell = *self.mobility_rng[mh.idx()].choose(&neighbors);
-            self.neighbor_buf = neighbors;
+            let new_cell = MssId(self.mobility.handoff_target(
+                mh.idx(),
+                cur.idx(),
+                &self.graph,
+                &mut self.mobility_rng[mh.idx()],
+            ));
             if self.tracer.is_active() {
                 self.tracer.emit(
                     now,
@@ -610,14 +624,16 @@ impl Simulation {
             self.metrics.charge_wireless(mh, CONTROL_BYTES);
             // Pause the workload: outstanding activities become stale.
             self.activity_gen[mh.idx()] += 1;
-            let off = self.mobility_rng[mh.idx()].exp(self.cfg.reconnect_mean);
+            let off = self
+                .mobility
+                .offline_duration(mh.idx(), &mut self.mobility_rng[mh.idx()]);
             sched.schedule_in(off, Ev::Reconnect { mh });
         }
     }
 
     fn on_reconnect(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
         let i = mh.idx();
-        let cell = MssId(self.mobility_rng[i].index(self.cfg.n_mss));
+        let cell = MssId(self.mobility.reconnect_cell(i, &mut self.mobility_rng[i]));
         if self.tracer.is_active() {
             self.tracer.emit(
                 now,
@@ -654,7 +670,7 @@ impl Simulation {
         if gen != self.activity_gen[i] || !self.attach.attachment(mh).is_connected() {
             return; // stale event from before a disconnection
         }
-        let send = self.workload_rng[i].bernoulli(self.cfg.p_send);
+        let send = self.traffic.is_send(i, &mut self.workload_rng[i]);
         let mut ckpt_pause = 0.0;
         if send {
             if self.coord.is_blocked(mh) {
@@ -673,8 +689,7 @@ impl Simulation {
 
     fn do_send(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
         let i = mh.idx();
-        let n = self.cfg.n_mhs;
-        let dest = MhId(self.workload_rng[i].index_excluding(n, i));
+        let dest = MhId(self.traffic.destination(i, &mut self.workload_rng[i]));
         let pb = match self.cfg.protocol {
             ProtocolChoice::Cic(_) => self.protos[i].on_send(dest.idx()),
             ProtocolChoice::ChandyLamport { .. } => Piggyback::None,

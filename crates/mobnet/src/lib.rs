@@ -42,4 +42,4 @@ pub use ids::{MhId, MssId, PacketId};
 pub use location::LocationService;
 pub use metrics::{EnergyModel, NetMetrics};
 pub use storage::{CkptStore, CkptTransfer, IncrementalModel, LogStore, LogStoreStats, StoredCkpt};
-pub use topology::{CellGraph, Latencies, Topology};
+pub use topology::{AdjacencyGraph, CellGraph, GraphError, Latencies, Topology};

@@ -85,13 +85,252 @@ impl Topology {
     }
 }
 
+/// A structural defect of a cell-adjacency graph, reported by
+/// [`AdjacencyGraph`]'s constructors instead of silently simulating a
+/// broken topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Fewer than two cells: a roaming host has nowhere to switch to.
+    TooFewCells(usize),
+    /// A grid whose cell count does not divide into the column count.
+    RaggedGrid {
+        /// Total cell count.
+        cells: usize,
+        /// Requested column count.
+        cols: usize,
+    },
+    /// A custom adjacency list names a cell outside `0..cells`.
+    UnknownNeighbor {
+        /// The cell whose list is bad.
+        cell: usize,
+        /// The out-of-range neighbour it names.
+        neighbor: usize,
+    },
+    /// A cell lists itself as a hand-off destination.
+    SelfLoop(usize),
+    /// A cell lists the same neighbour twice (hand-off would be biased).
+    DuplicateNeighbor {
+        /// The cell whose list is bad.
+        cell: usize,
+        /// The repeated neighbour.
+        neighbor: usize,
+    },
+    /// A cell has an empty neighbour list: a host entering it is stuck.
+    NoNeighbors(usize),
+    /// The graph is not strongly connected: some cells can never be
+    /// reached (or never left), so long-run mobility depends on the
+    /// initial placement in a way the model does not intend.
+    Disconnected {
+        /// Cells reachable from cell 0.
+        reachable: usize,
+        /// Total cell count.
+        cells: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphError::TooFewCells(n) => {
+                write!(f, "need at least two cells to switch between (got {n})")
+            }
+            GraphError::RaggedGrid { cells, cols } => {
+                write!(f, "grid must be rectangular: {cells} cells do not divide into {cols} columns")
+            }
+            GraphError::UnknownNeighbor { cell, neighbor } => {
+                write!(f, "cell {cell} lists unknown neighbour {neighbor}")
+            }
+            GraphError::SelfLoop(cell) => write!(f, "cell {cell} lists itself as a neighbour"),
+            GraphError::DuplicateNeighbor { cell, neighbor } => {
+                write!(f, "cell {cell} lists neighbour {neighbor} twice")
+            }
+            GraphError::NoNeighbors(cell) => {
+                write!(f, "cell {cell} has no neighbours (empty topology row)")
+            }
+            GraphError::Disconnected { reachable, cells } => {
+                write!(f, "topology graph is disconnected: only {reachable} of {cells} cells are mutually reachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An explicit cell-adjacency graph: for every cell, the ordered list of
+/// cells one hand-off away.
+///
+/// This is the declarative replacement for the fixed [`CellGraph`]
+/// neighbour logic: scenarios describe arbitrary topologies (ring, grid,
+/// mesh, or hand-written adjacency) as data, validated once at
+/// construction. Neighbour order is part of the contract — a mobility
+/// model that picks `neighbors(c)[rng.index(len)]` consumes the same
+/// randomness as the historical `CellGraph` path only if the orderings
+/// match, which the [`AdjacencyGraph::complete`], [`AdjacencyGraph::ring`]
+/// and [`AdjacencyGraph::grid`] constructors guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyGraph {
+    adj: Vec<Vec<MssId>>,
+}
+
+impl AdjacencyGraph {
+    /// The paper's complete graph: every cell neighbours every other, in
+    /// ascending id order (matching [`CellGraph::Complete`]).
+    pub fn complete(cells: usize) -> Result<Self, GraphError> {
+        Self::build(cells, |i, out| {
+            out.extend((0..cells).filter(|&j| j != i).map(MssId));
+        })
+    }
+
+    /// A cycle of cells; neighbours are `[previous, next]` (matching
+    /// [`CellGraph::Ring`], deduplicated for the two-cell ring).
+    pub fn ring(cells: usize) -> Result<Self, GraphError> {
+        Self::build(cells, |i, out| {
+            let prev = (i + cells - 1) % cells;
+            let next = (i + 1) % cells;
+            out.push(MssId(prev));
+            if prev != next {
+                out.push(MssId(next));
+            }
+        })
+    }
+
+    /// A `cols`-wide rectangular grid; neighbours are up/down/left/right
+    /// (matching [`CellGraph::Grid`]).
+    pub fn grid(cells: usize, cols: usize) -> Result<Self, GraphError> {
+        if cols == 0 || !cells.is_multiple_of(cols) {
+            return Err(GraphError::RaggedGrid { cells, cols });
+        }
+        let rows = cells / cols;
+        Self::build(cells, |i, out| {
+            let (r, c) = (i / cols, i % cols);
+            if r > 0 {
+                out.push(MssId((r - 1) * cols + c));
+            }
+            if r + 1 < rows {
+                out.push(MssId((r + 1) * cols + c));
+            }
+            if c > 0 {
+                out.push(MssId(r * cols + c - 1));
+            }
+            if c + 1 < cols {
+                out.push(MssId(r * cols + c + 1));
+            }
+        })
+    }
+
+    /// A hand-written adjacency list (`adjacency[i]` = neighbours of cell
+    /// `i`, in the order hand-off sampling should see them).
+    pub fn custom(adjacency: Vec<Vec<usize>>) -> Result<Self, GraphError> {
+        let adj: Vec<Vec<MssId>> = adjacency
+            .into_iter()
+            .map(|row| row.into_iter().map(MssId).collect())
+            .collect();
+        Self::validated(adj)
+    }
+
+    /// Converts a legacy [`CellGraph`] shape into its explicit form.
+    pub fn from_cell_graph(graph: CellGraph, cells: usize) -> Result<Self, GraphError> {
+        match graph {
+            CellGraph::Complete => Self::complete(cells),
+            CellGraph::Ring => Self::ring(cells),
+            CellGraph::Grid { cols } => Self::grid(cells, cols),
+        }
+    }
+
+    fn build(cells: usize, mut fill: impl FnMut(usize, &mut Vec<MssId>)) -> Result<Self, GraphError> {
+        let mut adj = vec![Vec::new(); cells];
+        for (i, row) in adj.iter_mut().enumerate() {
+            fill(i, row);
+        }
+        Self::validated(adj)
+    }
+
+    fn validated(adj: Vec<Vec<MssId>>) -> Result<Self, GraphError> {
+        let cells = adj.len();
+        if cells < 2 {
+            return Err(GraphError::TooFewCells(cells));
+        }
+        for (i, row) in adj.iter().enumerate() {
+            if row.is_empty() {
+                return Err(GraphError::NoNeighbors(i));
+            }
+            let mut seen = vec![false; cells];
+            for &nb in row {
+                if nb.idx() >= cells {
+                    return Err(GraphError::UnknownNeighbor { cell: i, neighbor: nb.idx() });
+                }
+                if nb.idx() == i {
+                    return Err(GraphError::SelfLoop(i));
+                }
+                if seen[nb.idx()] {
+                    return Err(GraphError::DuplicateNeighbor { cell: i, neighbor: nb.idx() });
+                }
+                seen[nb.idx()] = true;
+            }
+        }
+        // Strong connectivity: every cell reachable from cell 0 along the
+        // edges, and cell 0 reachable from every cell (checked on the
+        // reversed graph). For symmetric graphs both passes agree.
+        let forward = Self::reach(&adj, false);
+        if forward < cells {
+            return Err(GraphError::Disconnected { reachable: forward, cells });
+        }
+        let backward = Self::reach(&adj, true);
+        if backward < cells {
+            return Err(GraphError::Disconnected { reachable: backward, cells });
+        }
+        Ok(AdjacencyGraph { adj })
+    }
+
+    /// Breadth-first reachable-cell count from cell 0, optionally along
+    /// reversed edges.
+    fn reach(adj: &[Vec<MssId>], reversed: bool) -> usize {
+        let cells = adj.len();
+        let mut visited = vec![false; cells];
+        let mut queue = vec![0usize];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop() {
+            for v in 0..cells {
+                let edge = if reversed {
+                    adj[v].contains(&MssId(u))
+                } else {
+                    adj[u].contains(&MssId(v))
+                };
+                if edge && !visited[v] {
+                    visited[v] = true;
+                    count += 1;
+                    queue.push(v);
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The ordered hand-off destinations from `cell`.
+    pub fn neighbors(&self, cell: MssId) -> &[MssId] {
+        &self.adj[cell.idx()]
+    }
+
+    /// True when `from → to` is an edge.
+    pub fn has_edge(&self, from: MssId, to: MssId) -> bool {
+        self.adj[from.idx()].contains(&to)
+    }
+}
+
 /// Shape of the cell-adjacency graph: which cells a roaming host can enter
 /// from its current one.
 ///
 /// The paper's model lets a host switch to any other cell (complete graph);
 /// physical deployments are closer to rings (highway coverage) or grids
 /// (urban coverage), where hand-offs only reach geographic neighbours.
-/// Used by the mobility-model ablation.
+/// Retained as the compact legacy spelling; [`AdjacencyGraph`] is the
+/// explicit, validated form the simulation consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellGraph {
     /// Any cell is reachable from any other (the paper's model).
@@ -266,5 +505,79 @@ mod tests {
     #[should_panic(expected = "unknown MSS")]
     fn unknown_station_rejected() {
         Topology::new(2).wired_latency(MssId(0), MssId(5));
+    }
+
+    #[test]
+    fn adjacency_matches_cell_graph_orderings() {
+        let mut buf = Vec::new();
+        for (graph, n) in [
+            (CellGraph::Complete, 5),
+            (CellGraph::Ring, 2),
+            (CellGraph::Ring, 7),
+            (CellGraph::Grid { cols: 3 }, 6),
+            (CellGraph::Grid { cols: 2 }, 8),
+        ] {
+            let adj = AdjacencyGraph::from_cell_graph(graph, n).unwrap();
+            assert_eq!(adj.n_cells(), n);
+            for cell in 0..n {
+                graph.neighbors_into(MssId(cell), n, &mut buf);
+                assert_eq!(
+                    adj.neighbors(MssId(cell)),
+                    &buf[..],
+                    "{graph:?} n={n} cell={cell}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_rejects_structural_defects() {
+        assert_eq!(
+            AdjacencyGraph::complete(1).unwrap_err(),
+            GraphError::TooFewCells(1)
+        );
+        assert_eq!(
+            AdjacencyGraph::grid(5, 3).unwrap_err(),
+            GraphError::RaggedGrid { cells: 5, cols: 3 }
+        );
+        assert_eq!(
+            AdjacencyGraph::custom(vec![vec![1], vec![5]]).unwrap_err(),
+            GraphError::UnknownNeighbor { cell: 1, neighbor: 5 }
+        );
+        assert_eq!(
+            AdjacencyGraph::custom(vec![vec![1], vec![1]]).unwrap_err(),
+            GraphError::SelfLoop(1)
+        );
+        assert_eq!(
+            AdjacencyGraph::custom(vec![vec![1, 1], vec![0]]).unwrap_err(),
+            GraphError::DuplicateNeighbor { cell: 0, neighbor: 1 }
+        );
+        assert_eq!(
+            AdjacencyGraph::custom(vec![vec![1], vec![]]).unwrap_err(),
+            GraphError::NoNeighbors(1)
+        );
+        // Two islands: {0,1} and {2,3}.
+        assert_eq!(
+            AdjacencyGraph::custom(vec![vec![1], vec![0], vec![3], vec![2]]).unwrap_err(),
+            GraphError::Disconnected { reachable: 2, cells: 4 }
+        );
+        // One-way sink: 2 is reachable but cannot get back.
+        assert!(matches!(
+            AdjacencyGraph::custom(vec![vec![1, 2], vec![0, 2], vec![]]),
+            Err(GraphError::NoNeighbors(2))
+        ));
+        assert!(matches!(
+            AdjacencyGraph::custom(vec![vec![1, 2], vec![0, 2], vec![2]]),
+            Err(GraphError::SelfLoop(2))
+        ));
+    }
+
+    #[test]
+    fn adjacency_custom_asymmetric_but_connected_is_ok() {
+        // Directed cycle 0 -> 1 -> 2 -> 0 is strongly connected.
+        let g = AdjacencyGraph::custom(vec![vec![1], vec![2], vec![0]]).unwrap();
+        assert!(g.has_edge(MssId(0), MssId(1)));
+        assert!(!g.has_edge(MssId(1), MssId(0)));
+        assert_eq!(g.neighbors(MssId(2)), &[MssId(0)]);
     }
 }

@@ -1,0 +1,199 @@
+//! Typed validation errors for scenario specifications.
+//!
+//! Every way a scenario file (or a programmatically built [`crate::EnvSpec`])
+//! can describe a nonsensical environment maps to one variant here, so
+//! callers reject bad input up front instead of silently simulating garbage.
+
+use mobnet::GraphError;
+
+/// A defect in a scenario specification, found during validation or while
+/// parsing a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The topology graph itself is malformed (see [`GraphError`]).
+    Graph(GraphError),
+    /// A custom adjacency list's length disagrees with the cell count.
+    AdjacencyLength {
+        /// Cells the configuration declares.
+        expected: usize,
+        /// Rows the adjacency list provides.
+        found: usize,
+    },
+    /// A Markov transition matrix is not square with one row per cell.
+    MatrixShape {
+        /// Cells the topology has.
+        cells: usize,
+        /// Rows found, or the length of the offending row.
+        found: usize,
+    },
+    /// A Markov matrix row does not sum to 1.
+    MatrixRow {
+        /// The row (source cell).
+        cell: usize,
+        /// Its actual sum.
+        sum: f64,
+    },
+    /// A Markov matrix has a non-zero diagonal entry (self-transition).
+    MatrixSelf(usize),
+    /// A Markov matrix gives positive probability to a non-edge.
+    MatrixEdge {
+        /// Source cell.
+        from: usize,
+        /// Destination cell that is not a topology neighbour.
+        to: usize,
+    },
+    /// A Markov matrix entry is negative or not finite.
+    MatrixEntry {
+        /// Source cell.
+        cell: usize,
+        /// The bad probability.
+        value: f64,
+    },
+    /// `cell_dwell_means` must have exactly one entry per cell.
+    CellDwellLength {
+        /// Cells the topology has.
+        cells: usize,
+        /// Entries found.
+        found: usize,
+    },
+    /// A dwell-time mean is zero, negative, or not finite.
+    NonPositiveDwell(f64),
+    /// `p_disconnect` outside `[0, 1]`.
+    PDisconnectRange(f64),
+    /// A mobility trace row has fewer than two steps (nowhere to hand off).
+    TraceTooShort {
+        /// The offending trace row.
+        row: usize,
+    },
+    /// A trace step names a cell outside the topology.
+    TraceCell {
+        /// Trace row.
+        row: usize,
+        /// Step index within the row.
+        step: usize,
+        /// The out-of-range cell.
+        cell: usize,
+    },
+    /// Consecutive trace steps (including the wrap-around) are not a
+    /// topology edge.
+    TraceEdge {
+        /// Trace row.
+        row: usize,
+        /// Source cell of the missing edge.
+        from: usize,
+        /// Destination cell of the missing edge.
+        to: usize,
+    },
+    /// A trace step's dwell time is zero, negative, or not finite.
+    TraceDwell {
+        /// Trace row.
+        row: usize,
+        /// Step index within the row.
+        step: usize,
+    },
+    /// Hotspot count outside `1..=hosts`.
+    Hotspots {
+        /// Hotspot hosts requested.
+        hotspots: usize,
+        /// Total hosts.
+        hosts: usize,
+    },
+    /// `p_hot` outside `[0, 1]`.
+    PHotRange(f64),
+    /// Server count outside `1..hosts` for client–server traffic.
+    Servers {
+        /// Server hosts requested.
+        servers: usize,
+        /// Total hosts.
+        hosts: usize,
+    },
+    /// The scenario file is not valid JSON, or is missing / mistyping a
+    /// member. The string says which.
+    Json(String),
+    /// The file's `schema` member is not [`crate::SCENARIO_SCHEMA`].
+    Schema {
+        /// The schema string found in the file.
+        found: String,
+    },
+}
+
+impl From<GraphError> for ScenarioError {
+    fn from(e: GraphError) -> Self {
+        ScenarioError::Graph(e)
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Graph(e) => write!(f, "{e}"),
+            ScenarioError::AdjacencyLength { expected, found } => write!(
+                f,
+                "custom adjacency must list all {expected} cells (got {found} rows)"
+            ),
+            ScenarioError::MatrixShape { cells, found } => write!(
+                f,
+                "markov matrix must be {cells}x{cells} to match the topology (got {found})"
+            ),
+            ScenarioError::MatrixRow { cell, sum } => write!(
+                f,
+                "markov matrix row {cell} must sum to 1 (got {sum})"
+            ),
+            ScenarioError::MatrixSelf(cell) => write!(
+                f,
+                "markov matrix row {cell} has a self-transition; hand-offs must change cell"
+            ),
+            ScenarioError::MatrixEdge { from, to } => write!(
+                f,
+                "markov matrix gives positive probability to {from}->{to}, which is not a topology edge"
+            ),
+            ScenarioError::MatrixEntry { cell, value } => write!(
+                f,
+                "markov matrix row {cell} has invalid probability {value}"
+            ),
+            ScenarioError::CellDwellLength { cells, found } => write!(
+                f,
+                "cell_dwell_means must have one entry per cell ({cells}, got {found})"
+            ),
+            ScenarioError::NonPositiveDwell(v) => {
+                write!(f, "dwell-time means must be positive (got {v})")
+            }
+            ScenarioError::PDisconnectRange(v) => {
+                write!(f, "p_disconnect out of range [0,1] (got {v})")
+            }
+            ScenarioError::TraceTooShort { row } => write!(
+                f,
+                "mobility trace row {row} needs at least two steps to hand off between"
+            ),
+            ScenarioError::TraceCell { row, step, cell } => write!(
+                f,
+                "mobility trace row {row} step {step} visits unknown cell {cell}"
+            ),
+            ScenarioError::TraceEdge { row, from, to } => write!(
+                f,
+                "mobility trace row {row} moves {from}->{to}, which is not a topology edge"
+            ),
+            ScenarioError::TraceDwell { row, step } => write!(
+                f,
+                "mobility trace row {row} step {step} has a non-positive dwell time"
+            ),
+            ScenarioError::Hotspots { hotspots, hosts } => write!(
+                f,
+                "hotspot count must be in 1..={hosts} (got {hotspots})"
+            ),
+            ScenarioError::PHotRange(v) => write!(f, "p_hot out of range [0,1] (got {v})"),
+            ScenarioError::Servers { servers, hosts } => write!(
+                f,
+                "server count must be in 1..{hosts} (got {servers})"
+            ),
+            ScenarioError::Json(msg) => write!(f, "scenario file: {msg}"),
+            ScenarioError::Schema { found } => write!(
+                f,
+                "unsupported scenario schema {found:?} (expected {:?})",
+                crate::SCENARIO_SCHEMA
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

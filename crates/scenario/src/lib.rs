@@ -1,0 +1,38 @@
+//! Pluggable simulation environments for the mobile-checkpointing study.
+//!
+//! The paper's performance story is driven by one environment: exponential
+//! dwells, uniform hand-off on a complete cell graph, uniform any-to-any
+//! traffic. This crate turns that environment into *data*:
+//!
+//! - [`MobilityModel`] / [`TrafficModel`] — trait objects the simulation
+//!   core queries for movement and messaging decisions, with the paper's
+//!   models extracted as defaults ([`PaperMobility`], [`UniformTraffic`])
+//!   plus structured alternatives ([`MarkovMobility`], [`TraceMobility`],
+//!   [`HotspotTraffic`], [`ClientServerTraffic`]).
+//! - [`EnvSpec`] and its parts ([`TopologySpec`], [`MobilitySpec`],
+//!   [`TrafficSpec`]) — declarative, JSON round-trippable descriptions
+//!   validated into runtime objects.
+//! - [`Scenario`] — the versioned `mck.scenario/v1` file format binding
+//!   an environment to optional parameter overrides.
+//!
+//! Determinism contract: models draw entropy *only* from the RNG handles
+//! the simulation passes in (the per-host substreams forked from the run
+//! seed), so every scenario is byte-identical per seed and runs unchanged
+//! under the parallel sweep executor, tracing, and logging overlays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mobility;
+mod scenario;
+mod spec;
+mod traffic;
+
+pub use error::ScenarioError;
+pub use mobility::{
+    Dwell, EnvParams, MarkovMobility, MobilityModel, PaperMobility, TraceMobility, TraceStep,
+};
+pub use scenario::{Overrides, Scenario, SCENARIO_SCHEMA};
+pub use spec::{BuiltEnv, EnvSpec, MobilitySpec, TopologySpec, TrafficSpec};
+pub use traffic::{ClientServerTraffic, HotspotTraffic, TrafficModel, UniformTraffic};

@@ -1,0 +1,567 @@
+//! Mobility models: who moves where, and when.
+//!
+//! The simulation core asks a [`MobilityModel`] five questions — initial
+//! placement, dwell outcome on entering a cell, hand-off destination,
+//! offline duration, and reconnection cell — and routes every answer's
+//! randomness through the per-host RNG substreams it already owns. A model
+//! therefore controls *which* draws happen but never *where the entropy
+//! comes from*, which is what keeps every scenario byte-identical per seed
+//! and safe under the parallel sweep executor.
+
+use mobnet::{AdjacencyGraph, MssId};
+use simkit::rng::SimRng;
+
+use crate::ScenarioError;
+
+/// Environment parameters a model may need, extracted from the simulation
+/// config. `dwell_means[i]` is host `i`'s mean connected-dwell time
+/// (already divided by the fast-mover factor for heterogeneous hosts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvParams {
+    /// Number of mobile hosts.
+    pub n_hosts: usize,
+    /// Number of cells (mobile support stations).
+    pub n_cells: usize,
+    /// Probability that a dwell ends in a hand-off rather than a
+    /// disconnection (the paper's `p_switch`).
+    pub p_switch: f64,
+    /// Per-host mean dwell time while connected.
+    pub dwell_means: Vec<f64>,
+    /// Divisor applied to the dwell mean when the dwell ends in a
+    /// disconnection (the paper uses shorter pre-disconnect dwells).
+    pub disc_divisor: f64,
+    /// Mean duration of a disconnection.
+    pub reconnect_mean: f64,
+    /// Per-activity probability of sending a message (used by traffic
+    /// models).
+    pub p_send: f64,
+}
+
+/// Outcome of entering a cell: how long the host stays, and whether the
+/// stay ends with a hand-off (`switch = true`) or a disconnection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dwell {
+    /// True when the dwell ends in a hand-off to a neighbouring cell.
+    pub switch: bool,
+    /// Simulated seconds until the dwell ends.
+    pub dwell: f64,
+}
+
+/// A pluggable mobility model.
+///
+/// Contract: implementations must be deterministic functions of their own
+/// state and the draws they make on the supplied RNG — no ambient clocks,
+/// no interior entropy — so a given seed replays the same trajectory on
+/// any thread of the sweep executor.
+pub trait MobilityModel: Send {
+    /// Cell where `host` starts the run.
+    fn initial_cell(&mut self, host: usize, rng: &mut SimRng) -> usize;
+    /// Called when `host` (re-)enters `cell`; returns the dwell outcome.
+    fn on_enter_cell(&mut self, host: usize, cell: usize, rng: &mut SimRng) -> Dwell;
+    /// Destination of a hand-off out of `cell`; must be a `graph`
+    /// neighbour of `cell`.
+    fn handoff_target(
+        &mut self,
+        host: usize,
+        cell: usize,
+        graph: &AdjacencyGraph,
+        rng: &mut SimRng,
+    ) -> usize;
+    /// How long a disconnection lasts.
+    fn offline_duration(&mut self, host: usize, rng: &mut SimRng) -> f64;
+    /// Cell where `host` reappears after a disconnection.
+    fn reconnect_cell(&mut self, host: usize, rng: &mut SimRng) -> usize;
+}
+
+/// The paper's mobility model, extracted verbatim from the previously
+/// hard-coded simulation path: uniform initial placement, exponential
+/// dwell times (shortened by `disc_divisor` before a disconnection),
+/// uniform hand-off over the topology neighbours, exponential offline
+/// periods, and uniform reconnection cell.
+///
+/// The draw sequence is byte-identical to the pre-extraction simulator.
+#[derive(Debug, Clone)]
+pub struct PaperMobility {
+    p_switch: f64,
+    dwell_means: Vec<f64>,
+    disc_divisor: f64,
+    reconnect_mean: f64,
+    n_cells: usize,
+}
+
+impl PaperMobility {
+    /// Builds the paper model from the environment parameters.
+    pub fn new(params: &EnvParams) -> Self {
+        PaperMobility {
+            p_switch: params.p_switch,
+            dwell_means: params.dwell_means.clone(),
+            disc_divisor: params.disc_divisor,
+            reconnect_mean: params.reconnect_mean,
+            n_cells: params.n_cells,
+        }
+    }
+}
+
+impl MobilityModel for PaperMobility {
+    fn initial_cell(&mut self, _host: usize, rng: &mut SimRng) -> usize {
+        rng.index(self.n_cells)
+    }
+
+    fn on_enter_cell(&mut self, host: usize, _cell: usize, rng: &mut SimRng) -> Dwell {
+        let switch = rng.bernoulli(self.p_switch);
+        let mean = self.dwell_means[host];
+        let dwell = if switch {
+            rng.exp(mean)
+        } else {
+            rng.exp(mean / self.disc_divisor)
+        };
+        Dwell { switch, dwell }
+    }
+
+    fn handoff_target(
+        &mut self,
+        _host: usize,
+        cell: usize,
+        graph: &AdjacencyGraph,
+        rng: &mut SimRng,
+    ) -> usize {
+        let neighbors = graph.neighbors(MssId(cell));
+        neighbors[rng.index(neighbors.len())].idx()
+    }
+
+    fn offline_duration(&mut self, _host: usize, rng: &mut SimRng) -> f64 {
+        rng.exp(self.reconnect_mean)
+    }
+
+    fn reconnect_cell(&mut self, _host: usize, rng: &mut SimRng) -> usize {
+        rng.index(self.n_cells)
+    }
+}
+
+/// Markov mobility: hand-off destinations follow a per-cell transition
+/// matrix instead of a uniform pick, dwell means can be per-cell, and the
+/// disconnect decision uses an explicit `p_disconnect`.
+///
+/// Models structured movement — commuter corridors, asymmetric roaming —
+/// that uniform hand-off cannot express.
+#[derive(Debug, Clone)]
+pub struct MarkovMobility {
+    /// Per source cell: `(cumulative probability, target cell)` in matrix
+    /// column order, so one uniform draw walks the row.
+    cumulative: Vec<Vec<(f64, usize)>>,
+    p_disconnect: f64,
+    dwell_means: Vec<f64>,
+    cell_dwell: Option<Vec<f64>>,
+    disc_divisor: f64,
+    reconnect_mean: f64,
+    n_cells: usize,
+}
+
+impl MarkovMobility {
+    /// Validates `matrix` against the topology and builds the model.
+    ///
+    /// Requirements: the matrix is `n_cells x n_cells`; every entry is a
+    /// finite probability; the diagonal is zero (a hand-off must change
+    /// cell); every positive entry is a `graph` edge; every row sums to 1
+    /// (tolerance `1e-6`). `cell_dwell_means`, when given, supplies one
+    /// mean per cell and replaces the per-host means while connected.
+    pub fn new(
+        params: &EnvParams,
+        graph: &AdjacencyGraph,
+        matrix: &[Vec<f64>],
+        cell_dwell_means: Option<Vec<f64>>,
+        p_disconnect: f64,
+    ) -> Result<Self, ScenarioError> {
+        let cells = params.n_cells;
+        if matrix.len() != cells {
+            return Err(ScenarioError::MatrixShape { cells, found: matrix.len() });
+        }
+        if !(0.0..=1.0).contains(&p_disconnect) {
+            return Err(ScenarioError::PDisconnectRange(p_disconnect));
+        }
+        let mut cumulative = Vec::with_capacity(cells);
+        for (from, row) in matrix.iter().enumerate() {
+            if row.len() != cells {
+                return Err(ScenarioError::MatrixShape { cells, found: row.len() });
+            }
+            let mut sum = 0.0;
+            let mut cum_row = Vec::new();
+            for (to, &p) in row.iter().enumerate() {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(ScenarioError::MatrixEntry { cell: from, value: p });
+                }
+                if p > 0.0 {
+                    if to == from {
+                        return Err(ScenarioError::MatrixSelf(from));
+                    }
+                    if !graph.has_edge(MssId(from), MssId(to)) {
+                        return Err(ScenarioError::MatrixEdge { from, to });
+                    }
+                    sum += p;
+                    cum_row.push((sum, to));
+                }
+            }
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(ScenarioError::MatrixRow { cell: from, sum });
+            }
+            cumulative.push(cum_row);
+        }
+        if let Some(means) = &cell_dwell_means {
+            if means.len() != cells {
+                return Err(ScenarioError::CellDwellLength { cells, found: means.len() });
+            }
+            for &m in means {
+                if !m.is_finite() || m <= 0.0 {
+                    return Err(ScenarioError::NonPositiveDwell(m));
+                }
+            }
+        }
+        Ok(MarkovMobility {
+            cumulative,
+            p_disconnect,
+            dwell_means: params.dwell_means.clone(),
+            cell_dwell: cell_dwell_means,
+            disc_divisor: params.disc_divisor,
+            reconnect_mean: params.reconnect_mean,
+            n_cells: cells,
+        })
+    }
+
+    fn dwell_mean(&self, host: usize, cell: usize) -> f64 {
+        match &self.cell_dwell {
+            Some(means) => means[cell],
+            None => self.dwell_means[host],
+        }
+    }
+}
+
+impl MobilityModel for MarkovMobility {
+    fn initial_cell(&mut self, _host: usize, rng: &mut SimRng) -> usize {
+        rng.index(self.n_cells)
+    }
+
+    fn on_enter_cell(&mut self, host: usize, cell: usize, rng: &mut SimRng) -> Dwell {
+        let switch = rng.bernoulli(1.0 - self.p_disconnect);
+        let mean = self.dwell_mean(host, cell);
+        let dwell = if switch {
+            rng.exp(mean)
+        } else {
+            rng.exp(mean / self.disc_divisor)
+        };
+        Dwell { switch, dwell }
+    }
+
+    fn handoff_target(
+        &mut self,
+        _host: usize,
+        cell: usize,
+        _graph: &AdjacencyGraph,
+        rng: &mut SimRng,
+    ) -> usize {
+        let row = &self.cumulative[cell];
+        let u = rng.uniform();
+        for &(cum, target) in row {
+            if u < cum {
+                return target;
+            }
+        }
+        // Floating-point slack at the top of the row: take the last entry.
+        row.last().expect("validated row is non-empty").1
+    }
+
+    fn offline_duration(&mut self, _host: usize, rng: &mut SimRng) -> f64 {
+        rng.exp(self.reconnect_mean)
+    }
+
+    fn reconnect_cell(&mut self, _host: usize, rng: &mut SimRng) -> usize {
+        rng.index(self.n_cells)
+    }
+}
+
+/// One step of a recorded mobility trace: visit `cell` for `dwell`
+/// simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStep {
+    /// Cell visited.
+    pub cell: usize,
+    /// Dwell time in the cell.
+    pub dwell: f64,
+}
+
+/// Trace-driven mobility: hosts replay recorded `(cell, dwell)` sequences
+/// cyclically instead of sampling movement. Host `i` follows trace row
+/// `i % rows`, never disconnects, and consumes no randomness at all —
+/// useful for regression-pinning a movement pattern or replaying a real
+/// mobility log.
+#[derive(Debug, Clone)]
+pub struct TraceMobility {
+    /// Per-host step sequence (already fanned out from the spec rows).
+    steps: Vec<Vec<TraceStep>>,
+    /// Per-host index of the step the host is currently dwelling in.
+    cursor: Vec<usize>,
+}
+
+impl TraceMobility {
+    /// Validates the trace rows against the topology and builds the model.
+    ///
+    /// Every row needs at least two steps; every step's cell must exist;
+    /// every consecutive pair — including the wrap-around from last back
+    /// to first — must be a topology edge; dwells must be positive.
+    pub fn new(
+        params: &EnvParams,
+        graph: &AdjacencyGraph,
+        rows: &[Vec<TraceStep>],
+    ) -> Result<Self, ScenarioError> {
+        if rows.is_empty() {
+            return Err(ScenarioError::TraceTooShort { row: 0 });
+        }
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() < 2 {
+                return Err(ScenarioError::TraceTooShort { row: r });
+            }
+            for (s, step) in row.iter().enumerate() {
+                if step.cell >= params.n_cells {
+                    return Err(ScenarioError::TraceCell { row: r, step: s, cell: step.cell });
+                }
+                if !step.dwell.is_finite() || step.dwell <= 0.0 {
+                    return Err(ScenarioError::TraceDwell { row: r, step: s });
+                }
+            }
+            for (s, step) in row.iter().enumerate() {
+                let next = row[(s + 1) % row.len()];
+                if !graph.has_edge(MssId(step.cell), MssId(next.cell)) {
+                    return Err(ScenarioError::TraceEdge {
+                        row: r,
+                        from: step.cell,
+                        to: next.cell,
+                    });
+                }
+            }
+        }
+        let steps: Vec<Vec<TraceStep>> = (0..params.n_hosts)
+            .map(|i| rows[i % rows.len()].clone())
+            .collect();
+        let cursor = vec![0; params.n_hosts];
+        Ok(TraceMobility { steps, cursor })
+    }
+}
+
+impl MobilityModel for TraceMobility {
+    fn initial_cell(&mut self, host: usize, _rng: &mut SimRng) -> usize {
+        self.steps[host][0].cell
+    }
+
+    fn on_enter_cell(&mut self, host: usize, _cell: usize, _rng: &mut SimRng) -> Dwell {
+        Dwell {
+            switch: true,
+            dwell: self.steps[host][self.cursor[host]].dwell,
+        }
+    }
+
+    fn handoff_target(
+        &mut self,
+        host: usize,
+        _cell: usize,
+        _graph: &AdjacencyGraph,
+        _rng: &mut SimRng,
+    ) -> usize {
+        let next = (self.cursor[host] + 1) % self.steps[host].len();
+        self.cursor[host] = next;
+        self.steps[host][next].cell
+    }
+
+    // Trace hosts never disconnect (`on_enter_cell` always hands off), so
+    // the offline hooks are unreachable; they return inert values rather
+    // than panicking to keep the trait total.
+    fn offline_duration(&mut self, _host: usize, _rng: &mut SimRng) -> f64 {
+        1.0
+    }
+
+    fn reconnect_cell(&mut self, host: usize, _rng: &mut SimRng) -> usize {
+        self.steps[host][self.cursor[host]].cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EnvParams {
+        EnvParams {
+            n_hosts: 4,
+            n_cells: 4,
+            p_switch: 0.8,
+            dwell_means: vec![500.0; 4],
+            disc_divisor: 3.0,
+            reconnect_mean: 300.0,
+            p_send: 0.9,
+        }
+    }
+
+    #[test]
+    fn paper_mobility_replays_inline_recipe() {
+        let p = params();
+        let graph = AdjacencyGraph::complete(4).unwrap();
+        let mut model = PaperMobility::new(&p);
+        let mut a = SimRng::new(7).fork(2000);
+        let mut b = SimRng::new(7).fork(2000);
+        for _ in 0..200 {
+            let d = model.on_enter_cell(1, 0, &mut a);
+            let switch = b.bernoulli(p.p_switch);
+            let dwell = if switch {
+                b.exp(p.dwell_means[1])
+            } else {
+                b.exp(p.dwell_means[1] / p.disc_divisor)
+            };
+            assert_eq!(d.switch, switch);
+            assert_eq!(d.dwell.to_bits(), dwell.to_bits());
+            if switch {
+                let got = model.handoff_target(1, 2, &graph, &mut a);
+                let nb = graph.neighbors(MssId(2));
+                let want = *b.choose(nb);
+                assert_eq!(got, want.idx());
+            } else {
+                let off = model.offline_duration(1, &mut a);
+                assert_eq!(off.to_bits(), b.exp(p.reconnect_mean).to_bits());
+                assert_eq!(model.reconnect_cell(1, &mut a), b.index(4));
+            }
+        }
+    }
+
+    #[test]
+    fn markov_validation_rejects_bad_matrices() {
+        let p = params();
+        let graph = AdjacencyGraph::ring(4).unwrap();
+        let ok = vec![
+            vec![0.0, 0.5, 0.0, 0.5],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.0, 0.5, 0.0, 0.5],
+            vec![0.5, 0.0, 0.5, 0.0],
+        ];
+        assert!(MarkovMobility::new(&p, &graph, &ok, None, 0.1).is_ok());
+
+        let mut short = ok.clone();
+        short.pop();
+        assert_eq!(
+            MarkovMobility::new(&p, &graph, &short, None, 0.1).unwrap_err(),
+            ScenarioError::MatrixShape { cells: 4, found: 3 }
+        );
+
+        let mut bad_sum = ok.clone();
+        bad_sum[0][1] = 0.4;
+        assert!(matches!(
+            MarkovMobility::new(&p, &graph, &bad_sum, None, 0.1).unwrap_err(),
+            ScenarioError::MatrixRow { cell: 0, .. }
+        ));
+
+        let mut diag = ok.clone();
+        diag[2] = vec![0.0, 0.25, 0.5, 0.25];
+        assert_eq!(
+            MarkovMobility::new(&p, &graph, &diag, None, 0.1).unwrap_err(),
+            ScenarioError::MatrixSelf(2)
+        );
+
+        let mut non_edge = ok.clone();
+        non_edge[0] = vec![0.0, 0.5, 0.5, 0.0];
+        assert_eq!(
+            MarkovMobility::new(&p, &graph, &non_edge, None, 0.1).unwrap_err(),
+            ScenarioError::MatrixEdge { from: 0, to: 2 }
+        );
+
+        assert_eq!(
+            MarkovMobility::new(&p, &graph, &ok, Some(vec![10.0; 3]), 0.1).unwrap_err(),
+            ScenarioError::CellDwellLength { cells: 4, found: 3 }
+        );
+        assert_eq!(
+            MarkovMobility::new(&p, &graph, &ok, Some(vec![10.0, -1.0, 10.0, 10.0]), 0.1)
+                .unwrap_err(),
+            ScenarioError::NonPositiveDwell(-1.0)
+        );
+        assert_eq!(
+            MarkovMobility::new(&p, &graph, &ok, None, 1.5).unwrap_err(),
+            ScenarioError::PDisconnectRange(1.5)
+        );
+    }
+
+    #[test]
+    fn markov_handoffs_respect_support() {
+        let p = params();
+        let graph = AdjacencyGraph::ring(4).unwrap();
+        let matrix = vec![
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.3, 0.0, 0.7, 0.0],
+            vec![0.0, 0.2, 0.0, 0.8],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ];
+        let mut model = MarkovMobility::new(&p, &graph, &matrix, None, 0.0).unwrap();
+        let mut rng = SimRng::new(11);
+        let mut seen1 = [false; 4];
+        for _ in 0..200 {
+            assert_eq!(model.handoff_target(0, 0, &graph, &mut rng), 1);
+            let t = model.handoff_target(0, 1, &graph, &mut rng);
+            assert!(t == 0 || t == 2, "row 1 support is {{0,2}}, got {t}");
+            seen1[t] = true;
+            assert_eq!(model.handoff_target(0, 3, &graph, &mut rng), 0);
+        }
+        assert!(seen1[0] && seen1[2], "both row-1 targets should appear");
+    }
+
+    #[test]
+    fn trace_mobility_replays_rows_cyclically_without_rng() {
+        let p = params();
+        let graph = AdjacencyGraph::ring(4).unwrap();
+        let rows = vec![vec![
+            TraceStep { cell: 0, dwell: 10.0 },
+            TraceStep { cell: 1, dwell: 20.0 },
+            TraceStep { cell: 2, dwell: 30.0 },
+            TraceStep { cell: 3, dwell: 40.0 },
+        ]];
+        let mut model = TraceMobility::new(&p, &graph, &rows).unwrap();
+        let mut rng = SimRng::new(3);
+        let before = rng.clone().next_u64();
+        assert_eq!(model.initial_cell(2, &mut rng), 0);
+        let d = model.on_enter_cell(2, 0, &mut rng);
+        assert!(d.switch);
+        assert_eq!(d.dwell, 10.0);
+        for expect in [1, 2, 3, 0, 1] {
+            let cell = model.handoff_target(2, 0, &graph, &mut rng);
+            assert_eq!(cell, expect);
+        }
+        assert_eq!(
+            model.on_enter_cell(2, 1, &mut rng).dwell,
+            20.0,
+            "cursor tracks the replayed step"
+        );
+        assert_eq!(rng.next_u64(), before, "trace model consumes no randomness");
+    }
+
+    #[test]
+    fn trace_validation_rejects_bad_rows() {
+        let p = params();
+        let graph = AdjacencyGraph::ring(4).unwrap();
+        let step = |cell, dwell| TraceStep { cell, dwell };
+        assert_eq!(
+            TraceMobility::new(&p, &graph, &[vec![step(0, 1.0)]]).unwrap_err(),
+            ScenarioError::TraceTooShort { row: 0 }
+        );
+        assert_eq!(
+            TraceMobility::new(&p, &graph, &[vec![step(0, 1.0), step(9, 1.0)]]).unwrap_err(),
+            ScenarioError::TraceCell { row: 0, step: 1, cell: 9 }
+        );
+        // 0 -> 2 is not a ring edge.
+        assert_eq!(
+            TraceMobility::new(&p, &graph, &[vec![step(0, 1.0), step(2, 1.0)]]).unwrap_err(),
+            ScenarioError::TraceEdge { row: 0, from: 0, to: 2 }
+        );
+        // Wrap-around 2 -> 0 is not a ring edge either.
+        assert_eq!(
+            TraceMobility::new(&p, &graph, &[vec![step(0, 1.0), step(1, 1.0), step(2, 1.0)]])
+                .unwrap_err(),
+            ScenarioError::TraceEdge { row: 0, from: 2, to: 0 }
+        );
+        assert_eq!(
+            TraceMobility::new(&p, &graph, &[vec![step(0, 0.0), step(1, 1.0)]]).unwrap_err(),
+            ScenarioError::TraceDwell { row: 0, step: 0 }
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! The versioned `mck.scenario/v1` experiment file format.
+//!
+//! A scenario file bundles an environment spec ([`EnvSpec`]) with optional
+//! overrides for the scalar simulation parameters. Everything is optional
+//! except the `schema` member: an empty scenario is exactly the paper's
+//! default environment, so `scenarios/paper.json` applied to a default
+//! config is a no-op — the property the figure-parity CI check pins.
+
+use simkit::json::Json;
+
+use crate::{EnvSpec, MobilitySpec, ScenarioError, TopologySpec, TrafficSpec};
+
+/// Schema identifier embedded in every scenario file.
+pub const SCENARIO_SCHEMA: &str = "mck.scenario/v1";
+
+/// Optional overrides for the scalar simulation parameters. `None` means
+/// "keep whatever the config already has", so scenarios compose with CLI
+/// flags (flags win — they are applied after the scenario).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Overrides {
+    /// Number of mobile hosts.
+    pub n_mhs: Option<usize>,
+    /// Number of cells / support stations.
+    pub n_mss: Option<usize>,
+    /// Per-activity send probability.
+    pub p_send: Option<f64>,
+    /// Hand-off (vs. disconnect) probability.
+    pub p_switch: Option<f64>,
+    /// Mean dwell time between cell switches.
+    pub t_switch: Option<f64>,
+    /// Fraction of fast-moving hosts.
+    pub heterogeneity: Option<f64>,
+    /// Mean disconnection duration.
+    pub reconnect_mean: Option<f64>,
+    /// Simulated horizon in seconds.
+    pub horizon: Option<f64>,
+}
+
+/// A parsed scenario: a named environment plus parameter overrides.
+///
+/// Deliberately excluded: the protocol and the seed. Those are the axes
+/// experiments sweep over, so they stay on the command line / in the
+/// experiment driver and a single scenario file serves every protocol
+/// and replication.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scenario {
+    /// Short name (defaults to the file stem when absent).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Environment specification.
+    pub env: EnvSpec,
+    /// Scalar parameter overrides.
+    pub overrides: Overrides,
+}
+
+const PARAM_KEYS: &[&str] = &[
+    "n_mhs",
+    "n_mss",
+    "p_send",
+    "p_switch",
+    "t_switch",
+    "heterogeneity",
+    "reconnect_mean",
+    "horizon",
+];
+
+impl Scenario {
+    /// Parses scenario JSON text.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let json = simkit::json::parse(text).map_err(|e| ScenarioError::Json(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Reads and parses a scenario file, defaulting `name` to the file
+    /// stem when the file does not set one.
+    pub fn load(path: &std::path::Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Json(format!("cannot read {}: {e}", path.display())))?;
+        let mut sc = Self::parse(&text)?;
+        if sc.name.is_empty() {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                sc.name = stem.to_string();
+            }
+        }
+        Ok(sc)
+    }
+
+    /// Builds a scenario from a parsed JSON value.
+    pub fn from_json(json: &Json) -> Result<Self, ScenarioError> {
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ScenarioError::Json("missing \"schema\" member".into()))?;
+        if schema != SCENARIO_SCHEMA {
+            return Err(ScenarioError::Schema { found: schema.to_string() });
+        }
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let description = json
+            .get("description")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let mut overrides = Overrides::default();
+        if let Some(params) = json.get("params") {
+            let members = params
+                .as_obj()
+                .ok_or_else(|| ScenarioError::Json("\"params\" must be an object".into()))?;
+            for (key, _) in members {
+                if !PARAM_KEYS.contains(&key.as_str()) {
+                    return Err(ScenarioError::Json(format!(
+                        "unknown params key {key:?} (known: {PARAM_KEYS:?})"
+                    )));
+                }
+            }
+            let f = |key: &str| -> Result<Option<f64>, ScenarioError> {
+                match params.get(key) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .as_f64()
+                        .map(Some)
+                        .ok_or_else(|| ScenarioError::Json(format!("params.{key} must be a number"))),
+                }
+            };
+            let u = |key: &str| -> Result<Option<usize>, ScenarioError> {
+                match params.get(key) {
+                    None => Ok(None),
+                    Some(v) => v.as_u64().map(|x| Some(x as usize)).ok_or_else(|| {
+                        ScenarioError::Json(format!("params.{key} must be a non-negative integer"))
+                    }),
+                }
+            };
+            overrides = Overrides {
+                n_mhs: u("n_mhs")?,
+                n_mss: u("n_mss")?,
+                p_send: f("p_send")?,
+                p_switch: f("p_switch")?,
+                t_switch: f("t_switch")?,
+                heterogeneity: f("heterogeneity")?,
+                reconnect_mean: f("reconnect_mean")?,
+                horizon: f("horizon")?,
+            };
+        }
+        let env = EnvSpec {
+            topology: match json.get("topology") {
+                None | Some(Json::Null) => TopologySpec::default(),
+                Some(v) => TopologySpec::from_json(v)?,
+            },
+            mobility: match json.get("mobility") {
+                None | Some(Json::Null) => MobilitySpec::default(),
+                Some(v) => MobilitySpec::from_json(v)?,
+            },
+            traffic: match json.get("traffic") {
+                None | Some(Json::Null) => TrafficSpec::default(),
+                Some(v) => TrafficSpec::from_json(v)?,
+            },
+        };
+        Ok(Scenario { name, description, env, overrides })
+    }
+
+    /// Serializes the scenario back to its file form.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("schema".into(), Json::str(SCENARIO_SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            ("description".into(), Json::str(self.description.clone())),
+        ];
+        let o = &self.overrides;
+        let mut params: Vec<(String, Json)> = Vec::new();
+        if let Some(v) = o.n_mhs {
+            params.push(("n_mhs".into(), Json::uint(v as u64)));
+        }
+        if let Some(v) = o.n_mss {
+            params.push(("n_mss".into(), Json::uint(v as u64)));
+        }
+        if let Some(v) = o.p_send {
+            params.push(("p_send".into(), Json::num(v)));
+        }
+        if let Some(v) = o.p_switch {
+            params.push(("p_switch".into(), Json::num(v)));
+        }
+        if let Some(v) = o.t_switch {
+            params.push(("t_switch".into(), Json::num(v)));
+        }
+        if let Some(v) = o.heterogeneity {
+            params.push(("heterogeneity".into(), Json::num(v)));
+        }
+        if let Some(v) = o.reconnect_mean {
+            params.push(("reconnect_mean".into(), Json::num(v)));
+        }
+        if let Some(v) = o.horizon {
+            params.push(("horizon".into(), Json::num(v)));
+        }
+        if !params.is_empty() {
+            members.push(("params".into(), Json::Obj(params)));
+        }
+        members.push(("topology".into(), self.env.topology.to_json()));
+        members.push(("mobility".into(), self.env.mobility.to_json()));
+        members.push(("traffic".into(), self.env.traffic.to_json()));
+        Json::Obj(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_scenario_is_paper_default() {
+        let sc = Scenario::parse(r#"{"schema":"mck.scenario/v1"}"#).unwrap();
+        assert!(sc.env.is_paper());
+        assert_eq!(sc.overrides, Overrides::default());
+    }
+
+    #[test]
+    fn full_scenario_round_trips() {
+        let sc = Scenario {
+            name: "demo".into(),
+            description: "a test".into(),
+            env: EnvSpec {
+                topology: TopologySpec::Grid { cols: 3 },
+                mobility: MobilitySpec::Markov {
+                    matrix: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+                    cell_dwell_means: None,
+                    p_disconnect: 0.2,
+                },
+                traffic: TrafficSpec::Hotspot { hotspots: 2, p_hot: 0.7 },
+            },
+            overrides: Overrides {
+                n_mss: Some(6),
+                t_switch: Some(1500.0),
+                ..Overrides::default()
+            },
+        };
+        let text = sc.to_json().to_pretty();
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn bad_schema_and_unknown_params_are_rejected() {
+        assert!(matches!(
+            Scenario::parse(r#"{"schema":"mck.scenario/v2"}"#),
+            Err(ScenarioError::Schema { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse(r#"{"name":"x"}"#),
+            Err(ScenarioError::Json(_))
+        ));
+        let err = Scenario::parse(
+            r#"{"schema":"mck.scenario/v1","params":{"t_swtich":100}}"#,
+        )
+        .unwrap_err();
+        match err {
+            ScenarioError::Json(msg) => assert!(msg.contains("t_swtich"), "{msg}"),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        assert!(matches!(
+            Scenario::parse(r#"{"schema":"mck.scenario/v1","params":{"t_switch":"fast"}}"#),
+            Err(ScenarioError::Json(_))
+        ));
+        assert!(Scenario::parse("{nope").is_err());
+    }
+}

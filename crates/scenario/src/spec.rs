@@ -1,0 +1,499 @@
+//! Declarative environment specifications.
+//!
+//! A spec is pure data — `Clone + PartialEq`, JSON round-trippable —
+//! describing *which* topology/mobility/traffic to use; `build` turns it
+//! into the validated runtime objects ([`AdjacencyGraph`], boxed
+//! [`MobilityModel`]/[`TrafficModel`]). Specs live inside `SimConfig`, in
+//! scenario files, and in artifacts, so a run's environment is always
+//! inspectable after the fact.
+
+use mobnet::AdjacencyGraph;
+use simkit::json::Json;
+
+use crate::{
+    ClientServerTraffic, EnvParams, HotspotTraffic, MarkovMobility, MobilityModel,
+    PaperMobility, ScenarioError, TraceMobility, TraceStep, TrafficModel, UniformTraffic,
+};
+
+fn json_err(what: impl Into<String>) -> ScenarioError {
+    ScenarioError::Json(what.into())
+}
+
+fn need_f64(obj: &Json, key: &str, ctx: &str) -> Result<f64, ScenarioError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| json_err(format!("{ctx} needs a numeric {key:?} member")))
+}
+
+fn need_usize(obj: &Json, key: &str, ctx: &str) -> Result<usize, ScenarioError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| json_err(format!("{ctx} needs a non-negative integer {key:?} member")))
+}
+
+fn kind_of<'a>(obj: &'a Json, ctx: &str) -> Result<&'a str, ScenarioError> {
+    obj.get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| json_err(format!("{ctx} needs a string \"kind\" member")))
+}
+
+/// Which cell-adjacency graph the environment uses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TopologySpec {
+    /// Every cell neighbours every other (the paper's model).
+    #[default]
+    Complete,
+    /// A cycle of cells.
+    Ring,
+    /// A rectangular grid, `cols` cells wide.
+    Grid {
+        /// Number of grid columns.
+        cols: usize,
+    },
+    /// Hand-written adjacency: `adjacency[i]` lists cell `i`'s neighbours.
+    Custom {
+        /// Per-cell neighbour lists.
+        adjacency: Vec<Vec<usize>>,
+    },
+}
+
+impl TopologySpec {
+    /// Builds and validates the graph for `n_cells` cells.
+    pub fn build(&self, n_cells: usize) -> Result<AdjacencyGraph, ScenarioError> {
+        match self {
+            TopologySpec::Complete => Ok(AdjacencyGraph::complete(n_cells)?),
+            TopologySpec::Ring => Ok(AdjacencyGraph::ring(n_cells)?),
+            TopologySpec::Grid { cols } => Ok(AdjacencyGraph::grid(n_cells, *cols)?),
+            TopologySpec::Custom { adjacency } => {
+                if adjacency.len() != n_cells {
+                    return Err(ScenarioError::AdjacencyLength {
+                        expected: n_cells,
+                        found: adjacency.len(),
+                    });
+                }
+                Ok(AdjacencyGraph::custom(adjacency.clone())?)
+            }
+        }
+    }
+
+    /// Serializes as a kind-tagged JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            TopologySpec::Complete => Json::Obj(vec![("kind".into(), Json::str("complete"))]),
+            TopologySpec::Ring => Json::Obj(vec![("kind".into(), Json::str("ring"))]),
+            TopologySpec::Grid { cols } => Json::Obj(vec![
+                ("kind".into(), Json::str("grid")),
+                ("cols".into(), Json::uint(*cols as u64)),
+            ]),
+            TopologySpec::Custom { adjacency } => Json::Obj(vec![
+                ("kind".into(), Json::str("custom")),
+                (
+                    "adjacency".into(),
+                    Json::Arr(
+                        adjacency
+                            .iter()
+                            .map(|row| {
+                                Json::Arr(row.iter().map(|&c| Json::uint(c as u64)).collect())
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses the kind-tagged JSON form.
+    pub fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        match kind_of(v, "topology")? {
+            "complete" => Ok(TopologySpec::Complete),
+            "ring" => Ok(TopologySpec::Ring),
+            "grid" => Ok(TopologySpec::Grid { cols: need_usize(v, "cols", "grid topology")? }),
+            "custom" => {
+                let rows = v
+                    .get("adjacency")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| json_err("custom topology needs an \"adjacency\" array"))?;
+                let mut adjacency = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let cells = row
+                        .as_arr()
+                        .ok_or_else(|| json_err("adjacency rows must be arrays of cell ids"))?;
+                    let mut out = Vec::with_capacity(cells.len());
+                    for c in cells {
+                        out.push(c.as_u64().ok_or_else(|| {
+                            json_err("adjacency entries must be non-negative cell ids")
+                        })? as usize);
+                    }
+                    adjacency.push(out);
+                }
+                Ok(TopologySpec::Custom { adjacency })
+            }
+            other => Err(json_err(format!("unknown topology kind {other:?}"))),
+        }
+    }
+}
+
+/// Which mobility model drives host movement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum MobilitySpec {
+    /// The paper's exponential-dwell, uniform-hand-off model.
+    #[default]
+    Paper,
+    /// Markov cell-transition mobility (see [`MarkovMobility`]).
+    Markov {
+        /// Row-stochastic cell-transition matrix.
+        matrix: Vec<Vec<f64>>,
+        /// Optional per-cell dwell means replacing the per-host means.
+        cell_dwell_means: Option<Vec<f64>>,
+        /// Probability a dwell ends in a disconnection.
+        p_disconnect: f64,
+    },
+    /// Trace-driven replay (see [`TraceMobility`]); host `i` follows row
+    /// `i % rows`.
+    Trace {
+        /// Recorded `(cell, dwell)` rows.
+        rows: Vec<Vec<TraceStep>>,
+    },
+}
+
+impl MobilitySpec {
+    /// Builds and validates the model against the environment and graph.
+    pub fn build(
+        &self,
+        params: &EnvParams,
+        graph: &AdjacencyGraph,
+    ) -> Result<Box<dyn MobilityModel>, ScenarioError> {
+        match self {
+            MobilitySpec::Paper => Ok(Box::new(PaperMobility::new(params))),
+            MobilitySpec::Markov { matrix, cell_dwell_means, p_disconnect } => {
+                Ok(Box::new(MarkovMobility::new(
+                    params,
+                    graph,
+                    matrix,
+                    cell_dwell_means.clone(),
+                    *p_disconnect,
+                )?))
+            }
+            MobilitySpec::Trace { rows } => Ok(Box::new(TraceMobility::new(params, graph, rows)?)),
+        }
+    }
+
+    /// Serializes as a kind-tagged JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            MobilitySpec::Paper => Json::Obj(vec![("kind".into(), Json::str("paper"))]),
+            MobilitySpec::Markov { matrix, cell_dwell_means, p_disconnect } => {
+                let mut members = vec![
+                    ("kind".into(), Json::str("markov")),
+                    (
+                        "matrix".into(),
+                        Json::Arr(
+                            matrix
+                                .iter()
+                                .map(|row| Json::Arr(row.iter().map(|&p| Json::num(p)).collect()))
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if let Some(means) = cell_dwell_means {
+                    members.push((
+                        "cell_dwell_means".into(),
+                        Json::Arr(means.iter().map(|&m| Json::num(m)).collect()),
+                    ));
+                }
+                members.push(("p_disconnect".into(), Json::num(*p_disconnect)));
+                Json::Obj(members)
+            }
+            MobilitySpec::Trace { rows } => Json::Obj(vec![
+                ("kind".into(), Json::str("trace")),
+                (
+                    "rows".into(),
+                    Json::Arr(
+                        rows.iter()
+                            .map(|row| {
+                                Json::Arr(
+                                    row.iter()
+                                        .map(|s| {
+                                            Json::Obj(vec![
+                                                ("cell".into(), Json::uint(s.cell as u64)),
+                                                ("dwell".into(), Json::num(s.dwell)),
+                                            ])
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses the kind-tagged JSON form.
+    pub fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        match kind_of(v, "mobility")? {
+            "paper" => Ok(MobilitySpec::Paper),
+            "markov" => {
+                let rows = v
+                    .get("matrix")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| json_err("markov mobility needs a \"matrix\" array"))?;
+                let mut matrix = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let cells = row
+                        .as_arr()
+                        .ok_or_else(|| json_err("matrix rows must be arrays of probabilities"))?;
+                    let mut out = Vec::with_capacity(cells.len());
+                    for p in cells {
+                        out.push(
+                            p.as_f64()
+                                .ok_or_else(|| json_err("matrix entries must be numbers"))?,
+                        );
+                    }
+                    matrix.push(out);
+                }
+                let cell_dwell_means = match v.get("cell_dwell_means") {
+                    None | Some(Json::Null) => None,
+                    Some(arr) => {
+                        let items = arr.as_arr().ok_or_else(|| {
+                            json_err("cell_dwell_means must be an array of numbers")
+                        })?;
+                        let mut out = Vec::with_capacity(items.len());
+                        for m in items {
+                            out.push(m.as_f64().ok_or_else(|| {
+                                json_err("cell_dwell_means entries must be numbers")
+                            })?);
+                        }
+                        Some(out)
+                    }
+                };
+                let p_disconnect = need_f64(v, "p_disconnect", "markov mobility")?;
+                Ok(MobilitySpec::Markov { matrix, cell_dwell_means, p_disconnect })
+            }
+            "trace" => {
+                let rows_json = v
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| json_err("trace mobility needs a \"rows\" array"))?;
+                let mut rows = Vec::with_capacity(rows_json.len());
+                for row in rows_json {
+                    let steps = row
+                        .as_arr()
+                        .ok_or_else(|| json_err("trace rows must be arrays of steps"))?;
+                    let mut out = Vec::with_capacity(steps.len());
+                    for s in steps {
+                        out.push(TraceStep {
+                            cell: need_usize(s, "cell", "trace step")?,
+                            dwell: need_f64(s, "dwell", "trace step")?,
+                        });
+                    }
+                    rows.push(out);
+                }
+                Ok(MobilitySpec::Trace { rows })
+            }
+            other => Err(json_err(format!("unknown mobility kind {other:?}"))),
+        }
+    }
+}
+
+/// Which traffic model drives message exchange.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TrafficSpec {
+    /// The paper's uniform any-to-any traffic.
+    #[default]
+    Uniform,
+    /// Hotspot traffic (see [`HotspotTraffic`]).
+    Hotspot {
+        /// Number of hotspot hosts (the first `hotspots` host ids).
+        hotspots: usize,
+        /// Probability a send targets a hotspot.
+        p_hot: f64,
+    },
+    /// Client–server traffic (see [`ClientServerTraffic`]).
+    ClientServer {
+        /// Number of server hosts (the first `servers` host ids).
+        servers: usize,
+    },
+}
+
+impl TrafficSpec {
+    /// Builds and validates the model for the environment.
+    pub fn build(&self, params: &EnvParams) -> Result<Box<dyn TrafficModel>, ScenarioError> {
+        match self {
+            TrafficSpec::Uniform => Ok(Box::new(UniformTraffic::new(params))),
+            TrafficSpec::Hotspot { hotspots, p_hot } => {
+                Ok(Box::new(HotspotTraffic::new(params, *hotspots, *p_hot)?))
+            }
+            TrafficSpec::ClientServer { servers } => {
+                Ok(Box::new(ClientServerTraffic::new(params, *servers)?))
+            }
+        }
+    }
+
+    /// Serializes as a kind-tagged JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            TrafficSpec::Uniform => Json::Obj(vec![("kind".into(), Json::str("uniform"))]),
+            TrafficSpec::Hotspot { hotspots, p_hot } => Json::Obj(vec![
+                ("kind".into(), Json::str("hotspot")),
+                ("hotspots".into(), Json::uint(*hotspots as u64)),
+                ("p_hot".into(), Json::num(*p_hot)),
+            ]),
+            TrafficSpec::ClientServer { servers } => Json::Obj(vec![
+                ("kind".into(), Json::str("client_server")),
+                ("servers".into(), Json::uint(*servers as u64)),
+            ]),
+        }
+    }
+
+    /// Parses the kind-tagged JSON form.
+    pub fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        match kind_of(v, "traffic")? {
+            "uniform" => Ok(TrafficSpec::Uniform),
+            "hotspot" => Ok(TrafficSpec::Hotspot {
+                hotspots: need_usize(v, "hotspots", "hotspot traffic")?,
+                p_hot: need_f64(v, "p_hot", "hotspot traffic")?,
+            }),
+            "client_server" => Ok(TrafficSpec::ClientServer {
+                servers: need_usize(v, "servers", "client_server traffic")?,
+            }),
+            other => Err(json_err(format!("unknown traffic kind {other:?}"))),
+        }
+    }
+}
+
+/// The validated runtime pieces built from an [`EnvSpec`]: the topology
+/// graph plus boxed mobility and traffic models, ready for the simulation
+/// core to own.
+pub struct BuiltEnv {
+    /// The cell-adjacency graph.
+    pub graph: AdjacencyGraph,
+    /// The mobility model.
+    pub mobility: Box<dyn MobilityModel>,
+    /// The traffic model.
+    pub traffic: Box<dyn TrafficModel>,
+}
+
+/// The full environment of a run: topology + mobility + traffic.
+///
+/// The default is exactly the paper's environment, so `SimConfig`s built
+/// without a scenario behave — byte for byte — as they always have.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnvSpec {
+    /// Cell-adjacency topology.
+    pub topology: TopologySpec,
+    /// Mobility model.
+    pub mobility: MobilitySpec,
+    /// Traffic model.
+    pub traffic: TrafficSpec,
+}
+
+impl EnvSpec {
+    /// True when this is the paper's default environment.
+    pub fn is_paper(&self) -> bool {
+        *self == EnvSpec::default()
+    }
+
+    /// Builds the topology graph for the environment.
+    pub fn build_graph(&self, params: &EnvParams) -> Result<AdjacencyGraph, ScenarioError> {
+        self.topology.build(params.n_cells)
+    }
+
+    /// Builds all three runtime pieces at once.
+    pub fn build(&self, params: &EnvParams) -> Result<BuiltEnv, ScenarioError> {
+        let graph = self.build_graph(params)?;
+        let mobility = self.mobility.build(params, &graph)?;
+        let traffic = self.traffic.build(params)?;
+        Ok(BuiltEnv { graph, mobility, traffic })
+    }
+
+    /// Validates the whole environment against `params` without keeping
+    /// the built models.
+    pub fn validate(&self, params: &EnvParams) -> Result<(), ScenarioError> {
+        self.build(params).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_round_trip_and_build() {
+        let specs = [
+            TopologySpec::Complete,
+            TopologySpec::Ring,
+            TopologySpec::Grid { cols: 3 },
+            TopologySpec::Custom { adjacency: vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![0]] },
+        ];
+        for spec in specs {
+            let json = spec.to_json();
+            let back = TopologySpec::from_json(&simkit::json::parse(&json.to_compact()).unwrap())
+                .unwrap();
+            assert_eq!(back, spec);
+            assert!(spec.build(6).is_ok(), "{spec:?} should build at 6 cells");
+        }
+        assert_eq!(
+            TopologySpec::Custom { adjacency: vec![vec![1], vec![0]] }
+                .build(5)
+                .unwrap_err(),
+            ScenarioError::AdjacencyLength { expected: 5, found: 2 }
+        );
+    }
+
+    #[test]
+    fn mobility_and_traffic_specs_round_trip() {
+        let mob = [
+            MobilitySpec::Paper,
+            MobilitySpec::Markov {
+                matrix: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+                cell_dwell_means: Some(vec![100.0, 250.0]),
+                p_disconnect: 0.25,
+            },
+            MobilitySpec::Trace {
+                rows: vec![vec![
+                    TraceStep { cell: 0, dwell: 10.0 },
+                    TraceStep { cell: 1, dwell: 20.0 },
+                ]],
+            },
+        ];
+        for spec in mob {
+            let json = spec.to_json();
+            let back =
+                MobilitySpec::from_json(&simkit::json::parse(&json.to_compact()).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+        let tra = [
+            TrafficSpec::Uniform,
+            TrafficSpec::Hotspot { hotspots: 2, p_hot: 0.7 },
+            TrafficSpec::ClientServer { servers: 3 },
+        ];
+        for spec in tra {
+            let json = spec.to_json();
+            let back =
+                TrafficSpec::from_json(&simkit::json::parse(&json.to_compact()).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected() {
+        let bad = simkit::json::parse(r#"{"kind":"teleport"}"#).unwrap();
+        assert!(TopologySpec::from_json(&bad).is_err());
+        assert!(MobilitySpec::from_json(&bad).is_err());
+        assert!(TrafficSpec::from_json(&bad).is_err());
+        let no_kind = simkit::json::parse(r#"{}"#).unwrap();
+        assert!(matches!(
+            TopologySpec::from_json(&no_kind),
+            Err(ScenarioError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn default_env_is_paper() {
+        assert!(EnvSpec::default().is_paper());
+        let other = EnvSpec { topology: TopologySpec::Ring, ..EnvSpec::default() };
+        assert!(!other.is_paper());
+    }
+}

@@ -1,0 +1,234 @@
+//! Traffic models: who talks to whom.
+//!
+//! The simulation core asks a [`TrafficModel`] two questions per activity
+//! — does this host send, and to whom — drawing entropy from the host's
+//! workload RNG substream. As with mobility, models shape the draws but
+//! never own the randomness, keeping runs byte-identical per seed.
+
+use simkit::rng::SimRng;
+
+use crate::{EnvParams, ScenarioError};
+
+/// A pluggable message-traffic model.
+///
+/// Same determinism contract as [`crate::MobilityModel`]: pure function of
+/// model state plus the supplied RNG.
+pub trait TrafficModel: Send {
+    /// Whether `host`'s current activity sends a message (vs. a purely
+    /// internal event).
+    fn is_send(&mut self, host: usize, rng: &mut SimRng) -> bool;
+    /// Destination host for a send by `host`; must differ from `host`.
+    fn destination(&mut self, host: usize, rng: &mut SimRng) -> usize;
+}
+
+/// The paper's traffic: Bernoulli(`p_send`) sends to a uniformly random
+/// other host. Extracted verbatim from the previously hard-coded path —
+/// the draw sequence is byte-identical.
+#[derive(Debug, Clone)]
+pub struct UniformTraffic {
+    p_send: f64,
+    n_hosts: usize,
+}
+
+impl UniformTraffic {
+    /// Builds the paper traffic model from the environment parameters.
+    pub fn new(params: &EnvParams) -> Self {
+        UniformTraffic { p_send: params.p_send, n_hosts: params.n_hosts }
+    }
+}
+
+impl TrafficModel for UniformTraffic {
+    fn is_send(&mut self, _host: usize, rng: &mut SimRng) -> bool {
+        rng.bernoulli(self.p_send)
+    }
+
+    fn destination(&mut self, host: usize, rng: &mut SimRng) -> usize {
+        rng.index_excluding(self.n_hosts, host)
+    }
+}
+
+/// Hotspot traffic: with probability `p_hot` a send targets one of the
+/// first `hotspots` hosts (popular servers, sinks of a fan-in workload);
+/// otherwise it falls back to a uniformly random other host.
+///
+/// Skews message arrival — and therefore checkpoint-coordination load —
+/// onto a few cells, which is the regime where coordinated protocols pay
+/// for their synchronization.
+#[derive(Debug, Clone)]
+pub struct HotspotTraffic {
+    p_send: f64,
+    n_hosts: usize,
+    hotspots: usize,
+    p_hot: f64,
+}
+
+impl HotspotTraffic {
+    /// Validates and builds: `hotspots` must be in `1..=n_hosts`, `p_hot`
+    /// in `[0, 1]`.
+    pub fn new(params: &EnvParams, hotspots: usize, p_hot: f64) -> Result<Self, ScenarioError> {
+        if hotspots == 0 || hotspots > params.n_hosts {
+            return Err(ScenarioError::Hotspots { hotspots, hosts: params.n_hosts });
+        }
+        if !(0.0..=1.0).contains(&p_hot) {
+            return Err(ScenarioError::PHotRange(p_hot));
+        }
+        Ok(HotspotTraffic {
+            p_send: params.p_send,
+            n_hosts: params.n_hosts,
+            hotspots,
+            p_hot,
+        })
+    }
+}
+
+impl TrafficModel for HotspotTraffic {
+    fn is_send(&mut self, _host: usize, rng: &mut SimRng) -> bool {
+        rng.bernoulli(self.p_send)
+    }
+
+    fn destination(&mut self, host: usize, rng: &mut SimRng) -> usize {
+        if rng.bernoulli(self.p_hot) {
+            if host < self.hotspots {
+                if self.hotspots == 1 {
+                    // `host` is the only hotspot; a hotspot-directed send
+                    // has no valid target, fall back to uniform.
+                    return rng.index_excluding(self.n_hosts, host);
+                }
+                rng.index_excluding(self.hotspots, host)
+            } else {
+                rng.index(self.hotspots)
+            }
+        } else {
+            rng.index_excluding(self.n_hosts, host)
+        }
+    }
+}
+
+/// Client–server traffic: the first `servers` hosts answer a uniformly
+/// random client, and every client sends to a uniformly random server.
+/// No client–client or server–server messages — a star communication
+/// graph over the mobile network.
+#[derive(Debug, Clone)]
+pub struct ClientServerTraffic {
+    p_send: f64,
+    n_hosts: usize,
+    servers: usize,
+}
+
+impl ClientServerTraffic {
+    /// Validates and builds: `servers` must be in `1..n_hosts` so both
+    /// sides of the star are non-empty.
+    pub fn new(params: &EnvParams, servers: usize) -> Result<Self, ScenarioError> {
+        if servers == 0 || servers >= params.n_hosts {
+            return Err(ScenarioError::Servers { servers, hosts: params.n_hosts });
+        }
+        Ok(ClientServerTraffic { p_send: params.p_send, n_hosts: params.n_hosts, servers })
+    }
+}
+
+impl TrafficModel for ClientServerTraffic {
+    fn is_send(&mut self, _host: usize, rng: &mut SimRng) -> bool {
+        rng.bernoulli(self.p_send)
+    }
+
+    fn destination(&mut self, host: usize, rng: &mut SimRng) -> usize {
+        if host < self.servers {
+            self.servers + rng.index(self.n_hosts - self.servers)
+        } else {
+            rng.index(self.servers)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n_hosts: usize) -> EnvParams {
+        EnvParams {
+            n_hosts,
+            n_cells: 5,
+            p_switch: 1.0,
+            dwell_means: vec![1000.0; n_hosts],
+            disc_divisor: 3.0,
+            reconnect_mean: 300.0,
+            p_send: 0.9,
+        }
+    }
+
+    #[test]
+    fn uniform_matches_inline_recipe() {
+        let p = params(8);
+        let mut model = UniformTraffic::new(&p);
+        let mut a = SimRng::new(42).fork(1003);
+        let mut b = SimRng::new(42).fork(1003);
+        for _ in 0..200 {
+            assert_eq!(model.is_send(3, &mut a), b.bernoulli(p.p_send));
+            assert_eq!(model.destination(3, &mut a), b.index_excluding(8, 3));
+        }
+    }
+
+    #[test]
+    fn hotspot_destinations_are_valid_and_skewed() {
+        let p = params(10);
+        let mut model = HotspotTraffic::new(&p, 2, 0.7).unwrap();
+        let mut rng = SimRng::new(5);
+        let mut hot_hits = 0usize;
+        const N: usize = 2000;
+        for _ in 0..N {
+            let d = model.destination(7, &mut rng);
+            assert_ne!(d, 7);
+            assert!(d < 10);
+            if d < 2 {
+                hot_hits += 1;
+            }
+        }
+        // Expected hot share: 0.7 + 0.3 * (2/9) ≈ 0.77.
+        assert!(hot_hits > N / 2, "hotspots should dominate ({hot_hits}/{N})");
+        // A hotspot host never sends to itself even when the hot branch
+        // fires, including the sole-hotspot degenerate case.
+        let mut solo = HotspotTraffic::new(&p, 1, 1.0).unwrap();
+        for _ in 0..200 {
+            assert_ne!(solo.destination(0, &mut rng), 0);
+            assert_eq!(solo.destination(5, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn hotspot_validation() {
+        let p = params(4);
+        assert_eq!(
+            HotspotTraffic::new(&p, 0, 0.5).unwrap_err(),
+            ScenarioError::Hotspots { hotspots: 0, hosts: 4 }
+        );
+        assert_eq!(
+            HotspotTraffic::new(&p, 5, 0.5).unwrap_err(),
+            ScenarioError::Hotspots { hotspots: 5, hosts: 4 }
+        );
+        assert_eq!(
+            HotspotTraffic::new(&p, 2, 1.5).unwrap_err(),
+            ScenarioError::PHotRange(1.5)
+        );
+    }
+
+    #[test]
+    fn client_server_star_topology() {
+        let p = params(6);
+        let mut model = ClientServerTraffic::new(&p, 2).unwrap();
+        let mut rng = SimRng::new(9);
+        for _ in 0..400 {
+            let from_server = model.destination(1, &mut rng);
+            assert!((2..6).contains(&from_server), "servers send to clients");
+            let from_client = model.destination(4, &mut rng);
+            assert!(from_client < 2, "clients send to servers");
+        }
+        assert_eq!(
+            ClientServerTraffic::new(&p, 0).unwrap_err(),
+            ScenarioError::Servers { servers: 0, hosts: 6 }
+        );
+        assert_eq!(
+            ClientServerTraffic::new(&p, 6).unwrap_err(),
+            ScenarioError::Servers { servers: 6, hosts: 6 }
+        );
+    }
+}

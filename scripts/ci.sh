@@ -50,6 +50,60 @@ diff -q "$out_dir/log1/ROLLBACK_LOGGING.json" "$out_dir/log2/ROLLBACK_LOGGING.js
 ./target/release/mck inspect "$out_dir/log1/ROLLBACK_LOGGING.json" \
     | grep -q "mck.rollback_logging/v1"
 
+# Scenario smoke: bundled scenario files must load, run deterministically
+# (two runs of the same seed produce byte-identical artifacts and traces),
+# and inspect as mck.scenario/v1 documents.
+echo "==> smoke: scenario determinism (scenarios/markov_grid.json)"
+./target/release/mck inspect scenarios/markov_grid.json | grep -q "mck.scenario/v1"
+mkdir -p "$out_dir/sc1" "$out_dir/sc2"
+./target/release/mck run --scenario scenarios/markov_grid.json \
+    --horizon 1000 --t-switch 200 \
+    --metrics "$out_dir/sc1/run.json" --trace "$out_dir/sc1/trace.jsonl" >/dev/null
+./target/release/mck run --scenario scenarios/markov_grid.json \
+    --horizon 1000 --t-switch 200 \
+    --metrics "$out_dir/sc2/run.json" --trace "$out_dir/sc2/trace.jsonl" >/dev/null
+# The run artifact embeds host wall-clock timing (wall_ns, events_per_sec);
+# strip those before comparing — everything else must match byte-for-byte.
+strip_timing() { grep -vE '"(wall_ns|events_per_sec)"' "$1"; }
+diff <(strip_timing "$out_dir/sc1/run.json") <(strip_timing "$out_dir/sc2/run.json")
+diff -q "$out_dir/sc1/trace.jsonl" "$out_dir/sc2/trace.jsonl"
+
+# Figures parity: the paper scenario spells the default environment out
+# explicitly, so applying it must not change a single byte of any output —
+# neither a raw run nor the seed figure numbers.
+echo "==> smoke: paper-scenario parity (run + fig 1)"
+./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+    --metrics "$out_dir/plain_run.json" > "$out_dir/plain_run.txt"
+./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+    --scenario scenarios/paper.json \
+    --metrics "$out_dir/paper_run.json" > "$out_dir/paper_run.txt"
+# Stdout echoes the (different) metrics paths and a wall-clock events/sec
+# line; ignore those, compare everything else byte-for-byte.
+diff <(grep -vE 'artifact ->|events/sec' "$out_dir/plain_run.txt") \
+     <(grep -vE 'artifact ->|events/sec' "$out_dir/paper_run.txt")
+diff <(strip_timing "$out_dir/plain_run.json") <(strip_timing "$out_dir/paper_run.json")
+mkdir -p "$out_dir/fig_plain" "$out_dir/fig_paper"
+./target/release/mck fig 1 --reps 1 --out-dir "$out_dir/fig_plain" >/dev/null
+./target/release/mck fig 1 --reps 1 --scenario scenarios/paper.json \
+    --out-dir "$out_dir/fig_paper" >/dev/null
+diff -q "$out_dir/fig_plain/FIG1.json" "$out_dir/fig_paper/FIG1.json"
+
+# The non-paper bundled scenarios run end-to-end through the figures
+# binary and emit valid mck.sweep/v1 artifacts.
+echo "==> smoke: figures scenario sweeps (markov_grid + hotspot)"
+./target/release/figures scenario scenarios/markov_grid.json scenarios/hotspot.json \
+    --reps 1 --out-dir "$out_dir" >/dev/null
+for f in SWEEP_markov_grid_TP SWEEP_markov_grid_BCS SWEEP_markov_grid_QBC \
+         SWEEP_hotspot_TP SWEEP_hotspot_BCS SWEEP_hotspot_QBC; do
+    ./target/release/mck inspect "$out_dir/$f.json" | grep -q "mck.sweep/v1"
+done
+
+# Log-size figures (ROADMAP item): the sweep emits a valid
+# mck.log_size/v1 artifact.
+echo "==> smoke: figures log-size"
+./target/release/figures log-size --reps 1 --out-dir "$out_dir" >/dev/null
+./target/release/mck inspect "$out_dir/BENCH_log_size.json" | grep -q "mck.log_size/v1"
+
 # Non-gating bench smoke: time the figure grid through the parallel sweep
 # executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers
 # are host-dependent, so a failure here warns instead of failing CI.

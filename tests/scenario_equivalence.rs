@@ -1,0 +1,146 @@
+//! Scenario-subsystem equivalence and determinism guarantees.
+//!
+//! The refactor that introduced pluggable mobility/traffic/topology models
+//! must not change the simulation: the paper scenario applied to a default
+//! config is a no-op (byte-identical artifacts per seed and protocol), and
+//! every bundled non-paper scenario runs end-to-end deterministically.
+
+use mck::artifact::{run_artifact, validate, RUN_SCHEMA};
+use mck::prelude::*;
+use simkit::rng::SimRng;
+
+/// Path to a bundled scenario file (the suite crate lives two levels below
+/// the workspace root).
+fn bundled(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name)
+}
+
+fn load(name: &str) -> Scenario {
+    Scenario::load(&bundled(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// One run's full observable surface as a string: the `mck.run/v1`
+/// artifact (config, outcome, metric snapshot).
+fn artifact_bytes(cfg: &SimConfig) -> String {
+    let report = Simulation::run_with(
+        cfg.clone(),
+        Instrumentation {
+            metrics: true,
+            ..Instrumentation::off()
+        },
+    );
+    run_artifact(cfg, &report).to_pretty()
+}
+
+#[test]
+fn paper_scenario_is_byte_identical_to_the_default_path() {
+    let sc = load("paper.json");
+    let mut seeder = SimRng::new(0xfeed);
+    let protocols = [CicKind::Tp, CicKind::Bcs, CicKind::Qbc];
+    for round in 0..4 {
+        let seed = seeder.next_u64();
+        let proto = protocols[round % protocols.len()];
+        let mut plain = SimConfig::paper(ProtocolChoice::Cic(proto), 500.0, 0.8, 0.3);
+        plain.horizon = 1500.0;
+        plain.seed = seed;
+        let mut scenic = plain.clone();
+        scenic.apply_scenario(&sc);
+        // The scenario spells out the paper environment explicitly, so it
+        // must leave the config — and therefore the run — untouched.
+        assert_eq!(
+            artifact_bytes(&plain),
+            artifact_bytes(&scenic),
+            "paper scenario changed the run (seed={seed}, proto={})",
+            proto.name(),
+        );
+    }
+}
+
+#[test]
+fn scenario_overrides_compose_with_later_flags() {
+    let sc = load("markov_grid.json");
+    let mut cfg = SimConfig::default();
+    cfg.apply_scenario(&sc);
+    assert_eq!(cfg.n_mss, 6, "markov_grid sets n_mss via params");
+    assert!(matches!(cfg.env.topology, TopologySpec::Grid { cols: 3 }));
+    assert!(matches!(cfg.env.mobility, MobilitySpec::Markov { .. }));
+    // Flag-style assignments after the scenario win without clearing the
+    // environment.
+    cfg.t_switch = 250.0;
+    cfg.check().expect("scenario plus overrides is valid");
+    assert!(matches!(cfg.env.mobility, MobilitySpec::Markov { .. }));
+}
+
+#[test]
+fn bundled_scenarios_run_deterministically_end_to_end() {
+    for name in [
+        "markov_grid.json",
+        "hotspot.json",
+        "client_server.json",
+        "trace_commuters.json",
+    ] {
+        let sc = load(name);
+        let mut cfg = SimConfig::default();
+        cfg.apply_scenario(&sc);
+        cfg.horizon = 1500.0;
+        cfg.t_switch = 300.0;
+        cfg.seed = 42;
+        cfg.check().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let a = artifact_bytes(&cfg);
+        let b = artifact_bytes(&cfg);
+        assert_eq!(a, b, "{name} must be deterministic per seed");
+        let parsed = simkit::json::parse(&a).unwrap();
+        assert_eq!(validate(&parsed).unwrap(), RUN_SCHEMA);
+        let report = Simulation::run(cfg.clone());
+        assert!(report.n_tot() > 0, "{name} took no checkpoints");
+        assert!(report.handoffs > 0, "{name} saw no hand-offs");
+        assert!(report.msgs_delivered > 0, "{name} delivered no messages");
+    }
+}
+
+#[test]
+fn markov_mobility_disconnects_and_differs_from_paper() {
+    let sc = load("markov_grid.json");
+    let mut markov = SimConfig::default();
+    markov.apply_scenario(&sc);
+    markov.horizon = 1500.0;
+    markov.seed = 7;
+    let markov_report = Simulation::run(markov.clone());
+    // p_disconnect = 0.2 must actually produce disconnections.
+    assert!(markov_report.disconnects > 0);
+
+    // Same scalars, paper environment: a genuinely different trajectory.
+    let mut paper = markov.clone();
+    paper.env = EnvSpec::default();
+    let paper_report = Simulation::run(paper);
+    assert!(
+        markov_report.handoffs != paper_report.handoffs
+            || markov_report.n_tot() != paper_report.n_tot(),
+        "markov mobility should not reproduce the paper trajectory"
+    );
+}
+
+#[test]
+fn scenario_sweeps_emit_valid_sweep_artifacts() {
+    use mck::artifact::{sweep_artifact, SWEEP_SCHEMA};
+    use mck::experiments::run_sweep;
+    for name in ["markov_grid.json", "hotspot.json"] {
+        let sc = load(name);
+        let mut cfg = SimConfig::default();
+        cfg.apply_scenario(&sc);
+        cfg.horizon = 1200.0;
+        cfg.protocol = ProtocolChoice::Cic(CicKind::Qbc);
+        let points = run_sweep(&cfg, &[200.0, 500.0], 3, 2);
+        assert_eq!(points.len(), 2);
+        for (_, s) in &points {
+            assert!(s.n_tot.mean > 0.0, "{name}: empty sweep point");
+        }
+        let art = sweep_artifact(&cfg, 3, 2, &points, None);
+        assert_eq!(validate(&art).unwrap(), SWEEP_SCHEMA);
+        let text = art.to_pretty();
+        // The artifact records which environment produced it.
+        assert!(text.contains("\"topology\""), "{name}: {text}");
+    }
+}
