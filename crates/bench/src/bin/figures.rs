@@ -16,6 +16,7 @@
 //! cargo run --release -p mck-bench --bin figures -- contention
 //! cargo run --release -p mck-bench --bin figures -- sweep-bench
 //! cargo run --release -p mck-bench --bin figures -- log-size
+//! cargo run --release -p mck-bench --bin figures -- recovery
 //! cargo run --release -p mck-bench --bin figures -- scenarios
 //! cargo run --release -p mck-bench --bin figures -- scenario scenarios/markov_grid.json
 //! cargo run --release -p mck-bench --bin figures -- everything  # the lot
@@ -34,7 +35,10 @@
 //! default the working directory).
 //! `log-size` sweeps `T_switch` under pessimistic logging and writes the
 //! peak live log bytes per protocol as a `mck.log_size/v1` artifact
-//! (`BENCH_log_size.json`). `scenarios` compares the protocols under
+//! (`BENCH_log_size.json`). `recovery` injects live crashes over a
+//! `T_switch` × MTBF grid and writes per-protocol downtime/availability
+//! curves for pessimistic vs. optimistic logging as a `mck.recovery/v1`
+//! artifact (`BENCH_recovery.json`). `scenarios` compares the protocols under
 //! Markov vs. paper mobility (extension E9). `scenario FILE...` runs a full
 //! `T_switch` sweep per protocol inside each scenario file's environment
 //! and writes one `mck.sweep/v1` artifact per protocol.
@@ -51,7 +55,7 @@ use mck::artifact;
 use mck::config::{ProtocolChoice, SimConfig};
 use mck::experiments::{
     ablation_ckpt_time, claims, ext_classes, ext_contention, ext_control_bytes, ext_log_size,
-    ext_recovery_time, ext_rollback,
+    ext_recovery, ext_recovery_time, ext_rollback,
     ext_rollback_logging, ext_scenarios, ext_storage,
     ext_topologies,
     figure,
@@ -125,6 +129,7 @@ fn main() {
         ["topologies"] => topologies(&opts),
         ["contention"] => contention(&opts),
         ["log-size"] => log_size(&opts),
+        ["recovery"] => recovery_cmd(&opts),
         ["scenarios"] => scenarios_cmd(&opts),
         ["scenario", files @ ..] if !files.is_empty() => scenario_sweeps(&opts, files),
         ["everything"] => {
@@ -140,6 +145,7 @@ fn main() {
             topologies(&opts);
             contention(&opts);
             log_size(&opts);
+            recovery_cmd(&opts);
             scenarios_cmd(&opts);
         }
         other => {
@@ -582,6 +588,49 @@ fn log_size(opts: &Opts) {
     let art = artifact::log_size_artifact(opts.seed, opts.reps.min(3), &rows);
     match artifact::write(&path, &art) {
         Ok(()) => eprintln!("log-size artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Extension E10: live failure injection. Crashes strike mid-run per the
+/// seeded MTBF, recovery executes inside the simulation (recovery-line
+/// query, backbone fetches, replay), and the figure plots per-protocol
+/// wall-clock downtime and availability over `T_switch` × MTBF for
+/// pessimistic vs. optimistic logging.
+fn recovery_cmd(opts: &Opts) {
+    eprintln!("running live failure-injection analysis (extension E10)...");
+    let ts = [200.0, 500.0, 1000.0, 2000.0];
+    let rows = ext_recovery(opts.seed, opts.reps.min(3), &ts);
+    let mut t = Table::new(vec![
+        "T_switch",
+        "MTBF",
+        "protocol",
+        "crashes",
+        "downtime pess|opt",
+        "avail pess|opt",
+        "undone pess|opt",
+        "unstable lost",
+    ]);
+    for row in &rows {
+        for (name, pess, opt) in &row.series {
+            t.push_row(vec![
+                format!("{:.0}", row.t_switch),
+                format!("{:.0}", row.mtbf),
+                name.clone(),
+                format!("{:.1}", pess.crashes),
+                format!("{:.3}|{:.3}", pess.mean_downtime, opt.mean_downtime),
+                format!("{:.4}|{:.4}", pess.availability, opt.availability),
+                format!("{:.1}|{:.1}", pess.undone_time, opt.undone_time),
+                format!("{:.1}", opt.unstable_lost),
+            ]);
+        }
+    }
+    println!("Extension E10: downtime and availability under live crashes (horizon 2000)");
+    emit(opts, &t);
+    let path = opts.out_dir.join("BENCH_recovery.json");
+    let art = artifact::recovery_artifact(opts.seed, opts.reps.min(3), &rows);
+    match artifact::write(&path, &art) {
+        Ok(()) => eprintln!("recovery artifact -> {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }

@@ -208,6 +208,16 @@ impl TraceBuilder {
             msgs: self.msgs,
         }
     }
+
+    /// An immutable copy of everything recorded so far, for mid-run
+    /// analyses (e.g. planning recovery at a crash while the simulation
+    /// continues). The builder keeps recording afterwards.
+    pub fn snapshot(&self) -> Trace {
+        Trace {
+            ckpts: self.ckpts.clone(),
+            msgs: self.msgs.clone(),
+        }
+    }
 }
 
 /// An immutable, fully recorded computation trace.

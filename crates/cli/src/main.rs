@@ -8,9 +8,10 @@
 //! mck fig <1..6> [--reps 5] [--seed 1] [--csv]
 //! mck claims [--reps 5] [--seed 1]
 //! mck classes [--reps 3] [--seed 1]
-//! mck rollback [--reps 2] [--seed 1] [--logging off|pessimistic] [--out-dir DIR]
+//! mck rollback [--reps 2] [--seed 1] [--logging off|pessimistic|optimistic] [--out-dir DIR]
 //! mck storage [--reps 3] [--seed 1]
 //! mck recovery-time [--reps 2] [--seed 1]
+//! mck crash [--reps 2] [--seed 1] [--t-switch-list 500,2000] [--out-dir DIR]
 //! mck topologies [--reps 3] [--seed 1]
 //! mck list
 //! ```
@@ -40,7 +41,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic] [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json>\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json>\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -57,6 +58,9 @@ const KNOWN: &[&str] = &[
     "trace",
     "metrics",
     "logging",
+    "flush-latency",
+    "fail-mtbf",
+    "fail-mss-mtbf",
     "out-dir",
     "jobs",
     "queue",
@@ -79,6 +83,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         Some("rollback") => cmd_rollback(&args),
         Some("storage") => cmd_storage(&args),
         Some("recovery-time") => cmd_recovery_time(&args),
+        Some("crash") => cmd_crash(&args),
         Some("topologies") => cmd_topologies(&args),
         Some("contention") => cmd_contention(&args),
         Some("inspect") => cmd_inspect(&args),
@@ -133,6 +138,9 @@ fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
     cfg.seed = args.get_u64("seed", cfg.seed)?;
     cfg.p_send = args.get_f64("ps", cfg.p_send)?;
     cfg.dup_prob = args.get_f64("dup", cfg.dup_prob)?;
+    cfg.flush_latency = args.get_f64("flush-latency", cfg.flush_latency)?;
+    cfg.fail_mtbf = args.get_f64("fail-mtbf", cfg.fail_mtbf)?;
+    cfg.fail_mss_mtbf = args.get_f64("fail-mss-mtbf", cfg.fail_mss_mtbf)?;
     // Typed validation up front: the CLI reports bad inputs as errors
     // instead of tripping the panicking guard inside the simulation.
     cfg.check().map_err(|e| ArgError(e.to_string()))?;
@@ -427,6 +435,50 @@ fn cmd_rollback_logging(args: &Args, seed: u64, reps: usize) -> Result<String, A
     Ok(out)
 }
 
+/// `mck crash`: live failure injection (E10). Crashes strike mid-run,
+/// recovery executes inside the simulation, and the table compares
+/// pessimistic vs. optimistic logging per protocol: wall-clock downtime,
+/// availability, and receives lost from unflushed optimistic buffers.
+fn cmd_crash(args: &Args) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 2)?;
+    let seed = args.get_u64("seed", 1)?;
+    let ts = args.get_f64_list("t-switch-list", &[500.0, 2000.0])?;
+    let rows = experiments::ext_recovery(seed, reps, &ts);
+    let mut table = Table::new(vec![
+        "T_switch",
+        "MTBF",
+        "protocol",
+        "crashes",
+        "downtime p|o",
+        "avail p|o",
+        "undone p|o",
+        "unstable lost",
+    ]);
+    for r in &rows {
+        for (name, pess, opt) in &r.series {
+            table.push_row(vec![
+                format!("{:.0}", r.t_switch),
+                format!("{:.0}", r.mtbf),
+                name.clone(),
+                format!("{:.1}", pess.crashes),
+                format!("{:.3}|{:.3}", pess.mean_downtime, opt.mean_downtime),
+                format!("{:.4}|{:.4}", pess.availability, opt.availability),
+                format!("{:.1}|{:.1}", pess.undone_time, opt.undone_time),
+                format!("{:.1}", opt.unstable_lost),
+            ]);
+        }
+    }
+    let mut out = render(args, &table, "crash injection and live recovery");
+    if let Some(dir) = args.get("out-dir") {
+        let path = std::path::Path::new(dir).join("RECOVERY.json");
+        let art = mck::artifact::recovery_artifact(seed, reps, &rows);
+        mck::artifact::write(&path, &art)
+            .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
+        out += &format!("recovery artifact -> {}\n", path.display());
+    }
+    Ok(out)
+}
+
 fn cmd_list() -> String {
     let mut out = String::from("experiments:\n");
     for n in 1..=6 {
@@ -438,6 +490,8 @@ fn cmd_list() -> String {
     out += "            (--logging pessimistic compares replay recovery over MSS message logs)\n";
     out += "  storage:  stable-storage occupancy under garbage collection\n";
     out += "  recovery-time: recovery-line collection cost per protocol\n";
+    out += "  crash:    live failure injection with in-simulation recovery\n";
+    out += "            (pessimistic vs. optimistic logging; downtime and availability)\n";
     out += "  topologies: cell-adjacency graph ablation\n";
     out += "  contention: wireless channel contention at finite bandwidth\n";
     out += "  inspect:  summarize a JSON artifact written by run/sweep/fig, or a scenario file\n";
@@ -518,7 +572,53 @@ mod tests {
         assert!(dispatch(&raw(&[])).is_err());
         assert!(dispatch(&raw(&["run", "--protocol", "XXX"])).is_err());
         assert!(dispatch(&raw(&["run", "--queue", "bogus"])).is_err());
-        assert!(dispatch(&raw(&["run", "--logging", "optimistic"])).is_err());
+        assert!(dispatch(&raw(&["run", "--logging", "eager"])).is_err());
+        assert!(dispatch(&raw(&["run", "--fail-mtbf", "-5"])).is_err());
+        // MSS crashes need a message log to recover from.
+        assert!(dispatch(&raw(&["run", "--fail-mss-mtbf", "500"])).is_err());
+    }
+
+    #[test]
+    fn failure_injection_run_reports_recovery() {
+        let out = dispatch(&raw(&[
+            "run",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "2000",
+            "--t-switch",
+            "200",
+            "--logging",
+            "optimistic",
+            "--flush-latency",
+            "5",
+            "--fail-mtbf",
+            "300",
+        ]))
+        .unwrap();
+        assert!(out.contains("crashes"), "{out}");
+        assert!(out.contains("availability"), "{out}");
+    }
+
+    #[test]
+    fn crash_command_renders_and_writes_artifact() {
+        let dir = std::env::temp_dir().join("mck_cli_test_crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dispatch(&raw(&[
+            "crash",
+            "--reps",
+            "1",
+            "--t-switch-list",
+            "500",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("downtime p|o"), "{out}");
+        let art = dir.join("RECOVERY.json");
+        let inspected = dispatch(&raw(&["inspect", art.to_str().unwrap()])).unwrap();
+        assert!(inspected.contains("mck.recovery/v1"), "{inspected}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

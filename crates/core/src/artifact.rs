@@ -20,7 +20,10 @@
 //! * `mck.rollback_logging/v1` — undone work with vs. without pessimistic
 //!   message logging, per protocol ([`rollback_logging_artifact`]);
 //! * `mck.log_size/v1` — live log occupancy per protocol across a
-//!   `T_switch` sweep under pessimistic logging ([`log_size_artifact`]).
+//!   `T_switch` sweep under pessimistic logging ([`log_size_artifact`]);
+//! * `mck.recovery/v1` — live fault injection: per-protocol downtime,
+//!   availability and undone/replayed work over a `(T_switch, MTBF)` grid
+//!   for both logging modes ([`recovery_artifact`]).
 //!
 //! Scenario files (`mck.scenario/v1`, see the `scenario` crate) share the
 //! self-describing envelope, so `mck inspect` understands them too.
@@ -54,6 +57,9 @@ pub const ROLLBACK_LOGGING_SCHEMA: &str = "mck.rollback_logging/v1";
 /// Schema tag of the log-size sweep artifact
 /// (`figures log-size`, conventionally `BENCH_log_size.json`).
 pub const LOG_SIZE_SCHEMA: &str = "mck.log_size/v1";
+/// Schema tag of the fault-injection recovery artifact
+/// (`figures recovery`, conventionally `BENCH_recovery.json`).
+pub const RECOVERY_SCHEMA: &str = "mck.recovery/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -92,6 +98,9 @@ pub fn config_json(cfg: &SimConfig) -> Json {
         ("seed".into(), Json::uint(cfg.seed)),
         ("record_trace".into(), Json::Bool(cfg.record_trace)),
         ("logging".into(), Json::str(cfg.logging.name())),
+        ("flush_latency".into(), Json::Num(cfg.flush_latency)),
+        ("fail_mtbf".into(), Json::Num(cfg.fail_mtbf)),
+        ("fail_mss_mtbf".into(), Json::Num(cfg.fail_mss_mtbf)),
         ("topology".into(), cfg.env.topology.to_json()),
         ("mobility".into(), cfg.env.mobility.to_json()),
         ("traffic".into(), cfg.env.traffic.to_json()),
@@ -232,6 +241,65 @@ pub fn log_size_artifact(
                                                     "mean_gc_entries".into(),
                                                     Json::Num(s.mean_gc_entries),
                                                 ),
+                                            ]),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
+/// The fault-injection artifact: for every `(T_switch, MTBF)` grid cell,
+/// the measured downtime, availability and undone/replayed work of each
+/// protocol, side by side for pessimistic and optimistic logging.
+pub fn recovery_artifact(
+    base_seed: u64,
+    replications: usize,
+    rows: &[crate::experiments::RecoveryRow],
+) -> Json {
+    use crate::experiments::RecoveryPoint;
+    let point_json = |p: &RecoveryPoint| {
+        Json::Obj(vec![
+            ("crashes".into(), Json::Num(p.crashes)),
+            ("mean_downtime".into(), Json::Num(p.mean_downtime)),
+            ("availability".into(), Json::Num(p.availability)),
+            ("undone_time".into(), Json::Num(p.undone_time)),
+            ("replayed_receives".into(), Json::Num(p.replayed_receives)),
+            ("unstable_lost".into(), Json::Num(p.unstable_lost)),
+        ])
+    };
+    let mut members = header(RECOVERY_SCHEMA);
+    members.push(("base_seed".into(), Json::uint(base_seed)));
+    members.push(("replications".into(), Json::uint(replications as u64)));
+    members.push((
+        "flush_latency".into(),
+        Json::Num(crate::experiments::RECOVERY_FLUSH_LATENCY),
+    ));
+    members.push((
+        "points".into(),
+        Json::Arr(
+            rows.iter()
+                .map(|row| {
+                    Json::Obj(vec![
+                        ("t_switch".into(), Json::Num(row.t_switch)),
+                        ("mtbf".into(), Json::Num(row.mtbf)),
+                        (
+                            "series".into(),
+                            Json::Obj(
+                                row.series
+                                    .iter()
+                                    .map(|(name, pess, opt)| {
+                                        (
+                                            name.clone(),
+                                            Json::Obj(vec![
+                                                ("pessimistic".into(), point_json(pess)),
+                                                ("optimistic".into(), point_json(opt)),
                                             ]),
                                         )
                                     })
@@ -465,6 +533,36 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                 }
             }
         }
+        RECOVERY_SCHEMA => {
+            let points = v
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("recovery artifact missing 'points' array")?;
+            if points.is_empty() {
+                return Err("recovery artifact has no points".into());
+            }
+            for p in points {
+                for key in ["t_switch", "mtbf"] {
+                    p.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("recovery point missing '{key}'"))?;
+                }
+                let series = p
+                    .get("series")
+                    .and_then(Json::as_obj)
+                    .ok_or("recovery point missing 'series' object")?;
+                for (name, s) in series {
+                    for mode in ["pessimistic", "optimistic"] {
+                        s.get(mode)
+                            .and_then(|m| m.get("mean_downtime"))
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| {
+                                format!("series '{name}' missing {mode}.mean_downtime")
+                            })?;
+                    }
+                }
+            }
+        }
         scenario::SCENARIO_SCHEMA => {
             scenario::Scenario::from_json(v).map_err(|e| e.to_string())?;
         }
@@ -690,6 +788,46 @@ pub fn describe(v: &Json) -> Result<String, String> {
                             .join(" ")
                     });
                 t.push_row(vec![ts, cell]);
+            }
+            out += &t.render();
+        }
+        RECOVERY_SCHEMA => {
+            let points = v.get("points").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec![
+                "t_switch",
+                "mtbf",
+                "mean downtime (pess | opt)",
+            ]);
+            for p in points {
+                let num = |k: &str| {
+                    p.get(k)
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.0}"))
+                        .unwrap_or_else(|| "?".into())
+                };
+                let cell = p
+                    .get("series")
+                    .and_then(Json::as_obj)
+                    .map_or_else(String::new, |series| {
+                        series
+                            .iter()
+                            .map(|(name, s)| {
+                                let dt = |mode: &str| {
+                                    s.get(mode)
+                                        .and_then(|m| m.get("mean_downtime"))
+                                        .and_then(Json::as_f64)
+                                        .unwrap_or(0.0)
+                                };
+                                format!(
+                                    "{name}={:.3}|{:.3}",
+                                    dt("pessimistic"),
+                                    dt("optimistic")
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    });
+                t.push_row(vec![num("t_switch"), num("mtbf"), cell]);
             }
             out += &t.render();
         }
@@ -946,6 +1084,38 @@ mod tests {
         // An empty point list is rejected.
         let empty = Json::Obj(vec![
             ("schema".into(), Json::str(LOG_SIZE_SCHEMA)),
+            ("version".into(), Json::str(version())),
+            ("points".into(), Json::Arr(vec![])),
+        ]);
+        assert!(validate(&empty).is_err());
+    }
+
+    #[test]
+    fn recovery_artifact_validates_and_describes() {
+        use crate::experiments::{RecoveryPoint, RecoveryRow};
+        let point = |downtime: f64, lost: f64| RecoveryPoint {
+            crashes: 4.0,
+            mean_downtime: downtime,
+            availability: 0.999,
+            undone_time: 1.5,
+            replayed_receives: 12.0,
+            unstable_lost: lost,
+        };
+        let rows = vec![RecoveryRow {
+            t_switch: 500.0,
+            mtbf: 2000.0,
+            series: vec![("QBC".into(), point(0.25, 0.0), point(0.125, 3.0))],
+        }];
+        let art = recovery_artifact(7, 2, &rows);
+        assert_eq!(validate(&art).unwrap(), RECOVERY_SCHEMA);
+        let text = describe(&art).unwrap();
+        assert!(text.contains("QBC=0.250|0.125"), "{text}");
+        assert!(text.contains("mtbf"), "{text}");
+        let parsed = json::parse(&art.to_pretty()).unwrap();
+        assert_eq!(validate(&parsed).unwrap(), RECOVERY_SCHEMA);
+        // An empty grid is rejected, as is a series missing a mode.
+        let empty = Json::Obj(vec![
+            ("schema".into(), Json::str(RECOVERY_SCHEMA)),
             ("version".into(), Json::str(version())),
             ("points".into(), Json::Arr(vec![])),
         ]);

@@ -56,6 +56,20 @@ pub enum ConfigError {
     /// The environment spec (topology / mobility / traffic) is invalid —
     /// includes empty or disconnected topology graphs.
     Scenario(ScenarioError),
+    /// A mean-time-between-failures knob is negative or NaN (0 disables
+    /// that failure class; a positive value is a Poisson rate's mean).
+    Mtbf {
+        /// Parameter name (`"fail_mtbf"` or `"fail_mss_mtbf"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The optimistic flush latency is negative or NaN.
+    FlushLatency(f64),
+    /// MSS crashes were requested without message logging: a crashed
+    /// station loses the undelivered messages it proxies, so recovery is
+    /// only defined when receives are logged.
+    MssCrashWithoutLogging,
 }
 
 impl From<ScenarioError> for ConfigError {
@@ -84,6 +98,19 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::Bandwidth(v) => write!(f, "bandwidth must be positive (got {v})"),
             ConfigError::Scenario(e) => write!(f, "{e}"),
+            ConfigError::Mtbf { field, value } => {
+                write!(f, "{field} must be non-negative (got {value}; 0 disables failures)")
+            }
+            ConfigError::FlushLatency(v) => {
+                write!(f, "flush_latency must be non-negative (got {v})")
+            }
+            ConfigError::MssCrashWithoutLogging => {
+                write!(
+                    f,
+                    "MSS crashes require message logging (--logging pessimistic|optimistic): \
+                     a crashed station loses the receives it proxies"
+                )
+            }
         }
     }
 }
@@ -142,6 +169,12 @@ pub enum LoggingMode {
     /// synchronously logged to the responsible station's stable storage
     /// before delivery to the mobile host (the MSS-proxy scheme).
     Pessimistic,
+    /// Optimistic receiver-side logging: the MSS buffers log entries in
+    /// volatile memory and flushes them asynchronously. An entry becomes
+    /// stable `flush_latency` after delivery, or immediately when a flush
+    /// barrier (hand-off or checkpoint of the receiver) runs first. With
+    /// `flush_latency = 0` this degenerates to pessimistic logging.
+    Optimistic,
 }
 
 impl LoggingMode {
@@ -150,6 +183,7 @@ impl LoggingMode {
         match self {
             LoggingMode::Off => "off",
             LoggingMode::Pessimistic => "pessimistic",
+            LoggingMode::Optimistic => "optimistic",
         }
     }
 
@@ -158,13 +192,21 @@ impl LoggingMode {
         match s {
             "off" => Ok(LoggingMode::Off),
             "pessimistic" => Ok(LoggingMode::Pessimistic),
-            other => Err(format!("unknown logging mode '{other}' (off|pessimistic)")),
+            "optimistic" => Ok(LoggingMode::Optimistic),
+            other => Err(format!(
+                "unknown logging mode '{other}' (off|pessimistic|optimistic)"
+            )),
         }
     }
 
     /// Whether any logging machinery should be instantiated.
     pub fn is_enabled(self) -> bool {
         self != LoggingMode::Off
+    }
+
+    /// Whether log entries become stable asynchronously.
+    pub fn is_optimistic(self) -> bool {
+        self == LoggingMode::Optimistic
     }
 }
 
@@ -227,6 +269,19 @@ pub struct SimConfig {
     /// Message-logging discipline (off by default; pessimistic logging adds
     /// MSS-side stable writes without perturbing the trajectory).
     pub logging: LoggingMode,
+    /// Mean time between crashes of each mobile host (Poisson process,
+    /// independent per host). 0 — the default — disables MH crashes; only
+    /// then is the trajectory byte-identical to a failure-free run.
+    pub fail_mtbf: f64,
+    /// Mean time between crashes of each support station (Poisson process,
+    /// independent per station). A station crash fail-stops every host
+    /// attached to it. 0 — the default — disables MSS crashes; a positive
+    /// value requires message logging.
+    pub fail_mss_mtbf: f64,
+    /// Optimistic logging only: time after delivery until an entry's
+    /// asynchronous flush reaches stable storage (hand-off / checkpoint
+    /// barriers force it earlier). 0 matches pessimistic stability.
+    pub flush_latency: f64,
     /// Capacity of the debugging event log (0 = disabled, the default).
     pub log_capacity: usize,
     /// Application payload size in bytes (for channel/energy accounting).
@@ -262,6 +317,9 @@ impl Default for SimConfig {
             seed: 1,
             record_trace: false,
             logging: LoggingMode::default(),
+            fail_mtbf: 0.0,
+            fail_mss_mtbf: 0.0,
+            flush_latency: 0.0,
             log_capacity: 0,
             payload_bytes: 256,
             queue: QueueBackend::default(),
@@ -344,6 +402,18 @@ impl SimConfig {
         if let Some(v) = o.horizon {
             self.horizon = v;
         }
+        if let Some(v) = o.fail_mtbf {
+            self.fail_mtbf = v;
+        }
+        if let Some(v) = o.flush_latency {
+            self.flush_latency = v;
+        }
+    }
+
+    /// Whether this run injects crashes (any failure class enabled). Only
+    /// a failure-free run is byte-identical to the classic trajectory.
+    pub fn failures_enabled(&self) -> bool {
+        self.fail_mtbf > 0.0 || self.fail_mss_mtbf > 0.0
     }
 
     /// Checks every parameter against its valid domain, including the
@@ -385,6 +455,20 @@ impl SimConfig {
         }
         if self.wireless_bandwidth <= 0.0 || self.wireless_bandwidth.is_nan() {
             return Err(ConfigError::Bandwidth(self.wireless_bandwidth));
+        }
+        for (field, value) in [
+            ("fail_mtbf", self.fail_mtbf),
+            ("fail_mss_mtbf", self.fail_mss_mtbf),
+        ] {
+            if value < 0.0 || value.is_nan() {
+                return Err(ConfigError::Mtbf { field, value });
+            }
+        }
+        if self.flush_latency < 0.0 || self.flush_latency.is_nan() {
+            return Err(ConfigError::FlushLatency(self.flush_latency));
+        }
+        if self.fail_mss_mtbf > 0.0 && !self.logging.is_enabled() {
+            return Err(ConfigError::MssCrashWithoutLogging);
         }
         self.env.validate(&self.env_params())?;
         Ok(())
@@ -569,10 +653,69 @@ mod tests {
         assert_eq!(LoggingMode::default(), LoggingMode::Off);
         assert!(!LoggingMode::Off.is_enabled());
         assert!(LoggingMode::Pessimistic.is_enabled());
-        for mode in [LoggingMode::Off, LoggingMode::Pessimistic] {
+        assert!(LoggingMode::Optimistic.is_enabled());
+        assert!(LoggingMode::Optimistic.is_optimistic());
+        assert!(!LoggingMode::Pessimistic.is_optimistic());
+        for mode in [
+            LoggingMode::Off,
+            LoggingMode::Pessimistic,
+            LoggingMode::Optimistic,
+        ] {
             assert_eq!(LoggingMode::parse(mode.name()), Ok(mode));
         }
-        assert!(LoggingMode::parse("optimistic").is_err());
+        assert!(LoggingMode::parse("eager").is_err());
+    }
+
+    #[test]
+    fn check_rejects_negative_mtbf() {
+        for value in [-1.0, f64::NAN] {
+            let c = SimConfig {
+                fail_mtbf: value,
+                ..Default::default()
+            };
+            match c.check() {
+                Err(ConfigError::Mtbf { field, .. }) => assert_eq!(field, "fail_mtbf"),
+                other => panic!("expected Mtbf error for fail_mtbf={value}, got {other:?}"),
+            }
+        }
+        let c = SimConfig {
+            fail_mss_mtbf: -3.0,
+            logging: LoggingMode::Pessimistic,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.check(),
+            Err(ConfigError::Mtbf { field: "fail_mss_mtbf", .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_negative_flush_latency() {
+        let c = SimConfig {
+            logging: LoggingMode::Optimistic,
+            flush_latency: -0.5,
+            ..Default::default()
+        };
+        assert!(matches!(c.check(), Err(ConfigError::FlushLatency(v)) if v == -0.5));
+    }
+
+    #[test]
+    fn check_rejects_mss_crashes_without_logging() {
+        let c = SimConfig {
+            fail_mss_mtbf: 5000.0,
+            logging: LoggingMode::Off,
+            ..Default::default()
+        };
+        assert!(matches!(c.check(), Err(ConfigError::MssCrashWithoutLogging)));
+        // With logging enabled, the same knob is accepted.
+        let c = SimConfig {
+            fail_mss_mtbf: 5000.0,
+            logging: LoggingMode::Optimistic,
+            ..Default::default()
+        };
+        assert!(c.check().is_ok());
+        assert!(c.failures_enabled());
+        assert!(!SimConfig::default().failures_enabled());
     }
 
     #[test]

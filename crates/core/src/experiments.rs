@@ -840,6 +840,125 @@ pub fn ext_log_size(
         .collect()
 }
 
+/// Mean failure/recovery outcomes of one protocol at one E10 sweep point,
+/// for one logging mode.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPoint {
+    /// Mean executed crash events per run (MH + MSS).
+    pub crashes: f64,
+    /// Mean per-recovery wall-clock downtime (simulated t.u.).
+    pub mean_downtime: f64,
+    /// Mean host-time availability (`1 − downtime / (n × horizon)`).
+    pub availability: f64,
+    /// Mean simulated time truly lost per run (undone work, orphan
+    /// rollbacks of survivors included).
+    pub undone_time: f64,
+    /// Mean logged receives re-delivered during replays per run.
+    pub replayed_receives: f64,
+    /// Mean receives lost inside the optimistic flush window per run
+    /// (always 0 for pessimistic logging).
+    pub unstable_lost: f64,
+}
+
+impl RecoveryPoint {
+    fn from_reports(reps: &[RunReport]) -> RecoveryPoint {
+        let n = reps.len() as f64;
+        let mean_of = |f: &dyn Fn(&RunReport, &faultsim::RecoveryStats) -> f64| {
+            reps.iter()
+                .map(|r| f(r, r.recovery.as_ref().expect("failure injection enabled")))
+                .sum::<f64>()
+                / n
+        };
+        RecoveryPoint {
+            crashes: mean_of(&|_, s| (s.mh_crashes + s.mss_crashes) as f64),
+            mean_downtime: mean_of(&|_, s| s.mean_downtime()),
+            availability: mean_of(&|r, s| s.availability(r.per_mh_ckpts.len(), r.end_time)),
+            undone_time: mean_of(&|_, s| s.total_undone_time),
+            replayed_receives: mean_of(&|_, s| s.replayed_receives as f64),
+            unstable_lost: mean_of(&|_, s| s.unstable_lost as f64),
+        }
+    }
+}
+
+/// One `(T_switch, MTBF)` cell of the E10 grid.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// The swept `T_switch` value.
+    pub t_switch: f64,
+    /// The mean time between failures per host.
+    pub mtbf: f64,
+    /// `(protocol name, pessimistic, optimistic)` in
+    /// [`RECOVERY_PROTOCOLS`] order.
+    pub series: Vec<(String, RecoveryPoint, RecoveryPoint)>,
+}
+
+/// Protocols compared by E10 (the paper's three index-based protocols;
+/// TP's `LOC[]` vectors are credited in the recovery-line query phase).
+pub const RECOVERY_PROTOCOLS: [CicKind; 3] = [CicKind::Tp, CicKind::Bcs, CicKind::Qbc];
+
+/// Per-host crash MTBFs E10 sweeps (frequent and rare failures relative
+/// to the 2000-t.u. horizon).
+pub const RECOVERY_MTBFS: [f64; 2] = [500.0, 2000.0];
+
+/// Flush window E10 gives the optimistic runs (the pessimistic arm is the
+/// `flush_latency = 0` degenerate case by construction).
+pub const RECOVERY_FLUSH_LATENCY: f64 = 5.0;
+
+/// Extension E10: live fault injection. Crashes arrive per host as a
+/// Poisson process; each one *executes* a recovery inside the simulation
+/// (recovery-line query, backbone fetches of checkpoint and log, wireless
+/// restart push, per-entry replay), so downtime and availability are
+/// measured, not modeled — closing the loop that E5 only estimated from
+/// end-of-run traces. The optimistic arm trades stable-storage writes for
+/// receives lost inside the flush window.
+pub fn ext_recovery(base_seed: u64, replications: usize, t_switches: &[f64]) -> Vec<RecoveryRow> {
+    assert!(replications > 0, "need at least one replication");
+    const MODES: [LoggingMode; 2] = [LoggingMode::Pessimistic, LoggingMode::Optimistic];
+    let mut configs = Vec::new();
+    for &t in t_switches {
+        for &mtbf in &RECOVERY_MTBFS {
+            for &proto in &RECOVERY_PROTOCOLS {
+                for mode in MODES {
+                    for r in 0..replications {
+                        let mut cfg = SimConfig::paper(ProtocolChoice::Cic(proto), t, 0.8, 0.0);
+                        cfg.logging = mode;
+                        cfg.flush_latency = match mode {
+                            LoggingMode::Optimistic => RECOVERY_FLUSH_LATENCY,
+                            _ => 0.0,
+                        };
+                        cfg.fail_mtbf = mtbf;
+                        cfg.horizon = 2000.0; // failure runs always trace
+                        cfg.seed = base_seed + r as u64;
+                        configs.push(cfg);
+                    }
+                }
+            }
+        }
+    }
+    let mut reports = run_configs(configs).into_iter();
+    let mut take_point = |_proto: CicKind| {
+        let reps: Vec<RunReport> = (0..replications)
+            .map(|_| reports.next().expect("one report per job"))
+            .collect();
+        RecoveryPoint::from_reports(&reps)
+    };
+    t_switches
+        .iter()
+        .flat_map(|&t| RECOVERY_MTBFS.iter().map(move |&mtbf| (t, mtbf)))
+        .map(|(t, mtbf)| {
+            let series = RECOVERY_PROTOCOLS
+                .iter()
+                .map(|&proto| {
+                    let pessimistic = take_point(proto);
+                    let optimistic = take_point(proto);
+                    (proto.name().to_string(), pessimistic, optimistic)
+                })
+                .collect();
+            RecoveryRow { t_switch: t, mtbf, series }
+        })
+        .collect()
+}
+
 /// One environment row of the E9 scenario comparison.
 #[derive(Debug, Clone)]
 pub struct ScenarioRow {
@@ -975,6 +1094,25 @@ mod tests {
             assert!(!name.is_empty());
             assert!(s.mean_peak_bytes >= s.mean_live_bytes);
             assert!(s.mean_appended_entries > 0.0);
+        }
+    }
+
+    #[test]
+    fn recovery_sweep_executes_crashes_in_both_modes() {
+        let rows = ext_recovery(9, 1, &[500.0]);
+        // One T_switch × both MTBFs.
+        assert_eq!(rows.len(), RECOVERY_MTBFS.len());
+        for row in &rows {
+            assert_eq!(row.series.len(), RECOVERY_PROTOCOLS.len());
+            for (name, pess, opt) in &row.series {
+                assert!(!name.is_empty());
+                // MTBF ≤ horizon with 10 hosts: crashes must have fired.
+                assert!(pess.crashes > 0.0 && opt.crashes > 0.0);
+                assert!(pess.mean_downtime > 0.0);
+                assert!(pess.availability > 0.0 && pess.availability <= 1.0);
+                // Pessimistic logging has no flush window to lose.
+                assert_eq!(pess.unstable_lost, 0.0);
+            }
         }
     }
 

@@ -5,6 +5,7 @@
 //! (optionally) the full causality trace for recovery analysis.
 
 use causality::trace::Trace;
+use faultsim::RecoveryStats;
 use mobnet::{LogStoreStats, NetMetrics};
 use relog::MessageLog;
 use simkit::driver::EngineProfile;
@@ -85,6 +86,9 @@ pub struct RunReport {
     /// Stable-storage accounting of the MSS message logs (present when
     /// message logging was enabled).
     pub log_stats: Option<LogStoreStats>,
+    /// Failure-injection outcome: crashes executed, downtime, work lost
+    /// and replayed (present when failure injection was enabled).
+    pub recovery: Option<RecoveryStats>,
     /// The surviving (post-GC) message log, for replay-based recovery
     /// analysis (present when message logging was enabled).
     pub message_log: Option<MessageLog>,
@@ -175,6 +179,39 @@ impl RunReport {
                 format!("{} ({} bytes)", s.migrations, s.migration_bytes),
             );
         }
+        if let Some(rec) = &self.recovery {
+            row(
+                "crashes",
+                format!(
+                    "{} MH / {} MSS ({} skipped)",
+                    rec.mh_crashes, rec.mss_crashes, rec.skipped_crashes
+                ),
+            );
+            row(
+                "downtime",
+                format!(
+                    "{:.3} total / {:.3} mean / {:.3} max",
+                    rec.total_downtime,
+                    rec.mean_downtime(),
+                    rec.max_downtime
+                ),
+            );
+            row(
+                "availability",
+                format!(
+                    "{:.6}",
+                    rec.availability(self.per_mh_ckpts.len(), self.end_time)
+                ),
+            );
+            row(
+                "work undone/replayed",
+                format!("{:.3}/{:.3}", rec.total_undone_time, rec.replayed_time),
+            );
+            row(
+                "replayed receives",
+                format!("{} ({} unstable lost)", rec.replayed_receives, rec.unstable_lost),
+            );
+        }
         if self.trace_emitted > 0 {
             row("trace events", self.trace_emitted.to_string());
         }
@@ -237,6 +274,7 @@ mod tests {
             channel_utilization: 0.0,
             channel_queueing_delay: 0.0,
             log_stats: None,
+            recovery: None,
             message_log: None,
             trace: None,
             log: simkit::log::EventLog::disabled(),
@@ -273,6 +311,7 @@ mod tests {
             channel_utilization: 0.0,
             channel_queueing_delay: 0.0,
             log_stats: None,
+            recovery: None,
             message_log: None,
             trace: None,
             log: simkit::log::EventLog::disabled(),

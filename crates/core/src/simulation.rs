@@ -29,6 +29,7 @@
 
 use causality::trace::{CkptKind, MsgId, ProcId, TraceBuilder};
 use cic::coordinated::ControlMsg;
+use faultsim::{FailureModel, HostSituation, RecoveryParams, RecoveryStats};
 use cic::piggyback::Piggyback;
 use cic::protocol::{BasicReason, Protocol};
 use mobnet::{
@@ -139,6 +140,37 @@ pub enum Ev {
         /// The marker / request.
         msg: ControlMsg,
     },
+    /// A mobile host fail-stops (failure injection enabled).
+    Crash {
+        /// The crashing host.
+        mh: MhId,
+    },
+    /// A support station fail-stops, taking down every attached host.
+    MssCrash {
+        /// The crashing station.
+        mss: MssId,
+    },
+    /// A crashed host completes its recovery procedure and resumes.
+    Recovered {
+        /// The recovered host.
+        mh: MhId,
+    },
+}
+
+/// Live failure-injection state, present iff the configuration enables at
+/// least one crash class. Unlike logging, failure injection is *allowed*
+/// to perturb the trajectory — but only when enabled: the model's RNG
+/// substreams are forked lazily per crash class, so a run with failures
+/// off is byte-identical to one built before this subsystem existed.
+struct FaultState {
+    model: FailureModel,
+    params: RecoveryParams,
+    stats: RecoveryStats,
+    /// Hosts currently crashed (recovering).
+    down: Vec<bool>,
+    /// Hosts whose scheduled dwell expiry fired (and was voided) while they
+    /// were down; the mobility chain restarts at recovery.
+    mobility_lost: Vec<bool>,
 }
 
 /// The full simulation state (the `simkit` model).
@@ -157,6 +189,7 @@ pub struct Simulation {
     log_store: Option<LogStore>,
     msg_log: Option<MessageLog>,
     channels: CellChannels,
+    fault: Option<FaultState>,
     pub(crate) metrics: NetMetrics,
     pub(crate) protos: Vec<Box<dyn Protocol>>,
     pub(crate) coord: CoordDriver,
@@ -235,10 +268,38 @@ impl Simulation {
             log_store: cfg.logging.is_enabled().then(|| LogStore::new(n)),
             msg_log: cfg.logging.is_enabled().then(|| MessageLog::new(n)),
             channels: CellChannels::new(cfg.n_mss, cfg.wireless_bandwidth),
+            fault: cfg.failures_enabled().then(|| FaultState {
+                model: FailureModel::new(
+                    cfg.fail_mtbf,
+                    cfg.fail_mss_mtbf,
+                    &root.fork(5000),
+                    n,
+                    cfg.n_mss,
+                ),
+                params: RecoveryParams {
+                    wired_latency: cfg.latencies.wired,
+                    wireless_latency: cfg.latencies.wireless,
+                    ckpt_bytes: cfg.incremental.full_bytes,
+                    wireless_bandwidth: cfg.wireless_bandwidth,
+                    // Re-delivering one logged receive costs a downlink hop.
+                    replay_entry_cost: cfg.latencies.wireless,
+                    n_mss: cfg.n_mss,
+                    has_location_vectors: matches!(
+                        cfg.protocol,
+                        ProtocolChoice::Cic(cic::CicKind::Tp)
+                    ),
+                    ..RecoveryParams::default()
+                },
+                stats: RecoveryStats::default(),
+                down: vec![false; n],
+                mobility_lost: vec![false; n],
+            }),
             metrics: NetMetrics::new(n),
             protos,
             coord,
-            trace: cfg.record_trace.then(|| TraceBuilder::new(n)),
+            // Recovery planning needs the causality trace, so failure
+            // injection forces it on even when the caller did not ask.
+            trace: (cfg.record_trace || cfg.failures_enabled()).then(|| TraceBuilder::new(n)),
             log: simkit::log::EventLog::new(cfg.log_capacity),
             tracer: Tracer::disabled(),
             registry: MetricsRegistry::disabled(),
@@ -276,6 +337,18 @@ impl Simulation {
         }
         if let Some(interval) = sim.coord.interval() {
             sched.schedule_in(interval, Ev::CoordRound);
+        }
+        if let Some(f) = &mut sim.fault {
+            for i in 0..n {
+                if let Some(t) = f.model.next_mh_crash(i, 0.0) {
+                    sched.schedule_in(t, Ev::Crash { mh: MhId(i) });
+                }
+            }
+            for j in 0..sim.cfg.n_mss {
+                if let Some(t) = f.model.next_mss_crash(j, 0.0) {
+                    sched.schedule_in(t, Ev::MssCrash { mss: MssId(j) });
+                }
+            }
         }
         (sim, sched)
     }
@@ -320,6 +393,15 @@ impl Simulation {
         profile: Option<EngineProfile>,
     ) -> RunReport {
         let coord_round_latencies = self.coord.round_latencies().to_vec();
+        // Optimistic flushes whose window closed before the horizon
+        // completed during the run; account them before reading the
+        // stores (entries still inside the window stay pending — they
+        // were never written).
+        if self.cfg.logging.is_optimistic() {
+            for i in 0..self.cfg.n_mhs {
+                self.settle_log(out.end_time, MhId(i), false);
+            }
+        }
         let horizon = out.end_time.as_f64().max(f64::MIN_POSITIVE);
         let channel_utilization = if self.channels.is_unlimited() {
             0.0
@@ -351,6 +433,7 @@ impl Simulation {
             channel_utilization,
             channel_queueing_delay,
             log_stats: self.log_store.as_ref().map(LogStore::stats),
+            recovery: self.fault.as_ref().map(|f| f.stats),
             message_log: self.msg_log,
             trace: self.trace.map(TraceBuilder::finish),
             log: self.log,
@@ -411,6 +494,33 @@ impl Simulation {
             for (name, value) in log_counters {
                 let id = self.registry.counter(name);
                 self.registry.add(id, value);
+            }
+        }
+        if let Some(f) = &self.fault {
+            let s = f.stats;
+            let fail_counters: [(&str, u64); 6] = [
+                ("fail.mh_crashes", s.mh_crashes),
+                ("fail.mss_crashes", s.mss_crashes),
+                ("fail.skipped", s.skipped_crashes),
+                ("fail.recoveries", s.recoveries),
+                ("fail.replayed_receives", s.replayed_receives),
+                ("fail.unstable_lost", s.unstable_lost),
+            ];
+            for (name, value) in fail_counters {
+                let id = self.registry.counter(name);
+                self.registry.add(id, value);
+            }
+            let fail_gauges: [(&str, f64); 3] = [
+                ("fail.total_downtime", s.total_downtime),
+                ("fail.total_undone_time", s.total_undone_time),
+                (
+                    "fail.availability",
+                    s.availability(self.cfg.n_mhs, out.end_time.as_f64()),
+                ),
+            ];
+            for (name, value) in fail_gauges {
+                let id = self.registry.gauge(name);
+                self.registry.set(id, value);
             }
         }
         let gauges: [(&str, f64); 3] = [
@@ -514,10 +624,16 @@ impl Simulation {
             self.metrics.wired_hops += 1;
             self.metrics.ckpt_fetches += 1;
         }
+        // Optimistic logging: entries whose asynchronous flush window
+        // elapsed were written in the background — account those stable
+        // writes before the GC below decides what is reclaimed from stable
+        // storage versus what was never written at all.
+        self.settle_log(now, mh, false);
         // The new stable checkpoint advances this host's recovery point:
         // log entries strictly older than it can never be replayed again
-        // (pessimistic logging keeps the host at or above its latest
-        // stable checkpoint), so reclaim them.
+        // (logging keeps the host at or above its latest stable
+        // checkpoint), so reclaim the stable ones and drop still-buffered
+        // ones outright — the optimistic mode's avoided writes.
         if let Some(log) = &mut self.msg_log {
             let (entries, bytes) = log.gc_before(ProcId(mh.idx()), now.as_f64());
             if entries > 0 {
@@ -527,11 +643,195 @@ impl Simulation {
                     .gc(mh, entries as u64, bytes);
             }
         }
+        // The checkpoint hand-off is a flush barrier: anything still
+        // buffered (received at the checkpoint instant itself) goes to
+        // stable storage together with the checkpoint.
+        self.settle_log(now, mh, true);
+    }
+
+    /// Promotes a host's buffered optimistic log entries to stable — the
+    /// ones whose flush window elapsed by `now`, or all of them when
+    /// `force` is set (flush barrier) — and accounts the batched write at
+    /// its responsible station. No-op outside optimistic logging.
+    fn settle_log(&mut self, now: SimTime, mh: MhId, force: bool) {
+        if !self.cfg.logging.is_optimistic() {
+            return;
+        }
+        let Some(log) = &mut self.msg_log else { return };
+        let p = ProcId(mh.idx());
+        let (entries, bytes) = if force { log.flush(p) } else { log.settle(p, now.as_f64()) };
+        if entries > 0 {
+            let mss = self.attach.attachment(mh).responsible_mss();
+            self.log_store
+                .as_mut()
+                .expect("log stores are created together")
+                .append_batch(mh, mss, entries as u64, bytes);
+        }
     }
 
     fn basic_checkpoint(&mut self, now: SimTime, mh: MhId, reason: BasicReason) {
         let c = self.protos[mh.idx()].on_basic(reason);
         self.take_checkpoint(now, mh, c.index, reason.kind(), c.replaces_predecessor);
+    }
+
+    // -- failure injection ----------------------------------------------------
+
+    /// Whether `mh` is currently crashed (always false with failures off).
+    fn is_down(&self, mh: MhId) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.down[mh.idx()])
+    }
+
+    /// Re-arms host `mh`'s Poisson crash process from `now`.
+    fn arm_mh_crash(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
+        if let Some(f) = &mut self.fault {
+            if let Some(t) = f.model.next_mh_crash(mh.idx(), now.as_f64()) {
+                sched.schedule_in(t - now.as_f64(), Ev::Crash { mh });
+            }
+        }
+    }
+
+    /// Re-arms station `mss`'s Poisson crash process from `now`.
+    fn arm_mss_crash(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mss: MssId) {
+        if let Some(f) = &mut self.fault {
+            if let Some(t) = f.model.next_mss_crash(mss.idx(), now.as_f64()) {
+                sched.schedule_in(t - now.as_f64(), Ev::MssCrash { mss });
+            }
+        }
+    }
+
+    fn on_crash(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
+        // The process is memoryless: re-arm regardless of the outcome.
+        self.arm_mh_crash(sched, now, mh);
+        let f = self.fault.as_mut().expect("crash events exist only with failures enabled");
+        if f.down[mh.idx()] || !self.attach.attachment(mh).is_connected() {
+            // Already down, or disconnected (a crash while voluntarily
+            // offline has nothing to interrupt): skip, stay armed.
+            f.stats.skipped_crashes += 1;
+            return;
+        }
+        f.stats.mh_crashes += 1;
+        self.execute_crash(sched, now, vec![mh]);
+    }
+
+    fn on_mss_crash(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mss: MssId) {
+        self.arm_mss_crash(sched, now, mss);
+        // A station failure fail-stops every connected host attached to it
+        // (config validation guarantees logging is on, so the receives the
+        // station proxied are recoverable up to log stability).
+        let down = &self.fault.as_ref().expect("mss-crash events need failures enabled").down;
+        let victims: Vec<MhId> = (0..self.cfg.n_mhs)
+            .map(MhId)
+            .filter(|&m| !down[m.idx()] && self.attach.cell_of(m) == Some(mss))
+            .collect();
+        let f = self.fault.as_mut().expect("checked above");
+        if victims.is_empty() {
+            f.stats.skipped_crashes += 1;
+            return;
+        }
+        f.stats.mss_crashes += 1;
+        self.execute_crash(sched, now, victims);
+    }
+
+    /// Fail-stops `victims` at `now` and executes their recovery inside
+    /// the simulation: the restart line and the undone/replayed split come
+    /// from the orphan-free fixpoint over the live trace and the *stable*
+    /// log; the priced downtime pauses each victim until its scheduled
+    /// [`Ev::Recovered`]. Survivors' orphan rollbacks are accounted in the
+    /// stats (the DES models time and bytes, not application state, so
+    /// nothing is rewound).
+    fn execute_crash(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, victims: Vec<MhId>) {
+        // Stability at crash time must be exact for the fixpoint: promote
+        // every host's passively-flushed entries first.
+        if self.cfg.logging.is_optimistic() {
+            for i in 0..self.cfg.n_mhs {
+                self.settle_log(now, MhId(i), false);
+            }
+        }
+        // Receives still inside a victim's flush window are lost with the
+        // crash: invisible to the stable log, the fixpoint below turns
+        // them (and everything after them) into undone work.
+        let unstable: u64 = self.msg_log.as_ref().map_or(0, |log| {
+            victims.iter().map(|&m| log.n_pending(ProcId(m.idx())) as u64).sum()
+        });
+        let situations: Vec<HostSituation> = victims
+            .iter()
+            .map(|&m| HostSituation {
+                proc: ProcId(m.idx()),
+                attached_mss: self.attach.cell_of(m).expect("victims are connected").idx(),
+                ckpt_mss: self.store.latest(m).map(|s| s.mss.idx()),
+                log_mss: self
+                    .log_store
+                    .as_ref()
+                    .and_then(|ls| ls.residence(m))
+                    .map(MssId::idx),
+                log_bytes: self.log_store.as_ref().map_or(0, |ls| ls.bytes_of(m)),
+            })
+            .collect();
+        let trace = self
+            .trace
+            .as_ref()
+            .expect("failure injection forces tracing on")
+            .snapshot();
+        let empty_log;
+        let log = match &self.msg_log {
+            Some(l) => l,
+            None => {
+                empty_log = MessageLog::new(self.cfg.n_mhs);
+                &empty_log
+            }
+        };
+        let f = self.fault.as_mut().expect("execute_crash runs only with failures enabled");
+        let outcome = faultsim::plan_recovery(&trace, log, &situations, now.as_f64(), &f.params);
+        f.stats.unstable_lost += unstable;
+        f.stats.record(&outcome);
+        for h in &outcome.per_host {
+            f.down[h.proc.0] = true;
+        }
+        for h in &outcome.per_host {
+            let mh = MhId(h.proc.0);
+            // Outstanding workload events become stale; mobility events are
+            // voided in `on_mobility` while down.
+            self.activity_gen[h.proc.0] += 1;
+            if !self.log.is_disabled() {
+                self.log.record(
+                    now,
+                    simkit::log::Level::Warn,
+                    "fail",
+                    format!(
+                        "{mh} crashes; recovery takes {:.4} ({} replayed receives)",
+                        h.downtime, h.replayed_receives
+                    ),
+                );
+            }
+            sched.schedule_in(h.downtime, Ev::Recovered { mh });
+        }
+    }
+
+    fn on_recovered(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
+        let i = mh.idx();
+        let relaunch_mobility = {
+            let f = self.fault.as_mut().expect("recovery events need failures enabled");
+            debug_assert!(f.down[i], "Recovered fired for a host that is not down");
+            f.down[i] = false;
+            std::mem::take(&mut f.mobility_lost[i])
+        };
+        if !self.log.is_disabled() {
+            self.log.record(
+                now,
+                simkit::log::Level::Info,
+                "fail",
+                format!("{mh} recovered and resumes"),
+            );
+        }
+        // Resume the workload under the fresh generation bumped at crash.
+        let gen = self.activity_gen[i];
+        let next = self.workload_rng[i].exp(self.cfg.internal_mean);
+        sched.schedule_in(next, Ev::Activity { mh, gen });
+        // If the dwell expiry fired during the downtime, restart the
+        // mobility chain by re-entering the current cell.
+        if relaunch_mobility {
+            self.enter_cell(sched, mh);
+        }
     }
 
     // -- mobility ------------------------------------------------------------
@@ -551,6 +851,15 @@ impl Simulation {
     }
 
     fn on_mobility(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId, switch: bool) {
+        if self.is_down(mh) {
+            // A crashed host neither roams nor disconnects; its pending
+            // dwell expiry is void. Remember to restart the chain when the
+            // recovery completes.
+            if let Some(f) = &mut self.fault {
+                f.mobility_lost[mh.idx()] = true;
+            }
+            return;
+        }
         if switch {
             // Basic checkpoint, then hand off to a uniformly chosen other cell.
             self.basic_checkpoint(now, mh, BasicReason::CellSwitch);
@@ -794,18 +1103,32 @@ impl Simulation {
                 }
                 _ => self.coord.on_app_message(mh, q.from, q.packet, &q.payload.pb),
             }
-            // Pessimistic logging: the MSS synchronously writes the message
-            // to stable storage before handing it to the host. This runs
-            // after any forced checkpoint so that checkpoint's GC (strictly
-            // earlier entries only) cannot reclaim the fresh entry.
+            // Message logging at the MSS. Pessimistic: a synchronous
+            // stable write precedes delivery. Optimistic: the station
+            // buffers the entry in volatile memory and acknowledges
+            // immediately; the write becomes stable only after the
+            // asynchronous flush window (or at the next flush barrier).
+            // Either way this runs after any forced checkpoint so that
+            // checkpoint's GC (strictly earlier entries only) cannot
+            // reclaim the fresh entry.
             if let Some(log) = &mut self.msg_log {
                 let entry_bytes = bytes + LOG_ENTRY_HEADER_BYTES;
-                let mss = self.attach.attachment(mh).responsible_mss();
-                log.append(ProcId(mh.idx()), MsgId(q.packet.0), now.as_f64(), entry_bytes);
-                self.log_store
-                    .as_mut()
-                    .expect("log stores are created together")
-                    .append(mh, mss, entry_bytes);
+                if self.cfg.logging.is_optimistic() {
+                    log.append_pending(
+                        ProcId(mh.idx()),
+                        MsgId(q.packet.0),
+                        now.as_f64(),
+                        entry_bytes,
+                        now.as_f64() + self.cfg.flush_latency,
+                    );
+                } else {
+                    let mss = self.attach.attachment(mh).responsible_mss();
+                    log.append(ProcId(mh.idx()), MsgId(q.packet.0), now.as_f64(), entry_bytes);
+                    self.log_store
+                        .as_mut()
+                        .expect("log stores are created together")
+                        .append(mh, mss, entry_bytes);
+                }
             }
             if let Some(trace) = &mut self.trace {
                 trace.recv(MsgId(q.packet.0), now.as_f64());
@@ -867,7 +1190,7 @@ impl Model for Simulation {
             Ev::Mobility { mh, switch } => self.on_mobility(sched, now, mh, switch),
             Ev::Reconnect { mh } => self.on_reconnect(sched, now, mh),
             Ev::Periodic { mh } => {
-                if self.attach.attachment(mh).is_connected() {
+                if self.attach.attachment(mh).is_connected() && !self.is_down(mh) {
                     self.basic_checkpoint(now, mh, BasicReason::Periodic);
                 }
                 let d = self.mobility_rng[mh.idx()].exp(self.cfg.periodic_mean);
@@ -875,6 +1198,9 @@ impl Model for Simulation {
             }
             Ev::CoordRound => self.on_coord_round(sched, now),
             Ev::DeliverCtl { to, from, msg } => self.on_deliver_ctl(sched, now, to, from, msg),
+            Ev::Crash { mh } => self.on_crash(sched, now, mh),
+            Ev::MssCrash { mss } => self.on_mss_crash(sched, now, mss),
+            Ev::Recovered { mh } => self.on_recovered(sched, now, mh),
         }
         Control::Continue
     }

@@ -250,13 +250,22 @@ impl LogStore {
     /// Records the synchronous stable-storage write of one log entry for
     /// `mh` at `mss` (migrating the log there first if needed).
     pub fn append(&mut self, mh: MhId, mss: MssId, bytes: u64) {
+        self.append_batch(mh, mss, 1, bytes);
+    }
+
+    /// Records a batched flush of `entries`/`bytes` for `mh` at `mss`
+    /// (optimistic logging writes several buffered entries in one flush).
+    pub fn append_batch(&mut self, mh: MhId, mss: MssId, entries: u64, bytes: u64) {
+        if entries == 0 {
+            return;
+        }
         self.ensure_at(mh, mss);
         let h = &mut self.per_host[mh.idx()];
-        h.entries += 1;
+        h.entries += entries;
         h.bytes += bytes;
-        self.stats.appended_entries += 1;
+        self.stats.appended_entries += entries;
         self.stats.stable_write_bytes += bytes;
-        self.stats.live_entries += 1;
+        self.stats.live_entries += entries;
         self.stats.live_bytes += bytes;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
     }

@@ -18,6 +18,18 @@
 //! never be replayed again and is collectible: [`MessageLog::gc_before`]
 //! implements exactly that rule and is invoked each time the host
 //! checkpoints.
+//!
+//! # Flush states (optimistic logging)
+//!
+//! Under *optimistic* logging an entry is appended in a volatile
+//! **pending** state ([`MessageLog::append_pending`]) and becomes
+//! **stable** — visible to [`MessageLog::is_logged`], hence to the replay
+//! planner — either passively once its asynchronous flush completes
+//! ([`MessageLog::settle`]) or eagerly at a flush barrier
+//! ([`MessageLog::flush`], run at hand-off and checkpoint boundaries).
+//! Entries that are garbage-collected while still pending were *never
+//! written* to stable storage: that saved write is the optimistic-GC win,
+//! reported separately as `dropped_*` in [`LogStats`].
 
 use std::collections::HashSet;
 
@@ -51,17 +63,40 @@ pub struct LogStats {
     pub gc_entries: usize,
     /// Bytes reclaimed by GC.
     pub gc_bytes: u64,
+    /// Entries currently pending (appended, flush not yet stable).
+    pub pending_entries: usize,
+    /// Bytes currently pending.
+    pub pending_bytes: u64,
+    /// Pending entries discarded by GC before their flush completed — the
+    /// stable-storage writes optimistic logging avoided entirely.
+    pub dropped_entries: usize,
+    /// Bytes of those discarded pending entries.
+    pub dropped_bytes: u64,
 }
 
-/// The per-host pessimistic receive log.
+/// One not-yet-stable entry awaiting its asynchronous flush.
+#[derive(Debug, Clone, Copy)]
+struct PendingEntry {
+    msg: MsgId,
+    recv_time: f64,
+    stable_at: f64,
+    bytes: u64,
+}
+
+/// The per-host receive log (pessimistic entries are stable on append;
+/// optimistic entries pass through a pending state first).
 #[derive(Debug, Clone)]
 pub struct MessageLog {
     entries: Vec<Vec<LogEntry>>,
     logged: HashSet<MsgId>,
+    pending: Vec<Vec<PendingEntry>>,
+    pending_set: HashSet<MsgId>,
     appended_entries: usize,
     appended_bytes: u64,
     gc_entries: usize,
     gc_bytes: u64,
+    dropped_entries: usize,
+    dropped_bytes: u64,
 }
 
 impl MessageLog {
@@ -70,10 +105,14 @@ impl MessageLog {
         MessageLog {
             entries: vec![Vec::new(); n],
             logged: HashSet::new(),
+            pending: vec![Vec::new(); n],
+            pending_set: HashSet::new(),
             appended_entries: 0,
             appended_bytes: 0,
             gc_entries: 0,
             gc_bytes: 0,
+            dropped_entries: 0,
+            dropped_bytes: 0,
         }
     }
 
@@ -82,9 +121,7 @@ impl MessageLog {
         self.entries.len()
     }
 
-    /// Logs the receive of `msg` by `host` at `recv_time`. Entries of one
-    /// host must be appended in delivery order.
-    pub fn append(&mut self, host: ProcId, msg: MsgId, recv_time: f64, bytes: u64) {
+    fn push_entry(&mut self, host: ProcId, msg: MsgId, recv_time: f64, bytes: u64) {
         let seq = &mut self.entries[host.idx()];
         if let Some(last) = seq.last() {
             assert!(
@@ -92,7 +129,10 @@ impl MessageLog {
                 "log entries of {host} must be appended in delivery order"
             );
         }
-        assert!(self.logged.insert(msg), "message {msg:?} logged twice");
+        assert!(
+            !self.pending_set.contains(&msg),
+            "message {msg:?} logged twice"
+        );
         seq.push(LogEntry {
             msg,
             recv_time,
@@ -102,7 +142,80 @@ impl MessageLog {
         self.appended_bytes += bytes;
     }
 
-    /// True if `msg`'s receive is (still) in the log.
+    /// Logs the receive of `msg` by `host` at `recv_time`, synchronously
+    /// stable (pessimistic logging). Entries of one host must be appended
+    /// in delivery order.
+    pub fn append(&mut self, host: ProcId, msg: MsgId, recv_time: f64, bytes: u64) {
+        self.push_entry(host, msg, recv_time, bytes);
+        assert!(self.logged.insert(msg), "message {msg:?} logged twice");
+    }
+
+    /// Logs the receive of `msg` by `host` at `recv_time` in the volatile
+    /// pending state; its asynchronous flush completes (and the entry
+    /// becomes stable) at `stable_at`, unless [`MessageLog::flush`] or GC
+    /// reaches it first (optimistic logging).
+    pub fn append_pending(
+        &mut self,
+        host: ProcId,
+        msg: MsgId,
+        recv_time: f64,
+        bytes: u64,
+        stable_at: f64,
+    ) {
+        assert!(
+            stable_at >= recv_time,
+            "an entry cannot be stable before it is received"
+        );
+        assert!(
+            !self.logged.contains(&msg),
+            "message {msg:?} logged twice"
+        );
+        self.push_entry(host, msg, recv_time, bytes);
+        self.pending[host.idx()].push(PendingEntry {
+            msg,
+            recv_time,
+            stable_at,
+            bytes,
+        });
+        self.pending_set.insert(msg);
+    }
+
+    /// Promotes every pending entry of `host` whose asynchronous flush has
+    /// completed by `now` to stable. Returns `(entries, bytes)` that just
+    /// became stable (the stable-storage writes that happened since the
+    /// last settle/flush).
+    pub fn settle(&mut self, host: ProcId, now: f64) -> (usize, u64) {
+        let pend = &mut self.pending[host.idx()];
+        let n = pend.partition_point(|p| p.stable_at <= now);
+        let mut bytes = 0;
+        for p in pend.drain(..n) {
+            self.pending_set.remove(&p.msg);
+            self.logged.insert(p.msg);
+            bytes += p.bytes;
+        }
+        (n, bytes)
+    }
+
+    /// Flush barrier: forces every pending entry of `host` stable now
+    /// (run at hand-off and checkpoint boundaries). Returns
+    /// `(entries, bytes)` written.
+    pub fn flush(&mut self, host: ProcId) -> (usize, u64) {
+        self.settle(host, f64::INFINITY)
+    }
+
+    /// Pending (appended but not yet stable) entries of `host`.
+    pub fn n_pending(&self, host: ProcId) -> usize {
+        self.pending[host.idx()].len()
+    }
+
+    /// Pending bytes held for `host`.
+    pub fn pending_bytes_of(&self, host: ProcId) -> u64 {
+        self.pending[host.idx()].iter().map(|p| p.bytes).sum()
+    }
+
+    /// True if `msg`'s receive is (still) in the log *and stable*; a
+    /// pending entry does not count — until its flush completes the
+    /// receive is lost by a crash, exactly like an unlogged one.
     pub fn is_logged(&self, msg: MsgId) -> bool {
         self.logged.contains(&msg)
     }
@@ -129,18 +242,32 @@ impl MessageLog {
 
     /// Reclaims every entry of `host` received strictly before `time`
     /// (the host's latest stable checkpoint — see the module docs for why
-    /// that is safe). Returns `(entries, bytes)` reclaimed.
+    /// that is safe). Returns `(entries, bytes)` of *stable* entries
+    /// reclaimed — what the station's stable storage frees. Pending
+    /// entries in the reclaimed prefix are discarded without ever being
+    /// written (tracked as `dropped_*` in [`LogStats`]).
     pub fn gc_before(&mut self, host: ProcId, time: f64) -> (usize, u64) {
+        // Drop the pending prefix first: those flushes will never run.
+        let pend = &mut self.pending[host.idx()];
+        let n_pend = pend.partition_point(|p| p.recv_time < time);
+        for p in pend.drain(..n_pend) {
+            self.pending_set.remove(&p.msg);
+            self.dropped_entries += 1;
+            self.dropped_bytes += p.bytes;
+        }
         let seq = &mut self.entries[host.idx()];
         let keep_from = seq.partition_point(|e| e.recv_time < time);
-        let mut bytes = 0;
+        let mut stable_n = 0;
+        let mut stable_bytes = 0;
         for e in seq.drain(..keep_from) {
-            self.logged.remove(&e.msg);
-            bytes += e.bytes;
+            if self.logged.remove(&e.msg) {
+                stable_n += 1;
+                stable_bytes += e.bytes;
+            }
         }
-        self.gc_entries += keep_from;
-        self.gc_bytes += bytes;
-        (keep_from, bytes)
+        self.gc_entries += stable_n;
+        self.gc_bytes += stable_bytes;
+        (stable_n, stable_bytes)
     }
 
     /// Current accounting snapshot.
@@ -152,6 +279,10 @@ impl MessageLog {
             appended_bytes: self.appended_bytes,
             gc_entries: self.gc_entries,
             gc_bytes: self.gc_bytes,
+            pending_entries: self.pending.iter().map(Vec::len).sum(),
+            pending_bytes: self.pending.iter().flatten().map(|p| p.bytes).sum(),
+            dropped_entries: self.dropped_entries,
+            dropped_bytes: self.dropped_bytes,
         }
     }
 }
@@ -214,5 +345,64 @@ mod tests {
         let mut log = MessageLog::new(2);
         log.append(ProcId(0), MsgId(1), 1.0, 10);
         log.append(ProcId(1), MsgId(1), 2.0, 10);
+    }
+
+    #[test]
+    fn pending_entries_are_invisible_until_settled() {
+        let mut log = MessageLog::new(1);
+        log.append_pending(ProcId(0), MsgId(1), 1.0, 10, 4.0);
+        log.append_pending(ProcId(0), MsgId(2), 2.0, 20, 5.0);
+        // Appended (volatile at the MSS) but not stable: replay planning
+        // must treat them as lost.
+        assert_eq!(log.n_entries(), 2);
+        assert!(!log.is_logged(MsgId(1)));
+        assert_eq!(log.n_pending(ProcId(0)), 2);
+        assert_eq!(log.pending_bytes_of(ProcId(0)), 30);
+        // The first flush completes by t=4; the second has not.
+        assert_eq!(log.settle(ProcId(0), 4.0), (1, 10));
+        assert!(log.is_logged(MsgId(1)));
+        assert!(!log.is_logged(MsgId(2)));
+        // A barrier forces the rest.
+        assert_eq!(log.flush(ProcId(0)), (1, 20));
+        assert!(log.is_logged(MsgId(2)));
+        assert_eq!(log.stats().pending_entries, 0);
+    }
+
+    #[test]
+    fn gc_drops_pending_without_counting_stable_writes() {
+        let mut log = MessageLog::new(1);
+        log.append(ProcId(0), MsgId(1), 1.0, 10);
+        log.append_pending(ProcId(0), MsgId(2), 2.0, 20, 100.0);
+        log.append_pending(ProcId(0), MsgId(3), 3.0, 30, 100.0);
+        // Checkpoint at t=2.5: the stable t=1 entry is reclaimed from
+        // stable storage; the pending t=2 entry is discarded unwritten.
+        let (n, b) = log.gc_before(ProcId(0), 2.5);
+        assert_eq!((n, b), (1, 10));
+        let st = log.stats();
+        assert_eq!((st.gc_entries, st.gc_bytes), (1, 10));
+        assert_eq!((st.dropped_entries, st.dropped_bytes), (1, 20));
+        assert_eq!(st.pending_entries, 1);
+        assert!(!log.is_logged(MsgId(2)));
+        // The survivor still settles normally.
+        assert_eq!(log.flush(ProcId(0)), (1, 30));
+        assert!(log.is_logged(MsgId(3)));
+    }
+
+    #[test]
+    fn zero_latency_pending_matches_pessimistic_visibility() {
+        // flush_latency = 0 ⇒ stable_at == recv_time ⇒ any settle at or
+        // after the receive sees the entry, matching pessimistic logging.
+        let mut log = MessageLog::new(1);
+        log.append_pending(ProcId(0), MsgId(1), 1.0, 10, 1.0);
+        assert_eq!(log.settle(ProcId(0), 1.0), (1, 10));
+        assert!(log.is_logged(MsgId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "logged twice")]
+    fn duplicate_pending_append_rejected() {
+        let mut log = MessageLog::new(1);
+        log.append_pending(ProcId(0), MsgId(1), 1.0, 10, 2.0);
+        log.append_pending(ProcId(0), MsgId(1), 2.0, 10, 3.0);
     }
 }

@@ -34,6 +34,10 @@ pub struct Overrides {
     pub reconnect_mean: Option<f64>,
     /// Simulated horizon in seconds.
     pub horizon: Option<f64>,
+    /// Mean time between crashes of each mobile host (0 = no crashes).
+    pub fail_mtbf: Option<f64>,
+    /// Optimistic-logging flush latency.
+    pub flush_latency: Option<f64>,
 }
 
 /// A parsed scenario: a named environment plus parameter overrides.
@@ -63,6 +67,8 @@ const PARAM_KEYS: &[&str] = &[
     "heterogeneity",
     "reconnect_mean",
     "horizon",
+    "fail_mtbf",
+    "flush_latency",
 ];
 
 impl Scenario {
@@ -143,6 +149,8 @@ impl Scenario {
                 heterogeneity: f("heterogeneity")?,
                 reconnect_mean: f("reconnect_mean")?,
                 horizon: f("horizon")?,
+                fail_mtbf: f("fail_mtbf")?,
+                flush_latency: f("flush_latency")?,
             };
         }
         let env = EnvSpec {
@@ -195,6 +203,12 @@ impl Scenario {
         if let Some(v) = o.horizon {
             params.push(("horizon".into(), Json::num(v)));
         }
+        if let Some(v) = o.fail_mtbf {
+            params.push(("fail_mtbf".into(), Json::num(v)));
+        }
+        if let Some(v) = o.flush_latency {
+            params.push(("flush_latency".into(), Json::num(v)));
+        }
         if !params.is_empty() {
             members.push(("params".into(), Json::Obj(params)));
         }
@@ -233,6 +247,8 @@ mod tests {
             overrides: Overrides {
                 n_mss: Some(6),
                 t_switch: Some(1500.0),
+                fail_mtbf: Some(4000.0),
+                flush_latency: Some(2.5),
                 ..Overrides::default()
             },
         };

@@ -62,9 +62,10 @@ mkdir -p "$out_dir/sc1" "$out_dir/sc2"
 ./target/release/mck run --scenario scenarios/markov_grid.json \
     --horizon 1000 --t-switch 200 \
     --metrics "$out_dir/sc2/run.json" --trace "$out_dir/sc2/trace.jsonl" >/dev/null
-# The run artifact embeds host wall-clock timing (wall_ns, events_per_sec);
-# strip those before comparing — everything else must match byte-for-byte.
-strip_timing() { grep -vE '"(wall_ns|events_per_sec)"' "$1"; }
+# The run artifact embeds host wall-clock timing (wall_ns, events_per_sec,
+# dispatch-latency quantiles); strip those before comparing — everything
+# else must match byte-for-byte.
+strip_timing() { grep -vE '"(wall_ns|events_per_sec|dispatch_p50_ns|dispatch_p99_ns)"' "$1"; }
 diff <(strip_timing "$out_dir/sc1/run.json") <(strip_timing "$out_dir/sc2/run.json")
 diff -q "$out_dir/sc1/trace.jsonl" "$out_dir/sc2/trace.jsonl"
 
@@ -77,10 +78,12 @@ echo "==> smoke: paper-scenario parity (run + fig 1)"
 ./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
     --scenario scenarios/paper.json \
     --metrics "$out_dir/paper_run.json" > "$out_dir/paper_run.txt"
-# Stdout echoes the (different) metrics paths and a wall-clock events/sec
-# line; ignore those, compare everything else byte-for-byte.
-diff <(grep -vE 'artifact ->|events/sec' "$out_dir/plain_run.txt") \
-     <(grep -vE 'artifact ->|events/sec' "$out_dir/paper_run.txt")
+# Stdout echoes the (different) metrics paths and wall-clock profile rows
+# (wall time, events/sec, dispatch quantiles); ignore those, compare
+# everything else byte-for-byte.
+profile_rows='artifact ->|events/sec|wall time|dispatch p50|queue depth'
+diff <(grep -vE "$profile_rows" "$out_dir/plain_run.txt") \
+     <(grep -vE "$profile_rows" "$out_dir/paper_run.txt")
 diff <(strip_timing "$out_dir/plain_run.json") <(strip_timing "$out_dir/paper_run.json")
 mkdir -p "$out_dir/fig_plain" "$out_dir/fig_paper"
 ./target/release/mck fig 1 --reps 1 --out-dir "$out_dir/fig_plain" >/dev/null
@@ -103,6 +106,39 @@ done
 echo "==> smoke: figures log-size"
 ./target/release/figures log-size --reps 1 --out-dir "$out_dir" >/dev/null
 ./target/release/mck inspect "$out_dir/BENCH_log_size.json" | grep -q "mck.log_size/v1"
+
+# Failure injection must be a pure function of the seed: two runs of the
+# same seed produce byte-identical reports, crash times and all. The
+# flaky_commuters scenario exercises the Markov mobility + failure path.
+echo "==> smoke: failure-injection determinism (mck crash + scenario)"
+./target/release/mck run --protocol tp --horizon 2000 --t-switch 200 \
+    --logging optimistic --flush-latency 5 --fail-mtbf 300 > "$out_dir/crash1.txt"
+./target/release/mck run --protocol tp --horizon 2000 --t-switch 200 \
+    --logging optimistic --flush-latency 5 --fail-mtbf 300 > "$out_dir/crash2.txt"
+diff -q "$out_dir/crash1.txt" "$out_dir/crash2.txt"
+grep -q "crashes" "$out_dir/crash1.txt"
+./target/release/mck inspect scenarios/flaky_commuters.json | grep -q "mck.scenario/v1"
+./target/release/mck run --scenario scenarios/flaky_commuters.json \
+    --horizon 2000 > "$out_dir/flaky1.txt"
+./target/release/mck run --scenario scenarios/flaky_commuters.json \
+    --horizon 2000 > "$out_dir/flaky2.txt"
+diff -q "$out_dir/flaky1.txt" "$out_dir/flaky2.txt"
+mkdir -p "$out_dir/crash_art"
+./target/release/mck crash --reps 1 --t-switch-list 500 \
+    --out-dir "$out_dir/crash_art" >/dev/null
+./target/release/mck inspect "$out_dir/crash_art/RECOVERY.json" | grep -q "mck.recovery/v1"
+
+# Optimistic logging with a zero flush window degenerates exactly to
+# pessimistic logging: identical crashes, undone work, and stable-write
+# totals. Only the peak-occupancy gauge may differ — batched flushes
+# change *when* bytes land on stable storage, not how many.
+echo "==> smoke: optimistic/pessimistic parity at zero flush latency"
+./target/release/mck run --protocol qbc --horizon 2000 --t-switch 200 \
+    --logging pessimistic --fail-mtbf 400 > "$out_dir/parity_pess.txt"
+./target/release/mck run --protocol qbc --horizon 2000 --t-switch 200 \
+    --logging optimistic --flush-latency 0 --fail-mtbf 400 > "$out_dir/parity_opt.txt"
+diff <(grep -v "peak" "$out_dir/parity_pess.txt") \
+     <(grep -v "peak" "$out_dir/parity_opt.txt")
 
 # Non-gating bench smoke: time the figure grid through the parallel sweep
 # executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers

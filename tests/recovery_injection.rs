@@ -1,0 +1,122 @@
+//! End-to-end pins for the fault-injection and live-recovery engine (E10).
+//!
+//! Three properties the subsystem must never lose:
+//!
+//! 1. With failures disabled, the injection machinery is inert: identical
+//!    seeds keep producing byte-identical reports, and no recovery block
+//!    appears.
+//! 2. With failures enabled, runs are a pure function of the seed — crash
+//!    times, recovery pricing, and replay counts are all drawn from the
+//!    dedicated failure RNG stream.
+//! 3. Optimistic logging with a zero flush window degenerates exactly to
+//!    pessimistic logging: same undone work, same unstable losses (none),
+//!    same stable-storage write accounting.
+
+use mck::prelude::*;
+
+fn faulty(proto: CicKind, logging: LoggingMode, flush: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper(ProtocolChoice::Cic(proto), 500.0, 0.8, 0.0);
+    cfg.horizon = 2000.0;
+    cfg.logging = logging;
+    cfg.flush_latency = flush;
+    cfg.fail_mtbf = 400.0;
+    cfg.seed = 11;
+    cfg.check().unwrap();
+    cfg
+}
+
+/// The full human-readable report doubles as a cheap structural digest:
+/// every counter the run produced lands in it.
+fn digest(cfg: SimConfig) -> String {
+    Simulation::run(cfg).summary_table().render()
+}
+
+#[test]
+fn failures_off_runs_stay_deterministic_and_untouched() {
+    let mut cfg = SimConfig::paper(ProtocolChoice::Cic(CicKind::Qbc), 500.0, 0.8, 0.0);
+    cfg.horizon = 1500.0;
+    cfg.seed = 3;
+    assert!(!cfg.failures_enabled());
+    let a = Simulation::run(cfg.clone());
+    assert!(a.recovery.is_none(), "no failures -> no recovery block");
+    assert_eq!(
+        a.summary_table().render(),
+        digest(cfg),
+        "repeat runs of an identical failure-free config must match"
+    );
+}
+
+#[test]
+fn failure_injection_is_deterministic_per_seed() {
+    for proto in [CicKind::Tp, CicKind::Qbc] {
+        let cfg = faulty(proto, LoggingMode::Optimistic, 5.0);
+        let a = Simulation::run(cfg.clone());
+        let rec = a.recovery.expect("failure injection was enabled");
+        assert!(
+            rec.mh_crashes > 0,
+            "{}: MTBF 400 over horizon 2000 must produce crashes",
+            proto.name()
+        );
+        assert!(rec.total_downtime > 0.0);
+        assert_eq!(
+            a.summary_table().render(),
+            digest(cfg.clone()),
+            "{}: same seed must reproduce the same crashes and recoveries",
+            proto.name()
+        );
+        // A different seed moves the crash times.
+        let mut other = cfg;
+        other.seed = 12;
+        assert_ne!(a.summary_table().render(), digest(other));
+    }
+}
+
+#[test]
+fn zero_flush_latency_optimistic_matches_pessimistic() {
+    for proto in [CicKind::Tp, CicKind::Bcs, CicKind::Qbc] {
+        let pess = Simulation::run(faulty(proto, LoggingMode::Pessimistic, 0.0));
+        let opt = Simulation::run(faulty(proto, LoggingMode::Optimistic, 0.0));
+        let (p, o) = (
+            pess.recovery.expect("failures enabled"),
+            opt.recovery.expect("failures enabled"),
+        );
+        assert_eq!(o.unstable_lost, 0, "{}: nothing can be in flight", proto.name());
+        assert_eq!(p.mh_crashes, o.mh_crashes, "{}", proto.name());
+        assert_eq!(p.replayed_receives, o.replayed_receives, "{}", proto.name());
+        assert!(
+            (p.total_undone_time - o.total_undone_time).abs() < 1e-9,
+            "{}: undone work must match ({} vs {})",
+            proto.name(),
+            p.total_undone_time,
+            o.total_undone_time
+        );
+        let (ps, os) = (
+            pess.log_stats.expect("logging enabled"),
+            opt.log_stats.expect("logging enabled"),
+        );
+        assert_eq!(
+            ps.stable_write_bytes, os.stable_write_bytes,
+            "{}: a zero flush window avoids no writes",
+            proto.name()
+        );
+    }
+}
+
+#[test]
+fn positive_flush_window_avoids_writes_and_loses_unstable_receives() {
+    // Across protocols and a long horizon the flush window must show its
+    // two signature effects somewhere: fewer synchronous stable writes,
+    // and (with crashes striking inside the window) receives lost from
+    // unflushed buffers turning into undone work.
+    let mut avoided = false;
+    for proto in [CicKind::Tp, CicKind::Bcs, CicKind::Qbc] {
+        let pess = Simulation::run(faulty(proto, LoggingMode::Pessimistic, 0.0));
+        let opt = Simulation::run(faulty(proto, LoggingMode::Optimistic, 20.0));
+        let (ps, os) = (
+            pess.log_stats.expect("logging enabled"),
+            opt.log_stats.expect("logging enabled"),
+        );
+        avoided |= os.stable_write_bytes < ps.stable_write_bytes;
+    }
+    assert!(avoided, "a 20 t.u. flush window never avoided a stable write");
+}
