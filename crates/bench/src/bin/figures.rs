@@ -15,6 +15,7 @@
 //! cargo run --release -p mck-bench --bin figures -- topologies
 //! cargo run --release -p mck-bench --bin figures -- contention
 //! cargo run --release -p mck-bench --bin figures -- sweep-bench
+//! cargo run --release -p mck-bench --bin figures -- scale --n-list 10,100,1000
 //! cargo run --release -p mck-bench --bin figures -- log-size
 //! cargo run --release -p mck-bench --bin figures -- recovery
 //! cargo run --release -p mck-bench --bin figures -- scenarios
@@ -45,6 +46,10 @@
 //! `sweep-bench` times the full figure grid at 1 worker and at full
 //! parallelism and writes a `mck.bench_sweep/v1` artifact (default
 //! `BENCH_sweep.json`) with runs-per-second and per-protocol wall-clock.
+//! `scale` sweeps the host population (`--n-list a,b,c`, default
+//! 10,100,1000, with `--horizon T`, default 500) through spanned + profiled
+//! runs and writes a `mck.bench_scale/v1` artifact (`BENCH_scale.json`)
+//! with events/sec, per-host wireless bytes, and the span breakdown vs. N.
 //! Output shape matches the paper: one row per `T_switch`, one column per
 //! protocol, with the derived gain columns the text quotes.
 
@@ -62,10 +67,12 @@ use mck::experiments::{
     run_figure, run_figures, run_figures_scenario, run_sweep, FigureResult, FigureSpec,
     T_SWITCH_SWEEP,
 };
+use mck::prelude::CicKind;
 use mck::scenario::Scenario;
 use mck::simulation::{Instrumentation, Simulation};
 use mck::table::{fmt_estimate, Table};
 use simkit::json::Json;
+use simkit::span::SpanSnapshot;
 
 struct Opts {
     reps: usize,
@@ -76,6 +83,8 @@ struct Opts {
     jobs: Option<usize>,
     scenario: Option<Scenario>,
     out_dir: PathBuf,
+    n_list: Vec<u64>,
+    horizon: Option<f64>,
 }
 
 fn main() {
@@ -89,6 +98,8 @@ fn main() {
         jobs: None,
         scenario: None,
         out_dir: PathBuf::from("."),
+        n_list: vec![10, 100, 1000],
+        horizon: None,
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -107,6 +118,17 @@ fn main() {
                 opts.scenario = Some(load_scenario(path));
             }
             "--out-dir" => opts.out_dir = PathBuf::from(it.next().expect("--out-dir DIR")),
+            "--n-list" => {
+                opts.n_list = it
+                    .next()
+                    .expect("--n-list a,b,c")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("host count"))
+                    .collect();
+            }
+            "--horizon" => {
+                opts.horizon = Some(it.next().expect("--horizon T").parse().expect("number"));
+            }
             other => cmd.push(other.to_string()),
         }
     }
@@ -118,6 +140,7 @@ fn main() {
         [] | ["all"] => figures(&opts, &[1, 2, 3, 4, 5, 6]),
         ["fig", n] => figures(&opts, &[n.parse().expect("figure number")]),
         ["sweep-bench"] => sweep_bench(&opts),
+        ["scale"] => scale(&opts),
         ["claims"] => print_claims(&opts),
         ["ablation"] => ablation(&opts),
         ["control-bytes"] => control_bytes(&opts),
@@ -306,6 +329,94 @@ fn sweep_bench(opts: &Opts) {
         .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
     match artifact::write(&path, &doc) {
         Ok(()) => eprintln!("sweep-bench artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Scale telemetry (`figures scale`): one spanned + profiled run per host
+/// population, sweeping `n_mh` (with `n_mss = max(2, n_mh/2)` to keep cell
+/// density fixed) and recording how event throughput, per-host wireless
+/// bytes, and the span breakdown move with N. Writes a
+/// `mck.bench_scale/v1` artifact (default `BENCH_scale.json`) whose
+/// wall-clock columns live under `timing` members per the artifact
+/// separation rule.
+fn scale(opts: &Opts) {
+    let horizon = opts.horizon.unwrap_or(500.0);
+    let proto = CicKind::Qbc;
+    let mut points: Vec<Json> = Vec::new();
+    let mut merged = SpanSnapshot::default();
+    let mut table = Table::new(vec!["n_mh", "n_mss", "events", "bytes/host", "events/sec"]);
+    for &n in &opts.n_list {
+        let n_mss = (n / 2).max(2);
+        let mut cfg = SimConfig {
+            protocol: ProtocolChoice::Cic(proto),
+            horizon,
+            seed: opts.seed,
+            ..SimConfig::default()
+        };
+        cfg.n_mhs = n as usize;
+        cfg.n_mss = n_mss as usize;
+        eprintln!("scale: {} at n_mh={n}, n_mss={n_mss}, horizon={horizon}...", proto.name());
+        let t0 = Instant::now();
+        let report = Simulation::run_with(
+            cfg,
+            Instrumentation {
+                metrics: true,
+                profile: true,
+                spans: true,
+                ..Instrumentation::off()
+            },
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let p = report.profile.as_ref().expect("profiled run");
+        let spans = report.spans.clone().expect("spanned run");
+        let bytes_per_host = report.net.per_mh_bytes.iter().sum::<u64>() as f64 / n as f64;
+        merged.merge(&spans);
+        table.push_row(vec![
+            n.to_string(),
+            n_mss.to_string(),
+            report.events.to_string(),
+            format!("{bytes_per_host:.0}"),
+            format!("{:.0}", p.events_per_sec()),
+        ]);
+        points.push(Json::Obj(vec![
+            ("n_mh".into(), Json::uint(n)),
+            ("n_mss".into(), Json::uint(n_mss)),
+            ("events".into(), Json::uint(report.events)),
+            ("n_tot".into(), Json::uint(report.n_tot())),
+            ("msgs_sent".into(), Json::uint(report.msgs_sent)),
+            ("bytes_per_host".into(), Json::Num(bytes_per_host)),
+            ("spans".into(), spans.deterministic_json()),
+            (
+                "timing".into(),
+                Json::Obj(vec![
+                    ("wall_ms".into(), Json::Num(wall_ms)),
+                    ("events_per_sec".into(), Json::Num(p.events_per_sec())),
+                    ("wall_ns".into(), Json::uint(p.wall_ns)),
+                ]),
+            ),
+        ]));
+    }
+    emit(opts, &table);
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str(artifact::BENCH_SCALE_SCHEMA)),
+        ("version".into(), Json::str(artifact::version())),
+        ("protocol".into(), Json::str(proto.name())),
+        ("base_seed".into(), Json::uint(opts.seed)),
+        ("horizon".into(), Json::Num(horizon)),
+        ("points".into(), Json::Arr(points)),
+        ("spans".into(), merged.deterministic_json()),
+        (
+            "timing".into(),
+            Json::Obj(vec![("spans".into(), merged.timing_json())]),
+        ),
+    ]);
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| opts.out_dir.join("BENCH_scale.json"));
+    match artifact::write(&path, &doc) {
+        Ok(()) => eprintln!("scale artifact -> {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }

@@ -76,6 +76,19 @@ impl Piggyback {
             _ => None,
         }
     }
+
+    /// Static label for this piggyback's variant, suitable as a span or
+    /// metric name: cost-attribution tooling groups encode/decode work by
+    /// the control-information *shape* (the axis the paper's scalability
+    /// argument varies), not by protocol name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Piggyback::None => "none",
+            Piggyback::Index { .. } => "index",
+            Piggyback::Vectors { .. } => "vectors",
+            Piggyback::DepSet { .. } => "depset",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +135,23 @@ mod tests {
             unreachable!()
         };
         assert!(Arc::ptr_eq(a, b), "clone must be a refcount bump, not a copy");
+    }
+
+    #[test]
+    fn kind_names_are_distinct_static_labels() {
+        let variants = [
+            Piggyback::None,
+            Piggyback::Index { sn: 1 },
+            Piggyback::Vectors { ckpt: vec![0; 2].into(), loc: vec![0; 2].into() },
+            Piggyback::DepSet { deps: vec![true] },
+        ];
+        let names: Vec<&str> = variants.iter().map(Piggyback::kind_name).collect();
+        assert_eq!(names, ["none", "index", "vectors", "depset"]);
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

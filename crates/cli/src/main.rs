@@ -41,7 +41,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json>\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json> [--deterministic]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -62,11 +62,14 @@ const KNOWN: &[&str] = &[
     "fail-mtbf",
     "fail-mss-mtbf",
     "out-dir",
+    "out",
+    "folded",
+    "prom",
     "jobs",
     "queue",
     "scenario",
 ];
-const BOOLEAN: &[&str] = &["csv"];
+const BOOLEAN: &[&str] = &["csv", "profile", "progress", "deterministic"];
 
 /// Routes a raw command line to a handler, returning its printable output.
 fn dispatch(raw: &[String]) -> Result<String, ArgError> {
@@ -76,6 +79,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
     set_jobs(args.get_usize("jobs", 0)?);
     match args.positional(0) {
         Some("run") => cmd_run(&args),
+        Some("profile") => cmd_profile(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("fig") => cmd_fig(&args),
         Some("claims") => cmd_claims(&args),
@@ -160,8 +164,11 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
     }
     if metrics_path.is_some() {
         instr.metrics = true;
-        instr.profile = true;
     }
+    // Observation-only overlays: none of these change a single byte of the
+    // report or any artifact (CI pins this).
+    instr.profile = args.flag("profile");
+    instr.progress = args.flag("progress");
 
     let r = Simulation::run_with(cfg.clone(), instr);
     let mut out = r.summary_table().render();
@@ -174,6 +181,47 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
     if let Some(path) = &trace_path {
         out += &format!("trace ({} events) -> {}\n", r.trace_emitted, path.display());
     }
+    // Wall-clock timing goes to stderr so stdout stays deterministic.
+    if let Some(timing) = r.timing_summary() {
+        eprintln!("profile: {timing}");
+    }
+    Ok(out)
+}
+
+/// `mck profile`: one instrumented run emitting the `mck.profile/v1`
+/// artifact — per-event-type and per-phase span attribution with every
+/// wall-clock quantity quarantined under `timing` — plus optional
+/// folded-stack (`--folded`, flamegraph-ready) and Prometheus text
+/// (`--prom`) renditions.
+fn cmd_profile(args: &Args) -> Result<String, ArgError> {
+    let cfg = config_of(args)?;
+    let out_path = std::path::PathBuf::from(args.get("out").unwrap_or("PROFILE.json"));
+    let instr = Instrumentation {
+        metrics: true,
+        profile: true,
+        spans: true,
+        progress: args.flag("progress"),
+        ..Instrumentation::off()
+    };
+    let r = Simulation::run_with(cfg.clone(), instr);
+    let art = mck::artifact::profile_artifact(&cfg, &r);
+    mck::artifact::write(&out_path, &art)
+        .map_err(|e| ArgError(format!("--out {}: {e}", out_path.display())))?;
+    let mut out = format!("profile artifact -> {}\n", out_path.display());
+    let spans = r.spans.as_ref().expect("profiled run has spans");
+    if let Some(path) = args.get("folded") {
+        std::fs::write(path, spans.to_folded())
+            .map_err(|e| ArgError(format!("--folded {path}: {e}")))?;
+        out += &format!("folded stacks -> {path}\n");
+    }
+    if let Some(path) = args.get("prom") {
+        std::fs::write(path, r.metrics.to_prometheus())
+            .map_err(|e| ArgError(format!("--prom {path}: {e}")))?;
+        out += &format!("prometheus exposition -> {path}\n");
+    }
+    if let Some(timing) = r.timing_summary() {
+        eprintln!("profile: {timing}");
+    }
     Ok(out)
 }
 
@@ -182,6 +230,13 @@ fn cmd_inspect(args: &Args) -> Result<String, ArgError> {
         .positional(1)
         .ok_or_else(|| ArgError("inspect needs an artifact path".into()))?;
     let v = mck::artifact::read(std::path::Path::new(path)).map_err(ArgError)?;
+    if args.flag("deterministic") {
+        // The separation-rule view: the artifact with every `timing` member
+        // removed, byte-stable across hosts for a given config + seed. CI
+        // diffs this directly instead of stripping fields by hand.
+        mck::artifact::validate(&v).map_err(ArgError)?;
+        return Ok(format!("{}\n", mck::artifact::deterministic_view(&v).to_pretty()));
+    }
     mck::artifact::describe(&v).map_err(ArgError)
 }
 
@@ -494,7 +549,10 @@ fn cmd_list() -> String {
     out += "            (pessimistic vs. optimistic logging; downtime and availability)\n";
     out += "  topologies: cell-adjacency graph ablation\n";
     out += "  contention: wireless channel contention at finite bandwidth\n";
+    out += "  profile:  instrumented run emitting the mck.profile/v1 span-attribution artifact\n";
+    out += "            (--folded for flamegraph stacks, --prom for Prometheus text)\n";
     out += "  inspect:  summarize a JSON artifact written by run/sweep/fig, or a scenario file\n";
+    out += "            (--deterministic prints the artifact minus its timing members, for diffs)\n";
     out += "scenarios: pass --scenario FILE (mck.scenario/v1) to run/sweep/fig to swap the\n";
     out += "           cell topology, mobility model, and traffic model; see scenarios/\n";
     out
@@ -771,6 +829,76 @@ mod tests {
         let out = dispatch(&raw(&["inspect", &bundled("hotspot.json")])).unwrap();
         assert!(out.contains("mck.scenario/v1"), "{out}");
         assert!(out.contains("hotspot"), "{out}");
+    }
+
+    #[test]
+    fn profile_command_writes_all_three_renditions() {
+        let dir = std::env::temp_dir().join("mck_cli_test_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let art = dir.join("PROFILE.json");
+        let folded = dir.join("out.folded");
+        let prom = dir.join("out.prom");
+        let out = dispatch(&raw(&[
+            "profile",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "300",
+            "--t-switch",
+            "100",
+            "--out",
+            art.to_str().unwrap(),
+            "--folded",
+            folded.to_str().unwrap(),
+            "--prom",
+            prom.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("profile artifact ->"), "{out}");
+        let inspected = dispatch(&raw(&["inspect", art.to_str().unwrap()])).unwrap();
+        assert!(inspected.contains("mck.profile/v1"), "{inspected}");
+        assert!(inspected.contains("span coverage"), "{inspected}");
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(stacks.lines().any(|l| l.starts_with("activity ")), "{stacks}");
+        let metrics = std::fs::read_to_string(&prom).unwrap();
+        assert!(metrics.contains("# TYPE ckpt_total counter"), "{metrics}");
+
+        // The deterministic view is identical across same-seed profile runs
+        // even though the timing members differ.
+        let det_a = dispatch(&raw(&["inspect", art.to_str().unwrap(), "--deterministic"])).unwrap();
+        assert!(!det_a.contains("\"timing\""), "{det_a}");
+        dispatch(&raw(&[
+            "profile",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "300",
+            "--t-switch",
+            "100",
+            "--out",
+            art.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let det_b = dispatch(&raw(&["inspect", art.to_str().unwrap(), "--deterministic"])).unwrap();
+        assert_eq!(det_a, det_b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_and_progress_flags_leave_run_output_unchanged() {
+        let base = &[
+            "run",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "300",
+            "--t-switch",
+            "100",
+        ];
+        let plain = dispatch(&raw(base)).unwrap();
+        let mut overlaid = raw(base);
+        overlaid.extend(raw(&["--profile", "--progress"]));
+        assert_eq!(plain, dispatch(&overlaid).unwrap());
     }
 
     #[test]

@@ -23,10 +23,21 @@
 //!   `T_switch` sweep under pessimistic logging ([`log_size_artifact`]);
 //! * `mck.recovery/v1` — live fault injection: per-protocol downtime,
 //!   availability and undone/replayed work over a `(T_switch, MTBF)` grid
-//!   for both logging modes ([`recovery_artifact`]).
+//!   for both logging modes ([`recovery_artifact`]);
+//! * `mck.profile/v1` — span-profiler attribution of one run
+//!   ([`profile_artifact`], written by `mck profile`);
+//! * `mck.bench_scale/v1` — events/sec and bytes/host across host counts
+//!   (written by `figures scale`).
 //!
 //! Scenario files (`mck.scenario/v1`, see the `scenario` crate) share the
 //! self-describing envelope, so `mck inspect` understands them too.
+//!
+//! **Artifact separation rule.** Host wall-clock data (wall times,
+//! events/sec, dispatch quantiles, span wall columns) appears *only* inside
+//! members named `timing`; every other member is a pure function of the
+//! configuration and seed. Tooling that checks determinism diffs
+//! [`deterministic_view`] (the document minus its `timing` members) instead
+//! of maintaining per-schema field strip-lists.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -60,6 +71,12 @@ pub const LOG_SIZE_SCHEMA: &str = "mck.log_size/v1";
 /// Schema tag of the fault-injection recovery artifact
 /// (`figures recovery`, conventionally `BENCH_recovery.json`).
 pub const RECOVERY_SCHEMA: &str = "mck.recovery/v1";
+/// Schema tag of the span-profile artifact (`mck profile`, conventionally
+/// `PROFILE.json`).
+pub const PROFILE_SCHEMA: &str = "mck.profile/v1";
+/// Schema tag of the host-count scaling benchmark (`figures scale`,
+/// conventionally `BENCH_scale.json`).
+pub const BENCH_SCALE_SCHEMA: &str = "mck.bench_scale/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -115,8 +132,13 @@ fn estimate_json(e: &Estimate) -> Json {
     ])
 }
 
-/// The single-run artifact: configuration, outcome, metric snapshot, and
-/// (when profiled) engine wall-clock statistics.
+/// The single-run artifact: configuration, outcome, and metric snapshot.
+///
+/// Deliberately **fully deterministic**: a run artifact is a pure function
+/// of the configuration and seed, so same-seed artifacts are byte-identical
+/// whatever instrumentation was attached. Wall-clock data (the engine
+/// profile, span timings) goes to the separate `mck.profile/v1` document
+/// ([`profile_artifact`]) instead.
 pub fn run_artifact(cfg: &SimConfig, report: &RunReport) -> Json {
     let mut members = header(RUN_SCHEMA);
     members.push(("config".into(), config_json(cfg)));
@@ -141,21 +163,56 @@ pub fn run_artifact(cfg: &SimConfig, report: &RunReport) -> Json {
         ]),
     ));
     members.push(("metrics".into(), report.metrics.to_json()));
-    if let Some(p) = &report.profile {
-        members.push((
-            "profile".into(),
-            Json::Obj(vec![
-                ("wall_ns".into(), Json::uint(p.wall_ns)),
-                ("events_handled".into(), Json::uint(p.events_handled)),
-                ("events_per_sec".into(), Json::Num(p.events_per_sec())),
-                ("dispatch_p50_ns".into(), Json::Num(p.dispatch_ns.quantile(0.5))),
-                ("dispatch_p99_ns".into(), Json::Num(p.dispatch_ns.quantile(0.99))),
-                ("mean_queue_depth".into(), Json::Num(p.queue_depth.mean())),
-                ("max_queue_depth".into(), Json::Num(p.queue_depth.max().unwrap_or(0.0))),
-            ]),
-        ));
-    }
     Json::Obj(members)
+}
+
+/// The span-profile artifact (`mck.profile/v1`): configuration, the
+/// deterministic span dimensions (paths, counts, bytes) and metric
+/// snapshot, with every host-clock quantity — engine totals, dispatch
+/// quantiles, and the span wall-clock column — quarantined under the
+/// top-level `timing` member per the artifact separation rule.
+pub fn profile_artifact(cfg: &SimConfig, report: &RunReport) -> Json {
+    let spans = report.spans.clone().unwrap_or_default();
+    let mut members = header(PROFILE_SCHEMA);
+    members.push(("config".into(), config_json(cfg)));
+    members.push(("events".into(), Json::uint(report.events)));
+    members.push(("spans".into(), spans.deterministic_json()));
+    members.push(("metrics".into(), report.metrics.to_json()));
+    let mut timing: Vec<(String, Json)> = Vec::new();
+    if let Some(p) = &report.profile {
+        let coverage = if p.wall_ns == 0 {
+            0.0
+        } else {
+            spans.top_level_wall_ns() as f64 / p.wall_ns as f64
+        };
+        timing.push(("wall_ns".into(), Json::uint(p.wall_ns)));
+        timing.push(("events_per_sec".into(), Json::Num(p.events_per_sec())));
+        timing.push(("dispatch_p50_ns".into(), Json::Num(p.dispatch_ns.quantile(0.5))));
+        timing.push(("dispatch_p99_ns".into(), Json::Num(p.dispatch_ns.quantile(0.99))));
+        timing.push(("mean_queue_depth".into(), Json::Num(p.queue_depth.mean())));
+        timing.push(("span_coverage".into(), Json::Num(coverage)));
+    }
+    timing.push(("spans".into(), spans.timing_json()));
+    members.push(("timing".into(), Json::Obj(timing)));
+    Json::Obj(members)
+}
+
+/// The document with every object member named `timing` removed,
+/// recursively — the deterministic view the separation rule promises:
+/// same-seed artifacts agree byte-for-byte on this view no matter the host.
+/// `mck inspect --deterministic` prints it for CI diffs.
+pub fn deterministic_view(v: &Json) -> Json {
+    match v {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(name, _)| name != "timing")
+                .map(|(name, val)| (name.clone(), deterministic_view(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(deterministic_view).collect()),
+        other => other.clone(),
+    }
 }
 
 /// The rollback-logging artifact: per protocol, mean undone work under
@@ -563,6 +620,33 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                 }
             }
         }
+        PROFILE_SCHEMA => {
+            for key in ["config", "spans", "timing"] {
+                v.get(key)
+                    .ok_or_else(|| format!("profile artifact missing '{key}'"))?;
+            }
+            v.get("spans")
+                .and_then(Json::as_arr)
+                .ok_or("profile artifact 'spans' is not an array")?;
+        }
+        BENCH_SCALE_SCHEMA => {
+            let points = v
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("scale artifact missing 'points' array")?;
+            if points.is_empty() {
+                return Err("scale artifact has no points".into());
+            }
+            for p in points {
+                p.get("n_mh")
+                    .and_then(Json::as_u64)
+                    .ok_or("scale point missing 'n_mh'")?;
+                p.get("timing")
+                    .and_then(|t| t.get("events_per_sec"))
+                    .and_then(Json::as_f64)
+                    .ok_or("scale point missing timing.events_per_sec")?;
+            }
+        }
         scenario::SCENARIO_SCHEMA => {
             scenario::Scenario::from_json(v).map_err(|e| e.to_string())?;
         }
@@ -600,14 +684,6 @@ pub fn describe(v: &Json) -> Result<String, String> {
                     out += &format!(", {} gauges", gauges.len());
                 }
                 out.push('\n');
-            }
-            if let Some(p) = v.get("profile") {
-                out += &format!(
-                    "profile  {} events in {:.1} ms ({:.0} events/sec)\n",
-                    p.get("events_handled").and_then(Json::as_u64).unwrap_or(0),
-                    p.get("wall_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
-                    p.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
-                );
             }
         }
         SWEEP_SCHEMA | FIGURE_SCHEMA => {
@@ -831,6 +907,61 @@ pub fn describe(v: &Json) -> Result<String, String> {
             }
             out += &t.render();
         }
+        PROFILE_SCHEMA => {
+            let cfg = v.get("config").expect("validated");
+            out += &format!(
+                "protocol {}\nevents   {}\n",
+                cfg.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+                v.get("events").and_then(Json::as_u64).unwrap_or(0),
+            );
+            if let Some(t) = v.get("timing") {
+                out += &format!(
+                    "timing   {:.1} ms wall, {:.0} events/sec, span coverage {:.1}%\n",
+                    t.get("wall_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                    t.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+                    t.get("span_coverage").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+                );
+            }
+            let spans = v.get("spans").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec!["span", "count", "bytes"]);
+            for s in spans {
+                t.push_row(vec![
+                    s.get("path").and_then(Json::as_str).unwrap_or("?").into(),
+                    s.get("count").and_then(Json::as_u64).unwrap_or(0).to_string(),
+                    s.get("bytes").and_then(Json::as_u64).unwrap_or(0).to_string(),
+                ]);
+            }
+            out += &t.render();
+        }
+        BENCH_SCALE_SCHEMA => {
+            let points = v.get("points").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec![
+                "n_mh", "n_mss", "events", "bytes/host", "events/sec",
+            ]);
+            for p in points {
+                let uint = |k: &str| {
+                    p.get(k)
+                        .and_then(Json::as_u64)
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "?".into())
+                };
+                t.push_row(vec![
+                    uint("n_mh"),
+                    uint("n_mss"),
+                    uint("events"),
+                    p.get("bytes_per_host")
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.0}"))
+                        .unwrap_or_else(|| "?".into()),
+                    p.get("timing")
+                        .and_then(|t| t.get("events_per_sec"))
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.0}"))
+                        .unwrap_or_else(|| "?".into()),
+                ]);
+            }
+            out += &t.render();
+        }
         scenario::SCENARIO_SCHEMA => {
             let sc = scenario::Scenario::from_json(v).expect("validated");
             out += &format!("name     {}\n", sc.name);
@@ -891,6 +1022,63 @@ mod tests {
         // The metric snapshot made it into the artifact intact.
         let metrics = simkit::metrics::MetricsSnapshot::from_json(parsed.get("metrics").unwrap());
         assert_eq!(metrics.unwrap().counter("ckpt.total"), Some(report.n_tot()));
+    }
+
+    #[test]
+    fn profile_artifact_validates_and_quarantines_timing() {
+        let cfg = small_cfg();
+        let report = Simulation::run_with(
+            cfg.clone(),
+            Instrumentation {
+                metrics: true,
+                profile: true,
+                spans: true,
+                ..Instrumentation::off()
+            },
+        );
+        let art = profile_artifact(&cfg, &report);
+        assert_eq!(validate(&art).unwrap(), PROFILE_SCHEMA);
+        let text = describe(&art).unwrap();
+        assert!(text.contains("span coverage"));
+        assert!(text.contains("activity"));
+        // Every wall-clock quantity lives under `timing`; the deterministic
+        // view must therefore be identical across same-seed runs.
+        let report2 = Simulation::run_with(
+            cfg.clone(),
+            Instrumentation {
+                metrics: true,
+                profile: true,
+                spans: true,
+                ..Instrumentation::off()
+            },
+        );
+        let art2 = profile_artifact(&cfg, &report2);
+        assert_eq!(
+            deterministic_view(&art).to_pretty(),
+            deterministic_view(&art2).to_pretty(),
+        );
+        assert!(art.get("timing").is_some());
+        assert!(deterministic_view(&art).get("timing").is_none());
+    }
+
+    #[test]
+    fn deterministic_view_strips_timing_recursively() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("x")),
+            ("timing".into(), Json::uint(1)),
+            (
+                "points".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("n_mh".into(), Json::uint(10)),
+                    ("timing".into(), Json::Obj(vec![("wall_ms".into(), Json::Num(3.5))])),
+                ])]),
+            ),
+        ]);
+        let view = deterministic_view(&doc);
+        assert!(view.get("timing").is_none());
+        let point = &view.get("points").and_then(Json::as_arr).unwrap()[0];
+        assert!(point.get("timing").is_none());
+        assert_eq!(point.get("n_mh").and_then(Json::as_u64), Some(10));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use mobnet::{LogStoreStats, NetMetrics};
 use relog::MessageLog;
 use simkit::driver::EngineProfile;
 use simkit::metrics::MetricsSnapshot;
+use simkit::span::SpanSnapshot;
 use simkit::trace::MemorySink;
 
 use crate::table::Table;
@@ -99,8 +100,15 @@ pub struct RunReport {
     /// Named metric snapshot (empty unless the run was instrumented with a
     /// metrics registry — see `Instrumentation`).
     pub metrics: MetricsSnapshot,
-    /// Wall-clock engine profile (present only for profiled runs).
+    /// Wall-clock engine profile (present only for profiled runs). Host
+    /// timing lives here and in [`RunReport::spans`], never in the
+    /// deterministic rows above; `mck run` prints it to stderr and the
+    /// `mck.run/v1` artifact omits it entirely — profile data belongs to
+    /// the separate `mck.profile/v1` artifact.
     pub profile: Option<EngineProfile>,
+    /// Per-event-type / per-phase span attribution (present only when span
+    /// profiling was attached).
+    pub spans: Option<SpanSnapshot>,
     /// Retained trace records, when a memory sink was attached.
     pub trace_events: Option<MemorySink>,
     /// Total structured trace events emitted (0 when tracing was off).
@@ -215,20 +223,23 @@ impl RunReport {
         if self.trace_emitted > 0 {
             row("trace events", self.trace_emitted.to_string());
         }
-        if let Some(p) = &self.profile {
-            row("wall time", format!("{:.1} ms", p.wall_ns as f64 / 1e6));
-            row("events/sec", format!("{:.0}", p.events_per_sec()));
-            row(
-                "dispatch p50/p99",
-                format!(
-                    "{:.0}/{:.0} ns",
-                    p.dispatch_ns.quantile(0.5),
-                    p.dispatch_ns.quantile(0.99)
-                ),
-            );
-            row("mean queue depth", format!("{:.1}", p.queue_depth.mean()));
-        }
         t
+    }
+
+    /// The wall-clock profile as a short human-readable block, or `None` for
+    /// unprofiled runs. Kept out of [`RunReport::summary_table`] so stdout
+    /// (and anything diffing it) stays deterministic; `mck run` prints this
+    /// to stderr instead.
+    pub fn timing_summary(&self) -> Option<String> {
+        let p = self.profile.as_ref()?;
+        Some(format!(
+            "wall time {:.1} ms, {:.0} events/sec, dispatch p50/p99 {:.0}/{:.0} ns, mean queue depth {:.1}",
+            p.wall_ns as f64 / 1e6,
+            p.events_per_sec(),
+            p.dispatch_ns.quantile(0.5),
+            p.dispatch_ns.quantile(0.99),
+            p.queue_depth.mean(),
+        ))
     }
 }
 
@@ -280,6 +291,7 @@ mod tests {
             log: simkit::log::EventLog::disabled(),
             metrics: MetricsSnapshot::default(),
             profile: None,
+            spans: None,
             trace_events: None,
             trace_emitted: 0,
         };
@@ -317,6 +329,7 @@ mod tests {
             log: simkit::log::EventLog::disabled(),
             metrics: MetricsSnapshot::default(),
             profile: None,
+            spans: None,
             trace_events: None,
             trace_emitted: 0,
         };

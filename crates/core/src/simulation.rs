@@ -54,10 +54,13 @@ pub(crate) const CONTROL_BYTES: u64 = 16;
 pub(crate) const LOG_ENTRY_HEADER_BYTES: u64 = 32;
 
 /// Observability attachments for one run: a structured trace stream, the
-/// metrics registry, and wall-clock profiling of the event loop.
+/// metrics registry, wall-clock profiling, span attribution, and live
+/// progress reporting.
 ///
 /// The default is fully off — [`Simulation::run`] behaves exactly as before
-/// observability existed, with near-zero overhead on the hot path.
+/// observability existed, with near-zero overhead on the hot path. Every
+/// attachment is a pure overlay: enabling any combination changes no byte
+/// of the run's deterministic outputs (report rows, artifacts, traces).
 #[derive(Default)]
 pub struct Instrumentation {
     /// Trace stream subscriber(s); an inert tracer disables tracing.
@@ -66,6 +69,11 @@ pub struct Instrumentation {
     pub metrics: bool,
     /// Profile the event loop (wall-clock dispatch histogram, queue depth).
     pub profile: bool,
+    /// Attribute wall time, counts and bytes to per-event-type and
+    /// per-phase spans ([`simkit::span`]).
+    pub spans: bool,
+    /// Report live progress (events, sim-time, events/sec) to stderr.
+    pub progress: bool,
 }
 
 impl Instrumentation {
@@ -157,6 +165,26 @@ pub enum Ev {
     },
 }
 
+impl Ev {
+    /// Stable span name for this event type; the driver opens one span per
+    /// dispatched event under this name, so the span tree's top level is the
+    /// per-event-type cost breakdown.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Ev::Activity { .. } => "activity",
+            Ev::Deliver { .. } => "deliver",
+            Ev::Mobility { .. } => "mobility",
+            Ev::Reconnect { .. } => "reconnect",
+            Ev::Periodic { .. } => "periodic",
+            Ev::CoordRound => "coord_round",
+            Ev::DeliverCtl { .. } => "deliver_ctl",
+            Ev::Crash { .. } => "crash",
+            Ev::MssCrash { .. } => "mss_crash",
+            Ev::Recovered { .. } => "recovered",
+        }
+    }
+}
+
 /// Live failure-injection state, present iff the configuration enables at
 /// least one crash class. Unlike logging, failure injection is *allowed*
 /// to perturb the trajectory — but only when enabled: the model's RNG
@@ -198,6 +226,14 @@ pub struct Simulation {
     tracer: Tracer,
     registry: MetricsRegistry,
     mailbox_depth: GaugeId,
+    /// Span profiler handle; disabled by default. `run_with` clones it into
+    /// the driver loop so per-event spans and the nested phase spans opened
+    /// here land in one shared tree.
+    spans: SpanProfiler,
+    // Hand-off neighbor-scan accounting (always on: two integer adds per
+    // hand-off), surfaced through the metrics registry when enabled.
+    neighbor_scans: u64,
+    neighbors_scanned: u64,
     // Latest checkpoint index per host and their minimum, for emitting
     // recovery-line-advance trace events.
     ckpt_line: Vec<u64>,
@@ -304,6 +340,9 @@ impl Simulation {
             tracer: Tracer::disabled(),
             registry: MetricsRegistry::disabled(),
             mailbox_depth: MetricsRegistry::disabled().gauge("mailbox.max_depth"),
+            spans: SpanProfiler::disabled(),
+            neighbor_scans: 0,
+            neighbors_scanned: 0,
             ckpt_line: vec![0; n],
             ckpt_line_min: 0,
             workload_rng: (0..n).map(|i| root.fork(1000 + i as u64)).collect(),
@@ -364,25 +403,50 @@ impl Simulation {
         let horizon = SimTime::new(cfg.horizon);
         let seed = cfg.seed;
         let protocol = cfg.protocol.name().to_string();
-        let profile = instr.profile;
+        let keep_profile = instr.profile;
+        let instrumented = instr.profile || instr.spans || instr.progress;
+        let want_progress = instr.progress;
         let (mut sim, mut sched) = Simulation::new(cfg);
         sim.attach(instr);
-        if profile {
-            let (out, prof) = run_until_profiled(&mut sim, &mut sched, horizon);
-            sim.into_report(protocol, seed, out, Some(prof))
+        if instrumented {
+            // One loop serves profile, spans and progress; every observer
+            // is a pure overlay, so the trajectory matches `run_until`.
+            let spans = sim.spans.clone();
+            let mut progress = want_progress.then(|| Progress::new("mck: progress"));
+            let (out, prof) = run_until_spanned(
+                &mut sim,
+                &mut sched,
+                horizon,
+                &spans,
+                Ev::span_name,
+                progress.as_mut(),
+            );
+            // The wall-clock profile is reported only when asked for:
+            // `--progress` alone must leave the report (and any artifact
+            // built from it) untouched.
+            sim.into_report(protocol, seed, out, keep_profile.then_some(prof))
         } else {
             let out = run_until(&mut sim, &mut sched, horizon);
             sim.into_report(protocol, seed, out, None)
         }
     }
 
-    /// Installs the trace stream and metrics registry (call before running).
+    /// Installs the trace stream, metrics registry and span profiler (call
+    /// before running).
     pub fn attach(&mut self, instr: Instrumentation) {
         self.tracer = instr.tracer;
         if instr.metrics {
             self.registry = MetricsRegistry::new();
             self.mailbox_depth = self.registry.gauge("mailbox.max_depth");
         }
+        if instr.spans {
+            self.spans = SpanProfiler::enabled();
+        }
+    }
+
+    /// The span profiler handle (cheap clone; disabled unless attached).
+    pub fn spans(&self) -> SpanProfiler {
+        self.spans.clone()
     }
 
     fn into_report(
@@ -411,6 +475,7 @@ impl Simulation {
         let channel_queueing_delay = self.channels.total_queueing_delay();
         self.finalize_metrics(&out, channel_utilization, channel_queueing_delay);
         let metrics = self.registry.snapshot();
+        let spans = self.spans.is_enabled().then(|| self.spans.snapshot());
         let tracer = std::mem::take(&mut self.tracer);
         let trace_emitted = tracer.emitted();
         let (trace_events, _jsonl) = tracer.finish();
@@ -439,6 +504,7 @@ impl Simulation {
             log: self.log,
             metrics,
             profile,
+            spans,
             trace_events,
             trace_emitted,
         }
@@ -451,7 +517,7 @@ impl Simulation {
         if !self.registry.is_enabled() {
             return;
         }
-        let counters: [(&str, u64); 24] = [
+        let counters: [(&str, u64); 28] = [
             ("ckpt.cell_switch", self.ckpts.cell_switch),
             ("ckpt.disconnect", self.ckpts.disconnect),
             ("ckpt.forced", self.ckpts.forced),
@@ -476,6 +542,10 @@ impl Simulation {
             ("net.ckpt_fetch_bytes", self.metrics.ckpt_fetch_bytes),
             ("net.ckpt_fetches", self.metrics.ckpt_fetches),
             ("net.searches", self.metrics.searches),
+            ("mailbox.enqueued", self.mailboxes.enqueued()),
+            ("mailbox.forwarded", self.mailboxes.forwarded_msgs()),
+            ("topo.neighbor_scans", self.neighbor_scans),
+            ("topo.neighbors_scanned", self.neighbors_scanned),
         ];
         for (name, value) in counters {
             let id = self.registry.counter(name);
@@ -523,10 +593,12 @@ impl Simulation {
                 self.registry.set(id, value);
             }
         }
-        let gauges: [(&str, f64); 3] = [
+        let gauges: [(&str, f64); 4] = [
             ("run.end_time", out.end_time.as_f64()),
             ("channel.mean_utilization", channel_util),
             ("channel.total_queueing_delay", channel_queueing),
+            // Undrained inbound messages at the horizon, deepest queue.
+            ("mailbox.pending_at_end", self.mailboxes.max_pending() as f64),
         ];
         for (name, value) in gauges {
             let id = self.registry.gauge(name);
@@ -587,6 +659,10 @@ impl Simulation {
         kind: CkptKind,
         replaces: bool,
     ) {
+        // Span covers the whole checkpoint phase: counting, trace, the
+        // stable-storage transfer and the log GC below; nested `log.*`
+        // spans break out the logging share.
+        let ckpt_span = self.spans.scope("checkpoint");
         match kind {
             CkptKind::CellSwitch => self.ckpts.cell_switch += 1,
             CkptKind::Disconnect => self.ckpts.disconnect += 1,
@@ -615,6 +691,7 @@ impl Simulation {
         }
         let mss = self.attach.attachment(mh).responsible_mss();
         let transfer = self.store.checkpoint(mh, mss, now.as_f64());
+        ckpt_span.add_bytes(transfer.wireless_bytes);
         // Shipping the checkpoint increment occupies the cell channel.
         self.channels.admit(mss, transfer.wireless_bytes, now.as_f64());
         self.metrics.ckpt_wireless_bytes += transfer.wireless_bytes;
@@ -635,8 +712,10 @@ impl Simulation {
         // checkpoint), so reclaim the stable ones and drop still-buffered
         // ones outright — the optimistic mode's avoided writes.
         if let Some(log) = &mut self.msg_log {
+            let gc_span = self.spans.scope("log.gc");
             let (entries, bytes) = log.gc_before(ProcId(mh.idx()), now.as_f64());
             if entries > 0 {
+                gc_span.add_bytes(bytes);
                 self.log_store
                     .as_mut()
                     .expect("log stores are created together")
@@ -658,9 +737,11 @@ impl Simulation {
             return;
         }
         let Some(log) = &mut self.msg_log else { return };
+        let settle_span = self.spans.scope("log.settle");
         let p = ProcId(mh.idx());
         let (entries, bytes) = if force { log.flush(p) } else { log.settle(p, now.as_f64()) };
         if entries > 0 {
+            settle_span.add_bytes(bytes);
             let mss = self.attach.attachment(mh).responsible_mss();
             self.log_store
                 .as_mut()
@@ -780,8 +861,10 @@ impl Simulation {
                 &empty_log
             }
         };
+        let plan_span = self.spans.scope("recovery.plan");
         let f = self.fault.as_mut().expect("execute_crash runs only with failures enabled");
         let outcome = faultsim::plan_recovery(&trace, log, &situations, now.as_f64(), &f.params);
+        drop(plan_span);
         f.stats.unstable_lost += unstable;
         f.stats.record(&outcome);
         for h in &outcome.per_host {
@@ -875,6 +958,11 @@ impl Simulation {
                 .attach
                 .cell_of(mh)
                 .expect("mobility fires only while connected");
+            // Picking the hand-off target scans the current cell's
+            // adjacency row; the per-scan degree is the O(deg) work a
+            // larger topology pays per hand-off.
+            self.neighbor_scans += 1;
+            self.neighbors_scanned += self.graph.neighbors(cur).len() as u64;
             let new_cell = MssId(self.mobility.handoff_target(
                 mh.idx(),
                 cur.idx(),
@@ -999,12 +1087,23 @@ impl Simulation {
     fn do_send(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, mh: MhId) {
         let i = mh.idx();
         let dest = MhId(self.traffic.destination(i, &mut self.workload_rng[i]));
-        let pb = match self.cfg.protocol {
-            ProtocolChoice::Cic(_) => self.protos[i].on_send(dest.idx()),
-            ProtocolChoice::ChandyLamport { .. } => Piggyback::None,
-            ProtocolChoice::PrakashSinghal { .. } | ProtocolChoice::KooToueg { .. } => {
-                self.coord.ps_piggyback(mh)
-            }
+        // Building the piggyback is the per-send protocol cost the paper's
+        // scalability argument is about (TP's O(n) vectors vs. one index):
+        // span it, attributing the modelled wire bytes.
+        let pb = {
+            let _enc_span = self.spans.scope("piggyback.encode");
+            let pb = match self.cfg.protocol {
+                ProtocolChoice::Cic(_) => self.protos[i].on_send(dest.idx()),
+                ProtocolChoice::ChandyLamport { .. } => Piggyback::None,
+                ProtocolChoice::PrakashSinghal { .. } | ProtocolChoice::KooToueg { .. } => {
+                    self.coord.ps_piggyback(mh)
+                }
+            };
+            // Attribute the wire bytes to a child named after the control-
+            // information shape (index vs. vectors ...), the axis the
+            // paper's scalability argument varies.
+            self.spans.scope(pb.kind_name()).add_bytes(pb.wire_bytes() as u64);
+            pb
         };
         self.next_packet += 1;
         let packet = PacketId(self.next_packet);
@@ -1094,7 +1193,16 @@ impl Simulation {
             let mut forced = false;
             match self.cfg.protocol {
                 ProtocolChoice::Cic(_) => {
-                    let out = self.protos[mh.idx()].on_receive(q.from.idx(), &q.payload.pb);
+                    // Decoding the piggyback (dependency-vector merge, index
+                    // comparison) is the per-receive protocol cost; the
+                    // forced checkpoint it may trigger is spanned separately
+                    // inside `take_checkpoint`.
+                    let out = {
+                        let _dec_span = self.spans.scope("piggyback.decode");
+                        let kind_span = self.spans.scope(q.payload.pb.kind_name());
+                        kind_span.add_bytes(q.payload.pb.wire_bytes() as u64);
+                        self.protos[mh.idx()].on_receive(q.from.idx(), &q.payload.pb)
+                    };
                     if let Some(index) = out.forced {
                         // Forced checkpoint precedes delivery.
                         self.take_checkpoint(now, mh, index, CkptKind::Forced, false);
@@ -1112,7 +1220,9 @@ impl Simulation {
             // checkpoint's GC (strictly earlier entries only) cannot
             // reclaim the fresh entry.
             if let Some(log) = &mut self.msg_log {
+                let append_span = self.spans.scope("log.append");
                 let entry_bytes = bytes + LOG_ENTRY_HEADER_BYTES;
+                append_span.add_bytes(entry_bytes);
                 if self.cfg.logging.is_optimistic() {
                     log.append_pending(
                         ProcId(mh.idx()),

@@ -92,6 +92,12 @@ impl<P> Mailboxes<P> {
     pub fn enqueued(&self) -> u64 {
         self.enqueued
     }
+
+    /// Deepest inbound queue right now, across all hosts — the queue-depth
+    /// gauge the metrics registry samples at end of run.
+    pub fn max_pending(&self) -> usize {
+        self.boxes.iter().map(|(_, q)| q.len()).max().unwrap_or(0)
+    }
 }
 
 /// Receiver-side duplicate suppression for the at-least-once transport.
@@ -182,6 +188,9 @@ mod tests {
         mb.enqueue(MhId(1), q(5, 0));
         assert_eq!(mb.pending(MhId(0)), 0);
         assert_eq!(mb.pending(MhId(1)), 1);
+        assert_eq!(mb.max_pending(), 1);
+        mb.pop(MhId(1));
+        assert_eq!(mb.max_pending(), 0);
     }
 
     #[test]

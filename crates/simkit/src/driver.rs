@@ -6,7 +6,10 @@
 //! event set drains. Models can also stop early by returning
 //! [`Control::Stop`].
 
+use std::time::Instant;
+
 use crate::event::{Fired, Scheduler};
+use crate::span::SpanProfiler;
 use crate::stats::{LogHistogram, Tally};
 use crate::time::SimTime;
 
@@ -175,6 +178,140 @@ pub fn run_until_profiled<M: Model>(
     (outcome, profile)
 }
 
+/// Throttled live progress reporting to stderr.
+///
+/// Purely observational: it reads the loop's counters and clocks and writes
+/// to stderr, so enabling it cannot perturb the simulation, its RNG, or any
+/// artifact byte. Reports are throttled twice over — an event-count mask
+/// keeps the hot path to integer ops, and a one-second wall-clock gate keeps
+/// the terminal readable on slow and fast runs alike.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    started: Instant,
+    last_report: Instant,
+}
+
+impl Progress {
+    /// Events between throttle checks (a power of two minus one, used as a
+    /// mask).
+    const EVENT_MASK: u64 = 0xFFF;
+
+    /// Creates a reporter; `label` prefixes every line.
+    pub fn new(label: &str) -> Self {
+        let now = Instant::now();
+        Progress {
+            label: label.to_string(),
+            started: now,
+            last_report: now,
+        }
+    }
+
+    /// Reports if enough events and wall time have passed; the driver calls
+    /// this once per dispatched event with an `Instant` it already read.
+    pub fn maybe_report(&mut self, events: u64, now_sim: SimTime, at: Instant) {
+        if events & Self::EVENT_MASK != 0 {
+            return;
+        }
+        if at.duration_since(self.last_report).as_secs_f64() < 1.0 {
+            return;
+        }
+        self.last_report = at;
+        self.report(events, now_sim, at);
+    }
+
+    /// Writes one final summary line unconditionally.
+    pub fn finish(&self, events: u64, now_sim: SimTime) {
+        self.report(events, now_sim, Instant::now());
+    }
+
+    fn report(&self, events: u64, now_sim: SimTime, at: Instant) {
+        let secs = at.duration_since(self.started).as_secs_f64();
+        let rate = if secs > 0.0 { events as f64 / secs } else { 0.0 };
+        eprintln!(
+            "{}: {events} events, t={:.1}, {rate:.0} events/sec",
+            self.label,
+            now_sim.as_f64()
+        );
+    }
+}
+
+/// [`run_until`] with span attribution, wall-clock profiling, and optional
+/// live progress.
+///
+/// Identical simulation semantics to [`run_until`] — same pop order, same
+/// horizon rule, same stop handling. On top it:
+///
+/// * opens one span per dispatched event, named by `classify(&event)`, on
+///   `spans` (nested spans opened by the model during handling attach
+///   beneath it — share the profiler with the model by cloning the handle);
+/// * chains the spans gap-free: the `Instant` that closes event *n* opens
+///   event *n*+1, so per-event-type span totals tile the loop's wall time
+///   (whole-run coverage is within one scheduler peek of 100%);
+/// * records an [`EngineProfile`] (here `dispatch_ns` covers the full
+///   per-event loop slice: peek + pop + handle);
+/// * drives the optional [`Progress`] reporter off clocks it already read.
+///
+/// With a disabled profiler and no progress reporter this degenerates to
+/// [`run_until_profiled`]'s cost: two `Instant` reads per event.
+pub fn run_until_spanned<M: Model>(
+    model: &mut M,
+    sched: &mut Scheduler<M::Event>,
+    horizon: SimTime,
+    spans: &SpanProfiler,
+    classify: fn(&M::Event) -> &'static str,
+    mut progress: Option<&mut Progress>,
+) -> (RunOutcome, EngineProfile) {
+    let mut profile = EngineProfile::new();
+    let started = Instant::now();
+    let mut mark = started;
+    let mut handled = 0;
+    let outcome = loop {
+        match sched.peek_time() {
+            None => {
+                break RunOutcome {
+                    events_handled: handled,
+                    end_time: sched.now(),
+                    hit_horizon: false,
+                }
+            }
+            Some(t) if t >= horizon => {
+                break RunOutcome {
+                    events_handled: handled,
+                    end_time: sched.now(),
+                    hit_horizon: true,
+                }
+            }
+            Some(_) => {}
+        }
+        profile.queue_depth.record(sched.len() as f64);
+        let fired = sched.pop().expect("peeked event exists");
+        handled += 1;
+        let tok = spans.enter_at(classify(&fired.event), mark);
+        let control = model.handle(sched, fired);
+        let now = Instant::now();
+        spans.exit_at(tok, now);
+        profile.dispatch_ns.record(now.duration_since(mark).as_nanos() as f64);
+        if let Some(p) = progress.as_deref_mut() {
+            p.maybe_report(handled, sched.now(), now);
+        }
+        mark = now;
+        if control == Control::Stop {
+            break RunOutcome {
+                events_handled: handled,
+                end_time: sched.now(),
+                hit_horizon: false,
+            };
+        }
+    };
+    profile.events_handled = handled;
+    profile.wall_ns = started.elapsed().as_nanos() as u64;
+    if let Some(p) = progress {
+        p.finish(handled, outcome.end_time);
+    }
+    (outcome, profile)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +409,62 @@ mod tests {
         assert_eq!(profile.dispatch_ns.count(), plain.events_handled);
         assert_eq!(profile.queue_depth.count(), plain.events_handled);
         assert!(profile.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn spanned_run_matches_plain_run_and_tiles_wall_time() {
+        let mk = || Chain {
+            remaining: 200,
+            stop_at: None,
+            seen: vec![],
+        };
+        let mut m1 = mk();
+        let mut s1 = Scheduler::new();
+        s1.schedule_at(SimTime::ZERO, ());
+        let plain = run_until(&mut m1, &mut s1, SimTime::new(150.5));
+
+        let spans = SpanProfiler::enabled();
+        let mut m2 = mk();
+        let mut s2 = Scheduler::new();
+        s2.schedule_at(SimTime::ZERO, ());
+        let (spanned, profile) =
+            run_until_spanned(&mut m2, &mut s2, SimTime::new(150.5), &spans, |_| "tick", None);
+
+        assert_eq!(plain, spanned);
+        assert_eq!(m1.seen, m2.seen);
+        assert_eq!(profile.events_handled, plain.events_handled);
+        assert_eq!(profile.dispatch_ns.count(), plain.events_handled);
+
+        let snap = spans.snapshot();
+        assert_eq!(snap.row("tick").unwrap().count, plain.events_handled);
+        // Gap-free chaining: the per-event spans cover (almost) the whole
+        // loop. Allow generous slack for the final peek and clock noise.
+        assert!(
+            snap.top_level_wall_ns() as f64 >= 0.5 * profile.wall_ns as f64
+                || profile.wall_ns < 10_000
+        );
+    }
+
+    #[test]
+    fn disabled_spans_and_no_progress_change_nothing() {
+        let mk = || Chain {
+            remaining: 30,
+            stop_at: None,
+            seen: vec![],
+        };
+        let mut m1 = mk();
+        let mut s1 = Scheduler::new();
+        s1.schedule_at(SimTime::ZERO, ());
+        let plain = run_until(&mut m1, &mut s1, SimTime::new(20.5));
+
+        let spans = SpanProfiler::disabled();
+        let mut m2 = mk();
+        let mut s2 = Scheduler::new();
+        s2.schedule_at(SimTime::ZERO, ());
+        let (spanned, _) =
+            run_until_spanned(&mut m2, &mut s2, SimTime::new(20.5), &spans, |_| "tick", None);
+        assert_eq!(plain, spanned);
+        assert!(spans.snapshot().is_empty());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`log`] — a bounded, taggable event log for post-mortem debugging;
 //! * [`metrics`] — a named counter/gauge/histogram registry, near-zero
 //!   cost when disabled, snapshotable to JSON;
+//! * [`span`] — a hierarchical span profiler attributing wall-clock time,
+//!   counts, and bytes to per-event-type and per-phase spans, with
+//!   deterministic (host-independent) aggregation kept apart from timing;
 //! * [`trace`] — a typed, deterministic event stream with pluggable sinks
 //!   (bounded memory ring, JSON Lines);
 //! * [`json`] — a dependency-free JSON value type, writer, and parser with
@@ -70,6 +73,7 @@ pub mod log;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -78,7 +82,8 @@ pub mod trace;
 pub mod prelude {
     pub use crate::calendar::CalendarQueue;
     pub use crate::driver::{
-        run_until, run_until_profiled, Control, EngineProfile, Model, RunOutcome,
+        run_until, run_until_profiled, run_until_spanned, Control, EngineProfile, Model,
+        Progress, RunOutcome,
     };
     pub use crate::event::{EventHandle, Fired, QueueBackend, Scheduler};
     pub use crate::json::Json;
@@ -86,6 +91,7 @@ pub mod prelude {
     pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use crate::pool::{Job, JobPanic, JobPool};
     pub use crate::rng::SimRng;
+    pub use crate::span::{SpanProfiler, SpanRow, SpanScope, SpanSnapshot, SpanToken};
     pub use crate::stats::{BatchMeans, Counter, Estimate, LogHistogram, Tally, TimeWeighted};
     pub use crate::time::SimTime;
     pub use crate::trace::{

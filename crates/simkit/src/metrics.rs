@@ -303,6 +303,39 @@ impl MetricsSnapshot {
         ])
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters become `counter` families, gauges `gauge` families, and each
+    /// histogram contributes a `_count` plus quantile gauges (`quantile`
+    /// label, matching summary conventions). Metric names are sanitized to
+    /// the Prometheus charset: every character outside `[a-zA-Z0-9_:]` maps
+    /// to `_` (so `ckpt.total` exports as `ckpt_total`). This is the
+    /// telemetry surface a future `mck serve` endpoint would expose.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for h in &self.histograms {
+            let n = sanitize(&h.name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            out.push_str(&format!("{n}{{quantile=\"0.5\"}} {}\n", h.p50));
+            out.push_str(&format!("{n}{{quantile=\"0.99\"}} {}\n", h.p99));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out
+    }
+
     /// Rebuilds a snapshot from its [`MetricsSnapshot::to_json`] form.
     pub fn from_json(v: &Json) -> Option<MetricsSnapshot> {
         let counters = v
@@ -438,6 +471,28 @@ mod tests {
         let snap = r.snapshot();
         let per_mh: Vec<_> = snap.counters_with_prefix("mh.").collect();
         assert_eq!(per_mh, vec![("mh.0.ckpts", 3), ("mh.1.ckpts", 5)]);
+    }
+
+    #[test]
+    fn prometheus_exposition_sanitizes_and_types() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("ckpt.total");
+        r.add(c, 12);
+        let g = r.gauge("mailbox.max_depth");
+        r.set(g, 3.0);
+        let h = r.histogram("dispatch.ns", 16.0, 2.0, 8);
+        r.observe(h, 40.0);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ckpt_total counter\nckpt_total 12\n"));
+        assert!(text.contains("# TYPE mailbox_max_depth gauge\nmailbox_max_depth 3\n"));
+        assert!(text.contains("# TYPE dispatch_ns summary\n"));
+        assert!(text.contains("dispatch_ns{quantile=\"0.5\"} 64\n"));
+        assert!(text.contains("dispatch_ns_count 1\n"));
+        // No unsanitized dots survive in metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized name: {name}");
+        }
     }
 
     #[test]

@@ -567,6 +567,55 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LogHistogram::new(16.0, 2.0, 32);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LogHistogram::new(1.0, 2.0, 8);
+        h.record(3.0);
+        // One sample lands in the (2, 4] bin; every quantile reports its
+        // upper edge, p50 and p99 included.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 4.0, "q={q}");
+        }
+        // A single underflow sample reports the first edge instead.
+        let mut u = LogHistogram::new(16.0, 2.0, 4);
+        u.record(0.5);
+        assert_eq!(u.quantile(0.5), 16.0);
+        assert_eq!(u.quantile(0.99), 16.0);
+    }
+
+    #[test]
+    fn saturating_samples_pin_quantiles_to_max_edge() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        // Everything overflows into the clamped last bin (edge 8.0): the
+        // quantiles must saturate there rather than invent larger edges.
+        for _ in 0..100 {
+            h.record(1e12);
+        }
+        assert_eq!(h.quantile(0.5), 8.0);
+        assert_eq!(h.quantile(0.99), 8.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn quantile_zero_returns_first_edge() {
+        let mut h = LogHistogram::new(1.0, 2.0, 8);
+        h.record(1.5);
+        h.record(100.0);
+        // q=0 asks for "at least 0 samples", which the very first bin
+        // satisfies even when empty: the histogram's floor is its first edge.
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
     fn estimate_from_samples() {
         let e = Estimate::from_samples(&[10.0, 12.0, 11.0, 9.0, 13.0]);
         assert_eq!(e.n, 5);

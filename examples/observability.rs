@@ -6,9 +6,11 @@
 //!
 //! Runs QBC once in the Fig. 2 environment (P_switch = 0.8, H = 0 %) with
 //! every observability layer switched on: the structured trace stream goes
-//! to a JSONL file, the metrics registry collects named counters, and the
-//! engine profile times the hot loop. Afterwards it prints a per-mobile-host
-//! checkpoint/energy table straight from the registry — no ad-hoc counters.
+//! to a JSONL file, the metrics registry collects named counters, the
+//! engine profile times the hot loop, and the span profiler attributes that
+//! time (and wire bytes) to event types and protocol phases. Afterwards it
+//! prints a per-mobile-host checkpoint/energy table straight from the
+//! registry — no ad-hoc counters — and the span tree.
 
 use mck::prelude::*;
 use mck::table::Table;
@@ -24,6 +26,8 @@ fn main() {
         tracer: Tracer::disabled().with_jsonl(sink),
         metrics: true,
         profile: true,
+        spans: true,
+        ..Instrumentation::off()
     };
 
     println!("Observability demo: QBC, Fig. 2 environment (P_switch=0.8, H=0%)");
@@ -65,6 +69,12 @@ fn main() {
             p.events_per_sec(),
             p.dispatch_ns.quantile(0.5),
         );
+    }
+    if let Some(spans) = &r.spans {
+        println!("\nSpan attribution (path: count, bytes):");
+        for row in &spans.rows {
+            println!("  {}: {} calls, {} bytes", row.path, row.count, row.bytes);
+        }
     }
     println!("\nEach JSONL line is one typed event, e.g.:");
     let text = std::fs::read_to_string(&trace_path).expect("read trace back");

@@ -19,123 +19,165 @@ cargo test -p relog -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+mck="$PWD/target/release/mck"
+figures="$PWD/target/release/figures"
+
 echo "==> smoke: mck run --metrics"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
-./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+"$mck" run --protocol qbc --horizon 1000 --t-switch 200 \
     --metrics "$out_dir/run.json" --trace "$out_dir/trace.jsonl" >/dev/null
-
 # The artifact must parse and validate (mck inspect does both).
-./target/release/mck inspect "$out_dir/run.json" | grep -q "mck.run/v1"
+"$mck" inspect "$out_dir/run.json" | grep -q "mck.run/v1"
 # The trace stream must be non-empty JSONL.
 [ -s "$out_dir/trace.jsonl" ]
 
 echo "==> smoke: determinism across --jobs and --queue"
-./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+"$mck" run --protocol qbc --horizon 1000 --t-switch 200 \
     --jobs 1 > "$out_dir/seq.txt"
-./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
+"$mck" run --protocol qbc --horizon 1000 --t-switch 200 \
     --jobs 4 --queue calendar > "$out_dir/par.txt"
 diff -q "$out_dir/seq.txt" "$out_dir/par.txt"
+
+# Observation-only overlays: --profile/--progress (and --metrics) must not
+# change one byte of stdout or of the mck.run/v1 artifact. Run artifacts
+# carry no wall-clock members (timing goes to stderr and to mck.profile/v1),
+# so the comparison is a plain byte diff — no field stripping.
+echo "==> smoke: profile/progress overlay parity"
+mkdir -p "$out_dir/ov_plain" "$out_dir/ov_prof"
+(cd "$out_dir/ov_plain" && "$mck" run --protocol qbc --horizon 1000 \
+    --t-switch 200 --metrics run.json > stdout.txt)
+(cd "$out_dir/ov_prof" && "$mck" run --protocol qbc --horizon 1000 \
+    --t-switch 200 --metrics run.json --profile --progress \
+    > stdout.txt 2>/dev/null)
+diff -q "$out_dir/ov_plain/run.json" "$out_dir/ov_prof/run.json"
+diff -q "$out_dir/ov_plain/stdout.txt" "$out_dir/ov_prof/stdout.txt"
+
+# mck profile: the span-attribution artifact validates, its folded-stack
+# and Prometheus renditions are non-empty, and its deterministic view
+# (everything outside `timing` members) is byte-stable across runs.
+echo "==> smoke: mck profile determinism (inspect --deterministic)"
+mkdir -p "$out_dir/prof1" "$out_dir/prof2"
+"$mck" profile --protocol qbc --horizon 1000 --t-switch 200 \
+    --out "$out_dir/prof1/PROFILE.json" --folded "$out_dir/prof1/out.folded" \
+    --prom "$out_dir/prof1/out.prom" >/dev/null 2>&1
+"$mck" profile --protocol qbc --horizon 1000 --t-switch 200 \
+    --out "$out_dir/prof2/PROFILE.json" >/dev/null 2>&1
+"$mck" inspect "$out_dir/prof1/PROFILE.json" | grep -q "mck.profile/v1"
+[ -s "$out_dir/prof1/out.folded" ]
+grep -q "# TYPE" "$out_dir/prof1/out.prom"
+"$mck" inspect --deterministic "$out_dir/prof1/PROFILE.json" > "$out_dir/prof1/det.json"
+"$mck" inspect --deterministic "$out_dir/prof2/PROFILE.json" > "$out_dir/prof2/det.json"
+diff -q "$out_dir/prof1/det.json" "$out_dir/prof2/det.json"
 
 # Pessimistic logging must be deterministic: two runs of the same seed
 # emit byte-identical mck.rollback_logging/v1 artifacts, and logging must
 # not perturb the trajectory (the report rows match the logging-off run).
 echo "==> smoke: logging determinism (--logging pessimistic)"
 mkdir -p "$out_dir/log1" "$out_dir/log2"
-./target/release/mck rollback --reps 1 --seed 7 --logging pessimistic \
+"$mck" rollback --reps 1 --seed 7 --logging pessimistic \
     --out-dir "$out_dir/log1" >/dev/null
-./target/release/mck rollback --reps 1 --seed 7 --logging pessimistic \
+"$mck" rollback --reps 1 --seed 7 --logging pessimistic \
     --out-dir "$out_dir/log2" >/dev/null
 diff -q "$out_dir/log1/ROLLBACK_LOGGING.json" "$out_dir/log2/ROLLBACK_LOGGING.json"
-./target/release/mck inspect "$out_dir/log1/ROLLBACK_LOGGING.json" \
+"$mck" inspect "$out_dir/log1/ROLLBACK_LOGGING.json" \
     | grep -q "mck.rollback_logging/v1"
 
 # Scenario smoke: bundled scenario files must load, run deterministically
 # (two runs of the same seed produce byte-identical artifacts and traces),
 # and inspect as mck.scenario/v1 documents.
 echo "==> smoke: scenario determinism (scenarios/markov_grid.json)"
-./target/release/mck inspect scenarios/markov_grid.json | grep -q "mck.scenario/v1"
+"$mck" inspect scenarios/markov_grid.json | grep -q "mck.scenario/v1"
 mkdir -p "$out_dir/sc1" "$out_dir/sc2"
-./target/release/mck run --scenario scenarios/markov_grid.json \
+"$mck" run --scenario scenarios/markov_grid.json \
     --horizon 1000 --t-switch 200 \
     --metrics "$out_dir/sc1/run.json" --trace "$out_dir/sc1/trace.jsonl" >/dev/null
-./target/release/mck run --scenario scenarios/markov_grid.json \
+"$mck" run --scenario scenarios/markov_grid.json \
     --horizon 1000 --t-switch 200 \
     --metrics "$out_dir/sc2/run.json" --trace "$out_dir/sc2/trace.jsonl" >/dev/null
-# The run artifact embeds host wall-clock timing (wall_ns, events_per_sec,
-# dispatch-latency quantiles); strip those before comparing — everything
-# else must match byte-for-byte.
-strip_timing() { grep -vE '"(wall_ns|events_per_sec|dispatch_p50_ns|dispatch_p99_ns)"' "$1"; }
-diff <(strip_timing "$out_dir/sc1/run.json") <(strip_timing "$out_dir/sc2/run.json")
+diff -q "$out_dir/sc1/run.json" "$out_dir/sc2/run.json"
 diff -q "$out_dir/sc1/trace.jsonl" "$out_dir/sc2/trace.jsonl"
 
 # Figures parity: the paper scenario spells the default environment out
 # explicitly, so applying it must not change a single byte of any output —
-# neither a raw run nor the seed figure numbers.
+# neither a raw run nor the seed figure numbers. The runs execute inside
+# their own directories with identical relative --metrics paths so stdout
+# (which echoes the path) is byte-comparable with a plain diff.
 echo "==> smoke: paper-scenario parity (run + fig 1)"
-./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
-    --metrics "$out_dir/plain_run.json" > "$out_dir/plain_run.txt"
-./target/release/mck run --protocol qbc --horizon 1000 --t-switch 200 \
-    --scenario scenarios/paper.json \
-    --metrics "$out_dir/paper_run.json" > "$out_dir/paper_run.txt"
-# Stdout echoes the (different) metrics paths and wall-clock profile rows
-# (wall time, events/sec, dispatch quantiles); ignore those, compare
-# everything else byte-for-byte.
-profile_rows='artifact ->|events/sec|wall time|dispatch p50|queue depth'
-diff <(grep -vE "$profile_rows" "$out_dir/plain_run.txt") \
-     <(grep -vE "$profile_rows" "$out_dir/paper_run.txt")
-diff <(strip_timing "$out_dir/plain_run.json") <(strip_timing "$out_dir/paper_run.json")
+mkdir -p "$out_dir/pp_plain" "$out_dir/pp_paper"
+(cd "$out_dir/pp_plain" && "$mck" run --protocol qbc --horizon 1000 \
+    --t-switch 200 --metrics run.json > stdout.txt)
+(cd "$out_dir/pp_paper" && "$mck" run --protocol qbc --horizon 1000 \
+    --t-switch 200 --scenario "$OLDPWD/scenarios/paper.json" \
+    --metrics run.json > stdout.txt)
+diff -q "$out_dir/pp_plain/stdout.txt" "$out_dir/pp_paper/stdout.txt"
+diff -q "$out_dir/pp_plain/run.json" "$out_dir/pp_paper/run.json"
 mkdir -p "$out_dir/fig_plain" "$out_dir/fig_paper"
-./target/release/mck fig 1 --reps 1 --out-dir "$out_dir/fig_plain" >/dev/null
-./target/release/mck fig 1 --reps 1 --scenario scenarios/paper.json \
+"$mck" fig 1 --reps 1 --out-dir "$out_dir/fig_plain" >/dev/null
+"$mck" fig 1 --reps 1 --scenario scenarios/paper.json \
     --out-dir "$out_dir/fig_paper" >/dev/null
 diff -q "$out_dir/fig_plain/FIG1.json" "$out_dir/fig_paper/FIG1.json"
 
 # The non-paper bundled scenarios run end-to-end through the figures
 # binary and emit valid mck.sweep/v1 artifacts.
 echo "==> smoke: figures scenario sweeps (markov_grid + hotspot)"
-./target/release/figures scenario scenarios/markov_grid.json scenarios/hotspot.json \
+"$figures" scenario scenarios/markov_grid.json scenarios/hotspot.json \
     --reps 1 --out-dir "$out_dir" >/dev/null
 for f in SWEEP_markov_grid_TP SWEEP_markov_grid_BCS SWEEP_markov_grid_QBC \
          SWEEP_hotspot_TP SWEEP_hotspot_BCS SWEEP_hotspot_QBC; do
-    ./target/release/mck inspect "$out_dir/$f.json" | grep -q "mck.sweep/v1"
+    "$mck" inspect "$out_dir/$f.json" | grep -q "mck.sweep/v1"
 done
 
 # Log-size figures (ROADMAP item): the sweep emits a valid
 # mck.log_size/v1 artifact.
 echo "==> smoke: figures log-size"
-./target/release/figures log-size --reps 1 --out-dir "$out_dir" >/dev/null
-./target/release/mck inspect "$out_dir/BENCH_log_size.json" | grep -q "mck.log_size/v1"
+"$figures" log-size --reps 1 --out-dir "$out_dir" >/dev/null
+"$mck" inspect "$out_dir/BENCH_log_size.json" | grep -q "mck.log_size/v1"
+
+# Scale telemetry: a mini population sweep emits a valid
+# mck.bench_scale/v1 artifact whose deterministic view is seed-stable.
+echo "==> smoke: figures scale mini-sweep"
+mkdir -p "$out_dir/scale1" "$out_dir/scale2"
+"$figures" scale --n-list 10,20 --horizon 300 \
+    --out-dir "$out_dir/scale1" >/dev/null 2>&1
+"$figures" scale --n-list 10,20 --horizon 300 \
+    --out-dir "$out_dir/scale2" >/dev/null 2>&1
+"$mck" inspect "$out_dir/scale1/BENCH_scale.json" | grep -q "mck.bench_scale/v1"
+"$mck" inspect --deterministic "$out_dir/scale1/BENCH_scale.json" \
+    > "$out_dir/scale1/det.json"
+"$mck" inspect --deterministic "$out_dir/scale2/BENCH_scale.json" \
+    > "$out_dir/scale2/det.json"
+diff -q "$out_dir/scale1/det.json" "$out_dir/scale2/det.json"
 
 # Failure injection must be a pure function of the seed: two runs of the
 # same seed produce byte-identical reports, crash times and all. The
 # flaky_commuters scenario exercises the Markov mobility + failure path.
 echo "==> smoke: failure-injection determinism (mck crash + scenario)"
-./target/release/mck run --protocol tp --horizon 2000 --t-switch 200 \
+"$mck" run --protocol tp --horizon 2000 --t-switch 200 \
     --logging optimistic --flush-latency 5 --fail-mtbf 300 > "$out_dir/crash1.txt"
-./target/release/mck run --protocol tp --horizon 2000 --t-switch 200 \
+"$mck" run --protocol tp --horizon 2000 --t-switch 200 \
     --logging optimistic --flush-latency 5 --fail-mtbf 300 > "$out_dir/crash2.txt"
 diff -q "$out_dir/crash1.txt" "$out_dir/crash2.txt"
 grep -q "crashes" "$out_dir/crash1.txt"
-./target/release/mck inspect scenarios/flaky_commuters.json | grep -q "mck.scenario/v1"
-./target/release/mck run --scenario scenarios/flaky_commuters.json \
+"$mck" inspect scenarios/flaky_commuters.json | grep -q "mck.scenario/v1"
+"$mck" run --scenario scenarios/flaky_commuters.json \
     --horizon 2000 > "$out_dir/flaky1.txt"
-./target/release/mck run --scenario scenarios/flaky_commuters.json \
+"$mck" run --scenario scenarios/flaky_commuters.json \
     --horizon 2000 > "$out_dir/flaky2.txt"
 diff -q "$out_dir/flaky1.txt" "$out_dir/flaky2.txt"
 mkdir -p "$out_dir/crash_art"
-./target/release/mck crash --reps 1 --t-switch-list 500 \
+"$mck" crash --reps 1 --t-switch-list 500 \
     --out-dir "$out_dir/crash_art" >/dev/null
-./target/release/mck inspect "$out_dir/crash_art/RECOVERY.json" | grep -q "mck.recovery/v1"
+"$mck" inspect "$out_dir/crash_art/RECOVERY.json" | grep -q "mck.recovery/v1"
 
 # Optimistic logging with a zero flush window degenerates exactly to
 # pessimistic logging: identical crashes, undone work, and stable-write
 # totals. Only the peak-occupancy gauge may differ — batched flushes
 # change *when* bytes land on stable storage, not how many.
 echo "==> smoke: optimistic/pessimistic parity at zero flush latency"
-./target/release/mck run --protocol qbc --horizon 2000 --t-switch 200 \
+"$mck" run --protocol qbc --horizon 2000 --t-switch 200 \
     --logging pessimistic --fail-mtbf 400 > "$out_dir/parity_pess.txt"
-./target/release/mck run --protocol qbc --horizon 2000 --t-switch 200 \
+"$mck" run --protocol qbc --horizon 2000 --t-switch 200 \
     --logging optimistic --flush-latency 0 --fail-mtbf 400 > "$out_dir/parity_opt.txt"
 diff <(grep -v "peak" "$out_dir/parity_pess.txt") \
      <(grep -v "peak" "$out_dir/parity_opt.txt")
@@ -144,11 +186,11 @@ diff <(grep -v "peak" "$out_dir/parity_pess.txt") \
 # executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers
 # are host-dependent, so a failure here warns instead of failing CI.
 echo "==> smoke: figures sweep-bench (non-gating)"
-if ./target/release/figures sweep-bench --reps 1 \
+if "$figures" sweep-bench --reps 1 \
         --json "$out_dir/BENCH_sweep.json" >/dev/null 2>&1 \
-    && ./target/release/mck inspect "$out_dir/BENCH_sweep.json" \
+    && "$mck" inspect "$out_dir/BENCH_sweep.json" \
         | grep -q "mck.bench_sweep/v1"; then
-    ./target/release/mck inspect "$out_dir/BENCH_sweep.json"
+    "$mck" inspect "$out_dir/BENCH_sweep.json"
 else
     echo "warning: sweep-bench smoke failed (non-gating)"
 fi

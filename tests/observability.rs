@@ -25,7 +25,7 @@ fn traced_run(cfg: SimConfig, path: &Path) -> RunReport {
     let instr = Instrumentation {
         tracer: Tracer::disabled().with_jsonl(sink),
         metrics: true,
-        profile: false,
+        ..Instrumentation::off()
     };
     Simulation::run_with(cfg, instr)
 }
@@ -88,8 +88,7 @@ fn checkpoint_trace_events_match_n_tot() {
 fn memory_sink_retains_tail_of_stream() {
     let instr = Instrumentation {
         tracer: Tracer::disabled().with_memory(64),
-        metrics: false,
-        profile: false,
+        ..Instrumentation::off()
     };
     let r = Simulation::run_with(cfg(3), instr);
     let mem = r.trace_events.as_ref().expect("memory sink retained");
@@ -157,7 +156,10 @@ fn run_artifact_round_trips_through_disk() {
         back.get("config").and_then(|cf| cf.get("seed")).and_then(Json::as_u64),
         Some(13)
     );
-    assert!(back.get("profile").is_some(), "profiled run carries a profile");
+    assert!(
+        back.get("profile").is_none(),
+        "run artifacts are fully deterministic; wall-clock data lives in mck.profile/v1"
+    );
     let text = artifact::describe(&back).unwrap();
     assert!(text.contains("QBC"));
 }

@@ -1,0 +1,163 @@
+//! The observability overlay guarantee, end to end: profiling, span
+//! attribution, metrics, and progress reporting observe a run without
+//! perturbing it. Same config + seed must yield byte-identical run
+//! artifacts whatever instrumentation is attached, and the profile
+//! artifact's deterministic view (everything outside `timing` members)
+//! must be byte-stable too.
+
+use mck::artifact;
+use mck::prelude::*;
+use simkit::json::Json;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        protocol: ProtocolChoice::Cic(CicKind::Qbc),
+        t_switch: 200.0,
+        p_switch: 0.8,
+        horizon: 1500.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Pretty-printed `mck.run/v1` bytes for one run under `instr`.
+fn run_bytes(seed: u64, instr: Instrumentation) -> String {
+    let c = cfg(seed);
+    let r = Simulation::run_with(c.clone(), instr);
+    artifact::run_artifact(&c, &r).to_pretty()
+}
+
+#[test]
+fn overlays_change_no_bytes_of_the_run_artifact() {
+    for seed in [1, 7, 42] {
+        let plain = run_bytes(
+            seed,
+            Instrumentation {
+                metrics: true,
+                ..Instrumentation::off()
+            },
+        );
+        let overlaid = run_bytes(
+            seed,
+            Instrumentation {
+                metrics: true,
+                profile: true,
+                spans: true,
+                progress: true,
+                ..Instrumentation::off()
+            },
+        );
+        assert_eq!(
+            plain, overlaid,
+            "seed {seed}: instrumentation overlays must not change artifact bytes"
+        );
+    }
+}
+
+#[test]
+fn overlays_leave_every_deterministic_report_field_unchanged() {
+    let c = cfg(3);
+    let plain = Simulation::run_with(c.clone(), Instrumentation::off());
+    let overlaid = Simulation::run_with(
+        c,
+        Instrumentation {
+            metrics: true,
+            profile: true,
+            spans: true,
+            progress: true,
+            ..Instrumentation::off()
+        },
+    );
+    assert_eq!(plain.n_tot(), overlaid.n_tot());
+    assert_eq!(plain.ckpts, overlaid.ckpts);
+    assert_eq!(plain.msgs_sent, overlaid.msgs_sent);
+    assert_eq!(plain.msgs_delivered, overlaid.msgs_delivered);
+    assert_eq!(plain.events, overlaid.events);
+    assert_eq!(plain.handoffs, overlaid.handoffs);
+    assert_eq!(plain.end_time, overlaid.end_time);
+    assert_eq!(plain.net.per_mh_bytes, overlaid.net.per_mh_bytes);
+    // The plain run carries no observation state; the overlaid one does.
+    assert!(plain.profile.is_none() && plain.spans.is_none());
+    assert!(overlaid.profile.is_some() && overlaid.spans.is_some());
+}
+
+#[test]
+fn profile_artifact_validates_and_spans_cover_the_engine_loop() {
+    let c = cfg(11);
+    let r = Simulation::run_with(
+        c.clone(),
+        Instrumentation {
+            metrics: true,
+            profile: true,
+            spans: true,
+            ..Instrumentation::off()
+        },
+    );
+    let art = artifact::profile_artifact(&c, &r);
+    assert_eq!(artifact::validate(&art).unwrap(), artifact::PROFILE_SCHEMA);
+
+    // Per-event-type span totals account for (nearly) all engine wall time:
+    // the spanned loop chains marks, so top-level spans tile it by
+    // construction. Allow slack only for sub-resolution clocks.
+    let profile = r.profile.as_ref().expect("profiled");
+    let spans = r.spans.as_ref().expect("spanned");
+    let covered = spans.top_level_wall_ns();
+    assert!(
+        covered as f64 >= 0.95 * profile.wall_ns as f64 || profile.wall_ns < 10_000,
+        "span coverage too low: {covered} of {} ns",
+        profile.wall_ns
+    );
+    let cov = art
+        .get("timing")
+        .and_then(|t| t.get("span_coverage"))
+        .and_then(Json::as_f64)
+        .expect("timing.span_coverage");
+    assert!(cov > 0.0);
+
+    // One top-level span per dispatched event.
+    let per_event: u64 = spans
+        .rows
+        .iter()
+        .filter(|row| !row.path.contains(';'))
+        .map(|row| row.count)
+        .sum();
+    assert_eq!(per_event, r.events);
+
+    // The nested phase spans are present and carry byte attribution: hosts
+    // poll their mailboxes during activity events, so decode work lands
+    // under "activity", with wire bytes attributed to the piggyback shape.
+    let dec = spans.row("activity;piggyback.decode").expect("decode span");
+    assert!(dec.count > 0);
+    let shape = spans
+        .row("activity;piggyback.decode;index")
+        .expect("per-shape attribution");
+    assert!(shape.bytes > 0, "index piggyback carries wire bytes");
+    assert!(spans.to_folded().lines().count() > 3);
+}
+
+#[test]
+fn profile_artifact_deterministic_view_is_seed_stable() {
+    let instr = || Instrumentation {
+        metrics: true,
+        profile: true,
+        spans: true,
+        ..Instrumentation::off()
+    };
+    let c = cfg(5);
+    let a = artifact::profile_artifact(&c, &Simulation::run_with(c.clone(), instr()));
+    let b = artifact::profile_artifact(&c, &Simulation::run_with(c.clone(), instr()));
+    // Wall-clock members differ run to run...
+    assert!(a.get("timing").is_some());
+    // ...but the deterministic view is byte-identical.
+    assert_eq!(
+        artifact::deterministic_view(&a).to_pretty(),
+        artifact::deterministic_view(&b).to_pretty()
+    );
+    // A different seed changes the deterministic view.
+    let c2 = cfg(6);
+    let other = artifact::profile_artifact(&c2, &Simulation::run_with(c2.clone(), instr()));
+    assert_ne!(
+        artifact::deterministic_view(&a).to_pretty(),
+        artifact::deterministic_view(&other).to_pretty()
+    );
+}
