@@ -47,9 +47,12 @@
 //! parallelism and writes a `mck.bench_sweep/v1` artifact (default
 //! `BENCH_sweep.json`) with runs-per-second and per-protocol wall-clock.
 //! `scale` sweeps the host population (`--n-list a,b,c`, default
-//! 10,100,1000, with `--horizon T`, default 500) through spanned + profiled
-//! runs and writes a `mck.bench_scale/v1` artifact (`BENCH_scale.json`)
-//! with events/sec, per-host wireless bytes, and the span breakdown vs. N.
+//! 10,100,1000,10000, with `--horizon T`, default 500, and `--mss-ratio R`
+//! hosts per cell, default 32) through spanned + profiled runs and writes a
+//! `mck.bench_scale/v1` artifact (`BENCH_scale.json`) with events/sec,
+//! per-host wireless bytes, TP piggyback bytes under both wire codecs, and
+//! the span breakdown vs. N; `--check-regression` exits nonzero when
+//! throughput at the largest N falls more than 5x below the smallest.
 //! Output shape matches the paper: one row per `T_switch`, one column per
 //! protocol, with the derived gain columns the text quotes.
 
@@ -67,7 +70,7 @@ use mck::experiments::{
     run_figure, run_figures, run_figures_scenario, run_sweep, FigureResult, FigureSpec,
     T_SWITCH_SWEEP,
 };
-use mck::prelude::CicKind;
+use mck::prelude::{CicKind, PbCodec};
 use mck::scenario::Scenario;
 use mck::simulation::{Instrumentation, Simulation};
 use mck::table::{fmt_estimate, Table};
@@ -85,6 +88,8 @@ struct Opts {
     out_dir: PathBuf,
     n_list: Vec<u64>,
     horizon: Option<f64>,
+    mss_ratio: u64,
+    check_regression: bool,
 }
 
 fn main() {
@@ -98,8 +103,10 @@ fn main() {
         jobs: None,
         scenario: None,
         out_dir: PathBuf::from("."),
-        n_list: vec![10, 100, 1000],
+        n_list: vec![10, 100, 1000, 10_000],
         horizon: None,
+        mss_ratio: 32,
+        check_regression: false,
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -129,6 +136,11 @@ fn main() {
             "--horizon" => {
                 opts.horizon = Some(it.next().expect("--horizon T").parse().expect("number"));
             }
+            "--mss-ratio" => {
+                opts.mss_ratio = it.next().expect("--mss-ratio R").parse().expect("number");
+                assert!(opts.mss_ratio > 0, "--mss-ratio must be positive");
+            }
+            "--check-regression" => opts.check_regression = true,
             other => cmd.push(other.to_string()),
         }
     }
@@ -334,20 +346,34 @@ fn sweep_bench(opts: &Opts) {
 }
 
 /// Scale telemetry (`figures scale`): one spanned + profiled run per host
-/// population, sweeping `n_mh` (with `n_mss = max(2, n_mh/2)` to keep cell
-/// density fixed) and recording how event throughput, per-host wireless
-/// bytes, and the span breakdown move with N. Writes a
-/// `mck.bench_scale/v1` artifact (default `BENCH_scale.json`) whose
-/// wall-clock columns live under `timing` members per the artifact
-/// separation rule.
+/// population, sweeping `n_mh` (with `n_mss = max(2, n_mh / mss_ratio)`;
+/// `--mss-ratio`, default 32 hosts per cell) and recording how event
+/// throughput, per-host wireless bytes, and the span breakdown move
+/// with N. Each point also runs TP under both piggyback codecs at a capped
+/// horizon and records the per-host / per-message control-byte cost, so the
+/// artifact demonstrates the dense-O(n) vs RLE-O(runs) wire-size split.
+/// Writes a `mck.bench_scale/v1` artifact (default `BENCH_scale.json`)
+/// whose wall-clock columns live under `timing` members per the artifact
+/// separation rule. With `--check-regression`, exits nonzero when
+/// events/sec at the largest N degrades more than 5x below the smallest N
+/// (the O(n)-scan tripwire CI runs).
 fn scale(opts: &Opts) {
     let horizon = opts.horizon.unwrap_or(500.0);
     let proto = CicKind::Qbc;
     let mut points: Vec<Json> = Vec::new();
     let mut merged = SpanSnapshot::default();
-    let mut table = Table::new(vec!["n_mh", "n_mss", "events", "bytes/host", "events/sec"]);
+    let mut throughputs: Vec<(u64, f64)> = Vec::new();
+    let mut table = Table::new(vec![
+        "n_mh",
+        "n_mss",
+        "events",
+        "bytes/host",
+        "events/sec",
+        "TP pb B/msg dense",
+        "TP pb B/msg rle",
+    ]);
     for &n in &opts.n_list {
-        let n_mss = (n / 2).max(2);
+        let n_mss = (n / opts.mss_ratio).max(2);
         let mut cfg = SimConfig {
             protocol: ProtocolChoice::Cic(proto),
             horizon,
@@ -372,12 +398,28 @@ fn scale(opts: &Opts) {
         let spans = report.spans.clone().expect("spanned run");
         let bytes_per_host = report.net.per_mh_bytes.iter().sum::<u64>() as f64 / n as f64;
         merged.merge(&spans);
+        throughputs.push((n, p.events_per_sec()));
+
+        // TP piggyback-codec comparison over a short fixed window, the
+        // same for every N. Two reasons: (a) TP's dense merge is O(n) per
+        // receive, so the comparison must not run the full horizon at
+        // large N; (b) dependency vectors saturate epidemically — the
+        // number of distinct entries roughly doubles per receive — so a
+        // window that grows with the run would measure the saturated
+        // steady state at small N and the sparse transient at large N.
+        // A fixed window keeps messages/host constant across N and the
+        // bytes/host comparison meaningful (dense bytes/msg is exactly
+        // 2n integers regardless of the window).
+        let pb_horizon = horizon.min(20.0);
+        let tp = tp_codec_stats(opts, n, n_mss, pb_horizon);
         table.push_row(vec![
             n.to_string(),
             n_mss.to_string(),
             report.events.to_string(),
             format!("{bytes_per_host:.0}"),
             format!("{:.0}", p.events_per_sec()),
+            format!("{:.0}", tp[0].bytes_per_msg),
+            format!("{:.0}", tp[1].bytes_per_msg),
         ]);
         points.push(Json::Obj(vec![
             ("n_mh".into(), Json::uint(n)),
@@ -386,6 +428,10 @@ fn scale(opts: &Opts) {
             ("n_tot".into(), Json::uint(report.n_tot())),
             ("msgs_sent".into(), Json::uint(report.msgs_sent)),
             ("bytes_per_host".into(), Json::Num(bytes_per_host)),
+            (
+                "tp_piggyback".into(),
+                Json::Arr(tp.iter().map(TpCodecStats::to_json).collect()),
+            ),
             ("spans".into(), spans.deterministic_json()),
             (
                 "timing".into(),
@@ -404,6 +450,7 @@ fn scale(opts: &Opts) {
         ("protocol".into(), Json::str(proto.name())),
         ("base_seed".into(), Json::uint(opts.seed)),
         ("horizon".into(), Json::Num(horizon)),
+        ("mss_ratio".into(), Json::uint(opts.mss_ratio)),
         ("points".into(), Json::Arr(points)),
         ("spans".into(), merged.deterministic_json()),
         (
@@ -419,6 +466,88 @@ fn scale(opts: &Opts) {
         Ok(()) => eprintln!("scale artifact -> {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+    if opts.check_regression {
+        check_scale_regression(&throughputs);
+    }
+}
+
+/// Fails the process when dispatch throughput collapses with N — the
+/// guard against reintroducing an O(total-hosts) scan on a hot path.
+/// Tolerates up to 5x degradation between the smallest and largest
+/// population; a linear-in-N per-event cost blows far past that.
+fn check_scale_regression(throughputs: &[(u64, f64)]) {
+    let Some((&(n_small, eps_small), &(n_large, eps_large))) =
+        throughputs.first().zip(throughputs.last())
+    else {
+        return;
+    };
+    if n_small == n_large {
+        eprintln!("scale: --check-regression needs at least two distinct N");
+        return;
+    }
+    let ratio = eps_small / eps_large.max(1e-9);
+    if ratio > 5.0 {
+        eprintln!(
+            "scale REGRESSION: events/sec fell {ratio:.1}x from N={n_small} \
+             ({eps_small:.0}/s) to N={n_large} ({eps_large:.0}/s); budget is 5x"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "scale regression check: N={n_small} -> N={n_large} throughput ratio \
+         {ratio:.2}x (budget 5x) — ok"
+    );
+}
+
+/// One TP codec measurement at a scale point.
+struct TpCodecStats {
+    codec: &'static str,
+    horizon: f64,
+    msgs_sent: u64,
+    pb_bytes: u64,
+    bytes_per_host: f64,
+    bytes_per_msg: f64,
+}
+
+impl TpCodecStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("codec".into(), Json::str(self.codec)),
+            ("horizon".into(), Json::Num(self.horizon)),
+            ("msgs_sent".into(), Json::uint(self.msgs_sent)),
+            ("pb_bytes".into(), Json::uint(self.pb_bytes)),
+            ("pb_bytes_per_host".into(), Json::Num(self.bytes_per_host)),
+            ("pb_bytes_per_msg".into(), Json::Num(self.bytes_per_msg)),
+        ])
+    }
+}
+
+/// Runs TP once per piggyback codec (dense first, then RLE) and returns
+/// the modelled control-byte cost of each. The two runs share the seed and
+/// differ only in wire coding, so message counts match exactly.
+fn tp_codec_stats(opts: &Opts, n: u64, n_mss: u64, horizon: f64) -> [TpCodecStats; 2] {
+    [PbCodec::Dense, PbCodec::Rle].map(|codec| {
+        let mut cfg = SimConfig {
+            protocol: ProtocolChoice::Cic(CicKind::Tp),
+            horizon,
+            seed: opts.seed,
+            pb_codec: codec,
+            ..SimConfig::default()
+        };
+        cfg.n_mhs = n as usize;
+        cfg.n_mss = n_mss as usize;
+        eprintln!("scale: TP/{} at n_mh={n}, horizon={horizon}...", codec.name());
+        let report = Simulation::run(cfg);
+        let pb = report.net.piggyback_bytes;
+        TpCodecStats {
+            codec: codec.name(),
+            horizon,
+            msgs_sent: report.msgs_sent,
+            pb_bytes: pb,
+            bytes_per_host: pb as f64 / n as f64,
+            bytes_per_msg: pb as f64 / report.msgs_sent.max(1) as f64,
+        }
+    })
 }
 
 /// One figure's entry of the bench artifact: the full `mck.figure/v1`

@@ -95,8 +95,21 @@ impl CicKind {
     /// Instantiates the protocol for host `me` of `n`, initially at MSS
     /// `mss`.
     pub fn instantiate(self, me: usize, n: usize, mss: u32) -> Box<dyn Protocol> {
+        self.instantiate_with(me, n, mss, piggyback::PbCodec::Dense)
+    }
+
+    /// Like [`CicKind::instantiate`], selecting the wire codec for vector
+    /// piggybacks. Only TP carries vectors; the other protocols ignore the
+    /// codec (their piggybacks are already O(1)).
+    pub fn instantiate_with(
+        self,
+        me: usize,
+        n: usize,
+        mss: u32,
+        codec: piggyback::PbCodec,
+    ) -> Box<dyn Protocol> {
         match self {
-            CicKind::Tp => Box::new(tp::Tp::new(me, n, mss)),
+            CicKind::Tp => Box::new(tp::Tp::with_codec(me, n, mss, codec)),
             CicKind::Bcs => Box::new(bcs::Bcs::new()),
             CicKind::Qbc => Box::new(qbc::Qbc::new()),
             CicKind::Uncoordinated => Box::new(uncoordinated::Uncoordinated::new()),
@@ -114,7 +127,7 @@ impl std::fmt::Display for CicKind {
 pub mod prelude {
     pub use crate::bcs::Bcs;
     pub use crate::coordinated::{ChandyLamport, ControlMsg, CoordAction, KooToueg, PrakashSinghal};
-    pub use crate::piggyback::Piggyback;
+    pub use crate::piggyback::{PbCodec, Piggyback};
     pub use crate::protocol::{BasicCkpt, BasicReason, Protocol, ReceiveOutcome};
     pub use crate::qbc::Qbc;
     pub use crate::tp::{Phase, Tp};

@@ -19,8 +19,93 @@
 //! when a checkpoint or merge actually changes the vectors. The *modelled*
 //! wire size is unchanged — [`Piggyback::wire_bytes`] still charges the
 //! full `2n` integers.
+//!
+//! At large `n` almost all of `CKPT[]`/`LOC[]` is runs of identical values
+//! (a host only accumulates dependencies on the hosts it actually heard
+//! from), so the optional **run-length wire codec** ([`PbCodec::Rle`],
+//! carried as [`Piggyback::VectorsRle`]) drops the modelled wire size from
+//! `O(n)` per message to `O(runs)`. The encoding is lossless — decode
+//! reproduces the dense vectors exactly — and the dense codec remains the
+//! byte-identical default.
 
 use std::sync::Arc;
+
+/// Wire codec for TP's dependency-vector piggybacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PbCodec {
+    /// The paper's dense form: two flat vectors of `n` integers.
+    #[default]
+    Dense,
+    /// Run-length interval coding over aligned `(ckpt, loc)` runs.
+    Rle,
+}
+
+impl PbCodec {
+    /// Display/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PbCodec::Dense => "dense",
+            PbCodec::Rle => "rle",
+        }
+    }
+
+    /// Parses a codec name (case-insensitive).
+    pub fn parse(s: &str) -> Option<PbCodec> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Some(PbCodec::Dense),
+            "rle" => Some(PbCodec::Rle),
+            _ => None,
+        }
+    }
+}
+
+/// One run of the RLE wire form: `len` consecutive hosts sharing the same
+/// `(ckpt, loc)` dependency entry. On the wire a run is three integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecRun {
+    /// Number of consecutive hosts covered.
+    pub len: u32,
+    /// Their common `CKPT[]` entry.
+    pub ckpt: u64,
+    /// Their common `LOC[]` entry.
+    pub loc: u32,
+}
+
+/// Run-length encodes aligned `(ckpt, loc)` vectors. Lossless:
+/// [`rle_decode`] inverts it exactly; run lengths sum to `ckpt.len()`.
+pub fn rle_encode(ckpt: &[u64], loc: &[u32]) -> Vec<VecRun> {
+    let mut runs = Vec::new();
+    rle_encode_into(ckpt, loc, &mut runs);
+    runs
+}
+
+/// [`rle_encode`] into a caller-owned buffer, reusing its capacity. The
+/// TP wire cache refreshes after nearly every merge at large `n`; encoding
+/// in place keeps that refresh allocation-free once the buffer has grown.
+pub fn rle_encode_into(ckpt: &[u64], loc: &[u32], out: &mut Vec<VecRun>) {
+    assert_eq!(ckpt.len(), loc.len(), "CKPT/LOC width mismatch");
+    out.clear();
+    for (&c, &l) in ckpt.iter().zip(loc) {
+        match out.last_mut() {
+            Some(r) if r.ckpt == c && r.loc == l && r.len < u32::MAX => r.len += 1,
+            _ => out.push(VecRun { len: 1, ckpt: c, loc: l }),
+        }
+    }
+}
+
+/// Expands an RLE piggyback back to the dense vectors.
+pub fn rle_decode(runs: &[VecRun]) -> (Vec<u64>, Vec<u32>) {
+    let n: usize = runs.iter().map(|r| r.len as usize).sum();
+    let mut ckpt = Vec::with_capacity(n);
+    let mut loc = Vec::with_capacity(n);
+    for r in runs {
+        for _ in 0..r.len {
+            ckpt.push(r.ckpt);
+            loc.push(r.loc);
+        }
+    }
+    (ckpt, loc)
+}
 
 /// Control data attached to one application message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +124,17 @@ pub enum Piggyback {
         ckpt: Arc<[u64]>,
         /// `LOC[]`: for each host, the MSS holding that checkpoint.
         loc: Arc<[u32]>,
+    },
+    /// TP's dependency vectors in the run-length wire form ([`PbCodec::Rle`]):
+    /// the same information as [`Piggyback::Vectors`], charged at
+    /// `O(runs)` instead of `O(n)` integers.
+    VectorsRle {
+        /// Aligned `(ckpt, loc)` runs covering all `n` hosts. An
+        /// `Arc<Vec<..>>` rather than `Arc<[..]>` so the sender's wire
+        /// cache can re-encode into the same allocation once every
+        /// in-flight clone has been dropped (run counts vary per refresh,
+        /// so a slice could never be reused).
+        runs: Arc<Vec<VecRun>>,
     },
     /// Dependency bit set (Prakash–Singhal-style minimal coordination):
     /// which hosts the sender has causal dependencies on since its last
@@ -64,6 +160,9 @@ impl Piggyback {
             Piggyback::None => 0,
             Piggyback::Index { .. } => INT_BYTES,
             Piggyback::Vectors { ckpt, loc } => (ckpt.len() + loc.len()) * INT_BYTES,
+            // One integer announcing the run count, then three integers
+            // (len, ckpt, loc) per run.
+            Piggyback::VectorsRle { runs } => (1 + 3 * runs.len()) * INT_BYTES,
             // One bit per host, rounded up to whole bytes.
             Piggyback::DepSet { deps } => deps.len().div_ceil(8),
         }
@@ -86,6 +185,7 @@ impl Piggyback {
             Piggyback::None => "none",
             Piggyback::Index { .. } => "index",
             Piggyback::Vectors { .. } => "vectors",
+            Piggyback::VectorsRle { .. } => "vectors_rle",
             Piggyback::DepSet { .. } => "depset",
         }
     }
@@ -143,15 +243,64 @@ mod tests {
             Piggyback::None,
             Piggyback::Index { sn: 1 },
             Piggyback::Vectors { ckpt: vec![0; 2].into(), loc: vec![0; 2].into() },
+            Piggyback::VectorsRle { runs: Arc::new(rle_encode(&[0, 0], &[0, 0])) },
             Piggyback::DepSet { deps: vec![true] },
         ];
         let names: Vec<&str> = variants.iter().map(Piggyback::kind_name).collect();
-        assert_eq!(names, ["none", "index", "vectors", "depset"]);
+        assert_eq!(names, ["none", "index", "vectors", "vectors_rle", "depset"]);
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn codec_names_parse() {
+        assert_eq!(PbCodec::parse("dense"), Some(PbCodec::Dense));
+        assert_eq!(PbCodec::parse("RLE"), Some(PbCodec::Rle));
+        assert_eq!(PbCodec::parse("huffman"), None);
+        assert_eq!(PbCodec::default(), PbCodec::Dense);
+        assert_eq!(PbCodec::Rle.name(), "rle");
+    }
+
+    #[test]
+    fn rle_round_trips_and_compresses_runs() {
+        let ckpt = vec![0, 0, 0, 7, 7, 0, 0, 0, 0, 0];
+        let loc = vec![0, 0, 0, 3, 3, 0, 0, 0, 0, 0];
+        let runs = rle_encode(&ckpt, &loc);
+        assert_eq!(runs.len(), 3); // [0·3][7/3·2][0·5]
+        assert_eq!(rle_decode(&runs), (ckpt, loc));
+    }
+
+    #[test]
+    fn rle_splits_runs_on_loc_changes_alone() {
+        // Same CKPT entry stored at different stations must not merge into
+        // one run — LOC[] retrieval depends on it.
+        let runs = rle_encode(&[4, 4], &[1, 2]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(rle_decode(&runs), (vec![4, 4], vec![1, 2]));
+    }
+
+    #[test]
+    fn rle_wire_bytes_scale_with_runs_not_hosts() {
+        let n = 10_000;
+        let mut ckpt = vec![0u64; n];
+        let mut loc = vec![0u32; n];
+        ckpt[17] = 5;
+        loc[17] = 2;
+        let pb = Piggyback::VectorsRle { runs: Arc::new(rle_encode(&ckpt, &loc)) };
+        // Three runs: [0..17][17][18..]: (1 + 3·3) integers.
+        assert_eq!(pb.wire_bytes(), 10 * INT_BYTES);
+        let dense = Piggyback::Vectors { ckpt: ckpt.into(), loc: loc.into() };
+        assert_eq!(dense.wire_bytes(), 2 * n * INT_BYTES);
+    }
+
+    #[test]
+    fn rle_of_empty_vectors_is_header_only() {
+        let runs = rle_encode(&[], &[]);
+        assert!(runs.is_empty());
+        assert_eq!(Piggyback::VectorsRle { runs: Arc::new(runs) }.wire_bytes(), INT_BYTES);
     }
 
     #[test]

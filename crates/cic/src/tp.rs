@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use crate::piggyback::{Piggyback, INT_BYTES};
+use crate::piggyback::{rle_encode, rle_encode_into, PbCodec, Piggyback, VecRun, INT_BYTES};
 use crate::protocol::{BasicCkpt, BasicReason, Protocol, ReceiveOutcome};
 
 /// The two phases of the protocol.
@@ -63,8 +63,28 @@ pub struct Tp {
     /// Frozen copy of `(ckpt, loc)` for the wire, shared by every send
     /// until a checkpoint or merge changes the vectors (copy-on-write:
     /// sends are far more frequent than checkpoints, so most sends are two
-    /// refcount bumps instead of two `Vec` clones).
+    /// refcount bumps instead of two `Vec` clones). A stale cache is
+    /// *overwritten in place* when no message still holds a clone —
+    /// dropping and reallocating two `n`-integer slices per refresh is
+    /// allocator churn that dominates large-N runs.
     wire: Option<WireVectors>,
+    /// Whether the wire caches lag the live vectors and must be refreshed
+    /// before the next send. One flag covers both caches: `codec` is fixed
+    /// per instance, so only the matching cache is ever populated.
+    wire_dirty: bool,
+    /// Frozen RLE wire form, cached and reused in place under the same
+    /// policy as `wire` (the `Vec`'s capacity survives re-encoding).
+    wire_rle: Option<Arc<Vec<VecRun>>>,
+    /// Dense encodings still referenced by in-flight messages at refresh
+    /// time, parked for recycling once their last clone drains. Without
+    /// this, every refresh that races an undelivered message allocates
+    /// (and later frees) two `n`-integer slices — allocator churn that
+    /// dominates wall time at large `n`.
+    retired: Vec<WireVectors>,
+    /// Same recycling pool for the RLE wire form.
+    retired_rle: Vec<Arc<Vec<VecRun>>>,
+    /// Which wire form `on_send` emits.
+    codec: PbCodec,
     /// Ablation switch: reset `phase` to RECV when a basic checkpoint is
     /// taken. The paper's pseudo-code does **not** do this (only a receive
     /// resets the phase), so the faithful default is `false`; resetting is
@@ -72,6 +92,11 @@ pub struct Tp {
     /// strictly reduces forced checkpoints, making it a natural ablation.
     reset_phase_on_basic: bool,
 }
+
+/// Bound on retired wire encodings parked per host for recycling; an
+/// overflow entry is dropped instead (and frees once its in-flight clones
+/// drain). Sized to the usual number of undelivered messages per host.
+const RETIRED_CAP: usize = 4;
 
 impl Tp {
     /// A fresh instance for host `me` of `n` hosts, currently at MSS `mss`,
@@ -94,7 +119,23 @@ impl Tp {
             loc,
             here: mss,
             wire: None,
+            wire_dirty: false,
+            wire_rle: None,
+            retired: Vec::new(),
+            retired_rle: Vec::new(),
+            codec: PbCodec::Dense,
             reset_phase_on_basic,
+        }
+    }
+
+    /// Like [`Tp::new`], emitting the given wire codec on sends. The
+    /// protocol state and the forced-checkpoint behaviour are identical
+    /// under every codec; only the wire form (and its modelled byte cost)
+    /// changes.
+    pub fn with_codec(me: usize, n: usize, mss: u32, codec: PbCodec) -> Self {
+        Tp {
+            codec,
+            ..Self::new(me, n, mss)
         }
     }
 
@@ -122,7 +163,7 @@ impl Tp {
         self.count += 1;
         self.ckpt[self.me] = self.count;
         self.loc[self.me] = self.here;
-        self.wire = None;
+        self.wire_dirty = true;
         self.count
     }
 
@@ -136,8 +177,100 @@ impl Tp {
             if j != self.me && ckpt[j] > self.ckpt[j] {
                 self.ckpt[j] = ckpt[j];
                 self.loc[j] = loc[j];
-                self.wire = None;
+                self.wire_dirty = true;
             }
+        }
+    }
+
+    /// Merges an RLE-coded message without expanding it: whole runs of
+    /// zero entries (the bulk of the wire form at large `n`) are skipped
+    /// outright, because the merge needs `incoming > own` and own entries
+    /// are never negative. Equivalent to decode-then-[`Tp::merge`] — the
+    /// parity proptests pin that.
+    fn merge_runs(&mut self, runs: &[VecRun]) {
+        let mut j = 0usize;
+        for r in runs {
+            let end = j + r.len as usize;
+            assert!(end <= self.ckpt.len(), "CKPT vector width mismatch");
+            if r.ckpt > 0 {
+                for k in j..end {
+                    if k != self.me && r.ckpt > self.ckpt[k] {
+                        self.ckpt[k] = r.ckpt;
+                        self.loc[k] = r.loc;
+                        self.wire_dirty = true;
+                    }
+                }
+            }
+            j = end;
+        }
+        assert_eq!(j, self.ckpt.len(), "CKPT vector width mismatch");
+    }
+
+    /// Brings the dense wire cache up to date with the live vectors,
+    /// recycling allocations wherever possible: overwrite in place when no
+    /// clone is in flight, else revive a drained pool entry, else (and
+    /// only then) allocate.
+    fn refresh_dense_wire(&mut self) {
+        if let Some((ckpt, loc)) = &mut self.wire {
+            if let (Some(c), Some(l)) = (Arc::get_mut(ckpt), Arc::get_mut(loc)) {
+                c.copy_from_slice(&self.ckpt);
+                l.copy_from_slice(&self.loc);
+                return;
+            }
+        }
+        if let Some(old) = self.wire.take() {
+            self.retired.push(old);
+        }
+        let drained = (0..self.retired.len()).find(|&i| {
+            let (c, l) = &self.retired[i];
+            Arc::strong_count(c) == 1 && Arc::strong_count(l) == 1
+        });
+        self.wire = Some(match drained {
+            Some(i) => {
+                let (mut c, mut l) = self.retired.swap_remove(i);
+                Arc::get_mut(&mut c)
+                    .expect("drained entry has a sole owner")
+                    .copy_from_slice(&self.ckpt);
+                Arc::get_mut(&mut l)
+                    .expect("drained entry has a sole owner")
+                    .copy_from_slice(&self.loc);
+                (c, l)
+            }
+            None => (self.ckpt.as_slice().into(), self.loc.as_slice().into()),
+        });
+        // Keep the pool no deeper than the usual in-flight depth; an
+        // overflow entry frees once its last clone drains.
+        if self.retired.len() > RETIRED_CAP {
+            self.retired.remove(0);
+        }
+    }
+
+    /// [`Tp::refresh_dense_wire`] for the RLE form: re-encoding into a
+    /// retained `Vec` reuses its capacity, so steady-state refreshes are
+    /// allocation-free even though run counts vary.
+    fn refresh_rle_wire(&mut self) {
+        if let Some(runs) = &mut self.wire_rle {
+            if let Some(buf) = Arc::get_mut(runs) {
+                rle_encode_into(&self.ckpt, &self.loc, buf);
+                return;
+            }
+        }
+        if let Some(old) = self.wire_rle.take() {
+            self.retired_rle.push(old);
+        }
+        let drained =
+            (0..self.retired_rle.len()).find(|&i| Arc::strong_count(&self.retired_rle[i]) == 1);
+        self.wire_rle = Some(match drained {
+            Some(i) => {
+                let mut runs = self.retired_rle.swap_remove(i);
+                let buf = Arc::get_mut(&mut runs).expect("drained entry has a sole owner");
+                rle_encode_into(&self.ckpt, &self.loc, buf);
+                runs
+            }
+            None => Arc::new(rle_encode(&self.ckpt, &self.loc)),
+        });
+        if self.retired_rle.len() > RETIRED_CAP {
+            self.retired_rle.remove(0);
         }
     }
 }
@@ -149,23 +282,31 @@ impl Protocol for Tp {
 
     fn on_send(&mut self, _to: usize) -> Piggyback {
         self.phase = Phase::Send;
-        if self.wire.is_none() {
-            self.wire = Some((
-                self.ckpt.as_slice().into(),
-                self.loc.as_slice().into(),
-            ));
-        }
-        let (ckpt, loc) = self.wire.as_ref().expect("cache just filled");
-        Piggyback::Vectors {
-            ckpt: Arc::clone(ckpt),
-            loc: Arc::clone(loc),
+        match self.codec {
+            PbCodec::Dense => {
+                if self.wire_dirty || self.wire.is_none() {
+                    self.refresh_dense_wire();
+                    self.wire_dirty = false;
+                }
+                let (ckpt, loc) = self.wire.as_ref().expect("cache just refreshed");
+                Piggyback::Vectors {
+                    ckpt: Arc::clone(ckpt),
+                    loc: Arc::clone(loc),
+                }
+            }
+            PbCodec::Rle => {
+                if self.wire_dirty || self.wire_rle.is_none() {
+                    self.refresh_rle_wire();
+                    self.wire_dirty = false;
+                }
+                Piggyback::VectorsRle {
+                    runs: Arc::clone(self.wire_rle.as_ref().expect("cache just refreshed")),
+                }
+            }
         }
     }
 
     fn on_receive(&mut self, _from: usize, pb: &Piggyback) -> ReceiveOutcome {
-        let Piggyback::Vectors { ckpt, loc } = pb else {
-            panic!("TP requires Vectors piggybacks on all messages");
-        };
         let outcome = if self.phase == Phase::Send {
             let idx = self.take_checkpoint();
             self.phase = Phase::Recv;
@@ -173,7 +314,12 @@ impl Protocol for Tp {
         } else {
             ReceiveOutcome::NONE
         };
-        self.merge(ckpt, loc);
+        // Either wire form merges; a mixed-codec population is legal.
+        match pb {
+            Piggyback::Vectors { ckpt, loc } => self.merge(ckpt, loc),
+            Piggyback::VectorsRle { runs } => self.merge_runs(runs),
+            _ => panic!("TP requires Vectors piggybacks on all messages"),
+        }
         outcome
     }
 
@@ -193,7 +339,12 @@ impl Protocol for Tp {
     }
 
     fn piggyback_bytes(&self) -> usize {
-        2 * self.ckpt.len() * INT_BYTES
+        match self.codec {
+            PbCodec::Dense => 2 * self.ckpt.len() * INT_BYTES,
+            // Reporting path (not per-event): encode afresh rather than
+            // holding a cache borrow through a `&self` accessor.
+            PbCodec::Rle => (1 + 3 * rle_encode(&self.ckpt, &self.loc).len()) * INT_BYTES,
+        }
     }
 
     fn current_index(&self) -> u64 {
@@ -359,6 +510,111 @@ mod tests {
             other => panic!("expected vectors, got {other:?}"),
         };
         assert_eq!(&e[..], &[2, 5, 0, 0]);
+    }
+
+    #[test]
+    fn rle_codec_emits_compressed_vectors() {
+        let mut t = Tp::with_codec(0, 100, 3, PbCodec::Rle);
+        t.on_basic(BasicReason::CellSwitch);
+        match t.on_send(1) {
+            Piggyback::VectorsRle { runs } => {
+                // [me: 1@3][99 zero entries] = 2 runs = 7 integers.
+                assert_eq!(runs.len(), 2);
+                let (ckpt, loc) = crate::piggyback::rle_decode(&runs);
+                assert_eq!(ckpt[0], 1);
+                assert_eq!(loc[0], 3);
+                assert!(ckpt[1..].iter().all(|&c| c == 0));
+            }
+            other => panic!("expected RLE vectors, got {other:?}"),
+        }
+        assert_eq!(t.piggyback_bytes(), 7 * INT_BYTES);
+    }
+
+    #[test]
+    fn rle_sends_share_the_frozen_encoding() {
+        let mut t = Tp::with_codec(0, 8, 0, PbCodec::Rle);
+        let (a, b) = match (t.on_send(1), t.on_send(2)) {
+            (Piggyback::VectorsRle { runs: a }, Piggyback::VectorsRle { runs: b }) => (a, b),
+            other => panic!("expected RLE vectors, got {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&a, &b), "sends between changes share one encoding");
+        t.on_basic(BasicReason::CellSwitch);
+        let c = match t.on_send(1) {
+            Piggyback::VectorsRle { runs } => runs,
+            other => panic!("expected RLE vectors, got {other:?}"),
+        };
+        assert!(!Arc::ptr_eq(&a, &c), "a checkpoint refreshes the encoding");
+    }
+
+    #[test]
+    fn wire_caches_are_reused_in_place_once_clones_drop() {
+        // Dense: when no message still holds the previous encoding, a
+        // refresh overwrites the same allocation instead of replacing it.
+        let mut t = Tp::new(0, 16, 0);
+        let dense_ptr = match t.on_send(1) {
+            Piggyback::Vectors { ckpt, .. } => Arc::as_ptr(&ckpt),
+            other => panic!("expected dense vectors, got {other:?}"),
+        };
+        t.on_basic(BasicReason::CellSwitch);
+        match t.on_send(1) {
+            Piggyback::Vectors { ckpt, .. } => {
+                assert_eq!(Arc::as_ptr(&ckpt), dense_ptr, "dense cache must be reused");
+                assert_eq!(ckpt[0], 1, "reused cache must carry the fresh vectors");
+            }
+            other => panic!("expected dense vectors, got {other:?}"),
+        }
+
+        // RLE: same policy; the Vec's buffer is re-encoded in place.
+        let mut t = Tp::with_codec(0, 16, 0, PbCodec::Rle);
+        let rle_ptr = match t.on_send(1) {
+            Piggyback::VectorsRle { runs } => Arc::as_ptr(&runs),
+            other => panic!("expected RLE vectors, got {other:?}"),
+        };
+        t.on_basic(BasicReason::CellSwitch);
+        match t.on_send(1) {
+            Piggyback::VectorsRle { runs } => {
+                assert_eq!(Arc::as_ptr(&runs), rle_ptr, "RLE cache must be reused");
+                assert_eq!(runs[0].ckpt, 1, "reused cache must carry the fresh runs");
+            }
+            other => panic!("expected RLE vectors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_codec_receive_merges_identically() {
+        let ckpt = vec![0, 4, 0, 9];
+        let loc = vec![0, 2, 0, 5];
+        let mut dense_rx = Tp::new(0, 4, 0);
+        dense_rx.on_receive(1, &pb(ckpt.clone(), loc.clone()));
+        let mut rle_rx = Tp::new(0, 4, 0);
+        rle_rx.on_receive(
+            1,
+            &Piggyback::VectorsRle { runs: Arc::new(crate::piggyback::rle_encode(&ckpt, &loc)) },
+        );
+        assert_eq!(dense_rx.ckpt_vector(), rle_rx.ckpt_vector());
+        assert_eq!(dense_rx.loc_vector(), rle_rx.loc_vector());
+    }
+
+    #[test]
+    fn run_merge_never_overwrites_own_component() {
+        // A single run covering everyone (including me) with a huge index:
+        // my own entry must survive.
+        let mut t = Tp::with_codec(1, 5, 0, PbCodec::Rle);
+        t.on_basic(BasicReason::CellSwitch);
+        t.on_receive(
+            0,
+            &Piggyback::VectorsRle {
+                runs: Arc::new(crate::piggyback::rle_encode(&[9; 5], &[7; 5])),
+            },
+        );
+        assert_eq!(t.ckpt_vector(), &[9, 1, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn run_merge_rejects_wrong_width() {
+        let runs = Arc::new(crate::piggyback::rle_encode(&[0, 0, 0], &[0, 0, 0]));
+        Tp::new(0, 2, 0).on_receive(1, &Piggyback::VectorsRle { runs });
     }
 
     #[test]

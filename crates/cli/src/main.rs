@@ -41,7 +41,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json> [--deterministic]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json> [--deterministic]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -67,6 +67,7 @@ const KNOWN: &[&str] = &[
     "prom",
     "jobs",
     "queue",
+    "pb-codec",
     "scenario",
 ];
 const BOOLEAN: &[&str] = &["csv", "profile", "progress", "deterministic"];
@@ -126,6 +127,14 @@ fn scenario_of(args: &Args) -> Result<Option<Scenario>, ArgError> {
     }
 }
 
+fn pb_codec_of(args: &Args) -> Result<PbCodec, ArgError> {
+    match args.get("pb-codec") {
+        None => Ok(PbCodec::default()),
+        Some(name) => PbCodec::parse(name)
+            .ok_or_else(|| ArgError(format!("unknown piggyback codec '{name}' (dense|rle)"))),
+    }
+}
+
 fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
     // Precedence: defaults, then the scenario file, then explicit flags.
     let mut cfg = SimConfig::default();
@@ -134,6 +143,7 @@ fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
     }
     cfg.protocol = protocol_of(args)?;
     cfg.queue = queue_of(args)?;
+    cfg.pb_codec = pb_codec_of(args)?;
     cfg.logging = logging_of(args)?;
     cfg.t_switch = args.get_f64("t-switch", cfg.t_switch)?;
     cfg.p_switch = args.get_f64("p-switch", cfg.p_switch)?;
@@ -630,10 +640,30 @@ mod tests {
         assert!(dispatch(&raw(&[])).is_err());
         assert!(dispatch(&raw(&["run", "--protocol", "XXX"])).is_err());
         assert!(dispatch(&raw(&["run", "--queue", "bogus"])).is_err());
+        assert!(dispatch(&raw(&["run", "--pb-codec", "huffman"])).is_err());
         assert!(dispatch(&raw(&["run", "--logging", "eager"])).is_err());
         assert!(dispatch(&raw(&["run", "--fail-mtbf", "-5"])).is_err());
         // MSS crashes need a message log to recover from.
         assert!(dispatch(&raw(&["run", "--fail-mss-mtbf", "500"])).is_err());
+    }
+
+    #[test]
+    fn rle_codec_changes_tp_wire_bytes_only() {
+        let base = ["run", "--protocol", "TP", "--horizon", "500"];
+        let dense = dispatch(&raw(&base)).unwrap();
+        let mut rle_args = raw(&base);
+        rle_args.extend(raw(&["--pb-codec", "rle"]));
+        let rle = dispatch(&rle_args).unwrap();
+        // Same checkpoints/messages (the codec never perturbs the
+        // trajectory), but the summaries differ where wire bytes show up.
+        assert_ne!(dense, rle, "RLE must shrink TP's modelled piggyback bytes");
+        let ckpt_lines = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("ckpt") || l.contains("N_tot"))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ckpt_lines(&dense), ckpt_lines(&rle));
     }
 
     #[test]

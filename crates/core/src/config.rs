@@ -17,6 +17,7 @@
 //!   permanence time `T_switch / 10`;
 //! * hand-off = 2 control messages, disconnection = 1.
 
+use cic::piggyback::PbCodec;
 use cic::CicKind;
 use mobnet::{IncrementalModel, Latencies};
 use scenario::{EnvParams, EnvSpec, Scenario, ScenarioError};
@@ -290,6 +291,12 @@ pub struct SimConfig {
     /// Behaviour (traces, reports) is byte-identical across backends; only
     /// wall-clock speed differs. The default follows the `engine` bench.
     pub queue: QueueBackend,
+    /// Wire codec for TP's vector piggybacks (other protocols' piggybacks
+    /// are already O(1) and ignore this). `Dense` — the byte-identical
+    /// default — carries the paper's two flat `n`-integer vectors; `Rle`
+    /// run-length codes them, changing only the modelled wire bytes, never
+    /// the checkpoint trajectory.
+    pub pb_codec: PbCodec,
 }
 
 impl Default for SimConfig {
@@ -323,6 +330,7 @@ impl Default for SimConfig {
             log_capacity: 0,
             payload_bytes: 256,
             queue: QueueBackend::default(),
+            pb_codec: PbCodec::default(),
         }
     }
 }

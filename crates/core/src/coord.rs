@@ -255,11 +255,17 @@ impl Simulation {
                     panic!("CL runs route only markers");
                 };
                 let action = procs[to.idx()].on_marker(from.idx(), round);
-                // Round completion check: all processes done?
-                if procs.iter().all(|p| p.round_complete(round)) {
-                    if let Some(t0) = started.remove(&round) {
-                        latencies.push(now.as_f64() - t0);
-                    }
+                // Round completion check: all processes done? Guarded so the
+                // O(n) scan runs only when it could matter — the receiving
+                // process is part of `all`, so an incomplete receiver decides
+                // the conjunction by itself, and once the round's latency is
+                // recorded (`started` entry consumed) the scan is moot.
+                if procs[to.idx()].round_complete(round)
+                    && started.contains_key(&round)
+                    && procs.iter().all(|p| p.round_complete(round))
+                {
+                    let t0 = started.remove(&round).expect("guard checked the key");
+                    latencies.push(now.as_f64() - t0);
                 }
                 action
             }

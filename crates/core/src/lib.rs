@@ -75,5 +75,6 @@ pub mod prelude {
         PointSummary,
     };
     pub use crate::simulation::{Instrumentation, Simulation};
+    pub use cic::piggyback::PbCodec;
     pub use cic::CicKind;
 }

@@ -238,6 +238,9 @@ pub struct Simulation {
     // recovery-line-advance trace events.
     ckpt_line: Vec<u64>,
     ckpt_line_min: u64,
+    /// How many hosts currently sit exactly at `ckpt_line_min`; the line
+    /// rescan only runs when this reaches zero.
+    ckpt_line_at_min: usize,
     // Per-host RNG substreams keep runs insensitive to event interleaving
     // details of other hosts.
     workload_rng: Vec<SimRng>,
@@ -278,7 +281,7 @@ impl Simulation {
 
         let protos: Vec<Box<dyn Protocol>> = match cfg.protocol {
             ProtocolChoice::Cic(kind) => (0..n)
-                .map(|i| kind.instantiate(i, n, initial[i].idx() as u32))
+                .map(|i| kind.instantiate_with(i, n, initial[i].idx() as u32, cfg.pb_codec))
                 .collect(),
             // Coordinated runs still take the mobility-mandated basic
             // checkpoints; a bare counter protocol does that bookkeeping.
@@ -345,6 +348,7 @@ impl Simulation {
             neighbors_scanned: 0,
             ckpt_line: vec![0; n],
             ckpt_line_min: 0,
+            ckpt_line_at_min: n,
             workload_rng: (0..n).map(|i| root.fork(1000 + i as u64)).collect(),
             mobility_rng: (0..n).map(|i| root.fork(2000 + i as u64)).collect(),
             net_rng: root.fork(3000),
@@ -638,11 +642,20 @@ impl Simulation {
         );
         let i = mh.idx();
         if index > self.ckpt_line[i] {
+            let was_at_min = self.ckpt_line[i] == self.ckpt_line_min;
             self.ckpt_line[i] = index;
-            let min = *self.ckpt_line.iter().min().expect("at least one host");
-            if min > self.ckpt_line_min {
-                self.ckpt_line_min = min;
-                self.tracer.emit(now, TraceEvent::RecoveryLine { index: min });
+            // O(1) per checkpoint: the global minimum can only advance when
+            // the last host sitting at it advances, so we count those hosts
+            // and rescan only on that (rare) transition.
+            if was_at_min {
+                self.ckpt_line_at_min -= 1;
+                if self.ckpt_line_at_min == 0 {
+                    let min = *self.ckpt_line.iter().min().expect("at least one host");
+                    self.ckpt_line_at_min =
+                        self.ckpt_line.iter().filter(|&&v| v == min).count();
+                    self.ckpt_line_min = min;
+                    self.tracer.emit(now, TraceEvent::RecoveryLine { index: min });
+                }
             }
         }
     }
@@ -800,10 +813,18 @@ impl Simulation {
         // (config validation guarantees logging is on, so the receives the
         // station proxied are recoverable up to log stability).
         let down = &self.fault.as_ref().expect("mss-crash events need failures enabled").down;
-        let victims: Vec<MhId> = (0..self.cfg.n_mhs)
-            .map(MhId)
-            .filter(|&m| !down[m.idx()] && self.attach.cell_of(m) == Some(mss))
+        // Cell-local: only the crashed station's residents are candidates.
+        // The resident list's order is churn-dependent, so sort back to the
+        // ascending host order the recovery fixpoint (and the byte-identical
+        // artifacts) expect.
+        let mut victims: Vec<MhId> = self
+            .attach
+            .residents(mss)
+            .iter()
+            .copied()
+            .filter(|&m| !down[m.idx()])
             .collect();
+        victims.sort_unstable_by_key(|m| m.idx());
         let f = self.fault.as_mut().expect("checked above");
         if victims.is_empty() {
             f.stats.skipped_crashes += 1;

@@ -57,9 +57,22 @@ pub struct Handoff {
 }
 
 /// Tracks every host's attachment and tallies mobility control traffic.
+///
+/// Besides the per-host state array, the table maintains the inverse map:
+/// a resident list per cell, updated in O(1) on every transition
+/// (swap-remove on leave, push on join). Cell-scoped operations — station
+/// crashes, broadcasts, occupancy queries — walk one cell's residents
+/// instead of scanning every host. Invariant: `mh` appears in
+/// `residents[c]` iff `state[mh] == Connected(c)`, at position `pos[mh]`.
 #[derive(Debug, Clone)]
 pub struct AttachmentTable {
     state: Vec<Attachment>,
+    /// Connected hosts per cell, in arbitrary order (swap-remove perturbs
+    /// it; callers needing a canonical order must sort).
+    residents: Vec<Vec<MhId>>,
+    /// For each connected host, its index within its cell's resident list.
+    pos: Vec<usize>,
+    connected: usize,
     handoffs: u64,
     disconnects: u64,
     reconnects: u64,
@@ -69,13 +82,45 @@ pub struct AttachmentTable {
 impl AttachmentTable {
     /// Creates a table for `n` hosts with the given initial cells.
     pub fn new(initial: Vec<MssId>) -> Self {
+        let n = initial.len();
+        let n_cells = initial.iter().map(|m| m.idx() + 1).max().unwrap_or(0);
+        let mut residents: Vec<Vec<MhId>> = vec![Vec::new(); n_cells];
+        let mut pos = vec![0; n];
+        for (i, &cell) in initial.iter().enumerate() {
+            pos[i] = residents[cell.idx()].len();
+            residents[cell.idx()].push(MhId(i));
+        }
         AttachmentTable {
             state: initial.into_iter().map(Attachment::Connected).collect(),
+            residents,
+            pos,
+            connected: n,
             handoffs: 0,
             disconnects: 0,
             reconnects: 0,
             control_msgs: 0,
         }
+    }
+
+    /// Removes `mh` from its cell's resident list (swap-remove; O(1)).
+    fn leave_cell(&mut self, mh: MhId, cell: MssId) {
+        let list = &mut self.residents[cell.idx()];
+        let i = self.pos[mh.idx()];
+        debug_assert_eq!(list[i], mh, "resident-list invariant broken");
+        list.swap_remove(i);
+        if let Some(&moved) = list.get(i) {
+            self.pos[moved.idx()] = i;
+        }
+    }
+
+    /// Appends `mh` to `cell`'s resident list, growing the per-cell index
+    /// on demand (cells are open-ended: topologies may name any station).
+    fn join_cell(&mut self, mh: MhId, cell: MssId) {
+        if cell.idx() >= self.residents.len() {
+            self.residents.resize_with(cell.idx() + 1, Vec::new);
+        }
+        self.pos[mh.idx()] = self.residents[cell.idx()].len();
+        self.residents[cell.idx()].push(mh);
     }
 
     /// Number of hosts tracked.
@@ -106,6 +151,8 @@ impl AttachmentTable {
             panic!("{mh} cannot hand off while disconnected");
         };
         assert_ne!(old, new_cell, "{mh} hand-off to its own cell");
+        self.leave_cell(mh, old);
+        self.join_cell(mh, new_cell);
         self.state[mh.idx()] = Attachment::Connected(new_cell);
         self.handoffs += 1;
         // Two control messages: one to the old MSS, one to the new.
@@ -125,6 +172,8 @@ impl AttachmentTable {
         let Attachment::Connected(cur) = self.state[mh.idx()] else {
             panic!("{mh} is already disconnected");
         };
+        self.leave_cell(mh, cur);
+        self.connected -= 1;
         self.state[mh.idx()] = Attachment::Disconnected { last: cur };
         self.disconnects += 1;
         self.control_msgs += 1;
@@ -140,15 +189,27 @@ impl AttachmentTable {
         let Attachment::Disconnected { last } = self.state[mh.idx()] else {
             panic!("{mh} is not disconnected");
         };
+        self.join_cell(mh, cell);
+        self.connected += 1;
         self.state[mh.idx()] = Attachment::Connected(cell);
         self.reconnects += 1;
         self.control_msgs += 1; // registration at the new cell
         last
     }
 
-    /// Hosts currently connected.
+    /// Hosts currently connected (O(1): maintained on every transition).
     pub fn connected_count(&self) -> usize {
-        self.state.iter().filter(|a| a.is_connected()).count()
+        self.connected
+    }
+
+    /// Connected hosts currently in `cell`, in **arbitrary** order (hand-off
+    /// churn perturbs it; sort for a canonical order). Empty for cells no
+    /// host ever visited.
+    pub fn residents(&self, cell: MssId) -> &[MhId] {
+        self.residents
+            .get(cell.idx())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total hand-offs performed.
@@ -218,6 +279,66 @@ mod tests {
         assert_eq!(t.disconnects(), 1);
         assert_eq!(t.reconnects(), 1);
         assert_eq!(t.control_msgs(), 2); // 1 disconnect + 1 reconnect
+    }
+
+    #[test]
+    fn resident_lists_track_every_transition() {
+        let mut t = AttachmentTable::new(vec![MssId(0), MssId(0), MssId(1)]);
+        assert_eq!(t.residents(MssId(0)), &[MhId(0), MhId(1)]);
+        assert_eq!(t.residents(MssId(1)), &[MhId(2)]);
+
+        // Hand-off moves the host between lists (swap-remove keeps the
+        // remaining residents valid).
+        t.handoff(MhId(0), MssId(1));
+        assert_eq!(t.residents(MssId(0)), &[MhId(1)]);
+        let mut c1: Vec<MhId> = t.residents(MssId(1)).to_vec();
+        c1.sort_by_key(|m| m.idx());
+        assert_eq!(c1, &[MhId(0), MhId(2)]);
+
+        // Disconnection removes from the list; reconnection elsewhere joins
+        // the new cell.
+        t.disconnect(MhId(1));
+        assert!(t.residents(MssId(0)).is_empty());
+        t.reconnect(MhId(1), MssId(3));
+        assert_eq!(t.residents(MssId(3)), &[MhId(1)]);
+        // A never-visited cell is empty, not a panic.
+        assert!(t.residents(MssId(9)).is_empty());
+        assert_eq!(t.connected_count(), 3);
+    }
+
+    #[test]
+    fn residency_invariant_survives_churn() {
+        // Deterministic pseudo-random churn over a few cells; after every
+        // step, each connected host appears exactly once in exactly its own
+        // cell's list.
+        let mut t = AttachmentTable::new((0..7).map(|i| MssId(i % 3)).collect());
+        let mut x: u64 = 42;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mh = MhId((x >> 33) as usize % 7);
+            match t.attachment(mh) {
+                Attachment::Connected(cur) => {
+                    if x.is_multiple_of(3) {
+                        t.disconnect(mh);
+                    } else {
+                        let target = MssId((cur.idx() + 1 + (x as usize % 4)) % 5);
+                        if target != cur {
+                            t.handoff(mh, target);
+                        }
+                    }
+                }
+                Attachment::Disconnected { .. } => {
+                    t.reconnect(mh, MssId(x as usize % 5));
+                }
+            }
+            let listed: usize = (0..6).map(|c| t.residents(MssId(c)).len()).sum();
+            assert_eq!(listed, t.connected_count());
+            for c in 0..6 {
+                for &m in t.residents(MssId(c)) {
+                    assert_eq!(t.cell_of(m), Some(MssId(c)));
+                }
+            }
+        }
     }
 
     #[test]

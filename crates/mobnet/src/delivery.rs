@@ -29,10 +29,18 @@ pub struct Queued<P> {
 }
 
 /// Per-host inbound queues, each held at the host's responsible MSS.
+///
+/// Struct-of-arrays layout: the holder stations and the queues live in
+/// parallel `Vec`s. The hot paths touch exactly one of the two — `holder`
+/// checks during delivery routing never pull a `VecDeque`'s three pointers
+/// into cache, and queue operations never load the station id — so each
+/// array stays dense for its own access pattern.
 #[derive(Debug, Clone)]
 pub struct Mailboxes<P> {
-    /// For each host: (station currently holding the queue, the queue).
-    boxes: Vec<(MssId, VecDeque<Queued<P>>)>,
+    /// For each host, the station currently holding its queue.
+    holders: Vec<MssId>,
+    /// For each host, the pending inbound messages.
+    queues: Vec<VecDeque<Queued<P>>>,
     forwarded_msgs: u64,
     enqueued: u64,
 }
@@ -41,7 +49,8 @@ impl<P> Mailboxes<P> {
     /// Creates mailboxes for `n` hosts at their initial stations.
     pub fn new(initial: &[MssId]) -> Self {
         Mailboxes {
-            boxes: initial.iter().map(|&m| (m, VecDeque::new())).collect(),
+            holders: initial.to_vec(),
+            queues: initial.iter().map(|_| VecDeque::new()).collect(),
             forwarded_msgs: 0,
             enqueued: 0,
         }
@@ -49,7 +58,7 @@ impl<P> Mailboxes<P> {
 
     /// Enqueues an inbound message for `to` (held at its responsible MSS).
     pub fn enqueue(&mut self, to: MhId, msg: Queued<P>) {
-        self.boxes[to.idx()].1.push_back(msg);
+        self.queues[to.idx()].push_back(msg);
         self.enqueued += 1;
     }
 
@@ -57,12 +66,11 @@ impl<P> Mailboxes<P> {
     /// reconnection elsewhere); pending messages are forwarded over the
     /// wired network. Returns how many messages were forwarded.
     pub fn relocate(&mut self, mh: MhId, new_mss: MssId) -> u64 {
-        let entry = &mut self.boxes[mh.idx()];
-        if entry.0 == new_mss {
+        if self.holders[mh.idx()] == new_mss {
             return 0;
         }
-        entry.0 = new_mss;
-        let n = entry.1.len() as u64;
+        self.holders[mh.idx()] = new_mss;
+        let n = self.queues[mh.idx()].len() as u64;
         self.forwarded_msgs += n;
         n
     }
@@ -70,17 +78,17 @@ impl<P> Mailboxes<P> {
     /// Pops the oldest pending message for `mh`, if any (the host's receive
     /// operation).
     pub fn pop(&mut self, mh: MhId) -> Option<Queued<P>> {
-        self.boxes[mh.idx()].1.pop_front()
+        self.queues[mh.idx()].pop_front()
     }
 
     /// Pending-message count for `mh`.
     pub fn pending(&self, mh: MhId) -> usize {
-        self.boxes[mh.idx()].1.len()
+        self.queues[mh.idx()].len()
     }
 
     /// Station currently holding `mh`'s queue.
     pub fn holder(&self, mh: MhId) -> MssId {
-        self.boxes[mh.idx()].0
+        self.holders[mh.idx()]
     }
 
     /// Total messages forwarded between stations due to mobility.
@@ -96,7 +104,7 @@ impl<P> Mailboxes<P> {
     /// Deepest inbound queue right now, across all hosts — the queue-depth
     /// gauge the metrics registry samples at end of run.
     pub fn max_pending(&self) -> usize {
-        self.boxes.iter().map(|(_, q)| q.len()).max().unwrap_or(0)
+        self.queues.iter().map(VecDeque::len).max().unwrap_or(0)
     }
 }
 

@@ -149,6 +149,15 @@ mkdir -p "$out_dir/scale1" "$out_dir/scale2"
     > "$out_dir/scale2/det.json"
 diff -q "$out_dir/scale1/det.json" "$out_dir/scale2/det.json"
 
+# Scale regression gate: event throughput at N=1000 must stay within 5x
+# of N=10. A reintroduced O(total-hosts) scan on a hot path (broadcast,
+# delivery, coordinator collection) blows far past that budget; genuine
+# cache effects do not.
+echo "==> smoke: figures scale --check-regression (10 vs 1000 hosts)"
+mkdir -p "$out_dir/scale_reg"
+"$figures" scale --n-list 10,1000 --horizon 300 --check-regression \
+    --out-dir "$out_dir/scale_reg" >/dev/null
+
 # Failure injection must be a pure function of the seed: two runs of the
 # same seed produce byte-identical reports, crash times and all. The
 # flaky_commuters scenario exercises the Markov mobility + failure path.

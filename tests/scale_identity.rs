@@ -1,0 +1,73 @@
+//! Byte-identity pinning for the large-N hot-path work.
+//!
+//! The SoA host-state layout and the cell-local iteration refactor are pure
+//! reorganizations: they must not move a single modelled quantity. This test
+//! pins the full deterministic `mck.run/v1` artifact (every counter, gauge
+//! and per-host series the run can observe, `timing` members stripped) for
+//! the paper configuration of all four trait-based protocols to the hashes
+//! captured on the pre-refactor tree. Any trajectory change — an RNG drawn
+//! in a different order, a victim list in a different order, a counter
+//! drifting — shows up here as a hash mismatch.
+//!
+//! The default (dense) piggyback codec is part of the pin: `--pb-codec rle`
+//! is opt-in precisely so this artifact stays byte-identical.
+
+use cic::CicKind;
+use mck::artifact::{deterministic_view, run_artifact};
+use mck::prelude::*;
+
+/// FNV-1a 64-bit, hand-rolled (no external hash dependencies).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic artifact text for the paper configuration of `kind`
+/// (T_switch = 1000, P_switch = 0.8, H = 0, seed 1, horizon 10000).
+fn artifact_text(kind: CicKind) -> String {
+    let cfg = SimConfig::paper(ProtocolChoice::Cic(kind), 1000.0, 0.8, 0.0);
+    let report = Simulation::run(cfg.clone());
+    deterministic_view(&run_artifact(&cfg, &report)).to_pretty()
+}
+
+/// (protocol, artifact byte length, FNV-1a 64 of the artifact) captured on
+/// the tree *before* the SoA + cell-local refactor landed.
+const GOLDEN: [(CicKind, usize, u64); 4] = [
+    (CicKind::Tp, 1263, 0x853ce57be2519116),
+    (CicKind::Bcs, 1260, 0x969701d1cd827ccd),
+    (CicKind::Qbc, 1260, 0x0651c514152f5ac4),
+    (CicKind::Uncoordinated, 1264, 0x9339fe364dd04836),
+];
+
+#[test]
+fn paper_config_artifacts_are_byte_identical_to_pre_refactor_tree() {
+    let mut drift = String::new();
+    for (kind, len, hash) in GOLDEN {
+        let text = artifact_text(kind);
+        if (text.len(), fnv1a64(text.as_bytes())) != (len, hash) {
+            drift += &format!(
+                "    ({kind:?}: expected len {len} hash {hash:#018x}, \
+                 actual len {} hash {:#018x})\n",
+                text.len(),
+                fnv1a64(text.as_bytes()),
+            );
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "deterministic mck.run/v1 artifacts drifted from the pre-refactor goldens:\n{drift}"
+    );
+}
+
+#[test]
+fn artifact_text_is_stable_within_one_build() {
+    // Meta-check: two runs of the same config produce the same text, so a
+    // golden mismatch above means drift, not flakiness.
+    let a = artifact_text(CicKind::Tp);
+    let b = artifact_text(CicKind::Tp);
+    assert_eq!(a, b);
+}
