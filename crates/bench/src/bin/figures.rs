@@ -15,6 +15,7 @@
 //! cargo run --release -p mck-bench --bin figures -- topologies
 //! cargo run --release -p mck-bench --bin figures -- contention
 //! cargo run --release -p mck-bench --bin figures -- sweep-bench
+//! cargo run --release -p mck-bench --bin figures -- serve-bench --min-speedup 100
 //! cargo run --release -p mck-bench --bin figures -- scale --n-list 10,100,1000
 //! cargo run --release -p mck-bench --bin figures -- log-size
 //! cargo run --release -p mck-bench --bin figures -- recovery
@@ -46,6 +47,11 @@
 //! `sweep-bench` times the full figure grid at 1 worker and at full
 //! parallelism and writes a `mck.bench_sweep/v1` artifact (default
 //! `BENCH_sweep.json`) with runs-per-second and per-protocol wall-clock.
+//! `serve-bench` boots the `mck serve` stack in-process, measures one cold
+//! `POST /run` against `--warm N` cache hits (default 20), asserts warm
+//! responses are byte-identical and execute zero simulation events, and
+//! writes a `mck.serve_bench/v1` artifact (`BENCH_serve.json`);
+//! `--min-speedup X` exits nonzero below a cold/warm floor.
 //! `scale` sweeps the host population (`--n-list a,b,c`, default
 //! 10,100,1000,10000, with `--horizon T`, default 500, and `--mss-ratio R`
 //! hosts per cell, default 32) through spanned + profiled runs and writes a
@@ -90,6 +96,8 @@ struct Opts {
     horizon: Option<f64>,
     mss_ratio: u64,
     check_regression: bool,
+    warm: u64,
+    min_speedup: Option<f64>,
 }
 
 fn main() {
@@ -107,6 +115,8 @@ fn main() {
         horizon: None,
         mss_ratio: 32,
         check_regression: false,
+        warm: 20,
+        min_speedup: None,
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -141,6 +151,14 @@ fn main() {
                 assert!(opts.mss_ratio > 0, "--mss-ratio must be positive");
             }
             "--check-regression" => opts.check_regression = true,
+            "--warm" => {
+                opts.warm = it.next().expect("--warm N").parse().expect("number");
+                assert!(opts.warm > 0, "--warm must be positive");
+            }
+            "--min-speedup" => {
+                opts.min_speedup =
+                    Some(it.next().expect("--min-speedup X").parse().expect("number"));
+            }
             other => cmd.push(other.to_string()),
         }
     }
@@ -152,6 +170,7 @@ fn main() {
         [] | ["all"] => figures(&opts, &[1, 2, 3, 4, 5, 6]),
         ["fig", n] => figures(&opts, &[n.parse().expect("figure number")]),
         ["sweep-bench"] => sweep_bench(&opts),
+        ["serve-bench"] => serve_bench(&opts),
         ["scale"] => scale(&opts),
         ["claims"] => print_claims(&opts),
         ["ablation"] => ablation(&opts),
@@ -342,6 +361,117 @@ fn sweep_bench(opts: &Opts) {
     match artifact::write(&path, &doc) {
         Ok(()) => eprintln!("sweep-bench artifact -> {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Cold-vs-warm serving benchmark (`figures serve-bench`): boots the
+/// `mck serve` stack in-process on an ephemeral port with a fresh cache,
+/// issues one cold `POST /run` on the paper's default configuration and
+/// `--warm N` (default 20) warm repeats, and writes a `mck.serve_bench/v1`
+/// artifact (default `BENCH_serve.json`). The warm path must (a) return
+/// bytes identical to the cold response and (b) execute zero simulation
+/// events — both asserted here against the service counters, not inferred.
+/// `--min-speedup X` exits nonzero when cold/warm-min falls below X (the
+/// CI gate for "a hit never recomputes").
+fn serve_bench(opts: &Opts) {
+    use servekit::http::{client_request, header_value};
+    use servekit::server::{ServeOptions, Server};
+    use std::sync::atomic::Ordering;
+
+    let cache_dir = std::env::temp_dir().join(format!("mck_serve_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok(); // guarantee the first request is cold
+    let serve_opts = ServeOptions {
+        cache_dir: cache_dir.clone(),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&serve_opts).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let service = server.service();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    eprintln!("serve-bench: server on http://{addr}, cache {}", cache_dir.display());
+
+    // The paper's default configuration: an empty request body takes every
+    // default, exactly like `mck run` with no flags.
+    let body = b"{}";
+    let t0 = Instant::now();
+    let (status, headers, cold_body) =
+        client_request(&addr, "POST", "/run", body).expect("cold request");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "cold request failed: {}", String::from_utf8_lossy(&cold_body));
+    assert_eq!(header_value(&headers, "x-mck-cache"), Some("miss"));
+    let key = header_value(&headers, "x-mck-key").unwrap_or("?").to_string();
+
+    let events_before_warm = service.metrics.sim_events.load(Ordering::SeqCst);
+    let mut warm_ms: Vec<f64> = Vec::with_capacity(opts.warm as usize);
+    let mut byte_identical = true;
+    for _ in 0..opts.warm {
+        let t0 = Instant::now();
+        let (status, headers, warm_body) =
+            client_request(&addr, "POST", "/run", body).expect("warm request");
+        warm_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200);
+        assert_eq!(header_value(&headers, "x-mck-cache"), Some("hit"));
+        byte_identical &= warm_body == cold_body;
+    }
+    let warm_events = service.metrics.sim_events.load(Ordering::SeqCst) - events_before_warm;
+    assert_eq!(warm_events, 0, "warm requests must execute zero simulation events");
+    assert_eq!(service.metrics.sim_runs.load(Ordering::SeqCst), 1);
+    assert!(byte_identical, "warm responses must be byte-identical to the cold one");
+
+    client_request(&addr, "POST", "/shutdown", b"").expect("shutdown");
+    let summary = handle.join().expect("server thread");
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let warm_ms_mean = warm_ms.iter().sum::<f64>() / warm_ms.len().max(1) as f64;
+    let warm_ms_min = warm_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let speedup = cold_ms / warm_ms_min.max(1e-9);
+    eprintln!(
+        "serve-bench: cold {cold_ms:.1} ms, warm mean {warm_ms_mean:.3} ms \
+         (min {warm_ms_min:.3}), speedup {speedup:.0}x, {} hits / {} misses",
+        summary.hits, summary.misses
+    );
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str(artifact::SERVE_BENCH_SCHEMA)),
+        ("version".into(), Json::str(artifact::version())),
+        (
+            "config".into(),
+            servekit::key::normalized_config_json(&SimConfig::default()),
+        ),
+        ("key".into(), Json::str(key)),
+        ("warm_requests".into(), Json::uint(opts.warm)),
+        ("byte_identical".into(), Json::Bool(byte_identical)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::uint(summary.hits)),
+                ("misses".into(), Json::uint(summary.misses)),
+            ]),
+        ),
+        (
+            "timing".into(),
+            Json::Obj(vec![
+                ("cold_ms".into(), Json::Num(cold_ms)),
+                ("warm_ms_mean".into(), Json::Num(warm_ms_mean)),
+                ("warm_ms_min".into(), Json::Num(warm_ms_min)),
+                ("speedup".into(), Json::Num(speedup)),
+            ]),
+        ),
+    ]);
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| opts.out_dir.join("BENCH_serve.json"));
+    match artifact::write(&path, &doc) {
+        Ok(()) => eprintln!("serve-bench artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    if let Some(min) = opts.min_speedup {
+        if speedup < min {
+            eprintln!("serve-bench REGRESSION: speedup {speedup:.0}x below the {min:.0}x floor");
+            std::process::exit(1);
+        }
+        eprintln!("serve-bench speedup check: {speedup:.0}x >= {min:.0}x — ok");
     }
 }
 

@@ -27,6 +27,7 @@ use args::{ArgError, Args};
 use mck::experiments::{self, FigureSpec, T_SWITCH_SWEEP};
 use mck::prelude::*;
 use mck::table::{fmt_estimate, Table};
+use simkit::json::Json;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +42,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json> [--deterministic]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --queue heap|calendar (pending-event set; results are identical)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json|cache-dir> [--deterministic]\n  mck serve   [--addr HOST] [--port N] [--cache-dir DIR] [--max-entries N] [--queue-depth N] [--max-requests N]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --cache-dir DIR (run/fig: content-addressed result cache; warm\n                         requests replay stored artifact bytes verbatim)\n        --queue heap|calendar (pending-event set; results are identical)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -69,6 +70,12 @@ const KNOWN: &[&str] = &[
     "queue",
     "pb-codec",
     "scenario",
+    "cache-dir",
+    "addr",
+    "port",
+    "max-entries",
+    "queue-depth",
+    "max-requests",
 ];
 const BOOLEAN: &[&str] = &["csv", "profile", "progress", "deterministic"];
 
@@ -92,6 +99,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         Some("topologies") => cmd_topologies(&args),
         Some("contention") => cmd_contention(&args),
         Some("inspect") => cmd_inspect(&args),
+        Some("serve") => cmd_serve(&args),
         Some("list") => Ok(cmd_list()),
         Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
         None => Err(ArgError("no command given".into())),
@@ -162,6 +170,9 @@ fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
 }
 
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    if let Some(dir) = args.get("cache-dir") {
+        return cmd_run_cached(args, dir);
+    }
     let cfg = config_of(args)?;
     let trace_path = args.get("trace").map(std::path::PathBuf::from);
     let metrics_path = args.get("metrics").map(std::path::PathBuf::from);
@@ -194,6 +205,55 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
     // Wall-clock timing goes to stderr so stdout stays deterministic.
     if let Some(timing) = r.timing_summary() {
         eprintln!("profile: {timing}");
+    }
+    Ok(out)
+}
+
+/// `mck run --cache-dir DIR`: the content-addressed path. The run's
+/// `mck.run/v1` artifact is stored under its canonical key and replayed
+/// byte-for-byte on the next identical request, so stdout (the artifact
+/// summary) is the same cold or warm; the hit/miss disposition — host-local
+/// state, like wall-clock — goes to stderr.
+fn cmd_run_cached(args: &Args, dir: &str) -> Result<String, ArgError> {
+    if args.get("trace").is_some() {
+        return Err(ArgError(
+            "--trace cannot be combined with --cache-dir (a cache hit executes no events to trace)"
+                .into(),
+        ));
+    }
+    let cfg = config_of(args)?;
+    let mut cache = servekit::cache::RunCache::open(std::path::Path::new(dir), 4096)
+        .map_err(|e| ArgError(format!("--cache-dir {dir}: {e}")))?;
+    let key = servekit::key::run_key(&cfg);
+    let (bytes, disposition) = match cache.get(&key) {
+        Some(bytes) => (bytes, "hit"),
+        None => {
+            // Canonical artifact instrumentation: the same metrics-on run the
+            // server performs, so CLI and service share cache entries.
+            let instr = Instrumentation {
+                metrics: true,
+                profile: args.flag("profile"),
+                progress: args.flag("progress"),
+                ..Instrumentation::off()
+            };
+            let r = Simulation::run_with(cfg.clone(), instr);
+            let bytes =
+                servekit::server::artifact_bytes(&mck::artifact::run_artifact(&cfg, &r));
+            cache
+                .put(&key, mck::artifact::RUN_SCHEMA, &bytes)
+                .map_err(|e| ArgError(format!("--cache-dir {dir}: {e}")))?;
+            (bytes, "miss")
+        }
+    };
+    eprintln!("cache {disposition} {key} ({dir})");
+    let v = simkit::json::parse(&bytes)
+        .map_err(|e| ArgError(format!("cached artifact {key}: {e}")))?;
+    let mut out = mck::artifact::describe(&v).map_err(ArgError)?;
+    if let Some(path) = args.get("metrics") {
+        // The stored bytes verbatim — identical to what `mck run --metrics`
+        // writes without the cache.
+        std::fs::write(path, &bytes).map_err(|e| ArgError(format!("--metrics {path}: {e}")))?;
+        out += &format!("metrics artifact -> {path}\n");
     }
     Ok(out)
 }
@@ -236,10 +296,15 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
 }
 
 fn cmd_inspect(args: &Args) -> Result<String, ArgError> {
-    let path = args
+    let arg = args
         .positional(1)
         .ok_or_else(|| ArgError("inspect needs an artifact path".into()))?;
-    let v = mck::artifact::read(std::path::Path::new(path)).map_err(ArgError)?;
+    let mut path = std::path::PathBuf::from(arg);
+    if path.is_dir() {
+        // A cache directory: inspect its index file.
+        path = servekit::cache::RunCache::index_path(&path);
+    }
+    let v = mck::artifact::read(&path).map_err(ArgError)?;
     if args.flag("deterministic") {
         // The separation-rule view: the artifact with every `timing` member
         // removed, byte-stable across hosts for a given config + seed. CI
@@ -247,7 +312,128 @@ fn cmd_inspect(args: &Args) -> Result<String, ArgError> {
         mck::artifact::validate(&v).map_err(ArgError)?;
         return Ok(format!("{}\n", mck::artifact::deterministic_view(&v).to_pretty()));
     }
-    mck::artifact::describe(&v).map_err(ArgError)
+    let schema = mck::artifact::validate(&v).map_err(ArgError)?;
+    if schema == mck::artifact::CACHE_INDEX_SCHEMA {
+        // The CLI view adds an age column from the object files' mtimes —
+        // filesystem state the deterministic core describe can't touch.
+        return describe_cache_index(&path, &v);
+    }
+    let mut out = String::new();
+    if let Some(header) = cache_entry_header(&path) {
+        out += &header;
+    }
+    out += &mck::artifact::describe(&v).map_err(ArgError)?;
+    Ok(out)
+}
+
+/// Renders a `mck.cache_index/v1` with one row per entry: key prefix,
+/// artifact kind, byte size, and age (from the object file's mtime).
+fn describe_cache_index(index_path: &std::path::Path, v: &Json) -> Result<String, ArgError> {
+    let dir = index_path.parent().unwrap_or(std::path::Path::new("."));
+    let entries = v
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ArgError("cache index has no entries array".into()))?;
+    let total: u64 = entries
+        .iter()
+        .filter_map(|e| e.get("bytes").and_then(Json::as_u64))
+        .sum();
+    let mut out = format!(
+        "mck.cache_index/v1: {} entries, {} bytes ({})\n",
+        entries.len(),
+        total,
+        dir.display()
+    );
+    let mut table = Table::new(vec!["key", "kind", "bytes", "age"]);
+    for e in entries {
+        let key = e.get("key").and_then(Json::as_str).unwrap_or("?");
+        let kind = e.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let bytes = e.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+        let object = dir.join("objects").join(format!("{key}.json"));
+        table.push_row(vec![
+            key.chars().take(16).collect(),
+            kind.to_string(),
+            bytes.to_string(),
+            file_age(&object).unwrap_or_else(|| "?".into()),
+        ]);
+    }
+    out += &table.render();
+    Ok(out)
+}
+
+/// For a file inside a cache's `objects/` directory, a one-line header
+/// giving its key, byte size, and age before the ordinary describe output.
+fn cache_entry_header(path: &std::path::Path) -> Option<String> {
+    let parent = path.parent()?;
+    if parent.file_name()? != "objects" {
+        return None;
+    }
+    let key = path.file_stem()?.to_str()?;
+    let bytes = std::fs::metadata(path).ok()?.len();
+    let age = file_age(path).unwrap_or_else(|| "?".into());
+    Some(format!("cache entry {key} ({bytes} bytes, age {age})\n"))
+}
+
+/// Humanized time since a file's mtime: `42s`, `7m`, `3h`, `2d`.
+fn file_age(path: &std::path::Path) -> Option<String> {
+    let mtime = std::fs::metadata(path).ok()?.modified().ok()?;
+    let secs = std::time::SystemTime::now()
+        .duration_since(mtime)
+        .unwrap_or_default()
+        .as_secs();
+    Some(match secs {
+        0..=59 => format!("{secs}s"),
+        60..=3599 => format!("{}m", secs / 60),
+        3600..=86399 => format!("{}h", secs / 3600),
+        _ => format!("{}d", secs / 86400),
+    })
+}
+
+/// `mck serve`: binds the servekit HTTP server and blocks in its accept
+/// loop until `POST /shutdown` (or `--max-requests` for bounded smokes).
+/// The bound address prints and flushes before blocking so scripts can
+/// parse it even with `--port 0`.
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    let host = args.get("addr").unwrap_or("127.0.0.1");
+    let port = args.get_u64("port", 7199)?;
+    let max_entries = args.get_usize("max-entries", 4096)?;
+    if max_entries == 0 {
+        return Err(ArgError("--max-entries must be at least 1".into()));
+    }
+    let queue_depth = args.get_usize("queue-depth", 4)?;
+    if queue_depth == 0 {
+        return Err(ArgError("--queue-depth must be at least 1".into()));
+    }
+    let opts = servekit::server::ServeOptions {
+        addr: format!("{host}:{port}"),
+        cache_dir: std::path::PathBuf::from(args.get("cache-dir").unwrap_or(".mck-cache")),
+        max_entries,
+        queue_depth,
+        max_requests: match args.get_u64("max-requests", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+        ..servekit::server::ServeOptions::default()
+    };
+    let server = servekit::server::Server::bind(&opts)
+        .map_err(|e| ArgError(format!("serve: bind {}: {e}", opts.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| ArgError(format!("serve: {e}")))?;
+    println!("mck serve listening on http://{addr}");
+    println!(
+        "cache {} ({} max entries, queue depth {})",
+        opts.cache_dir.display(),
+        opts.max_entries,
+        opts.queue_depth
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let s = server.run().map_err(|e| ArgError(format!("serve: {e}")))?;
+    Ok(format!(
+        "drained: {} requests ({} hits, {} misses, {} coalesced, {} rejected)\n",
+        s.requests, s.hits, s.misses, s.coalesced, s.rejected
+    ))
 }
 
 fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
@@ -304,6 +490,9 @@ fn cmd_fig(args: &Args) -> Result<String, ArgError> {
             return Err(ArgError(format!("the paper has figures 1-6, not {id}")));
         }
     }
+    if let Some(dir) = args.get("cache-dir") {
+        return cmd_fig_cached(args, &ids, dir);
+    }
     // All requested figures execute as one flattened job list, so `fig all`
     // keeps every worker busy across figure boundaries.
     let specs: Vec<FigureSpec> = ids.iter().map(|&id| experiments::figure(id)).collect();
@@ -318,6 +507,54 @@ fn cmd_fig(args: &Args) -> Result<String, ArgError> {
             let path = std::path::Path::new(dir).join(format!("FIG{id}.json"));
             let art = mck::artifact::figure_artifact(&res, seed, reps);
             mck::artifact::write(&path, &art)
+                .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
+            out += &format!("figure artifact -> {}\n", path.display());
+        }
+        out += "\n";
+    }
+    Ok(out)
+}
+
+/// `mck fig --cache-dir DIR`: figures are cached one entry per figure, so
+/// `fig all` can be partially warm. Cold figures compute individually
+/// (losing the cross-figure job batching — the price of per-figure keys),
+/// and stdout is the artifact summary, identical cold or warm.
+fn cmd_fig_cached(args: &Args, ids: &[usize], dir: &str) -> Result<String, ArgError> {
+    let reps = args.get_usize("reps", 5)?;
+    let seed = args.get_u64("seed", 1)?;
+    let scenario = scenario_of(args)?;
+    let mut cache = servekit::cache::RunCache::open(std::path::Path::new(dir), 4096)
+        .map_err(|e| ArgError(format!("--cache-dir {dir}: {e}")))?;
+    let mut out = String::new();
+    for &id in ids {
+        let key = servekit::key::figure_key(id, seed, reps, scenario.as_ref());
+        let (bytes, disposition) = match cache.get(&key) {
+            Some(bytes) => (bytes, "hit"),
+            None => {
+                let spec = experiments::figure(id);
+                let res = experiments::run_figures_scenario(&[spec], seed, reps, scenario.as_ref())
+                    .pop()
+                    .expect("one result per requested figure");
+                let bytes = servekit::server::artifact_bytes(&mck::artifact::figure_artifact(
+                    &res, seed, reps,
+                ));
+                cache
+                    .put(&key, mck::artifact::FIGURE_SCHEMA, &bytes)
+                    .map_err(|e| ArgError(format!("--cache-dir {dir}: {e}")))?;
+                (bytes, "miss")
+            }
+        };
+        eprintln!("cache {disposition} {key} ({dir})");
+        let v = simkit::json::parse(&bytes)
+            .map_err(|e| ArgError(format!("cached artifact {key}: {e}")))?;
+        out += &mck::artifact::describe(&v).map_err(ArgError)?;
+        if let Some(odir) = args.get("out-dir") {
+            let path = std::path::Path::new(odir).join(format!("FIG{id}.json"));
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
+            }
+            std::fs::write(&path, &bytes)
                 .map_err(|e| ArgError(format!("--out-dir {}: {e}", path.display())))?;
             out += &format!("figure artifact -> {}\n", path.display());
         }
@@ -563,6 +800,10 @@ fn cmd_list() -> String {
     out += "            (--folded for flamegraph stacks, --prom for Prometheus text)\n";
     out += "  inspect:  summarize a JSON artifact written by run/sweep/fig, or a scenario file\n";
     out += "            (--deterministic prints the artifact minus its timing members, for diffs)\n";
+    out += "            (a cache directory lists its entries: key, kind, bytes, age)\n";
+    out += "  serve:    HTTP service with a content-addressed result cache\n";
+    out += "            (POST /run, POST /sweep, GET /status, GET /metrics, POST /shutdown;\n";
+    out += "             warm requests replay stored artifact bytes without running anything)\n";
     out += "scenarios: pass --scenario FILE (mck.scenario/v1) to run/sweep/fig to swap the\n";
     out += "           cell topology, mobility model, and traffic model; see scenarios/\n";
     out
@@ -936,5 +1177,97 @@ mod tests {
         assert!(dispatch(&raw(&["fig"])).is_err());
         assert!(dispatch(&raw(&["fig", "9"])).is_err());
         assert!(dispatch(&raw(&["fig", "two"])).is_err());
+    }
+
+    #[test]
+    fn cached_run_is_byte_identical_and_inspectable() {
+        let dir = std::env::temp_dir().join("mck_cli_test_cache_run");
+        std::fs::remove_dir_all(&dir).ok();
+        let base = raw(&[
+            "run",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "300",
+            "--t-switch",
+            "100",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let cold = dispatch(&base).unwrap();
+        let warm = dispatch(&base).unwrap();
+        assert_eq!(cold, warm, "warm stdout must be byte-identical");
+        assert!(cold.contains("mck.run/v1"), "{cold}");
+
+        // A different seed is a different key, not a stale hit.
+        let mut reseeded = base.clone();
+        reseeded.extend(raw(&["--seed", "9"]));
+        assert_ne!(cold, dispatch(&reseeded).unwrap());
+
+        // The cache directory inspects as an index table with both entries.
+        let index = dispatch(&raw(&["inspect", dir.to_str().unwrap()])).unwrap();
+        assert!(index.contains("mck.cache_index/v1: 2 entries"), "{index}");
+        assert!(index.contains("mck.run/v1"), "{index}");
+        assert!(index.contains("age"), "{index}");
+
+        // Individual entries inspect with a cache-entry header.
+        let objects = dir.join("objects");
+        let entry = std::fs::read_dir(&objects).unwrap().next().unwrap().unwrap();
+        let inspected = dispatch(&raw(&["inspect", entry.path().to_str().unwrap()])).unwrap();
+        assert!(inspected.contains("cache entry "), "{inspected}");
+        assert!(inspected.contains("mck.run/v1"), "{inspected}");
+
+        // --metrics on a warm request writes the stored bytes verbatim.
+        let copy = dir.join("copy.json");
+        let mut with_metrics = base.clone();
+        with_metrics.extend(raw(&["--metrics", copy.to_str().unwrap()]));
+        dispatch(&with_metrics).unwrap();
+        let written = std::fs::read_to_string(&copy).unwrap();
+        let key = servekit::key::run_key(
+            &config_of(&Args::parse(&base, KNOWN, BOOLEAN).unwrap()).unwrap(),
+        );
+        let stored = std::fs::read_to_string(objects.join(format!("{key}.json"))).unwrap();
+        assert_eq!(written, stored);
+
+        // --trace is meaningless against a cache and is rejected.
+        let mut traced = base.clone();
+        traced.extend(raw(&["--trace", "/tmp/x.jsonl"]));
+        assert!(dispatch(&traced).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_fig_hits_per_figure() {
+        let dir = std::env::temp_dir().join("mck_cli_test_cache_fig");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A short-horizon scenario keeps the cold computation cheap and
+        // exercises the scenario's participation in the cache key.
+        let sc = dir.join("short.json");
+        std::fs::write(&sc, r#"{"schema":"mck.scenario/v1","params":{"horizon":400}}"#).unwrap();
+        let base = raw(&[
+            "fig",
+            "1",
+            "--reps",
+            "1",
+            "--scenario",
+            sc.to_str().unwrap(),
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let cold = dispatch(&base).unwrap();
+        let warm = dispatch(&base).unwrap();
+        assert_eq!(cold, warm);
+        assert!(cold.contains("mck.figure/v1"), "{cold}");
+        let index = dispatch(&raw(&["inspect", dir.to_str().unwrap()])).unwrap();
+        assert!(index.contains("mck.cache_index/v1: 1 entries"), "{index}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        assert!(dispatch(&raw(&["serve", "--max-entries", "0"])).is_err());
+        assert!(dispatch(&raw(&["serve", "--queue-depth", "0"])).is_err());
+        assert!(dispatch(&raw(&["serve", "--port", "x"])).is_err());
     }
 }

@@ -77,6 +77,12 @@ pub const PROFILE_SCHEMA: &str = "mck.profile/v1";
 /// Schema tag of the host-count scaling benchmark (`figures scale`,
 /// conventionally `BENCH_scale.json`).
 pub const BENCH_SCALE_SCHEMA: &str = "mck.bench_scale/v1";
+/// Schema tag of the content-addressed result cache's index file
+/// (`servekit`; `<cache-dir>/index.json`).
+pub const CACHE_INDEX_SCHEMA: &str = "mck.cache_index/v1";
+/// Schema tag of the cold-vs-warm serving benchmark
+/// (`figures serve-bench`, conventionally `BENCH_serve.json`).
+pub const SERVE_BENCH_SCHEMA: &str = "mck.serve_bench/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -647,6 +653,34 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                     .ok_or("scale point missing timing.events_per_sec")?;
             }
         }
+        CACHE_INDEX_SCHEMA => {
+            let entries = v
+                .get("entries")
+                .and_then(Json::as_arr)
+                .ok_or("cache index missing 'entries' array")?;
+            for e in entries {
+                for key in ["key", "kind"] {
+                    e.get(key)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("cache index entry missing '{key}'"))?;
+                }
+                e.get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("cache index entry missing 'bytes'")?;
+            }
+        }
+        SERVE_BENCH_SCHEMA => {
+            v.get("byte_identical")
+                .and_then(Json::as_bool)
+                .ok_or("serve bench missing 'byte_identical'")?;
+            v.get("warm_requests")
+                .and_then(Json::as_u64)
+                .ok_or("serve bench missing 'warm_requests'")?;
+            v.get("timing")
+                .and_then(|t| t.get("speedup"))
+                .and_then(Json::as_f64)
+                .ok_or("serve bench missing timing.speedup")?;
+        }
         scenario::SCENARIO_SCHEMA => {
             scenario::Scenario::from_json(v).map_err(|e| e.to_string())?;
         }
@@ -961,6 +995,55 @@ pub fn describe(v: &Json) -> Result<String, String> {
                 ]);
             }
             out += &t.render();
+        }
+        CACHE_INDEX_SCHEMA => {
+            let entries = v.get("entries").and_then(Json::as_arr).expect("validated");
+            out += &format!("entries  {}\n", entries.len());
+            let total: u64 = entries
+                .iter()
+                .filter_map(|e| e.get("bytes").and_then(Json::as_u64))
+                .sum();
+            out += &format!("bytes    {total}\n");
+            let mut t = crate::table::Table::new(vec!["key", "kind", "bytes"]);
+            for e in entries {
+                let key = e.get("key").and_then(Json::as_str).unwrap_or("?");
+                t.push_row(vec![
+                    key.chars().take(16).collect(),
+                    e.get("kind").and_then(Json::as_str).unwrap_or("?").into(),
+                    e.get("bytes")
+                        .and_then(Json::as_u64)
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                ]);
+            }
+            out += &t.render();
+        }
+        SERVE_BENCH_SCHEMA => {
+            if let Some(cfg) = v.get("config") {
+                out += &format!(
+                    "protocol {}\nhorizon  {}\n",
+                    cfg.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+                    cfg.get("horizon")
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.0}"))
+                        .unwrap_or_else(|| "?".into()),
+                );
+            }
+            out += &format!(
+                "warm     {} requests, byte-identical: {}\n",
+                v.get("warm_requests").and_then(Json::as_u64).unwrap_or(0),
+                v.get("byte_identical").and_then(Json::as_bool).unwrap_or(false),
+            );
+            if let Some(t) = v.get("timing") {
+                let num = |k: &str| t.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                out += &format!(
+                    "timing   cold {:.1} ms, warm {:.3} ms (min {:.3}), speedup {:.0}x\n",
+                    num("cold_ms"),
+                    num("warm_ms_mean"),
+                    num("warm_ms_min"),
+                    num("speedup"),
+                );
+            }
         }
         scenario::SCENARIO_SCHEMA => {
             let sc = scenario::Scenario::from_json(v).expect("validated");

@@ -1,0 +1,357 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Layout under the cache directory:
+//!
+//! ```text
+//! <dir>/index.json            mck.cache_index/v1 — key → kind/bytes, insertion order
+//! <dir>/objects/<key>.json    the artifact bytes, verbatim
+//! ```
+//!
+//! Entries hold the exact bytes the producer serialized, so a warm hit
+//! returns a byte-identical response — the property the end-to-end tests
+//! and `BENCH_serve.json` pin. Publication is atomic: both object files
+//! and the index are written to a temporary sibling and `rename`d into
+//! place, so a crashed writer can never leave a half-written entry visible.
+//!
+//! Reads are corruption-tolerant: an object that is missing, unparsable,
+//! or whose `schema` no longer matches its index row is quarantined
+//! (deleted and dropped from the index, counted in
+//! [`CacheStats::corrupt`]) and reported as a miss instead of poisoning
+//! the caller. A damaged index is rebuilt by rescanning `objects/`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use simkit::json::Json;
+
+/// One index row: a content address plus what it stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Content address (hex SHA-256 of the canonical request).
+    pub key: String,
+    /// Artifact schema tag of the stored document (`mck.run/v1`, …).
+    pub kind: String,
+    /// Size of the stored bytes.
+    pub bytes: u64,
+}
+
+/// Hit/miss/eviction accounting since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads answered from disk.
+    pub hits: u64,
+    /// Reads with no (valid) entry.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries quarantined by validation (unparsable, wrong schema,
+    /// vanished object file).
+    pub corrupt: u64,
+    /// Entries published.
+    pub inserts: u64,
+}
+
+/// The cache handle. Not internally synchronized — wrap it in a `Mutex`
+/// to share across request handlers (the serving layer does).
+pub struct RunCache {
+    dir: PathBuf,
+    max_entries: usize,
+    entries: Vec<IndexEntry>,
+    stats: CacheStats,
+    tmp_seq: u64,
+}
+
+impl RunCache {
+    /// Opens (or initializes) a cache directory holding at most
+    /// `max_entries` entries, oldest-first evicted.
+    pub fn open(dir: &Path, max_entries: usize) -> io::Result<RunCache> {
+        assert!(max_entries > 0, "a zero-capacity cache stores nothing");
+        std::fs::create_dir_all(dir.join("objects"))?;
+        let mut cache = RunCache {
+            dir: dir.to_path_buf(),
+            max_entries,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+            tmp_seq: 0,
+        };
+        match cache.load_index() {
+            Ok(entries) => cache.entries = entries,
+            // Missing or damaged index: rebuild from the objects on disk.
+            Err(_) => {
+                cache.rebuild_from_objects()?;
+                cache.write_index()?;
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The index file path for a cache directory.
+    pub fn index_path(dir: &Path) -> PathBuf {
+        dir.join("index.json")
+    }
+
+    /// Where an entry's bytes live.
+    pub fn object_path(&self, key: &str) -> PathBuf {
+        self.dir.join("objects").join(format!("{key}.json"))
+    }
+
+    /// Accounting since open.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Index rows, oldest first.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Total stored bytes across entries.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Looks a key up, returning the stored bytes verbatim on a hit.
+    /// Validation failures quarantine the entry and report a miss.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        let Some(pos) = self.entries.iter().position(|e| e.key == key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        let path = self.object_path(key);
+        let valid = std::fs::read_to_string(&path).ok().and_then(|text| {
+            let doc = simkit::json::parse(&text).ok()?;
+            let schema = doc.get("schema").and_then(Json::as_str)?;
+            (schema == self.entries[pos].kind).then_some(text)
+        });
+        match valid {
+            Some(text) => {
+                self.stats.hits += 1;
+                Some(text)
+            }
+            None => {
+                self.entries.remove(pos);
+                let _ = std::fs::remove_file(&path);
+                let _ = self.write_index();
+                self.stats.corrupt += 1;
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes an entry: atomic write-rename of the object, index update,
+    /// oldest-first eviction past the capacity bound. Re-publishing an
+    /// existing key refreshes it in place.
+    pub fn put(&mut self, key: &str, kind: &str, bytes: &str) -> io::Result<()> {
+        let path = self.object_path(key);
+        self.atomic_write(&path, bytes.as_bytes())?;
+        self.entries.retain(|e| e.key != key);
+        self.entries.push(IndexEntry {
+            key: key.to_string(),
+            kind: kind.to_string(),
+            bytes: bytes.len() as u64,
+        });
+        self.stats.inserts += 1;
+        while self.entries.len() > self.max_entries {
+            let victim = self.entries.remove(0);
+            let _ = std::fs::remove_file(self.object_path(&victim.key));
+            self.stats.evictions += 1;
+        }
+        self.write_index()
+    }
+
+    /// The `mck.cache_index/v1` document describing the current entries.
+    pub fn index_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema".into(),
+                Json::str(mck::artifact::CACHE_INDEX_SCHEMA),
+            ),
+            ("version".into(), Json::str(mck::artifact::version())),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("key".into(), Json::str(&e.key)),
+                                ("kind".into(), Json::str(&e.kind)),
+                                ("bytes".into(), Json::uint(e.bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn load_index(&self) -> Result<Vec<IndexEntry>, String> {
+        let text = std::fs::read_to_string(Self::index_path(&self.dir))
+            .map_err(|e| e.to_string())?;
+        let doc = simkit::json::parse(&text).map_err(|e| e.to_string())?;
+        if doc.get("schema").and_then(Json::as_str) != Some(mck::artifact::CACHE_INDEX_SCHEMA) {
+            return Err("not a cache index".into());
+        }
+        let rows = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("index missing 'entries'")?;
+        let mut entries = Vec::with_capacity(rows.len());
+        for row in rows {
+            entries.push(IndexEntry {
+                key: row
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .ok_or("entry missing 'key'")?
+                    .to_string(),
+                kind: row
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("entry missing 'kind'")?
+                    .to_string(),
+                bytes: row
+                    .get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("entry missing 'bytes'")?,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Index recovery: scan `objects/` (sorted, for a reproducible order),
+    /// keep every parsable self-describing document, quarantine the rest.
+    fn rebuild_from_objects(&mut self) -> io::Result<()> {
+        let mut names: Vec<PathBuf> = std::fs::read_dir(self.dir.join("objects"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        names.sort();
+        self.entries.clear();
+        for path in names {
+            let key = match (path.file_stem().and_then(|s| s.to_str()), path.extension()) {
+                (Some(stem), Some(ext)) if ext == "json" => stem.to_string(),
+                _ => continue,
+            };
+            let doc = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| simkit::json::parse(&text).ok().map(|d| (d, text.len())));
+            match doc.and_then(|(d, len)| {
+                d.get("schema")
+                    .and_then(Json::as_str)
+                    .map(|s| (s.to_string(), len))
+            }) {
+                Some((kind, len)) => self.entries.push(IndexEntry {
+                    key,
+                    kind,
+                    bytes: len as u64,
+                }),
+                None => {
+                    let _ = std::fs::remove_file(&path);
+                    self.stats.corrupt += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_index(&mut self) -> io::Result<()> {
+        let pretty = format!("{}\n", self.index_json().to_pretty());
+        self.atomic_write(&Self::index_path(&self.dir), pretty.as_bytes())
+    }
+
+    fn atomic_write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.tmp_seq += 1;
+        let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), self.tmp_seq));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("servekit_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_is_byte_exact() {
+        let dir = tmp_dir("roundtrip");
+        let mut cache = RunCache::open(&dir, 8).unwrap();
+        assert_eq!(cache.get("deadbeef"), None);
+        let body = "{\n  \"schema\": \"mck.run/v1\",\n  \"n\": 1\n}\n";
+        cache.put("deadbeef", "mck.run/v1", body).unwrap();
+        assert_eq!(cache.get("deadbeef").as_deref(), Some(body));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+
+        // A fresh handle sees the persisted index.
+        let mut reopened = RunCache::open(&dir, 8).unwrap();
+        assert_eq!(reopened.entries().len(), 1);
+        assert_eq!(reopened.get("deadbeef").as_deref(), Some(body));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let dir = tmp_dir("evict");
+        let mut cache = RunCache::open(&dir, 2).unwrap();
+        for key in ["a1", "b2", "c3"] {
+            cache
+                .put(key, "mck.run/v1", "{\"schema\":\"mck.run/v1\"}")
+                .unwrap();
+        }
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get("a1"), None, "oldest entry evicted");
+        assert!(cache.get("b2").is_some());
+        assert!(cache.get("c3").is_some());
+        assert!(!cache.object_path("a1").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_served() {
+        let dir = tmp_dir("corrupt");
+        let mut cache = RunCache::open(&dir, 8).unwrap();
+        cache
+            .put("feed", "mck.run/v1", "{\"schema\":\"mck.run/v1\"}")
+            .unwrap();
+        std::fs::write(cache.object_path("feed"), "{ truncated").unwrap();
+        assert_eq!(cache.get("feed"), None);
+        assert_eq!(cache.stats().corrupt, 1);
+        assert!(!cache.object_path("feed").exists(), "quarantined");
+        // Schema mismatch against the index row is also corruption.
+        cache
+            .put("f00d", "mck.run/v1", "{\"schema\":\"mck.sweep/v1\"}")
+            .unwrap();
+        assert_eq!(cache.get("f00d"), None);
+        assert_eq!(cache.stats().corrupt, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_index_is_rebuilt_from_objects() {
+        let dir = tmp_dir("rebuild");
+        let mut cache = RunCache::open(&dir, 8).unwrap();
+        let body = "{\"schema\":\"mck.run/v1\"}";
+        cache.put("aa", "mck.run/v1", body).unwrap();
+        cache.put("bb", "mck.sweep/v1", "{\"schema\":\"mck.sweep/v1\"}").unwrap();
+        std::fs::write(RunCache::index_path(&dir), "not json at all").unwrap();
+        // A stray unparsable object is dropped during the rescan.
+        std::fs::write(dir.join("objects").join("junk.json"), "%%%").unwrap();
+        let mut rebuilt = RunCache::open(&dir, 8).unwrap();
+        let keys: Vec<&str> = rebuilt.entries().iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, ["aa", "bb"], "sorted rescan order");
+        assert_eq!(rebuilt.get("aa").as_deref(), Some(body));
+        assert!(!dir.join("objects").join("junk.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

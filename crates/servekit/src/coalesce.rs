@@ -1,0 +1,204 @@
+//! Request coalescing: identical in-flight keys share one computation.
+//!
+//! The first caller for a key becomes the **leader** and runs the compute
+//! closure; callers that arrive while it is in flight become **joiners**
+//! and block until the leader publishes the shared result (errors
+//! included — a failed computation fails every waiter, rather than
+//! stampeding retries). Once a flight completes it is forgotten, so a
+//! later request for the same key starts fresh (and will normally be a
+//! cache hit upstream anyway).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a caller obtained its result.
+#[derive(Debug, Clone)]
+pub enum Outcome<T> {
+    /// This caller ran the computation.
+    Led(T),
+    /// This caller joined another caller's in-flight computation.
+    Joined(T),
+}
+
+impl<T> Outcome<T> {
+    /// The carried value, however it was obtained.
+    pub fn into_inner(self) -> T {
+        match self {
+            Outcome::Led(v) | Outcome::Joined(v) => v,
+        }
+    }
+}
+
+struct Flight<T> {
+    slot: Mutex<Option<Result<T, String>>>,
+    done: Condvar,
+    joiners: AtomicU64,
+}
+
+/// The in-flight table. `T` is cloned once per joiner; use `Arc<...>` for
+/// large payloads.
+pub struct Coalescer<T: Clone> {
+    flights: Mutex<HashMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for Coalescer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Coalescer<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Coalescer { flights: Mutex::new(HashMap::new()) }
+    }
+
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("coalescer lock").len()
+    }
+
+    /// Number of callers currently joined onto `key`'s flight (0 when the
+    /// key is not in flight). Observability hook: lets tests synchronize on
+    /// "a joiner is attached" instead of sleeping, and feeds the serving
+    /// layer's status report.
+    pub fn joiners(&self, key: &str) -> u64 {
+        self.flights
+            .lock()
+            .expect("coalescer lock")
+            .get(key)
+            .map_or(0, |f| f.joiners.load(Ordering::SeqCst))
+    }
+
+    /// Runs `compute` for `key`, unless an identical key is already in
+    /// flight — then waits for that computation instead.
+    pub fn run_or_join(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<T, String>,
+    ) -> Result<Outcome<T>, String> {
+        let flight = {
+            let mut flights = self.flights.lock().expect("coalescer lock");
+            if let Some(existing) = flights.get(key) {
+                // Counted under the map lock: once visible here, this
+                // caller is guaranteed to receive the leader's result.
+                existing.joiners.fetch_add(1, Ordering::SeqCst);
+                Some(existing.clone())
+            } else {
+                flights.insert(
+                    key.to_string(),
+                    Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                        joiners: AtomicU64::new(0),
+                    }),
+                );
+                None
+            }
+        };
+
+        if let Some(flight) = flight {
+            let mut slot = flight.slot.lock().expect("flight lock");
+            while slot.is_none() {
+                slot = flight.done.wait(slot).expect("flight lock");
+            }
+            return slot
+                .as_ref()
+                .expect("flight completed")
+                .clone()
+                .map(Outcome::Joined);
+        }
+
+        let result = compute();
+        let flight = self
+            .flights
+            .lock()
+            .expect("coalescer lock")
+            .remove(key)
+            .expect("leader owns the flight");
+        *flight.slot.lock().expect("flight lock") = Some(result.clone());
+        flight.done.notify_all();
+        result.map(Outcome::Led)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// Deterministic coalescing: the leader blocks inside `compute` until
+    /// the joiner is provably attached to its flight (observable via
+    /// [`Coalescer::joiners`]), so exactly one computation serves both
+    /// callers — no timing assumptions.
+    #[test]
+    fn concurrent_identical_keys_share_one_computation() {
+        let coalescer = Arc::new(Coalescer::<Arc<String>>::new());
+        let computations = Arc::new(AtomicU64::new(0));
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        let leader = {
+            let coalescer = coalescer.clone();
+            let computations = computations.clone();
+            std::thread::spawn(move || {
+                coalescer
+                    .run_or_join("k", || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        release_rx.recv().expect("release signal");
+                        Ok(Arc::new("value".to_string()))
+                    })
+                    .unwrap()
+            })
+        };
+        // Wait until the leader's flight is registered, then join it.
+        while coalescer.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let joiner = {
+            let coalescer = coalescer.clone();
+            let computations = computations.clone();
+            std::thread::spawn(move || {
+                coalescer
+                    .run_or_join("k", || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        Ok(Arc::new("wrong".to_string()))
+                    })
+                    .unwrap()
+            })
+        };
+        // Release the leader only once the joiner is attached.
+        while coalescer.joiners("k") == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+        let led = leader.join().unwrap();
+        let joined = joiner.join().unwrap();
+        assert_eq!(computations.load(Ordering::SeqCst), 1, "one computation");
+        assert!(matches!(led, Outcome::Led(ref v) if **v == "value"));
+        assert!(matches!(joined, Outcome::Joined(ref v) if **v == "value"));
+        assert_eq!(coalescer.in_flight(), 0);
+    }
+
+    #[test]
+    fn errors_propagate_and_flights_reset() {
+        let coalescer = Coalescer::<Arc<String>>::new();
+        let err = coalescer.run_or_join("k", || Err("boom".into())).unwrap_err();
+        assert_eq!(err, "boom");
+        // The failed flight is forgotten: the next caller leads again.
+        let ok = coalescer
+            .run_or_join("k", || Ok(Arc::new("fresh".to_string())))
+            .unwrap();
+        assert!(matches!(ok, Outcome::Led(_)));
+        assert_eq!(coalescer.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_never_coalesce() {
+        let coalescer = Coalescer::<u64>::new();
+        let a = coalescer.run_or_join("a", || Ok(1)).unwrap();
+        let b = coalescer.run_or_join("b", || Ok(2)).unwrap();
+        assert!(matches!(a, Outcome::Led(1)));
+        assert!(matches!(b, Outcome::Led(2)));
+    }
+}

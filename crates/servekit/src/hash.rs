@@ -1,0 +1,246 @@
+//! Canonical JSON form and content hashing.
+//!
+//! Cache keys must not depend on accidents of serialization:
+//! [`simkit::json::Json`] objects preserve insertion order, so the same
+//! logical configuration can arrive with members in any order (hand-edited
+//! request bodies, scenario files, future producers). [`canonical`] fixes
+//! that by sorting object members recursively and serializing compactly;
+//! [`digest_json`] hashes that canonical form with a hand-rolled SHA-256
+//! (FIPS 180-4) — the repo builds offline, so no external digest crate.
+
+use simkit::json::Json;
+
+/// The canonical serialization: every object's members sorted by name
+/// (recursively), rendered compactly. Two structurally equal documents
+/// canonicalize to the same bytes whatever their member order.
+pub fn canonical(v: &Json) -> String {
+    canonical_value(v).to_compact()
+}
+
+fn canonical_value(v: &Json) -> Json {
+    match v {
+        Json::Obj(members) => {
+            let mut sorted: Vec<(String, Json)> = members
+                .iter()
+                .map(|(name, val)| (name.clone(), canonical_value(val)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(sorted)
+        }
+        Json::Arr(items) => Json::Arr(items.iter().map(canonical_value).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Hex SHA-256 of the canonical form of a document.
+pub fn digest_json(v: &Json) -> String {
+    sha256_hex(canonical(v).as_bytes())
+}
+
+/// Hex-encoded SHA-256 digest of raw bytes.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let digest = Sha256::digest(data);
+    let mut out = String::with_capacity(64);
+    for byte in digest {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Round constants (fractional parts of the cube roots of the first 64
+/// primes, FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4).
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_bytes: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher in the standard initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                0x1f83d9ab, 0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finish()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_bytes += data.len() as u64;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Pads, finalizes, and returns the 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total_bytes.wrapping_mul(8);
+        // 0x80 terminator, zero padding to 56 mod 64, then the bit length.
+        let mut tail = [0u8; 72];
+        tail[0] = 0x80;
+        let pad = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        tail[pad..pad + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // Absorb without recounting the length.
+        let total = self.total_bytes;
+        self.update(&tail[..pad + 8]);
+        self.total_bytes = total;
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST CAVP reference vectors.
+    #[test]
+    fn sha256_reference_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_long_and_chunked_inputs_agree() {
+        // One million 'a's, the classic long vector.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256_hex(&million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+        // Chunked absorption must match one-shot for every split point of a
+        // block-straddling input.
+        let data: Vec<u8> = (0u8..=255).cycle().take(300).collect();
+        let oneshot = sha256_hex(&data);
+        for split in [1usize, 55, 56, 63, 64, 65, 127, 128, 200, 299] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            let mut hex = String::new();
+            for byte in h.finish() {
+                hex.push_str(&format!("{byte:02x}"));
+            }
+            assert_eq!(hex, oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn canonical_sorts_members_recursively() {
+        let a = simkit::json::parse(r#"{"b":1,"a":{"y":[{"q":1,"p":2}],"x":3}}"#).unwrap();
+        let b = simkit::json::parse(r#"{"a":{"x":3,"y":[{"p":2,"q":1}]},"b":1}"#).unwrap();
+        assert_eq!(canonical(&a), canonical(&b));
+        assert_eq!(canonical(&a), r#"{"a":{"x":3,"y":[{"p":2,"q":1}]},"b":1}"#);
+        // Arrays are ordered data: reordering them must change the form.
+        let c = simkit::json::parse(r#"{"a":{"x":3,"y":[{"q":1,"p":2}]},"b":2}"#).unwrap();
+        assert_ne!(canonical(&a), canonical(&c));
+        assert_eq!(digest_json(&a), digest_json(&b));
+        assert_ne!(digest_json(&a), digest_json(&c));
+    }
+}

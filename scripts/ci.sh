@@ -191,6 +191,58 @@ echo "==> smoke: optimistic/pessimistic parity at zero flush latency"
 diff <(grep -v "peak" "$out_dir/parity_pess.txt") \
      <(grep -v "peak" "$out_dir/parity_opt.txt")
 
+# Serve smoke: boot `mck serve` on an ephemeral port, issue the same run
+# twice over raw HTTP (bash /dev/tcp; no external client needed), and
+# verify the second response is a cache hit with byte-identical artifact
+# payload. --max-requests bounds the accept loop so the server drains and
+# exits by itself after the third request.
+echo "==> smoke: mck serve end-to-end cache hit"
+mkdir -p "$out_dir/serve_cache"
+"$mck" serve --port 0 --cache-dir "$out_dir/serve_cache" --max-requests 3 \
+    > "$out_dir/serve.txt" &
+serve_pid=$!
+for _ in $(seq 100); do
+    grep -q "listening on" "$out_dir/serve.txt" 2>/dev/null && break
+    sleep 0.1
+done
+port="$(sed -n 's|.*http://127.0.0.1:||p' "$out_dir/serve.txt" | head -1)"
+serve_req() { # method path body -> raw response on stdout
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '%s %s HTTP/1.1\r\nhost: ci\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
+        "$1" "$2" "${#3}" "$3" >&3
+    cat <&3
+    exec 3>&-
+}
+serve_body='{"protocol":"QBC","horizon":1000,"t_switch":200}'
+serve_req POST /run "$serve_body" > "$out_dir/serve_cold.http"
+serve_req POST /run "$serve_body" > "$out_dir/serve_warm.http"
+serve_req GET /metrics "" > "$out_dir/serve_metrics.http"
+wait "$serve_pid"
+grep -q "x-mck-cache: miss" "$out_dir/serve_cold.http"
+grep -q "x-mck-cache: hit" "$out_dir/serve_warm.http"
+# The artifact payload after the header block must be byte-identical.
+sed '1,/^\r$/d' "$out_dir/serve_cold.http" > "$out_dir/serve_cold.json"
+sed '1,/^\r$/d' "$out_dir/serve_warm.http" > "$out_dir/serve_warm.json"
+diff -q "$out_dir/serve_cold.json" "$out_dir/serve_warm.json"
+grep -q "serve_sim_events" "$out_dir/serve_metrics.http"
+grep -q "1 hits, 1 misses" "$out_dir/serve.txt"
+# The cache directory inspects as a mck.cache_index/v1 table, and the
+# CLI's cached run path shares the server's entry (same canonical key).
+"$mck" inspect "$out_dir/serve_cache" | grep -q "mck.cache_index/v1"
+"$mck" run --protocol qbc --horizon 1000 --t-switch 200 \
+    --cache-dir "$out_dir/serve_cache" >/dev/null 2> "$out_dir/serve_cli.err"
+grep -q "cache hit" "$out_dir/serve_cli.err"
+
+# Cold-vs-warm latency gate: serve-bench asserts warm responses are
+# byte-identical and execute zero simulation events, and the speedup
+# floor proves a hit never recomputes. The committed BENCH_serve.json
+# records ~185x on an idle host; 25x here leaves margin for loaded CI
+# machines while still being unreachable by any recomputing path.
+echo "==> smoke: figures serve-bench (cold vs warm latency)"
+"$figures" serve-bench --warm 5 --min-speedup 25 \
+    --json "$out_dir/BENCH_serve.json" 2>/dev/null
+"$mck" inspect "$out_dir/BENCH_serve.json" | grep -q "mck.serve_bench/v1"
+
 # Non-gating bench smoke: time the figure grid through the parallel sweep
 # executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers
 # are host-dependent, so a failure here warns instead of failing CI.

@@ -1,0 +1,188 @@
+//! End-to-end tests for `mck serve`: a real server on an ephemeral port,
+//! driven over TCP by the servekit client.
+//!
+//! The contract under test is the tentpole acceptance rule: a warm `POST
+//! /run` answers without executing a single simulation event and returns
+//! bytes identical to the cold response, and identical in-flight requests
+//! coalesce onto one computation.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+
+use servekit::http::{client_request, header_value};
+use servekit::server::{ServeOptions, ServeService, ServeSummary, Server};
+
+/// Boots a server on an ephemeral port with a fresh temp cache.
+/// Returns the address, the service handle (for counter assertions), the
+/// join handle yielding the drain summary, and the cache dir for cleanup.
+fn boot(tag: &str) -> (
+    String,
+    Arc<ServeService>,
+    std::thread::JoinHandle<ServeSummary>,
+    std::path::PathBuf,
+) {
+    let dir = std::env::temp_dir().join(format!("mck_e2e_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let server = Server::bind(&ServeOptions {
+        cache_dir: dir.clone(),
+        ..ServeOptions::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let service = server.service();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, service, handle, dir)
+}
+
+fn shutdown(addr: &str) {
+    client_request(addr, "POST", "/shutdown", b"").expect("shutdown request");
+}
+
+#[test]
+fn warm_request_is_byte_identical_and_runs_nothing() {
+    let (addr, service, handle, dir) = boot("warm");
+    let body = br#"{"protocol":"QBC","horizon":500,"t_switch":100,"seed":3}"#;
+
+    let (status, headers, cold) = client_request(&addr, "POST", "/run", body).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&cold));
+    assert_eq!(header_value(&headers, "x-mck-cache"), Some("miss"));
+    let key = header_value(&headers, "x-mck-key").expect("key header").to_string();
+    assert_eq!(service.metrics.sim_runs.load(Ordering::SeqCst), 1);
+    let events_cold = service.metrics.sim_events.load(Ordering::SeqCst);
+    assert!(events_cold > 0, "the cold run dispatched events");
+
+    let (status, headers, warm) = client_request(&addr, "POST", "/run", body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&headers, "x-mck-cache"), Some("hit"));
+    assert_eq!(header_value(&headers, "x-mck-key"), Some(key.as_str()));
+    assert_eq!(warm, cold, "warm response must be byte-identical");
+    // The acceptance rule, checked against the counters: zero events, zero
+    // runs, one hit.
+    assert_eq!(service.metrics.sim_runs.load(Ordering::SeqCst), 1);
+    assert_eq!(service.metrics.sim_events.load(Ordering::SeqCst), events_cold);
+    assert_eq!(service.metrics.hits.load(Ordering::SeqCst), 1);
+    assert_eq!(service.metrics.misses.load(Ordering::SeqCst), 1);
+
+    // Equivalent body with members reordered: still the same address.
+    let reordered = br#"{"seed":3,"t_switch":100,"horizon":500,"protocol":"QBC"}"#;
+    let (_, headers, again) = client_request(&addr, "POST", "/run", reordered).unwrap();
+    assert_eq!(header_value(&headers, "x-mck-cache"), Some("hit"));
+    assert_eq!(again, cold);
+
+    shutdown(&addr);
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.hits, 2);
+    assert_eq!(summary.misses, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_identical_requests_compute_once() {
+    let (addr, service, handle, dir) = boot("coalesce");
+    // A horizon long enough that followers arrive while the leader is still
+    // computing; coalescing (or, if the leader wins the race, a cache hit)
+    // must keep the run count at one either way.
+    let body: &[u8] = br#"{"protocol":"QBC","horizon":3000,"seed":11}"#;
+    let clients = 4;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let addr = addr.clone();
+        let barrier = barrier.clone();
+        joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            client_request(&addr, "POST", "/run", body).expect("concurrent request")
+        }));
+    }
+    let responses: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    for (status, _, resp) in &responses {
+        assert_eq!(*status, 200, "{}", String::from_utf8_lossy(resp));
+        assert_eq!(resp, &responses[0].2, "all clients see the same bytes");
+    }
+    assert_eq!(
+        service.metrics.sim_runs.load(Ordering::SeqCst),
+        1,
+        "identical in-flight requests must share one computation"
+    );
+    let m = &service.metrics;
+    assert_eq!(
+        m.misses.load(Ordering::SeqCst)
+            + m.coalesced.load(Ordering::SeqCst)
+            + m.hits.load(Ordering::SeqCst),
+        clients as u64
+    );
+    assert_eq!(m.misses.load(Ordering::SeqCst), 1);
+
+    shutdown(&addr);
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn status_metrics_and_errors_over_the_wire() {
+    let (addr, service, handle, dir) = boot("status");
+
+    let (status, _, body) = client_request(&addr, "GET", "/status", b"").unwrap();
+    assert_eq!(status, 200);
+    let doc = simkit::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(simkit::json::Json::as_str),
+        Some("mck.serve_status/v1")
+    );
+
+    let (status, _, body) = client_request(&addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+
+    // A malformed body is a 400 and counts as an error, not a crash.
+    let (status, _, _) = client_request(&addr, "POST", "/run", b"{not json").unwrap();
+    assert_eq!(status, 400);
+    // An unknown config member is rejected, not silently hashed.
+    let (status, _, body) = client_request(&addr, "POST", "/run", br#"{"t_swich":5}"#).unwrap();
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("t_swich"));
+    let (status, _, _) = client_request(&addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    let (status, _, _) = client_request(&addr, "GET", "/run", b"").unwrap();
+    assert_eq!(status, 405);
+    assert!(service.metrics.errors.load(Ordering::SeqCst) >= 4);
+    assert_eq!(service.metrics.sim_runs.load(Ordering::SeqCst), 0);
+
+    shutdown(&addr);
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_requests_cache_and_reload_across_restarts() {
+    let (addr, service, handle, dir) = boot("sweep");
+    let body: &[u8] =
+        br#"{"protocol":"BCS","horizon":400,"t_switch_list":[100,200],"replications":2}"#;
+    let (status, headers, cold) = client_request(&addr, "POST", "/sweep", body).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&cold));
+    assert_eq!(header_value(&headers, "x-mck-cache"), Some("miss"));
+    let runs = service.metrics.sim_runs.load(Ordering::SeqCst);
+    assert_eq!(runs, 4, "2 points x 2 replications");
+    shutdown(&addr);
+    handle.join().unwrap();
+
+    // A fresh server over the same cache directory starts warm: the entry
+    // survives the restart and is served without any computation.
+    let server = Server::bind(&ServeOptions {
+        cache_dir: dir.clone(),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let service = server.service();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    let (status, headers, warm) = client_request(&addr, "POST", "/sweep", body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&headers, "x-mck-cache"), Some("hit"));
+    assert_eq!(warm, cold, "the restarted server serves identical bytes");
+    assert_eq!(service.metrics.sim_runs.load(Ordering::SeqCst), 0);
+    shutdown(&addr);
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
