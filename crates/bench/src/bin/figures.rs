@@ -16,6 +16,7 @@
 //! cargo run --release -p mck-bench --bin figures -- contention
 //! cargo run --release -p mck-bench --bin figures -- sweep-bench
 //! cargo run --release -p mck-bench --bin figures -- serve-bench --min-speedup 100
+//! cargo run --release -p mck-bench --bin figures -- mc-bench
 //! cargo run --release -p mck-bench --bin figures -- scale --n-list 10,100,1000
 //! cargo run --release -p mck-bench --bin figures -- log-size
 //! cargo run --release -p mck-bench --bin figures -- recovery
@@ -52,6 +53,10 @@
 //! responses are byte-identical and execute zero simulation events, and
 //! writes a `mck.serve_bench/v1` artifact (`BENCH_serve.json`);
 //! `--min-speedup X` exits nonzero below a cold/warm floor.
+//! `mc-bench` runs the exhaustive model checker (`mck check`) over a grid
+//! of protocols and world sizes and writes states explored, dedup hit-rate,
+//! and states/sec as a `mck.bench_mc/v1` artifact (`BENCH_mc.json`); every
+//! configuration must check clean and complete within its state budget.
 //! `scale` sweeps the host population (`--n-list a,b,c`, default
 //! 10,100,1000,10000, with `--horizon T`, default 500, and `--mss-ratio R`
 //! hosts per cell, default 32) through spanned + profiled runs and writes a
@@ -171,6 +176,7 @@ fn main() {
         ["fig", n] => figures(&opts, &[n.parse().expect("figure number")]),
         ["sweep-bench"] => sweep_bench(&opts),
         ["serve-bench"] => serve_bench(&opts),
+        ["mc-bench"] => mc_bench(&opts),
         ["scale"] => scale(&opts),
         ["claims"] => print_claims(&opts),
         ["ablation"] => ablation(&opts),
@@ -472,6 +478,112 @@ fn serve_bench(opts: &Opts) {
             std::process::exit(1);
         }
         eprintln!("serve-bench speedup check: {speedup:.0}x >= {min:.0}x — ok");
+    }
+}
+
+/// Model-checker throughput (`figures mc-bench`): exhaustive exploration of
+/// a grid of protocols and world sizes, reporting states explored, dedup
+/// hit-rate, and states/sec as a `mck.bench_mc/v1` artifact
+/// (`BENCH_mc.json`). Doubles as a safety gate: every configuration must
+/// check clean and run its frontier dry within the state budget, so a
+/// protocol regression that introduces an orphan or Z-cycle on *any*
+/// schedule of these worlds fails the bench, not just the one seeded
+/// trajectory the unit tests sample.
+fn mc_bench(opts: &Opts) {
+    use cic::CicKind;
+    // (mh, mss, horizon): the 2x2 world explores ~3k-20k states at horizon
+    // 3; the 3-host world blows up past horizon 2. Both fit the budget.
+    let grid: &[(usize, usize, f64)] = &[(2, 2, 3.0), (3, 2, 2.0)];
+    let protocols = [CicKind::Bcs, CicKind::Qbc, CicKind::Tp, CicKind::Uncoordinated];
+    let mut table = Table::new(vec![
+        "protocol", "MH", "MSS", "horizon", "states", "deduped", "dedup%", "depth", "states/s",
+    ]);
+    let mut points: Vec<Json> = Vec::new();
+    for &(mh, mss, horizon) in grid {
+        for proto in protocols {
+            let cfg = mcheck::CheckConfig {
+                protocol: proto,
+                n_mhs: mh,
+                n_mss: mss,
+                horizon,
+                seed: opts.seed,
+                ..mcheck::CheckConfig::default()
+            };
+            let t0 = Instant::now();
+            let out = mcheck::check(&cfg);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if let Some(cx) = &out.counterexample {
+                eprintln!(
+                    "mc-bench: {} {mh}x{mss} h={horizon} VIOLATION: {}",
+                    proto.name(),
+                    cx.violation
+                );
+                std::process::exit(1);
+            }
+            if !out.complete {
+                eprintln!(
+                    "mc-bench: {} {mh}x{mss} h={horizon} blew the {}-state budget",
+                    proto.name(),
+                    cfg.max_states
+                );
+                std::process::exit(1);
+            }
+            let children = out.states_explored + out.states_deduped;
+            let dedup_rate = out.states_deduped as f64 / children.max(1) as f64;
+            let states_per_sec = out.states_explored as f64 / (wall_ms / 1e3).max(1e-9);
+            eprintln!(
+                "mc-bench: {} {mh}x{mss} h={horizon}: {} states in {wall_ms:.0} ms \
+                 ({states_per_sec:.0}/s, {:.1}% dedup)",
+                proto.name(),
+                out.states_explored,
+                dedup_rate * 100.0
+            );
+            table.push_row(vec![
+                proto.name().into(),
+                mh.to_string(),
+                mss.to_string(),
+                format!("{horizon:.1}"),
+                out.states_explored.to_string(),
+                out.states_deduped.to_string(),
+                format!("{:.1}", dedup_rate * 100.0),
+                out.max_depth.to_string(),
+                format!("{states_per_sec:.0}"),
+            ]);
+            points.push(Json::Obj(vec![
+                ("protocol".into(), Json::str(proto.name())),
+                ("mh".into(), Json::uint(mh as u64)),
+                ("mss".into(), Json::uint(mss as u64)),
+                ("horizon".into(), Json::Num(horizon)),
+                ("seed".into(), Json::uint(opts.seed)),
+                ("states_explored".into(), Json::uint(out.states_explored as u64)),
+                ("states_deduped".into(), Json::uint(out.states_deduped as u64)),
+                ("dedup_rate".into(), Json::Num(dedup_rate)),
+                ("max_depth".into(), Json::uint(out.max_depth as u64)),
+                ("complete".into(), Json::Bool(out.complete)),
+                (
+                    "timing".into(),
+                    Json::Obj(vec![
+                        ("wall_ms".into(), Json::Num(wall_ms)),
+                        ("states_per_sec".into(), Json::Num(states_per_sec)),
+                    ]),
+                ),
+            ]));
+        }
+    }
+    emit(opts, &table);
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str(artifact::BENCH_MC_SCHEMA)),
+        ("version".into(), Json::str(artifact::version())),
+        ("base_seed".into(), Json::uint(opts.seed)),
+        ("points".into(), Json::Arr(points)),
+    ]);
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| opts.out_dir.join("BENCH_mc.json"));
+    match artifact::write(&path, &doc) {
+        Ok(()) => eprintln!("mc-bench artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 

@@ -241,6 +241,70 @@ mod tests {
     }
 
     #[test]
+    fn single_host_trace_has_no_z_paths() {
+        // One process, no messages: nothing to zigzag through, however many
+        // checkpoints it takes.
+        let mut b = TraceBuilder::new(1);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::Periodic);
+        b.checkpoint(ProcId(0), 2.0, 2, CkptKind::Periodic);
+        let t = b.finish();
+        let g = ZigzagGraph::build(&t);
+        for c in t.checkpoints(ProcId(0)) {
+            assert!(!g.on_z_cycle(ProcId(0), c.ordinal));
+        }
+        assert!(!g.z_path_exists(ProcId(0), 0, ProcId(0), 2));
+        assert!(g.useless_checkpoints().is_empty());
+    }
+
+    /// The minimal 2-process Z-cycle, closed through each process's *last*
+    /// (or only-implicit) checkpoint: m2 lands in p1's final volatile
+    /// interval, and m1 was sent in that same interval — the zigzag hop
+    /// needs no checkpoint after the receive. C(0,1) is p0's newest
+    /// checkpoint, so this pins the boundary case where the cycle runs
+    /// entirely through interval indexes at the end of each history.
+    #[test]
+    fn z_cycle_through_last_checkpoint() {
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(1), ProcId(0), 1.0); // p1 interval 0
+        b.recv(MsgId(1), 2.0); // p0 interval 0, before C
+        b.checkpoint(ProcId(0), 3.0, 1, CkptKind::Periodic); // C(0,1): p0's last
+        b.send(MsgId(2), ProcId(0), ProcId(1), 4.0); // sent after C
+        b.recv(MsgId(2), 5.0); // p1 interval 0 — where m1 was sent
+        let t = b.finish();
+        let g = ZigzagGraph::build(&t);
+        assert!(g.on_z_cycle(ProcId(0), 1), "cycle must close through the last checkpoint");
+        assert_eq!(g.useless_checkpoints(), vec![(ProcId(0), 1)]);
+        // Initial checkpoints stay consistent — the fixpoint agrees.
+        assert!(max_consistent_cut_containing(&t, ProcId(0), 1).is_none());
+        assert!(max_consistent_cut_containing(&t, ProcId(1), 0).is_some());
+    }
+
+    /// Interval sensitivity: the same message pattern with a checkpoint
+    /// interposed before the closing receive is *not* a Z-cycle — m1's send
+    /// interval now falls strictly before m2's receive interval.
+    #[test]
+    fn checkpoint_before_closing_receive_breaks_the_cycle() {
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(1), ProcId(0), 1.0);
+        b.recv(MsgId(1), 2.0);
+        b.checkpoint(ProcId(0), 3.0, 1, CkptKind::Periodic);
+        b.send(MsgId(2), ProcId(0), ProcId(1), 4.0);
+        b.checkpoint(ProcId(1), 4.5, 1, CkptKind::Forced); // breaks the zigzag
+        b.recv(MsgId(2), 5.0); // now p1 interval 1 > m1's send interval 0
+        let t = b.finish();
+        let g = ZigzagGraph::build(&t);
+        assert!(!g.on_z_cycle(ProcId(0), 1));
+        assert!(g.useless_checkpoints().is_empty());
+        // This is exactly the forced checkpoint a CIC protocol inserts; the
+        // fixpoint confirms every checkpoint is usable again.
+        for p in t.procs() {
+            for c in t.checkpoints(p) {
+                assert!(max_consistent_cut_containing(&t, p, c.ordinal).is_some());
+            }
+        }
+    }
+
+    #[test]
     fn undelivered_messages_are_ignored() {
         let mut b = TraceBuilder::new(2);
         b.checkpoint(ProcId(0), 1.0, 1, CkptKind::Periodic);

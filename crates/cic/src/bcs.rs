@@ -75,6 +75,14 @@ impl Protocol for Bcs {
     fn current_index(&self) -> u64 {
         self.sn
     }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn state_sig(&self, out: &mut Vec<u64>) {
+        out.push(self.sn);
+    }
 }
 
 #[cfg(test)]

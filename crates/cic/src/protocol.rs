@@ -103,6 +103,28 @@ pub trait Protocol {
 
     /// The protocol index the *next* checkpoint would carry (diagnostic).
     fn current_index(&self) -> u64;
+
+    /// Clones this protocol instance behind a fresh box.
+    ///
+    /// The model checker forks world states on every enabled event, which
+    /// requires duplicating the per-host protocol state machines; trait
+    /// objects cannot derive `Clone`, so each implementation provides it.
+    fn clone_box(&self) -> Box<dyn Protocol>;
+
+    /// Appends the protocol's complete logical state to `out` as words.
+    ///
+    /// Two instances that push identical words must behave identically on
+    /// all future inputs — this feeds the model checker's state-hash
+    /// deduplication. Derived caches (e.g. TP's encoded wire vectors) must
+    /// be excluded; logical state (sequence numbers, vectors, phases) must
+    /// all be included.
+    fn state_sig(&self, out: &mut Vec<u64>);
+}
+
+impl Clone for Box<dyn Protocol> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

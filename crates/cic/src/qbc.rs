@@ -103,6 +103,19 @@ impl Protocol for Qbc {
     fn current_index(&self) -> u64 {
         self.sn
     }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn state_sig(&self, out: &mut Vec<u64>) {
+        out.push(self.sn);
+        // Disambiguate rn = ⊥ from rn = k without colliding with sn values.
+        match self.rn {
+            None => out.push(u64::MAX),
+            Some(rn) => out.push(rn),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -350,6 +350,24 @@ impl Protocol for Tp {
     fn current_index(&self) -> u64 {
         self.count
     }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn state_sig(&self, out: &mut Vec<u64>) {
+        out.push(match self.phase {
+            Phase::Send => 1,
+            Phase::Recv => 0,
+        });
+        out.push(self.count);
+        out.extend_from_slice(&self.ckpt);
+        out.extend(self.loc.iter().map(|&l| u64::from(l)));
+        out.push(u64::from(self.here));
+        // The wire caches, retire pools and dirty flag are derived from the
+        // vectors above and deliberately excluded: states that differ only
+        // in cache freshness behave identically.
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,14 @@ impl Protocol for Uncoordinated {
     fn current_index(&self) -> u64 {
         self.count
     }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn state_sig(&self, out: &mut Vec<u64>) {
+        out.push(self.count);
+    }
 }
 
 #[cfg(test)]

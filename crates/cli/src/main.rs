@@ -42,7 +42,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck inspect <artifact.json|scenario.json|cache-dir> [--deterministic]\n  mck serve   [--addr HOST] [--port N] [--cache-dir DIR] [--max-entries N] [--queue-depth N] [--max-requests N]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --cache-dir DIR (run/fig: content-addressed result cache; warm\n                         requests replay stored artifact bytes verbatim)\n        --queue heap|calendar (pending-event set; results are identical)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck check   [--protocol P] [--mh N] [--mss M] [--horizon T] [--t-switch T] [--seed S]\n              [--max-states K] [--mutate] [--out MC.json] | --replay MC.json\n  mck inspect <artifact.json|scenario.json|cache-dir> [--deterministic]\n  mck serve   [--addr HOST] [--port N] [--cache-dir DIR] [--max-entries N] [--queue-depth N] [--max-requests N]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --cache-dir DIR (run/fig: content-addressed result cache; warm\n                         requests replay stored artifact bytes verbatim)\n        --queue heap|calendar (pending-event set; results are identical)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -76,8 +76,12 @@ const KNOWN: &[&str] = &[
     "max-entries",
     "queue-depth",
     "max-requests",
+    "mh",
+    "mss",
+    "max-states",
+    "replay",
 ];
-const BOOLEAN: &[&str] = &["csv", "profile", "progress", "deterministic"];
+const BOOLEAN: &[&str] = &["csv", "profile", "progress", "deterministic", "mutate"];
 
 /// Routes a raw command line to a handler, returning its printable output.
 fn dispatch(raw: &[String]) -> Result<String, ArgError> {
@@ -98,6 +102,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         Some("crash") => cmd_crash(&args),
         Some("topologies") => cmd_topologies(&args),
         Some("contention") => cmd_contention(&args),
+        Some("check") => cmd_check(&args),
         Some("inspect") => cmd_inspect(&args),
         Some("serve") => cmd_serve(&args),
         Some("list") => Ok(cmd_list()),
@@ -781,6 +786,224 @@ fn cmd_crash(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Builds a [`mcheck::CheckConfig`] from `mck check` flags. Defaults come
+/// from `CheckConfig::default()` — a 2 MH x 2 MSS world with horizon 3,
+/// empirically the largest space that explores exhaustively in seconds.
+fn check_config_of(args: &Args) -> Result<mcheck::CheckConfig, ArgError> {
+    let base = mcheck::CheckConfig::default();
+    let name = args.get("protocol").unwrap_or(base.protocol.name());
+    let protocol =
+        CicKind::parse(name).ok_or_else(|| ArgError(format!("unknown protocol '{name}'")))?;
+    let cfg = mcheck::CheckConfig {
+        protocol,
+        n_mhs: args.get_usize("mh", base.n_mhs)?,
+        n_mss: args.get_usize("mss", base.n_mss)?,
+        horizon: args.get_f64("horizon", base.horizon)?,
+        t_switch: args.get_f64("t-switch", base.t_switch)?,
+        seed: args.get_u64("seed", base.seed)?,
+        max_states: args.get_usize("max-states", base.max_states)?,
+        mutate: args.flag("mutate"),
+    };
+    cfg.sim_config().check().map_err(|e| ArgError(e.to_string()))?;
+    Ok(cfg)
+}
+
+fn mc_schedule_json(schedule: &mcheck::Schedule) -> Json {
+    Json::Arr(
+        schedule
+            .steps
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("index".into(), Json::uint(s.choice as u64)),
+                    ("label".into(), Json::str(s.label.as_str())),
+                    ("time".into(), Json::Num(s.time)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The `mck.mc/v1` document: self-contained — `params` rebuild the exact
+/// root world, so the recorded schedule replays deterministically.
+fn mc_artifact(cfg: &mcheck::CheckConfig, out: &mcheck::CheckOutcome) -> Json {
+    let counterexample = match &out.counterexample {
+        None => Json::Null,
+        Some(cx) => Json::Obj(vec![
+            (
+                "violation".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::str(cx.violation.kind())),
+                    ("message".into(), Json::str(cx.violation.to_string())),
+                ]),
+            ),
+            ("schedule".into(), mc_schedule_json(&cx.schedule)),
+        ]),
+    };
+    Json::Obj(vec![
+        ("schema".into(), Json::str(mck::artifact::MC_SCHEMA)),
+        ("version".into(), Json::str(mck::artifact::version())),
+        (
+            "params".into(),
+            Json::Obj(vec![
+                ("protocol".into(), Json::str(cfg.protocol.name())),
+                ("mh".into(), Json::uint(cfg.n_mhs as u64)),
+                ("mss".into(), Json::uint(cfg.n_mss as u64)),
+                ("horizon".into(), Json::Num(cfg.horizon)),
+                ("t_switch".into(), Json::Num(cfg.t_switch)),
+                ("seed".into(), Json::uint(cfg.seed)),
+                ("max_states".into(), Json::uint(cfg.max_states as u64)),
+                ("mutate".into(), Json::Bool(cfg.mutate)),
+            ]),
+        ),
+        (
+            "result".into(),
+            Json::Obj(vec![
+                ("states_explored".into(), Json::uint(out.states_explored as u64)),
+                ("states_deduped".into(), Json::uint(out.states_deduped as u64)),
+                ("max_depth".into(), Json::uint(out.max_depth as u64)),
+                ("complete".into(), Json::Bool(out.complete)),
+            ]),
+        ),
+        ("counterexample".into(), counterexample),
+    ])
+}
+
+fn mc_summary(cfg: &mcheck::CheckConfig, out: &mcheck::CheckOutcome) -> String {
+    let mut text = format!(
+        "model check: {} {} MH x {} MSS, horizon {}, seed {}{}\n",
+        cfg.protocol.name(),
+        cfg.n_mhs,
+        cfg.n_mss,
+        cfg.horizon,
+        cfg.seed,
+        if cfg.mutate { " (mutated)" } else { "" },
+    );
+    text += &format!(
+        "states   {} explored, {} deduped, depth {}, complete: {}\n",
+        out.states_explored, out.states_deduped, out.max_depth, out.complete,
+    );
+    match &out.counterexample {
+        None if out.complete => {
+            text += "verdict  no violation in any schedule within the bound\n";
+        }
+        None => {
+            text += "verdict  no violation found (state budget exhausted — raise --max-states)\n";
+        }
+        Some(cx) => {
+            text += &format!("VIOLATION {}\n", cx.violation);
+            text += &format!("minimal schedule ({} steps):\n", cx.schedule.steps.len());
+            for (i, label) in cx.schedule.labels().iter().enumerate() {
+                text += &format!("  {:>3}. {label}\n", i + 1);
+            }
+        }
+    }
+    text
+}
+
+/// `mck check --replay MC.json`: rebuilds the recorded root world and
+/// re-fires the counterexample schedule, verifying it reproduces exactly
+/// the recorded violation.
+fn cmd_replay(path: &str) -> Result<String, ArgError> {
+    let doc = mck::artifact::read(std::path::Path::new(path)).map_err(ArgError)?;
+    let schema = mck::artifact::validate(&doc).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    if schema != mck::artifact::MC_SCHEMA {
+        return Err(ArgError(format!(
+            "{path}: schema '{schema}' is not {}",
+            mck::artifact::MC_SCHEMA
+        )));
+    }
+    let params = doc.get("params").expect("validated");
+    let get = |k: &str| params.get(k).ok_or_else(|| ArgError(format!("{path}: params.{k} missing")));
+    let name = get("protocol")?.as_str().unwrap_or("?");
+    let protocol =
+        CicKind::parse(name).ok_or_else(|| ArgError(format!("unknown protocol '{name}'")))?;
+    let cfg = mcheck::CheckConfig {
+        protocol,
+        n_mhs: get("mh")?.as_u64().unwrap_or(2) as usize,
+        n_mss: get("mss")?.as_u64().unwrap_or(2) as usize,
+        horizon: get("horizon")?.as_f64().unwrap_or(3.0),
+        t_switch: get("t_switch")?.as_f64().unwrap_or(1.0),
+        seed: get("seed")?.as_u64().unwrap_or(1),
+        max_states: get("max_states")?.as_u64().unwrap_or(100_000) as usize,
+        mutate: get("mutate")?.as_bool().unwrap_or(false),
+    };
+    let cx = match doc.get("counterexample") {
+        Some(cx) if !matches!(cx, Json::Null) => cx,
+        _ => {
+            return Err(ArgError(format!(
+                "{path}: artifact records no counterexample to replay"
+            )))
+        }
+    };
+    let recorded = cx
+        .get("violation")
+        .and_then(|w| w.get("message"))
+        .and_then(Json::as_str)
+        .expect("validated");
+    let indices: Vec<usize> = cx
+        .get("schedule")
+        .and_then(Json::as_arr)
+        .expect("validated")
+        .iter()
+        .map(|s| s.get("index").and_then(Json::as_u64).expect("validated") as usize)
+        .collect();
+    let replayed = mcheck::replay(&cfg, &indices);
+    let mut text = format!(
+        "replaying {} steps against {} {} MH x {} MSS, seed {}{}\n",
+        indices.len(),
+        cfg.protocol.name(),
+        cfg.n_mhs,
+        cfg.n_mss,
+        cfg.seed,
+        if cfg.mutate { " (mutated)" } else { "" },
+    );
+    match replayed.violation {
+        Some(v) if v.to_string() == recorded && replayed.schedule.steps.len() == indices.len() => {
+            text += &format!("reproduced: {v}\n");
+            Ok(text)
+        }
+        Some(v) => Err(ArgError(format!(
+            "replay diverged: reached \"{v}\" after {} steps, artifact records \"{recorded}\"",
+            replayed.schedule.steps.len(),
+        ))),
+        None => Err(ArgError(format!(
+            "replay did not reproduce the violation: schedule ran clean, artifact records \"{recorded}\""
+        ))),
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<String, ArgError> {
+    if let Some(path) = args.get("replay") {
+        return cmd_replay(path);
+    }
+    let cfg = check_config_of(args)?;
+    let out = mcheck::check(&cfg);
+    let mut text = mc_summary(&cfg, &out);
+    if let Some(path) = args.get("out") {
+        let path = std::path::Path::new(path);
+        mck::artifact::write(path, &mc_artifact(&cfg, &out))
+            .map_err(|e| ArgError(format!("--out {}: {e}", path.display())))?;
+        text += &format!("mc artifact -> {}\n", path.display());
+    }
+    // Exit status is the verdict, so CI needs no output scraping: an
+    // unmutated model must check clean, and a mutated one must not —
+    // a checker that misses the planted bug is checking nothing.
+    match (&out.counterexample, cfg.mutate) {
+        (Some(cx), false) => {
+            print!("{text}");
+            Err(ArgError(format!("model check found a violation: {}", cx.violation)))
+        }
+        (None, true) => {
+            print!("{text}");
+            Err(ArgError(
+                "mutated model checked clean: the planted bug was not caught".into(),
+            ))
+        }
+        _ => Ok(text),
+    }
+}
+
 fn cmd_list() -> String {
     let mut out = String::from("experiments:\n");
     for n in 1..=6 {
@@ -798,6 +1021,10 @@ fn cmd_list() -> String {
     out += "  contention: wireless channel contention at finite bandwidth\n";
     out += "  profile:  instrumented run emitting the mck.profile/v1 span-attribution artifact\n";
     out += "            (--folded for flamegraph stacks, --prom for Prometheus text)\n";
+    out += "  check:    bounded exhaustive model checking — every schedule of a tiny world,\n";
+    out += "            safety invariants asserted in every distinct state\n";
+    out += "            (--mutate plants a broken forced-checkpoint predicate; --out writes the\n";
+    out += "             mck.mc/v1 artifact; --replay re-runs its counterexample schedule)\n";
     out += "  inspect:  summarize a JSON artifact written by run/sweep/fig, or a scenario file\n";
     out += "            (--deterministic prints the artifact minus its timing members, for diffs)\n";
     out += "            (a cache directory lists its entries: key, kind, bytes, age)\n";
@@ -873,6 +1100,54 @@ mod tests {
         csv.push("--csv".into());
         let csv_out = dispatch(&csv).unwrap();
         assert!(csv_out.contains("T_switch,N_tot"));
+    }
+
+    #[test]
+    fn check_small_world_is_clean() {
+        let out = dispatch(&raw(&["check", "--protocol", "BCS", "--horizon", "2"])).unwrap();
+        assert!(out.contains("no violation"), "{out}");
+        assert!(out.contains("complete: true"), "{out}");
+    }
+
+    #[test]
+    fn check_mutate_writes_replayable_artifact() {
+        let path = std::env::temp_dir().join("mck_cli_test_mc.json");
+        let out = dispatch(&raw(&[
+            "check",
+            "--protocol",
+            "BCS",
+            "--mutate",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("VIOLATION"), "{out}");
+        assert!(out.contains("minimal schedule"), "{out}");
+        let doc = mck::artifact::read(&path).unwrap();
+        assert_eq!(mck::artifact::validate(&doc).unwrap(), mck::artifact::MC_SCHEMA);
+        let described = mck::artifact::describe(&doc).unwrap();
+        assert!(described.contains("VIOLATION"), "{described}");
+        let replayed = dispatch(&raw(&["check", "--replay", path.to_str().unwrap()])).unwrap();
+        assert!(replayed.contains("reproduced:"), "{replayed}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_replay_rejects_clean_artifact() {
+        let path = std::env::temp_dir().join("mck_cli_test_mc_clean.json");
+        dispatch(&raw(&[
+            "check",
+            "--protocol",
+            "QBC",
+            "--horizon",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = dispatch(&raw(&["check", "--replay", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("no counterexample"), "{}", err.0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //! * `mck.profile/v1` — span-profiler attribution of one run
 //!   ([`profile_artifact`], written by `mck profile`);
 //! * `mck.bench_scale/v1` — events/sec and bytes/host across host counts
-//!   (written by `figures scale`).
+//!   (written by `figures scale`);
+//! * `mck.mc/v1` — one exhaustive model-checking run (written by
+//!   `mck check --out`): exploration counters plus, on violation, the
+//!   minimal counterexample schedule, replayable via `mck check --replay`;
+//! * `mck.bench_mc/v1` — model-checker throughput across configurations
+//!   (written by `figures mc-bench`).
 //!
 //! Scenario files (`mck.scenario/v1`, see the `scenario` crate) share the
 //! self-describing envelope, so `mck inspect` understands them too.
@@ -83,6 +88,14 @@ pub const CACHE_INDEX_SCHEMA: &str = "mck.cache_index/v1";
 /// Schema tag of the cold-vs-warm serving benchmark
 /// (`figures serve-bench`, conventionally `BENCH_serve.json`).
 pub const SERVE_BENCH_SCHEMA: &str = "mck.serve_bench/v1";
+/// Schema tag of a model-checking run (`mck check`): exploration summary
+/// and, on violation, the minimal counterexample schedule. The document is
+/// self-contained — its `params` rebuild the exact root world, so
+/// `mck check --replay FILE` reproduces the violation deterministically.
+pub const MC_SCHEMA: &str = "mck.mc/v1";
+/// Schema tag of the model-checking throughput benchmark
+/// (`figures mc-bench`, conventionally `BENCH_mc.json`).
+pub const BENCH_MC_SCHEMA: &str = "mck.bench_mc/v1";
 
 /// The simulator version stamped into every artifact.
 pub fn version() -> &'static str {
@@ -681,6 +694,55 @@ pub fn validate(v: &Json) -> Result<&str, String> {
                 .and_then(Json::as_f64)
                 .ok_or("serve bench missing timing.speedup")?;
         }
+        MC_SCHEMA => {
+            v.get("params")
+                .and_then(Json::as_obj)
+                .ok_or("mc artifact missing 'params' object")?;
+            let result = v.get("result").ok_or("mc artifact missing 'result'")?;
+            result
+                .get("states_explored")
+                .and_then(Json::as_u64)
+                .ok_or("mc artifact missing result.states_explored")?;
+            result
+                .get("complete")
+                .and_then(Json::as_bool)
+                .ok_or("mc artifact missing result.complete")?;
+            if let Some(cx) = v.get("counterexample") {
+                if !matches!(cx, Json::Null) {
+                    let steps = cx
+                        .get("schedule")
+                        .and_then(Json::as_arr)
+                        .ok_or("mc counterexample missing 'schedule' array")?;
+                    for s in steps {
+                        s.get("index")
+                            .and_then(Json::as_u64)
+                            .ok_or("mc schedule step missing 'index'")?;
+                    }
+                    cx.get("violation")
+                        .and_then(|w| w.get("kind"))
+                        .and_then(Json::as_str)
+                        .ok_or("mc counterexample missing violation.kind")?;
+                }
+            }
+        }
+        BENCH_MC_SCHEMA => {
+            let points = v
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("mc bench artifact missing 'points' array")?;
+            if points.is_empty() {
+                return Err("mc bench artifact has no points".into());
+            }
+            for p in points {
+                p.get("states_explored")
+                    .and_then(Json::as_u64)
+                    .ok_or("mc bench point missing 'states_explored'")?;
+                p.get("timing")
+                    .and_then(|t| t.get("states_per_sec"))
+                    .and_then(Json::as_f64)
+                    .ok_or("mc bench point missing timing.states_per_sec")?;
+            }
+        }
         scenario::SCENARIO_SCHEMA => {
             scenario::Scenario::from_json(v).map_err(|e| e.to_string())?;
         }
@@ -1044,6 +1106,101 @@ pub fn describe(v: &Json) -> Result<String, String> {
                     num("speedup"),
                 );
             }
+        }
+        MC_SCHEMA => {
+            let params = v.get("params").expect("validated");
+            let s = |k: &str| {
+                params
+                    .get(k)
+                    .map(|x| match x.as_str() {
+                        Some(t) => t.to_string(),
+                        None => x.to_compact(),
+                    })
+                    .unwrap_or_else(|| "?".into())
+            };
+            out += &format!(
+                "protocol {}\nworld    {} MH x {} MSS, horizon {}, seed {}\nmutate   {}\n",
+                s("protocol"),
+                s("mh"),
+                s("mss"),
+                s("horizon"),
+                s("seed"),
+                s("mutate"),
+            );
+            let result = v.get("result").expect("validated");
+            out += &format!(
+                "states   {} explored, {} deduped, depth {}, complete: {}\n",
+                result.get("states_explored").and_then(Json::as_u64).unwrap_or(0),
+                result.get("states_deduped").and_then(Json::as_u64).unwrap_or(0),
+                result.get("max_depth").and_then(Json::as_u64).unwrap_or(0),
+                result.get("complete").and_then(Json::as_bool).unwrap_or(false),
+            );
+            match v.get("counterexample") {
+                Some(cx) if !matches!(cx, Json::Null) => {
+                    out += &format!(
+                        "VIOLATION {}\n",
+                        cx.get("violation")
+                            .and_then(|w| w.get("message"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("?"),
+                    );
+                    let steps = cx.get("schedule").and_then(Json::as_arr).expect("validated");
+                    let mut t = crate::table::Table::new(vec!["#", "choice", "event", "time"]);
+                    for (i, step) in steps.iter().enumerate() {
+                        t.push_row(vec![
+                            (i + 1).to_string(),
+                            step.get("index")
+                                .and_then(Json::as_u64)
+                                .map(|x| x.to_string())
+                                .unwrap_or_else(|| "?".into()),
+                            step.get("label").and_then(Json::as_str).unwrap_or("?").into(),
+                            step.get("time")
+                                .and_then(Json::as_f64)
+                                .map(|x| format!("{x:.3}"))
+                                .unwrap_or_else(|| "?".into()),
+                        ]);
+                    }
+                    out += &t.render();
+                }
+                _ => out += "verdict  no violation within the bound\n",
+            }
+        }
+        BENCH_MC_SCHEMA => {
+            let points = v.get("points").and_then(Json::as_arr).expect("validated");
+            let mut t = crate::table::Table::new(vec![
+                "protocol", "mh", "horizon", "states", "dedup%", "complete", "states/s",
+            ]);
+            for p in points {
+                let uint = |k: &str| {
+                    p.get(k)
+                        .and_then(Json::as_u64)
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "?".into())
+                };
+                t.push_row(vec![
+                    p.get("protocol").and_then(Json::as_str).unwrap_or("?").into(),
+                    uint("mh"),
+                    p.get("horizon")
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.1}"))
+                        .unwrap_or_else(|| "?".into()),
+                    uint("states_explored"),
+                    p.get("dedup_rate")
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{:.1}", x * 100.0))
+                        .unwrap_or_else(|| "?".into()),
+                    p.get("complete")
+                        .and_then(Json::as_bool)
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                    p.get("timing")
+                        .and_then(|t| t.get("states_per_sec"))
+                        .and_then(Json::as_f64)
+                        .map(|x| format!("{x:.0}"))
+                        .unwrap_or_else(|| "?".into()),
+                ]);
+            }
+            out += &t.render();
         }
         scenario::SCENARIO_SCHEMA => {
             let sc = scenario::Scenario::from_json(v).expect("validated");

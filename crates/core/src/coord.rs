@@ -26,6 +26,7 @@ use crate::config::{ProtocolChoice, SimConfig};
 use crate::simulation::{Ev, Simulation, CONTROL_BYTES};
 
 /// Coordinated-protocol state for a run (or `None` for CIC runs).
+#[derive(Clone)]
 pub(crate) enum CoordDriver {
     /// No coordination (communication-induced or uncoordinated run).
     Idle,

@@ -27,7 +27,7 @@
 //! The run optionally records a full [`causality::Trace`] so the recovery
 //! analyses can verify protocol guarantees and measure rollback costs.
 
-use causality::trace::{CkptKind, MsgId, ProcId, TraceBuilder};
+use causality::trace::{CkptKind, MsgId, ProcId, Trace, TraceBuilder};
 use cic::coordinated::ControlMsg;
 use faultsim::{FailureModel, HostSituation, RecoveryParams, RecoveryStats};
 use cic::piggyback::Piggyback;
@@ -190,6 +190,7 @@ impl Ev {
 /// to perturb the trajectory — but only when enabled: the model's RNG
 /// substreams are forked lazily per crash class, so a run with failures
 /// off is byte-identical to one built before this subsystem existed.
+#[derive(Clone)]
 struct FaultState {
     model: FailureModel,
     params: RecoveryParams,
@@ -1300,6 +1301,346 @@ impl Simulation {
 
     pub(crate) fn topology(&self) -> &Topology {
         &self.topo
+    }
+}
+
+// -- model-checking support ---------------------------------------------------
+//
+// The exhaustive checker (`crates/mcheck`) forks the world on every enabled
+// event instead of draining the queue in time order. Everything it needs
+// lives here, next to the state it abstracts: a deep `Clone`, a state
+// fingerprint for deduplication, and the choice (enabled-set) API that the
+// seeded simulator's `run_until` loop provably refines (see the
+// `earliest_choice_stream_matches_run_until` test).
+
+impl Clone for Simulation {
+    /// Deep-copies the world state for checker forks.
+    ///
+    /// Instrumentation handles (tracer, metrics registry, span profiler)
+    /// are *not* shared with the clone — each fork gets inert, disabled
+    /// instances, exactly like a fresh `Simulation::new`. The checker never
+    /// instruments forks, and sharing the parent's sinks would interleave
+    /// streams from diverging worlds.
+    fn clone(&self) -> Self {
+        Simulation {
+            cfg: self.cfg.clone(),
+            topo: self.topo.clone(),
+            attach: self.attach.clone(),
+            mailboxes: self.mailboxes.clone(),
+            dedup: self.dedup.clone(),
+            loc: self.loc.clone(),
+            store: self.store.clone(),
+            log_store: self.log_store.clone(),
+            msg_log: self.msg_log.clone(),
+            channels: self.channels.clone(),
+            fault: self.fault.clone(),
+            metrics: self.metrics.clone(),
+            protos: self.protos.clone(),
+            coord: self.coord.clone(),
+            trace: self.trace.clone(),
+            log: self.log.clone(),
+            tracer: Tracer::disabled(),
+            registry: MetricsRegistry::disabled(),
+            mailbox_depth: MetricsRegistry::disabled().gauge("mailbox.max_depth"),
+            spans: SpanProfiler::disabled(),
+            neighbor_scans: self.neighbor_scans,
+            neighbors_scanned: self.neighbors_scanned,
+            ckpt_line: self.ckpt_line.clone(),
+            ckpt_line_min: self.ckpt_line_min,
+            ckpt_line_at_min: self.ckpt_line_at_min,
+            workload_rng: self.workload_rng.clone(),
+            mobility_rng: self.mobility_rng.clone(),
+            net_rng: self.net_rng.clone(),
+            coord_rng: self.coord_rng.clone(),
+            activity_gen: self.activity_gen.clone(),
+            graph: self.graph.clone(),
+            mobility: self.mobility.clone(),
+            traffic: self.traffic.clone(),
+            ckpts: self.ckpts,
+            per_mh_ckpts: self.per_mh_ckpts.clone(),
+            replacements: self.replacements,
+            next_packet: self.next_packet,
+            msgs_sent: self.msgs_sent,
+            msgs_delivered: self.msgs_delivered,
+            blocked_sends: self.blocked_sends,
+        }
+    }
+}
+
+/// One enabled scheduling choice: a live pending event the checker may fire
+/// next. `seq` keys [`Simulation::apply_choice`]; `label` is a stable
+/// human-readable description used in counterexample schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Choice {
+    /// Scheduler sequence number of the pending event.
+    pub seq: u64,
+    /// Scheduled firing time.
+    pub time: f64,
+    /// Stable description, e.g. `activity(mh0)` or `deliver(mh1<-mh0)`.
+    pub label: String,
+}
+
+/// FNV-1a over 64-bit words: the checker's state-hash accumulator. Not
+/// cryptographic — collisions would merge distinct states — but 64 bits
+/// over the checker's bounded state counts (≤ millions) keeps the collision
+/// probability negligible, matching what dslab-mp-style checkers use.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Folds a piggyback's logical content into the hash. Variant-tagged, so
+/// `Index { sn: 0 }` and `None` cannot collide.
+fn pb_sig(pb: &Piggyback, h: &mut Fnv) {
+    match pb {
+        Piggyback::None => h.word(0),
+        Piggyback::Index { sn } => {
+            h.word(1);
+            h.word(*sn);
+        }
+        Piggyback::Vectors { ckpt, loc } => {
+            h.word(2);
+            for &c in ckpt.iter() {
+                h.word(c);
+            }
+            for &l in loc.iter() {
+                h.word(u64::from(l));
+            }
+        }
+        Piggyback::VectorsRle { runs } => {
+            h.word(3);
+            for r in runs.iter() {
+                h.word(u64::from(r.len));
+                h.word(r.ckpt);
+                h.word(u64::from(r.loc));
+            }
+        }
+        Piggyback::DepSet { deps } => {
+            h.word(4);
+            for &d in deps {
+                h.word(u64::from(d));
+            }
+        }
+    }
+}
+
+/// Folds one pending event's *content* into the hash: kind tag, actors and
+/// payload signature — deliberately excluding the scheduled time, the
+/// scheduler sequence number and transport packet ids, so that commuted
+/// independent events lead back to one merged state (see
+/// [`Simulation::fingerprint`] for the abstraction argument).
+fn ev_sig(ev: &Ev, h: &mut Fnv) {
+    match ev {
+        Ev::Activity { mh, gen } => {
+            h.word(1);
+            h.word(mh.idx() as u64);
+            h.word(u64::from(*gen));
+        }
+        Ev::Deliver { to, q } => {
+            h.word(2);
+            h.word(to.idx() as u64);
+            h.word(q.from.idx() as u64);
+            pb_sig(&q.payload.pb, h);
+        }
+        Ev::Mobility { mh, switch } => {
+            h.word(3);
+            h.word(mh.idx() as u64);
+            h.word(u64::from(*switch));
+        }
+        Ev::Reconnect { mh } => {
+            h.word(4);
+            h.word(mh.idx() as u64);
+        }
+        Ev::Periodic { mh } => {
+            h.word(5);
+            h.word(mh.idx() as u64);
+        }
+        Ev::CoordRound => h.word(6),
+        Ev::DeliverCtl { to, from, msg } => {
+            h.word(7);
+            h.word(to.idx() as u64);
+            h.word(from.idx() as u64);
+            // Control messages are rare (coordinated baselines only) and
+            // carry small enums; their debug form is a stable content key.
+            h.bytes(format!("{msg:?}").as_bytes());
+        }
+        Ev::Crash { mh } => {
+            h.word(8);
+            h.word(mh.idx() as u64);
+        }
+        Ev::MssCrash { mss } => {
+            h.word(9);
+            h.word(mss.idx() as u64);
+        }
+        Ev::Recovered { mh } => {
+            h.word(10);
+            h.word(mh.idx() as u64);
+        }
+    }
+}
+
+/// Stable description of a pending event for counterexample schedules.
+fn ev_label(ev: &Ev) -> String {
+    match ev {
+        Ev::Activity { mh, gen } => format!("activity(mh{},gen{gen})", mh.idx()),
+        Ev::Deliver { to, q } => format!("deliver(mh{}<-mh{})", to.idx(), q.from.idx()),
+        Ev::Mobility { mh, switch } => {
+            let what = if *switch { "switch" } else { "disconnect" };
+            format!("mobility(mh{},{what})", mh.idx())
+        }
+        Ev::Reconnect { mh } => format!("reconnect(mh{})", mh.idx()),
+        Ev::Periodic { mh } => format!("periodic(mh{})", mh.idx()),
+        Ev::CoordRound => "coord_round".to_string(),
+        Ev::DeliverCtl { to, from, .. } => {
+            format!("deliver_ctl(mh{}<-mh{})", to.idx(), from.idx())
+        }
+        Ev::Crash { mh } => format!("crash(mh{})", mh.idx()),
+        Ev::MssCrash { mss } => format!("mss_crash(mss{})", mss.idx()),
+        Ev::Recovered { mh } => format!("recovered(mh{})", mh.idx()),
+    }
+}
+
+impl Simulation {
+    /// The *enabled set*: every live pending event scheduled strictly
+    /// before `horizon`, in `(time, seq)` order. The seeded simulator
+    /// always fires the first entry; the checker may fire any of them.
+    pub fn enabled_choices(sched: &Scheduler<Ev>, horizon: SimTime) -> Vec<Choice> {
+        sched
+            .pending()
+            .into_iter()
+            .filter(|&(_, t, _)| t < horizon)
+            .map(|(seq, t, ev)| Choice {
+                seq,
+                time: t.as_f64(),
+                label: ev_label(ev),
+            })
+            .collect()
+    }
+
+    /// Fires the chosen pending event (by scheduler sequence number) and
+    /// dispatches it through the same `Model::handle` as the seeded run.
+    /// The clock advances monotonically to `max(now, event time)`; firing
+    /// the earliest enabled choice is therefore exactly one `run_until`
+    /// step.
+    ///
+    /// # Panics
+    /// Panics if `seq` does not name a live pending event.
+    pub fn apply_choice(&mut self, sched: &mut Scheduler<Ev>, seq: u64) {
+        let fired = sched
+            .take(seq)
+            .expect("apply_choice: seq must name a live pending event");
+        let _ = self.handle(sched, fired);
+    }
+
+    /// Hashes the live world state for the checker's seen-set.
+    ///
+    /// **Abstraction:** the hash covers everything that determines *future
+    /// behaviour* — per-host protocol state, attachment, location entries,
+    /// workload generations, RNG substream positions, queued mailbox
+    /// contents, and the pending-event multiset keyed by event *content*.
+    /// It deliberately excludes event times, scheduler sequence numbers,
+    /// packet ids, accumulated metrics and the recorded trace: those are
+    /// history, not live state, so two schedules that commute independent
+    /// events merge into one explored state (the standard live-state
+    /// abstraction of message-passing model checkers). Safety invariants
+    /// are asserted on every state *before* merging, so a violation on any
+    /// schedule within the bound is still found; per-schedule artifacts
+    /// (exact timestamps, byte counters) are not distinguished.
+    pub fn fingerprint(&self, sched: &Scheduler<Ev>) -> u64 {
+        let mut h = Fnv::new();
+        let mut words: Vec<u64> = Vec::with_capacity(16);
+        for i in 0..self.cfg.n_mhs {
+            let mh = MhId(i);
+            words.clear();
+            self.protos[i].state_sig(&mut words);
+            for &w in &words {
+                h.word(w);
+            }
+            match self.attach.attachment(mh) {
+                mobnet::Attachment::Connected(mss) => {
+                    h.word(1);
+                    h.word(mss.idx() as u64);
+                }
+                mobnet::Attachment::Disconnected { last } => {
+                    h.word(2);
+                    h.word(last.idx() as u64);
+                }
+            }
+            h.word(self.loc.peek(mh).idx() as u64);
+            h.word(u64::from(self.activity_gen[i]));
+            for w in self.workload_rng[i].state_words() {
+                h.word(w);
+            }
+            for w in self.mobility_rng[i].state_words() {
+                h.word(w);
+            }
+            h.word(self.mailboxes.pending(mh) as u64);
+            for q in self.mailboxes.queued(mh) {
+                h.word(q.from.idx() as u64);
+                pb_sig(&q.payload.pb, &mut h);
+            }
+            if let Some(f) = &self.fault {
+                h.word(u64::from(f.down[i]));
+                h.word(u64::from(f.mobility_lost[i]));
+            }
+        }
+        for w in self.net_rng.state_words() {
+            h.word(w);
+        }
+        for w in self.coord_rng.state_words() {
+            h.word(w);
+        }
+        // Pending events as a canonical (sorted) multiset of content
+        // hashes: the enabled set minus ordering accidents.
+        let mut pend: Vec<u64> = sched
+            .pending()
+            .iter()
+            .map(|(_, _, ev)| {
+                let mut eh = Fnv::new();
+                ev_sig(ev, &mut eh);
+                eh.0
+            })
+            .collect();
+        pend.sort_unstable();
+        h.word(pend.len() as u64);
+        for p in pend {
+            h.word(p);
+        }
+        h.0
+    }
+
+    /// A snapshot of the recorded causality trace (`None` unless the run
+    /// was configured with `record_trace`). The checker asserts its safety
+    /// invariants against this after every applied choice.
+    pub fn trace_snapshot(&self) -> Option<Trace> {
+        self.trace.as_ref().map(TraceBuilder::snapshot)
+    }
+
+    /// Replaces each host's protocol instance with `wrap(old)`.
+    ///
+    /// This is the mutation-testing hook: the checker wraps the real
+    /// protocol in a deliberately broken forced-checkpoint predicate and
+    /// proves it finds (and minimizes) the resulting counterexample.
+    /// Call before any event has fired.
+    pub fn map_protocols(&mut self, wrap: impl FnMut(Box<dyn Protocol>) -> Box<dyn Protocol>) {
+        let protos = std::mem::take(&mut self.protos);
+        self.protos = protos.into_iter().map(wrap).collect();
     }
 }
 

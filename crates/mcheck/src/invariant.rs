@@ -1,0 +1,209 @@
+//! Per-state safety invariants.
+//!
+//! Each explored state carries a causality [`Trace`] prefix; the checker
+//! asserts three properties against it, each one a guarantee the paper's
+//! protocols claim to maintain *on the fly* (no coordination at rollback
+//! time):
+//!
+//! 1. **Z-cycle freedom** — no checkpoint is useless
+//!    ([`causality::zpath::ZigzagGraph::useless_checkpoints`]). Every CIC
+//!    protocol here guarantees each checkpoint belongs to some consistent
+//!    global line, which implies it is on no Z-cycle (Netzer–Xu). The
+//!    uncoordinated baseline makes no such promise, so it is exempt.
+//! 2. **Index-line consistency** — for the index-based protocols (BCS,
+//!    QBC), every recovery line `index_line(trace, k)` up to the maximum
+//!    index is a consistent cut. This is the invariant the `--mutate` bug
+//!    breaks: a skipped forced checkpoint lets a message cross its index
+//!    line backwards.
+//! 3. **Orphan-free replay plans** — for every single-host failure and the
+//!    all-fail case, the [`relog::ReplayPlan`] fixpoint verifies clean
+//!    against an empty message log (checkpoint-only recovery, the paper's
+//!    model). This crosses layers: the plan's typed
+//!    [`relog::Violation`] is surfaced verbatim on failure.
+//!
+//! The checks run on every *distinct* state before it is merged into the
+//! seen-set, so a violation reachable by any schedule within the bound is
+//! reported with the schedule that reached it.
+
+use causality::cut::{is_consistent, max_consistent_cut_containing};
+use causality::trace::{ProcId, Trace};
+use causality::zpath::ZigzagGraph;
+use cic::recovery::{index_line, max_index};
+use cic::CicKind;
+use relog::{MessageLog, ReplayPlan};
+
+/// A safety-invariant violation found in one explored state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A checkpoint lies on a Z-cycle: no consistent global checkpoint can
+    /// ever contain it, so taking it was wasted stable-storage work — and
+    /// the protocol promised this never happens.
+    UselessCheckpoint {
+        /// Host that took the checkpoint.
+        proc: usize,
+        /// Its ordinal in the host's checkpoint sequence.
+        ordinal: usize,
+    },
+    /// An index-based recovery line is not a consistent cut: some message
+    /// was sent after the line at its sender but received before the line
+    /// at its receiver (an orphan with respect to the line).
+    InconsistentIndexLine {
+        /// The protocol index `k` whose line is broken.
+        index: u64,
+        /// Orphan messages crossing the line backwards.
+        orphans: usize,
+    },
+    /// A replay plan for some failure set failed its own verification —
+    /// surfaced with the typed reason from `relog`.
+    ReplayPlanViolation {
+        /// The failed hosts the plan was computed for.
+        failed: Vec<usize>,
+        /// The first violated property.
+        reason: relog::Violation,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UselessCheckpoint { proc, ordinal } => {
+                write!(f, "useless checkpoint: mh{proc} ordinal {ordinal} is on a Z-cycle")
+            }
+            Violation::InconsistentIndexLine { index, orphans } => {
+                write!(
+                    f,
+                    "index line {index} is inconsistent ({orphans} orphan message(s) cross it)"
+                )
+            }
+            Violation::ReplayPlanViolation { failed, reason } => {
+                write!(f, "replay plan for failure of {failed:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl Violation {
+    /// Short machine-readable kind tag for artifacts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::UselessCheckpoint { .. } => "useless_checkpoint",
+            Violation::InconsistentIndexLine { .. } => "inconsistent_index_line",
+            Violation::ReplayPlanViolation { .. } => "replay_plan",
+        }
+    }
+}
+
+/// Checks every applicable invariant for `protocol` against a trace
+/// prefix, returning the first violation.
+///
+/// `at_time` is the recovery instant for the replay-plan checks — any time
+/// at or after the last traced event works; the checker passes its horizon.
+pub fn check_state(protocol: CicKind, trace: &Trace, at_time: f64) -> Option<Violation> {
+    // 1. Z-cycle freedom. The zigzag reachability answer is cross-checked
+    //    against the consistent-cut construction: a checkpoint is useless
+    //    iff no maximal consistent cut contains it.
+    if protocol != CicKind::Uncoordinated {
+        let zg = ZigzagGraph::build(trace);
+        if let Some(&(p, ordinal)) = zg.useless_checkpoints().first() {
+            debug_assert!(
+                max_consistent_cut_containing(trace, p, ordinal).is_none(),
+                "zigzag and cut constructions disagree on ({p:?}, {ordinal})"
+            );
+            return Some(Violation::UselessCheckpoint { proc: p.idx(), ordinal });
+        }
+    }
+    // 2. Index-line consistency (the index-based protocols only; TP's
+    //    per-checkpoint lines are covered by the Z-cycle check above).
+    if matches!(protocol, CicKind::Bcs | CicKind::Qbc) {
+        for k in 0..=max_index(trace) {
+            let line = index_line(trace, k);
+            if !is_consistent(trace, &line) {
+                let orphans = causality::cut::orphans(trace, &line).len();
+                return Some(Violation::InconsistentIndexLine { index: k, orphans });
+            }
+        }
+    }
+    // 3. Replay plans verify for every single failure and the all-fail
+    //    case, under checkpoint-only recovery (empty log).
+    let log = MessageLog::new(trace.n_procs());
+    let everyone: Vec<ProcId> = trace.procs().collect();
+    let mut failure_sets: Vec<Vec<ProcId>> = everyone.iter().map(|&p| vec![p]).collect();
+    failure_sets.push(everyone);
+    for failed in failure_sets {
+        let plan = ReplayPlan::for_failure(trace, &log, &failed, at_time);
+        if let Err(reason) = plan.verify(trace, &log) {
+            return Some(Violation::ReplayPlanViolation {
+                failed: failed.iter().map(|p| p.idx()).collect(),
+                reason,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality::trace::{CkptKind, MsgId, TraceBuilder};
+
+    #[test]
+    fn empty_trace_is_clean_for_every_protocol() {
+        let t = TraceBuilder::new(2).finish();
+        for k in [CicKind::Bcs, CicKind::Qbc, CicKind::Tp, CicKind::Uncoordinated] {
+            assert_eq!(check_state(k, &t, 1.0), None);
+        }
+    }
+
+    /// The classic index-line breach: p0 checkpoints at index 1 and then
+    /// sends; p1 receives *without* the forced index-1 checkpoint and only
+    /// checkpoints afterwards. The message crosses line 1 backwards.
+    #[test]
+    fn skipped_forced_checkpoint_breaks_the_index_line() {
+        let mut b = TraceBuilder::new(2);
+        b.checkpoint(ProcId(0), 1.0, 1, CkptKind::CellSwitch);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 1.5);
+        b.recv(MsgId(1), 2.0);
+        b.checkpoint(ProcId(1), 2.5, 1, CkptKind::CellSwitch);
+        let t = b.finish();
+        match check_state(CicKind::Bcs, &t, 3.0) {
+            Some(Violation::InconsistentIndexLine { index: 1, orphans: 1 }) => {}
+            other => panic!("expected index-line violation, got {other:?}"),
+        }
+        // TP has no index lines; this trace has no Z-cycle either (the
+        // lone message is one-way), so TP reports clean.
+        assert_eq!(check_state(CicKind::Tp, &t, 3.0), None);
+    }
+
+    /// A hand-built Z-cycle around p1's checkpoint C: m1 is received
+    /// *before* C, m2 is sent *after* C, and m1 leaves p0 in the same
+    /// interval in which m2 lands (the non-causal zigzag hop). Every cut
+    /// containing C orphans either m1 (p0 rolled past the send) or m2
+    /// (p0 keeps the receive of an undone send) — C is useless.
+    #[test]
+    fn z_cycle_reports_useless_checkpoint() {
+        let mut b = TraceBuilder::new(2);
+        b.send(MsgId(1), ProcId(0), ProcId(1), 1.0);
+        b.recv(MsgId(1), 1.2);
+        b.checkpoint(ProcId(1), 1.5, 1, CkptKind::CellSwitch);
+        b.send(MsgId(2), ProcId(1), ProcId(0), 2.0);
+        b.recv(MsgId(2), 2.5);
+        let t = b.finish();
+        match check_state(CicKind::Tp, &t, 4.0) {
+            Some(Violation::UselessCheckpoint { proc: 1, ordinal: 1 }) => {}
+            other => panic!("expected useless-checkpoint violation, got {other:?}"),
+        }
+        // The uncoordinated baseline never promised Z-cycle freedom, and
+        // this trace's index lines (0 and 1) are both consistent, so it is
+        // exempt from the zigzag check. Its replay plans still verify.
+        assert_eq!(check_state(CicKind::Uncoordinated, &t, 4.0), None);
+    }
+
+    #[test]
+    fn violations_render_their_reason() {
+        let v = Violation::InconsistentIndexLine { index: 3, orphans: 2 };
+        assert_eq!(v.kind(), "inconsistent_index_line");
+        assert!(v.to_string().contains("index line 3"));
+        let v = Violation::UselessCheckpoint { proc: 0, ordinal: 4 };
+        assert!(v.to_string().contains("Z-cycle"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Deliberately broken protocols for mutation testing the checker.
+//!
+//! A model checker that never finds anything is indistinguishable from one
+//! that checks nothing. [`BrokenForced`] is the planted bug: it wraps a
+//! real protocol and silently drops every **forced** checkpoint the inner
+//! predicate requests — exactly the class of bug a subtly wrong
+//! forced-checkpoint condition (a `>` for a `>=`, a stale sequence number)
+//! would produce in practice. The wrapped protocol's induced-checkpoint
+//! guarantee collapses: an index-based host now delivers messages from a
+//! later index interval without opening its own, so some index line gains
+//! an orphan (BCS/QBC), and dependency-vector hosts accumulate Z-cycles
+//! (TP). `mck check --mutate` must find a violation and emit its minimal
+//! schedule; CI replays it to prove the artifact is self-contained.
+
+use cic::piggyback::Piggyback;
+use cic::protocol::{BasicCkpt, BasicReason, Protocol, ReceiveOutcome};
+
+/// Wraps a protocol and suppresses every forced checkpoint it requests.
+///
+/// The inner state machine is *not* advanced on suppressed receives — the
+/// broken predicate simply fails to notice the piggyback, as a real
+/// comparison bug would — so the host keeps sending with its stale index.
+pub struct BrokenForced {
+    inner: Box<dyn Protocol>,
+}
+
+impl BrokenForced {
+    /// Wraps `inner`, breaking its forced-checkpoint predicate.
+    pub fn new(inner: Box<dyn Protocol>) -> Self {
+        BrokenForced { inner }
+    }
+}
+
+impl Protocol for BrokenForced {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_send(&mut self, to: usize) -> Piggyback {
+        self.inner.on_send(to)
+    }
+
+    fn on_receive(&mut self, from: usize, pb: &Piggyback) -> ReceiveOutcome {
+        // Probe a throwaway clone: would the real predicate force here?
+        // If so, drop both the checkpoint and the state update.
+        if self.inner.clone_box().on_receive(from, pb).forced.is_some() {
+            return ReceiveOutcome::NONE;
+        }
+        self.inner.on_receive(from, pb)
+    }
+
+    fn on_basic(&mut self, reason: BasicReason) -> BasicCkpt {
+        self.inner.on_basic(reason)
+    }
+
+    fn on_relocate(&mut self, mss: u32) {
+        self.inner.on_relocate(mss);
+    }
+
+    fn piggyback_bytes(&self) -> usize {
+        self.inner.piggyback_bytes()
+    }
+
+    fn current_index(&self) -> u64 {
+        self.inner.current_index()
+    }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(BrokenForced {
+            inner: self.inner.clone_box(),
+        })
+    }
+
+    fn state_sig(&self, out: &mut Vec<u64>) {
+        // The wrapper adds no logical state of its own.
+        self.inner.state_sig(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cic::CicKind;
+
+    #[test]
+    fn suppresses_exactly_the_forced_checkpoints() {
+        // BCS host 1 of 2: receiving sn=5 from host 0 forces a checkpoint
+        // in the real protocol; the broken wrapper drops it and leaves the
+        // inner sequence number untouched.
+        let mut real = CicKind::Bcs.instantiate(1, 2, 2);
+        let mut broken = BrokenForced::new(CicKind::Bcs.instantiate(1, 2, 2));
+        let pb = Piggyback::Index { sn: 5 };
+        assert!(real.on_receive(0, &pb).forced.is_some());
+        assert_eq!(broken.on_receive(0, &pb), ReceiveOutcome::NONE);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        broken.state_sig(&mut a);
+        CicKind::Bcs.instantiate(1, 2, 2).state_sig(&mut b);
+        assert_eq!(a, b, "suppressed receive must not advance inner state");
+        // A receive the real predicate lets through is delegated.
+        let low = Piggyback::Index { sn: 0 };
+        assert_eq!(broken.on_receive(0, &low), ReceiveOutcome::NONE);
+        assert_eq!(broken.name(), "BCS");
+        // Basic checkpoints still work: mobility checkpoints are not the
+        // planted bug.
+        let ck = broken.on_basic(BasicReason::CellSwitch);
+        assert_eq!(ck.index, 1);
+        let clone = broken.clone_box();
+        assert_eq!(clone.current_index(), broken.current_index());
+    }
+}

@@ -86,6 +86,13 @@ impl<P> Mailboxes<P> {
         self.queues[mh.idx()].len()
     }
 
+    /// Iterates `mh`'s pending messages in queue (delivery) order, without
+    /// consuming them. The model checker folds these into its state hash:
+    /// two worlds whose queues differ must never be merged.
+    pub fn queued(&self, mh: MhId) -> impl Iterator<Item = &Queued<P>> {
+        self.queues[mh.idx()].iter()
+    }
+
     /// Station currently holding `mh`'s queue.
     pub fn holder(&self, mh: MhId) -> MssId {
         self.holders[mh.idx()]

@@ -56,4 +56,4 @@ pub mod log;
 pub mod replay;
 
 pub use log::{LogEntry, LogStats, MessageLog};
-pub use replay::ReplayPlan;
+pub use replay::{ReplayPlan, Violation};

@@ -32,9 +32,72 @@
 //! replays; [`ReplayPlan`] never undoes more than it does.
 
 use causality::cut::{max_consistent_cut_below, Cut};
-use causality::trace::{MsgRecord, ProcId, Trace};
+use causality::trace::{MsgId, MsgRecord, ProcId, Trace};
 
 use crate::log::MessageLog;
+
+/// A violated replay-plan safety property, found by [`ReplayPlan::verify`].
+///
+/// Typed so callers (the model checker, recovery injection tests) can
+/// branch on the failure kind instead of string-matching; [`Violation`]'s
+/// `Display` keeps the original prose for logs and panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A restore frontier landed *before* the restart checkpoint it is
+    /// supposed to extend — the plan claims to recover less than the
+    /// checkpoint alone guarantees.
+    FrontierBelowRestart {
+        /// The offending host.
+        proc: ProcId,
+        /// Its restore frontier.
+        frontier: f64,
+        /// Time of its restart checkpoint.
+        restart_time: f64,
+    },
+    /// A rolled-back host's frontier covers a receive that is not in the
+    /// MSS log: the replay cannot actually reproduce it.
+    UnloggedReceiveCrossed {
+        /// The receiving host whose frontier is too optimistic.
+        proc: ProcId,
+        /// The unlogged message.
+        msg: MsgId,
+        /// Its delivery time (inside the claimed-recovered prefix).
+        recv_time: f64,
+    },
+    /// An orphan survives the plan: the send is undone but the (unlogged)
+    /// receive is kept.
+    Orphan {
+        /// The orphaned message.
+        msg: MsgId,
+        /// Sender whose send is rolled back.
+        from: ProcId,
+        /// Send time (at or after the sender's frontier, hence undone).
+        send_time: f64,
+        /// Receiver that keeps the delivery.
+        to: ProcId,
+        /// Delivery time (before the receiver's frontier, hence kept).
+        recv_time: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::FrontierBelowRestart { proc, frontier, restart_time } => {
+                write!(f, "{proc}: frontier {frontier} below restart checkpoint at {restart_time}")
+            }
+            Violation::UnloggedReceiveCrossed { proc, msg, recv_time } => {
+                write!(f, "frontier of {proc} crosses unlogged receive {msg:?} at {recv_time}")
+            }
+            Violation::Orphan { msg, from, send_time, to, recv_time } => {
+                write!(
+                    f,
+                    "orphan: {msg:?} sent by {from} at {send_time} (undone) but kept by {to} at {recv_time}"
+                )
+            }
+        }
+    }
+}
 
 /// The outcome of planning recovery for a failure: per-host restart
 /// checkpoints, restore frontiers, and the undone/replayed split.
@@ -300,14 +363,14 @@ impl ReplayPlan {
     }
 
     /// Checks the plan's two defining properties against a trace and log,
-    /// returning a description of the first violation:
+    /// returning the first [`Violation`]:
     ///
     /// 1. **the frontier never crosses an unlogged receive** — every
     ///    surviving post-restart receive of a rolled-back host is in the
     ///    log;
     /// 2. **no orphans** — no unlogged delivered message has its send
     ///    dropped but its receive kept.
-    pub fn verify(&self, trace: &Trace, log: &MessageLog) -> Result<(), String> {
+    pub fn verify(&self, trace: &Trace, log: &MessageLog) -> Result<(), Violation> {
         for p in trace.procs() {
             let i = p.idx();
             let ckpts = trace.checkpoints(p);
@@ -315,11 +378,11 @@ impl ReplayPlan {
                 continue;
             }
             if self.restore[i] < ckpts[self.restart[i]].time {
-                return Err(format!(
-                    "{p}: frontier {} below restart checkpoint at {}",
-                    self.restore[i],
-                    ckpts[self.restart[i]].time
-                ));
+                return Err(Violation::FrontierBelowRestart {
+                    proc: p,
+                    frontier: self.restore[i],
+                    restart_time: ckpts[self.restart[i]].time,
+                });
             }
         }
         for m in trace.messages() {
@@ -332,16 +395,20 @@ impl ReplayPlan {
             let replayed_through =
                 ri >= self.restart[m.to.idx()] && rt < self.restore[m.to.idx()];
             if replayed_through && self.restart[m.to.idx()] < trace.checkpoints(m.to).len() {
-                return Err(format!(
-                    "frontier of {} crosses unlogged receive {:?} at {rt}",
-                    m.to, m.id
-                ));
+                return Err(Violation::UnloggedReceiveCrossed {
+                    proc: m.to,
+                    msg: m.id,
+                    recv_time: rt,
+                });
             }
             if m.send_time >= self.restore[m.from.idx()] && rt < self.restore[m.to.idx()] {
-                return Err(format!(
-                    "orphan: {:?} sent by {} at {} (undone) but kept by {} at {rt}",
-                    m.id, m.from, m.send_time, m.to
-                ));
+                return Err(Violation::Orphan {
+                    msg: m.id,
+                    from: m.from,
+                    send_time: m.send_time,
+                    to: m.to,
+                    recv_time: rt,
+                });
             }
         }
         Ok(())

@@ -71,6 +71,15 @@ pub trait MobilityModel: Send {
     fn offline_duration(&mut self, host: usize, rng: &mut SimRng) -> f64;
     /// Cell where `host` reappears after a disconnection.
     fn reconnect_cell(&mut self, host: usize, rng: &mut SimRng) -> usize;
+    /// Clones this model behind a fresh box (the model checker forks world
+    /// states, and trait objects cannot derive `Clone`).
+    fn clone_box(&self) -> Box<dyn MobilityModel>;
+}
+
+impl Clone for Box<dyn MobilityModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The paper's mobility model, extracted verbatim from the previously
@@ -135,6 +144,10 @@ impl MobilityModel for PaperMobility {
 
     fn reconnect_cell(&mut self, _host: usize, rng: &mut SimRng) -> usize {
         rng.index(self.n_cells)
+    }
+
+    fn clone_box(&self) -> Box<dyn MobilityModel> {
+        Box::new(self.clone())
     }
 }
 
@@ -276,6 +289,10 @@ impl MobilityModel for MarkovMobility {
     fn reconnect_cell(&mut self, _host: usize, rng: &mut SimRng) -> usize {
         rng.index(self.n_cells)
     }
+
+    fn clone_box(&self) -> Box<dyn MobilityModel> {
+        Box::new(self.clone())
+    }
 }
 
 /// One step of a recorded mobility trace: visit `cell` for `dwell`
@@ -379,6 +396,10 @@ impl MobilityModel for TraceMobility {
 
     fn reconnect_cell(&mut self, host: usize, _rng: &mut SimRng) -> usize {
         self.steps[host][self.cursor[host]].cell
+    }
+
+    fn clone_box(&self) -> Box<dyn MobilityModel> {
+        Box::new(self.clone())
     }
 }
 

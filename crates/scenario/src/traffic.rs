@@ -19,6 +19,15 @@ pub trait TrafficModel: Send {
     fn is_send(&mut self, host: usize, rng: &mut SimRng) -> bool;
     /// Destination host for a send by `host`; must differ from `host`.
     fn destination(&mut self, host: usize, rng: &mut SimRng) -> usize;
+    /// Clones this model behind a fresh box (the model checker forks world
+    /// states, and trait objects cannot derive `Clone`).
+    fn clone_box(&self) -> Box<dyn TrafficModel>;
+}
+
+impl Clone for Box<dyn TrafficModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The paper's traffic: Bernoulli(`p_send`) sends to a uniformly random
@@ -44,6 +53,10 @@ impl TrafficModel for UniformTraffic {
 
     fn destination(&mut self, host: usize, rng: &mut SimRng) -> usize {
         rng.index_excluding(self.n_hosts, host)
+    }
+
+    fn clone_box(&self) -> Box<dyn TrafficModel> {
+        Box::new(self.clone())
     }
 }
 
@@ -102,6 +115,10 @@ impl TrafficModel for HotspotTraffic {
             rng.index_excluding(self.n_hosts, host)
         }
     }
+
+    fn clone_box(&self) -> Box<dyn TrafficModel> {
+        Box::new(self.clone())
+    }
 }
 
 /// Client–server traffic: the first `servers` hosts answer a uniformly
@@ -137,6 +154,10 @@ impl TrafficModel for ClientServerTraffic {
         } else {
             rng.index(self.servers)
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn TrafficModel> {
+        Box::new(self.clone())
     }
 }
 

@@ -78,6 +78,7 @@ pub struct Fired<E> {
     pub event: E,
 }
 
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -106,17 +107,20 @@ impl<E> Ord for Entry<E> {
 /// Calendar payload: the scheduler's sequence number rides along so lazy
 /// cancellation can identify entries. The calendar's own insertion counter
 /// advances in lockstep, so FIFO tie-breaking matches the heap exactly.
+#[derive(Debug, Clone)]
 struct Tagged<E> {
     seq: u64,
     event: E,
 }
 
+#[derive(Clone)]
 enum Backing<E> {
     Heap(BinaryHeap<Entry<E>>),
     Calendar(CalendarQueue<Tagged<E>>),
 }
 
 /// Deterministic pending-event set with lazy cancellation.
+#[derive(Clone)]
 pub struct Scheduler<E> {
     backing: Backing<E>,
     backend: QueueBackend,
@@ -308,6 +312,82 @@ impl<E> Scheduler<E> {
         self.len() == 0
     }
 
+    /// Lists the live pending events as `(handle, time, payload)` triples,
+    /// sorted by `(time, seq)` — the order `pop` would drain them.
+    ///
+    /// This is the *enabled set* used by the model checker: any listed
+    /// event may be selected to fire next via [`take`]. Cancelled entries
+    /// are excluded. Cost is O(n log n); the checker only runs on tiny
+    /// configs where n is a handful.
+    ///
+    /// [`take`]: Scheduler::take
+    pub fn pending(&self) -> Vec<(u64, SimTime, &E)> {
+        let mut out: Vec<(u64, SimTime, &E)> = match &self.backing {
+            Backing::Heap(heap) => heap
+                .iter()
+                .filter(|e| !self.cancelled.contains(&e.seq))
+                .map(|e| (e.seq, e.time, &e.event))
+                .collect(),
+            Backing::Calendar(cal) => cal
+                .iter()
+                .filter(|(_, t)| !self.cancelled.contains(&t.seq))
+                .map(|(time, t)| (t.seq, time, &t.event))
+                .collect(),
+        };
+        out.sort_by_key(|&(seq, time, _)| (time, seq));
+        out
+    }
+
+    /// Removes and fires a specific pending event by its schedule sequence
+    /// number, advancing the clock monotonically to `max(now, time)`.
+    ///
+    /// This is the model checker's out-of-order firing primitive: unlike
+    /// [`pop`], the selected event need not be the earliest, so the clock
+    /// is *clamped* rather than assigned, and the returned [`Fired::time`]
+    /// is the clamped clock — an event fired "late" happens *now* (time
+    /// never moves backwards; per-entity event sequences observed by the
+    /// model stay monotone, and relative `schedule_in` delays from the
+    /// fired handler stay valid). When the taken event is the earliest
+    /// pending one the clamp is a no-op and the result is byte-identical
+    /// to `pop`; the seeded simulator never calls this.
+    ///
+    /// Returns `None` if no live entry with that sequence number exists.
+    /// Heap backend only — the checker always runs on the heap.
+    ///
+    /// [`pop`]: Scheduler::pop
+    pub fn take(&mut self, seq: u64) -> Option<Fired<E>> {
+        if self.cancelled.contains(&seq) {
+            return None;
+        }
+        let heap = match &mut self.backing {
+            Backing::Heap(heap) => heap,
+            Backing::Calendar(_) => {
+                panic!("Scheduler::take requires the heap backend (model checker)")
+            }
+        };
+        let mut entries = std::mem::take(heap).into_vec();
+        let pos = entries.iter().position(|e| e.seq == seq);
+        let entry = match pos {
+            Some(p) => {
+                let e = entries.swap_remove(p);
+                *heap = BinaryHeap::from(entries);
+                e
+            }
+            None => {
+                *heap = BinaryHeap::from(entries);
+                return None;
+            }
+        };
+        if entry.time > self.now {
+            self.now = entry.time;
+        }
+        self.popped += 1;
+        Some(Fired {
+            time: self.now,
+            event: entry.event,
+        })
+    }
+
     /// Total events popped so far (a throughput counter for benchmarks).
     pub fn popped(&self) -> u64 {
         self.popped
@@ -458,6 +538,81 @@ mod tests {
         assert_eq!(QueueBackend::parse("splay"), None);
         let s: Scheduler<()> = Scheduler::with_backend(QueueBackend::Calendar);
         assert_eq!(s.backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn pending_lists_live_events_in_pop_order() {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let mut s = Scheduler::with_backend(backend);
+            s.schedule_at(SimTime::new(2.0), "b");
+            s.schedule_at(SimTime::new(1.0), "a");
+            let dead = s.schedule_at(SimTime::new(1.5), "dead");
+            s.schedule_at(SimTime::new(2.0), "b2");
+            s.cancel(dead);
+            let pend = s.pending();
+            let evs: Vec<_> = pend.iter().map(|&(_, t, e)| (t, *e)).collect();
+            assert_eq!(
+                evs,
+                vec![
+                    (SimTime::new(1.0), "a"),
+                    (SimTime::new(2.0), "b"),
+                    (SimTime::new(2.0), "b2"),
+                ],
+                "{backend}"
+            );
+            // FIFO tie: the seq of "b" precedes the seq of "b2".
+            assert!(pend[1].0 < pend[2].0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn take_fires_out_of_order_and_clamps_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(1.0), "early");
+        let early_seq = s.pending()[0].0;
+        s.schedule_at(SimTime::new(3.0), "late");
+        let late_seq = s.pending()[1].0;
+        // Fire the *late* event first: clock jumps to 3.0.
+        let fired = s.take(late_seq).unwrap();
+        assert_eq!(fired.event, "late");
+        assert_eq!(s.now(), SimTime::new(3.0));
+        // Firing the earlier event afterwards must not rewind the clock:
+        // the late-fired event happens *now*, not at its stale timestamp.
+        let fired = s.take(early_seq).unwrap();
+        assert_eq!(fired.event, "early");
+        assert_eq!(fired.time, SimTime::new(3.0));
+        assert_eq!(s.now(), SimTime::new(3.0));
+        assert!(s.is_empty());
+        assert_eq!(s.popped(), 2);
+        // Unknown / already-fired seqs return None and leave the set intact.
+        assert!(s.take(early_seq).is_none());
+        s.schedule_at(SimTime::new(4.0), "still-there");
+        assert!(s.take(99).is_none());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().event, "still-there");
+    }
+
+    #[test]
+    fn take_skips_cancelled_entries() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(SimTime::new(1.0), "dead");
+        let seq = s.pending()[0].0;
+        s.cancel(h);
+        assert!(s.take(seq).is_none());
+        assert!(s.pending().is_empty());
+    }
+
+    #[test]
+    fn cloned_scheduler_diverges_independently() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(1.0), "a");
+        s.schedule_at(SimTime::new(2.0), "b");
+        let mut fork = s.clone();
+        assert_eq!(s.pop().unwrap().event, "a");
+        assert_eq!(fork.pending().len(), 2);
+        assert_eq!(fork.pop().unwrap().event, "a");
+        assert_eq!(fork.pop().unwrap().event, "b");
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -89,6 +89,19 @@ impl SimRng {
         self.seed
     }
 
+    /// The generator's full internal state as five words: the four
+    /// xoshiro256++ state words plus the seed.
+    ///
+    /// Two `SimRng`s with equal state words produce identical future draw
+    /// sequences, so this is exactly what a state fingerprint must capture
+    /// — the model checker folds these words into its state hash so that
+    /// explored states that differ only in *future* randomness are never
+    /// wrongly merged.
+    pub fn state_words(&self) -> [u64; 5] {
+        let s = &self.inner.s;
+        [s[0], s[1], s[2], s[3], self.seed]
+    }
+
     /// Splits off an independent substream identified by `stream`.
     ///
     /// Forking is a pure function of `(master seed, stream)`: it does not

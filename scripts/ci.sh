@@ -243,6 +243,33 @@ echo "==> smoke: figures serve-bench (cold vs warm latency)"
     --json "$out_dir/BENCH_serve.json" 2>/dev/null
 "$mck" inspect "$out_dir/BENCH_serve.json" | grep -q "mck.serve_bench/v1"
 
+# Model checking: every schedule of the 2 MH x 2 MSS world (horizon 3)
+# must satisfy the safety invariants for each CIC protocol — exhaustively,
+# within a fixed state budget, not one seed's ordering. Exit status is the
+# verdict (a violation or a blown budget is non-zero). Then the mutation
+# gate: a planted forced-checkpoint bug must be caught, its minimal
+# counterexample written as a mck.mc/v1 artifact, and the recorded
+# schedule must replay to exactly the recorded violation.
+echo "==> smoke: mck check exhaustive (BCS/QBC/TP, 2x2, horizon 3)"
+for proto in BCS QBC TP; do
+    "$mck" check --protocol "$proto" --mh 2 --mss 2 --horizon 3 \
+        --max-states 100000 > "$out_dir/mc_$proto.txt"
+    grep -q "complete: true" "$out_dir/mc_$proto.txt"
+    grep -q "no violation" "$out_dir/mc_$proto.txt"
+done
+echo "==> smoke: mck check --mutate finds and replays a counterexample"
+"$mck" check --protocol BCS --mutate --out "$out_dir/MC_mutated.json" \
+    > "$out_dir/mc_mutated.txt"
+grep -q "VIOLATION" "$out_dir/mc_mutated.txt"
+"$mck" inspect "$out_dir/MC_mutated.json" | grep -q "mck.mc/v1"
+"$mck" check --replay "$out_dir/MC_mutated.json" | grep -q "reproduced:"
+
+# Model-checker throughput bench: the full protocol x world-size grid
+# must check clean and complete; the artifact records states/sec.
+echo "==> smoke: figures mc-bench"
+"$figures" mc-bench --json "$out_dir/BENCH_mc.json" >/dev/null 2>&1
+"$mck" inspect "$out_dir/BENCH_mc.json" | grep -q "mck.bench_mc/v1"
+
 # Non-gating bench smoke: time the figure grid through the parallel sweep
 # executor and emit the mck.bench_sweep/v1 artifact. Wall-clock numbers
 # are host-dependent, so a failure here warns instead of failing CI.
