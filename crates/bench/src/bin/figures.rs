@@ -17,6 +17,7 @@
 //! cargo run --release -p mck-bench --bin figures -- sweep-bench
 //! cargo run --release -p mck-bench --bin figures -- serve-bench --min-speedup 100
 //! cargo run --release -p mck-bench --bin figures -- mc-bench
+//! cargo run --release -p mck-bench --bin figures -- par-bench --workers 4
 //! cargo run --release -p mck-bench --bin figures -- scale --n-list 10,100,1000
 //! cargo run --release -p mck-bench --bin figures -- log-size
 //! cargo run --release -p mck-bench --bin figures -- recovery
@@ -57,6 +58,13 @@
 //! of protocols and world sizes and writes states explored, dedup hit-rate,
 //! and states/sec as a `mck.bench_mc/v1` artifact (`BENCH_mc.json`); every
 //! configuration must check clean and complete within its state budget.
+//! `par-bench` races the serial heap scheduler against the conservative
+//! cell-partitioned parallel backend (`--workers N`, default 4) over the
+//! `--n-list` host populations, asserts both produce byte-identical
+//! `mck.run/v1` artifacts at every point, and writes a `mck.bench_par/v1`
+//! artifact (`BENCH_par.json`); `--check-regression` exits nonzero when the
+//! speedup at the largest N falls below `--min-speedup` (default 2.0) —
+//! skipped with a note when the host lacks the cores to achieve the floor.
 //! `scale` sweeps the host population (`--n-list a,b,c`, default
 //! 10,100,1000,10000, with `--horizon T`, default 500, and `--mss-ratio R`
 //! hosts per cell, default 32) through spanned + profiled runs and writes a
@@ -103,6 +111,7 @@ struct Opts {
     check_regression: bool,
     warm: u64,
     min_speedup: Option<f64>,
+    workers: usize,
 }
 
 fn main() {
@@ -122,6 +131,7 @@ fn main() {
         check_regression: false,
         warm: 20,
         min_speedup: None,
+        workers: 4,
     };
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -164,6 +174,10 @@ fn main() {
                 opts.min_speedup =
                     Some(it.next().expect("--min-speedup X").parse().expect("number"));
             }
+            "--workers" => {
+                opts.workers = it.next().expect("--workers N").parse().expect("number");
+                assert!(opts.workers > 0, "--workers must be positive");
+            }
             other => cmd.push(other.to_string()),
         }
     }
@@ -177,6 +191,7 @@ fn main() {
         ["sweep-bench"] => sweep_bench(&opts),
         ["serve-bench"] => serve_bench(&opts),
         ["mc-bench"] => mc_bench(&opts),
+        ["par-bench"] => par_bench(&opts),
         ["scale"] => scale(&opts),
         ["claims"] => print_claims(&opts),
         ["ablation"] => ablation(&opts),
@@ -599,6 +614,147 @@ fn mc_bench(opts: &Opts) {
 /// separation rule. With `--check-regression`, exits nonzero when
 /// events/sec at the largest N degrades more than 5x below the smallest N
 /// (the O(n)-scan tripwire CI runs).
+/// `par-bench`: the serial heap scheduler against the conservative
+/// cell-partitioned parallel backend at each `--n-list` population. Both
+/// runs must produce byte-identical `mck.run/v1` artifacts (the backend's
+/// exactness contract — the bench aborts on any divergence); the artifact
+/// records the wall-clock comparison with every host-dependent quantity
+/// quarantined under `timing`.
+fn par_bench(opts: &Opts) {
+    let horizon = opts.horizon.unwrap_or(25.0);
+    let workers = opts.workers;
+    let proto = CicKind::Qbc;
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut points: Vec<Json> = Vec::new();
+    let mut gate_point: Option<(u64, f64)> = None;
+    let mut table = Table::new(vec![
+        "n_mh",
+        "n_mss",
+        "events",
+        "serial ev/s",
+        "parallel ev/s",
+        "speedup",
+    ]);
+    for &n in &opts.n_list {
+        let n_mss = (n / opts.mss_ratio).max(2);
+        let cfg = SimConfig {
+            protocol: ProtocolChoice::Cic(proto),
+            n_mhs: n as usize,
+            n_mss: n_mss as usize,
+            horizon,
+            seed: opts.seed,
+            ..SimConfig::default()
+        };
+        let instr = || Instrumentation {
+            metrics: true,
+            profile: true,
+            ..Instrumentation::off()
+        };
+        eprintln!(
+            "par-bench: {} at n_mh={n}, n_mss={n_mss}, horizon={horizon}: serial...",
+            proto.name()
+        );
+        let t0 = Instant::now();
+        let serial = Simulation::run_with(cfg.clone(), instr());
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        eprintln!("par-bench: parallel x{workers}...");
+        let t1 = Instant::now();
+        let parallel = pardes::run(cfg.clone(), workers, instr());
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let serial_fp = artifact::run_artifact(&cfg, &serial).to_pretty();
+        let parallel_fp = artifact::run_artifact(&cfg, &parallel).to_pretty();
+        assert!(
+            serial_fp == parallel_fp,
+            "par-bench: serial and parallel artifacts diverged at n_mh={n} (seed {})",
+            opts.seed
+        );
+        let serial_eps = serial.profile.as_ref().expect("profiled run").events_per_sec();
+        let parallel_eps = parallel.profile.as_ref().expect("profiled run").events_per_sec();
+        let speedup = parallel_eps / serial_eps.max(1e-9);
+        if gate_point.is_none_or(|(m, _)| n >= m) {
+            gate_point = Some((n, speedup));
+        }
+        table.push_row(vec![
+            n.to_string(),
+            n_mss.to_string(),
+            serial.events.to_string(),
+            format!("{serial_eps:.0}"),
+            format!("{parallel_eps:.0}"),
+            format!("{speedup:.2}"),
+        ]);
+        points.push(Json::Obj(vec![
+            ("n_mh".into(), Json::uint(n)),
+            ("n_mss".into(), Json::uint(n_mss)),
+            ("workers".into(), Json::uint(workers as u64)),
+            ("events".into(), Json::uint(serial.events)),
+            ("n_tot".into(), Json::uint(serial.n_tot())),
+            (
+                "timing".into(),
+                Json::Obj(vec![
+                    ("serial_wall_ms".into(), Json::Num(serial_ms)),
+                    ("parallel_wall_ms".into(), Json::Num(parallel_ms)),
+                    ("serial_events_per_sec".into(), Json::Num(serial_eps)),
+                    ("parallel_events_per_sec".into(), Json::Num(parallel_eps)),
+                    ("speedup".into(), Json::Num(speedup)),
+                ]),
+            ),
+        ]));
+    }
+    emit(opts, &table);
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str(artifact::BENCH_PAR_SCHEMA)),
+        ("version".into(), Json::str(artifact::version())),
+        ("protocol".into(), Json::str(proto.name())),
+        ("base_seed".into(), Json::uint(opts.seed)),
+        ("horizon".into(), Json::Num(horizon)),
+        ("mss_ratio".into(), Json::uint(opts.mss_ratio)),
+        ("workers".into(), Json::uint(workers as u64)),
+        ("byte_identical".into(), Json::Bool(true)),
+        ("points".into(), Json::Arr(points)),
+        (
+            "timing".into(),
+            Json::Obj(vec![("cores".into(), Json::uint(cores as u64))]),
+        ),
+    ]);
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| opts.out_dir.join("BENCH_par.json"));
+    match artifact::write(&path, &doc) {
+        Ok(()) => eprintln!("par-bench artifact -> {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    if opts.check_regression {
+        check_par_regression(gate_point, workers, cores, opts.min_speedup.unwrap_or(2.0));
+    }
+}
+
+/// Enforces the parallel-backend speedup floor at the largest measured N.
+/// The floor only makes sense when the host can physically achieve it: a
+/// 4-worker run on a single core can never beat serial, so the check is
+/// reported and skipped (not failed) when `min(workers, cores)` is below
+/// the floor.
+fn check_par_regression(point: Option<(u64, f64)>, workers: usize, cores: usize, min: f64) {
+    let Some((n, speedup)) = point else {
+        eprintln!("par-bench: --check-regression needs at least one point");
+        return;
+    };
+    if (workers.min(cores) as f64) < min {
+        eprintln!(
+            "par-bench regression check SKIPPED: host has {cores} core(s) for {workers} \
+             worker(s); a {min:.1}x speedup is not achievable here (measured {speedup:.2}x)"
+        );
+        return;
+    }
+    if speedup < min {
+        eprintln!(
+            "par-bench REGRESSION: parallel speedup at N={n} is {speedup:.2}x; floor is {min:.1}x"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("par-bench regression check: {speedup:.2}x at N={n} (floor {min:.1}x) — ok");
+}
+
 fn scale(opts: &Opts) {
     let horizon = opts.horizon.unwrap_or(500.0);
     let proto = CicKind::Qbc;

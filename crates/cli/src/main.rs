@@ -42,7 +42,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck check   [--protocol P] [--mh N] [--mss M] [--horizon T] [--t-switch T] [--seed S]\n              [--max-states K] [--mutate] [--out MC.json] | --replay MC.json\n  mck inspect <artifact.json|scenario.json|cache-dir> [--deterministic]\n  mck serve   [--addr HOST] [--port N] [--cache-dir DIR] [--max-entries N] [--queue-depth N] [--max-requests N]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --cache-dir DIR (run/fig: content-addressed result cache; warm\n                         requests replay stored artifact bytes verbatim)\n        --queue heap|calendar (pending-event set; results are identical)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
+    "usage:\n  mck run     [--protocol P] [--t-switch T] [--p-switch P] [--h H] [--horizon T] [--seed S] [--ps P] [--dup P]\n              [--logging off|pessimistic|optimistic] [--flush-latency T]\n              [--fail-mtbf T] [--fail-mss-mtbf T]\n              [--trace trace.jsonl] [--metrics artifact.json] [--profile] [--progress]\n  mck profile [run flags] [--out PROFILE.json] [--folded out.folded] [--prom out.prom]\n  mck sweep   [--protocol P] [--t-switch-list a,b,c] [--p-switch P] [--h H] [--reps R] [--seed S] [--csv] [--out-dir DIR]\n  mck fig N   [--reps R] [--seed S] [--csv] [--out-dir DIR]      (N in 1..6, or 'all')\n  mck claims  [--reps R] [--seed S]\n  mck classes [--reps R] [--seed S]\n  mck rollback [--reps R] [--seed S] [--logging off|pessimistic|optimistic] [--out-dir DIR]\n  mck crash   [--reps R] [--seed S] [--t-switch-list a,b,c] [--out-dir DIR]\n  mck check   [--protocol P] [--mh N] [--mss M] [--horizon T] [--t-switch T] [--seed S]\n              [--max-states K] [--mutate] [--out MC.json] | --replay MC.json\n  mck inspect <artifact.json|scenario.json|cache-dir> [--deterministic]\n  mck serve   [--addr HOST] [--port N] [--cache-dir DIR] [--max-entries N] [--queue-depth N] [--max-requests N]\n  mck list\nglobal: --jobs N (worker threads; default MCK_JOBS or all cores)\n        --cache-dir DIR (run/fig: content-addressed result cache; warm\n                         requests replay stored artifact bytes verbatim)\n        --queue heap|calendar|parallel (pending-event set; results are identical;\n                         'parallel' = conservative cell-partitioned workers, run/profile only)\n        --par-workers N (worker count for --queue parallel; default --jobs)\n        --pb-codec dense|rle (TP vector piggyback wire codec; trajectory is identical)\n        --scenario FILE (mck.scenario/v1 environment + parameter overrides;\n                         explicit flags still win; run/sweep/fig)\nprotocols: TP, BCS, QBC, UNCOORD"
 }
 
 const KNOWN: &[&str] = &[
@@ -68,6 +68,7 @@ const KNOWN: &[&str] = &[
     "prom",
     "jobs",
     "queue",
+    "par-workers",
     "pb-codec",
     "scenario",
     "cache-dir",
@@ -121,9 +122,40 @@ fn protocol_of(args: &Args) -> Result<ProtocolChoice, ArgError> {
 fn queue_of(args: &Args) -> Result<simkit::event::QueueBackend, ArgError> {
     match args.get("queue") {
         None => Ok(simkit::event::QueueBackend::default()),
-        Some(name) => simkit::event::QueueBackend::parse(name)
-            .ok_or_else(|| ArgError(format!("unknown queue backend '{name}' (heap|calendar)"))),
+        Some(name) => simkit::event::QueueBackend::parse(name).ok_or_else(|| {
+            ArgError(format!("unknown queue backend '{name}' (heap|calendar|parallel)"))
+        }),
     }
+}
+
+/// `--queue parallel` selects the conservative cell-partitioned backend
+/// (run and profile only); returns the resolved worker count, `None` for
+/// the serial backends. Each parallel worker replica runs a heap
+/// scheduler, so the config's `queue` field stays `Heap` — which also
+/// means cached artifacts are shared with serial runs (the backends are
+/// byte-identical by construction).
+fn parallel_of(args: &Args) -> Result<Option<usize>, ArgError> {
+    if args.get("queue") != Some("parallel") {
+        if args.get("par-workers").is_some() {
+            return Err(ArgError("--par-workers requires --queue parallel".into()));
+        }
+        return Ok(None);
+    }
+    let n = args.get_usize("par-workers", 0)?;
+    Ok(Some(if n == 0 { jobs() } else { n }))
+}
+
+/// Experiment grids (`sweep`, `fig`) already parallelize across
+/// replications via the job pool; intra-run parallelism is redundant
+/// there and unsupported.
+fn reject_parallel(args: &Args, cmd: &str) -> Result<(), ArgError> {
+    if args.get("queue") == Some("parallel") {
+        return Err(ArgError(format!(
+            "--queue parallel applies to 'run' and 'profile' only; \
+             '{cmd}' already parallelizes across replications (--jobs N)"
+        )));
+    }
+    Ok(())
 }
 
 fn logging_of(args: &Args) -> Result<LoggingMode, ArgError> {
@@ -155,7 +187,13 @@ fn config_of(args: &Args) -> Result<SimConfig, ArgError> {
         cfg.apply_scenario(&sc);
     }
     cfg.protocol = protocol_of(args)?;
-    cfg.queue = queue_of(args)?;
+    // `--queue parallel` is a backend-dispatch choice, not a pending-event
+    // set: the worker replicas each run the (default) heap scheduler.
+    cfg.queue = if parallel_of(args)?.is_some() {
+        simkit::event::QueueBackend::Heap
+    } else {
+        queue_of(args)?
+    };
     cfg.pb_codec = pb_codec_of(args)?;
     cfg.logging = logging_of(args)?;
     cfg.t_switch = args.get_f64("t-switch", cfg.t_switch)?;
@@ -196,7 +234,10 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
     instr.profile = args.flag("profile");
     instr.progress = args.flag("progress");
 
-    let r = Simulation::run_with(cfg.clone(), instr);
+    let r = match parallel_of(args)? {
+        Some(workers) => pardes::run(cfg.clone(), workers, instr),
+        None => Simulation::run_with(cfg.clone(), instr),
+    };
     let mut out = r.summary_table().render();
     if let Some(path) = &metrics_path {
         let art = mck::artifact::run_artifact(&cfg, &r);
@@ -241,7 +282,10 @@ fn cmd_run_cached(args: &Args, dir: &str) -> Result<String, ArgError> {
                 progress: args.flag("progress"),
                 ..Instrumentation::off()
             };
-            let r = Simulation::run_with(cfg.clone(), instr);
+            let r = match parallel_of(args)? {
+                Some(workers) => pardes::run(cfg.clone(), workers, instr),
+                None => Simulation::run_with(cfg.clone(), instr),
+            };
             let bytes =
                 servekit::server::artifact_bytes(&mck::artifact::run_artifact(&cfg, &r));
             cache
@@ -278,7 +322,10 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
         progress: args.flag("progress"),
         ..Instrumentation::off()
     };
-    let r = Simulation::run_with(cfg.clone(), instr);
+    let r = match parallel_of(args)? {
+        Some(workers) => pardes::run(cfg.clone(), workers, instr),
+        None => Simulation::run_with(cfg.clone(), instr),
+    };
     let art = mck::artifact::profile_artifact(&cfg, &r);
     mck::artifact::write(&out_path, &art)
         .map_err(|e| ArgError(format!("--out {}: {e}", out_path.display())))?;
@@ -442,6 +489,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    reject_parallel(args, "sweep")?;
     let reps = args.get_usize("reps", 3)?;
     let seed = args.get_u64("seed", 1)?;
     let ts = args.get_f64_list("t-switch-list", &T_SWITCH_SWEEP)?;
@@ -478,6 +526,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
 }
 
 fn cmd_fig(args: &Args) -> Result<String, ArgError> {
+    reject_parallel(args, "fig")?;
     let reps = args.get_usize("reps", 5)?;
     let seed = args.get_u64("seed", 1)?;
     let which = args

@@ -108,14 +108,32 @@ pub struct EngineProfile {
     pub wall_ns: u64,
 }
 
+impl Default for EngineProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EngineProfile {
-    fn new() -> Self {
+    /// An empty profile with the standard dispatch-latency bin shape.
+    /// Public so parallel backends can accumulate per-worker profiles.
+    pub fn new() -> Self {
         EngineProfile {
             dispatch_ns: LogHistogram::new(16.0, 2.0, 32),
             queue_depth: Tally::new(),
             events_handled: 0,
             wall_ns: 0,
         }
+    }
+
+    /// Folds another profile into this one: histogram and tally merge
+    /// observation-wise, event counts add, and wall time takes the max —
+    /// workers run concurrently, so the slowest one bounds the loop.
+    pub fn merge(&mut self, other: &EngineProfile) {
+        self.dispatch_ns.merge(&other.dispatch_ns);
+        self.queue_depth.merge(&other.queue_depth);
+        self.events_handled += other.events_handled;
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
     }
 
     /// Average dispatch throughput over the whole run.

@@ -388,6 +388,50 @@ impl<E> Scheduler<E> {
         })
     }
 
+    /// Removes every live pending event matching `pred`, returning them
+    /// sorted by `(time, seq)` — the order [`pop`] would have drained them.
+    ///
+    /// This is the partition primitive for the parallel backend: a worker
+    /// bootstraps the full world, then strips the events it does not own;
+    /// at a hand-off migration the departing host's pending events are
+    /// extracted here and re-scheduled on the destination worker in the
+    /// returned order, preserving FIFO tie-breaking across the move.
+    /// Cancelled entries matching nothing are left in place; cancelled
+    /// entries are never returned. Heap backend only, like [`take`] — the
+    /// parallel backend always runs its per-worker schedulers on the heap.
+    ///
+    /// [`pop`]: Scheduler::pop
+    /// [`take`]: Scheduler::take
+    pub fn extract_where<F>(&mut self, mut pred: F) -> Vec<(SimTime, E)>
+    where
+        F: FnMut(&E) -> bool,
+    {
+        let heap = match &mut self.backing {
+            Backing::Heap(heap) => heap,
+            Backing::Calendar(_) => {
+                panic!("Scheduler::extract_where requires the heap backend (parallel runner)")
+            }
+        };
+        let entries = std::mem::take(heap).into_vec();
+        let mut kept = Vec::with_capacity(entries.len());
+        let mut out: Vec<Entry<E>> = Vec::new();
+        for e in entries {
+            if self.cancelled.contains(&e.seq) {
+                // Dead entry: drop it for good, keeping `len()` exact.
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            if pred(&e.event) {
+                out.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        *heap = BinaryHeap::from(kept);
+        out.sort_by_key(|e| (e.time, e.seq));
+        out.into_iter().map(|e| (e.time, e.event)).collect()
+    }
+
     /// Total events popped so far (a throughput counter for benchmarks).
     pub fn popped(&self) -> u64 {
         self.popped
@@ -590,6 +634,25 @@ mod tests {
         assert!(s.take(99).is_none());
         assert_eq!(s.len(), 1);
         assert_eq!(s.pop().unwrap().event, "still-there");
+    }
+
+    #[test]
+    fn extract_where_preserves_order_and_skips_cancelled() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::new(2.0), "b-keep");
+        s.schedule_at(SimTime::new(1.0), "a-take");
+        let dead = s.schedule_at(SimTime::new(1.5), "c-take");
+        s.schedule_at(SimTime::new(1.0), "d-take");
+        s.schedule_at(SimTime::new(3.0), "e-keep");
+        s.cancel(dead);
+        let taken = s.extract_where(|e| e.ends_with("take"));
+        let got: Vec<_> = taken.iter().map(|(t, e)| (t.as_f64(), *e)).collect();
+        // Sorted (time, seq): the two t=1.0 entries keep schedule order.
+        assert_eq!(got, vec![(1.0, "a-take"), (1.0, "d-take")]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop().unwrap().event, "b-keep");
+        assert_eq!(s.pop().unwrap().event, "e-keep");
+        assert!(s.pop().is_none());
     }
 
     #[test]

@@ -265,6 +265,26 @@ impl LogHistogram {
         self.bins[idx] += 1;
     }
 
+    /// Merges another histogram into this one bin-wise.
+    ///
+    /// Both histograms must share the same shape (`first_edge`, `growth`,
+    /// bin count) — merging differently binned histograms would silently
+    /// misattribute counts, so it panics instead. Used by the parallel
+    /// runner to fold per-worker dispatch-latency histograms into one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.first_edge == other.first_edge
+                && self.growth == other.growth
+                && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different bin shapes"
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+    }
+
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
         self.count

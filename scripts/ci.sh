@@ -39,6 +39,21 @@ echo "==> smoke: determinism across --jobs and --queue"
     --jobs 4 --queue calendar > "$out_dir/par.txt"
 diff -q "$out_dir/seq.txt" "$out_dir/par.txt"
 
+# Intra-run parallel backend parity: --queue parallel (the conservative
+# cell-partitioned backend, crates/pardes) must produce a byte-identical
+# mck.run/v1 artifact to the serial heap scheduler; the deterministic
+# view diff pins every config, outcome, and metrics byte.
+echo "==> smoke: serial vs parallel backend byte parity"
+mkdir -p "$out_dir/pd_ser" "$out_dir/pd_par"
+"$mck" run --protocol qbc --horizon 1000 --t-switch 200 \
+    --metrics "$out_dir/pd_ser/run.json" >/dev/null
+"$mck" run --protocol qbc --horizon 1000 --t-switch 200 \
+    --queue parallel --par-workers 4 \
+    --metrics "$out_dir/pd_par/run.json" >/dev/null
+"$mck" inspect --deterministic "$out_dir/pd_ser/run.json" > "$out_dir/pd_ser/det.json"
+"$mck" inspect --deterministic "$out_dir/pd_par/run.json" > "$out_dir/pd_par/det.json"
+diff -q "$out_dir/pd_ser/det.json" "$out_dir/pd_par/det.json"
+
 # Observation-only overlays: --profile/--progress (and --metrics) must not
 # change one byte of stdout or of the mck.run/v1 artifact. Run artifacts
 # carry no wall-clock members (timing goes to stderr and to mck.profile/v1),
@@ -157,6 +172,17 @@ echo "==> smoke: figures scale --check-regression (10 vs 1000 hosts)"
 mkdir -p "$out_dir/scale_reg"
 "$figures" scale --n-list 10,1000 --horizon 300 --check-regression \
     --out-dir "$out_dir/scale_reg" >/dev/null
+
+# Parallel speedup gate: par-bench first asserts serial and parallel
+# artifacts are byte-identical at every N (aborting otherwise), then
+# enforces the 2x events/sec floor at N=10^4 with 4 workers. On hosts
+# without the cores to make 2x physically achievable the gate reports
+# and skips instead of failing; the byte-identity assertion always runs.
+echo "==> smoke: figures par-bench --check-regression (N=10^4, 4 workers)"
+mkdir -p "$out_dir/par_bench"
+"$figures" par-bench --n-list 1000,10000 --workers 4 --check-regression \
+    --out-dir "$out_dir/par_bench" >/dev/null
+"$mck" inspect "$out_dir/par_bench/BENCH_par.json" | grep -q "mck.bench_par/v1"
 
 # Failure injection must be a pure function of the seed: two runs of the
 # same seed produce byte-identical reports, crash times and all. The

@@ -1,0 +1,111 @@
+//! End-to-end behavior of the parallel backend: hosts migrating across
+//! partition boundaries mid-run, disconnect/reconnect cycles landing in
+//! foreign partitions, and the serial fallback for crash/recovery runs.
+
+use mck::artifact::run_artifact;
+use mck::prelude::*;
+use pardes as par;
+
+fn fingerprint(cfg: &SimConfig, r: &RunReport) -> String {
+    run_artifact(cfg, r).to_pretty()
+}
+
+#[test]
+fn hosts_migrate_across_partition_boundaries() {
+    // Two partitions over four cells (partition = cell % 2): with the
+    // complete-graph topology every hand-off has a 2-in-3 chance of
+    // crossing the boundary, so a mobile run exercises the migration
+    // protocol constantly. Parity with the serial run proves the hand-over
+    // carries every byte of host state (protocol, RNGs, mailbox, storage).
+    let cfg = SimConfig {
+        n_mhs: 16,
+        n_mss: 4,
+        t_switch: 30.0, // fast roaming: many hand-offs per run
+        p_switch: 0.8,  // and some disconnections too
+        reconnect_mean: 40.0,
+        horizon: 600.0,
+        seed: 42,
+        ..Default::default()
+    };
+    let serial = Simulation::run(cfg.clone());
+    let parallel = par::run(cfg.clone(), 2, Instrumentation::off());
+    assert!(serial.handoffs > 50, "test premise: the run must roam (got {})", serial.handoffs);
+    assert!(serial.disconnects > 0, "test premise: the run must disconnect");
+    assert_eq!(fingerprint(&cfg, &serial), fingerprint(&cfg, &parallel));
+}
+
+#[test]
+fn worker_counts_beyond_cells_are_clamped() {
+    let cfg = SimConfig {
+        n_mhs: 10,
+        n_mss: 3,
+        t_switch: 100.0,
+        horizon: 400.0,
+        seed: 9,
+        ..Default::default()
+    };
+    let serial = Simulation::run(cfg.clone());
+    // 64 workers over 3 cells: clamped to 3 partitions, still exact.
+    let parallel = par::run(cfg.clone(), 64, Instrumentation::off());
+    assert_eq!(fingerprint(&cfg, &serial), fingerprint(&cfg, &parallel));
+}
+
+#[test]
+fn crash_recovery_runs_fall_back_and_still_recover() {
+    // Failure injection needs the global causality trace, so it is outside
+    // the parallel gate; `pardes::run` must transparently produce the
+    // serial trajectory, recovery stats included.
+    let cfg = SimConfig {
+        n_mhs: 8,
+        n_mss: 4,
+        t_switch: 100.0,
+        fail_mtbf: 300.0,
+        horizon: 1_500.0,
+        seed: 3,
+        ..Default::default()
+    };
+    assert!(!Simulation::parallel_compatible(&cfg));
+    let serial = Simulation::run(cfg.clone());
+    let parallel = par::run(cfg.clone(), 4, Instrumentation::off());
+    let stats = parallel.recovery.expect("failure injection reports recovery stats");
+    assert!(stats.mh_crashes > 0, "test premise: crashes must occur");
+    assert_eq!(
+        serial.recovery.expect("serial reports too").mh_crashes,
+        stats.mh_crashes
+    );
+    assert_eq!(fingerprint(&cfg, &serial), fingerprint(&cfg, &parallel));
+}
+
+#[test]
+fn profile_and_spans_overlay_does_not_perturb_the_run() {
+    // Observability is a pure overlay in the parallel backend too: the
+    // deterministic artifact with spans+profile attached matches the bare
+    // parallel run, and the span tree attributes per-worker barrier wait.
+    let cfg = SimConfig {
+        n_mhs: 24,
+        n_mss: 6,
+        t_switch: 80.0,
+        horizon: 400.0,
+        seed: 17,
+        ..Default::default()
+    };
+    let bare = par::run(cfg.clone(), 3, Instrumentation::off());
+    let mut instr = Instrumentation::off();
+    instr.profile = true;
+    instr.spans = true;
+    let observed = par::run(cfg.clone(), 3, instr);
+    assert_eq!(fingerprint(&cfg, &bare), fingerprint(&cfg, &observed));
+    let spans = observed.spans.expect("spans requested");
+    let paths: Vec<&str> = spans.rows.iter().map(|r| r.path.as_str()).collect();
+    assert!(
+        paths.iter().any(|p| p.starts_with("worker0")),
+        "per-worker spans present: {paths:?}"
+    );
+    assert!(
+        paths.iter().any(|p| p.ends_with("barrier_wait")),
+        "barrier wait attributed: {paths:?}"
+    );
+    let profile = observed.profile.expect("profile requested");
+    assert_eq!(profile.events_handled, bare.events);
+    assert!(profile.wall_ns > 0);
+}
